@@ -1,0 +1,304 @@
+//! Abstract syntax of the resilience-extended Aspen language.
+//!
+//! The surface grammar (see the crate docs for a full example):
+//!
+//! ```text
+//! document   := item*
+//! item       := param | machine | model
+//! param      := "param" IDENT "=" expr
+//! machine    := "machine" IDENT "{" (param | section)* "}"
+//! section    := ("cache" | "memory" | "core") "{" field* "}"
+//! model      := "model" IDENT "{" (param | data | kernel)* "}"
+//! data       := "data" IDENT "{" field* "}"
+//! kernel     := "kernel" IDENT "{" (field | access | order)* "}"
+//! access     := "access" IDENT "as" IDENT "(" namedargs ")"
+//! order      := "order" "{" step* "}"
+//! step       := IDENT | "(" IDENT+ ")"
+//! field      := IDENT "=" expr
+//! namedargs  := (IDENT "=" expr) ("," IDENT "=" expr)*
+//! expr       := precedence-climbing over + - * / % ^, unary -, calls,
+//!               parenthesized tuples
+//! ```
+//!
+//! Keywords are contextual, so `model`, `data` etc. remain usable as
+//! parameter names.
+
+use crate::span::{Span, Spanned};
+
+/// Binary operators, loosest to tightest: `+ -`, `* / %`, `^`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Remainder.
+    Mod,
+    /// Power.
+    Pow,
+}
+
+impl BinOp {
+    /// Operator symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Pow => "^",
+        }
+    }
+}
+
+/// Expression node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Number(f64),
+    /// Parameter or builtin-constant reference.
+    Ident(String),
+    /// Unary negation.
+    Neg(Box<Spanned<Expr>>),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Spanned<Expr>>,
+        /// Right operand.
+        rhs: Box<Spanned<Expr>>,
+    },
+    /// Function or index call: `ceil(x)`, `R(2, 1, 1)`.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Spanned<Expr>>,
+    },
+    /// Parenthesized comma list: `(a, b, c)`. Scalar contexts reject it;
+    /// `dims`, `starts`, `ends` and `refs` consume it.
+    Tuple(Vec<Spanned<Expr>>),
+}
+
+/// `name = expr` field, used in sections, data blocks and kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Field name.
+    pub name: Spanned<String>,
+    /// Field value.
+    pub value: Spanned<Expr>,
+}
+
+/// `param name = expr`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDef {
+    /// Parameter name.
+    pub name: Spanned<String>,
+    /// Default value (overridable at resolution time).
+    pub value: Spanned<Expr>,
+}
+
+/// `machine name { ... }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineDef {
+    /// Machine name.
+    pub name: Spanned<String>,
+    /// Machine-scoped parameters.
+    pub params: Vec<ParamDef>,
+    /// `cache { ... }`, `memory { ... }`, `core { ... }` sections in
+    /// source order.
+    pub sections: Vec<SectionDef>,
+}
+
+/// A named field block inside a machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SectionDef {
+    /// Section kind: `cache`, `memory` or `core`.
+    pub kind: Spanned<String>,
+    /// Fields.
+    pub fields: Vec<Field>,
+}
+
+/// `data name { ... }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataDef {
+    /// Data structure name.
+    pub name: Spanned<String>,
+    /// Fields (`size`, `element`, optional `dims`).
+    pub fields: Vec<Field>,
+}
+
+/// `access DS as pattern(args)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessDef {
+    /// Target data structure name.
+    pub data: Spanned<String>,
+    /// Pattern kind: `streaming` (`s`), `random` (`r`), `template` (`t`)
+    /// or `reuse` (`d`).
+    pub pattern: Spanned<String>,
+    /// Named arguments.
+    pub args: Vec<Field>,
+}
+
+/// One step of an access-order string; parenthesized groups are accessed
+/// concurrently (paper CG example: `r (A p) p (x p) (A p) r (r p)`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderStep {
+    /// A single structure accessed alone.
+    Single(Spanned<String>),
+    /// Structures accessed concurrently.
+    Group(Vec<Spanned<String>>),
+}
+
+/// A statement in a kernel body: accesses plus Aspen's control-flow
+/// constructs (`iterate [n] { … }` repetition and `call other_kernel`
+/// composition — Spafford & Vetter, SC'12).
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelStmt {
+    /// `access DS as pattern(args)`.
+    Access(AccessDef),
+    /// `iterate n { … }` — repeat the body `n` times.
+    Iterate {
+        /// Trip count expression.
+        count: Spanned<Expr>,
+        /// Repeated statements.
+        body: Vec<KernelStmt>,
+    },
+    /// `call name` — inline another kernel of the same model.
+    Call {
+        /// Callee kernel name.
+        name: Spanned<String>,
+    },
+}
+
+/// `kernel name { ... }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDef {
+    /// Kernel name.
+    pub name: Spanned<String>,
+    /// Scalar fields (`flops`, `time`, `iters`, `loads`, `stores`).
+    pub fields: Vec<Field>,
+    /// Body statements (accesses and control flow), in source order.
+    pub body: Vec<KernelStmt>,
+    /// Optional access order.
+    pub order: Option<Vec<OrderStep>>,
+}
+
+impl KernelDef {
+    /// All access statements, at any nesting depth (ignoring
+    /// multiplicities — resolution applies those).
+    pub fn accesses(&self) -> Vec<&AccessDef> {
+        fn walk<'a>(stmts: &'a [KernelStmt], out: &mut Vec<&'a AccessDef>) {
+            for s in stmts {
+                match s {
+                    KernelStmt::Access(a) => out.push(a),
+                    KernelStmt::Iterate { body, .. } => walk(body, out),
+                    KernelStmt::Call { .. } => {}
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.body, &mut out);
+        out
+    }
+}
+
+/// `model name { ... }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelDef {
+    /// Application name.
+    pub name: Spanned<String>,
+    /// Model-scoped parameters.
+    pub params: Vec<ParamDef>,
+    /// Data structures.
+    pub datas: Vec<DataDef>,
+    /// Kernels.
+    pub kernels: Vec<KernelDef>,
+}
+
+/// Top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// Global parameter.
+    Param(ParamDef),
+    /// Machine description.
+    Machine(MachineDef),
+    /// Application model.
+    Model(ModelDef),
+}
+
+/// A parsed source file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Document {
+    /// Items in source order.
+    pub items: Vec<Item>,
+}
+
+impl Document {
+    /// All global parameters.
+    pub fn params(&self) -> impl Iterator<Item = &ParamDef> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Param(p) => Some(p),
+            _ => None,
+        })
+    }
+
+    /// Find a machine by name, or the only machine if `name` is `None`.
+    pub fn machine(&self, name: Option<&str>) -> Option<&MachineDef> {
+        let mut machines = self.items.iter().filter_map(|i| match i {
+            Item::Machine(m) => Some(m),
+            _ => None,
+        });
+        match name {
+            Some(n) => machines.find(|m| m.name.node == n),
+            None => {
+                let first = machines.next();
+                if machines.next().is_some() {
+                    None // ambiguous
+                } else {
+                    first
+                }
+            }
+        }
+    }
+
+    /// Find a model by name, or the only model if `name` is `None`.
+    pub fn model(&self, name: Option<&str>) -> Option<&ModelDef> {
+        let mut models = self.items.iter().filter_map(|i| match i {
+            Item::Model(m) => Some(m),
+            _ => None,
+        });
+        match name {
+            Some(n) => models.find(|m| m.name.node == n),
+            None => {
+                let first = models.next();
+                if models.next().is_some() {
+                    None
+                } else {
+                    first
+                }
+            }
+        }
+    }
+}
+
+/// Helper: find a field by name.
+pub fn find_field<'a>(fields: &'a [Field], name: &str) -> Option<&'a Field> {
+    fields.iter().find(|f| f.name.node == name)
+}
+
+/// Helper: the span of a whole field list (for diagnostics about missing
+/// fields).
+pub fn fields_span(fields: &[Field], fallback: Span) -> Span {
+    fields
+        .iter()
+        .map(|f| f.name.span.to(f.value.span))
+        .reduce(Span::to)
+        .unwrap_or(fallback)
+}

@@ -1,0 +1,81 @@
+//! Diagnostics with source context.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A parse/lex/resolution error anchored to a source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// What went wrong.
+    pub message: String,
+    /// Where.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Construct a diagnostic.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        Self {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Render with the offending source line and a caret marker:
+    ///
+    /// ```text
+    /// error: expected `=` after parameter name
+    ///   --> line 3, column 11
+    ///    |  param n 100
+    ///    |          ^
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        let (line, col) = self.span.line_col(source);
+        let line_text = source.lines().nth(line - 1).unwrap_or("");
+        let caret_pad = " ".repeat(col.saturating_sub(1));
+        let caret_len = self
+            .span
+            .text(source)
+            .lines()
+            .next()
+            .map(str::len)
+            .unwrap_or(1)
+            .max(1);
+        let carets = "^".repeat(caret_len);
+        format!(
+            "error: {}\n  --> line {line}, column {col}\n   |  {line_text}\n   |  {caret_pad}{carets}\n",
+            self.message
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.message, self.span)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_the_problem() {
+        let src = "param n = 100\nparam m 200\n";
+        let d = Diagnostic::new("expected `=`", Span::new(22, 25));
+        let out = d.render(src);
+        assert!(out.contains("line 2"));
+        assert!(out.contains("param m 200"));
+        assert!(out.contains("^^^"));
+    }
+
+    #[test]
+    fn render_survives_eof_span() {
+        let src = "x";
+        let d = Diagnostic::new("unexpected end", Span::new(1, 1));
+        let out = d.render(src);
+        assert!(out.contains("unexpected end"));
+    }
+}

@@ -1,0 +1,298 @@
+//! Hand-written lexer.
+//!
+//! Skips whitespace, `//` line comments and `/* */` block comments;
+//! produces [`Token`]s with byte spans. Numbers accept integer, decimal
+//! and scientific forms plus `_` digit separators.
+
+use crate::diag::Diagnostic;
+use crate::span::{Span, Spanned};
+use crate::token::Token;
+
+/// Tokenize `source` completely (including a trailing [`Token::Eof`]).
+pub fn lex(source: &str) -> Result<Vec<Spanned<Token>>, Diagnostic> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && bytes.get(i + 1) == Some(&b'*') {
+            let start = i;
+            i += 2;
+            loop {
+                if i + 1 >= bytes.len() {
+                    return Err(Diagnostic::new(
+                        "unterminated block comment",
+                        Span::new(start, bytes.len()),
+                    ));
+                }
+                if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                    i += 2;
+                    break;
+                }
+                i += 1;
+            }
+            continue;
+        }
+
+        let start = i;
+        // Punctuation.
+        let punct = match c {
+            '{' => Some(Token::LBrace),
+            '}' => Some(Token::RBrace),
+            '(' => Some(Token::LParen),
+            ')' => Some(Token::RParen),
+            '=' => Some(Token::Eq),
+            ',' => Some(Token::Comma),
+            ':' => Some(Token::Colon),
+            ';' => Some(Token::Semi),
+            '+' => Some(Token::Plus),
+            '-' => Some(Token::Minus),
+            '*' => Some(Token::Star),
+            '/' => Some(Token::Slash),
+            '%' => Some(Token::Percent),
+            '^' => Some(Token::Caret),
+            _ => None,
+        };
+        if let Some(tok) = punct {
+            i += 1;
+            tokens.push(Spanned::new(tok, Span::new(start, i)));
+            continue;
+        }
+
+        // String literal.
+        if c == '"' {
+            i += 1;
+            let mut s = String::new();
+            loop {
+                match bytes.get(i) {
+                    None => {
+                        return Err(Diagnostic::new(
+                            "unterminated string literal",
+                            Span::new(start, bytes.len()),
+                        ))
+                    }
+                    Some(b'"') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(b'\\') => {
+                        let escaped = bytes.get(i + 1).copied();
+                        match escaped {
+                            Some(b'n') => s.push('\n'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            _ => {
+                                return Err(Diagnostic::new(
+                                    "unknown escape sequence",
+                                    Span::new(i, i + 2),
+                                ))
+                            }
+                        }
+                        i += 2;
+                    }
+                    Some(&b) => {
+                        s.push(b as char);
+                        i += 1;
+                    }
+                }
+            }
+            tokens.push(Spanned::new(Token::Str(s), Span::new(start, i)));
+            continue;
+        }
+
+        // Number.
+        if c.is_ascii_digit() || (c == '.' && matches!(bytes.get(i + 1), Some(d) if d.is_ascii_digit()))
+        {
+            let mut j = i;
+            let mut seen_dot = false;
+            let mut seen_exp = false;
+            while j < bytes.len() {
+                let d = bytes[j] as char;
+                if d.is_ascii_digit() || d == '_' {
+                    j += 1;
+                } else if d == '.' && !seen_dot && !seen_exp {
+                    // Guard against `1..2` style ranges (not in grammar, but
+                    // keeps errors sane): require digit after dot.
+                    if matches!(bytes.get(j + 1), Some(n) if n.is_ascii_digit()) {
+                        seen_dot = true;
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                } else if (d == 'e' || d == 'E') && !seen_exp {
+                    // Exponent: e[+|-]digits
+                    let mut k = j + 1;
+                    if matches!(bytes.get(k), Some(b'+') | Some(b'-')) {
+                        k += 1;
+                    }
+                    if matches!(bytes.get(k), Some(n) if n.is_ascii_digit()) {
+                        seen_exp = true;
+                        j = k;
+                    } else {
+                        break;
+                    }
+                } else {
+                    break;
+                }
+            }
+            let text: String = source[i..j].chars().filter(|&ch| ch != '_').collect();
+            let value: f64 = text
+                .parse()
+                .map_err(|_| Diagnostic::new(format!("invalid number `{text}`"), Span::new(i, j)))?;
+            tokens.push(Spanned::new(Token::Number(value), Span::new(i, j)));
+            i = j;
+            continue;
+        }
+
+        // Identifier.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut j = i;
+            while j < bytes.len() {
+                let d = bytes[j] as char;
+                if d.is_ascii_alphanumeric() || d == '_' {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Spanned::new(
+                Token::Ident(source[i..j].to_owned()),
+                Span::new(i, j),
+            ));
+            i = j;
+            continue;
+        }
+
+        return Err(Diagnostic::new(
+            format!("unexpected character `{c}`"),
+            Span::new(i, i + 1),
+        ));
+    }
+
+    tokens.push(Spanned::new(Token::Eof, Span::new(i, i)));
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|t| t.node).collect()
+    }
+
+    #[test]
+    fn lexes_punctuation_and_idents() {
+        let toks = kinds("model vm { param n = 8 }");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("model".into()),
+                Token::Ident("vm".into()),
+                Token::LBrace,
+                Token::Ident("param".into()),
+                Token::Ident("n".into()),
+                Token::Eq,
+                Token::Number(8.0),
+                Token::RBrace,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("1 2.5 1e9 3.2e-4 1_000_000 .5"),
+            vec![
+                Token::Number(1.0),
+                Token::Number(2.5),
+                Token::Number(1e9),
+                Token::Number(3.2e-4),
+                Token::Number(1_000_000.0),
+                Token::Number(0.5),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn number_followed_by_ident_splits() {
+        // `16KiB` is not a single token; the grammar writes `16 * KiB`.
+        let toks = kinds("16 KiB");
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn lexes_comments() {
+        let toks = kinds("a // comment\n b /* multi\nline */ c");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("a".into()),
+                Token::Ident("b".into()),
+                Token::Ident("c".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""hi\n\"there\"""#),
+            vec![Token::Str("hi\n\"there\"".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = lex("a @ b").unwrap_err();
+        assert!(err.message.contains('@'));
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+    }
+
+    #[test]
+    fn exponent_requires_digits() {
+        // `1e` followed by non-digit: number ends, `e` lexes as ident start.
+        let toks = kinds("1eq");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Number(1.0),
+                Token::Ident("eq".into()),
+                Token::Eof
+            ]
+        );
+    }
+}

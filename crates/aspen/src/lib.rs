@@ -1,0 +1,164 @@
+//! # dvf-aspen
+//!
+//! A from-scratch implementation of an **Aspen-style domain specific
+//! language**, extended with the resilience-modeling syntax introduced by
+//! *Yu, Li, Mittal, Vetter — "Quantitatively Modeling Application Resilience
+//! with the Data Vulnerability Factor", SC 2014* (§III-D).
+//!
+//! Aspen (Spafford & Vetter, SC 2012) is a DSL for structured analytical
+//! modeling of applications and abstract machines. The DVF paper extends
+//! its syntax and semantics so users can declare, per data structure, the
+//! memory-access pattern (`streaming`/`random`/`template`/`reuse`), its
+//! parameters, element templates, and access-order strings; the compiler
+//! then computes the number of main-memory accesses and DVF.
+//!
+//! This crate is the language front-end: lexer → parser → AST →
+//! resolution into plain-number specifications ([`MachineSpec`],
+//! [`AppSpec`]). The CGPMAC math lives in `dvf-core`, which consumes these
+//! specs (see `dvf_core::workflow`).
+//!
+//! ## Example
+//!
+//! ```
+//! use dvf_aspen::{parse, Resolver};
+//!
+//! let source = r#"
+//!     // Paper §III-D, first example: vector multiplication.
+//!     machine small {
+//!       cache { associativity = 4  sets = 64  line = 32 }
+//!       memory { fit = 5000 }
+//!     }
+//!     model vm {
+//!       param n = 200
+//!       data A { size = n * 8  element = 8 }
+//!       kernel main {
+//!         flops = 2 * n
+//!         access A as streaming(element = 8, count = n, stride = 4)
+//!       }
+//!     }
+//! "#;
+//!
+//! let doc = parse(source).expect("parses");
+//! let resolver = Resolver::new(&doc);
+//! let machine = resolver.machine(None).expect("machine resolves");
+//! let app = resolver.model(None).expect("model resolves");
+//! assert_eq!(machine.cache.capacity(), 8192);
+//! assert_eq!(app.datas[0].size_bytes, 1600);
+//! ```
+
+pub mod ast;
+pub mod compact;
+pub mod diag;
+pub mod expr;
+pub mod lexer;
+pub mod machine;
+pub mod model;
+pub mod parser;
+pub mod pretty;
+pub mod span;
+pub mod token;
+
+pub use ast::Document;
+pub use compact::{parse_compact, CompactProgram, PatternCode};
+pub use diag::Diagnostic;
+pub use machine::{CacheSpec, CoreSpec, EccKind, MachineSpec, MemorySpec};
+pub use model::{
+    AccessSpec, AppSpec, DataSpec, KernelSpec, OrderStepSpec, PatternSpec, ReuseScenario,
+};
+pub use parser::{parse, parse_expr};
+pub use pretty::pretty;
+
+use expr::Env;
+use machine::{base_env, resolve_machine_def};
+use model::resolve_model_def;
+
+/// Resolves parsed documents into concrete specifications, with optional
+/// parameter overrides (the "application/hardware configuration" inputs of
+/// the paper's Fig. 3 workflow).
+#[derive(Debug, Clone)]
+pub struct Resolver<'d> {
+    doc: &'d Document,
+    overrides: Vec<(String, f64)>,
+}
+
+impl<'d> Resolver<'d> {
+    /// Resolver with no overrides.
+    pub fn new(doc: &'d Document) -> Self {
+        Self {
+            doc,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Override a parameter (beats any `param` default of the same name).
+    pub fn set_param(mut self, name: &str, value: f64) -> Self {
+        self.overrides.push((name.to_owned(), value));
+        self
+    }
+
+    fn env(&self) -> Result<Env, Diagnostic> {
+        base_env(self.doc, &self.overrides)
+    }
+
+    /// Resolve a machine by name (or the document's only machine).
+    pub fn machine(&self, name: Option<&str>) -> Result<MachineSpec, Diagnostic> {
+        let def = self.doc.machine(name).ok_or_else(|| {
+            Diagnostic::new(
+                match name {
+                    Some(n) => format!("no machine named `{n}` (or name is ambiguous)"),
+                    None => "expected exactly one machine in the document".to_owned(),
+                },
+                span::Span::default(),
+            )
+        })?;
+        resolve_machine_def(def, &self.env()?)
+    }
+
+    /// Resolve a model by name (or the document's only model).
+    pub fn model(&self, name: Option<&str>) -> Result<AppSpec, Diagnostic> {
+        let def = self.doc.model(name).ok_or_else(|| {
+            Diagnostic::new(
+                match name {
+                    Some(n) => format!("no model named `{n}` (or name is ambiguous)"),
+                    None => "expected exactly one model in the document".to_owned(),
+                },
+                span::Span::default(),
+            )
+        })?;
+        resolve_model_def(def, &self.env()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolver_with_overrides() {
+        let doc = parse(
+            r#"
+            model cg {
+              param n = 100
+              data A { size = n * n * 8  element = 8 }
+            }
+            "#,
+        )
+        .unwrap();
+        let small = Resolver::new(&doc).model(None).unwrap();
+        assert_eq!(small.datas[0].size_bytes, 100 * 100 * 8);
+        let big = Resolver::new(&doc)
+            .set_param("n", 800.0)
+            .model(None)
+            .unwrap();
+        assert_eq!(big.datas[0].size_bytes, 800 * 800 * 8);
+    }
+
+    #[test]
+    fn missing_machine_reports_cleanly() {
+        let doc = parse("model m { }").unwrap();
+        let err = Resolver::new(&doc).machine(None).unwrap_err();
+        assert!(err.message.contains("exactly one machine"));
+        let err = Resolver::new(&doc).machine(Some("zz")).unwrap_err();
+        assert!(err.message.contains("zz"));
+    }
+}

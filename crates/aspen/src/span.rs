@@ -1,0 +1,101 @@
+//! Source positions for diagnostics.
+
+use std::fmt;
+
+/// A half-open byte range into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// First byte of the spanned region.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// Construct a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Self { start, end }
+    }
+
+    /// The smallest span covering both.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Slice the source text this span covers.
+    pub fn text<'s>(&self, source: &'s str) -> &'s str {
+        &source[self.start.min(source.len())..self.end.min(source.len())]
+    }
+
+    /// 1-based `(line, column)` of the span start.
+    pub fn line_col(&self, source: &str) -> (usize, usize) {
+        let mut line = 1;
+        let mut col = 1;
+        for (i, c) in source.char_indices() {
+            if i >= self.start {
+                break;
+            }
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A value with its source span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Spanned<T> {
+    /// The value.
+    pub node: T,
+    /// Where it came from.
+    pub span: Span,
+}
+
+impl<T> Spanned<T> {
+    /// Attach a span.
+    pub fn new(node: T, span: Span) -> Self {
+        Self { node, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_counts_newlines() {
+        let src = "ab\ncd\nef";
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
+        assert_eq!(Span::new(4, 5).line_col(src), (2, 2));
+        assert_eq!(Span::new(6, 7).line_col(src), (3, 1));
+    }
+
+    #[test]
+    fn join_spans() {
+        let a = Span::new(3, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.to(b), Span::new(3, 9));
+        assert_eq!(b.to(a), Span::new(3, 9));
+    }
+
+    #[test]
+    fn text_slices() {
+        let src = "hello world";
+        assert_eq!(Span::new(6, 11).text(src), "world");
+        // Out-of-range spans clamp instead of panicking.
+        assert_eq!(Span::new(6, 99).text(src), "world");
+    }
+}

@@ -1,0 +1,85 @@
+//! Token kinds of the resilience-extended Aspen language.
+
+use std::fmt;
+
+/// Lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (`machine`, `model`, `A`, `streaming`, …).
+    /// Keywords are contextual: the parser decides, the lexer does not.
+    Ident(String),
+    /// Numeric literal, always carried as `f64` (integers are exact up to
+    /// 2^53, far beyond any model parameter).
+    Number(f64),
+    /// String literal (used for documentation fields).
+    Str(String),
+
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `=`
+    Eq,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `^`
+    Caret,
+
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// Short human-readable description for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            Token::Ident(s) => format!("identifier `{s}`"),
+            Token::Number(n) => format!("number `{n}`"),
+            Token::Str(s) => format!("string {s:?}"),
+            Token::LBrace => "`{`".into(),
+            Token::RBrace => "`}`".into(),
+            Token::LParen => "`(`".into(),
+            Token::RParen => "`)`".into(),
+            Token::Eq => "`=`".into(),
+            Token::Comma => "`,`".into(),
+            Token::Colon => "`:`".into(),
+            Token::Semi => "`;`".into(),
+            Token::Plus => "`+`".into(),
+            Token::Minus => "`-`".into(),
+            Token::Star => "`*`".into(),
+            Token::Slash => "`/`".into(),
+            Token::Percent => "`%`".into(),
+            Token::Caret => "`^`".into(),
+            Token::Eof => "end of input".into(),
+        }
+    }
+
+    /// Whether this token is a specific identifier (contextual keyword).
+    pub fn is_ident(&self, word: &str) -> bool {
+        matches!(self, Token::Ident(s) if s == word)
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}

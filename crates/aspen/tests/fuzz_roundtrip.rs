@@ -1,0 +1,95 @@
+//! Property tests for the Aspen front-end: the lexer/parser never panic
+//! on arbitrary input, and pretty-printing round-trips generated models.
+
+use dvf_aspen::{parse, pretty, Resolver};
+use proptest::prelude::*;
+
+/// Generator for a well-formed model source built from random pieces.
+fn arb_model_source() -> impl Strategy<Value = String> {
+    let ident = "[a-z][a-z0-9_]{0,6}";
+    (
+        ident,
+        prop::collection::vec(("[a-z][a-z0-9]{0,4}", 1u64..10_000), 1..5),
+        1u64..64,
+        1u64..1000,
+        1u64..8,
+    )
+        .prop_map(|(model, params, elem, count, stride)| {
+            let mut src = String::new();
+            src.push_str(&format!("model {model} {{\n"));
+            for (i, (name, value)) in params.iter().enumerate() {
+                // Avoid duplicate param names by suffixing the index.
+                src.push_str(&format!("  param {name}_{i} = {value}\n"));
+            }
+            src.push_str(&format!(
+                "  data D0 {{ size = {} element = {elem} }}\n",
+                elem * count
+            ));
+            src.push_str("  kernel main {\n");
+            src.push_str(&format!(
+                "    access D0 as streaming(element = {elem}, count = {count}, stride = {stride})\n"
+            ));
+            src.push_str("  }\n}\n");
+            src
+        })
+}
+
+proptest! {
+    /// The lexer+parser must reject or accept arbitrary input without
+    /// panicking.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,400}") {
+        let _ = parse(&input);
+    }
+
+    /// Same for inputs built from the language's own token vocabulary,
+    /// which reach much deeper into the parser.
+    #[test]
+    fn parser_never_panics_on_tokeny_input(
+        words in prop::collection::vec(
+            prop::sample::select(vec![
+                "model", "machine", "param", "data", "kernel", "access",
+                "order", "as", "streaming", "{", "}", "(", ")", "=", ",",
+                "+", "-", "*", "/", "^", "n", "x", "1", "2.5", "1e9",
+            ]),
+            0..60,
+        )
+    ) {
+        let input = words.join(" ");
+        let _ = parse(&input);
+    }
+
+    /// Generated models parse, resolve, pretty-print, and re-parse to an
+    /// equivalent document.
+    #[test]
+    fn generated_models_roundtrip(src in arb_model_source()) {
+        let doc = parse(&src).expect("generated source parses");
+        let app1 = Resolver::new(&doc).model(None).expect("resolves");
+
+        let printed = pretty(&doc);
+        let doc2 = parse(&printed).expect("pretty output parses");
+        let app2 = Resolver::new(&doc2).model(None).expect("re-resolves");
+
+        prop_assert_eq!(app1, app2);
+    }
+
+    /// Parameter overrides apply identically before and after a
+    /// round-trip.
+    #[test]
+    fn overrides_survive_roundtrip(count in 1u64..500, scale in 1.0f64..16.0) {
+        let src = format!(
+            "model m {{ param n = {count}\n data A {{ size = n * 8 element = 8 }} }}"
+        );
+        let doc = parse(&src).unwrap();
+        let doc2 = parse(&pretty(&doc)).unwrap();
+        let a = Resolver::new(&doc)
+            .set_param("n", count as f64 * scale.floor())
+            .model(None)
+            .unwrap();
+        let b = Resolver::new(&doc2)
+            .set_param("n", count as f64 * scale.floor())
+            .model(None)
+            .unwrap();
+        prop_assert_eq!(a.datas[0].size_bytes, b.datas[0].size_bytes);
+    }
+}

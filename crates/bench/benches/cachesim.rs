@@ -1,0 +1,74 @@
+//! Cache-simulator throughput (references per second) across replacement
+//! policies and geometries.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dvf_cachesim::{
+    config::table4, simulate_with_policy, AccessKind, CacheConfig, MemRef, PolicyKind, Trace,
+};
+use std::hint::black_box;
+
+fn synthetic_trace(refs: usize) -> Trace {
+    let mut t = Trace::new();
+    let a = t.registry.register("A");
+    let b = t.registry.register("B");
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    for i in 0..refs {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let ds = if i % 3 == 0 { b } else { a };
+        let kind = if state.is_multiple_of(4) {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        t.push(MemRef::new(ds, state % (1 << 22), kind));
+    }
+    t
+}
+
+fn simulator_throughput(c: &mut Criterion) {
+    let trace = synthetic_trace(100_000);
+    let mut group = c.benchmark_group("cachesim");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+
+    for policy in PolicyKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("policy", policy.name()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    black_box(simulate_with_policy(
+                        black_box(&trace),
+                        table4::LARGE_VERIFICATION,
+                        policy,
+                    ))
+                })
+            },
+        );
+    }
+
+    for (label, config) in [
+        ("8KB", table4::SMALL_VERIFICATION),
+        ("4MB", table4::LARGE_VERIFICATION),
+        (
+            "32MB",
+            CacheConfig {
+                associativity: 16,
+                num_sets: 32768,
+                line_bytes: 64,
+            },
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::new("geometry", label), &config, |b, &cfg| {
+            b.iter(|| black_box(simulate_with_policy(black_box(&trace), cfg, PolicyKind::Lru)))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, simulator_throughput);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Evaluation-cost comparison (paper §I / §II claim).
+//!
+//! Estimating a kernel's main-memory accesses via the CGPMAC analytical
+//! models versus tracing the kernel and replaying it through the cache
+//! simulator. The model side should win by 3–6 orders of magnitude — the
+//! reason DVF exploration is interactive where simulation is a batch job.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dvf_cachesim::{config::table4, simulate};
+use dvf_kernels::{barnes_hut, mc, vm, Recorder};
+use dvf_repro::models;
+use std::hint::black_box;
+
+fn model_vs_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_cost");
+
+    // --- VM ---
+    let vm_params = vm::VmParams::verification();
+    group.bench_function("vm/model", |b| {
+        b.iter(|| black_box(models::vm_model(black_box(vm_params), table4::SMALL_VERIFICATION)))
+    });
+    group.bench_function("vm/trace+simulate", |b| {
+        b.iter(|| {
+            let rec = Recorder::new();
+            vm::run_traced(vm_params, &rec);
+            let trace = rec.into_trace();
+            black_box(simulate(&trace, table4::SMALL_VERIFICATION).total())
+        })
+    });
+
+    // --- NB ---
+    let nb_params = barnes_hut::NbParams::verification();
+    let nb_out = barnes_hut::run_plain(nb_params);
+    group.bench_function("nb/model", |b| {
+        b.iter(|| black_box(models::nb_model(black_box(&nb_out), table4::SMALL_VERIFICATION)))
+    });
+    group.bench_function("nb/trace+simulate", |b| {
+        b.iter(|| {
+            let rec = Recorder::new();
+            barnes_hut::run_traced(nb_params, &rec);
+            let trace = rec.into_trace();
+            black_box(simulate(&trace, table4::SMALL_VERIFICATION).total())
+        })
+    });
+
+    // --- MC ---
+    let mc_params = mc::McParams::verification();
+    group.bench_function("mc/model", |b| {
+        b.iter(|| black_box(models::mc_model(black_box(mc_params), table4::SMALL_VERIFICATION)))
+    });
+    group.bench_function("mc/trace+simulate", |b| {
+        b.iter(|| {
+            let rec = Recorder::new();
+            mc::run_traced(mc_params, &rec);
+            let trace = rec.into_trace();
+            black_box(simulate(&trace, table4::SMALL_VERIFICATION).total())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, model_vs_simulation);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! End-to-end figure regeneration cost (scaled-down inputs): how long the
+//! paper's experiments take with this toolchain.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dvf_repro::usecases::{fig6_sweep, fig7_sweep};
+use std::hint::black_box;
+
+fn figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig6_two_sizes", |b| {
+        b.iter(|| black_box(fig6_sweep(black_box(&[100, 300]))))
+    });
+
+    group.bench_function("fig7_full", |b| b.iter(|| black_box(fig7_sweep())));
+
+    group.bench_function("fig4_vm_only", |b| {
+        b.iter(|| black_box(dvf_repro::verify::verify_vm()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, figures);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Aspen front-end throughput: lex+parse and full resolution.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dvf_aspen::{parse, Resolver};
+use std::hint::black_box;
+
+const SOURCE: &str = r#"
+    param scale = 2
+
+    machine small {
+      param ways = 4
+      cache { associativity = ways  sets = 64  line = 32  capacity = 8 * KiB }
+      memory { fit = 5000  ecc = none }
+      core { flops = 1e9  bandwidth = 4e9 }
+    }
+
+    model cg {
+      param n = 800 * scale
+      data A { size = n * n * 8  element = 8 }
+      data x { size = n * 8  element = 8 }
+      data p { size = n * 8  element = 8 }
+      data r { size = n * 8  element = 8 }
+      kernel iterate {
+        iters = 100
+        flops = 2 * n * n
+        access A as streaming()
+        access p as reuse(reuses = n + 3)
+        access x as streaming()
+        access r as streaming()
+        order { r (A p) p (x p) (A p) r (r p) }
+      }
+    }
+
+    model mg {
+      param n1 = 16  param n2 = 16  param n3 = 16
+      data R { size = n1*n2*n3*16  element = 16  dims = (n3, n2, n1) }
+      kernel smooth {
+        access R as template(
+          starts = (R(2,1,1), R(2,3,1), R(1,2,1), R(2,2,1)),
+          step = 1,
+          ends = (R(2,1,9), R(2,3,9), R(1,2,9), R(2,2,9))
+        )
+      }
+    }
+"#;
+
+fn frontend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parser");
+    group.throughput(Throughput::Bytes(SOURCE.len() as u64));
+
+    group.bench_function("parse", |b| b.iter(|| black_box(parse(black_box(SOURCE)).unwrap())));
+
+    let doc = parse(SOURCE).unwrap();
+    group.bench_function("resolve_machine", |b| {
+        b.iter(|| black_box(Resolver::new(&doc).machine(Some("small")).unwrap()))
+    });
+    group.bench_function("resolve_model_cg", |b| {
+        b.iter(|| black_box(Resolver::new(&doc).model(Some("cg")).unwrap()))
+    });
+    group.bench_function("resolve_model_mg_template", |b| {
+        b.iter(|| black_box(Resolver::new(&doc).model(Some("mg")).unwrap()))
+    });
+    group.bench_function("pretty_print", |b| {
+        b.iter(|| black_box(dvf_aspen::pretty(black_box(&doc))))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, frontend);
+criterion_main!(benches);

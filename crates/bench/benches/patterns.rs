@@ -1,0 +1,70 @@
+//! Microbenchmarks of the four CGPMAC pattern models.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvf_cachesim::config::table4;
+use dvf_core::patterns::{
+    CacheView, InterferenceScenario, RandomSpec, ReuseSpec, StreamingSpec, TemplateSpec,
+};
+use std::hint::black_box;
+
+fn pattern_models(c: &mut Criterion) {
+    let view = CacheView::exclusive(table4::PROFILE_1MB);
+    let mut group = c.benchmark_group("patterns");
+
+    group.bench_function("streaming", |b| {
+        let spec = StreamingSpec {
+            element_bytes: 8,
+            num_elements: 1_000_000,
+            stride_elements: 4,
+        };
+        b.iter(|| black_box(spec.mem_accesses(black_box(&view)).unwrap()))
+    });
+
+    for n in [1_000u64, 100_000] {
+        group.bench_with_input(BenchmarkId::new("random", n), &n, |b, &n| {
+            let spec = RandomSpec {
+                num_elements: n,
+                element_bytes: 32,
+                k: (n / 10).max(1),
+                iterations: 1000,
+                ratio: 1.0,
+            };
+            b.iter(|| black_box(spec.mem_accesses(black_box(&view)).unwrap()))
+        });
+    }
+
+    for len in [10_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::new("template", len), &len, |b, &len| {
+            let refs: Vec<u64> = (0..len as u64).map(|i| (i * 7919) % 4096).collect();
+            let spec = TemplateSpec::new(16, refs);
+            b.iter(|| black_box(spec.mem_accesses(black_box(&view)).unwrap()))
+        });
+    }
+
+    group.bench_function("reuse", |b| {
+        let spec = ReuseSpec {
+            target_blocks: 4096,
+            interfering_blocks: 65_536,
+            reuses: 1000,
+            scenario: InterferenceScenario::Exclusive,
+        };
+        b.iter(|| black_box(spec.mem_accesses(black_box(&view)).unwrap()))
+    });
+
+    group.bench_function("reuse_concurrent", |b| {
+        let spec = ReuseSpec {
+            target_blocks: 4096,
+            interfering_blocks: 65_536,
+            reuses: 1000,
+            scenario: InterferenceScenario::Concurrent,
+        };
+        b.iter(|| black_box(spec.mem_accesses(black_box(&view)).unwrap()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, pattern_models);
+criterion_main!(benches);

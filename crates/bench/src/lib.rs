@@ -1,0 +1,23 @@
+//! # dvf-bench
+//!
+//! Criterion benchmarks for the DVF toolchain. The headline bench,
+//! `eval_cost`, quantifies the paper's central efficiency claim: the
+//! analytical models answer in microseconds–milliseconds what trace-driven
+//! cache simulation needs seconds–minutes for (paper §I: "the evaluation
+//! cost is at the time granularity of seconds, much smaller than the
+//! evaluation costs associated with the statistical-based fault injection
+//! and detailed architecture analysis").
+//!
+//! Run with `cargo bench --workspace`; each bench prints the series its
+//! header documents.
+
+/// Shared small-but-nontrivial problem sizes used across benches, so
+/// numbers are comparable between runs.
+pub mod sizes {
+    /// Barnes-Hut bodies for bench-scale runs.
+    pub const NB_BODIES: usize = 1000;
+    /// Monte-Carlo lookups for bench-scale runs.
+    pub const MC_LOOKUPS: usize = 1000;
+    /// Streaming elements for bench-scale runs.
+    pub const VM_N: usize = 100_000;
+}

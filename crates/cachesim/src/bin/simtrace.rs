@@ -1,0 +1,156 @@
+//! `simtrace` — run a reference trace file through the cache simulator.
+//!
+//! ```text
+//! simtrace <trace-file> [--assoc N] [--sets N] [--line N] [--policy lru|fifo|plru|random]
+//!          [--l1-assoc N --l1-sets N --l1-line N]     # enable a two-level hierarchy
+//! ```
+//!
+//! The trace format is one reference per line: `name kind addr`
+//! (kind `R`/`W`, addr decimal or `0x…` hex); `#` starts a comment.
+
+use dvf_cachesim::hierarchy::simulate_hierarchy;
+use dvf_cachesim::{simulate_with_policy, CacheConfig, PolicyKind, Trace};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: simtrace <trace-file> [options]
+  --assoc N --sets N --line N     LLC geometry (default 8/8192/64 = 4 MiB)
+  --policy lru|fifo|plru|random   replacement policy (default lru)
+  --l1-assoc N --l1-sets N --l1-line N
+                                  put an L1 in front (LRU at both levels)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+
+    let mut assoc = 8usize;
+    let mut sets = 8192usize;
+    let mut line = 64usize;
+    let mut policy = PolicyKind::Lru;
+    let mut l1: (Option<usize>, Option<usize>, Option<usize>) = (None, None, None);
+
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else {
+            eprintln!("{flag} needs a value\n");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        };
+        let parse_usize = |v: &str| v.parse::<usize>().ok();
+        match flag.as_str() {
+            "--assoc" => match parse_usize(value) {
+                Some(v) => assoc = v,
+                None => return bad_value(flag, value),
+            },
+            "--sets" => match parse_usize(value) {
+                Some(v) => sets = v,
+                None => return bad_value(flag, value),
+            },
+            "--line" => match parse_usize(value) {
+                Some(v) => line = v,
+                None => return bad_value(flag, value),
+            },
+            "--policy" => match value.parse::<PolicyKind>() {
+                Ok(p) => policy = p,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--l1-assoc" => l1.0 = parse_usize(value),
+            "--l1-sets" => l1.1 = parse_usize(value),
+            "--l1-line" => l1.2 = parse_usize(value),
+            other => {
+                eprintln!("unknown flag `{other}`\n");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Binary (DVFT) traces are detected by magic; anything else is text.
+    let trace = if bytes.starts_with(b"DVFT") {
+        match dvf_cachesim::binio::read_binary(bytes.as_slice()) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bad binary trace: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match String::from_utf8(bytes)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Trace::from_text(&text))
+        {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bad trace: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let llc = match CacheConfig::new(assoc, sets, line) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bad LLC geometry: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match l1 {
+        (Some(a), Some(s), Some(l)) => {
+            let l1cfg = match CacheConfig::new(a, s, l) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("bad L1 geometry: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            if policy != PolicyKind::Lru {
+                eprintln!("note: hierarchy mode always uses LRU");
+            }
+            let report = simulate_hierarchy(&trace, l1cfg, llc);
+            println!(
+                "{} refs through L1 {l1cfg} + LLC {llc}",
+                trace.len()
+            );
+            println!("\nL1:\n{}", report.l1.render(&trace.registry));
+            println!("LLC:\n{}", report.llc.render(&trace.registry));
+            println!("main-memory accesses: {}", report.total_mem_accesses());
+        }
+        (None, None, None) => {
+            let report = simulate_with_policy(&trace, llc, policy);
+            println!(
+                "{} refs through {} ({} policy)",
+                trace.len(),
+                llc,
+                report.policy
+            );
+            println!("\n{}", report.stats().render(&trace.registry));
+            println!("main-memory accesses: {}", report.total().mem_accesses());
+        }
+        _ => {
+            eprintln!("hierarchy mode needs all of --l1-assoc, --l1-sets, --l1-line\n");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn bad_value(flag: &str, value: &str) -> ExitCode {
+    eprintln!("bad value `{value}` for {flag}\n");
+    eprint!("{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,178 @@
+//! Compact binary trace serialization.
+//!
+//! The text format (`Trace::to_text`) is convenient but ~16 bytes per
+//! reference; kernel traces run to tens of millions of references. This
+//! module stores each reference in 11 bytes:
+//!
+//! ```text
+//! header:  magic "DVFT", version u8, name count u16,
+//!          then per name: length u16 + UTF-8 bytes
+//! records: ds u16 | kind u8 (0 = read, 1 = write) | addr u64   (LE)
+//! ```
+
+use crate::trace::{AccessKind, DsId, MemRef, Trace};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"DVFT";
+const VERSION: u8 = 1;
+
+/// Serialize a trace.
+pub fn write_binary<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&[VERSION])?;
+    let names: Vec<&str> = trace.registry.iter().map(|(_, n)| n).collect();
+    let count = u16::try_from(names.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "too many structures"))?;
+    w.write_all(&count.to_le_bytes())?;
+    for name in names {
+        let len = u16::try_from(name.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "name too long"))?;
+        w.write_all(&len.to_le_bytes())?;
+        w.write_all(name.as_bytes())?;
+    }
+    for r in &trace.refs {
+        w.write_all(&r.ds.0.to_le_bytes())?;
+        w.write_all(&[match r.kind {
+            AccessKind::Read => 0,
+            AccessKind::Write => 1,
+        }])?;
+        w.write_all(&r.addr.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_owned())
+}
+
+/// Deserialize a trace written by [`write_binary`].
+pub fn read_binary<R: Read>(mut r: R) -> io::Result<Trace> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a DVFT trace (bad magic)"));
+    }
+    let mut version = [0u8; 1];
+    r.read_exact(&mut version)?;
+    if version[0] != VERSION {
+        return Err(bad("unsupported DVFT version"));
+    }
+    let mut buf2 = [0u8; 2];
+    r.read_exact(&mut buf2)?;
+    let count = u16::from_le_bytes(buf2);
+
+    let mut trace = Trace::new();
+    for _ in 0..count {
+        r.read_exact(&mut buf2)?;
+        let len = u16::from_le_bytes(buf2) as usize;
+        let mut name = vec![0u8; len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name).map_err(|_| bad("name is not UTF-8"))?;
+        trace.registry.register(&name);
+    }
+
+    let mut record = [0u8; 11];
+    loop {
+        // Records run to EOF; a partial record is corruption.
+        match r.read(&mut record[..1])? {
+            0 => break,
+            _ => r.read_exact(&mut record[1..])?,
+        }
+        let ds = u16::from_le_bytes([record[0], record[1]]);
+        if ds >= count {
+            return Err(bad("record names unregistered structure"));
+        }
+        let kind = match record[2] {
+            0 => AccessKind::Read,
+            1 => AccessKind::Write,
+            _ => return Err(bad("bad access kind byte")),
+        };
+        let addr = u64::from_le_bytes(record[3..11].try_into().expect("8 bytes"));
+        trace.push(MemRef::new(DsId(ds), addr, kind));
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        let a = t.registry.register("A");
+        let grid = t.registry.register("Grid");
+        t.push(MemRef::read(a, 0x10));
+        t.push(MemRef::write(grid, u64::MAX));
+        t.push(MemRef::read(a, 12345));
+        t
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let back = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(back.refs, t.refs);
+        assert_eq!(back.registry.name(DsId(1)), "Grid");
+    }
+
+    #[test]
+    fn record_size_is_eleven_bytes() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let header = 4 + 1 + 2 + (2 + 1) + (2 + 4);
+        assert_eq!(buf.len(), header + 11 * t.len());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_binary(&b"NOPE"[..]).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn rejects_truncated_record() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_structure_id() {
+        let mut t = Trace::new();
+        t.registry.register("A");
+        t.push(MemRef::read(DsId(0), 1));
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        // Corrupt the record's ds id (first record byte after the header).
+        let header = 4 + 1 + 2 + 2 + 1;
+        buf[header] = 9;
+        assert!(read_binary(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_kind_byte() {
+        let mut t = Trace::new();
+        t.registry.register("A");
+        t.push(MemRef::read(DsId(0), 1));
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let header = 4 + 1 + 2 + 2 + 1;
+        buf[header + 2] = 7;
+        assert!(read_binary(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = Trace::new();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let back = read_binary(buf.as_slice()).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.registry.len(), 0);
+    }
+}

@@ -1,0 +1,372 @@
+//! The set-associative cache model.
+
+use crate::config::CacheConfig;
+use crate::replacement::{Lru, ReplacementPolicy};
+use crate::stats::CacheStats;
+use crate::trace::{AccessKind, DsId, MemRef};
+
+/// One resident cache line.
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    /// Which data structure loaded the line (writebacks are charged to it).
+    owner: DsId,
+}
+
+/// A cache set: ways plus the replacement policy's bookkeeping.
+#[derive(Debug, Clone)]
+struct Set<S> {
+    ways: Vec<Option<Line>>,
+    policy_state: S,
+}
+
+/// A dirty line written back on eviction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Writeback {
+    /// Data structure the line belongs to (charged the writeback).
+    pub owner: DsId,
+    /// Base address of the written-back line.
+    pub addr: u64,
+}
+
+/// Result of a single access, for callers that want to trace behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The line was resident.
+    Hit,
+    /// The line was fetched from main memory; if a dirty victim was evicted,
+    /// it is reported (its owner was charged one writeback).
+    Miss {
+        /// The dirty line written back, if any.
+        writeback: Option<Writeback>,
+    },
+}
+
+impl AccessOutcome {
+    /// Whether the access missed.
+    pub fn is_miss(&self) -> bool {
+        matches!(self, AccessOutcome::Miss { .. })
+    }
+}
+
+/// A write-back, write-allocate, set-associative cache parameterized by
+/// replacement policy.
+///
+/// The simulator models a single last-level cache, following the paper:
+/// "we only consider the last level cache during analysis, because it has
+/// the largest impact on the number of main memory accesses" (§III-C).
+#[derive(Debug, Clone)]
+pub struct SetAssociativeCache<P: ReplacementPolicy = Lru> {
+    config: CacheConfig,
+    policy: P,
+    sets: Vec<Set<P::SetState>>,
+    stats: CacheStats,
+}
+
+impl<P: ReplacementPolicy> SetAssociativeCache<P> {
+    /// Build an empty cache with the given geometry and policy.
+    pub fn with_policy(config: CacheConfig, policy: P) -> Self {
+        let sets = (0..config.num_sets)
+            .map(|i| Set {
+                ways: vec![None; config.associativity],
+                policy_state: policy.new_set(config.associativity, i),
+            })
+            .collect();
+        Self {
+            config,
+            policy,
+            sets,
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// Cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Statistics accumulated so far. Note: dirty lines still resident are
+    /// *not* yet counted as writebacks; call [`Self::flush`] first if the
+    /// end-of-run flush should reach main memory.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Issue one reference.
+    pub fn access(&mut self, mref: MemRef) -> AccessOutcome {
+        let block = self.config.block_of(mref.addr);
+        let set_idx = self.config.set_of(block);
+        let tag = self.config.tag_of(block);
+        let set = &mut self.sets[set_idx];
+
+        let ds_stats = self.stats.ds_mut(mref.ds);
+        match mref.kind {
+            AccessKind::Read => ds_stats.reads += 1,
+            AccessKind::Write => ds_stats.writes += 1,
+        }
+
+        // Hit path.
+        if let Some(way) = set
+            .ways
+            .iter()
+            .position(|l| l.is_some_and(|l| l.tag == tag))
+        {
+            self.policy.on_hit(&mut set.policy_state, way);
+            let line = set.ways[way].as_mut().expect("hit way is occupied");
+            if mref.kind == AccessKind::Write {
+                line.dirty = true;
+            }
+            self.stats.ds_mut(mref.ds).hits += 1;
+            return AccessOutcome::Hit;
+        }
+
+        // Miss: find a free way, or evict the policy's victim.
+        self.stats.ds_mut(mref.ds).misses += 1;
+        let (way, writeback) = match set.ways.iter().position(Option::is_none) {
+            Some(free) => (free, None),
+            None => {
+                let victim = self.policy.victim(&mut set.policy_state);
+                let old = set.ways[victim].expect("victim way is occupied");
+                let wb = if old.dirty {
+                    self.stats.ds_mut(old.owner).writebacks += 1;
+                    Some(Writeback {
+                        owner: old.owner,
+                        addr: self.config.addr_of(old.tag, set_idx),
+                    })
+                } else {
+                    None
+                };
+                (victim, wb)
+            }
+        };
+        set.ways[way] = Some(Line {
+            tag,
+            dirty: mref.kind == AccessKind::Write,
+            owner: mref.ds,
+        });
+        self.policy.on_fill(&mut set.policy_state, way);
+        AccessOutcome::Miss { writeback }
+    }
+
+    /// Write every resident dirty line back to main memory (end of run),
+    /// charging each to its owning data structure, and clear the cache
+    /// contents (statistics are kept).
+    pub fn flush(&mut self) {
+        let _ = self.drain_dirty();
+    }
+
+    /// Flush and return the dirty lines that were written back, so a
+    /// cache level above can forward them (used by the hierarchy).
+    pub fn drain_dirty(&mut self) -> Vec<Writeback> {
+        let mut drained = Vec::new();
+        for (set_idx, set) in self.sets.iter_mut().enumerate() {
+            for line in set.ways.iter_mut() {
+                if let Some(l) = line.take() {
+                    if l.dirty {
+                        self.stats.ds_mut(l.owner).writebacks += 1;
+                        drained.push(Writeback {
+                            owner: l.owner,
+                            addr: self.config.addr_of(l.tag, set_idx),
+                        });
+                    }
+                }
+            }
+        }
+        drained
+    }
+
+    /// Number of currently resident lines (diagnostic).
+    pub fn resident_lines(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.ways.iter().filter(|w| w.is_some()).count())
+            .sum()
+    }
+
+    /// Consume the cache and return its statistics without flushing.
+    pub fn into_stats(self) -> CacheStats {
+        self.stats
+    }
+}
+
+impl SetAssociativeCache<Lru> {
+    /// LRU cache (the paper's configuration).
+    pub fn new(config: CacheConfig) -> Self {
+        Self::with_policy(config, Lru)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+    use crate::replacement::{Fifo, RandomEvict, TreePlru};
+    use crate::trace::DsRegistry;
+
+    fn tiny() -> CacheConfig {
+        // 2-way, 2 sets, 16 B lines: 64 B total.
+        CacheConfig::new(2, 2, 16).unwrap()
+    }
+
+    #[test]
+    fn first_touch_misses_second_hits() {
+        let mut c = SetAssociativeCache::new(tiny());
+        let a = DsId(0);
+        assert!(c.access(MemRef::read(a, 0)).is_miss());
+        assert_eq!(c.access(MemRef::read(a, 8)), AccessOutcome::Hit);
+        assert_eq!(c.stats().ds(a).misses, 1);
+        assert_eq!(c.stats().ds(a).hits, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = SetAssociativeCache::new(tiny());
+        let a = DsId(0);
+        // Blocks 0, 2, 4 all map to set 0 (block % 2 == 0). 2-way set:
+        // loading three conflicting blocks evicts the least recent (block 0).
+        assert!(c.access(MemRef::read(a, 0)).is_miss()); // block 0
+        assert!(c.access(MemRef::read(a, 32)).is_miss()); // block 2
+        assert!(c.access(MemRef::read(a, 64)).is_miss()); // block 4, evicts 0
+        assert!(c.access(MemRef::read(a, 0)).is_miss()); // block 0 again: miss, evicts 2
+        assert_eq!(c.access(MemRef::read(a, 64)), AccessOutcome::Hit); // block 4 survived
+    }
+
+    #[test]
+    fn write_dirties_and_eviction_writes_back() {
+        let mut c = SetAssociativeCache::new(tiny());
+        let a = DsId(0);
+        let b = DsId(1);
+        c.access(MemRef::write(a, 0)); // block 0, dirty, owner a
+        c.access(MemRef::read(b, 32)); // block 2, same set
+        let out = c.access(MemRef::read(b, 64)); // evicts block 0 (LRU) -> writeback of a
+        assert_eq!(
+            out,
+            AccessOutcome::Miss {
+                writeback: Some(Writeback {
+                    owner: DsId(0),
+                    addr: 0, // victim was the line at address 0
+                })
+            }
+        );
+        assert_eq!(c.stats().ds(a).writebacks, 1);
+        assert_eq!(c.stats().ds(b).writebacks, 0);
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = SetAssociativeCache::new(tiny());
+        let a = DsId(0);
+        c.access(MemRef::read(a, 0));
+        c.access(MemRef::read(a, 32));
+        let out = c.access(MemRef::read(a, 64));
+        assert_eq!(out, AccessOutcome::Miss { writeback: None });
+        assert_eq!(c.stats().ds(a).writebacks, 0);
+    }
+
+    #[test]
+    fn writeback_reports_victim_address() {
+        let mut c = SetAssociativeCache::new(tiny());
+        let a = DsId(0);
+        c.access(MemRef::write(a, 32)); // block 2, set 0
+        c.access(MemRef::write(a, 64)); // block 4, set 0
+        // Third conflicting block evicts block 2 (LRU): its line address
+        // is 32, not the incoming 96.
+        match c.access(MemRef::read(a, 96)) {
+            AccessOutcome::Miss {
+                writeback: Some(wb),
+            } => assert_eq!(wb.addr, 32),
+            other => panic!("expected dirty eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drain_dirty_returns_resident_dirty_lines() {
+        let mut c = SetAssociativeCache::new(tiny());
+        let a = DsId(0);
+        c.access(MemRef::write(a, 0));
+        c.access(MemRef::read(a, 16));
+        let drained = c.drain_dirty();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].addr, 0);
+        assert_eq!(drained[0].owner, a);
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn flush_writes_back_resident_dirty_lines() {
+        let mut c = SetAssociativeCache::new(tiny());
+        let a = DsId(0);
+        c.access(MemRef::write(a, 0));
+        c.access(MemRef::write(a, 16)); // other set
+        c.access(MemRef::read(a, 32));
+        assert_eq!(c.stats().ds(a).writebacks, 0);
+        c.flush();
+        assert_eq!(c.stats().ds(a).writebacks, 2);
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn streaming_misses_once_per_line() {
+        // 1 KiB streamed through 16 B lines: exactly 64 compulsory misses.
+        let mut c = SetAssociativeCache::new(tiny());
+        let a = DsId(0);
+        for addr in (0..1024u64).step_by(4) {
+            c.access(MemRef::read(a, addr));
+        }
+        assert_eq!(c.stats().ds(a).misses, 1024 / 16);
+        assert_eq!(c.stats().ds(a).reads, 256);
+    }
+
+    #[test]
+    fn working_set_within_capacity_has_no_capacity_misses() {
+        // 64 B cache: touch 4 distinct blocks (= capacity), then re-touch
+        // them repeatedly; only compulsory misses occur.
+        let mut c = SetAssociativeCache::new(tiny());
+        let a = DsId(0);
+        for round in 0..10 {
+            for addr in [0u64, 16, 32, 48] {
+                let out = c.access(MemRef::read(a, addr));
+                if round == 0 {
+                    assert!(out.is_miss());
+                } else {
+                    assert_eq!(out, AccessOutcome::Hit);
+                }
+            }
+        }
+        assert_eq!(c.stats().ds(a).misses, 4);
+    }
+
+    #[test]
+    fn all_policies_agree_on_compulsory_misses() {
+        let cfg = CacheConfig::new(4, 4, 16).unwrap();
+        let refs: Vec<MemRef> = (0..64u64).map(|i| MemRef::read(DsId(0), i * 16)).collect();
+        let run_misses = |m: u64| m;
+
+        let mut lru = SetAssociativeCache::with_policy(cfg, Lru);
+        let mut fifo = SetAssociativeCache::with_policy(cfg, Fifo);
+        let mut plru = SetAssociativeCache::with_policy(cfg, TreePlru);
+        let mut rnd = SetAssociativeCache::with_policy(cfg, RandomEvict::default());
+        for r in &refs {
+            lru.access(*r);
+            fifo.access(*r);
+            plru.access(*r);
+            rnd.access(*r);
+        }
+        // A pure streaming workload has only compulsory misses regardless of
+        // replacement policy.
+        for stats in [lru.stats(), fifo.stats(), plru.stats(), rnd.stats()] {
+            assert_eq!(run_misses(stats.ds(DsId(0)).misses), 64);
+        }
+    }
+
+    #[test]
+    fn render_smoke() {
+        let mut reg = DsRegistry::new();
+        let a = reg.register("A");
+        let mut c = SetAssociativeCache::new(tiny());
+        c.access(MemRef::read(a, 0));
+        let table = c.stats().render(&reg);
+        assert!(table.contains('A'));
+    }
+}

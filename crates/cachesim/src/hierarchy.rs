@@ -1,0 +1,199 @@
+//! Two-level cache hierarchy (extension).
+//!
+//! The paper models the LLC only ("it has the largest impact on the
+//! number of main memory accesses", §III-C) and leaves richer hierarchies
+//! as ongoing work. This module provides the substrate for that study: an
+//! L1 in front of the LLC, with write-back/write-allocate at both levels
+//! and a NINE (non-inclusive, non-exclusive) relationship — fills go to
+//! both levels, LLC evictions do not back-invalidate L1.
+//!
+//! Main-memory accesses are what DVF cares about: `llc` misses plus `llc`
+//! writebacks, exactly as in the single-level model, now additionally
+//! filtered by L1.
+
+use crate::cache::SetAssociativeCache;
+use crate::config::CacheConfig;
+use crate::replacement::Lru;
+use crate::stats::{CacheStats, DsStats};
+use crate::trace::{AccessKind, DsId, MemRef, Trace};
+
+/// A two-level (L1 + LLC) write-back hierarchy with LRU at both levels.
+#[derive(Debug)]
+pub struct CacheHierarchy {
+    l1: SetAssociativeCache<Lru>,
+    llc: SetAssociativeCache<Lru>,
+}
+
+/// Per-level statistics of a hierarchy run.
+#[derive(Debug, Clone)]
+pub struct HierarchyReport {
+    /// L1 statistics (every reference goes here).
+    pub l1: CacheStats,
+    /// LLC statistics (only L1 misses and writebacks reach it).
+    pub llc: CacheStats,
+}
+
+impl HierarchyReport {
+    /// Main-memory accesses attributed to `ds`: LLC misses + writebacks.
+    pub fn mem_accesses(&self, ds: DsId) -> u64 {
+        self.llc.ds(ds).mem_accesses()
+    }
+
+    /// Aggregate main-memory accesses.
+    pub fn total_mem_accesses(&self) -> u64 {
+        self.llc.total().mem_accesses()
+    }
+
+    /// Aggregate per-level summary `(l1, llc)`.
+    pub fn totals(&self) -> (DsStats, DsStats) {
+        (self.l1.total(), self.llc.total())
+    }
+}
+
+impl CacheHierarchy {
+    /// Build a hierarchy. `l1` should be smaller than `llc` (asserted
+    /// loosely: capacity must not exceed the LLC's).
+    pub fn new(l1: CacheConfig, llc: CacheConfig) -> Self {
+        assert!(
+            l1.capacity() <= llc.capacity(),
+            "L1 ({} B) larger than LLC ({} B)",
+            l1.capacity(),
+            llc.capacity()
+        );
+        Self {
+            l1: SetAssociativeCache::new(l1),
+            llc: SetAssociativeCache::new(llc),
+        }
+    }
+
+    /// Issue one reference.
+    pub fn access(&mut self, mref: MemRef) {
+        let outcome = self.l1.access(mref);
+        if let crate::cache::AccessOutcome::Miss { writeback } = outcome {
+            // L1's dirty victim is written back into the LLC at the
+            // victim's own line address.
+            if let Some(wb) = writeback {
+                let _ = self
+                    .llc
+                    .access(MemRef::new(wb.owner, wb.addr, AccessKind::Write));
+            }
+            // The fill itself: read the line from the LLC.
+            let _ = self
+                .llc
+                .access(MemRef::new(mref.ds, mref.addr, AccessKind::Read));
+        }
+    }
+
+    /// Flush both levels: L1 dirty lines drain into the LLC (possibly
+    /// dirtying it), then LLC dirty lines count as main-memory writebacks.
+    pub fn flush(&mut self) {
+        for wb in self.l1.drain_dirty() {
+            let _ = self
+                .llc
+                .access(MemRef::new(wb.owner, wb.addr, AccessKind::Write));
+        }
+        self.llc.flush();
+    }
+
+    /// Finish and report.
+    pub fn into_report(mut self) -> HierarchyReport {
+        self.flush();
+        HierarchyReport {
+            l1: self.l1.stats().clone(),
+            llc: self.llc.into_stats(),
+        }
+    }
+}
+
+/// Simulate a whole trace through an L1+LLC hierarchy.
+pub fn simulate_hierarchy(trace: &Trace, l1: CacheConfig, llc: CacheConfig) -> HierarchyReport {
+    let mut h = CacheHierarchy::new(l1, llc);
+    for &r in &trace.refs {
+        h.access(r);
+    }
+    h.into_report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::simulate;
+
+    fn l1() -> CacheConfig {
+        CacheConfig::new(2, 16, 32).unwrap() // 1 KiB
+    }
+
+    fn llc() -> CacheConfig {
+        CacheConfig::new(4, 64, 32).unwrap() // 8 KiB
+    }
+
+    fn streaming_trace(bytes: u64) -> Trace {
+        let mut t = Trace::new();
+        let a = t.registry.register("A");
+        for addr in (0..bytes).step_by(8) {
+            t.push(MemRef::read(a, addr));
+        }
+        t
+    }
+
+    #[test]
+    fn streaming_sees_same_dram_traffic_as_llc_alone() {
+        // Pure streaming: L1 filters nothing at line granularity; DRAM
+        // loads equal the single-level LLC count.
+        let trace = streaming_trace(64 * 1024);
+        let hier = simulate_hierarchy(&trace, l1(), llc());
+        let single = simulate(&trace, llc());
+        let a = trace.registry.id("A").unwrap();
+        assert_eq!(hier.mem_accesses(a), single.ds(a).mem_accesses());
+    }
+
+    #[test]
+    fn l1_absorbs_hot_working_set() {
+        // A tiny working set reused many times: after the first pass
+        // everything hits in L1 and the LLC sees almost nothing.
+        let mut t = Trace::new();
+        let a = t.registry.register("A");
+        for _ in 0..100 {
+            for addr in (0..512u64).step_by(8) {
+                t.push(MemRef::read(a, addr));
+            }
+        }
+        let report = simulate_hierarchy(&t, l1(), llc());
+        let a_id = t.registry.id("A").unwrap();
+        let l1_stats = report.l1.ds(a_id);
+        assert_eq!(l1_stats.misses, 512 / 32); // compulsory only
+        assert_eq!(report.llc.ds(a_id).reads, 512 / 32); // one fill each
+        assert_eq!(report.mem_accesses(a_id), 512 / 32);
+    }
+
+    #[test]
+    fn dram_traffic_never_exceeds_l1_misses_plus_writebacks() {
+        let trace = streaming_trace(32 * 1024);
+        let report = simulate_hierarchy(&trace, l1(), llc());
+        let (l1_total, llc_total) = report.totals();
+        assert!(llc_total.misses <= l1_total.misses);
+        assert_eq!(l1_total.accesses(), trace.len() as u64);
+    }
+
+    #[test]
+    fn writes_propagate_as_writebacks() {
+        // Write a region larger than both caches; every line must
+        // eventually be written back to memory.
+        let mut t = Trace::new();
+        let a = t.registry.register("A");
+        for addr in (0..32 * 1024u64).step_by(8) {
+            t.push(MemRef::write(a, addr));
+        }
+        let report = simulate_hierarchy(&t, l1(), llc());
+        let a_id = t.registry.id("A").unwrap();
+        let lines = 32 * 1024 / 32;
+        assert_eq!(report.llc.ds(a_id).writebacks, lines);
+        assert_eq!(report.mem_accesses(a_id), 2 * lines); // load + store each line
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than LLC")]
+    fn rejects_inverted_hierarchy() {
+        let _ = CacheHierarchy::new(llc(), l1());
+    }
+}

@@ -1,0 +1,372 @@
+//! Replacement policies.
+//!
+//! The paper's simulator uses LRU ("The cache simulation is based on the
+//! popular LRU algorithm", §IV), and the analytical models assume LRU
+//! behaviour (e.g. Eq. 11's argument about which blocks are evicted first).
+//! FIFO, tree-PLRU and random variants are provided for the ablation study
+//! quantifying how sensitive the models are to that assumption.
+
+/// A per-set replacement policy.
+///
+/// The cache owns one `SetState` per set; the policy is stateless apart
+/// from that (so a single policy value can serve the whole cache).
+pub trait ReplacementPolicy {
+    /// Bookkeeping carried per cache set.
+    type SetState: Clone + std::fmt::Debug;
+
+    /// Fresh state for a set with `ways` ways, distinguished by `set_index`
+    /// (used to seed per-set randomness deterministically).
+    fn new_set(&self, ways: usize, set_index: usize) -> Self::SetState;
+
+    /// Called when `way` hits.
+    fn on_hit(&self, state: &mut Self::SetState, way: usize);
+
+    /// Called when a line is filled into `way` (after a miss).
+    fn on_fill(&self, state: &mut Self::SetState, way: usize);
+
+    /// Choose the way to evict. Only called when every way is occupied.
+    fn victim(&self, state: &mut Self::SetState) -> usize;
+
+    /// Human-readable policy name.
+    fn name(&self) -> &'static str;
+}
+
+/// Least-recently-used. The paper's baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lru;
+
+/// Recency stamps per way; larger = more recent.
+#[derive(Debug, Clone)]
+pub struct LruState {
+    stamps: Vec<u64>,
+    clock: u64,
+}
+
+impl ReplacementPolicy for Lru {
+    type SetState = LruState;
+
+    fn new_set(&self, ways: usize, _set_index: usize) -> LruState {
+        LruState {
+            stamps: vec![0; ways],
+            clock: 0,
+        }
+    }
+
+    fn on_hit(&self, state: &mut LruState, way: usize) {
+        state.clock += 1;
+        state.stamps[way] = state.clock;
+    }
+
+    fn on_fill(&self, state: &mut LruState, way: usize) {
+        state.clock += 1;
+        state.stamps[way] = state.clock;
+    }
+
+    fn victim(&self, state: &mut LruState) -> usize {
+        let (way, _) = state
+            .stamps
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, s)| s)
+            .expect("set has at least one way");
+        way
+    }
+
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+}
+
+/// First-in first-out: evicts the oldest *fill*, ignoring hits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fifo;
+
+impl ReplacementPolicy for Fifo {
+    type SetState = LruState; // same shape: fill stamps only
+
+    fn new_set(&self, ways: usize, _set_index: usize) -> LruState {
+        LruState {
+            stamps: vec![0; ways],
+            clock: 0,
+        }
+    }
+
+    fn on_hit(&self, _state: &mut LruState, _way: usize) {}
+
+    fn on_fill(&self, state: &mut LruState, way: usize) {
+        state.clock += 1;
+        state.stamps[way] = state.clock;
+    }
+
+    fn victim(&self, state: &mut LruState) -> usize {
+        let (way, _) = state
+            .stamps
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, s)| s)
+            .expect("set has at least one way");
+        way
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+}
+
+/// Tree-based pseudo-LRU (the common hardware approximation).
+///
+/// Maintains a binary tree of direction bits over the ways; a hit flips the
+/// bits along its path to point *away* from the accessed way, and the victim
+/// is found by following the bits from the root. Non-power-of-two way counts
+/// use the ceiling tree with out-of-range leaves folded back into range.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TreePlru;
+
+/// Direction bits of the PLRU tree, heap-ordered (`node 0` is the root).
+#[derive(Debug, Clone)]
+pub struct PlruState {
+    bits: Vec<bool>,
+    ways: usize,
+    /// `ways` rounded up to a power of two: the leaf count of the bit tree.
+    virtual_ways: usize,
+}
+
+impl ReplacementPolicy for TreePlru {
+    type SetState = PlruState;
+
+    fn new_set(&self, ways: usize, _set_index: usize) -> PlruState {
+        let virtual_ways = ways.next_power_of_two();
+        PlruState {
+            bits: vec![false; virtual_ways.saturating_sub(1)],
+            ways,
+            virtual_ways,
+        }
+    }
+
+    fn on_hit(&self, state: &mut PlruState, way: usize) {
+        touch(state, way);
+    }
+
+    fn on_fill(&self, state: &mut PlruState, way: usize) {
+        touch(state, way);
+    }
+
+    fn victim(&self, state: &mut PlruState) -> usize {
+        if state.ways == 1 {
+            return 0;
+        }
+        // Follow direction bits from the root: bit == false -> go left.
+        let mut node = 0;
+        let levels = state.virtual_ways.trailing_zeros();
+        let mut way = 0;
+        for _ in 0..levels {
+            let go_right = state.bits[node];
+            way = (way << 1) | usize::from(go_right);
+            node = 2 * node + 1 + usize::from(go_right);
+        }
+        // Fold virtual leaves beyond the real way count back into range.
+        way % state.ways
+    }
+
+    fn name(&self) -> &'static str {
+        "plru"
+    }
+}
+
+/// Update the PLRU tree so every bit on `way`'s root path points away from
+/// it.
+fn touch(state: &mut PlruState, way: usize) {
+    if state.ways == 1 {
+        return;
+    }
+    let levels = state.virtual_ways.trailing_zeros();
+    let mut node = 0;
+    for level in (0..levels).rev() {
+        let went_right = (way >> level) & 1 == 1;
+        // Point away from the branch we took.
+        state.bits[node] = !went_right;
+        node = 2 * node + 1 + usize::from(went_right);
+    }
+}
+
+/// Uniform random eviction, deterministic per (seed, set) via SplitMix64.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomEvict {
+    seed: u64,
+}
+
+impl RandomEvict {
+    /// Policy whose per-set streams derive from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl Default for RandomEvict {
+    fn default() -> Self {
+        Self::new(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+/// SplitMix64 stream state for one set.
+#[derive(Debug, Clone)]
+pub struct RandState {
+    x: u64,
+    ways: usize,
+}
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ReplacementPolicy for RandomEvict {
+    type SetState = RandState;
+
+    fn new_set(&self, ways: usize, set_index: usize) -> RandState {
+        RandState {
+            x: self.seed ^ (set_index as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+            ways,
+        }
+    }
+
+    fn on_hit(&self, _state: &mut RandState, _way: usize) {}
+
+    fn on_fill(&self, _state: &mut RandState, _way: usize) {}
+
+    fn victim(&self, state: &mut RandState) -> usize {
+        (splitmix64(&mut state.x) % state.ways as u64) as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Dynamic policy selector for command-line tools and sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// [`Lru`].
+    Lru,
+    /// [`Fifo`].
+    Fifo,
+    /// [`TreePlru`].
+    Plru,
+    /// [`RandomEvict`] with its default seed.
+    Random,
+}
+
+impl PolicyKind {
+    /// All selectable policies.
+    pub const ALL: [PolicyKind; 4] = [
+        PolicyKind::Lru,
+        PolicyKind::Fifo,
+        PolicyKind::Plru,
+        PolicyKind::Random,
+    ];
+
+    /// Stable name (matches each policy's `name()`).
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "lru",
+            PolicyKind::Fifo => "fifo",
+            PolicyKind::Plru => "plru",
+            PolicyKind::Random => "random",
+        }
+    }
+}
+
+impl std::str::FromStr for PolicyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "lru" => Ok(PolicyKind::Lru),
+            "fifo" => Ok(PolicyKind::Fifo),
+            "plru" => Ok(PolicyKind::Plru),
+            "random" => Ok(PolicyKind::Random),
+            other => Err(format!("unknown replacement policy {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive<P: ReplacementPolicy>(policy: &P, ways: usize, hits: &[usize]) -> usize {
+        let mut state = policy.new_set(ways, 0);
+        for (i, &w) in hits.iter().enumerate() {
+            if i < ways {
+                policy.on_fill(&mut state, w);
+            } else {
+                policy.on_hit(&mut state, w);
+            }
+        }
+        policy.victim(&mut state)
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // Fill ways 0..4, then touch 0 and 1 again: victim must be 2.
+        assert_eq!(drive(&Lru, 4, &[0, 1, 2, 3, 0, 1]), 2);
+    }
+
+    #[test]
+    fn fifo_ignores_hits() {
+        // Fill order 0,1,2,3, then hit 0 repeatedly: victim is still 0.
+        assert_eq!(drive(&Fifo, 4, &[0, 1, 2, 3, 0, 0, 0]), 0);
+    }
+
+    #[test]
+    fn plru_victim_avoids_most_recent() {
+        let policy = TreePlru;
+        let mut state = policy.new_set(4, 0);
+        for w in 0..4 {
+            policy.on_fill(&mut state, w);
+        }
+        let v = policy.victim(&mut state);
+        // The most recently touched way (3) is never the PLRU victim.
+        assert_ne!(v, 3);
+    }
+
+    #[test]
+    fn plru_single_way() {
+        let policy = TreePlru;
+        let mut state = policy.new_set(1, 0);
+        policy.on_fill(&mut state, 0);
+        assert_eq!(policy.victim(&mut state), 0);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let policy = RandomEvict::new(42);
+        let mut s1 = policy.new_set(8, 3);
+        let mut s2 = policy.new_set(8, 3);
+        let v1: Vec<usize> = (0..16).map(|_| policy.victim(&mut s1)).collect();
+        let v2: Vec<usize> = (0..16).map(|_| policy.victim(&mut s2)).collect();
+        assert_eq!(v1, v2);
+        assert!(v1.iter().all(|&w| w < 8));
+    }
+
+    #[test]
+    fn random_differs_across_sets() {
+        let policy = RandomEvict::new(42);
+        let mut s1 = policy.new_set(8, 0);
+        let mut s2 = policy.new_set(8, 1);
+        let v1: Vec<usize> = (0..32).map(|_| policy.victim(&mut s1)).collect();
+        let v2: Vec<usize> = (0..32).map(|_| policy.victim(&mut s2)).collect();
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn policy_kind_parses() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(kind.name().parse::<PolicyKind>().unwrap(), kind);
+        }
+        assert!("mru".parse::<PolicyKind>().is_err());
+    }
+}

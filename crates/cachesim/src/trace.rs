@@ -1,0 +1,287 @@
+//! Memory reference traces.
+//!
+//! The paper collects memory references with a Pin-based instrumentation
+//! tool and feeds them to the cache simulator (§IV). Here the traced kernels
+//! in `dvf-kernels` produce the same logical stream: a sequence of
+//! [`MemRef`]s, each attributed to a named *data structure* — the unit at
+//! which DVF is defined.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Identifier of a registered data structure within a [`DsRegistry`].
+///
+/// Small and `Copy` so that every traced access stays cheap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DsId(pub u16);
+
+impl DsId {
+    /// Index into per-data-structure stats tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ds#{}", self.0)
+    }
+}
+
+/// Read or write access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load from memory.
+    Read,
+    /// A store to memory.
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "R"),
+            AccessKind::Write => write!(f, "W"),
+        }
+    }
+}
+
+impl FromStr for AccessKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "R" | "r" => Ok(AccessKind::Read),
+            "W" | "w" => Ok(AccessKind::Write),
+            other => Err(format!("unknown access kind {other:?}")),
+        }
+    }
+}
+
+/// One memory reference: a byte address touched on behalf of a data
+/// structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRef {
+    /// Owning data structure.
+    pub ds: DsId,
+    /// Byte address (within the traced process's virtual layout).
+    pub addr: u64,
+    /// Load or store.
+    pub kind: AccessKind,
+}
+
+impl MemRef {
+    /// Construct a reference.
+    #[inline]
+    pub fn new(ds: DsId, addr: u64, kind: AccessKind) -> Self {
+        Self { ds, addr, kind }
+    }
+
+    /// Shorthand for a read.
+    #[inline]
+    pub fn read(ds: DsId, addr: u64) -> Self {
+        Self::new(ds, addr, AccessKind::Read)
+    }
+
+    /// Shorthand for a write.
+    #[inline]
+    pub fn write(ds: DsId, addr: u64) -> Self {
+        Self::new(ds, addr, AccessKind::Write)
+    }
+}
+
+/// Registry mapping data-structure names (e.g. `"A"`, `"T"`, `"Grid"`) to
+/// compact [`DsId`]s.
+#[derive(Debug, Clone, Default)]
+pub struct DsRegistry {
+    names: Vec<String>,
+}
+
+impl DsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a data structure, returning its id. Registering the same
+    /// name twice returns the existing id.
+    pub fn register(&mut self, name: &str) -> DsId {
+        if let Some(pos) = self.names.iter().position(|n| n == name) {
+            return DsId(pos as u16);
+        }
+        assert!(
+            self.names.len() < u16::MAX as usize,
+            "too many data structures"
+        );
+        self.names.push(name.to_owned());
+        DsId((self.names.len() - 1) as u16)
+    }
+
+    /// Look up an id by name.
+    pub fn id(&self, name: &str) -> Option<DsId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|p| DsId(p as u16))
+    }
+
+    /// Name of a registered id.
+    pub fn name(&self, id: DsId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of registered data structures.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over `(DsId, name)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (DsId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (DsId(i as u16), n.as_str()))
+    }
+}
+
+/// An in-memory reference trace plus the registry naming its data
+/// structures.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Names of the data structures appearing in `refs`.
+    pub registry: DsRegistry,
+    /// The reference stream, in program order.
+    pub refs: Vec<MemRef>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of references.
+    pub fn len(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Whether the trace holds no references.
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+
+    /// Append a reference.
+    #[inline]
+    pub fn push(&mut self, r: MemRef) {
+        self.refs.push(r);
+    }
+
+    /// Serialize to the simple line format `name kind addr` (one reference
+    /// per line, addresses in hex). Useful for debugging and for feeding
+    /// external tools.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(self.refs.len() * 16);
+        for r in &self.refs {
+            let _ = writeln!(out, "{} {} {:#x}", self.registry.name(r.ds), r.kind, r.addr);
+        }
+        out
+    }
+
+    /// Parse the format produced by [`Trace::to_text`].
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut trace = Trace::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (name, kind, addr) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(n), Some(k), Some(a)) => (n, k, a),
+                _ => return Err(format!("line {}: expected `name kind addr`", lineno + 1)),
+            };
+            let kind: AccessKind = kind
+                .parse()
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let addr = if let Some(hex) = addr.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                addr.parse()
+            }
+            .map_err(|e| format!("line {}: bad address: {e}", lineno + 1))?;
+            let ds = trace.registry.register(name);
+            trace.push(MemRef::new(ds, addr, kind));
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_deduplicates() {
+        let mut reg = DsRegistry::new();
+        let a = reg.register("A");
+        let b = reg.register("B");
+        let a2 = reg.register("A");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(reg.name(a), "A");
+        assert_eq!(reg.id("B"), Some(b));
+        assert_eq!(reg.id("C"), None);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn registry_iterates_in_order() {
+        let mut reg = DsRegistry::new();
+        reg.register("x");
+        reg.register("y");
+        let names: Vec<_> = reg.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, ["x", "y"]);
+    }
+
+    #[test]
+    fn trace_text_roundtrip() {
+        let mut t = Trace::new();
+        let a = t.registry.register("A");
+        let b = t.registry.register("B");
+        t.push(MemRef::read(a, 0x1000));
+        t.push(MemRef::write(b, 0x2008));
+        t.push(MemRef::read(a, 0x1008));
+
+        let text = t.to_text();
+        let back = Trace::from_text(&text).unwrap();
+        assert_eq!(back.refs, t.refs);
+        assert_eq!(back.registry.name(a), "A");
+    }
+
+    #[test]
+    fn trace_text_rejects_garbage() {
+        assert!(Trace::from_text("A R").is_err());
+        assert!(Trace::from_text("A X 0x10").is_err());
+        assert!(Trace::from_text("A R zz").is_err());
+    }
+
+    #[test]
+    fn trace_text_skips_comments_and_blanks() {
+        let t = Trace::from_text("# comment\n\nA R 0x10\n").unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn access_kind_parses() {
+        assert_eq!("R".parse::<AccessKind>().unwrap(), AccessKind::Read);
+        assert_eq!("w".parse::<AccessKind>().unwrap(), AccessKind::Write);
+        assert!("q".parse::<AccessKind>().is_err());
+    }
+}

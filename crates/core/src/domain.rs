@@ -1,0 +1,145 @@
+//! DVF for hardware components beyond main memory.
+//!
+//! The paper limits its study to DRAM but notes that "the definition of
+//! DVF is also applicable to other hardware components (e.g., cache
+//! hierarchy, register file and network interface card)" (§I). This
+//! module provides that generalization: a [`HardwareDomain`] carries a
+//! component's failure rate, and a structure's per-domain access profile
+//! supplies the exposure (`S_d` = bytes resident *in that component*,
+//! `N_ha` = accesses *to that component*).
+//!
+//! For example, a structure that fits in cache has few main-memory
+//! accesses (low DRAM DVF) but every reference hits SRAM (high cache
+//! exposure) — selective protection must weigh both.
+
+use crate::dvf::n_error;
+use crate::fit::{EccScheme, FitRate};
+
+/// A hardware component with its own failure characteristics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HardwareDomain {
+    /// Component name (`"dram"`, `"llc"`, …).
+    pub name: String,
+    /// Failure rate of the component per Mbit.
+    pub fit: FitRate,
+}
+
+impl HardwareDomain {
+    /// Main-memory domain with the given ECC scheme (Table VII rates).
+    pub fn main_memory(ecc: EccScheme) -> Self {
+        Self {
+            name: "dram".to_owned(),
+            fit: FitRate::of(ecc),
+        }
+    }
+
+    /// An SRAM cache domain. SRAM soft-error rates are typically around
+    /// 10⁻³–10⁻¹ FIT/Mbit after interleaving and SECDED; the rate is a
+    /// parameter because it varies by node and process.
+    pub fn cache(fit_per_mbit: f64) -> Self {
+        Self {
+            name: "llc".to_owned(),
+            fit: FitRate(fit_per_mbit),
+        }
+    }
+}
+
+/// A data structure's exposure within one domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DomainExposure {
+    /// Bytes of the structure resident in the component (for DRAM, the
+    /// full footprint `S_d`; for a cache, at most the structure's share
+    /// of the capacity).
+    pub resident_bytes: u64,
+    /// Accesses to the component caused by the structure (for DRAM,
+    /// `N_ha`; for a cache, every load/store that reaches it).
+    pub accesses: f64,
+}
+
+/// Per-domain DVF: Eq. 1 with the domain's failure rate and the
+/// structure's exposure in that domain.
+pub fn dvf_in(domain: &HardwareDomain, time_s: f64, exposure: DomainExposure) -> f64 {
+    n_error(domain.fit, time_s, exposure.resident_bytes) * exposure.accesses
+}
+
+/// Cross-domain DVF: the sum over every domain the structure occupies
+/// (errors in any component corrupt the same logical data).
+pub fn dvf_across(domains: &[(HardwareDomain, DomainExposure)], time_s: f64) -> f64 {
+    domains.iter().map(|(d, e)| dvf_in(d, time_s, *e)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_domain_matches_plain_dvf() {
+        let domain = HardwareDomain::main_memory(EccScheme::None);
+        let exposure = DomainExposure {
+            resident_bytes: 1 << 20,
+            accesses: 1e4,
+        };
+        let via_domain = dvf_in(&domain, 10.0, exposure);
+        let direct = crate::dvf::dvf_d(FitRate::of(EccScheme::None), 10.0, 1 << 20, 1e4);
+        assert_eq!(via_domain, direct);
+    }
+
+    #[test]
+    fn cache_resident_structure_shifts_vulnerability() {
+        // A 32 KiB structure fitting a protected cache: DRAM sees only the
+        // compulsory fills, the cache sees every reference.
+        let dram = HardwareDomain::main_memory(EccScheme::None);
+        let llc = HardwareDomain::cache(0.1);
+        let t = 1.0;
+        let dram_dvf = dvf_in(
+            &dram,
+            t,
+            DomainExposure {
+                resident_bytes: 32 << 10,
+                accesses: 512.0, // fills only
+            },
+        );
+        let llc_dvf = dvf_in(
+            &llc,
+            t,
+            DomainExposure {
+                resident_bytes: 32 << 10,
+                accesses: 1e7, // every reference
+            },
+        );
+        // Despite SRAM's far lower FIT, the access-count asymmetry keeps
+        // the cache exposure non-negligible: both must be considered.
+        assert!(llc_dvf > 0.0 && dram_dvf > 0.0);
+        let combined = dvf_across(
+            &[
+                (
+                    dram.clone(),
+                    DomainExposure {
+                        resident_bytes: 32 << 10,
+                        accesses: 512.0,
+                    },
+                ),
+                (
+                    llc.clone(),
+                    DomainExposure {
+                        resident_bytes: 32 << 10,
+                        accesses: 1e7,
+                    },
+                ),
+            ],
+            t,
+        );
+        assert!((combined - (dram_dvf + llc_dvf)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn stronger_component_protection_lowers_domain_dvf() {
+        let weak = HardwareDomain::cache(1.0);
+        let strong = HardwareDomain::cache(0.001);
+        let e = DomainExposure {
+            resident_bytes: 4096,
+            accesses: 1e6,
+        };
+        assert!(dvf_in(&strong, 1.0, e) < dvf_in(&weak, 1.0, e));
+    }
+}

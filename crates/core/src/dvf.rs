@@ -1,0 +1,360 @@
+//! The Data Vulnerability Factor (paper §III-A, Eqs. 1–2).
+//!
+//! ```text
+//! DVF_d = N_error · N_ha = FIT · T · S_d · N_ha        (Eq. 1)
+//! DVF_a = Σ_i DVF_d_i                                  (Eq. 2)
+//! ```
+//!
+//! Units (paper Table I): `FIT` is failures per 10⁹ hours per Mbit, `T` the
+//! execution time, `S_d` the data-structure size. We take `T` in seconds
+//! and `S_d` in bytes and normalize inside, so `N_error` is the expected
+//! number of raw memory errors striking the structure during the run.
+
+use crate::fit::FitRate;
+
+/// Seconds per hour, for FIT normalization.
+const SECONDS_PER_HOUR: f64 = 3600.0;
+/// Bits per megabit.
+const BITS_PER_MBIT: f64 = 1e6;
+
+/// `N_error`: expected errors striking `size_bytes` of memory over
+/// `time_s` seconds at the given failure rate.
+pub fn n_error(fit: FitRate, time_s: f64, size_bytes: u64) -> f64 {
+    let mbit = size_bytes as f64 * 8.0 / BITS_PER_MBIT;
+    let hours = time_s / SECONDS_PER_HOUR;
+    fit.expected_failures(mbit, hours)
+}
+
+/// `DVF_d` for one data structure (Eq. 1).
+pub fn dvf_d(fit: FitRate, time_s: f64, size_bytes: u64, n_ha: f64) -> f64 {
+    n_error(fit, time_s, size_bytes) * n_ha
+}
+
+/// One data structure's resilience profile: its footprint and the
+/// main-memory access count the CGPMAC models estimated for it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataStructureProfile {
+    /// Name (e.g. `"A"`, `"T"`, `"Grid"`).
+    pub name: String,
+    /// Footprint `S_d` in bytes.
+    pub size_bytes: u64,
+    /// Estimated main-memory accesses `N_ha`.
+    pub n_ha: f64,
+}
+
+impl DataStructureProfile {
+    /// Build a profile.
+    pub fn new(name: impl Into<String>, size_bytes: u64, n_ha: f64) -> Self {
+        Self {
+            name: name.into(),
+            size_bytes,
+            n_ha,
+        }
+    }
+
+    /// `DVF_d` under the given failure rate and execution time.
+    pub fn dvf(&self, fit: FitRate, time_s: f64) -> f64 {
+        dvf_d(fit, time_s, self.size_bytes, self.n_ha)
+    }
+}
+
+/// An application's DVF report: per-structure DVFs and their sum (Eq. 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DvfReport {
+    /// Application name.
+    pub app: String,
+    /// Failure rate used.
+    pub fit: FitRate,
+    /// Execution time `T` in seconds.
+    pub time_s: f64,
+    /// Per-structure `(profile, DVF_d)` in declaration order.
+    pub structures: Vec<(DataStructureProfile, f64)>,
+}
+
+impl DvfReport {
+    /// Compute a report for an application's major data structures.
+    pub fn compute(
+        app: impl Into<String>,
+        fit: FitRate,
+        time_s: f64,
+        profiles: Vec<DataStructureProfile>,
+    ) -> Self {
+        let structures = profiles
+            .into_iter()
+            .map(|p| {
+                let v = p.dvf(fit, time_s);
+                (p, v)
+            })
+            .collect();
+        Self {
+            app: app.into(),
+            fit,
+            time_s,
+            structures,
+        }
+    }
+
+    /// `DVF_a` (Eq. 2): sum over the major data structures.
+    pub fn dvf_app(&self) -> f64 {
+        self.structures.iter().map(|(_, v)| v).sum()
+    }
+
+    /// DVF of one structure by name.
+    pub fn dvf_of(&self, name: &str) -> Option<f64> {
+        self.structures
+            .iter()
+            .find(|(p, _)| p.name == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The most vulnerable structure (largest DVF), if any.
+    pub fn most_vulnerable(&self) -> Option<(&DataStructureProfile, f64)> {
+        self.structures
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(p, v)| (p, *v))
+    }
+
+    /// Render the report as an aligned text table (one row per structure
+    /// plus the application row, mirroring the paper's Fig. 5 bar groups).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<12} {:>14} {:>16} {:>14}",
+            "data", "size (bytes)", "N_ha", "DVF"
+        );
+        for (p, v) in &self.structures {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>14} {:>16.3e} {:>14.6e}",
+                p.name, p.size_bytes, p.n_ha, v
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<12} {:>14} {:>16} {:>14.6e}",
+            self.app,
+            "",
+            "",
+            self.dvf_app()
+        );
+        out
+    }
+}
+
+/// One execution phase's exposure of a data structure: how long the phase
+/// runs and how often the structure's memory is accessed during it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseExposure {
+    /// Phase duration in seconds.
+    pub duration_s: f64,
+    /// Main-memory accesses to the structure during the phase.
+    pub n_ha: f64,
+}
+
+/// Time-resolved DVF (refinement): weight each phase's accesses by the
+/// errors accumulated *up to that phase*.
+///
+/// Classic DVF (Eq. 1) multiplies total errors by total accesses, which
+/// implicitly assumes every access is exposed to every error. Physically,
+/// an access can only consume errors that struck *before* it; accesses
+/// early in the run are safer. This refinement — an instance of the
+/// weighting the paper's §III-A anticipates — computes
+///
+/// ```text
+/// DVF_t = Σ_phases  N_error(FIT, t_mid(phase), S_d) · N_ha(phase)
+/// ```
+///
+/// with `t_mid` the phase's midpoint. For a single uniform phase it
+/// equals `DVF/2` (every access sees on average half the run's errors),
+/// so compare values only against other time-resolved values.
+///
+/// Motivating case: the validation harness (`dvf-repro --bin
+/// validate_dvf`) shows classic DVF mis-ranks MC's `G`/`E` because `G`'s
+/// accesses are front-loaded; this refinement restores the physical
+/// order.
+pub fn timed_dvf_d(fit: FitRate, size_bytes: u64, phases: &[PhaseExposure]) -> f64 {
+    let mut elapsed = 0.0;
+    let mut acc = 0.0;
+    for p in phases {
+        let t_mid = elapsed + p.duration_s / 2.0;
+        acc += n_error(fit, t_mid, size_bytes) * p.n_ha;
+        elapsed += p.duration_s;
+    }
+    acc
+}
+
+/// The weighted refinement the paper anticipates (§III-A): "a further
+/// refined definition of DVF could assign a weighting factor to each term".
+///
+/// `DVF_d = N_error^α · N_ha^β`; `α = β = 1` recovers Eq. 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedDvf {
+    /// Exponent on `N_error`.
+    pub alpha: f64,
+    /// Exponent on `N_ha`.
+    pub beta: f64,
+}
+
+impl Default for WeightedDvf {
+    fn default() -> Self {
+        Self {
+            alpha: 1.0,
+            beta: 1.0,
+        }
+    }
+}
+
+impl WeightedDvf {
+    /// Weighted DVF for one structure.
+    pub fn dvf_d(&self, fit: FitRate, time_s: f64, size_bytes: u64, n_ha: f64) -> f64 {
+        n_error(fit, time_s, size_bytes).powf(self.alpha) * n_ha.powf(self.beta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit::EccScheme;
+
+    fn fit() -> FitRate {
+        FitRate::of(EccScheme::None)
+    }
+
+    #[test]
+    fn n_error_unit_conversion() {
+        // 1 MiB for 3600 s at 5000 FIT/Mbit:
+        // mbit = 2^20 * 8 / 1e6 = 8.388608; hours = 1.
+        // N_error = 5000 * 1 * 8.388608 / 1e9.
+        let expected = 5000.0 * 8.388_608 / 1e9;
+        assert!((n_error(fit(), 3600.0, 1 << 20) - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dvf_is_monotone_in_every_factor() {
+        let base = dvf_d(fit(), 10.0, 1000, 500.0);
+        assert!(dvf_d(fit(), 20.0, 1000, 500.0) > base);
+        assert!(dvf_d(fit(), 10.0, 2000, 500.0) > base);
+        assert!(dvf_d(fit(), 10.0, 1000, 900.0) > base);
+        assert!(dvf_d(FitRate(9000.0), 10.0, 1000, 500.0) > base);
+    }
+
+    #[test]
+    fn dvf_a_is_sum() {
+        let report = DvfReport::compute(
+            "vm",
+            fit(),
+            1.0,
+            vec![
+                DataStructureProfile::new("A", 1600, 62.5),
+                DataStructureProfile::new("B", 1600, 50.0),
+                DataStructureProfile::new("C", 1600, 50.0),
+            ],
+        );
+        let total: f64 = report.structures.iter().map(|(_, v)| v).sum();
+        assert!((report.dvf_app() - total).abs() < 1e-18);
+        assert_eq!(report.structures.len(), 3);
+    }
+
+    #[test]
+    fn most_vulnerable_picks_max() {
+        let report = DvfReport::compute(
+            "vm",
+            fit(),
+            1.0,
+            vec![
+                DataStructureProfile::new("A", 3200, 63.0),
+                DataStructureProfile::new("B", 1600, 50.0),
+            ],
+        );
+        assert_eq!(report.most_vulnerable().unwrap().0.name, "A");
+        assert!(report.dvf_of("A").unwrap() > report.dvf_of("B").unwrap());
+        assert!(report.dvf_of("Z").is_none());
+    }
+
+    #[test]
+    fn timed_single_uniform_phase_is_half_classic() {
+        let phases = [PhaseExposure {
+            duration_s: 10.0,
+            n_ha: 500.0,
+        }];
+        let timed = timed_dvf_d(fit(), 1 << 20, &phases);
+        let classic = dvf_d(fit(), 10.0, 1 << 20, 500.0);
+        assert!((timed - classic / 2.0).abs() < 1e-15 * classic);
+    }
+
+    #[test]
+    fn timed_late_accesses_are_more_vulnerable() {
+        // Same totals, but one structure's accesses come in the first
+        // phase and the other's in the last: the late one is more exposed.
+        let early = [
+            PhaseExposure {
+                duration_s: 1.0,
+                n_ha: 100.0,
+            },
+            PhaseExposure {
+                duration_s: 9.0,
+                n_ha: 0.0,
+            },
+        ];
+        let late = [
+            PhaseExposure {
+                duration_s: 1.0,
+                n_ha: 0.0,
+            },
+            PhaseExposure {
+                duration_s: 9.0,
+                n_ha: 100.0,
+            },
+        ];
+        let e = timed_dvf_d(fit(), 4096, &early);
+        let l = timed_dvf_d(fit(), 4096, &late);
+        assert!(l > 5.0 * e, "late {l} !>> early {e}");
+        // Classic DVF cannot tell them apart.
+        assert_eq!(
+            dvf_d(fit(), 10.0, 4096, 100.0),
+            dvf_d(fit(), 10.0, 4096, 100.0)
+        );
+    }
+
+    #[test]
+    fn timed_empty_is_zero() {
+        assert_eq!(timed_dvf_d(fit(), 4096, &[]), 0.0);
+    }
+
+    #[test]
+    fn weighted_default_matches_eq1() {
+        let w = WeightedDvf::default();
+        let a = w.dvf_d(fit(), 7.0, 4096, 123.0);
+        let b = dvf_d(fit(), 7.0, 4096, 123.0);
+        assert!((a - b).abs() < 1e-15 * b);
+    }
+
+    #[test]
+    fn weighted_exponents_change_balance() {
+        let w = WeightedDvf {
+            alpha: 1.0,
+            beta: 0.5,
+        };
+        // With beta < 1, quadrupling N_ha only doubles DVF.
+        let base = w.dvf_d(fit(), 1.0, 1 << 20, 100.0);
+        let quad = w.dvf_d(fit(), 1.0, 1 << 20, 400.0);
+        assert!((quad / base - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_rows() {
+        let report = DvfReport::compute(
+            "vm",
+            fit(),
+            1.0,
+            vec![DataStructureProfile::new("A", 1600, 62.5)],
+        );
+        let table = report.render();
+        assert!(table.contains("A"));
+        assert!(table.contains("vm"));
+        assert!(table.contains("DVF"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Failure rates and ECC protection schemes (paper Table VII).
+//!
+//! FIT = failures in time: failures per 10⁹ device-hours, normalized per
+//! Mbit of main memory. The paper's use case B plugs these rates into DVF
+//! to quantify how much protection an ECC scheme buys, against the
+//! performance it costs.
+
+use std::fmt;
+
+/// Hardware error-protection scheme for main memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EccScheme {
+    /// Unprotected DRAM.
+    #[default]
+    None,
+    /// Single-error-correct, double-error-detect Hamming-class code.
+    Secded,
+    /// Chipkill-correct: tolerates a whole failed DRAM device.
+    ChipkillCorrect,
+}
+
+impl EccScheme {
+    /// Residual error rate in FIT/Mbit with the scheme in place
+    /// (paper Table VII; sources: Li et al. SC'11, Li et al. ATC'10,
+    /// Slayman IRW'06, Udipi et al. ISCA'12, Hsiao 1970, Dell 1997).
+    pub fn fit_per_mbit(self) -> f64 {
+        match self {
+            EccScheme::None => 5000.0,
+            EccScheme::Secded => 1300.0,
+            EccScheme::ChipkillCorrect => 0.02,
+        }
+    }
+
+    /// All schemes, in Table VII order.
+    pub const ALL: [EccScheme; 3] = [
+        EccScheme::None,
+        EccScheme::ChipkillCorrect,
+        EccScheme::Secded,
+    ];
+
+    /// Table VII row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            EccScheme::None => "No ECC",
+            EccScheme::Secded => "SECDED",
+            EccScheme::ChipkillCorrect => "Chipkill correct",
+        }
+    }
+}
+
+impl fmt::Display for EccScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for EccScheme {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "none" | "no-ecc" | "noecc" => Ok(EccScheme::None),
+            "secded" => Ok(EccScheme::Secded),
+            "chipkill" | "chipkill-correct" => Ok(EccScheme::ChipkillCorrect),
+            other => Err(format!("unknown ECC scheme {other:?}")),
+        }
+    }
+}
+
+/// A failure rate, wrapped for unit safety.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct FitRate(pub f64);
+
+impl FitRate {
+    /// Rate of an ECC scheme.
+    pub fn of(scheme: EccScheme) -> Self {
+        Self(scheme.fit_per_mbit())
+    }
+
+    /// Expected failures for a memory of `size_mbit` Mbits over
+    /// `hours` hours: `FIT · hours · Mbit / 10⁹`.
+    pub fn expected_failures(self, size_mbit: f64, hours: f64) -> f64 {
+        self.0 * hours * size_mbit / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table7_values() {
+        assert_eq!(EccScheme::None.fit_per_mbit(), 5000.0);
+        assert_eq!(EccScheme::Secded.fit_per_mbit(), 1300.0);
+        assert_eq!(EccScheme::ChipkillCorrect.fit_per_mbit(), 0.02);
+    }
+
+    #[test]
+    fn chipkill_is_strongest() {
+        assert!(
+            EccScheme::ChipkillCorrect.fit_per_mbit() < EccScheme::Secded.fit_per_mbit()
+                && EccScheme::Secded.fit_per_mbit() < EccScheme::None.fit_per_mbit()
+        );
+    }
+
+    #[test]
+    fn expected_failures_units() {
+        // 5000 FIT/Mbit * 1e9 hours * 1 Mbit / 1e9 = 5000 failures.
+        let f = FitRate::of(EccScheme::None).expected_failures(1.0, 1e9);
+        assert!((f - 5000.0).abs() < 1e-9);
+        // Scales linearly in both axes.
+        let f2 = FitRate::of(EccScheme::None).expected_failures(2.0, 0.5e9);
+        assert!((f2 - 5000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_labels() {
+        assert_eq!("secded".parse::<EccScheme>().unwrap(), EccScheme::Secded);
+        assert_eq!(
+            "chipkill".parse::<EccScheme>().unwrap(),
+            EccScheme::ChipkillCorrect
+        );
+        assert_eq!("none".parse::<EccScheme>().unwrap(), EccScheme::None);
+        assert!("rs".parse::<EccScheme>().is_err());
+    }
+}

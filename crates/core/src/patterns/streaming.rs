@@ -1,0 +1,276 @@
+//! Streaming access pattern (paper §III-C, Eqs. 3–4, Fig. 1).
+//!
+//! "The streaming access is defined as a sequential traverse of a data
+//! structure with a fixed stride length. Since each element in the data
+//! structure is accessed at most once, all the main memory accesses are
+//! caused by compulsory cache misses."
+//!
+//! The model splits into three cases on the relation between the cache line
+//! length `CL`, the element size `E`, and the stride `S` (in bytes):
+//!
+//! 1. `CL ≤ E` — every element spans one or more lines;
+//! 2. `E < CL ≤ S` — an element fits a line but strides skip lines;
+//! 3. `S < CL` — several strided elements share each line.
+
+use super::{CacheView, ModelError};
+
+/// Specification of a streaming traversal, matching the paper's Aspen
+/// parameter tuple `(element_bytes, num_elements, stride_elements)` —
+/// e.g. `{(8, 200, 4)}` for data structure `A` of the VM example.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamingSpec {
+    /// Element size `E` in bytes.
+    pub element_bytes: u64,
+    /// Number of elements `N` in the data structure (`D = N * E`).
+    pub num_elements: u64,
+    /// Stride in *elements* (the paper's third tuple member: stride `4`
+    /// with 8-byte elements means `S = 32` bytes).
+    pub stride_elements: u64,
+}
+
+impl StreamingSpec {
+    /// Unit-stride traversal.
+    pub fn contiguous(element_bytes: u64, num_elements: u64) -> Self {
+        Self {
+            element_bytes,
+            num_elements,
+            stride_elements: 1,
+        }
+    }
+
+    /// Data structure size `D = N * E` in bytes.
+    pub fn data_bytes(&self) -> u64 {
+        self.num_elements * self.element_bytes
+    }
+
+    /// Stride `S` in bytes.
+    pub fn stride_bytes(&self) -> u64 {
+        self.stride_elements * self.element_bytes
+    }
+
+    /// Validate parameters.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.element_bytes == 0 {
+            return Err(ModelError::ZeroParameter("element_bytes"));
+        }
+        if self.num_elements == 0 {
+            return Err(ModelError::ZeroParameter("num_elements"));
+        }
+        if self.stride_elements == 0 {
+            return Err(ModelError::ZeroParameter("stride_elements"));
+        }
+        Ok(())
+    }
+
+    /// Expected number of main-memory accesses caused by one streaming
+    /// traversal of the data structure through the given cache.
+    ///
+    /// Implements the three cases of §III-C exactly; returns a fractional
+    /// expectation because of the alignment probability `p` (Eq. 3).
+    pub fn mem_accesses(&self, cache: &CacheView) -> Result<f64, ModelError> {
+        self.validate()?;
+        let e = self.element_bytes;
+        let cl = cache.line_bytes();
+        let s = self.stride_bytes();
+        let d = self.data_bytes();
+
+        // Eq. 3: probability that an element is *not* aligned with cache
+        // lines, assuming every byte offset within a line is equally likely.
+        let p = ((e - 1) % cl) as f64 / cl as f64;
+
+        let accesses = if cl <= e {
+            // Eq. 4: expected lines touched per element reference.
+            let ae = (e / cl) as f64 + p;
+            if s > e {
+                // Case 1a: stride skips elements: ceil(D/S) element
+                // references, AE lines each.
+                d.div_ceil(s) as f64 * ae
+            } else {
+                // Case 1b (S == E): dense traversal loads every line once.
+                d.div_ceil(cl) as f64
+            }
+        } else if cl <= s {
+            // Case 2 (E < CL <= S): each element reference costs 1 or 2
+            // lines depending on alignment: expected 1 + p.
+            d.div_ceil(s) as f64 * (1.0 + p)
+        } else {
+            // Case 3 (S < CL): several elements per line; every line of the
+            // structure is loaded exactly once.
+            d.div_ceil(cl) as f64
+        };
+        Ok(accesses)
+    }
+
+    /// Variant of [`mem_accesses`] for a data structure whose base address
+    /// is known to be cache-line aligned (as allocators typically provide
+    /// for large arrays): the misalignment probability `p` of Eq. 3 is
+    /// zero, so elements never straddle an extra line.
+    ///
+    /// [`mem_accesses`]: StreamingSpec::mem_accesses
+    pub fn mem_accesses_aligned(&self, cache: &CacheView) -> Result<f64, ModelError> {
+        self.validate()?;
+        let e = self.element_bytes;
+        let cl = cache.line_bytes();
+        let s = self.stride_bytes();
+        let d = self.data_bytes();
+        let accesses = if cl <= e {
+            if s > e {
+                d.div_ceil(s) as f64 * e.div_ceil(cl) as f64
+            } else {
+                d.div_ceil(cl) as f64
+            }
+        } else if cl <= s {
+            d.div_ceil(s) as f64
+        } else {
+            d.div_ceil(cl) as f64
+        };
+        Ok(accesses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvf_cachesim::config::table4;
+    use dvf_cachesim::CacheConfig;
+
+    fn view(cl: usize) -> CacheView {
+        CacheView::exclusive(CacheConfig::new(4, 64, cl).unwrap())
+    }
+
+    #[test]
+    fn paper_example_vm_a() {
+        // Paper VM example: A has 200 elements of 8 bytes, stride 4
+        // elements (32 bytes). With CL = 32 B: E < CL <= S -> case 2.
+        // D = 1600 B, ceil(D/S) = 50 references; p = ((8-1) mod 32)/32.
+        let spec = StreamingSpec {
+            element_bytes: 8,
+            num_elements: 200,
+            stride_elements: 4,
+        };
+        let cache = CacheView::exclusive(table4::SMALL_VERIFICATION);
+        let p = 7.0 / 32.0;
+        let expected = 50.0 * (1.0 + p);
+        assert!((spec.mem_accesses(&cache).unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contiguous_loads_every_line_once() {
+        // Unit stride, E = CL: exactly D/CL lines.
+        let spec = StreamingSpec::contiguous(32, 128);
+        assert_eq!(spec.mem_accesses(&view(32)).unwrap(), 128.0);
+    }
+
+    #[test]
+    fn case1_large_elements_span_lines() {
+        // E = 64, CL = 32, unit stride (S = E): dense -> ceil(D/CL).
+        let spec = StreamingSpec::contiguous(64, 10);
+        assert_eq!(spec.mem_accesses(&view(32)).unwrap(), 20.0);
+    }
+
+    #[test]
+    fn case1_strided_large_elements() {
+        // E = 64, CL = 32, stride 2 elements (S = 128 > E): case 1a.
+        // D = 640, ceil(D/S) = 5 references; E/CL = 2 aligned lines,
+        // p = ((64-1) mod 32)/32 = 31/32; AE = 2 + 31/32.
+        let spec = StreamingSpec {
+            element_bytes: 64,
+            num_elements: 10,
+            stride_elements: 2,
+        };
+        let expected = 5.0 * (2.0 + 31.0 / 32.0);
+        assert!((spec.mem_accesses(&view(32)).unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn case3_small_stride_shares_lines() {
+        // E = 4, S = 8, CL = 32: case 3, every line loaded once.
+        let spec = StreamingSpec {
+            element_bytes: 4,
+            num_elements: 1000,
+            stride_elements: 2,
+        };
+        // D = 4000, ceil(4000/32) = 125.
+        assert_eq!(spec.mem_accesses(&view(32)).unwrap(), 125.0);
+    }
+
+    #[test]
+    fn aligned_element_has_zero_misalignment_penalty() {
+        // E = CL = 32: p = ((32-1) mod 32)/32 = 31/32? No: (31 mod 32) = 31.
+        // The paper's p formula gives 31/32 only for E-1 = 31 < CL; for an
+        // element exactly one line long p should intuitively be... the
+        // formula: ((E-1) mod CL)/CL = 31/32. But case 1b (S == E) bypasses
+        // AE entirely, so dense traversal is unaffected: check that.
+        let spec = StreamingSpec::contiguous(32, 4);
+        assert_eq!(spec.mem_accesses(&view(32)).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn streaming_is_cache_capacity_independent() {
+        // Compulsory misses only: same answer for any capacity with equal CL.
+        let spec = StreamingSpec {
+            element_bytes: 8,
+            num_elements: 10_000,
+            stride_elements: 1,
+        };
+        let small = CacheView::exclusive(CacheConfig::new(2, 16, 64).unwrap());
+        let large = CacheView::exclusive(CacheConfig::new(16, 4096, 64).unwrap());
+        assert_eq!(
+            spec.mem_accesses(&small).unwrap(),
+            spec.mem_accesses(&large).unwrap()
+        );
+    }
+
+    #[test]
+    fn aligned_variant_drops_misalignment_penalty() {
+        // Paper VM A: stride 32 B == CL: aligned elements hit exactly one
+        // line each -> 50 loads; the probabilistic model adds 50 * 7/32.
+        let spec = StreamingSpec {
+            element_bytes: 8,
+            num_elements: 200,
+            stride_elements: 4,
+        };
+        let v = view(32);
+        assert_eq!(spec.mem_accesses_aligned(&v).unwrap(), 50.0);
+        assert!(spec.mem_accesses(&v).unwrap() > 50.0);
+        // Dense traversals are identical under both variants.
+        let dense = StreamingSpec::contiguous(8, 512);
+        assert_eq!(
+            dense.mem_accesses(&v).unwrap(),
+            dense.mem_accesses_aligned(&v).unwrap()
+        );
+    }
+
+    #[test]
+    fn validation_rejects_zeros() {
+        let mut spec = StreamingSpec::contiguous(8, 100);
+        spec.element_bytes = 0;
+        assert_eq!(
+            spec.validate(),
+            Err(ModelError::ZeroParameter("element_bytes"))
+        );
+        let mut spec = StreamingSpec::contiguous(8, 100);
+        spec.num_elements = 0;
+        assert!(spec.validate().is_err());
+        let mut spec = StreamingSpec::contiguous(8, 100);
+        spec.stride_elements = 0;
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn bigger_stride_means_fewer_references_but_not_fewer_lines_case3() {
+        // Within case 3 (S < CL), stride does not change the line count.
+        let s1 = StreamingSpec {
+            element_bytes: 4,
+            num_elements: 4096,
+            stride_elements: 1,
+        };
+        let s2 = StreamingSpec {
+            element_bytes: 4,
+            num_elements: 4096,
+            stride_elements: 4,
+        };
+        let v = view(64);
+        assert_eq!(s1.mem_accesses(&v).unwrap(), s2.mem_accesses(&v).unwrap());
+    }
+}

@@ -1,0 +1,191 @@
+//! DVF-guided selective protection.
+//!
+//! The point of quantifying per-structure vulnerability is to spend a
+//! *limited* protection budget where it matters: "we use DVF to determine
+//! if a data structure is vulnerable and whether we should enforce extra
+//! protection" (paper §III-A). This module turns a [`DvfReport`] into a
+//! protection plan: given a byte budget (e.g. how much data a software
+//! checkpoint, a replicated allocation, or an ABFT checksum can cover)
+//! and the residual-vulnerability factor of the mechanism, pick the
+//! structures that minimize total residual DVF.
+//!
+//! Greedy by DVF density (DVF per protected byte) is optimal here because
+//! protecting a structure scales its DVF by a constant factor
+//! independently of the others — the knapsack is separable. (Greedy is
+//! exact for the fractional relaxation; for whole structures we keep the
+//! classical greedy and note it in [`plan_protection`].)
+
+use crate::dvf::DvfReport;
+
+/// A protection decision for one structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtectionChoice {
+    /// Structure name.
+    pub name: String,
+    /// Its footprint.
+    pub size_bytes: u64,
+    /// DVF before protection.
+    pub dvf_before: f64,
+    /// DVF after protection (`dvf_before · residual_factor` if chosen).
+    pub dvf_after: f64,
+    /// Whether the budget covers it.
+    pub protected: bool,
+}
+
+/// The outcome of planning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtectionPlan {
+    /// Per-structure decisions, in greedy (density) order.
+    pub choices: Vec<ProtectionChoice>,
+    /// Bytes of budget consumed.
+    pub bytes_used: u64,
+    /// Application DVF before any protection.
+    pub dvf_before: f64,
+    /// Application DVF under this plan.
+    pub dvf_after: f64,
+}
+
+impl ProtectionPlan {
+    /// Fraction of vulnerability removed: `1 − after/before`.
+    pub fn reduction(&self) -> f64 {
+        if self.dvf_before == 0.0 {
+            0.0
+        } else {
+            1.0 - self.dvf_after / self.dvf_before
+        }
+    }
+}
+
+/// Plan protection for `report` under `budget_bytes`, where protecting a
+/// structure multiplies its DVF by `residual_factor` (e.g.
+/// `0.02 / 5000` when upgrading unprotected DRAM pages to
+/// Chipkill-equivalent replication, or `0.0` for full redundancy).
+///
+/// Structures are taken greedily by *avoided DVF per byte*. Greedy on
+/// whole items is within one item of optimal for this separable knapsack;
+/// for the structure counts of real applications (a handful) this is the
+/// planning rule a practitioner would apply by hand.
+pub fn plan_protection(
+    report: &DvfReport,
+    budget_bytes: u64,
+    residual_factor: f64,
+) -> ProtectionPlan {
+    assert!(
+        (0.0..=1.0).contains(&residual_factor),
+        "residual factor must be in [0, 1], got {residual_factor}"
+    );
+    let mut order: Vec<usize> = (0..report.structures.len()).collect();
+    let density = |i: usize| {
+        let (p, v) = &report.structures[i];
+        let avoided = v * (1.0 - residual_factor);
+        avoided / (p.size_bytes.max(1) as f64)
+    };
+    order.sort_by(|&a, &b| density(b).total_cmp(&density(a)));
+
+    let mut remaining = budget_bytes;
+    let mut choices = Vec::with_capacity(order.len());
+    let mut dvf_after = 0.0;
+    for i in order {
+        let (p, v) = &report.structures[i];
+        let fits = p.size_bytes <= remaining && *v > 0.0 && residual_factor < 1.0;
+        let after = if fits { v * residual_factor } else { *v };
+        if fits {
+            remaining -= p.size_bytes;
+        }
+        dvf_after += after;
+        choices.push(ProtectionChoice {
+            name: p.name.clone(),
+            size_bytes: p.size_bytes,
+            dvf_before: *v,
+            dvf_after: after,
+            protected: fits,
+        });
+    }
+
+    ProtectionPlan {
+        bytes_used: budget_bytes - remaining,
+        dvf_before: report.dvf_app(),
+        dvf_after,
+        choices,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dvf::{DataStructureProfile, DvfReport};
+    use crate::fit::{EccScheme, FitRate};
+
+    fn report() -> DvfReport {
+        DvfReport::compute(
+            "app",
+            FitRate::of(EccScheme::None),
+            10.0,
+            vec![
+                // Small but hot: highest DVF density.
+                DataStructureProfile::new("hot", 4_096, 1e6),
+                // Big and warm.
+                DataStructureProfile::new("warm", 1 << 20, 1e5),
+                // Big and cold.
+                DataStructureProfile::new("cold", 1 << 20, 1e2),
+            ],
+        )
+    }
+
+    #[test]
+    fn zero_budget_protects_nothing() {
+        let plan = plan_protection(&report(), 0, 0.0);
+        assert!(plan.choices.iter().all(|c| !c.protected));
+        assert_eq!(plan.dvf_after, plan.dvf_before);
+        assert_eq!(plan.reduction(), 0.0);
+        assert_eq!(plan.bytes_used, 0);
+    }
+
+    #[test]
+    fn full_budget_protects_everything() {
+        let plan = plan_protection(&report(), u64::MAX, 0.0);
+        assert!(plan.choices.iter().all(|c| c.protected));
+        assert_eq!(plan.dvf_after, 0.0);
+        assert!((plan.reduction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_prefers_density_over_size() {
+        // Budget covers exactly the hot small structure.
+        let plan = plan_protection(&report(), 4_096, 0.0);
+        let hot = plan.choices.iter().find(|c| c.name == "hot").unwrap();
+        assert!(hot.protected);
+        assert_eq!(plan.bytes_used, 4_096);
+        // Protecting the densest structure removes most of the removable
+        // DVF per byte spent.
+        assert!(plan.reduction() > 0.0);
+    }
+
+    #[test]
+    fn partial_residual_scales_dvf() {
+        let r = report();
+        let plan = plan_protection(&r, u64::MAX, 0.5);
+        assert!((plan.dvf_after - 0.5 * plan.dvf_before).abs() < 1e-12 * plan.dvf_before);
+    }
+
+    #[test]
+    fn residual_one_is_a_no_op() {
+        let plan = plan_protection(&report(), u64::MAX, 1.0);
+        assert!(plan.choices.iter().all(|c| !c.protected));
+        assert_eq!(plan.dvf_after, plan.dvf_before);
+    }
+
+    #[test]
+    fn plan_conserves_dvf_accounting() {
+        let plan = plan_protection(&report(), 1 << 20, 0.1);
+        let sum: f64 = plan.choices.iter().map(|c| c.dvf_after).sum();
+        assert!((sum - plan.dvf_after).abs() < 1e-15 * plan.dvf_after.max(1.0));
+        assert!(plan.bytes_used <= 1 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "residual factor")]
+    fn rejects_bad_factor() {
+        let _ = plan_protection(&report(), 0, 1.5);
+    }
+}

@@ -1,0 +1,148 @@
+//! Aspen-style execution-time modeling.
+//!
+//! DVF needs the execution time `T` (Eq. 1). The paper obtains it either
+//! by measurement or from Aspen's performance model. For deterministic,
+//! machine-independent reproduction we provide a small roofline-style
+//! model in the spirit of Aspen's abstract machine: an application phase
+//! is characterized by its flop count and its main-memory traffic, the
+//! machine by a compute rate and a memory bandwidth, and the phase time is
+//! the larger of the two resource times (perfect overlap), as in Aspen's
+//! resource semantics.
+
+/// An abstract machine: the subset of an Aspen machine model that the DVF
+/// workflow needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineModel {
+    /// Peak floating-point rate in flop/s.
+    pub flops_per_sec: f64,
+    /// Main-memory bandwidth in bytes/s.
+    pub mem_bytes_per_sec: f64,
+}
+
+impl MachineModel {
+    /// A deliberately modest single-core machine, used as the deterministic
+    /// default for the reproduction figures: 1 Gflop/s, 4 GB/s.
+    pub const DEFAULT: MachineModel = MachineModel {
+        flops_per_sec: 1e9,
+        mem_bytes_per_sec: 4e9,
+    };
+
+    /// Validate rates.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.flops_per_sec.is_finite() || self.flops_per_sec <= 0.0 {
+            return Err(format!("flops_per_sec must be > 0, got {}", self.flops_per_sec));
+        }
+        if !self.mem_bytes_per_sec.is_finite() || self.mem_bytes_per_sec <= 0.0 {
+            return Err(format!(
+                "mem_bytes_per_sec must be > 0, got {}",
+                self.mem_bytes_per_sec
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for MachineModel {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+/// Resource demands of one application (or phase): flops executed plus
+/// bytes moved to/from main memory.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResourceDemand {
+    /// Floating-point operations.
+    pub flops: f64,
+    /// Main-memory traffic in bytes (typically `N_ha · CL` summed over the
+    /// data structures).
+    pub mem_bytes: f64,
+}
+
+impl ResourceDemand {
+    /// Demand from main-memory access counts: `accesses · line_bytes`.
+    pub fn from_accesses(flops: f64, mem_accesses: f64, line_bytes: u64) -> Self {
+        Self {
+            flops,
+            mem_bytes: mem_accesses * line_bytes as f64,
+        }
+    }
+
+    /// Aspen-style execution time: resources proceed concurrently, the
+    /// slower one dominates.
+    pub fn time_on(&self, machine: &MachineModel) -> f64 {
+        let t_flops = self.flops / machine.flops_per_sec;
+        let t_mem = self.mem_bytes / machine.mem_bytes_per_sec;
+        t_flops.max(t_mem)
+    }
+
+    /// Combine two phases executed one after the other.
+    pub fn plus(&self, other: &ResourceDemand) -> ResourceDemand {
+        ResourceDemand {
+            flops: self.flops + other.flops,
+            mem_bytes: self.mem_bytes + other.mem_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_bound_phase() {
+        let m = MachineModel {
+            flops_per_sec: 1e9,
+            mem_bytes_per_sec: 1e12,
+        };
+        let d = ResourceDemand {
+            flops: 2e9,
+            mem_bytes: 1e6,
+        };
+        assert!((d.time_on(&m) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_bound_phase() {
+        let m = MachineModel {
+            flops_per_sec: 1e15,
+            mem_bytes_per_sec: 4e9,
+        };
+        let d = ResourceDemand {
+            flops: 1e6,
+            mem_bytes: 8e9,
+        };
+        assert!((d.time_on(&m) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_accesses_multiplies_line() {
+        let d = ResourceDemand::from_accesses(0.0, 100.0, 64);
+        assert_eq!(d.mem_bytes, 6400.0);
+    }
+
+    #[test]
+    fn phases_add() {
+        let a = ResourceDemand {
+            flops: 1.0,
+            mem_bytes: 2.0,
+        };
+        let b = ResourceDemand {
+            flops: 3.0,
+            mem_bytes: 4.0,
+        };
+        let c = a.plus(&b);
+        assert_eq!(c.flops, 4.0);
+        assert_eq!(c.mem_bytes, 6.0);
+    }
+
+    #[test]
+    fn default_machine_validates() {
+        assert!(MachineModel::default().validate().is_ok());
+        let bad = MachineModel {
+            flops_per_sec: 0.0,
+            ..MachineModel::DEFAULT
+        };
+        assert!(bad.validate().is_err());
+    }
+}

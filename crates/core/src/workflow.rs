@@ -1,0 +1,620 @@
+//! The DVF calculation workflow (paper Fig. 3).
+//!
+//! ```text
+//! hardware spec ──┐
+//!                 ├─ extended Aspen program ─▶ parser ─▶ N_ha models ─▶ DVF
+//! app model ──────┘
+//! ```
+//!
+//! `dvf-aspen` parses and resolves the program into plain-number
+//! [`AppSpec`]/[`MachineSpec`] values; this module maps each resolved
+//! access onto the matching CGPMAC pattern model, accumulates per-data-
+//! structure main-memory access counts, derives the execution time from
+//! the Aspen machine model (or a user-measured override), and assembles
+//! the final [`DvfReport`].
+
+use crate::dvf::{DataStructureProfile, DvfReport};
+use crate::fit::{EccScheme, FitRate};
+use crate::patterns::{
+    CacheView, InterferenceScenario, ModelError, RandomSpec, ReuseSpec, StreamingSpec,
+    TemplateSpec,
+};
+use crate::timemodel::{MachineModel, ResourceDemand};
+use dvf_aspen::{
+    AppSpec, Diagnostic, EccKind, MachineSpec, OrderStepSpec, PatternSpec, Resolver,
+    ReuseScenario,
+};
+use dvf_cachesim::CacheConfig;
+use std::collections::HashMap;
+
+/// Errors from the end-to-end workflow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkflowError {
+    /// The DSL front-end rejected the program.
+    Language(Diagnostic),
+    /// The resolved machine's cache geometry is invalid.
+    BadCache(String),
+    /// A pattern model rejected its parameters.
+    Model {
+        /// Data structure involved.
+        data: String,
+        /// Underlying model error.
+        source: ModelError,
+    },
+}
+
+impl std::fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkflowError::Language(d) => write!(f, "language error: {d}"),
+            WorkflowError::BadCache(msg) => write!(f, "invalid cache geometry: {msg}"),
+            WorkflowError::Model { data, source } => {
+                write!(f, "model error for data structure `{data}`: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+impl From<Diagnostic> for WorkflowError {
+    fn from(d: Diagnostic) -> Self {
+        WorkflowError::Language(d)
+    }
+}
+
+/// Convert a resolved Aspen cache spec to the simulator's geometry type.
+pub fn cache_config_of(machine: &MachineSpec) -> Result<CacheConfig, WorkflowError> {
+    CacheConfig::new(
+        machine.cache.associativity as usize,
+        machine.cache.sets as usize,
+        machine.cache.line_bytes as usize,
+    )
+    .map_err(|e| WorkflowError::BadCache(e.to_string()))
+}
+
+/// Failure rate declared by the machine: explicit `fit` wins, otherwise the
+/// Table VII rate of the declared ECC scheme.
+pub fn fit_of(machine: &MachineSpec) -> FitRate {
+    match machine.memory.fit_per_mbit {
+        Some(fit) => FitRate(fit),
+        None => FitRate::of(match machine.memory.ecc {
+            EccKind::None => EccScheme::None,
+            EccKind::Secded => EccScheme::Secded,
+            EccKind::Chipkill => EccScheme::ChipkillCorrect,
+        }),
+    }
+}
+
+/// Aspen roofline rates declared by the machine.
+pub fn machine_model_of(machine: &MachineSpec) -> MachineModel {
+    MachineModel {
+        flops_per_sec: machine.core.flops_per_sec,
+        mem_bytes_per_sec: machine.core.mem_bytes_per_sec,
+    }
+}
+
+/// Intermediate result: per-structure `N_ha` plus the modeled time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessAccounting {
+    /// `(data name, N_ha)` in declaration order.
+    pub n_ha: Vec<(String, f64)>,
+    /// Modeled (or overridden) execution time in seconds.
+    pub time_s: f64,
+}
+
+impl AccessAccounting {
+    /// Look up one structure's access count.
+    pub fn of(&self, name: &str) -> Option<f64> {
+        self.n_ha
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Total main-memory accesses.
+    pub fn total(&self) -> f64 {
+        self.n_ha.iter().map(|(_, v)| v).sum()
+    }
+}
+
+/// The cache-sharing ratio the access order implies for `name`: the paper
+/// divides the cache among concurrently accessed structures proportionally
+/// to their sizes (§III-C, Monte Carlo example). When a structure appears
+/// in several concurrent groups we take the most contended one.
+fn order_ratio(app: &AppSpec, order: Option<&[OrderStepSpec]>, name: &str) -> f64 {
+    let Some(order) = order else { return 1.0 };
+    let mut ratio: f64 = 1.0;
+    for step in order {
+        if let OrderStepSpec::Group(group) = step {
+            if group.iter().any(|g| g == name) {
+                let total: u64 = group
+                    .iter()
+                    .filter_map(|g| app.data(g).map(|d| d.size_bytes))
+                    .sum();
+                let own = app.data(name).map(|d| d.size_bytes).unwrap_or(0);
+                if total > 0 && own > 0 {
+                    ratio = ratio.min(own as f64 / total as f64);
+                }
+            }
+        }
+    }
+    ratio
+}
+
+/// Per-kernel (phase) accounting: each root kernel's modeled time and
+/// per-structure main-memory loads, in execution order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseAccounting {
+    /// Kernel name.
+    pub kernel: String,
+    /// Modeled (or overridden) duration in seconds.
+    pub time_s: f64,
+    /// `(data name, N_ha)` in declaration order.
+    pub n_ha: Vec<(String, f64)>,
+}
+
+impl PhaseAccounting {
+    /// Look up one structure's access count within this phase.
+    pub fn of(&self, name: &str) -> Option<f64> {
+        self.n_ha.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+}
+
+/// Estimate `N_ha` for every data structure of `app` on `machine`
+/// (the paper's CGPMAC stage), plus the execution time.
+pub fn account_accesses(
+    app: &AppSpec,
+    machine: &MachineSpec,
+) -> Result<AccessAccounting, WorkflowError> {
+    let phases = account_phases(app, machine)?;
+    let n_ha = app
+        .datas
+        .iter()
+        .map(|d| {
+            let total: f64 = phases.iter().filter_map(|p| p.of(&d.name)).sum();
+            (d.name.clone(), total)
+        })
+        .collect();
+    Ok(AccessAccounting {
+        n_ha,
+        time_s: phases.iter().map(|p| p.time_s).sum(),
+    })
+}
+
+/// Per-phase variant of [`account_accesses`]: one record per root kernel,
+/// preserving execution order (the input to time-resolved DVF).
+pub fn account_phases(
+    app: &AppSpec,
+    machine: &MachineSpec,
+) -> Result<Vec<PhaseAccounting>, WorkflowError> {
+    let config = cache_config_of(machine)?;
+    let mm = machine_model_of(machine);
+    let mut phases = Vec::new();
+
+    for kernel in &app.kernels {
+        // Kernels reached via `call` are already folded into their
+        // callers; evaluating them again would double-count.
+        if !kernel.is_root {
+            continue;
+        }
+        let mut totals: HashMap<&str, f64> = HashMap::new();
+        let mut kernel_accesses = 0.0f64;
+        for scaled in &kernel.accesses {
+            let access = &scaled.access;
+            let data = app
+                .data(&access.data)
+                .expect("resolver guarantees access targets exist");
+            let ratio = order_ratio(app, kernel.order.as_deref(), &access.data);
+            let view = CacheView::shared(config, ratio);
+            let model_err = |source: ModelError| WorkflowError::Model {
+                data: data.name.clone(),
+                source,
+            };
+
+            let n_ha = match &access.pattern {
+                PatternSpec::Streaming {
+                    element_bytes,
+                    count,
+                    stride_elements,
+                } => StreamingSpec {
+                    element_bytes: *element_bytes,
+                    num_elements: *count,
+                    stride_elements: *stride_elements,
+                }
+                .mem_accesses(&view)
+                .map_err(model_err)?,
+                PatternSpec::Random {
+                    elements,
+                    element_bytes,
+                    k,
+                    iters,
+                    ratio: spec_ratio,
+                } => RandomSpec {
+                    num_elements: *elements,
+                    element_bytes: *element_bytes,
+                    k: *k,
+                    iterations: *iters,
+                    ratio: *spec_ratio,
+                }
+                .mem_accesses(&view)
+                .map_err(model_err)?,
+                PatternSpec::Template {
+                    element_bytes,
+                    refs,
+                    repeat,
+                } => TemplateSpec::new(*element_bytes, refs.clone())
+                    .mem_accesses_repeated(&view, *repeat)
+                    .map_err(model_err)?,
+                PatternSpec::Reuse {
+                    interfering_bytes,
+                    reuses,
+                    scenario,
+                } => ReuseSpec::from_bytes(
+                    data.size_bytes,
+                    *interfering_bytes,
+                    *reuses,
+                    match scenario {
+                        ReuseScenario::Exclusive => InterferenceScenario::Exclusive,
+                        ReuseScenario::Concurrent => InterferenceScenario::Concurrent,
+                    },
+                    config.line_bytes as u64,
+                )
+                .mem_accesses(&view)
+                .map_err(model_err)?,
+            };
+
+            let total = n_ha * scaled.times as f64 * kernel.iters as f64;
+            *totals.entry(data.name.as_str()).or_insert(0.0) += total;
+            kernel_accesses += total;
+        }
+
+        // Execution time: explicit override; else the Aspen roofline fed
+        // by explicit `loads`/`stores` declarations when given, or by the
+        // modeled traffic otherwise.
+        let time_s = match kernel.time_s {
+            Some(t) => t,
+            None => {
+                let demand = match kernel.traffic_bytes {
+                    Some(bytes) => ResourceDemand {
+                        flops: kernel.flops * kernel.iters as f64,
+                        mem_bytes: bytes * kernel.iters as f64,
+                    },
+                    None => ResourceDemand::from_accesses(
+                        kernel.flops * kernel.iters as f64,
+                        kernel_accesses,
+                        config.line_bytes as u64,
+                    ),
+                };
+                demand.time_on(&mm)
+            }
+        };
+
+        // Report in declaration order; untouched structures get N_ha = 0.
+        let n_ha = app
+            .datas
+            .iter()
+            .map(|d| {
+                (
+                    d.name.clone(),
+                    totals.get(d.name.as_str()).copied().unwrap_or(0.0),
+                )
+            })
+            .collect();
+        phases.push(PhaseAccounting {
+            kernel: kernel.name.clone(),
+            time_s,
+            n_ha,
+        });
+    }
+    Ok(phases)
+}
+
+/// Full Fig. 3 pipeline from resolved specs: accounting + DVF.
+pub fn evaluate(app: &AppSpec, machine: &MachineSpec) -> Result<DvfReport, WorkflowError> {
+    let accounting = account_accesses(app, machine)?;
+    let fit = fit_of(machine);
+    let profiles = app
+        .datas
+        .iter()
+        .map(|d| {
+            DataStructureProfile::new(
+                d.name.clone(),
+                d.size_bytes,
+                accounting.of(&d.name).unwrap_or(0.0),
+            )
+        })
+        .collect();
+    Ok(DvfReport::compute(
+        app.name.clone(),
+        fit,
+        accounting.time_s,
+        profiles,
+    ))
+}
+
+/// Time-resolved DVF per structure (see [`crate::dvf::timed_dvf_d`]):
+/// each root kernel is one phase, in declaration order.
+pub fn evaluate_timed(
+    app: &AppSpec,
+    machine: &MachineSpec,
+) -> Result<Vec<(String, f64)>, WorkflowError> {
+    let phases = account_phases(app, machine)?;
+    let fit = fit_of(machine);
+    Ok(app
+        .datas
+        .iter()
+        .map(|d| {
+            let exposures: Vec<crate::dvf::PhaseExposure> = phases
+                .iter()
+                .map(|p| crate::dvf::PhaseExposure {
+                    duration_s: p.time_s,
+                    n_ha: p.of(&d.name).unwrap_or(0.0),
+                })
+                .collect();
+            (
+                d.name.clone(),
+                crate::dvf::timed_dvf_d(fit, d.size_bytes, &exposures),
+            )
+        })
+        .collect())
+}
+
+/// One-call convenience: parse source, resolve (with parameter overrides),
+/// evaluate. The document must contain exactly one machine and one model,
+/// unless names are given.
+pub fn evaluate_source(
+    source: &str,
+    machine_name: Option<&str>,
+    model_name: Option<&str>,
+    overrides: &[(&str, f64)],
+) -> Result<DvfReport, WorkflowError> {
+    let doc = dvf_aspen::parse(source)?;
+    let mut resolver = Resolver::new(&doc);
+    for (k, v) in overrides {
+        resolver = resolver.set_param(k, *v);
+    }
+    let machine = resolver.machine(machine_name)?;
+    let app = resolver.model(model_name)?;
+    evaluate(&app, &machine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VM_SOURCE: &str = r#"
+        machine small {
+          cache { associativity = 4  sets = 64  line = 32 }
+          memory { fit = 5000 }
+          core { flops = 1e9  bandwidth = 4e9 }
+        }
+        model vm {
+          param n = 200
+          data A { size = n * 8  element = 8 }
+          data B { size = n * 8  element = 8 }
+          data C { size = n * 8  element = 8 }
+          kernel main {
+            flops = 2 * n
+            access A as streaming(stride = 4)
+            access B as streaming()
+            access C as streaming()
+          }
+        }
+    "#;
+
+    #[test]
+    fn vm_end_to_end() {
+        let report = evaluate_source(VM_SOURCE, None, None, &[]).unwrap();
+        assert_eq!(report.structures.len(), 3);
+        // A (strided) touches more lines per element than B/C? With
+        // stride 4 * 8B = 32B = CL, each reference costs (1+p) lines while
+        // B/C load D/CL lines in total: A's N_ha = 50*(1+7/32) ≈ 60.9,
+        // B/C = 1600/32 = 50.
+        let a = report.dvf_of("A").unwrap();
+        let b = report.dvf_of("B").unwrap();
+        let c = report.dvf_of("C").unwrap();
+        assert!(a > b, "A must be more vulnerable than B");
+        assert!((b - c).abs() < 1e-18);
+        assert!(report.dvf_app() > a);
+    }
+
+    #[test]
+    fn accounting_values_match_hand_computation() {
+        let doc = dvf_aspen::parse(VM_SOURCE).unwrap();
+        let r = Resolver::new(&doc);
+        let acc = account_accesses(&r.model(None).unwrap(), &r.machine(None).unwrap()).unwrap();
+        assert!((acc.of("A").unwrap() - 50.0 * (1.0 + 7.0 / 32.0)).abs() < 1e-9);
+        assert!((acc.of("B").unwrap() - 50.0).abs() < 1e-9);
+        assert!(acc.total() > 150.0);
+    }
+
+    #[test]
+    fn explicit_time_override_wins() {
+        let src = r#"
+            machine m { cache { associativity = 4 sets = 64 line = 32 } }
+            model app {
+              data A { size = 1024 element = 8 }
+              kernel k { time = 2.5  access A as streaming() }
+            }
+        "#;
+        let report = evaluate_source(src, None, None, &[]).unwrap();
+        assert_eq!(report.time_s, 2.5);
+    }
+
+    #[test]
+    fn kernel_iters_scale_accesses_and_flops() {
+        let src = r#"
+            machine m { cache { associativity = 4 sets = 64 line = 32 } }
+            model app {
+              data A { size = 1024 element = 8 }
+              kernel k { iters = 10  flops = 100  access A as streaming() }
+            }
+        "#;
+        let doc = dvf_aspen::parse(src).unwrap();
+        let r = Resolver::new(&doc);
+        let acc = account_accesses(&r.model(None).unwrap(), &r.machine(None).unwrap()).unwrap();
+        // 1024/32 = 32 lines per pass, 10 passes.
+        assert!((acc.of("A").unwrap() - 320.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ecc_scheme_sets_fit() {
+        let src = r#"
+            machine m {
+              cache { associativity = 4 sets = 64 line = 32 }
+              memory { ecc = chipkill }
+            }
+            model app {
+              data A { size = 1024 element = 8 }
+              kernel k { access A as streaming() }
+            }
+        "#;
+        let doc = dvf_aspen::parse(src).unwrap();
+        let machine = Resolver::new(&doc).machine(None).unwrap();
+        assert_eq!(fit_of(&machine).0, 0.02);
+    }
+
+    #[test]
+    fn explicit_fit_beats_ecc() {
+        let src = r#"
+            machine m {
+              cache { associativity = 4 sets = 64 line = 32 }
+              memory { fit = 42  ecc = chipkill }
+            }
+        "#;
+        let doc = dvf_aspen::parse(src).unwrap();
+        let machine = Resolver::new(&doc).machine(None).unwrap();
+        assert_eq!(fit_of(&machine).0, 42.0);
+    }
+
+    #[test]
+    fn order_derives_cache_sharing_ratio() {
+        // Monte-Carlo shape: Grid and Energy accessed concurrently; the
+        // bigger structure gets the bigger share, and both see less cache
+        // than they would alone.
+        let src = r#"
+            machine m { cache { associativity = 8 sets = 128 line = 32 } }
+            model mc {
+              data G { size = 48 * KiB  element = 16 }
+              data E { size = 16 * KiB  element = 16 }
+              kernel lookup {
+                access G as random(k = 8, iters = 2000)
+                access E as random(k = 8, iters = 2000)
+                order { (G E) }
+              }
+            }
+        "#;
+        let doc = dvf_aspen::parse(src).unwrap();
+        let r = Resolver::new(&doc);
+        let app = r.model(None).unwrap();
+        let machine = r.machine(None).unwrap();
+        assert_eq!(order_ratio(&app, app.kernels[0].order.as_deref(), "G"), 0.75);
+        assert_eq!(order_ratio(&app, app.kernels[0].order.as_deref(), "E"), 0.25);
+
+        // Removing the order (exclusive cache) must not increase accesses.
+        let acc_shared = account_accesses(&app, &machine).unwrap();
+        let mut app_excl = app.clone();
+        app_excl.kernels[0].order = None;
+        let acc_excl = account_accesses(&app_excl, &machine).unwrap();
+        assert!(acc_shared.of("E").unwrap() >= acc_excl.of("E").unwrap());
+    }
+
+    #[test]
+    fn untouched_structure_has_zero_nha() {
+        let src = r#"
+            machine m { cache { associativity = 4 sets = 64 line = 32 } }
+            model app {
+              data A { size = 1024 element = 8 }
+              data Unused { size = 4096 element = 8 }
+              kernel k { access A as streaming() }
+            }
+        "#;
+        let doc = dvf_aspen::parse(src).unwrap();
+        let r = Resolver::new(&doc);
+        let acc = account_accesses(&r.model(None).unwrap(), &r.machine(None).unwrap()).unwrap();
+        assert_eq!(acc.of("Unused"), Some(0.0));
+    }
+
+    #[test]
+    fn parameter_overrides_flow_through() {
+        let small = evaluate_source(VM_SOURCE, None, None, &[]).unwrap();
+        let large = evaluate_source(VM_SOURCE, None, None, &[("n", 20_000.0)]).unwrap();
+        assert!(large.dvf_app() > small.dvf_app());
+    }
+
+    #[test]
+    fn timed_evaluation_orders_phases() {
+        // Two kernels of equal work touching different structures: the
+        // structure accessed in the later kernel is more exposed.
+        let src = r#"
+            machine m { cache { associativity = 4 sets = 64 line = 32 } }
+            model app {
+              data Early { size = 4096 element = 8 }
+              data Late { size = 4096 element = 8 }
+              kernel first { access Early as streaming() }
+              kernel second { access Late as streaming() }
+            }
+        "#;
+        let doc = dvf_aspen::parse(src).unwrap();
+        let r = Resolver::new(&doc);
+        let app = r.model(None).unwrap();
+        let machine = r.machine(None).unwrap();
+        let timed = evaluate_timed(&app, &machine).unwrap();
+        let get = |n: &str| timed.iter().find(|(k, _)| k == n).unwrap().1;
+        assert!(get("Late") > 2.0 * get("Early"));
+        // Classic DVF sees them as identical.
+        let classic = evaluate(&app, &machine).unwrap();
+        assert_eq!(classic.dvf_of("Early"), classic.dvf_of("Late"));
+    }
+
+    #[test]
+    fn control_flow_scales_accounting_and_skips_callees() {
+        let src = r#"
+            machine m { cache { associativity = 4 sets = 64 line = 32 } }
+            model app {
+              data A { size = 1024 element = 8 }
+              kernel sweep { flops = 10  access A as streaming() }
+              kernel main {
+                iterate 5 { call sweep }
+              }
+            }
+        "#;
+        let doc = dvf_aspen::parse(src).unwrap();
+        let r = Resolver::new(&doc);
+        let acc = account_accesses(&r.model(None).unwrap(), &r.machine(None).unwrap()).unwrap();
+        // Only `main` (the root) is accounted: 5 sweeps of 32 lines each.
+        // If `sweep` were double-counted this would read 192.
+        assert!((acc.of("A").unwrap() - 160.0).abs() < 1e-9, "{acc:?}");
+    }
+
+    #[test]
+    fn language_errors_surface() {
+        let err = evaluate_source("model {", None, None, &[]).unwrap_err();
+        assert!(matches!(err, WorkflowError::Language(_)));
+        assert!(err.to_string().contains("language error"));
+    }
+
+    #[test]
+    fn reuse_pattern_through_workflow() {
+        let src = r#"
+            machine m { cache { associativity = 4 sets = 64 line = 32 } }
+            model cg {
+              data A { size = 512 * KiB  element = 8 }
+              data p { size = 4 * KiB  element = 8 }
+              kernel iter {
+                iters = 1
+                access A as streaming()
+                access p as reuse(reuses = 100)
+              }
+            }
+        "#;
+        let doc = dvf_aspen::parse(src).unwrap();
+        let r = Resolver::new(&doc);
+        let acc = account_accesses(&r.model(None).unwrap(), &r.machine(None).unwrap()).unwrap();
+        // p: 128 blocks footprint; interference (A = 512 KiB) floods the
+        // 8 KiB cache, so nearly all of p reloads on each of 100 reuses.
+        let p = acc.of("p").unwrap();
+        assert!(p > 100.0 * 100.0, "p N_ha = {p}");
+    }
+}

@@ -1,0 +1,45 @@
+//! Bit-flip primitives.
+
+/// Flip bit `bit` (0–63) of a double, through its IEEE-754 representation.
+pub fn flip_bit(value: f64, bit: u32) -> f64 {
+    assert!(bit < 64, "f64 has 64 bits, got bit {bit}");
+    f64::from_bits(value.to_bits() ^ (1u64 << bit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_is_involutive() {
+        for bit in 0..64 {
+            let v = 1234.5678f64;
+            assert_eq!(flip_bit(flip_bit(v, bit), bit).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn low_mantissa_bits_are_small_perturbations() {
+        let v = 1.0f64;
+        let flipped = flip_bit(v, 0);
+        assert!((flipped - v).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sign_bit_negates() {
+        assert_eq!(flip_bit(3.5, 63), -3.5);
+    }
+
+    #[test]
+    fn exponent_bits_are_catastrophic() {
+        let v = 1.0f64;
+        let flipped = flip_bit(v, 62); // top exponent bit
+        assert!(flipped.abs() > 1e100 || flipped.abs() < 1e-100);
+    }
+
+    #[test]
+    #[should_panic(expected = "64 bits")]
+    fn bit_out_of_range_panics() {
+        let _ = flip_bit(0.0, 64);
+    }
+}

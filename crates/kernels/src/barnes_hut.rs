@@ -1,0 +1,395 @@
+//! Barnes-Hut N-body simulation (paper Table II "NB", Algorithm 2).
+//!
+//! Bodies are organized into a quadtree `T`; computing the net force on a
+//! body walks the tree, descending only where the opening criterion
+//! `width / distance ≥ θ` demands it. Which nodes a walk touches depends
+//! on the (randomly generated) mass distribution — the paper's canonical
+//! **random access** pattern. The traversal statistics the random model
+//! needs (`k` = average nodes visited per body, `iter` = number of walks)
+//! are part of the kernel output, mirroring the paper: "these two
+//! parameters are usually output as a part of the application results".
+
+use crate::recorder::Recorder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A body: position, mass and one accumulated force magnitude.
+/// 32 bytes, matching the paper's element size for the NB structures.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Body {
+    /// x position.
+    pub x: f64,
+    /// y position.
+    pub y: f64,
+    /// Mass.
+    pub mass: f64,
+    /// Accumulated force magnitude (output).
+    pub force: f64,
+}
+
+/// A quadtree node in the compact traversal arena: center of mass, total
+/// mass, cell width, and the index of the first of four consecutive
+/// children (`-1` for leaves). 32 bytes, the paper's `E` for `T`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Node {
+    /// Center-of-mass x.
+    pub cx: f64,
+    /// Center-of-mass y.
+    pub cy: f64,
+    /// Total mass (0 for empty cells).
+    pub mass: f32,
+    /// Cell side length.
+    pub width: f32,
+    /// Index of the first child (children occupy 4 consecutive slots);
+    /// `-1` marks a leaf.
+    pub first_child: i32,
+    /// Number of bodies inside (1 ⇒ leaf with a single body).
+    pub count: i32,
+}
+
+/// Barnes-Hut parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NbParams {
+    /// Number of bodies.
+    pub bodies: usize,
+    /// Opening angle θ (smaller = more accurate = more node visits).
+    pub theta: f64,
+    /// RNG seed for the body distribution.
+    pub seed: u64,
+}
+
+impl NbParams {
+    /// Paper Table V verification input: 1000 particles.
+    pub fn verification() -> Self {
+        Self {
+            bodies: 1000,
+            theta: 0.5,
+            seed: 42,
+        }
+    }
+
+    /// Paper Table VI profiling input: 6000 particles.
+    pub fn profiling() -> Self {
+        Self {
+            bodies: 6000,
+            theta: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+/// Outcome of a Barnes-Hut force computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NbOutput {
+    /// Parameters used.
+    pub params: NbParams,
+    /// Quadtree nodes built (`N` for the random model of `T`).
+    pub tree_nodes: usize,
+    /// Average nodes visited per body walk (`k`).
+    pub k_avg: f64,
+    /// Number of walks (`iter` — one per body).
+    pub iterations: usize,
+    /// Total force checksum.
+    pub force_checksum: f64,
+    /// Floating-point operations (approximate: per node interaction).
+    pub flops: f64,
+}
+
+const MAX_DEPTH: usize = 32;
+const SOFTENING2: f64 = 1e-6;
+
+/// Build state: a growable arena of nodes plus body assignments.
+struct TreeBuilder {
+    nodes: Vec<Node>,
+    /// Per-node body index while a cell holds exactly one body.
+    body_of: Vec<i32>,
+}
+
+impl TreeBuilder {
+    fn new_node(&mut self, width: f32) -> usize {
+        self.nodes.push(Node {
+            width,
+            first_child: -1,
+            ..Node::default()
+        });
+        self.body_of.push(-1);
+        self.nodes.len() - 1
+    }
+
+    #[allow(clippy::too_many_arguments)] // geometric recursion carries its full frame
+    fn insert(
+        &mut self,
+        node: usize,
+        cx: f64,
+        cy: f64,
+        half: f64,
+        body: usize,
+        bodies: &[Body],
+        depth: usize,
+    ) {
+        let b = bodies[body];
+        if self.nodes[node].count == 0 {
+            // Empty leaf: claim it.
+            self.nodes[node].count = 1;
+            self.nodes[node].cx = b.x;
+            self.nodes[node].cy = b.y;
+            self.nodes[node].mass = b.mass as f32;
+            self.body_of[node] = body as i32;
+            return;
+        }
+        if depth >= MAX_DEPTH {
+            // Merge into the cell's aggregate (coincident points guard).
+            let n = &mut self.nodes[node];
+            let total = n.mass as f64 + b.mass;
+            n.cx = (n.cx * n.mass as f64 + b.x * b.mass) / total;
+            n.cy = (n.cy * n.mass as f64 + b.y * b.mass) / total;
+            n.mass = total as f32;
+            n.count += 1;
+            return;
+        }
+        if self.nodes[node].first_child < 0 {
+            // Leaf with one body: split, push the old occupant down a
+            // level. The node's aggregate still describes that body, so it
+            // is kept as-is.
+            let old = self.body_of[node];
+            self.body_of[node] = -1;
+            let first = self.new_node(half as f32);
+            for _ in 1..4 {
+                self.new_node(half as f32);
+            }
+            self.nodes[node].first_child = first as i32;
+            if old >= 0 {
+                self.insert_into_child(node, cx, cy, half, old as usize, bodies, depth);
+            }
+        }
+        self.insert_into_child(node, cx, cy, half, body, bodies, depth);
+        // Fold the new body into this node's aggregate.
+        let n = &mut self.nodes[node];
+        let b = bodies[body];
+        let total = n.mass as f64 + b.mass;
+        n.cx = (n.cx * n.mass as f64 + b.x * b.mass) / total;
+        n.cy = (n.cy * n.mass as f64 + b.y * b.mass) / total;
+        n.mass = total as f32;
+        n.count += 1;
+    }
+
+    #[allow(clippy::too_many_arguments)] // geometric recursion carries its full frame
+    fn insert_into_child(
+        &mut self,
+        node: usize,
+        cx: f64,
+        cy: f64,
+        half: f64,
+        body: usize,
+        bodies: &[Body],
+        depth: usize,
+    ) {
+        let b = bodies[body];
+        let east = b.x >= cx;
+        let north = b.y >= cy;
+        let quadrant = usize::from(east) + 2 * usize::from(north);
+        let child = (self.nodes[node].first_child as usize) + quadrant;
+        let q = half / 2.0;
+        let ccx = cx + if east { q } else { -q };
+        let ccy = cy + if north { q } else { -q };
+        self.insert(child, ccx, ccy, q, body, bodies, depth + 1);
+    }
+}
+
+/// Generate a clustered random body distribution (two Gaussian-ish blobs,
+/// which produces the uneven tree the paper's randomness argument relies
+/// on).
+pub fn generate_bodies(params: NbParams) -> Vec<Body> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    (0..params.bodies)
+        .map(|i| {
+            let (cx, cy) = if i % 3 == 0 { (-0.4, -0.3) } else { (0.35, 0.3) };
+            // Sum of uniforms approximates a Gaussian.
+            let g = |rng: &mut StdRng| -> f64 {
+                (0..6).map(|_| rng.gen_range(-0.5..0.5)).sum::<f64>() / 6.0
+            };
+            Body {
+                x: cx + 0.5 * g(&mut rng),
+                y: cy + 0.5 * g(&mut rng),
+                mass: rng.gen_range(0.5..1.5),
+                force: 0.0,
+            }
+        })
+        .collect()
+}
+
+/// Build the quadtree over `bodies` (untraced construction phase).
+pub fn build_tree(bodies: &[Body]) -> (Vec<Node>, Vec<i32>) {
+    let mut builder = TreeBuilder {
+        nodes: Vec::with_capacity(bodies.len() * 2),
+        body_of: Vec::with_capacity(bodies.len() * 2),
+    };
+    let root = builder.new_node(4.0);
+    for i in 0..bodies.len() {
+        builder.insert(root, 0.0, 0.0, 2.0, i, bodies, 0);
+    }
+    (builder.nodes, builder.body_of)
+}
+
+/// Run the traced force computation. `T` (the tree arena) and `P` (the
+/// body array) are the two tracked structures of paper Fig. 5(c).
+pub fn run_traced(params: NbParams, rec: &Recorder) -> NbOutput {
+    let bodies = generate_bodies(params);
+    let (nodes, _body_of) = build_tree(&bodies);
+
+    let t = rec.buffer_from("T", nodes);
+    let mut p = rec.buffer_from("P", bodies);
+
+    let mut visited_total = 0u64;
+    let mut flops = 0.0f64;
+
+    rec.set_enabled(true);
+    for i in 0..p.len() {
+        let body = p.get(i);
+        let mut force = 0.0;
+        // Explicit stack to avoid recursion in the hot traced loop.
+        let mut stack: Vec<usize> = vec![0];
+        let mut visited = 0u64;
+        while let Some(idx) = stack.pop() {
+            let node = t.get(idx);
+            visited += 1;
+            if node.count == 0 {
+                continue;
+            }
+            let dx = node.cx - body.x;
+            let dy = node.cy - body.y;
+            let dist2 = dx * dx + dy * dy + SOFTENING2;
+            let dist = dist2.sqrt();
+            let open = node.first_child >= 0 && (node.width as f64) / dist >= params.theta;
+            if open {
+                let first = node.first_child as usize;
+                stack.extend([first, first + 1, first + 2, first + 3]);
+            } else {
+                // Leaf or far cell: accumulate (skip obvious self-leaf).
+                if node.count == 1 && dist2 <= SOFTENING2 * 1.0001 {
+                    continue;
+                }
+                force += body.mass * node.mass as f64 / dist2;
+                flops += 10.0;
+            }
+        }
+        visited_total += visited;
+        p.update(i, |mut b| {
+            b.force = force;
+            b
+        });
+    }
+    rec.set_enabled(false);
+
+    let force_checksum = p.raw().iter().map(|b| b.force).sum();
+    NbOutput {
+        params,
+        tree_nodes: t.len(),
+        k_avg: visited_total as f64 / p.len() as f64,
+        iterations: p.len(),
+        force_checksum,
+        flops,
+    }
+}
+
+/// Untraced run (for timing and cross-checking).
+pub fn run_plain(params: NbParams) -> NbOutput {
+    let rec = Recorder::new(); // recording stays disabled
+    run_traced(params, &rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_is_32_bytes() {
+        assert_eq!(std::mem::size_of::<Node>(), 32);
+        assert_eq!(std::mem::size_of::<Body>(), 32);
+    }
+
+    #[test]
+    fn tree_mass_is_conserved() {
+        let params = NbParams {
+            bodies: 500,
+            theta: 0.5,
+            seed: 7,
+        };
+        let bodies = generate_bodies(params);
+        let (nodes, _) = build_tree(&bodies);
+        let total: f64 = bodies.iter().map(|b| b.mass).sum();
+        assert!((nodes[0].mass as f64 - total).abs() < 1e-3 * total);
+    }
+
+    #[test]
+    fn forces_are_positive_and_deterministic() {
+        let params = NbParams {
+            bodies: 300,
+            theta: 0.5,
+            seed: 9,
+        };
+        let a = run_plain(params);
+        let b = run_plain(params);
+        assert!(a.force_checksum > 0.0);
+        assert_eq!(a.force_checksum, b.force_checksum);
+        assert_eq!(a.k_avg, b.k_avg);
+    }
+
+    #[test]
+    fn smaller_theta_visits_more_nodes() {
+        let mk = |theta| NbParams {
+            bodies: 400,
+            theta,
+            seed: 3,
+        };
+        let loose = run_plain(mk(0.9));
+        let tight = run_plain(mk(0.2));
+        assert!(tight.k_avg > loose.k_avg);
+    }
+
+    #[test]
+    fn barnes_hut_approximates_direct_sum() {
+        // With a tight theta, BH forces approach the O(n^2) direct sum.
+        let params = NbParams {
+            bodies: 200,
+            theta: 0.1,
+            seed: 5,
+        };
+        let bh = run_plain(params);
+        let bodies = generate_bodies(params);
+        let mut direct = 0.0;
+        for i in 0..bodies.len() {
+            let mut f = 0.0;
+            for j in 0..bodies.len() {
+                if i == j {
+                    continue;
+                }
+                let dx = bodies[j].x - bodies[i].x;
+                let dy = bodies[j].y - bodies[i].y;
+                let d2 = dx * dx + dy * dy + SOFTENING2;
+                f += bodies[i].mass * bodies[j].mass / d2;
+            }
+            direct += f;
+        }
+        let rel = (bh.force_checksum - direct).abs() / direct;
+        assert!(rel < 0.05, "relative force error {rel}");
+    }
+
+    #[test]
+    fn trace_touches_t_randomly() {
+        let params = NbParams {
+            bodies: 300,
+            theta: 0.5,
+            seed: 11,
+        };
+        let rec = Recorder::new();
+        let out = run_traced(params, &rec);
+        let trace = rec.into_trace();
+        let t = trace.registry.id("T").unwrap();
+        let t_refs = trace.refs.iter().filter(|r| r.ds == t).count();
+        // One T read per visited node.
+        assert_eq!(t_refs as f64, out.k_avg * out.iterations as f64);
+        assert!(out.k_avg > 10.0, "k_avg = {}", out.k_avg);
+        assert!(out.tree_nodes > params.bodies, "arena bigger than bodies");
+    }
+}

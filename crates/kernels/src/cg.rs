@@ -1,0 +1,301 @@
+//! Conjugate Gradient (paper Table II "CG", Algorithm 4).
+//!
+//! The paper uses a *dense* CG (citing a 500×500 / 800×800 double matrix
+//! implementation) with four major data structures: the matrix `A` and the
+//! vectors `x`, `p`, `r`. `A` streams on every matrix–vector product, `p`
+//! is the paper's running example of the **data reuse** pattern (reused
+//! within each iteration and interfered by `A`, `x`, `r`).
+//!
+//! The test matrix is symmetric positive definite with a strongly varying
+//! diagonal, so that Jacobi preconditioning (see [`crate::pcg`]) genuinely
+//! reduces the iteration count — the property use case A (Fig. 6) hinges
+//! on.
+
+use crate::recorder::Recorder;
+
+/// CG problem parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgParams {
+    /// Matrix dimension `n` (the matrix is `n × n` doubles).
+    pub n: usize,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Relative residual tolerance (‖r‖ / ‖b‖).
+    pub tol: f64,
+    /// Diagonal spread `s`: diagonal entries range over `[base, (1+s)·base]`.
+    /// Larger spread worsens the conditioning and therefore the advantage
+    /// of Jacobi preconditioning (use case A sweeps this with `n`).
+    pub diag_spread: f64,
+}
+
+impl CgParams {
+    /// Parameters with the default diagonal spread (9, i.e. a 10× range).
+    pub fn new(n: usize, max_iters: usize, tol: f64) -> Self {
+        Self {
+            n,
+            max_iters,
+            tol,
+            diag_spread: 9.0,
+        }
+    }
+
+    /// Paper Table V verification input: 500×500 double matrix. The
+    /// iteration cap keeps the reference trace small enough to simulate
+    /// (the paper likewise notes cache simulation is "very time consuming"
+    /// and uses small inputs for verification).
+    pub fn verification() -> Self {
+        Self::new(500, 5, 1e-10)
+    }
+
+    /// Paper Table VI profiling input: 800×800 double matrix.
+    pub fn profiling() -> Self {
+        Self::new(800, 200, 1e-8)
+    }
+}
+
+/// Outcome of a CG/PCG run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgOutput {
+    /// Parameters used.
+    pub n: usize,
+    /// Iterations actually executed.
+    pub iterations: usize,
+    /// Final relative residual.
+    pub residual: f64,
+    /// Floating-point operations executed (dominated by `2n²` per
+    /// iteration for the matvec).
+    pub flops: f64,
+    /// Max-norm error against the known solution (all-ones).
+    pub error: f64,
+}
+
+/// Dense SPD test matrix: off-diagonal `1/(1+|i−j|)`, diagonal
+/// `(2·ln(n)+3) · (1 + spread·i/n)` — strictly diagonally dominant (hence
+/// SPD). The diagonal spread controls the conditioning and therefore how
+/// much Jacobi preconditioning helps.
+pub fn spd_matrix_with_spread(n: usize, spread: f64) -> Vec<f64> {
+    let mut a = vec![0.0f64; n * n];
+    let scale = 2.0 * (n as f64).ln() + 3.0;
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = if i == j {
+                scale * (1.0 + spread * i as f64 / n as f64)
+            } else {
+                1.0 / (1.0 + (i as f64 - j as f64).abs())
+            };
+        }
+    }
+    a
+}
+
+/// [`spd_matrix_with_spread`] with the default 10× diagonal range.
+pub fn spd_matrix(n: usize) -> Vec<f64> {
+    spd_matrix_with_spread(n, 9.0)
+}
+
+/// Right-hand side `b = A · 1`, so the exact solution is the ones vector.
+pub fn rhs_for_ones(a: &[f64], n: usize) -> Vec<f64> {
+    let mut b = vec![0.0f64; n];
+    for i in 0..n {
+        b[i] = a[i * n..(i + 1) * n].iter().sum();
+    }
+    b
+}
+
+fn dot(u: &[f64], v: &[f64]) -> f64 {
+    u.iter().zip(v).map(|(a, b)| a * b).sum()
+}
+
+/// Plain (untraced) CG; returns the solution too.
+pub fn run_plain(params: CgParams) -> (CgOutput, Vec<f64>) {
+    let n = params.n;
+    let a = spd_matrix_with_spread(n, params.diag_spread);
+    let b = rhs_for_ones(&a, n);
+    let mut x = vec![0.0f64; n];
+    let mut r = b.clone();
+    let mut p = r.clone();
+    let mut q = vec![0.0f64; n];
+
+    let bnorm = dot(&b, &b).sqrt();
+    let mut rho = dot(&r, &r);
+    let mut iterations = 0;
+    let mut flops = 0.0;
+
+    while iterations < params.max_iters && rho.sqrt() / bnorm > params.tol {
+        // q = A p
+        for i in 0..n {
+            q[i] = dot(&a[i * n..(i + 1) * n], &p);
+        }
+        let alpha = rho / dot(&p, &q);
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * q[i];
+        }
+        let rho_next = dot(&r, &r);
+        let beta = rho_next / rho;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rho = rho_next;
+        iterations += 1;
+        flops += 2.0 * (n * n) as f64 + 10.0 * n as f64;
+    }
+
+    let error = x
+        .iter()
+        .map(|&xi| (xi - 1.0).abs())
+        .fold(0.0f64, f64::max);
+    (
+        CgOutput {
+            n,
+            iterations,
+            residual: rho.sqrt() / bnorm,
+            flops,
+            error,
+        },
+        x,
+    )
+}
+
+/// Traced CG: the four major data structures `A`, `x`, `p`, `r` are
+/// tracked (the matvec scratch `q` is also tracked, as a minor structure);
+/// only the iteration loop is recorded.
+pub fn run_traced(params: CgParams, rec: &Recorder) -> CgOutput {
+    let n = params.n;
+    let mut a = rec.buffer::<f64>("A", n * n);
+    let mut x = rec.buffer::<f64>("x", n);
+    let mut p = rec.buffer::<f64>("p", n);
+    let mut r = rec.buffer::<f64>("r", n);
+    let mut q = rec.buffer::<f64>("q", n);
+
+    a.raw_mut().copy_from_slice(&spd_matrix_with_spread(n, params.diag_spread));
+    let b = rhs_for_ones(a.raw(), n);
+    r.raw_mut().copy_from_slice(&b);
+    p.raw_mut().copy_from_slice(&b);
+
+    let bnorm = dot(&b, &b).sqrt();
+    let mut rho = dot(r.raw(), r.raw());
+    let mut iterations = 0;
+    let mut flops = 0.0;
+
+    rec.set_enabled(true);
+    while iterations < params.max_iters && rho.sqrt() / bnorm > params.tol {
+        // q = A p: streams A, reuses p within the iteration.
+        for i in 0..n {
+            let mut s = 0.0;
+            for j in 0..n {
+                s += a.get(i * n + j) * p.get(j);
+            }
+            q.set(i, s);
+        }
+        // alpha = rho / (p . q)
+        let mut pq = 0.0;
+        for i in 0..n {
+            pq += p.get(i) * q.get(i);
+        }
+        let alpha = rho / pq;
+        // x += alpha p ; r -= alpha q
+        for i in 0..n {
+            x.update(i, |xi| xi + alpha * p.get(i));
+            r.update(i, |ri| ri - alpha * q.get(i));
+        }
+        // rho' = r . r
+        let mut rho_next = 0.0;
+        for i in 0..n {
+            let ri = r.get(i);
+            rho_next += ri * ri;
+        }
+        let beta = rho_next / rho;
+        // p = r + beta p
+        for i in 0..n {
+            let v = r.get(i) + beta * p.get(i);
+            p.set(i, v);
+        }
+        rho = rho_next;
+        iterations += 1;
+        flops += 2.0 * (n * n) as f64 + 10.0 * n as f64;
+    }
+    rec.set_enabled(false);
+
+    let error = x
+        .raw()
+        .iter()
+        .map(|&xi| (xi - 1.0).abs())
+        .fold(0.0f64, f64::max);
+    CgOutput {
+        n,
+        iterations,
+        residual: rho.sqrt() / bnorm,
+        flops,
+        error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cg_converges_to_ones() {
+        let (out, x) = run_plain(CgParams::new(120, 200, 1e-10));
+        assert!(out.residual <= 1e-10, "residual {}", out.residual);
+        assert!(out.error < 1e-6, "error {}", out.error);
+        assert!(x.iter().all(|&v| (v - 1.0).abs() < 1e-6));
+        assert!(out.iterations < 120);
+    }
+
+    #[test]
+    fn traced_matches_plain_exactly() {
+        let params = CgParams::new(60, 50, 1e-10);
+        let rec = Recorder::new();
+        let traced = run_traced(params, &rec);
+        let (plain, _) = run_plain(params);
+        assert_eq!(traced.iterations, plain.iterations);
+        assert_eq!(traced.residual, plain.residual);
+        assert_eq!(traced.error, plain.error);
+    }
+
+    #[test]
+    fn trace_counts_match_algorithm() {
+        // tol = 0 forces exactly max_iters iterations.
+        let params = CgParams::new(30, 3, 0.0);
+        let rec = Recorder::new();
+        let out = run_traced(params, &rec);
+        assert_eq!(out.iterations, 3);
+        let trace = rec.into_trace();
+        let a = trace.registry.id("A").unwrap();
+        let a_reads = trace.refs.iter().filter(|r| r.ds == a).count();
+        // A is read n*n times per iteration, never written.
+        assert_eq!(a_reads, 3 * 30 * 30);
+        let p = trace.registry.id("p").unwrap();
+        // p: matvec n*n reads + dot n + axpy(x) n reads + update n (r+beta p
+        // reads n, writes n) per iteration.
+        let p_refs = trace.refs.iter().filter(|r| r.ds == p).count();
+        assert_eq!(p_refs, 3 * (30 * 30 + 30 + 30 + 2 * 30));
+    }
+
+    #[test]
+    fn matrix_is_symmetric_and_dominant() {
+        let n = 40;
+        let a = spd_matrix(n);
+        for i in 0..n {
+            let mut offdiag = 0.0;
+            for j in 0..n {
+                assert_eq!(a[i * n + j], a[j * n + i]);
+                if i != j {
+                    offdiag += a[i * n + j].abs();
+                }
+            }
+            assert!(a[i * n + i] > offdiag, "row {i} not dominant");
+        }
+    }
+
+    #[test]
+    fn diagonal_spread_is_wide() {
+        let n = 100;
+        let a = spd_matrix(n);
+        let d0 = a[0];
+        let dlast = a[(n - 1) * n + (n - 1)];
+        assert!(dlast / d0 > 5.0, "spread {}", dlast / d0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Monte Carlo cross-section lookup (paper Table II "MC", XSBench-style).
+//!
+//! XSBench distills the hottest kernel of a Monte Carlo neutron transport
+//! code: for each randomly sampled (energy, material) pair, look up
+//! macroscopic cross-sections in a unionized energy grid. Two data
+//! structures are accessed randomly and **concurrently** — the grid `G`
+//! and the nuclide cross-section table `E` — so each gets only a
+//! proportional fraction of the cache (the paper's cache-interference
+//! example in §III-C).
+//!
+//! Matching the paper's model parameters, each lookup touches ~1 element
+//! of each structure (`k = 1`) and the lookup count is `iter`
+//! (10³ verification / 10⁵ profiling).
+
+use crate::recorder::Recorder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A unionized-grid entry: energy key plus an index into the nuclide
+/// table (16 bytes).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GridPoint {
+    /// Energy of this grid point.
+    pub energy: f64,
+    /// Index of the matching row in the cross-section table.
+    pub xs_index: u32,
+    /// Material tag.
+    pub material: u32,
+}
+
+/// A cross-section entry: total and scattering cross-sections (16 bytes).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct XsEntry {
+    /// Total cross-section.
+    pub total: f64,
+    /// Scattering cross-section.
+    pub scatter: f64,
+}
+
+/// MC parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McParams {
+    /// Entries in the unionized grid `G`.
+    pub grid_points: usize,
+    /// Entries in the cross-section table `E`.
+    pub xs_entries: usize,
+    /// Number of lookups (`iter`).
+    pub lookups: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl McParams {
+    /// Paper Table V verification input: size = small, 10³ lookups.
+    /// Sizes are scaled down so the reference trace stays simulable.
+    pub fn verification() -> Self {
+        Self {
+            grid_points: 20_000,
+            xs_entries: 12_000,
+            lookups: 1000,
+            seed: 42,
+        }
+    }
+
+    /// Paper Table VI profiling input: size = small, 10⁵ lookups.
+    /// The working set (≈12.8 MB) exceeds every profiling cache, giving
+    /// MC the largest DVF of the six kernels (paper Fig. 5(f)).
+    pub fn profiling() -> Self {
+        Self {
+            grid_points: 500_000,
+            xs_entries: 300_000,
+            lookups: 100_000,
+            seed: 42,
+        }
+    }
+
+    /// `G` footprint in bytes.
+    pub fn grid_bytes(&self) -> u64 {
+        (self.grid_points * std::mem::size_of::<GridPoint>()) as u64
+    }
+
+    /// `E` footprint in bytes.
+    pub fn xs_bytes(&self) -> u64 {
+        (self.xs_entries * std::mem::size_of::<XsEntry>()) as u64
+    }
+}
+
+/// Outcome of an MC run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McOutput {
+    /// Parameters used.
+    pub params: McParams,
+    /// Accumulated cross-section sum (checksum).
+    pub checksum: f64,
+    /// Lookups executed (`iter` for the model).
+    pub iterations: usize,
+    /// Average distinct `G` elements touched per lookup (`k`; ≈1).
+    pub k_grid: f64,
+    /// Average distinct `E` elements touched per lookup (`k`; ≈1).
+    pub k_xs: f64,
+    /// Floating-point operations.
+    pub flops: f64,
+}
+
+fn build_grid(params: McParams) -> (Vec<GridPoint>, Vec<XsEntry>) {
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0xfeed);
+    let grid = (0..params.grid_points)
+        .map(|i| GridPoint {
+            energy: i as f64 / params.grid_points as f64,
+            xs_index: rng.gen_range(0..params.xs_entries as u32),
+            material: (i % 12) as u32,
+        })
+        .collect();
+    let xs = (0..params.xs_entries)
+        .map(|i| XsEntry {
+            total: 1.0 + (i % 97) as f64 * 0.01,
+            scatter: 0.5 + (i % 31) as f64 * 0.02,
+        })
+        .collect();
+    (grid, xs)
+}
+
+/// Run the traced lookup kernel: `G` and `E` are the tracked structures.
+pub fn run_traced(params: McParams, rec: &Recorder) -> McOutput {
+    let (grid, xs) = build_grid(params);
+    let g = rec.buffer_from("G", grid);
+    let e = rec.buffer_from("E", xs);
+
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut checksum = 0.0;
+    let mut flops = 0.0;
+    let mut g_touches = 0u64;
+    let mut e_touches = 0u64;
+
+    rec.set_enabled(true);
+    // Data construction pass: the paper's random model "assume[s] that
+    // each element in the target data structure is already traversed once
+    // before the random accesses happen" (§III-C) — XSBench's grid
+    // unionization does exactly this sweep.
+    let mut grid_sum = 0.0;
+    for i in 0..g.len() {
+        grid_sum += g.get(i).energy;
+    }
+    let mut xs_sum = 0.0;
+    for i in 0..e.len() {
+        xs_sum += e.get(i).total;
+    }
+    assert!(grid_sum.is_finite() && xs_sum > 0.0, "construction sweep");
+    for _ in 0..params.lookups {
+        // Sample an energy; the unionized grid makes the lookup O(1):
+        // the grid index is energy * n (XSBench's 'unionized' fast path).
+        let energy: f64 = rng.gen_range(0.0..1.0);
+        let gi = ((energy * g.len() as f64) as usize).min(g.len() - 1);
+        let point = g.get(gi);
+        g_touches += 1;
+        let entry = e.get(point.xs_index as usize);
+        e_touches += 1;
+        // Macroscopic XS accumulation (the real kernel sums over nuclides;
+        // the unionized table has pre-summed rows).
+        checksum += entry.total * 0.7 + entry.scatter * 0.3;
+        flops += 4.0;
+    }
+    rec.set_enabled(false);
+
+    McOutput {
+        params,
+        checksum,
+        iterations: params.lookups,
+        k_grid: g_touches as f64 / params.lookups as f64,
+        k_xs: e_touches as f64 / params.lookups as f64,
+        flops,
+    }
+}
+
+/// Untraced run (timing / cross-checking).
+pub fn run_plain(params: McParams) -> McOutput {
+    run_traced(params, &Recorder::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elements_are_16_bytes() {
+        assert_eq!(std::mem::size_of::<GridPoint>(), 16);
+        assert_eq!(std::mem::size_of::<XsEntry>(), 16);
+    }
+
+    #[test]
+    fn lookups_are_deterministic() {
+        let params = McParams {
+            grid_points: 1000,
+            xs_entries: 600,
+            lookups: 500,
+            seed: 5,
+        };
+        let a = run_plain(params);
+        let b = run_plain(params);
+        assert_eq!(a.checksum, b.checksum);
+        assert!(a.checksum > 0.0);
+        assert_eq!(a.iterations, 500);
+        assert_eq!(a.k_grid, 1.0);
+        assert_eq!(a.k_xs, 1.0);
+    }
+
+    #[test]
+    fn trace_alternates_g_and_e() {
+        let params = McParams {
+            grid_points: 1000,
+            xs_entries: 600,
+            lookups: 100,
+            seed: 5,
+        };
+        let rec = Recorder::new();
+        run_traced(params, &rec);
+        let trace = rec.into_trace();
+        let construction = params.grid_points + params.xs_entries;
+        assert_eq!(trace.len(), construction + 200);
+        let g = trace.registry.id("G").unwrap();
+        let e = trace.registry.id("E").unwrap();
+        // Construction sweeps G then E, element by element.
+        assert!(trace.refs[..params.grid_points].iter().all(|r| r.ds == g));
+        assert!(trace.refs[params.grid_points..construction]
+            .iter()
+            .all(|r| r.ds == e));
+        // Lookups alternate G, E.
+        for pair in trace.refs[construction..].chunks(2) {
+            assert_eq!(pair[0].ds, g);
+            assert_eq!(pair[1].ds, e);
+        }
+    }
+
+    #[test]
+    fn grid_indices_cover_range() {
+        // Random energies must reach across the whole grid, not cluster.
+        let params = McParams {
+            grid_points: 10_000,
+            xs_entries: 600,
+            lookups: 2000,
+            seed: 1,
+        };
+        let rec = Recorder::new();
+        run_traced(params, &rec);
+        let trace = rec.into_trace();
+        let g = trace.registry.id("G").unwrap();
+        let construction = params.grid_points + params.xs_entries;
+        let max_addr = trace.refs[construction..]
+            .iter()
+            .filter(|r| r.ds == g)
+            .map(|r| r.addr)
+            .max()
+            .unwrap();
+        assert!(max_addr > params.grid_bytes() / 2);
+    }
+
+    #[test]
+    fn footprints() {
+        let p = McParams::profiling();
+        assert_eq!(p.grid_bytes(), 8_000_000);
+        assert_eq!(p.xs_bytes(), 4_800_000);
+    }
+}

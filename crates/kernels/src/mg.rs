@@ -1,0 +1,440 @@
+//! Multi-grid V-cycle (paper Table II "MG", Algorithm 3).
+//!
+//! A geometric multigrid solver for the 3-D Poisson problem `-Δu = f` on
+//! the unit cube with zero boundaries: Gauss–Seidel smoothing, full-weight
+//! restriction of the residual, trilinear-ish prolongation, V-cycles down
+//! to a 4³ coarse grid. The fine grid `R` — the paper's single major data
+//! structure for MG — stores `(u, f)` pairs (16-byte elements, matching
+//! the paper's MG element size); the smoother sweeps it with the stencil
+//! template of Algorithm 3.
+//!
+//! Problem classes: the paper uses NPB class S for verification and class
+//! W for profiling. We map class S to a 32³ fine grid and class W to 64³
+//! (documented substitution: large enough to exceed every profiling cache
+//! of Table IV while keeping model evaluation instant).
+
+use crate::recorder::Recorder;
+
+/// One grid cell: solution value and right-hand side (16 bytes).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Cell {
+    /// Solution `u`.
+    pub u: f64,
+    /// Right-hand side `f`.
+    pub f: f64,
+}
+
+/// MG parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MgParams {
+    /// Fine-grid extent per dimension (power of two).
+    pub n: usize,
+    /// Number of V-cycles.
+    pub cycles: usize,
+    /// Pre/post smoothing sweeps per level.
+    pub smooths: usize,
+}
+
+impl MgParams {
+    /// Class S (verification): 32³ fine grid, one V-cycle (keeps the
+    /// reference trace small enough to simulate, as the paper does).
+    pub fn verification() -> Self {
+        Self {
+            n: 32,
+            cycles: 1,
+            smooths: 2,
+        }
+    }
+
+    /// Class W (profiling): 64³ fine grid, 4 V-cycles.
+    pub fn profiling() -> Self {
+        Self {
+            n: 64,
+            cycles: 4,
+            smooths: 2,
+        }
+    }
+}
+
+/// Outcome of an MG run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MgOutput {
+    /// Parameters used.
+    pub params: MgParams,
+    /// Residual L2 norm before the first cycle.
+    pub initial_residual: f64,
+    /// Residual L2 norm after the last cycle.
+    pub final_residual: f64,
+    /// Floating-point operations executed (approximate).
+    pub flops: f64,
+}
+
+/// Plain (untraced) grid level.
+struct Level {
+    n: usize,
+    cells: Vec<Cell>,
+}
+
+impl Level {
+    fn new(n: usize) -> Self {
+        Self {
+            n,
+            cells: vec![Cell::default(); n * n * n],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        (i * self.n + j) * self.n + k
+    }
+}
+
+/// Smooth manufactured RHS with zero boundary compatibility.
+fn rhs(i: usize, j: usize, k: usize, n: usize) -> f64 {
+    use std::f64::consts::PI;
+    let x = i as f64 / (n - 1) as f64;
+    let y = j as f64 / (n - 1) as f64;
+    let z = k as f64 / (n - 1) as f64;
+    (PI * x).sin() * (PI * y).sin() * (PI * z).sin()
+}
+
+/// Gauss–Seidel sweep over a plain level. Returns flops.
+fn smooth_plain(level: &mut Level) -> f64 {
+    let n = level.n;
+    let h2 = 1.0 / ((n - 1) as f64 * (n - 1) as f64);
+    for i in 1..n - 1 {
+        for j in 1..n - 1 {
+            for k in 1..n - 1 {
+                let sum = level.cells[level.idx(i - 1, j, k)].u
+                    + level.cells[level.idx(i + 1, j, k)].u
+                    + level.cells[level.idx(i, j - 1, k)].u
+                    + level.cells[level.idx(i, j + 1, k)].u
+                    + level.cells[level.idx(i, j, k - 1)].u
+                    + level.cells[level.idx(i, j, k + 1)].u;
+                let c = level.idx(i, j, k);
+                level.cells[c].u = (sum + h2 * level.cells[c].f) / 6.0;
+            }
+        }
+    }
+    8.0 * ((n - 2) * (n - 2) * (n - 2)) as f64
+}
+
+/// Residual `r = f + Δu` L2 norm over a plain level, and optionally write
+/// the residual into `out` (coarsened RHS staging).
+fn residual_plain(level: &Level, mut out: Option<&mut Vec<f64>>) -> f64 {
+    let n = level.n;
+    let inv_h2 = ((n - 1) as f64) * ((n - 1) as f64);
+    let mut norm = 0.0;
+    if let Some(out) = out.as_deref_mut() {
+        out.clear();
+        out.resize(n * n * n, 0.0);
+    }
+    for i in 1..n - 1 {
+        for j in 1..n - 1 {
+            for k in 1..n - 1 {
+                let sum = level.cells[level.idx(i - 1, j, k)].u
+                    + level.cells[level.idx(i + 1, j, k)].u
+                    + level.cells[level.idx(i, j - 1, k)].u
+                    + level.cells[level.idx(i, j + 1, k)].u
+                    + level.cells[level.idx(i, j, k - 1)].u
+                    + level.cells[level.idx(i, j, k + 1)].u;
+                let c = level.idx(i, j, k);
+                let lap = (sum - 6.0 * level.cells[c].u) * inv_h2;
+                let r = level.cells[c].f + lap;
+                norm += r * r;
+                if let Some(out) = out.as_deref_mut() {
+                    out[c] = r;
+                }
+            }
+        }
+    }
+    norm.sqrt()
+}
+
+/// Injection restriction of the residual into the coarse RHS.
+fn restrict(fine_res: &[f64], fine_n: usize, coarse: &mut Level) {
+    let cn = coarse.n;
+    for i in 1..cn - 1 {
+        for j in 1..cn - 1 {
+            for k in 1..cn - 1 {
+                let fi = ((2 * i) * fine_n + 2 * j) * fine_n + 2 * k;
+                let c = coarse.idx(i, j, k);
+                coarse.cells[c].f = fine_res[fi];
+                coarse.cells[c].u = 0.0;
+            }
+        }
+    }
+}
+
+/// Add the prolonged coarse correction into the fine solution
+/// (nearest-neighbor interpolation: coarse cell (i,j,k) corrects the 2×2×2
+/// fine block at (2i, 2j, 2k)).
+fn prolong(coarse: &Level, fine: &mut Level) {
+    let fn_ = fine.n;
+    for i in 1..fn_ - 1 {
+        for j in 1..fn_ - 1 {
+            for k in 1..fn_ - 1 {
+                let c = coarse.idx(i / 2, j / 2, k / 2);
+                let f = fine.idx(i, j, k);
+                fine.cells[f].u += coarse.cells[c].u;
+            }
+        }
+    }
+}
+
+/// Recursive V-cycle on plain levels. Returns flops.
+fn vcycle(levels: &mut [Level], smooths: usize, scratch: &mut Vec<f64>) -> f64 {
+    let mut flops = 0.0;
+    if levels.len() == 1 {
+        // Coarsest: smooth hard.
+        for _ in 0..smooths * 8 {
+            flops += smooth_plain(&mut levels[0]);
+        }
+        return flops;
+    }
+    for _ in 0..smooths {
+        flops += smooth_plain(&mut levels[0]);
+    }
+    let fine_n = levels[0].n;
+    residual_plain(&levels[0], Some(scratch));
+    let res = std::mem::take(scratch);
+    restrict(&res, fine_n, &mut levels[1]);
+    *scratch = res;
+    flops += vcycle(&mut levels[1..], smooths, scratch);
+    let (fine, rest) = levels.split_at_mut(1);
+    prolong(&rest[0], &mut fine[0]);
+    for _ in 0..smooths {
+        flops += smooth_plain(&mut levels[0]);
+    }
+    flops
+}
+
+/// Plain (untraced) multigrid solve.
+pub fn run_plain(params: MgParams) -> MgOutput {
+    let mut levels = Vec::new();
+    let mut n = params.n;
+    while n >= 4 {
+        levels.push(Level::new(n));
+        n /= 2;
+    }
+    let fine_n = params.n;
+    for i in 0..fine_n {
+        for j in 0..fine_n {
+            for k in 0..fine_n {
+                let c = (i * fine_n + j) * fine_n + k;
+                levels[0].cells[c].f = rhs(i, j, k, fine_n);
+            }
+        }
+    }
+    let initial_residual = residual_plain(&levels[0], None);
+    let mut flops = 0.0;
+    let mut scratch = Vec::new();
+    for _ in 0..params.cycles {
+        flops += vcycle(&mut levels, params.smooths, &mut scratch);
+    }
+    let final_residual = residual_plain(&levels[0], None);
+    MgOutput {
+        params,
+        initial_residual,
+        final_residual,
+        flops,
+    }
+}
+
+/// Traced run: the fine grid `R` is tracked; the coarse hierarchy (a minor
+/// fraction of the working set) stays untraced, and only the fine-level
+/// smoother/residual sweeps — the paper's modeled template — are recorded.
+pub fn run_traced(params: MgParams, rec: &Recorder) -> MgOutput {
+    let n = params.n;
+    let mut r = rec.buffer::<Cell>("R", n * n * n);
+    let idx = |i: usize, j: usize, k: usize| (i * n + j) * n + k;
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                r.raw_mut()[idx(i, j, k)].f = rhs(i, j, k, n);
+            }
+        }
+    }
+
+    // Coarse hierarchy: plain levels below the fine one.
+    let mut coarse = Vec::new();
+    let mut cn = n / 2;
+    while cn >= 4 {
+        coarse.push(Level::new(cn));
+        cn /= 2;
+    }
+
+    let h2 = 1.0 / ((n - 1) as f64 * (n - 1) as f64);
+    let inv_h2 = 1.0 / h2;
+    let mut flops = 0.0;
+    let mut scratch: Vec<f64> = Vec::new();
+
+    let initial_residual = {
+        let level = Level {
+            n,
+            cells: r.raw().to_vec(),
+        };
+        residual_plain(&level, None)
+    };
+
+    let smooth_traced = |r: &mut crate::recorder::TrackedBuffer<Cell>| {
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                for k in 1..n - 1 {
+                    let sum = r.get(idx(i - 1, j, k)).u
+                        + r.get(idx(i + 1, j, k)).u
+                        + r.get(idx(i, j - 1, k)).u
+                        + r.get(idx(i, j + 1, k)).u
+                        + r.get(idx(i, j, k - 1)).u
+                        + r.get(idx(i, j, k + 1)).u;
+                    let c = idx(i, j, k);
+                    let f = r.get(c).f;
+                    r.update(c, |mut cell| {
+                        cell.u = (sum + h2 * f) / 6.0;
+                        cell
+                    });
+                }
+            }
+        }
+        8.0 * ((n - 2) * (n - 2) * (n - 2)) as f64
+    };
+
+    for _ in 0..params.cycles {
+        rec.set_enabled(true);
+        for _ in 0..params.smooths {
+            flops += smooth_traced(&mut r);
+        }
+        // Residual sweep (traced reads of R).
+        scratch.clear();
+        scratch.resize(n * n * n, 0.0);
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                for k in 1..n - 1 {
+                    let sum = r.get(idx(i - 1, j, k)).u
+                        + r.get(idx(i + 1, j, k)).u
+                        + r.get(idx(i, j - 1, k)).u
+                        + r.get(idx(i, j + 1, k)).u
+                        + r.get(idx(i, j, k - 1)).u
+                        + r.get(idx(i, j, k + 1)).u;
+                    let c = idx(i, j, k);
+                    let cell = r.get(c);
+                    scratch[c] = cell.f + (sum - 6.0 * cell.u) * inv_h2;
+                    flops += 10.0;
+                }
+            }
+        }
+        rec.set_enabled(false);
+
+        // Coarse correction (untraced minor phase).
+        if !coarse.is_empty() {
+            restrict(&scratch, n, &mut coarse[0]);
+            flops += vcycle(&mut coarse, params.smooths, &mut scratch);
+            // Prolong coarse correction onto the tracked fine grid.
+            rec.set_enabled(true);
+            let c0 = &coarse[0];
+            for i in 1..n - 1 {
+                for j in 1..n - 1 {
+                    for k in 1..n - 1 {
+                        let corr = c0.cells[c0.idx(i / 2, j / 2, k / 2)].u;
+                        if corr != 0.0 {
+                            r.update(idx(i, j, k), |mut cell| {
+                                cell.u += corr;
+                                cell
+                            });
+                        }
+                    }
+                }
+            }
+            for _ in 0..params.smooths {
+                flops += smooth_traced(&mut r);
+            }
+            rec.set_enabled(false);
+        }
+    }
+
+    let final_residual = {
+        let level = Level {
+            n,
+            cells: r.raw().to_vec(),
+        };
+        residual_plain(&level, None)
+    };
+    MgOutput {
+        params,
+        initial_residual,
+        final_residual,
+        flops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_is_16_bytes() {
+        assert_eq!(std::mem::size_of::<Cell>(), 16);
+    }
+
+    #[test]
+    fn vcycles_reduce_residual() {
+        let out = run_plain(MgParams {
+            n: 16,
+            cycles: 4,
+            smooths: 2,
+        });
+        assert!(
+            out.final_residual < 0.2 * out.initial_residual,
+            "initial {} final {}",
+            out.initial_residual,
+            out.final_residual
+        );
+    }
+
+    #[test]
+    fn more_cycles_converge_further() {
+        let one = run_plain(MgParams {
+            n: 16,
+            cycles: 1,
+            smooths: 2,
+        });
+        let four = run_plain(MgParams {
+            n: 16,
+            cycles: 4,
+            smooths: 2,
+        });
+        assert!(four.final_residual < one.final_residual);
+    }
+
+    #[test]
+    fn traced_reduces_residual_too() {
+        let rec = Recorder::new();
+        let out = run_traced(
+            MgParams {
+                n: 16,
+                cycles: 2,
+                smooths: 2,
+            },
+            &rec,
+        );
+        assert!(out.final_residual < out.initial_residual);
+        let trace = rec.into_trace();
+        let r = trace.registry.id("R").unwrap();
+        assert!(trace.refs.iter().all(|x| x.ds == r));
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn trace_addresses_stay_in_bounds() {
+        let rec = Recorder::new();
+        let params = MgParams {
+            n: 8,
+            cycles: 1,
+            smooths: 1,
+        };
+        run_traced(params, &rec);
+        let trace = rec.into_trace();
+        let bytes = (params.n * params.n * params.n * 16) as u64;
+        assert!(trace.refs.iter().all(|r| r.addr < bytes));
+    }
+}

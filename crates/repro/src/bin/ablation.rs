@@ -1,0 +1,68 @@
+//! Extension study: how sensitive is the CGPMAC/LRU modeling to the
+//! simulator's replacement policy?
+//!
+//! The paper's models assume LRU. This ablation replays each verification
+//! trace under LRU, FIFO, tree-PLRU and random replacement and reports the
+//! per-policy main-memory loads, quantifying how far the LRU assumption
+//! drifts on other policies.
+
+use dvf_cachesim::{config::table4, simulate_with_policy, PolicyKind};
+use dvf_kernels::{barnes_hut, fft, mc, mg, vm, Recorder};
+
+fn main() {
+    println!("Ablation — replacement-policy sensitivity of the verification traces");
+    println!("(Small 8KB verification cache; per-kernel total main-memory loads)\n");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "kernel", "refs", "lru", "fifo", "plru", "random"
+    );
+
+    let traces: Vec<(&str, dvf_cachesim::Trace)> = vec![
+        ("VM", {
+            let rec = Recorder::new();
+            vm::run_traced(vm::VmParams::verification(), &rec);
+            rec.into_trace()
+        }),
+        ("NB", {
+            let rec = Recorder::new();
+            barnes_hut::run_traced(barnes_hut::NbParams::verification(), &rec);
+            rec.into_trace()
+        }),
+        ("MG", {
+            let rec = Recorder::new();
+            mg::run_traced(mg::MgParams::verification(), &rec);
+            rec.into_trace()
+        }),
+        ("FT", {
+            let rec = Recorder::new();
+            fft::run_traced(fft::FtParams::class_s(), &rec);
+            rec.into_trace()
+        }),
+        ("MC", {
+            let rec = Recorder::new();
+            mc::run_traced(mc::McParams::verification(), &rec);
+            rec.into_trace()
+        }),
+    ];
+
+    for (name, trace) in &traces {
+        let mut misses = Vec::new();
+        for kind in PolicyKind::ALL {
+            let report = simulate_with_policy(trace, table4::SMALL_VERIFICATION, kind);
+            misses.push(report.total().misses);
+        }
+        println!(
+            "{:<8} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            name,
+            trace.len(),
+            misses[0],
+            misses[1],
+            misses[2],
+            misses[3]
+        );
+    }
+
+    println!("\nInterpretation: streaming-dominated kernels (VM) are policy-insensitive;");
+    println!("reuse-heavy kernels (FT, MG) drift most under FIFO/random, bounding the");
+    println!("error of applying the LRU-based analytical models to other hardware.");
+}

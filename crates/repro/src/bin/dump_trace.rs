@@ -1,0 +1,87 @@
+//! `dump_trace` — export a kernel's reference trace to a file.
+//!
+//! ```text
+//! dump_trace <kernel> <out-file> [--format binary|text]
+//! ```
+//!
+//! Kernels: vm, cg, nb, mg, ft, mc (verification input sizes). The output
+//! feeds `simtrace` or any external cache model.
+
+use dvf_cachesim::{binio, Trace};
+use dvf_kernels::{barnes_hut, cg, fft, mc, mg, vm, Recorder};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: dump_trace <vm|cg|nb|mg|ft|mc> <out-file> [--format binary|text]\n";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(kernel), Some(out)) = (args.first(), args.get(1)) else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let mut format = "binary".to_owned();
+    let mut it = args[2..].iter();
+    while let Some(flag) = it.next() {
+        match (flag.as_str(), it.next()) {
+            ("--format", Some(v)) if v == "binary" || v == "text" => format = v.clone(),
+            _ => {
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let rec = Recorder::new();
+    let trace: Trace = match kernel.as_str() {
+        "vm" => {
+            vm::run_traced(vm::VmParams::verification(), &rec);
+            rec.into_trace()
+        }
+        "cg" => {
+            cg::run_traced(cg::CgParams::verification(), &rec);
+            rec.into_trace()
+        }
+        "nb" => {
+            barnes_hut::run_traced(barnes_hut::NbParams::verification(), &rec);
+            rec.into_trace()
+        }
+        "mg" => {
+            mg::run_traced(mg::MgParams::verification(), &rec);
+            rec.into_trace()
+        }
+        "ft" => {
+            fft::run_traced(fft::FtParams::class_s(), &rec);
+            rec.into_trace()
+        }
+        "mc" => {
+            mc::run_traced(mc::McParams::verification(), &rec);
+            rec.into_trace()
+        }
+        other => {
+            eprintln!("unknown kernel `{other}`\n");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let result = if format == "binary" {
+        std::fs::File::create(out)
+            .and_then(|f| binio::write_binary(&trace, std::io::BufWriter::new(f)))
+    } else {
+        std::fs::write(out, trace.to_text())
+    };
+    match result {
+        Ok(()) => {
+            println!(
+                "wrote {} references over {} structures to {out} ({format})",
+                trace.len(),
+                trace.registry.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Regenerates paper Fig. 5: DVF profiling.
+//!
+//! For the six kernels at the Table VI profiling inputs, prints per-data-
+//! structure DVF across the four Table IV profiling caches (16 KB, 128 KB,
+//! 1 MB, 8 MB), plus the shape checks the paper discusses in §IV-B.
+
+use dvf_repro::{app_dvf, profile_all};
+
+fn main() {
+    println!("Fig. 5 — DVF profiling (inputs: Table VI; caches: 16KB/128KB/1MB/8MB; no ECC)");
+    let rows = profile_all();
+    print!("{}", dvf_repro::render::render_profile(&rows));
+
+    if let Some(dir) = dvf_repro::csv::csv_dir_from_args() {
+        let csv_rows: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.kernel.to_owned(),
+                    r.data.clone(),
+                    r.cache.to_owned(),
+                    format!("{}", r.size_bytes),
+                    format!("{}", r.n_ha),
+                    format!("{}", r.time_s),
+                    format!("{}", r.dvf),
+                ]
+            })
+            .collect();
+        let path = dvf_repro::csv::write_csv(
+            &dir,
+            "fig5",
+            &["kernel", "data", "cache", "size_bytes", "n_ha", "time_s", "dvf"],
+            &csv_rows,
+        )
+        .expect("write csv");
+        println!("wrote {}", path.display());
+    }
+
+    println!("\n== Shape checks (paper §IV-B observations) ==");
+    let vm_a = rows
+        .iter()
+        .find(|r| r.kernel == "VM" && r.data == "A" && r.cache == "8MB")
+        .expect("VM/A row");
+    let vm_b = rows
+        .iter()
+        .find(|r| r.kernel == "VM" && r.data == "B" && r.cache == "8MB")
+        .expect("VM/B row");
+    println!(
+        "VM: DVF(A) > DVF(B):            {} ({:.3e} vs {:.3e})",
+        vm_a.dvf > vm_b.dvf,
+        vm_a.dvf,
+        vm_b.dvf
+    );
+    let cg = app_dvf(&rows, "CG", "8MB");
+    let ft = app_dvf(&rows, "FT", "8MB");
+    println!(
+        "CG DVF >> FT DVF:               {} (ratio {:.0}x)",
+        cg > 100.0 * ft,
+        cg / ft
+    );
+    let mc = app_dvf(&rows, "MC", "8MB");
+    let nb = app_dvf(&rows, "NB", "8MB");
+    println!(
+        "MC DVF >> NB DVF:               {} (ratio {:.0}x)",
+        mc > nb,
+        mc / nb
+    );
+    let ft16 = app_dvf(&rows, "FT", "16KB");
+    let ft128 = app_dvf(&rows, "FT", "128KB");
+    println!(
+        "FT jumps below 32KB threshold:  {} (16KB/128KB DVF ratio {:.1}x)",
+        ft16 > 2.0 * ft128,
+        ft16 / ft128
+    );
+}

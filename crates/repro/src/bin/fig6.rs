@@ -1,0 +1,54 @@
+//! Regenerates paper Fig. 6: CG vs PCG vulnerability over problem size.
+//!
+//! PCG's auxiliary structures make it *more* vulnerable at small problem
+//! sizes; its convergence advantage makes it *less* vulnerable at large
+//! sizes — the crossover the paper uses to pick a joint
+//! performance/resilience operating point.
+
+use dvf_repro::{fig6_sweep, FIG6_SIZES};
+
+fn main() {
+    println!("Fig. 6 — CG vs PCG (largest Table IV cache, no ECC)\n");
+    let rows = fig6_sweep(&FIG6_SIZES);
+    print!("{}", dvf_repro::render::render_fig6(&rows));
+
+    if let Some(dir) = dvf_repro::csv::csv_dir_from_args() {
+        let csv_rows: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{}", r.n),
+                    format!("{}", r.cg_iters),
+                    format!("{}", r.pcg_iters),
+                    format!("{}", r.cg_dvf),
+                    format!("{}", r.pcg_dvf),
+                ]
+            })
+            .collect();
+        let path = dvf_repro::csv::write_csv(
+            &dir,
+            "fig6",
+            &["n", "cg_iters", "pcg_iters", "cg_dvf", "pcg_dvf"],
+            &csv_rows,
+        )
+        .expect("write csv");
+        println!("wrote {}", path.display());
+    }
+
+    let first = rows.first().expect("nonempty sweep");
+    let last = rows.last().expect("nonempty sweep");
+    println!(
+        "\nsmall-n: PCG more vulnerable:  {}",
+        first.pcg_dvf > first.cg_dvf
+    );
+    println!(
+        "large-n: PCG less vulnerable:  {}",
+        last.pcg_dvf < last.cg_dvf
+    );
+    if let Some(cross) = rows
+        .windows(2)
+        .find(|w| (w[0].pcg_dvf > w[0].cg_dvf) && (w[1].pcg_dvf <= w[1].cg_dvf))
+    {
+        println!("crossover between n = {} and n = {}", cross[0].n, cross[1].n);
+    }
+}

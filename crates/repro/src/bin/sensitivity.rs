@@ -1,0 +1,114 @@
+//! Extension study: parameter sensitivity of the access models.
+//!
+//! Computes elasticities (% change in modeled `N_ha` per % change in a
+//! parameter) at the profiling operating points, locating the regimes
+//! §IV-B describes qualitatively: streaming is capacity-insensitive, the
+//! random pattern degrades smoothly, and FT's template sits on a capacity
+//! cliff near its 32 KiB working set.
+
+use dvf_cachesim::CacheConfig;
+use dvf_core::patterns::{CacheView, RandomSpec, StreamingSpec, TemplateSpec};
+use dvf_core::sweep::elasticities;
+use dvf_kernels::fft::access_template;
+
+/// Cache with capacity scaled by `factor` relative to a base geometry
+/// (sets are scaled; associativity and line stay fixed). `factor` is
+/// snapped to the nearest power of two so the geometry stays valid.
+fn scaled_cache(base_sets: usize, assoc: usize, line: usize, factor: f64) -> CacheConfig {
+    let sets = ((base_sets as f64 * factor).round() as usize)
+        .next_power_of_two()
+        .max(1);
+    CacheConfig::new(assoc, sets, line).expect("valid geometry")
+}
+
+fn main() {
+    println!("Model sensitivity at the profiling operating points");
+    println!("(elasticity = %dN_ha per %dparameter; central differences)\n");
+    println!(
+        "{:<34} {:>12} {:>12}",
+        "model @ parameter", "value", "elasticity"
+    );
+
+    // Streaming (VM's A): N_ha vs cache capacity and problem size.
+    {
+        let f = |p: &[f64]| {
+            let cache = scaled_cache(1024, 2, 8, p[0]);
+            StreamingSpec {
+                element_bytes: 8,
+                num_elements: p[1] as u64,
+                stride_elements: 4,
+            }
+            .mem_accesses_aligned(&CacheView::exclusive(cache))
+            .unwrap()
+        };
+        for s in elasticities(f, &["cache_scale", "n"], &[1.0, 100_000.0], 0.5) {
+            println!(
+                "{:<34} {:>12.3} {:>12.3}",
+                format!("streaming(VM A) @ {}", s.param),
+                s.value,
+                s.elasticity
+            );
+        }
+    }
+
+    // Random (MC's G): vs cache capacity, N, lookups.
+    {
+        let f = |p: &[f64]| {
+            let cache = scaled_cache(1024, 2, 8, p[0]);
+            RandomSpec {
+                num_elements: p[1] as u64,
+                element_bytes: 16,
+                k: 1,
+                iterations: p[2] as u64,
+                ratio: 0.625,
+            }
+            .mem_accesses(&CacheView::exclusive(cache))
+            .unwrap()
+        };
+        for s in elasticities(
+            f,
+            &["cache_scale", "N", "lookups"],
+            &[1.0, 500_000.0, 100_000.0],
+            0.5,
+        ) {
+            println!(
+                "{:<34} {:>12.3} {:>12.3}",
+                format!("random(MC G) @ {}", s.param),
+                s.value,
+                s.elasticity
+            );
+        }
+    }
+
+    // Template (FT's X): vs cache capacity, straddling the 32 KiB cliff.
+    {
+        let template = access_template(2048);
+        let f = |p: &[f64]| {
+            let cache = scaled_cache(128, 4, 64, p[0]); // base 32 KiB
+            TemplateSpec::new(16, template.clone())
+                .mem_accesses_repeated(&CacheView::exclusive(cache), 4)
+                .unwrap()
+        };
+        for (label, base, step) in [
+            ("well below (8K)", 0.25, 0.5),
+            ("at the cliff (32K)", 1.0, 0.5),
+            ("well above (128K)", 4.0, 0.25),
+        ] {
+            let s = elasticities(&f, &["cache_scale"], &[base], step);
+            println!(
+                "{:<34} {:>12.3} {:>12.3}",
+                format!("template(FT X) @ {label}"),
+                s[0].value,
+                s[0].elasticity
+            );
+        }
+    }
+
+    println!(
+        "\nReading: streaming elasticity to capacity ~0 (compulsory misses only);\n\
+         random's reload is k-limited here, also ~0 to capacity and smooth in\n\
+         its own parameters; FT's template is flat away from its 32 KiB\n\
+         working set but violently capacity-sensitive across it — the\n\
+         Fig. 5(e) threshold, located quantitatively."
+    );
+}

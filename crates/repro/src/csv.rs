@@ -1,0 +1,65 @@
+//! Machine-readable output for the figure binaries.
+//!
+//! Every figure binary accepts `--csv <dir>`; the harness then also
+//! writes its series as a CSV file (for plotting pipelines), in addition
+//! to the human-readable table on stdout.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Parse `--csv <dir>` from the process arguments.
+pub fn csv_dir_from_args() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+/// Write `rows` as `<dir>/<name>.csv` with the given header. Creates the
+/// directory if needed; returns the written path.
+pub fn write_csv(
+    dir: &Path,
+    name: &str,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut out = std::io::BufWriter::new(std::fs::File::create(&path)?);
+    writeln!(out, "{}", header.join(","))?;
+    for row in rows {
+        debug_assert_eq!(row.len(), header.len(), "row arity mismatch");
+        writeln!(out, "{}", row.join(","))?;
+    }
+    out.flush()?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_formats() {
+        let dir = std::env::temp_dir().join(format!("dvf-csv-test-{}", std::process::id()));
+        let rows = vec![
+            vec!["a".into(), "1".into()],
+            vec!["b".into(), "2".into()],
+        ];
+        let path = write_csv(&dir, "t", &["name", "value"], &rows).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "name,value\na,1\nb,2\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn creates_nested_dirs() {
+        let dir = std::env::temp_dir()
+            .join(format!("dvf-csv-test-{}-nested", std::process::id()))
+            .join("deep");
+        let path = write_csv(&dir, "x", &["h"], &[vec!["v".into()]]).unwrap();
+        assert!(path.exists());
+        std::fs::remove_dir_all(path.parent().unwrap().parent().unwrap()).unwrap();
+    }
+}

@@ -1,0 +1,31 @@
+//! # dvf-repro
+//!
+//! Reproduction harness for every table and figure of the SC'14 DVF paper.
+//! Each evaluation artifact has a library entry point here and a binary
+//! that prints the same rows/series the paper plots:
+//!
+//! | artifact | content | binary |
+//! |---|---|---|
+//! | Table II  | the six kernels inventory | `table2` |
+//! | Table VII | FIT rates under ECC | `table7` |
+//! | Fig. 4    | model vs simulator verification | `fig4` |
+//! | Fig. 5    | DVF profiling across caches | `fig5` |
+//! | Fig. 6    | CG vs PCG vulnerability | `fig6` |
+//! | Fig. 7    | ECC protection trade-off | `fig7` |
+//! | (extension) | replacement-policy ablation | `ablation` |
+//!
+//! Run e.g. `cargo run --release -p dvf-repro --bin fig4`.
+
+pub mod composite;
+pub mod csv;
+pub mod models;
+pub mod profile;
+pub mod render;
+pub mod usecases;
+pub mod validation;
+pub mod verify;
+
+pub use models::StructureModel;
+pub use profile::{app_dvf, profile_all, ProfileRow};
+pub use usecases::{fig6_sweep, fig7_sweep, Fig6Row, Fig7Curve, FIG6_SIZES};
+pub use verify::{verify_all, KernelVerification, VerifyRow};

@@ -1,0 +1,334 @@
+//! CGPMAC model instances for the six kernels (+PCG).
+//!
+//! Each function plays the role of the paper's per-kernel "Aspen program":
+//! it reads the kernel's *pseudocode* (not its implementation) and maps
+//! every major data structure onto one of the four analytical patterns,
+//! producing the predicted number of main-memory loads `N_ha`. Parameters
+//! that the paper obtains "as a part of the application results" (Barnes-
+//! Hut's `k` and `iter`, CG's iteration count) are taken from the kernel
+//! outputs.
+//!
+//! Cache sharing follows the paper's rule: when several structures are
+//! accessed concurrently, each gets a fraction of the cache proportional
+//! to its size (§III-C).
+
+use crate::composite;
+use dvf_cachesim::CacheConfig;
+use dvf_core::comb::binomial_tail_ge;
+use dvf_core::patterns::{CacheView, RandomSpec, StreamingSpec, TemplateSpec};
+use dvf_kernels::barnes_hut::NbOutput;
+use dvf_kernels::fft::{access_template, FtParams};
+use dvf_kernels::mc::McParams;
+use dvf_kernels::mg::MgParams;
+use dvf_kernels::vm::VmParams;
+
+/// One modeled data structure: its footprint and predicted main-memory
+/// load count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructureModel {
+    /// Data structure name (matches the traced kernel's registry).
+    pub name: &'static str,
+    /// Footprint `S_d` in bytes.
+    pub size_bytes: u64,
+    /// Predicted main-memory loads (`N_ha`).
+    pub n_ha: f64,
+}
+
+impl StructureModel {
+    fn new(name: &'static str, size_bytes: u64, n_ha: f64) -> Self {
+        Self {
+            name,
+            size_bytes,
+            n_ha,
+        }
+    }
+}
+
+/// VM: three streamed arrays (paper Algorithm 1). `A` is strided; `B`, `C`
+/// are dense. All misses are compulsory. The arrays are allocated
+/// line-aligned (as any allocator does for large arrays), so the
+/// alignment-exact streaming variant applies.
+pub fn vm_model(p: VmParams, cache: CacheConfig) -> Vec<StructureModel> {
+    let view = CacheView::exclusive(cache);
+    let m = p.iterations() as u64;
+    let a = StreamingSpec {
+        element_bytes: 8,
+        num_elements: p.n as u64,
+        stride_elements: p.stride_a as u64,
+    };
+    let bc = StreamingSpec::contiguous(8, m);
+    vec![
+        StructureModel::new(
+            "A",
+            8 * p.n as u64,
+            a.mem_accesses_aligned(&view).expect("valid spec"),
+        ),
+        StructureModel::new("B", 8 * m, bc.mem_accesses_aligned(&view).expect("valid spec")),
+        StructureModel::new("C", 8 * m, bc.mem_accesses_aligned(&view).expect("valid spec")),
+    ]
+}
+
+/// Per-structure cache share: proportional to footprint (paper §III-C).
+fn share(own: u64, total: u64) -> f64 {
+    (own as f64 / total as f64).clamp(1e-6, 1.0)
+}
+
+/// CG (paper Algorithm 4) — the composite-pattern kernel. The paper's CG
+/// program declares an access *order* over `A, x, p, r` whose steps carry
+/// template/streaming patterns; our composition operator evaluates that
+/// order as one pseudocode-derived joint template per iteration, with the
+/// periodic steady-state extrapolated across iterations (see
+/// [`crate::composite`]).
+pub fn cg_model(n: u64, iters: u64, cache: CacheConfig) -> Vec<StructureModel> {
+    let period = composite::cg_iteration_trace(n as usize);
+    let counts = composite::replay_periodic(&period, iters, cache);
+    let size_of = |name: &str| match name {
+        "A" => 8 * n * n,
+        _ => 8 * n,
+    };
+    // Report the paper's four major structures (q is internal scratch).
+    ["A", "x", "p", "r"]
+        .into_iter()
+        .map(|name| {
+            let n_ha = counts
+                .iter()
+                .find(|(c, _)| c == name)
+                .map(|(_, v)| *v)
+                .expect("structure present in period");
+            StructureModel::new(name, size_of(name), n_ha)
+        })
+        .collect()
+}
+
+/// PCG (paper Algorithm 5): the CG composition plus the preconditioner
+/// structures `z` and `M`.
+pub fn pcg_model(n: u64, iters: u64, cache: CacheConfig) -> Vec<StructureModel> {
+    let period = composite::pcg_iteration_trace(n as usize);
+    let counts = composite::replay_periodic(&period, iters, cache);
+    let size_of = |name: &str| match name {
+        "A" => 8 * n * n,
+        _ => 8 * n,
+    };
+    ["A", "x", "p", "r", "z", "M"]
+        .into_iter()
+        .map(|name| {
+            let n_ha = counts
+                .iter()
+                .find(|(c, _)| c == name)
+                .map(|(_, v)| *v)
+                .expect("structure present in period");
+            StructureModel::new(name, size_of(name), n_ha)
+        })
+        .collect()
+}
+
+/// Barnes-Hut: the tree `T` is the paper's random-pattern example with
+/// `(N, E, k, iter, r)` taken from the run (`N` = arena nodes, `k` =
+/// average nodes visited per walk, `iter` = number of walks, ratio 1.0 as
+/// in the paper's own NB program). The body array `P` streams, but each
+/// body is *revisited* (force write-back) after its ~`k`-node tree walk;
+/// the revisit misses when the walk's traffic has evicted the body's
+/// block — a streaming × random composition.
+pub fn nb_model(out: &NbOutput, cache: CacheConfig) -> Vec<StructureModel> {
+    let view = CacheView::exclusive(cache);
+    let t_bytes = 32 * out.tree_nodes as u64;
+    let p_bytes = 32 * out.params.bodies as u64;
+    let t = RandomSpec {
+        num_elements: out.tree_nodes as u64,
+        element_bytes: 32,
+        k: out.k_avg.round() as u64,
+        iterations: out.iterations as u64,
+        ratio: 1.0,
+    };
+    let p_stream = StreamingSpec::contiguous(32, out.params.bodies as u64)
+        .mem_accesses_aligned(&view)
+        .expect("valid spec");
+    // Blocks of tree traffic between a body's read and its write-back:
+    // each lands in a given set with probability 1/NA; the body's block is
+    // evicted once CA distinct newer blocks hit its set (LRU).
+    let walk_blocks =
+        (out.k_avg * 32.0 / cache.line_bytes as f64).round() as u64;
+    let evict_prob = binomial_tail_ge(
+        walk_blocks,
+        1.0 / cache.num_sets as f64,
+        cache.associativity as u64,
+    );
+    let p_nha = p_stream + out.iterations as f64 * evict_prob;
+    vec![
+        StructureModel::new("T", t_bytes, t.mem_accesses(&view).expect("valid spec")),
+        StructureModel::new("P", p_bytes, p_nha),
+    ]
+}
+
+/// The element-reference template of one MG V-cycle on the fine grid,
+/// mirroring Algorithm 3's sweeps (pre-smooths, residual, prolongation
+/// update, post-smooths). Consecutive duplicate references are collapsed
+/// — they can never miss and would only inflate the template.
+pub fn mg_cycle_template(n: u64, smooths: u64) -> Vec<u64> {
+    let idx = |i: u64, j: u64, k: u64| (i * n + j) * n + k;
+    let interior = (n - 2) * (n - 2) * (n - 2);
+    let per_cell = 7;
+    let mut refs = Vec::with_capacity(((2 * smooths + 2) * interior * per_cell) as usize);
+
+    let sweep = |refs: &mut Vec<u64>| {
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                for k in 1..n - 1 {
+                    refs.extend_from_slice(&[
+                        idx(i - 1, j, k),
+                        idx(i + 1, j, k),
+                        idx(i, j - 1, k),
+                        idx(i, j + 1, k),
+                        idx(i, j, k - 1),
+                        idx(i, j, k + 1),
+                        idx(i, j, k), // f read + u update collapse to one touch
+                    ]);
+                }
+            }
+        }
+    };
+
+    for _ in 0..smooths {
+        sweep(&mut refs); // pre-smooth
+    }
+    sweep(&mut refs); // residual (same stencil reads)
+    // Prolongation correction: one touch per interior cell.
+    for i in 1..n - 1 {
+        for j in 1..n - 1 {
+            for k in 1..n - 1 {
+                refs.push(idx(i, j, k));
+            }
+        }
+    }
+    for _ in 0..smooths {
+        sweep(&mut refs); // post-smooth
+    }
+    refs
+}
+
+/// MG: the fine grid `R` follows the V-cycle stencil template, repeated
+/// once per cycle.
+pub fn mg_model(p: MgParams, cache: CacheConfig) -> Vec<StructureModel> {
+    let view = CacheView::exclusive(cache);
+    let n = p.n as u64;
+    let refs = mg_cycle_template(n, p.smooths as u64);
+    let spec = TemplateSpec::new(16, refs);
+    let n_ha = spec
+        .mem_accesses_repeated(&view, p.cycles as u64)
+        .expect("valid template");
+    vec![StructureModel::new("R", 16 * n * n * n, n_ha)]
+}
+
+/// FT: the array `X` follows the published FFT butterfly template
+/// (bit-reversal + log₂ n passes), one repetition per transform.
+pub fn ft_model(p: FtParams, cache: CacheConfig) -> Vec<StructureModel> {
+    let view = CacheView::exclusive(cache);
+    let spec = TemplateSpec::new(16, access_template(p.n));
+    let n_ha = spec
+        .mem_accesses_repeated(&view, p.repeats as u64)
+        .expect("valid template");
+    vec![StructureModel::new("X", 16 * p.n as u64, n_ha)]
+}
+
+/// MC: the grid `G` and cross-section table `E` are accessed randomly and
+/// concurrently; each gets a size-proportional share of the cache —
+/// the paper's own interference example.
+pub fn mc_model(p: McParams, cache: CacheConfig) -> Vec<StructureModel> {
+    let g_bytes = p.grid_bytes();
+    let e_bytes = p.xs_bytes();
+    let total = g_bytes + e_bytes;
+    let view = CacheView::exclusive(cache);
+    let g = RandomSpec {
+        num_elements: p.grid_points as u64,
+        element_bytes: 16,
+        k: 1,
+        iterations: p.lookups as u64,
+        ratio: share(g_bytes, total),
+    };
+    let e = RandomSpec {
+        num_elements: p.xs_entries as u64,
+        element_bytes: 16,
+        k: 1,
+        iterations: p.lookups as u64,
+        ratio: share(e_bytes, total),
+    };
+    vec![
+        StructureModel::new("G", g_bytes, g.mem_accesses(&view).expect("valid spec")),
+        StructureModel::new("E", e_bytes, e.mem_accesses(&view).expect("valid spec")),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvf_cachesim::config::table4;
+
+    #[test]
+    fn vm_model_shapes() {
+        let m = vm_model(VmParams { n: 200, stride_a: 4 }, table4::SMALL_VERIFICATION);
+        assert_eq!(m.len(), 3);
+        // Aligned arrays, stride 32 B = CL: one line per reference.
+        assert!((m[0].n_ha - 50.0).abs() < 1e-9);
+        assert!((m[1].n_ha - (50.0f64 * 8.0 / 32.0).ceil()).abs() < 1e-9);
+        assert!(m[0].n_ha > m[1].n_ha);
+    }
+
+    #[test]
+    fn cg_a_hits_in_large_cache() {
+        // n=500: A = 2 MB fits the 4 MB verification cache; across 5
+        // iterations only the first streams from memory.
+        let small = cg_model(500, 5, table4::SMALL_VERIFICATION);
+        let large = cg_model(500, 5, table4::LARGE_VERIFICATION);
+        let a_small = small[0].n_ha;
+        let a_large = large[0].n_ha;
+        // Small cache: 5 full streams of 2MB/32B.
+        assert!((a_small - 5.0 * (2_000_000.0 / 32.0)).abs() < 2.0);
+        // Large cache: one stream of 2MB/64B.
+        assert!((a_large - 2_000_000.0 / 64.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn cg_p_survives_in_large_cache() {
+        let large = cg_model(500, 5, table4::LARGE_VERIFICATION);
+        let p = &large[2];
+        assert_eq!(p.name, "p");
+        // p = 4 KB = 63 lines; with a 4 MB cache the reuse reload is ~0.
+        assert!(p.n_ha < 70.0, "p N_ha = {}", p.n_ha);
+    }
+
+    #[test]
+    fn mc_shares_sum_to_one() {
+        let p = McParams::verification();
+        assert!(
+            (share(p.grid_bytes(), p.grid_bytes() + p.xs_bytes())
+                + share(p.xs_bytes(), p.grid_bytes() + p.xs_bytes())
+                - 1.0)
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn mg_template_is_deduped_and_in_bounds() {
+        let n = 8u64;
+        let refs = mg_cycle_template(n, 1);
+        assert!(refs.iter().all(|&r| r < n * n * n));
+        for w in refs.windows(2) {
+            assert_ne!(w[0], w[1], "consecutive duplicate survived dedup");
+        }
+        // 3 sweeps * 7 refs + 1 prolong ref per interior cell.
+        assert_eq!(refs.len() as u64, 6 * 6 * 6 * (3 * 7 + 1));
+    }
+
+    #[test]
+    fn ft_model_jumps_below_capacity_threshold() {
+        // 2048-point FFT = 32 KiB: fits the 1 MB cache, thrashes in 16 KB.
+        let p = FtParams::class_s();
+        let small = ft_model(p, table4::PROFILE_16KB)[0].n_ha;
+        let large = ft_model(p, table4::PROFILE_1MB)[0].n_ha;
+        assert!(
+            small > 3.0 * large,
+            "expected a sharp jump: 16KB {small} vs 1MB {large}"
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! DVF profiling (paper §IV-B, Fig. 5).
+//!
+//! For each kernel at the Table VI input sizes, across the four profiling
+//! cache configurations of Table IV: estimate `N_ha` with the CGPMAC
+//! models, derive the execution time from the Aspen roofline machine
+//! model (flops measured by actually running the kernel once), and
+//! compute per-data-structure DVF at the unprotected FIT rate.
+
+use crate::models::{self, StructureModel};
+use dvf_cachesim::{config::table4, CacheConfig};
+use dvf_core::dvf::dvf_d;
+use dvf_core::fit::{EccScheme, FitRate};
+use dvf_core::timemodel::{MachineModel, ResourceDemand};
+use dvf_kernels::{barnes_hut, cg, fft, mc, mg, vm};
+
+/// One Fig. 5 data point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileRow {
+    /// Kernel short name.
+    pub kernel: &'static str,
+    /// Data structure name.
+    pub data: String,
+    /// Cache label (Table IV profiling set).
+    pub cache: &'static str,
+    /// Footprint in bytes.
+    pub size_bytes: u64,
+    /// Modeled main-memory loads.
+    pub n_ha: f64,
+    /// Modeled execution time in seconds.
+    pub time_s: f64,
+    /// DVF (no ECC).
+    pub dvf: f64,
+}
+
+/// Kernel profile: measured flops plus a model builder over caches.
+struct KernelProfile {
+    kernel: &'static str,
+    flops: f64,
+    model: Box<dyn Fn(CacheConfig) -> Vec<StructureModel>>,
+}
+
+fn rows_for(profile: &KernelProfile, machine: &MachineModel) -> Vec<ProfileRow> {
+    let fit = FitRate::of(EccScheme::None);
+    let mut rows = Vec::new();
+    for (label, config) in table4::PROFILING_LABELS.iter().zip(table4::PROFILING) {
+        let structures = (profile.model)(config);
+        let total_nha: f64 = structures.iter().map(|s| s.n_ha).sum();
+        let time_s = ResourceDemand::from_accesses(
+            profile.flops,
+            total_nha,
+            config.line_bytes as u64,
+        )
+        .time_on(machine);
+        for s in &structures {
+            rows.push(ProfileRow {
+                kernel: profile.kernel,
+                data: s.name.to_owned(),
+                cache: label,
+                size_bytes: s.size_bytes,
+                n_ha: s.n_ha,
+                time_s,
+                dvf: dvf_d(fit, time_s, s.size_bytes, s.n_ha),
+            });
+        }
+    }
+    rows
+}
+
+/// Profile all six kernels at the Table VI inputs (Fig. 5).
+///
+/// Runs each kernel once (untraced) to obtain measured flops and the
+/// model parameters the paper takes from application output (NB's `k` and
+/// `iter`, CG's iteration count).
+pub fn profile_all() -> Vec<ProfileRow> {
+    let machine = MachineModel::default();
+    let mut rows = Vec::new();
+
+    // VM
+    let vm_params = vm::VmParams::profiling();
+    let vm_out = vm::run_plain(vm_params);
+    rows.extend(rows_for(
+        &KernelProfile {
+            kernel: "VM",
+            flops: vm_out.flops,
+            model: Box::new(move |cfg| models::vm_model(vm_params, cfg)),
+        },
+        &machine,
+    ));
+
+    // CG
+    let cg_params = cg::CgParams::profiling();
+    let (cg_out, _) = cg::run_plain(cg_params);
+    let (n, iters) = (cg_params.n as u64, cg_out.iterations as u64);
+    rows.extend(rows_for(
+        &KernelProfile {
+            kernel: "CG",
+            flops: cg_out.flops,
+            model: Box::new(move |cfg| models::cg_model(n, iters, cfg)),
+        },
+        &machine,
+    ));
+
+    // NB
+    let nb_out = barnes_hut::run_plain(barnes_hut::NbParams::profiling());
+    let nb_flops = nb_out.flops;
+    rows.extend(rows_for(
+        &KernelProfile {
+            kernel: "NB",
+            flops: nb_flops,
+            model: Box::new(move |cfg| models::nb_model(&nb_out, cfg)),
+        },
+        &machine,
+    ));
+
+    // MG
+    let mg_params = mg::MgParams::profiling();
+    let mg_out = mg::run_plain(mg_params);
+    rows.extend(rows_for(
+        &KernelProfile {
+            kernel: "MG",
+            flops: mg_out.flops,
+            model: Box::new(move |cfg| models::mg_model(mg_params, cfg)),
+        },
+        &machine,
+    ));
+
+    // FT
+    let ft_params = fft::FtParams::class_s();
+    let ft_flops = 5.0 * (ft_params.n as f64) * (ft_params.n as f64).log2()
+        * ft_params.repeats as f64;
+    rows.extend(rows_for(
+        &KernelProfile {
+            kernel: "FT",
+            flops: ft_flops,
+            model: Box::new(move |cfg| models::ft_model(ft_params, cfg)),
+        },
+        &machine,
+    ));
+
+    // MC
+    let mc_params = mc::McParams::profiling();
+    let mc_out = mc::run_plain(mc_params);
+    rows.extend(rows_for(
+        &KernelProfile {
+            kernel: "MC",
+            flops: mc_out.flops,
+            model: Box::new(move |cfg| models::mc_model(mc_params, cfg)),
+        },
+        &machine,
+    ));
+
+    rows
+}
+
+/// Sum DVF over the data structures of one kernel at one cache: `DVF_a`.
+pub fn app_dvf(rows: &[ProfileRow], kernel: &str, cache: &str) -> f64 {
+    rows.iter()
+        .filter(|r| r.kernel == kernel && r.cache == cache)
+        .map(|r| r.dvf)
+        .sum()
+}

@@ -1,0 +1,116 @@
+//! Plain-text rendering of reproduction results.
+
+use crate::profile::ProfileRow;
+use crate::usecases::{Fig6Row, Fig7Curve};
+use crate::verify::KernelVerification;
+use std::fmt::Write as _;
+
+/// Render Fig. 4 verification results as a table with error percentages.
+pub fn render_verification(results: &[KernelVerification]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<6} {:<8} {:<7} {:>16} {:>16} {:>9}",
+        "kernel", "data", "cache", "modeled", "simulated", "error%"
+    );
+    for kv in results {
+        for row in &kv.rows {
+            let _ = writeln!(
+                out,
+                "{:<6} {:<8} {:<7} {:>16.1} {:>16} {:>8.1}%",
+                row.kernel,
+                row.data,
+                row.cache,
+                row.modeled,
+                row.measured,
+                row.error() * 100.0
+            );
+        }
+    }
+    let worst = results
+        .iter()
+        .flat_map(|k| &k.rows)
+        .map(|r| r.error())
+        .fold(0.0f64, f64::max);
+    let _ = writeln!(out, "\nworst-case estimation error: {:.1}%", worst * 100.0);
+    out
+}
+
+/// Render Fig. 5 profiling results grouped by kernel.
+pub fn render_profile(rows: &[ProfileRow]) -> String {
+    let mut out = String::new();
+    let mut current = "";
+    for row in rows {
+        if row.kernel != current {
+            current = row.kernel;
+            let _ = writeln!(out, "\n== {} (T = {:.3e} s at 8MB row) ==", current, row.time_s);
+            let _ = writeln!(
+                out,
+                "{:<8} {:<7} {:>14} {:>14} {:>14}",
+                "data", "cache", "size (B)", "N_ha", "DVF"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<8} {:<7} {:>14} {:>14.3e} {:>14.4e}",
+            row.data, row.cache, row.size_bytes, row.n_ha, row.dvf
+        );
+    }
+    out
+}
+
+/// Render the Fig. 6 CG-vs-PCG series.
+pub fn render_fig6(rows: &[Fig6Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>5} {:>9} {:>10} {:>14} {:>14} {:>8}",
+        "n", "CG iters", "PCG iters", "CG DVF", "PCG DVF", "winner"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>5} {:>9} {:>10} {:>14.4e} {:>14.4e} {:>8}",
+            r.n,
+            r.cg_iters,
+            r.pcg_iters,
+            r.cg_dvf,
+            r.pcg_dvf,
+            if r.pcg_dvf < r.cg_dvf { "PCG" } else { "CG" }
+        );
+    }
+    out
+}
+
+/// Render the Fig. 7 ECC curves side by side.
+pub fn render_fig7(curves: &[Fig7Curve]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:>8}", "degr%");
+    for c in curves {
+        let _ = write!(out, " {:>16}", c.scheme.label());
+    }
+    let _ = writeln!(out);
+    let n = curves.first().map(|c| c.points.len()).unwrap_or(0);
+    for i in 0..n {
+        let _ = write!(out, "{:>7.0}%", curves[0].points[i].degradation * 100.0);
+        for c in curves {
+            let _ = write!(out, " {:>16.4e}", c.points[i].dvf);
+        }
+        let _ = writeln!(out);
+    }
+    for c in curves {
+        let min = c
+            .points
+            .iter()
+            .min_by(|a, b| a.dvf.total_cmp(&b.dvf))
+            .expect("nonempty sweep");
+        let _ = writeln!(
+            out,
+            "{}: minimum DVF {:.4e} at {:.0}% degradation",
+            c.scheme.label(),
+            min.dvf,
+            min.degradation * 100.0
+        );
+    }
+    out
+}

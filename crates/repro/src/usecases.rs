@@ -1,0 +1,120 @@
+//! The paper's two use cases (§V).
+//!
+//! * **Use case A** (Fig. 6): how does an algorithm optimization — here
+//!   preconditioning CG — change vulnerability across problem sizes?
+//! * **Use case B** (Fig. 7): how much resilience does a hardware ECC
+//!   mechanism buy, as a function of the performance it costs?
+
+use crate::models;
+use dvf_cachesim::config::table4;
+use dvf_core::dvf::dvf_d;
+use dvf_core::fit::{EccScheme, FitRate};
+use dvf_core::sweep::{degradation_grid, EccPoint, EccTradeoff};
+use dvf_core::timemodel::{MachineModel, ResourceDemand};
+use dvf_kernels::{cg, pcg, vm};
+
+/// One Fig. 6 data point: CG vs PCG DVF at one problem size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Row {
+    /// Matrix dimension.
+    pub n: usize,
+    /// CG iterations to convergence.
+    pub cg_iters: usize,
+    /// PCG iterations to convergence.
+    pub pcg_iters: usize,
+    /// CG application DVF.
+    pub cg_dvf: f64,
+    /// PCG application DVF.
+    pub pcg_dvf: f64,
+}
+
+/// Diagonal spread used at size `n`: none at n ≤ 200 (Jacobi gains
+/// nothing), growing with `n` (conditioning worsens with the problem, so
+/// preconditioning pays off at scale — the regime the paper's Fig. 6
+/// captures, with its crossover between n = 200 and n = 300).
+pub fn spread_for(n: usize) -> f64 {
+    ((n as f64 / 200.0 - 1.0) * 2.0).max(0.0)
+}
+
+/// Sweep CG vs PCG over problem sizes 100..=800 (paper Fig. 6). Uses the
+/// largest cache of Table IV, as §V does.
+pub fn fig6_sweep(sizes: &[usize]) -> Vec<Fig6Row> {
+    let machine = MachineModel::default();
+    let cache = table4::PROFILE_8MB;
+    let fit = FitRate::of(EccScheme::None);
+
+    // Each size is an independent pair of solves + model evaluations:
+    // fan out across cores.
+    dvf_core::sweep::par_map(sizes, |&n| {
+        {
+            let params = cg::CgParams {
+                n,
+                max_iters: 4000,
+                tol: 1e-8,
+                diag_spread: spread_for(n),
+            };
+            let (cg_out, _) = cg::run_plain(params);
+            let (pcg_out, _) = pcg::run_plain(params);
+
+            let dvf_of = |structures: &[models::StructureModel], flops: f64| {
+                let total_nha: f64 = structures.iter().map(|s| s.n_ha).sum();
+                let time = ResourceDemand::from_accesses(
+                    flops,
+                    total_nha,
+                    cache.line_bytes as u64,
+                )
+                .time_on(&machine);
+                structures
+                    .iter()
+                    .map(|s| dvf_d(fit, time, s.size_bytes, s.n_ha))
+                    .sum::<f64>()
+            };
+
+            let cg_structs = models::cg_model(n as u64, cg_out.iterations as u64, cache);
+            let pcg_structs = models::pcg_model(n as u64, pcg_out.iterations as u64, cache);
+
+            Fig6Row {
+                n,
+                cg_iters: cg_out.iterations,
+                pcg_iters: pcg_out.iterations,
+                cg_dvf: dvf_of(&cg_structs, cg_out.flops),
+                pcg_dvf: dvf_of(&pcg_structs, pcg_out.flops),
+            }
+        }
+    })
+}
+
+/// The paper's Fig. 6 problem sizes.
+pub const FIG6_SIZES: [usize; 8] = [100, 200, 300, 400, 500, 600, 700, 800];
+
+/// One ECC scheme's Fig. 7 curve.
+#[derive(Debug, Clone)]
+pub struct Fig7Curve {
+    /// Scheme.
+    pub scheme: EccScheme,
+    /// Points over the degradation grid.
+    pub points: Vec<EccPoint>,
+}
+
+/// Sweep ECC performance degradation 0–30 % for SECDED and Chipkill on
+/// the VM workload at the largest cache (paper Fig. 7).
+pub fn fig7_sweep() -> Vec<Fig7Curve> {
+    let machine = MachineModel::default();
+    let cache = table4::PROFILE_8MB;
+    let params = vm::VmParams::profiling();
+    let out = vm::run_plain(params);
+    let structures = models::vm_model(params, cache);
+    let total_nha: f64 = structures.iter().map(|s| s.n_ha).sum();
+    let total_bytes: u64 = structures.iter().map(|s| s.size_bytes).sum();
+    let base_time = ResourceDemand::from_accesses(out.flops, total_nha, cache.line_bytes as u64)
+        .time_on(&machine);
+
+    let grid = degradation_grid(0.30, 30);
+    [EccScheme::Secded, EccScheme::ChipkillCorrect]
+        .into_iter()
+        .map(|scheme| Fig7Curve {
+            scheme,
+            points: EccTradeoff::new(scheme).sweep(base_time, total_bytes, total_nha, &grid),
+        })
+        .collect()
+}

@@ -1,0 +1,154 @@
+//! Model verification (paper §IV-A, Fig. 4).
+//!
+//! For each kernel at the Table V input sizes: run the traced kernel once,
+//! replay its reference stream through the LRU cache simulator at the
+//! "Small" and "Large" verification configurations (Table IV), and compare
+//! the simulator's per-data-structure main-memory load counts against the
+//! CGPMAC analytical estimates. The paper reports estimation error within
+//! 15 % in all cases.
+
+use crate::models::{self, StructureModel};
+use dvf_cachesim::{config::table4, simulate, CacheConfig, Trace};
+use dvf_kernels::{barnes_hut, cg, fft, mc, mg, vm, Recorder};
+
+/// One Fig. 4 data point: a (kernel, data structure, cache) comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyRow {
+    /// Kernel short name (VM, CG, NB, MG, FT, MC).
+    pub kernel: &'static str,
+    /// Data structure name.
+    pub data: String,
+    /// Cache label ("small" / "large").
+    pub cache: &'static str,
+    /// Model-predicted main-memory loads.
+    pub modeled: f64,
+    /// Simulator-measured main-memory loads (cache misses).
+    pub measured: u64,
+}
+
+impl VerifyRow {
+    /// Relative estimation error `|model − sim| / sim`.
+    pub fn error(&self) -> f64 {
+        if self.measured == 0 {
+            if self.modeled == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.modeled - self.measured as f64).abs() / self.measured as f64
+        }
+    }
+}
+
+/// Verification result for one kernel: its trace statistics plus the rows
+/// for both cache configurations.
+#[derive(Debug, Clone)]
+pub struct KernelVerification {
+    /// Kernel short name.
+    pub kernel: &'static str,
+    /// References in the trace.
+    pub trace_refs: usize,
+    /// Comparison rows.
+    pub rows: Vec<VerifyRow>,
+}
+
+fn compare(
+    kernel: &'static str,
+    trace: &Trace,
+    model: &dyn Fn(CacheConfig) -> Vec<StructureModel>,
+) -> KernelVerification {
+    let mut rows = Vec::new();
+    for (label, config) in [
+        ("small", table4::SMALL_VERIFICATION),
+        ("large", table4::LARGE_VERIFICATION),
+    ] {
+        let report = simulate(trace, config);
+        for m in model(config) {
+            let ds = trace
+                .registry
+                .id(m.name)
+                .unwrap_or_else(|| panic!("{kernel}: model names unknown structure {}", m.name));
+            rows.push(VerifyRow {
+                kernel,
+                data: m.name.to_owned(),
+                cache: label,
+                modeled: m.n_ha,
+                measured: report.ds(ds).misses,
+            });
+        }
+    }
+    KernelVerification {
+        kernel,
+        trace_refs: trace.len(),
+        rows,
+    }
+}
+
+/// Verify VM.
+pub fn verify_vm() -> KernelVerification {
+    let params = vm::VmParams::verification();
+    let rec = Recorder::new();
+    vm::run_traced(params, &rec);
+    let trace = rec.into_trace();
+    compare("VM", &trace, &|cfg| models::vm_model(params, cfg))
+}
+
+/// Verify CG.
+pub fn verify_cg() -> KernelVerification {
+    let params = cg::CgParams::verification();
+    let rec = Recorder::new();
+    let out = cg::run_traced(params, &rec);
+    let trace = rec.into_trace();
+    let n = params.n as u64;
+    let iters = out.iterations as u64;
+    compare("CG", &trace, &move |cfg| models::cg_model(n, iters, cfg))
+}
+
+/// Verify Barnes-Hut.
+pub fn verify_nb() -> KernelVerification {
+    let params = barnes_hut::NbParams::verification();
+    let rec = Recorder::new();
+    let out = barnes_hut::run_traced(params, &rec);
+    let trace = rec.into_trace();
+    compare("NB", &trace, &move |cfg| models::nb_model(&out, cfg))
+}
+
+/// Verify MG.
+pub fn verify_mg() -> KernelVerification {
+    let params = mg::MgParams::verification();
+    let rec = Recorder::new();
+    mg::run_traced(params, &rec);
+    let trace = rec.into_trace();
+    compare("MG", &trace, &move |cfg| models::mg_model(params, cfg))
+}
+
+/// Verify FT.
+pub fn verify_ft() -> KernelVerification {
+    let params = fft::FtParams::class_s();
+    let rec = Recorder::new();
+    fft::run_traced(params, &rec);
+    let trace = rec.into_trace();
+    compare("FT", &trace, &move |cfg| models::ft_model(params, cfg))
+}
+
+/// Verify MC.
+pub fn verify_mc() -> KernelVerification {
+    let params = mc::McParams::verification();
+    let rec = Recorder::new();
+    mc::run_traced(params, &rec);
+    let trace = rec.into_trace();
+    compare("MC", &trace, &move |cfg| models::mc_model(params, cfg))
+}
+
+/// Run the full Fig. 4 verification suite.
+pub fn verify_all() -> Vec<KernelVerification> {
+    vec![
+        verify_vm(),
+        verify_cg(),
+        verify_nb(),
+        verify_mg(),
+        verify_ft(),
+        verify_mc(),
+    ]
+}

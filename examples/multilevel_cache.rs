@@ -1,0 +1,62 @@
+//! Extension: how much does an L1 in front of the LLC change DVF?
+//!
+//! The paper models the LLC only, arguing it dominates main-memory
+//! traffic; this example quantifies that argument with the two-level
+//! hierarchy substrate. For the paper's kernels, an L1 barely changes
+//! DRAM traffic (the LLC already filters reuse), validating the paper's
+//! single-level modeling choice — except where the working set fits L1
+//! itself.
+//!
+//! ```sh
+//! cargo run --release --example multilevel_cache
+//! ```
+
+use dvf::cachesim::config::table4;
+use dvf::cachesim::{simulate, simulate_hierarchy, CacheConfig};
+use dvf::kernels::{fft, mc, vm, Recorder};
+
+fn main() {
+    let l1 = CacheConfig::new(8, 64, 64).expect("valid geometry"); // 32 KiB
+    let llc = table4::LARGE_VERIFICATION; // 4 MiB
+
+    println!("DRAM loads: LLC-only vs L1(32KiB)+LLC(4MiB)\n");
+    println!(
+        "{:<6} {:<8} {:>14} {:>14} {:>9}",
+        "kernel", "data", "LLC only", "L1+LLC", "delta"
+    );
+
+    let mut cases: Vec<(&str, dvf::cachesim::Trace)> = Vec::new();
+    {
+        let rec = Recorder::new();
+        vm::run_traced(vm::VmParams::verification(), &rec);
+        cases.push(("VM", rec.into_trace()));
+    }
+    {
+        let rec = Recorder::new();
+        fft::run_traced(fft::FtParams::class_s(), &rec);
+        cases.push(("FT", rec.into_trace()));
+    }
+    {
+        let rec = Recorder::new();
+        mc::run_traced(mc::McParams::verification(), &rec);
+        cases.push(("MC", rec.into_trace()));
+    }
+
+    for (kernel, trace) in &cases {
+        let single = simulate(trace, llc);
+        let hier = simulate_hierarchy(trace, l1, llc);
+        for (ds, name) in trace.registry.iter() {
+            let only = single.ds(ds).mem_accesses();
+            let both = hier.mem_accesses(ds);
+            let delta = both as f64 / only.max(1) as f64 - 1.0;
+            println!(
+                "{kernel:<6} {name:<8} {only:>14} {both:>14} {:>8.1}%",
+                delta * 100.0
+            );
+        }
+    }
+
+    println!("\nReading: deltas near zero confirm the paper's LLC-only modeling;");
+    println!("a structure fitting L1 (FT's 32 KiB array exactly fills it) shows");
+    println!("where a future multi-level DVF model would diverge.");
+}

@@ -1,0 +1,79 @@
+//! Close the loop: from a DVF report to a selective-protection plan.
+//!
+//! A protection mechanism (replicated pages, software checkpointing of
+//! chosen allocations, ABFT checksums) can only cover so many bytes.
+//! DVF tells you which bytes: protect by vulnerability density and watch
+//! the residual application DVF fall — the paper's motivating scenario
+//! for per-structure resilience metrics.
+//!
+//! ```sh
+//! cargo run --release --example selective_protection
+//! ```
+
+use dvf::core::fit::EccScheme;
+use dvf::core::protect::plan_protection;
+use dvf::core::workflow::evaluate_source;
+
+const MODEL: &str = r#"
+machine node {
+  cache { associativity = 8  sets = 8192  line = 64 }
+  memory { ecc = none }
+  core { flops = 1e9  bandwidth = 4e9 }
+}
+
+// A CG-like application: one huge matrix, several small hot vectors.
+model solver {
+  param n = 2000
+  data A { size = n * n * 8  element = 8 }
+  data x { size = n * 8  element = 8 }
+  data p { size = n * 8  element = 8 }
+  data r { size = n * 8  element = 8 }
+  kernel iterate {
+    iters = 200
+    flops = 2 * n * n
+    access A as streaming()
+    access p as reuse(reuses = n + 3)
+    access x as streaming()
+    access r as streaming()
+  }
+}
+"#;
+
+fn main() {
+    let report = evaluate_source(MODEL, None, None, &[]).expect("model evaluates");
+    println!("Unprotected DVF report:\n\n{}", report.render());
+
+    // The mechanism: replicate chosen allocations on Chipkill-grade
+    // storage — residual vulnerability scales by the FIT ratio.
+    let residual = EccScheme::ChipkillCorrect.fit_per_mbit() / EccScheme::None.fit_per_mbit();
+
+    for budget in [64 * 1024u64, 16 << 20, u64::MAX] {
+        let plan = plan_protection(&report, budget, residual);
+        let label = if budget == u64::MAX {
+            "unlimited".to_owned()
+        } else {
+            format!("{} KiB", budget >> 10)
+        };
+        println!("== budget {label} ==");
+        for c in &plan.choices {
+            println!(
+                "  {}{:<4} {:>12} B  DVF {:.3e} -> {:.3e}",
+                if c.protected { "+" } else { " " },
+                c.name,
+                c.size_bytes,
+                c.dvf_before,
+                c.dvf_after
+            );
+        }
+        println!(
+            "  residual application DVF: {:.3e} ({:.1}% reduction, {} bytes spent)\n",
+            plan.dvf_after,
+            plan.reduction() * 100.0,
+            plan.bytes_used
+        );
+    }
+
+    println!("Note how the tiny hot vectors buy almost nothing — the matrix");
+    println!("dominates both footprint and DVF here, so partial budgets go to it");
+    println!("only when they can cover it; DVF densities make that call explicit.");
+}

@@ -1,0 +1,273 @@
+//! `dvf` — command-line front-end for the DVF toolchain.
+//!
+//! ```text
+//! dvf check <file>                      parse + resolve, report diagnostics
+//! dvf fmt <file>                        pretty-print in canonical form
+//! dvf eval <file> [options]             compute the DVF report
+//! dvf timed <file> [options]            time-resolved DVF per structure
+//! dvf protect <file> --budget B [options]
+//!                                       DVF-guided protection plan
+//!     --machine <name>                  pick a machine (if several)
+//!     --model <name>                    pick a model (if several)
+//!     --param <name>=<value>            override a parameter (repeatable)
+//!     --residual <f>                    protected-DVF factor (default 0)
+//! ```
+//!
+//! Exit code 0 on success, 1 on user error, 2 on bad usage.
+
+use dvf::aspen::{parse, Resolver};
+use dvf::core::workflow::evaluate;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: dvf <command> [args]
+
+commands:
+  check <file>                       parse and resolve; print diagnostics
+  fmt <file>                         pretty-print the model in canonical form
+  eval <file> [--machine M] [--model M] [--param k=v]...
+                                     compute and print the DVF report
+  timed <file> [same options]        time-resolved DVF (phase-weighted)
+  protect <file> --budget BYTES [--residual F] [same options]
+                                     plan selective protection by DVF density
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    match command.as_str() {
+        "check" => with_source(&args[1..], |source, _| match parse(source) {
+            Ok(doc) => {
+                let machines = doc
+                    .items
+                    .iter()
+                    .filter(|i| matches!(i, dvf::aspen::ast::Item::Machine(_)))
+                    .count();
+                let models = doc
+                    .items
+                    .iter()
+                    .filter(|i| matches!(i, dvf::aspen::ast::Item::Model(_)))
+                    .count();
+                println!("ok: {machines} machine(s), {models} model(s)");
+                ExitCode::SUCCESS
+            }
+            Err(d) => {
+                eprint!("{}", d.render(source));
+                ExitCode::FAILURE
+            }
+        }),
+        "fmt" => with_source(&args[1..], |source, _| match parse(source) {
+            Ok(doc) => {
+                print!("{}", dvf::aspen::pretty(&doc));
+                ExitCode::SUCCESS
+            }
+            Err(d) => {
+                eprint!("{}", d.render(source));
+                ExitCode::FAILURE
+            }
+        }),
+        "eval" => with_source(&args[1..], |s, f| eval_command(s, f, Mode::Classic)),
+        "timed" => with_source(&args[1..], |s, f| eval_command(s, f, Mode::Timed)),
+        "protect" => with_source(&args[1..], |s, f| eval_command(s, f, Mode::Protect)),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Read the file named by the first positional argument and hand the
+/// remaining flags to `f`.
+fn with_source(args: &[String], f: impl FnOnce(&str, &[String]) -> ExitCode) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("missing <file> argument\n");
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    match std::fs::read_to_string(path) {
+        Ok(source) => f(&source, &args[1..]),
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Which report `eval_command` produces.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Classic,
+    Timed,
+    Protect,
+}
+
+fn eval_command(source: &str, flags: &[String], mode: Mode) -> ExitCode {
+    let mut machine_name: Option<String> = None;
+    let mut model_name: Option<String> = None;
+    let mut overrides: Vec<(String, f64)> = Vec::new();
+    let mut budget: Option<u64> = None;
+    let mut residual: f64 = 0.0;
+
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        let value = |it: &mut std::slice::Iter<String>| -> Option<String> {
+            it.next().cloned()
+        };
+        match flag.as_str() {
+            "--machine" => match value(&mut it) {
+                Some(v) => machine_name = Some(v),
+                None => return usage_err("--machine needs a value"),
+            },
+            "--model" => match value(&mut it) {
+                Some(v) => model_name = Some(v),
+                None => return usage_err("--model needs a value"),
+            },
+            "--param" => match value(&mut it) {
+                Some(v) => match v.split_once('=') {
+                    Some((k, raw)) => match raw.parse::<f64>() {
+                        Ok(num) => overrides.push((k.to_owned(), num)),
+                        Err(_) => return usage_err(&format!("bad --param value `{raw}`")),
+                    },
+                    None => return usage_err("--param expects name=value"),
+                },
+                None => return usage_err("--param needs a value"),
+            },
+            "--budget" if mode == Mode::Protect => match value(&mut it) {
+                Some(v) => match v.parse::<u64>() {
+                    Ok(b) => budget = Some(b),
+                    Err(_) => return usage_err(&format!("bad --budget value `{v}`")),
+                },
+                None => return usage_err("--budget needs a value"),
+            },
+            "--residual" if mode == Mode::Protect => match value(&mut it) {
+                Some(v) => match v.parse::<f64>() {
+                    Ok(r) if (0.0..=1.0).contains(&r) => residual = r,
+                    _ => return usage_err(&format!("bad --residual value `{v}`")),
+                },
+                None => return usage_err("--residual needs a value"),
+            },
+            other => return usage_err(&format!("unknown flag `{other}`")),
+        }
+    }
+    if mode == Mode::Protect && budget.is_none() {
+        return usage_err("protect requires --budget <bytes>");
+    }
+
+    let doc = match parse(source) {
+        Ok(doc) => doc,
+        Err(d) => {
+            eprint!("{}", d.render(source));
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut resolver = Resolver::new(&doc);
+    for (k, v) in &overrides {
+        resolver = resolver.set_param(k, *v);
+    }
+    let machine = match resolver.machine(machine_name.as_deref()) {
+        Ok(m) => m,
+        Err(d) => {
+            eprint!("{}", d.render(source));
+            return ExitCode::FAILURE;
+        }
+    };
+    let app = match resolver.model(model_name.as_deref()) {
+        Ok(a) => a,
+        Err(d) => {
+            eprint!("{}", d.render(source));
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "machine `{}`: {} cache, FIT {}",
+        machine.name,
+        human_bytes(machine.cache.capacity()),
+        dvf::core::workflow::fit_of(&machine).0
+    );
+
+    match mode {
+        Mode::Classic => match evaluate(&app, &machine) {
+            Ok(report) => {
+                println!("model `{}` (T = {:.4e} s):\n", report.app, report.time_s);
+                print!("{}", report.render());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Mode::Timed => match dvf::core::workflow::evaluate_timed(&app, &machine) {
+            Ok(rows) => {
+                println!("time-resolved DVF (phase-weighted; ~DVF/2 for uniform access):\n");
+                println!("{:<12} {:>14}", "data", "timed DVF");
+                for (name, v) in rows {
+                    println!("{name:<12} {v:>14.6e}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Mode::Protect => match evaluate(&app, &machine) {
+            Ok(report) => {
+                let plan = dvf::core::protect::plan_protection(
+                    &report,
+                    budget.expect("validated above"),
+                    residual,
+                );
+                println!(
+                    "protection plan (budget {} B, residual factor {residual}):\n",
+                    budget.expect("validated above")
+                );
+                for c in &plan.choices {
+                    println!(
+                        "{}{:<12} {:>12} B  DVF {:.4e} -> {:.4e}",
+                        if c.protected { "+" } else { " " },
+                        c.name,
+                        c.size_bytes,
+                        c.dvf_before,
+                        c.dvf_after
+                    );
+                }
+                println!(
+                    "\nresidual application DVF {:.4e} ({:.1}% reduction, {} B spent)",
+                    plan.dvf_after,
+                    plan.reduction() * 100.0,
+                    plan.bytes_used
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}
+
+fn usage_err(msg: &str) -> ExitCode {
+    eprintln!("{msg}\n");
+    eprint!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn human_bytes(b: u64) -> String {
+    if b >= 1 << 20 && b.is_multiple_of(1 << 20) {
+        format!("{} MiB", b >> 20)
+    } else if b >= 1 << 10 && b.is_multiple_of(1 << 10) {
+        format!("{} KiB", b >> 10)
+    } else {
+        format!("{b} B")
+    }
+}

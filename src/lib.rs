@@ -1,0 +1,64 @@
+//! # dvf — Data Vulnerability Factor
+//!
+//! A complete, from-scratch Rust implementation of
+//! *Yu, Li, Mittal, Vetter: "Quantitatively Modeling Application Resilience
+//! with the Data Vulnerability Factor", SC 2014* — the DVF resilience
+//! metric, the CGPMAC analytical memory-access models behind it, the
+//! resilience-extended Aspen DSL front-end, and the full evaluation
+//! substrate (traced kernels + LLC simulator) the paper validates against.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! * [`aspen`] (`dvf-aspen`) — the Aspen-style modeling language:
+//!   lexer, parser, AST, expression evaluation, machine/model resolution.
+//! * [`core`] (`dvf-core`) — the four access-pattern models
+//!   (streaming / random / template / reuse), the DVF metric, FIT/ECC
+//!   tables, the roofline time model, sweeps, and the Fig. 3 workflow.
+//! * [`cachesim`] (`dvf-cachesim`) — a set-associative LRU (+FIFO/PLRU/
+//!   random) last-level-cache simulator with per-data-structure
+//!   accounting.
+//! * [`kernels`] (`dvf-kernels`) — the six paper kernels (VM, CG,
+//!   Barnes-Hut, MG, FFT, Monte Carlo) plus PCG, instrumented to emit
+//!   reference traces.
+//! * [`repro`] (`dvf-repro`) — regenerates every table and figure of the
+//!   paper's evaluation.
+//!
+//! ## Five-minute tour
+//!
+//! ```
+//! use dvf::core::workflow::evaluate_source;
+//!
+//! let report = evaluate_source(
+//!     r#"
+//!     machine laptop {
+//!       cache { associativity = 8  sets = 8192  line = 32 }   // 2 MB LLC
+//!       memory { ecc = none }                                  // 5000 FIT/Mbit
+//!       core { flops = 1e9  bandwidth = 4e9 }
+//!     }
+//!     model vm {
+//!       param n = 100000
+//!       data A { size = n * 8  element = 8 }
+//!       data B { size = n * 8  element = 8 }
+//!       kernel main {
+//!         flops = 2 * n
+//!         access A as streaming(stride = 4)
+//!         access B as streaming()
+//!       }
+//!     }
+//!     "#,
+//!     None,
+//!     None,
+//!     &[],
+//! )
+//! .expect("model evaluates");
+//!
+//! // The strided structure is the more vulnerable one.
+//! assert!(report.dvf_of("A").unwrap() > report.dvf_of("B").unwrap());
+//! println!("{}", report.render());
+//! ```
+
+pub use dvf_aspen as aspen;
+pub use dvf_cachesim as cachesim;
+pub use dvf_core as core;
+pub use dvf_kernels as kernels;
+pub use dvf_repro as repro;

@@ -1,0 +1,179 @@
+//! Integration tests for the `dvf` command-line front-end, driving the
+//! real binary via `CARGO_BIN_EXE_dvf`.
+
+use std::io::Write as _;
+use std::process::Command;
+
+const MODEL: &str = r#"
+machine small {
+  cache { associativity = 4  sets = 64  line = 32 }
+  memory { ecc = secded }
+}
+model vm {
+  param n = 1000
+  data A { size = n * 8  element = 8 }
+  data B { size = n * 8  element = 8 }
+  kernel main {
+    flops = 2 * n
+    access A as streaming(stride = 4)
+    access B as streaming()
+  }
+}
+"#;
+
+fn write_model(contents: &str) -> tempfile::TempPath {
+    let mut f = tempfile::NamedTempFile::new().expect("temp file");
+    f.write_all(contents.as_bytes()).expect("write model");
+    f.into_temp_path()
+}
+
+fn dvf(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_dvf"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn check_accepts_valid_model() {
+    let path = write_model(MODEL);
+    let out = dvf(&["check", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("1 machine(s), 1 model(s)"), "{stdout}");
+}
+
+#[test]
+fn check_reports_parse_errors_with_location() {
+    let path = write_model("model vm { data A }");
+    let out = dvf(&["check", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("error:"), "{stderr}");
+    assert!(stderr.contains("line 1"), "{stderr}");
+}
+
+#[test]
+fn fmt_roundtrips() {
+    let path = write_model(MODEL);
+    let out = dvf(&["fmt", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let pretty = String::from_utf8(out.stdout).unwrap();
+    // The pretty output is itself valid input.
+    let path2 = write_model(&pretty);
+    let out2 = dvf(&["check", path2.to_str().unwrap()]);
+    assert!(out2.status.success());
+}
+
+#[test]
+fn eval_prints_report_and_honors_params() {
+    let path = write_model(MODEL);
+    let out = dvf(&["eval", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("FIT 1300"), "{stdout}"); // SECDED
+    assert!(stdout.contains("A"), "{stdout}");
+
+    let big = dvf(&["eval", path.to_str().unwrap(), "--param", "n=100000"]);
+    assert!(big.status.success());
+    let big_out = String::from_utf8(big.stdout).unwrap();
+    assert_ne!(stdout, big_out, "override must change the report");
+}
+
+#[test]
+fn timed_mode_runs() {
+    let path = write_model(MODEL);
+    let out = dvf(&["timed", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("time-resolved"), "{stdout}");
+}
+
+#[test]
+fn protect_requires_budget() {
+    let path = write_model(MODEL);
+    let out = dvf(&["protect", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let ok = dvf(&[
+        "protect",
+        path.to_str().unwrap(),
+        "--budget",
+        "100000",
+        "--residual",
+        "0.01",
+    ]);
+    assert!(ok.status.success());
+    let stdout = String::from_utf8(ok.stdout).unwrap();
+    assert!(stdout.contains("protection plan"), "{stdout}");
+    assert!(stdout.contains("% reduction"), "{stdout}");
+}
+
+#[test]
+fn unknown_command_is_usage_error() {
+    let out = dvf(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn missing_file_is_an_error() {
+    let out = dvf(&["eval", "/nonexistent/model.aspen"]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+// Minimal inline replacement for the tempfile crate (not a dependency):
+// a named file in std::env::temp_dir that deletes itself on drop.
+mod tempfile {
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static COUNTER: AtomicU32 = AtomicU32::new(0);
+
+    pub struct NamedTempFile {
+        file: std::fs::File,
+        path: PathBuf,
+    }
+
+    pub struct TempPath(PathBuf);
+
+    impl NamedTempFile {
+        pub fn new() -> std::io::Result<Self> {
+            let path = std::env::temp_dir().join(format!(
+                "dvf-cli-test-{}-{}.aspen",
+                std::process::id(),
+                COUNTER.fetch_add(1, Ordering::Relaxed)
+            ));
+            Ok(Self {
+                file: std::fs::File::create(&path)?,
+                path,
+            })
+        }
+
+        pub fn into_temp_path(self) -> TempPath {
+            TempPath(self.path)
+        }
+    }
+
+    impl std::io::Write for NamedTempFile {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            std::io::Write::write(&mut self.file, buf)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            std::io::Write::flush(&mut self.file)
+        }
+    }
+
+    impl TempPath {
+        pub fn to_str(&self) -> Option<&str> {
+            self.0.to_str()
+        }
+    }
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests over the full DSL → model → DVF pipeline.
+
+use dvf::core::workflow::evaluate_source;
+use proptest::prelude::*;
+
+fn source(fit: f64, n: u64, stride: u64, flops: f64) -> String {
+    format!(
+        r#"
+        machine m {{
+          cache {{ associativity = 4  sets = 64  line = 32 }}
+          memory {{ fit = {fit} }}
+          core {{ flops = 1e9  bandwidth = 4e9 }}
+        }}
+        model app {{
+          data A {{ size = {n} * 8  element = 8 }}
+          data H {{ size = 64 * KiB  element = 16 }}
+          kernel main {{
+            flops = {flops}
+            access A as streaming(stride = {stride})
+            access H as random(k = 16, iters = 200)
+          }}
+        }}
+        "#
+    )
+}
+
+proptest! {
+    /// Every well-formed model evaluates to finite, nonnegative DVFs, and
+    /// DVF_a is exactly the sum of its structures (Eq. 2).
+    #[test]
+    fn pipeline_is_total_and_consistent(
+        fit in 1.0f64..10_000.0,
+        n in 64u64..50_000,
+        stride in 1u64..8,
+        flops in 1.0f64..1e9,
+    ) {
+        let report = evaluate_source(&source(fit, n, stride, flops), None, None, &[])
+            .expect("well-formed model evaluates");
+        let sum: f64 = report.structures.iter().map(|(_, v)| *v).sum();
+        prop_assert_eq!(report.dvf_app(), sum);
+        for (p, v) in &report.structures {
+            prop_assert!(v.is_finite() && *v >= 0.0, "{}: {v}", p.name);
+        }
+        prop_assert!(report.time_s > 0.0);
+    }
+
+    /// DVF scales exactly linearly in FIT through the whole pipeline
+    /// (Eq. 1 is linear in the failure rate; nothing downstream may break
+    /// that).
+    #[test]
+    fn pipeline_is_linear_in_fit(
+        fit in 1.0f64..5_000.0,
+        n in 64u64..20_000,
+    ) {
+        let base = evaluate_source(&source(fit, n, 2, 1e6), None, None, &[]).unwrap();
+        let double = evaluate_source(&source(2.0 * fit, n, 2, 1e6), None, None, &[]).unwrap();
+        let ratio = double.dvf_app() / base.dvf_app();
+        prop_assert!((ratio - 2.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    /// The paper's Eq. 3–4 misalignment expectation means a coarser stride
+    /// can *increase* predicted loads — the very effect §IV-B uses to
+    /// explain VM's `A` dominating `B`/`C`. The model must stay within the
+    /// structure's two natural bounds: at least the strided-element count,
+    /// at most twice the dense line count (each reference touches ≤ 2
+    /// lines when E ≤ CL).
+    #[test]
+    fn streaming_loads_respect_model_bounds(
+        n in 1_024u64..50_000,
+        stride in 1u64..8,
+    ) {
+        let report = evaluate_source(&source(5000.0, n, stride, 1e6), None, None, &[]).unwrap();
+        let a = report
+            .structures
+            .iter()
+            .find(|(p, _)| p.name == "A")
+            .map(|(p, _)| p.n_ha)
+            .unwrap();
+        let d = 8.0 * n as f64;
+        let dense_lines = (d / 32.0).ceil();
+        let referenced = (d / (8.0 * stride as f64)).ceil();
+        prop_assert!(a + 1e-9 >= referenced.min(dense_lines), "a = {a}");
+        prop_assert!(a <= 2.0 * dense_lines, "a = {a}");
+    }
+
+    /// The alignment-exact streaming variant *is* monotone: a coarser
+    /// stride references fewer elements and never costs more lines.
+    #[test]
+    fn aligned_streaming_monotone_in_stride(
+        n in 1_024u64..50_000,
+        s1 in 1u64..8,
+        s2 in 1u64..8,
+    ) {
+        prop_assume!(s1 < s2);
+        use dvf::cachesim::CacheConfig;
+        use dvf::core::patterns::{CacheView, StreamingSpec};
+        let view = CacheView::exclusive(CacheConfig::new(4, 64, 32).unwrap());
+        let nha = |stride: u64| {
+            StreamingSpec {
+                element_bytes: 8,
+                num_elements: n,
+                stride_elements: stride,
+            }
+            .mem_accesses_aligned(&view)
+            .unwrap()
+        };
+        prop_assert!(nha(s2) <= nha(s1) + 1.0, "{} > {}", nha(s2), nha(s1));
+    }
+}
