@@ -18,9 +18,7 @@
 //! ([`ModelDef`]), so compact programs flow through the same resolution
 //! and DVF workflow as full programs.
 
-use crate::ast::{
-    AccessDef, DataDef, Expr, Field, KernelDef, KernelStmt, ModelDef, OrderStep,
-};
+use crate::ast::{AccessDef, DataDef, Expr, Field, KernelDef, KernelStmt, ModelDef, OrderStep};
 use crate::diag::Diagnostic;
 use crate::parser::parse_expr;
 use crate::span::{Span, Spanned};
@@ -129,10 +127,7 @@ pub fn parse_compact(source: &str) -> Result<CompactProgram, Diagnostic> {
         })?;
         let open = after_colon + brace_rel;
         let close = matching_brace(rest, open).ok_or_else(|| {
-            Diagnostic::new(
-                "unclosed `{`",
-                Span::new(offset + open, offset + open + 1),
-            )
+            Diagnostic::new("unclosed `{`", Span::new(offset + open, offset + open + 1))
         })?;
         let value = &rest[open + 1..close];
         let value_span = Span::new(offset + open + 1, offset + close);
@@ -224,10 +219,7 @@ fn matching_brace(s: &str, open: usize) -> Option<usize> {
 }
 
 /// Parse `s(tt)s(ss)` style pattern strings.
-fn parse_pattern_string(
-    value: &str,
-    span: Span,
-) -> Result<Vec<Grouping<PatternCode>>, Diagnostic> {
+fn parse_pattern_string(value: &str, span: Span) -> Result<Vec<Grouping<PatternCode>>, Diagnostic> {
     let mut items = Vec::new();
     let mut group: Option<Vec<PatternCode>> = None;
     for c in value.chars() {
@@ -240,7 +232,12 @@ fn parse_pattern_string(
             }
             ')' => match group.take() {
                 Some(g) if !g.is_empty() => items.push(Grouping::Group(g)),
-                _ => return Err(Diagnostic::new("empty or unmatched `)` in pattern string", span)),
+                _ => {
+                    return Err(Diagnostic::new(
+                        "empty or unmatched `)` in pattern string",
+                        span,
+                    ))
+                }
             },
             c if c.is_whitespace() || c == ',' => {}
             c => {
@@ -351,10 +348,7 @@ fn parse_order_string(
 
 /// Parse `(8,200,4)(1000,32,200,1000,1.0)...` — top-level parenthesized
 /// tuples; a trailing `...` marks omitted tuples.
-fn parse_parameter_tuples(
-    value: &str,
-    span: Span,
-) -> Result<Vec<Vec<Spanned<Expr>>>, Diagnostic> {
+fn parse_parameter_tuples(value: &str, span: Span) -> Result<Vec<Vec<Spanned<Expr>>>, Diagnostic> {
     let mut tuples = Vec::new();
     let bytes = value.as_bytes();
     let mut i = 0;
@@ -377,11 +371,11 @@ fn parse_parameter_tuples(
                         _ => {}
                     }
                 }
-                let end = end
-                    .ok_or_else(|| Diagnostic::new("unclosed `(` in parameters", span))?;
+                let end = end.ok_or_else(|| Diagnostic::new("unclosed `(` in parameters", span))?;
                 let tuple_src = &value[start..=end];
-                let parsed = parse_expr(tuple_src)
-                    .map_err(|e| Diagnostic::new(format!("bad parameter tuple: {}", e.message), span))?;
+                let parsed = parse_expr(tuple_src).map_err(|e| {
+                    Diagnostic::new(format!("bad parameter tuple: {}", e.message), span)
+                })?;
                 match parsed.node {
                     Expr::Tuple(items) => tuples.push(items),
                     single => tuples.push(vec![Spanned::new(single, parsed.span)]),
@@ -621,7 +615,9 @@ impl CompactProgram {
             )
         };
         let expr_at = |t: &Vec<Spanned<Expr>>, i: usize, what: &str| {
-            t.get(i).map(|e| e.node.clone()).ok_or_else(|| missing(what))
+            t.get(i)
+                .map(|e| e.node.clone())
+                .ok_or_else(|| missing(what))
         };
 
         let data_fields: Vec<Field>;
@@ -686,14 +682,12 @@ impl CompactProgram {
                         // Infer dims from the index-call arity: X(i,j,k)
                         // implies dims (n3, n2, n1) per the paper's
                         // flattening R(i,j,k) = i*n2*n1 + j*n1 + k.
-                        let arity = template
-                            .starts
-                            .iter()
-                            .chain(&template.ends)
-                            .find_map(|e| match &e.node {
+                        let arity = template.starts.iter().chain(&template.ends).find_map(|e| {
+                            match &e.node {
                                 Expr::Call { name: cn, args } if cn == name => Some(args.len()),
                                 _ => None,
-                            });
+                            }
+                        });
                         data_fields = match arity {
                             Some(k) => {
                                 let dims: Vec<Spanned<Expr>> = (0..k)
@@ -761,8 +755,7 @@ impl CompactProgram {
                         // Template omitted (as the paper does for CG "due
                         // to the space limit"): a sequential stream over
                         // the declared structure.
-                        let t =
-                            tuple.ok_or_else(|| missing("an (element, count) tuple"))?;
+                        let t = tuple.ok_or_else(|| missing("an (element, count) tuple"))?;
                         let count = expr_at(t, 1, "an element count")?;
                         data_fields = vec![
                             field(
@@ -831,10 +824,10 @@ impl CompactProgram {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ast::Document;
     use crate::expr::Env;
     use crate::machine::base_env;
     use crate::model::{resolve_model_def, PatternSpec};
-    use crate::ast::Document;
 
     fn resolve(program: &CompactProgram, params: &[(&str, f64)]) -> crate::model::AppSpec {
         let model = program.to_model("app").expect("lowers");
@@ -866,7 +859,8 @@ mod tests {
 
     #[test]
     fn paper_nb_listing() {
-        let src = "Data structure : {T}\nAccess Pattern : {r}\nParameters : {(1000,32,200,1000,1.0)}";
+        let src =
+            "Data structure : {T}\nAccess Pattern : {r}\nParameters : {(1000,32,200,1000,1.0)}";
         let p = parse_compact(src).unwrap();
         let app = resolve(&p, &[]);
         match &app.kernels[0].accesses[0].access.pattern {
@@ -877,7 +871,10 @@ mod tests {
                 iters,
                 ratio,
             } => {
-                assert_eq!((*elements, *element_bytes, *k, *iters), (1000, 32, 200, 1000));
+                assert_eq!(
+                    (*elements, *element_bytes, *k, *iters),
+                    (1000, 32, 200, 1000)
+                );
                 assert_eq!(*ratio, 1.0);
             }
             other => panic!("unexpected {other:?}"),

@@ -49,9 +49,9 @@ impl Env {
 pub fn eval(expr: &Spanned<Expr>, env: &Env) -> Result<f64, Diagnostic> {
     match &expr.node {
         Expr::Number(n) => Ok(*n),
-        Expr::Ident(name) => env.get(name).ok_or_else(|| {
-            Diagnostic::new(format!("undefined parameter `{name}`"), expr.span)
-        }),
+        Expr::Ident(name) => env
+            .get(name)
+            .ok_or_else(|| Diagnostic::new(format!("undefined parameter `{name}`"), expr.span)),
         Expr::Neg(inner) => Ok(-eval(inner, env)?),
         Expr::Binary { op, lhs, rhs } => {
             let l = eval(lhs, env)?;
@@ -239,10 +239,7 @@ mod tests {
     fn eval_u64_accepts_integers_rejects_fractions() {
         let env = Env::with_builtins();
         assert_eq!(eval_u64(&parse_expr("5").unwrap(), &env).unwrap(), 5);
-        assert_eq!(
-            eval_u64(&parse_expr("10 / 2").unwrap(), &env).unwrap(),
-            5
-        );
+        assert_eq!(eval_u64(&parse_expr("10 / 2").unwrap(), &env).unwrap(), 5);
         assert!(eval_u64(&parse_expr("5 / 2").unwrap(), &env).is_err());
         assert!(eval_u64(&parse_expr("0 - 3").unwrap(), &env).is_err());
     }

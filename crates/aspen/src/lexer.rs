@@ -115,7 +115,8 @@ pub fn lex(source: &str) -> Result<Vec<Spanned<Token>>, Diagnostic> {
         }
 
         // Number.
-        if c.is_ascii_digit() || (c == '.' && matches!(bytes.get(i + 1), Some(d) if d.is_ascii_digit()))
+        if c.is_ascii_digit()
+            || (c == '.' && matches!(bytes.get(i + 1), Some(d) if d.is_ascii_digit()))
         {
             let mut j = i;
             let mut seen_dot = false;
@@ -150,9 +151,9 @@ pub fn lex(source: &str) -> Result<Vec<Spanned<Token>>, Diagnostic> {
                 }
             }
             let text: String = source[i..j].chars().filter(|&ch| ch != '_').collect();
-            let value: f64 = text
-                .parse()
-                .map_err(|_| Diagnostic::new(format!("invalid number `{text}`"), Span::new(i, j)))?;
+            let value: f64 = text.parse().map_err(|_| {
+                Diagnostic::new(format!("invalid number `{text}`"), Span::new(i, j))
+            })?;
             tokens.push(Spanned::new(Token::Number(value), Span::new(i, j)));
             i = j;
             continue;
@@ -288,11 +289,7 @@ mod tests {
         let toks = kinds("1eq");
         assert_eq!(
             toks,
-            vec![
-                Token::Number(1.0),
-                Token::Ident("eq".into()),
-                Token::Eof
-            ]
+            vec![Token::Number(1.0), Token::Ident("eq".into()), Token::Eof]
         );
     }
 }

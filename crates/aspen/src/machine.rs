@@ -182,7 +182,9 @@ pub fn resolve_machine_def(def: &MachineDef, env: &Env) -> Result<MachineSpec, D
                         "bandwidth" => core.mem_bytes_per_sec = eval(&f.value, &env)?,
                         other => {
                             return Err(Diagnostic::new(
-                                format!("unknown core field `{other}` (expected `flops` or `bandwidth`)"),
+                                format!(
+                                "unknown core field `{other}` (expected `flops` or `bandwidth`)"
+                            ),
                                 f.name.span,
                             ))
                         }
@@ -293,13 +295,15 @@ mod tests {
 
     #[test]
     fn ecc_parses_schemes() {
-        let spec =
-            resolve("machine m { cache { associativity = 1 sets = 1 line = 8 } memory { ecc = chipkill } }")
-                .unwrap();
+        let spec = resolve(
+            "machine m { cache { associativity = 1 sets = 1 line = 8 } memory { ecc = chipkill } }",
+        )
+        .unwrap();
         assert_eq!(spec.memory.ecc, EccKind::Chipkill);
-        let err =
-            resolve("machine m { cache { associativity = 1 sets = 1 line = 8 } memory { ecc = foo } }")
-                .unwrap_err();
+        let err = resolve(
+            "machine m { cache { associativity = 1 sets = 1 line = 8 } memory { ecc = foo } }",
+        )
+        .unwrap_err();
         assert!(err.message.contains("unknown ECC scheme"));
     }
 

@@ -368,9 +368,9 @@ fn walk_body(
             }
             KernelStmt::Iterate { count, body } => {
                 let n = eval_u64(count, env)?;
-                let inner = mult.checked_mul(n).ok_or_else(|| {
-                    Diagnostic::new("iterate multiplicity overflow", count.span)
-                })?;
+                let inner = mult
+                    .checked_mul(n)
+                    .ok_or_else(|| Diagnostic::new("iterate multiplicity overflow", count.span))?;
                 if inner > 0 {
                     walk_body(body, inner, datas, env, accesses, calls)?;
                 }
@@ -395,7 +395,10 @@ fn resolve_data(d: &DataDef, env: &Env) -> Result<DataSpec, Diagnostic> {
                     extents.push(eval_u64(item, env)?);
                 }
                 if extents.contains(&0) {
-                    return Err(Diagnostic::new("dims extents must be nonzero", f.value.span));
+                    return Err(Diagnostic::new(
+                        "dims extents must be nonzero",
+                        f.value.span,
+                    ));
                 }
                 dims = Some(extents);
             }
@@ -407,8 +410,12 @@ fn resolve_data(d: &DataDef, env: &Env) -> Result<DataSpec, Diagnostic> {
             }
         }
     }
-    let size_bytes = size
-        .ok_or_else(|| Diagnostic::new(format!("data `{}` is missing `size`", d.name.node), d.name.span))?;
+    let size_bytes = size.ok_or_else(|| {
+        Diagnostic::new(
+            format!("data `{}` is missing `size`", d.name.node),
+            d.name.span,
+        )
+    })?;
     let element_bytes = element.ok_or_else(|| {
         Diagnostic::new(
             format!("data `{}` is missing `element`", d.name.node),
@@ -465,11 +472,7 @@ fn tuple_or_single(value: &Spanned<Expr>) -> Vec<Spanned<Expr>> {
 
 /// Evaluate a template element reference: either a scalar expression or an
 /// index call `Name(i, j, …)` into a data structure with declared `dims`.
-fn eval_element_ref(
-    expr: &Spanned<Expr>,
-    data: &DataSpec,
-    env: &Env,
-) -> Result<u64, Diagnostic> {
+fn eval_element_ref(expr: &Spanned<Expr>, data: &DataSpec, env: &Env) -> Result<u64, Diagnostic> {
     if let Expr::Call { name, args } = &expr.node {
         if name == &data.name {
             let dims = data.dims.as_ref().ok_or_else(|| {
@@ -519,11 +522,7 @@ fn eval_element_ref(
     eval_u64(expr, env)
 }
 
-fn resolve_access(
-    a: &AccessDef,
-    datas: &[DataSpec],
-    env: &Env,
-) -> Result<AccessSpec, Diagnostic> {
+fn resolve_access(a: &AccessDef, datas: &[DataSpec], env: &Env) -> Result<AccessSpec, Diagnostic> {
     let data = datas
         .iter()
         .find(|d| d.name == a.data.node)
@@ -719,13 +718,19 @@ fn resolve_template_refs(
         )
     })?;
     let ends_f = find_field(args, "ends").ok_or_else(|| {
-        Diagnostic::new("template with `starts` also requires `ends`", a.pattern.span)
+        Diagnostic::new(
+            "template with `starts` also requires `ends`",
+            a.pattern.span,
+        )
     })?;
     let step = match find_field(args, "step") {
         Some(f) => {
             let s = eval_u64(&f.value, env)?;
             if s == 0 {
-                return Err(Diagnostic::new("template step must be nonzero", f.value.span));
+                return Err(Diagnostic::new(
+                    "template step must be nonzero",
+                    f.value.span,
+                ));
             }
             s
         }
@@ -890,7 +895,10 @@ mod tests {
                 iters,
                 ratio,
             } => {
-                assert_eq!((*elements, *element_bytes, *k, *iters), (1000, 32, 200, 1000));
+                assert_eq!(
+                    (*elements, *element_bytes, *k, *iters),
+                    (1000, 32, 200, 1000)
+                );
                 assert_eq!(*ratio, 1.0);
             }
             other => panic!("unexpected {other:?}"),
@@ -1091,19 +1099,16 @@ mod tests {
 
     #[test]
     fn dims_product_must_match_elements() {
-        let err = resolve(
-            "model m { data A { size = 64 element = 8 dims = (2, 5) } }",
-        )
-        .unwrap_err();
+        let err =
+            resolve("model m { data A { size = 64 element = 8 dims = (2, 5) } }").unwrap_err();
         assert!(err.message.contains("dims product"));
     }
 
     #[test]
     fn duplicate_data_rejected() {
-        let err = resolve(
-            "model m { data A { size = 8 element = 8 } data A { size = 8 element = 8 } }",
-        )
-        .unwrap_err();
+        let err =
+            resolve("model m { data A { size = 8 element = 8 } data A { size = 8 element = 8 } }")
+                .unwrap_err();
         assert!(err.message.contains("duplicate"));
     }
 
@@ -1203,10 +1208,8 @@ mod tests {
 
     #[test]
     fn call_to_unknown_kernel_rejected() {
-        let err = resolve(
-            "model m { data A { size = 8 element = 8 } kernel k { call ghost } }",
-        )
-        .unwrap_err();
+        let err = resolve("model m { data A { size = 8 element = 8 } kernel k { call ghost } }")
+            .unwrap_err();
         assert!(err.message.contains("unknown kernel `ghost`"));
     }
 

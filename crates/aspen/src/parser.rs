@@ -292,9 +292,7 @@ impl Parser {
                             self.bump();
                             break;
                         }
-                        Token::Ident(w)
-                            if w == "access" || w == "iterate" || w == "call" =>
-                        {
+                        Token::Ident(w) if w == "access" || w == "iterate" || w == "call" => {
                             body.push(self.kernel_stmt()?);
                         }
                         other => {
@@ -622,7 +620,11 @@ mod tests {
     fn expression_precedence() {
         let e = parse_expr("1 + 2 * 3").unwrap();
         match e.node {
-            Expr::Binary { op: BinOp::Add, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                rhs,
+                ..
+            } => {
                 assert!(matches!(rhs.node, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -634,8 +636,16 @@ mod tests {
         let e = parse_expr("2 * 3 ^ 2 ^ 2").unwrap();
         // = 2 * (3 ^ (2 ^ 2))
         match e.node {
-            Expr::Binary { op: BinOp::Mul, rhs, .. } => match rhs.node {
-                Expr::Binary { op: BinOp::Pow, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Mul,
+                rhs,
+                ..
+            } => match rhs.node {
+                Expr::Binary {
+                    op: BinOp::Pow,
+                    rhs,
+                    ..
+                } => {
                     assert!(matches!(rhs.node, Expr::Binary { op: BinOp::Pow, .. }));
                 }
                 other => panic!("unexpected {other:?}"),

@@ -67,7 +67,10 @@ fn pretty_model(out: &mut String, m: &ModelDef) {
                     OrderStep::Single(n) => n.node.clone(),
                     OrderStep::Group(g) => format!(
                         "({})",
-                        g.iter().map(|n| n.node.as_str()).collect::<Vec<_>>().join(" ")
+                        g.iter()
+                            .map(|n| n.node.as_str())
+                            .collect::<Vec<_>>()
+                            .join(" ")
                     ),
                 })
                 .collect();
@@ -215,11 +218,20 @@ mod tests {
     fn expr_roundtrip_preserves_value() {
         use crate::expr::{eval, Env};
         let env = Env::with_builtins();
-        for src in ["1 + 2 * 3 - 4 / 8", "-(3 + 4) * 2", "2 ^ 3 ^ 2", "min(3, max(1, 2))"] {
+        for src in [
+            "1 + 2 * 3 - 4 / 8",
+            "-(3 + 4) * 2",
+            "2 ^ 3 ^ 2",
+            "min(3, max(1, 2))",
+        ] {
             let e1 = parse_expr(src).unwrap();
             let printed = pretty_expr(&e1);
             let e2 = parse_expr(&printed).unwrap();
-            assert_eq!(eval(&e1, &env).unwrap(), eval(&e2, &env).unwrap(), "{src} -> {printed}");
+            assert_eq!(
+                eval(&e1, &env).unwrap(),
+                eval(&e2, &env).unwrap(),
+                "{src} -> {printed}"
+            );
         }
     }
 }

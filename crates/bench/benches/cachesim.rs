@@ -63,7 +63,13 @@ fn simulator_throughput(c: &mut Criterion) {
         ),
     ] {
         group.bench_with_input(BenchmarkId::new("geometry", label), &config, |b, &cfg| {
-            b.iter(|| black_box(simulate_with_policy(black_box(&trace), cfg, PolicyKind::Lru)))
+            b.iter(|| {
+                black_box(simulate_with_policy(
+                    black_box(&trace),
+                    cfg,
+                    PolicyKind::Lru,
+                ))
+            })
         });
     }
 

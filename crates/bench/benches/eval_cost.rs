@@ -19,7 +19,12 @@ fn model_vs_simulation(c: &mut Criterion) {
     // --- VM ---
     let vm_params = vm::VmParams::verification();
     group.bench_function("vm/model", |b| {
-        b.iter(|| black_box(models::vm_model(black_box(vm_params), table4::SMALL_VERIFICATION)))
+        b.iter(|| {
+            black_box(models::vm_model(
+                black_box(vm_params),
+                table4::SMALL_VERIFICATION,
+            ))
+        })
     });
     group.bench_function("vm/trace+simulate", |b| {
         b.iter(|| {
@@ -34,7 +39,12 @@ fn model_vs_simulation(c: &mut Criterion) {
     let nb_params = barnes_hut::NbParams::verification();
     let nb_out = barnes_hut::run_plain(nb_params);
     group.bench_function("nb/model", |b| {
-        b.iter(|| black_box(models::nb_model(black_box(&nb_out), table4::SMALL_VERIFICATION)))
+        b.iter(|| {
+            black_box(models::nb_model(
+                black_box(&nb_out),
+                table4::SMALL_VERIFICATION,
+            ))
+        })
     });
     group.bench_function("nb/trace+simulate", |b| {
         b.iter(|| {
@@ -48,7 +58,12 @@ fn model_vs_simulation(c: &mut Criterion) {
     // --- MC ---
     let mc_params = mc::McParams::verification();
     group.bench_function("mc/model", |b| {
-        b.iter(|| black_box(models::mc_model(black_box(mc_params), table4::SMALL_VERIFICATION)))
+        b.iter(|| {
+            black_box(models::mc_model(
+                black_box(mc_params),
+                table4::SMALL_VERIFICATION,
+            ))
+        })
     });
     group.bench_function("mc/trace+simulate", |b| {
         b.iter(|| {

@@ -78,7 +78,11 @@ fn kernel_runtimes(c: &mut Criterion) {
         b.iter(|| {
             let mut y = vec![0.0; n];
             for (i, yi) in y.iter_mut().enumerate() {
-                *yi = a[i * n..(i + 1) * n].iter().zip(&x).map(|(p, q)| p * q).sum();
+                *yi = a[i * n..(i + 1) * n]
+                    .iter()
+                    .zip(&x)
+                    .map(|(p, q)| p * q)
+                    .sum();
             }
             black_box(y)
         })

@@ -1,0 +1,71 @@
+//! Instrumentation overhead: the cachesim hot loop with dvf-obs disabled
+//! vs enabled.
+//!
+//! The observability layer's contract is that disabled instrumentation is
+//! one relaxed atomic load and a branch per *batched* update site (the
+//! per-reference path carries none at all), so `disabled` must stay
+//! within noise of the pre-instrumentation baseline and `enabled` only
+//! pays four counter adds per full simulation run.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dvf_cachesim::{config::table4, simulate, AccessKind, MemRef, Trace};
+use std::hint::black_box;
+
+fn synthetic_trace(refs: usize) -> Trace {
+    let mut t = Trace::new();
+    let a = t.registry.register("A");
+    let b = t.registry.register("B");
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    for i in 0..refs {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let ds = if i % 3 == 0 { b } else { a };
+        let kind = if state.is_multiple_of(4) {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        t.push(MemRef::new(ds, state % (1 << 22), kind));
+    }
+    t
+}
+
+fn obs_overhead(c: &mut Criterion) {
+    let trace = synthetic_trace(100_000);
+    let mut group = c.benchmark_group("obs_overhead");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+
+    dvf_obs::set_enabled(false);
+    group.bench_function("cachesim/disabled", |b| {
+        b.iter(|| black_box(simulate(black_box(&trace), table4::LARGE_VERIFICATION)))
+    });
+
+    dvf_obs::set_enabled(true);
+    group.bench_function("cachesim/enabled", |b| {
+        b.iter(|| black_box(simulate(black_box(&trace), table4::LARGE_VERIFICATION)))
+    });
+    dvf_obs::set_enabled(false);
+
+    // The primitives themselves, for the per-call picture: a disabled
+    // counter bump is the cost every instrumented site pays when off.
+    let counter = dvf_obs::counter("bench.obs");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("counter/disabled", |b| b.iter(|| counter.add(black_box(1))));
+    dvf_obs::set_enabled(true);
+    group.bench_function("counter/enabled", |b| b.iter(|| counter.add(black_box(1))));
+    group.bench_function("span/enabled", |b| {
+        b.iter(|| drop(black_box(dvf_obs::span("bench"))))
+    });
+    dvf_obs::set_enabled(false);
+    group.bench_function("span/disabled", |b| {
+        b.iter(|| drop(black_box(dvf_obs::span("bench"))))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, obs_overhead);
+criterion_main!(benches);

@@ -50,7 +50,9 @@ fn frontend(c: &mut Criterion) {
     let mut group = c.benchmark_group("parser");
     group.throughput(Throughput::Bytes(SOURCE.len() as u64));
 
-    group.bench_function("parse", |b| b.iter(|| black_box(parse(black_box(SOURCE)).unwrap())));
+    group.bench_function("parse", |b| {
+        b.iter(|| black_box(parse(black_box(SOURCE)).unwrap()))
+    });
 
     let doc = parse(SOURCE).unwrap();
     group.bench_function("resolve_machine", |b| {

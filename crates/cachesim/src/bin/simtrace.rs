@@ -3,13 +3,23 @@
 //! ```text
 //! simtrace <trace-file> [--assoc N] [--sets N] [--line N] [--policy lru|fifo|plru|random]
 //!          [--l1-assoc N --l1-sets N --l1-line N]     # enable a two-level hierarchy
+//!          [--json]                                   # machine-readable report
+//!          [--quiet]                                  # no progress heartbeat
 //! ```
 //!
 //! The trace format is one reference per line: `name kind addr`
 //! (kind `R`/`W`, addr decimal or `0x…` hex); `#` starts a comment.
+//!
+//! Long replays print a progress heartbeat to stderr every million
+//! references (suppress with `--quiet`); `--json` swaps the tables for a
+//! `dvf-cachesim/1` JSON document on stdout.
 
 use dvf_cachesim::hierarchy::simulate_hierarchy;
-use dvf_cachesim::{simulate_with_policy, CacheConfig, PolicyKind, Trace};
+use dvf_cachesim::{
+    CacheConfig, CacheStats, DsRegistry, Fifo, Lru, PolicyKind, RandomEvict, ReplacementPolicy,
+    SimReport, Simulator, Trace, TreePlru,
+};
+use dvf_obs::{Heartbeat, JsonWriter};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -18,7 +28,14 @@ usage: simtrace <trace-file> [options]
   --policy lru|fifo|plru|random   replacement policy (default lru)
   --l1-assoc N --l1-sets N --l1-line N
                                   put an L1 in front (LRU at both levels)
+  --json                          emit a dvf-cachesim/1 JSON report
+  --quiet                         suppress the progress heartbeat
 ";
+
+/// References between heartbeat reports.
+const HEARTBEAT_EVERY: u64 = 1_000_000;
+/// References fed to the simulator between heartbeat checks.
+const CHUNK: usize = 65_536;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,9 +49,28 @@ fn main() -> ExitCode {
     let mut line = 64usize;
     let mut policy = PolicyKind::Lru;
     let mut l1: (Option<usize>, Option<usize>, Option<usize>) = (None, None, None);
+    let mut json = false;
+    let mut quiet = false;
 
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--json" => {
+                json = true;
+                continue;
+            }
+            "--quiet" => {
+                quiet = true;
+                continue;
+            }
+            "--assoc" | "--sets" | "--line" | "--policy" | "--l1-assoc" | "--l1-sets"
+            | "--l1-line" => {}
+            other => {
+                eprintln!("unknown flag `{other}`\n");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
         let Some(value) = it.next() else {
             eprintln!("{flag} needs a value\n");
             eprint!("{USAGE}");
@@ -64,11 +100,7 @@ fn main() -> ExitCode {
             "--l1-assoc" => l1.0 = parse_usize(value),
             "--l1-sets" => l1.1 = parse_usize(value),
             "--l1-line" => l1.2 = parse_usize(value),
-            other => {
-                eprintln!("unknown flag `{other}`\n");
-                eprint!("{USAGE}");
-                return ExitCode::from(2);
-            }
+            _ => unreachable!("flag validated above"),
         }
     }
 
@@ -121,24 +153,52 @@ fn main() -> ExitCode {
                 eprintln!("note: hierarchy mode always uses LRU");
             }
             let report = simulate_hierarchy(&trace, l1cfg, llc);
-            println!(
-                "{} refs through L1 {l1cfg} + LLC {llc}",
-                trace.len()
-            );
-            println!("\nL1:\n{}", report.l1.render(&trace.registry));
-            println!("LLC:\n{}", report.llc.render(&trace.registry));
-            println!("main-memory accesses: {}", report.total_mem_accesses());
+            if json {
+                let mut w = JsonWriter::new();
+                w.begin_object();
+                w.key("schema").string("dvf-cachesim/1");
+                w.key("refs").u64(trace.len() as u64);
+                w.key("l1").begin_object();
+                config_json(&mut w, &l1cfg);
+                stats_json(&mut w, &report.l1, &trace.registry);
+                w.end_object();
+                w.key("llc").begin_object();
+                config_json(&mut w, &llc);
+                stats_json(&mut w, &report.llc, &trace.registry);
+                w.end_object();
+                w.key("mem_accesses").u64(report.total_mem_accesses());
+                w.end_object();
+                println!("{}", w.finish());
+            } else {
+                println!("{} refs through L1 {l1cfg} + LLC {llc}", trace.len());
+                println!("\nL1:\n{}", report.l1.render(&trace.registry));
+                println!("LLC:\n{}", report.llc.render(&trace.registry));
+                println!("main-memory accesses: {}", report.total_mem_accesses());
+            }
         }
         (None, None, None) => {
-            let report = simulate_with_policy(&trace, llc, policy);
-            println!(
-                "{} refs through {} ({} policy)",
-                trace.len(),
-                llc,
-                report.policy
-            );
-            println!("\n{}", report.stats().render(&trace.registry));
-            println!("main-memory accesses: {}", report.total().mem_accesses());
+            let report = replay(&trace, llc, policy, quiet);
+            if json {
+                let mut w = JsonWriter::new();
+                w.begin_object();
+                w.key("schema").string("dvf-cachesim/1");
+                w.key("refs").u64(report.refs);
+                w.key("policy").string(report.policy);
+                config_json(&mut w, &llc);
+                stats_json(&mut w, report.stats(), &trace.registry);
+                w.key("mem_accesses").u64(report.total().mem_accesses());
+                w.end_object();
+                println!("{}", w.finish());
+            } else {
+                println!(
+                    "{} refs through {} ({} policy)",
+                    trace.len(),
+                    llc,
+                    report.policy
+                );
+                println!("\n{}", report.stats().render(&trace.registry));
+                println!("main-memory accesses: {}", report.total().mem_accesses());
+            }
         }
         _ => {
             eprintln!("hierarchy mode needs all of --l1-assoc, --l1-sets, --l1-line\n");
@@ -147,6 +207,75 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Replay the trace in chunks so a heartbeat can report progress on
+/// multi-million-reference runs without touching the per-reference path.
+fn replay(trace: &Trace, config: CacheConfig, policy: PolicyKind, quiet: bool) -> SimReport {
+    fn go<P: ReplacementPolicy>(
+        trace: &Trace,
+        config: CacheConfig,
+        policy: P,
+        quiet: bool,
+    ) -> SimReport {
+        let mut sim = Simulator::with_policy(config, policy);
+        let mut hb = Heartbeat::new("simtrace", HEARTBEAT_EVERY).quiet(quiet);
+        for chunk in trace.refs.chunks(CHUNK) {
+            sim.run(chunk);
+            hb.tick(chunk.len() as u64);
+        }
+        // Only announce completion for runs long enough to have ticked.
+        if hb.seen() >= HEARTBEAT_EVERY {
+            hb.done();
+        }
+        sim.finish()
+    }
+    match policy {
+        PolicyKind::Lru => go(trace, config, Lru, quiet),
+        PolicyKind::Fifo => go(trace, config, Fifo, quiet),
+        PolicyKind::Plru => go(trace, config, TreePlru, quiet),
+        PolicyKind::Random => go(trace, config, RandomEvict::default(), quiet),
+    }
+}
+
+/// Write a cache geometry as `"config": {...}` fields.
+fn config_json(w: &mut JsonWriter, cfg: &CacheConfig) {
+    w.key("config").begin_object();
+    w.key("associativity").u64(cfg.associativity as u64);
+    w.key("sets").u64(cfg.num_sets as u64);
+    w.key("line_bytes").u64(cfg.line_bytes as u64);
+    w.key("capacity_bytes").u64(cfg.capacity() as u64);
+    w.end_object();
+}
+
+/// Write per-structure stats as `"data": [...]` plus a `"total"` object.
+fn stats_json(w: &mut JsonWriter, stats: &CacheStats, registry: &DsRegistry) {
+    w.key("data").begin_array();
+    for (id, s) in stats.iter() {
+        w.begin_object();
+        let name = if id.index() < registry.len() {
+            registry.name(id)
+        } else {
+            "?"
+        };
+        w.key("name").string(name);
+        ds_fields(w, s.reads, s.writes, s.hits, s.misses, s.writebacks);
+        w.end_object();
+    }
+    w.end_array();
+    let t = stats.total();
+    w.key("total").begin_object();
+    ds_fields(w, t.reads, t.writes, t.hits, t.misses, t.writebacks);
+    w.end_object();
+}
+
+fn ds_fields(w: &mut JsonWriter, reads: u64, writes: u64, hits: u64, misses: u64, writebacks: u64) {
+    w.key("reads").u64(reads);
+    w.key("writes").u64(writes);
+    w.key("hits").u64(hits);
+    w.key("misses").u64(misses);
+    w.key("writebacks").u64(writebacks);
+    w.key("mem_accesses").u64(misses + writebacks);
 }
 
 fn bad_value(flag: &str, value: &str) -> ExitCode {

@@ -270,8 +270,8 @@ mod tests {
         let a = DsId(0);
         c.access(MemRef::write(a, 32)); // block 2, set 0
         c.access(MemRef::write(a, 64)); // block 4, set 0
-        // Third conflicting block evicts block 2 (LRU): its line address
-        // is 32, not the incoming 96.
+                                        // Third conflicting block evicts block 2 (LRU): its line address
+                                        // is 32, not the incoming 96.
         match c.access(MemRef::read(a, 96)) {
             AccessOutcome::Miss {
                 writeback: Some(wb),

@@ -192,8 +192,7 @@ pub mod table4 {
 
     /// The four profiling configurations used by paper Figure 5, smallest
     /// to largest.
-    pub const PROFILING: [CacheConfig; 4] =
-        [PROFILE_16KB, PROFILE_128KB, PROFILE_1MB, PROFILE_8MB];
+    pub const PROFILING: [CacheConfig; 4] = [PROFILE_16KB, PROFILE_128KB, PROFILE_1MB, PROFILE_8MB];
 
     /// Labels matching [`PROFILING`].
     pub const PROFILING_LABELS: [&str; 4] = ["16KB", "128KB", "1MB", "8MB"];
@@ -220,7 +219,10 @@ mod tests {
 
     #[test]
     fn rejects_non_power_of_two_sets() {
-        assert_eq!(CacheConfig::new(4, 65, 32), Err(ConfigError::BadNumSets(65)));
+        assert_eq!(
+            CacheConfig::new(4, 65, 32),
+            Err(ConfigError::BadNumSets(65))
+        );
         assert_eq!(CacheConfig::new(4, 0, 32), Err(ConfigError::BadNumSets(0)));
     }
 
@@ -230,7 +232,10 @@ mod tests {
             CacheConfig::new(4, 64, 48),
             Err(ConfigError::BadLineBytes(48))
         );
-        assert_eq!(CacheConfig::new(4, 64, 0), Err(ConfigError::BadLineBytes(0)));
+        assert_eq!(
+            CacheConfig::new(4, 64, 0),
+            Err(ConfigError::BadLineBytes(0))
+        );
     }
 
     #[test]

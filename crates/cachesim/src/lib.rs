@@ -53,8 +53,8 @@ pub mod stats;
 pub mod trace;
 
 pub use cache::{AccessOutcome, SetAssociativeCache, Writeback};
-pub use hierarchy::{simulate_hierarchy, CacheHierarchy, HierarchyReport};
 pub use config::CacheConfig;
+pub use hierarchy::{simulate_hierarchy, CacheHierarchy, HierarchyReport};
 pub use replacement::{Fifo, Lru, PolicyKind, RandomEvict, ReplacementPolicy, TreePlru};
 pub use sim::{simulate, simulate_with_policy, SimReport, Simulator};
 pub use stats::{CacheStats, DsStats};

@@ -92,12 +92,22 @@ impl<P: ReplacementPolicy> Simulator<P> {
         if self.flush_at_end {
             self.cache.flush();
         }
-        SimReport {
+        let report = SimReport {
             config: self.cache.config(),
             policy: self.policy_name,
             refs: self.refs,
             stats: self.cache.into_stats(),
+        };
+        // Observability: one batched update per run, so the per-reference
+        // hot path stays instrumentation-free.
+        if dvf_obs::enabled() {
+            let total = report.total();
+            dvf_obs::add("cachesim.refs", report.refs);
+            dvf_obs::add("cachesim.hits", total.hits);
+            dvf_obs::add("cachesim.misses", total.misses);
+            dvf_obs::add("cachesim.writebacks", total.writebacks);
         }
+        report
     }
 }
 

@@ -66,7 +66,6 @@ pub mod workflow;
 pub use dvf::{dvf_d, n_error, DataStructureProfile, DvfReport, WeightedDvf};
 pub use fit::{EccScheme, FitRate};
 pub use patterns::{
-    CacheView, InterferenceScenario, ModelError, RandomSpec, ReuseSpec, StreamingSpec,
-    TemplateSpec,
+    CacheView, InterferenceScenario, ModelError, RandomSpec, ReuseSpec, StreamingSpec, TemplateSpec,
 };
 pub use timemodel::{MachineModel, ResourceDemand};

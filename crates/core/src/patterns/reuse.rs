@@ -113,9 +113,7 @@ impl ReuseSpec {
                     (ca.saturating_sub(y)) as f64
                 }
             }
-            InterferenceScenario::Concurrent => {
-                expected_after_uniform_eviction(x, y, combined_i)
-            }
+            InterferenceScenario::Concurrent => expected_after_uniform_eviction(x, y, combined_i),
         }
     }
 
@@ -273,11 +271,7 @@ mod tests {
         };
         let b = spec.breakdown(&cache).unwrap();
         // Reload is tiny (only the binomial tail where a set overflows).
-        assert!(
-            b.reload_per_reuse < 1.0,
-            "reload = {}",
-            b.reload_per_reuse
-        );
+        assert!(b.reload_per_reuse < 1.0, "reload = {}", b.reload_per_reuse);
     }
 
     #[test]

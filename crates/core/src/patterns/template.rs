@@ -98,11 +98,7 @@ impl TemplateSpec {
     /// state at each pass boundary repeats, so every pass from the second
     /// on misses the same amount. Computed from two concatenated passes:
     /// `total = first + (repeat − 1) · (two_pass − first)`.
-    pub fn mem_accesses_repeated(
-        &self,
-        cache: &CacheView,
-        repeat: u64,
-    ) -> Result<f64, ModelError> {
+    pub fn mem_accesses_repeated(&self, cache: &CacheView, repeat: u64) -> Result<f64, ModelError> {
         self.validate()?;
         if repeat == 0 {
             return Ok(0.0);
@@ -284,9 +280,7 @@ mod tests {
 
         // Fully associative: 1 set, 16 ways, 32-B lines.
         let cfg = CacheConfig::new(16, 1, 32).unwrap();
-        let model = spec
-            .breakdown(&CacheView::exclusive(cfg))
-            .unwrap();
+        let model = spec.breakdown(&CacheView::exclusive(cfg)).unwrap();
 
         let mut trace = Trace::new();
         let ds = trace.registry.register("X");
@@ -340,10 +334,7 @@ mod tests {
     #[test]
     fn repeat_zero_is_zero() {
         let spec = TemplateSpec::new(8, vec![0, 1]);
-        assert_eq!(
-            spec.mem_accesses_repeated(&view(2, 1, 8), 0).unwrap(),
-            0.0
-        );
+        assert_eq!(spec.mem_accesses_repeated(&view(2, 1, 8), 0).unwrap(), 0.0);
     }
 
     #[test]

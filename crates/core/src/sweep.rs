@@ -134,11 +134,7 @@ where
             let mut down = base.to_vec();
             down[i] = p - h;
             let derivative = (f(&up) - f(&down)) / (2.0 * h);
-            let elasticity = if f0 == 0.0 {
-                0.0
-            } else {
-                derivative * p / f0
-            };
+            let elasticity = if f0 == 0.0 { 0.0 } else { derivative * p / f0 };
             Sensitivity {
                 param: (*name).to_owned(),
                 value: p,
@@ -207,7 +203,11 @@ mod tests {
             .iter()
             .min_by(|a, b| a.dvf.total_cmp(&b.dvf))
             .unwrap();
-        assert!((min.degradation - 0.05).abs() < 1e-9, "min at {}", min.degradation);
+        assert!(
+            (min.degradation - 0.05).abs() < 1e-9,
+            "min at {}",
+            min.degradation
+        );
         // Decreasing before the minimum, increasing after.
         assert!(points[0].dvf > points[5].dvf);
         assert!(points[30].dvf > points[5].dvf);

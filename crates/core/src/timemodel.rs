@@ -30,7 +30,10 @@ impl MachineModel {
     /// Validate rates.
     pub fn validate(&self) -> Result<(), String> {
         if !self.flops_per_sec.is_finite() || self.flops_per_sec <= 0.0 {
-            return Err(format!("flops_per_sec must be > 0, got {}", self.flops_per_sec));
+            return Err(format!(
+                "flops_per_sec must be > 0, got {}",
+                self.flops_per_sec
+            ));
         }
         if !self.mem_bytes_per_sec.is_finite() || self.mem_bytes_per_sec <= 0.0 {
             return Err(format!(

@@ -16,13 +16,11 @@
 use crate::dvf::{DataStructureProfile, DvfReport};
 use crate::fit::{EccScheme, FitRate};
 use crate::patterns::{
-    CacheView, InterferenceScenario, ModelError, RandomSpec, ReuseSpec, StreamingSpec,
-    TemplateSpec,
+    CacheView, InterferenceScenario, ModelError, RandomSpec, ReuseSpec, StreamingSpec, TemplateSpec,
 };
 use crate::timemodel::{MachineModel, ResourceDemand};
 use dvf_aspen::{
-    AppSpec, Diagnostic, EccKind, MachineSpec, OrderStepSpec, PatternSpec, Resolver,
-    ReuseScenario,
+    AppSpec, Diagnostic, EccKind, MachineSpec, OrderStepSpec, PatternSpec, Resolver, ReuseScenario,
 };
 use dvf_cachesim::CacheConfig;
 use std::collections::HashMap;
@@ -106,10 +104,7 @@ pub struct AccessAccounting {
 impl AccessAccounting {
     /// Look up one structure's access count.
     pub fn of(&self, name: &str) -> Option<f64> {
-        self.n_ha
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| *v)
+        self.n_ha.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
     /// Total main-memory accesses.
@@ -198,10 +193,12 @@ pub fn account_phases(
         if !kernel.is_root {
             continue;
         }
+        let patterns_span = dvf_obs::span("patterns");
         let mut totals: HashMap<&str, f64> = HashMap::new();
         let mut kernel_accesses = 0.0f64;
         for scaled in &kernel.accesses {
             let access = &scaled.access;
+            let _structure_span = dvf_obs::span(access.data.as_str());
             let data = app
                 .data(&access.data)
                 .expect("resolver guarantees access targets exist");
@@ -212,6 +209,15 @@ pub fn account_phases(
                 source,
             };
 
+            dvf_obs::add(
+                match &access.pattern {
+                    PatternSpec::Streaming { .. } => "pattern.streaming",
+                    PatternSpec::Random { .. } => "pattern.random",
+                    PatternSpec::Template { .. } => "pattern.template",
+                    PatternSpec::Reuse { .. } => "pattern.reuse",
+                },
+                1,
+            );
             let n_ha = match &access.pattern {
                 PatternSpec::Streaming {
                     element_bytes,
@@ -269,10 +275,12 @@ pub fn account_phases(
             kernel_accesses += total;
         }
 
+        drop(patterns_span);
+
         // Execution time: explicit override; else the Aspen roofline fed
         // by explicit `loads`/`stores` declarations when given, or by the
         // modeled traffic otherwise.
-        let time_s = match kernel.time_s {
+        let time_s = dvf_obs::span_scope("time-model", || match kernel.time_s {
             Some(t) => t,
             None => {
                 let demand = match kernel.traffic_bytes {
@@ -288,7 +296,7 @@ pub fn account_phases(
                 };
                 demand.time_on(&mm)
             }
-        };
+        });
 
         // Report in declaration order; untouched structures get N_ha = 0.
         let n_ha = app
@@ -314,23 +322,20 @@ pub fn account_phases(
 pub fn evaluate(app: &AppSpec, machine: &MachineSpec) -> Result<DvfReport, WorkflowError> {
     let accounting = account_accesses(app, machine)?;
     let fit = fit_of(machine);
-    let profiles = app
-        .datas
-        .iter()
-        .map(|d| {
-            DataStructureProfile::new(
-                d.name.clone(),
-                d.size_bytes,
-                accounting.of(&d.name).unwrap_or(0.0),
-            )
-        })
-        .collect();
-    Ok(DvfReport::compute(
-        app.name.clone(),
-        fit,
-        accounting.time_s,
-        profiles,
-    ))
+    Ok(dvf_obs::span_scope("report", || {
+        let profiles = app
+            .datas
+            .iter()
+            .map(|d| {
+                DataStructureProfile::new(
+                    d.name.clone(),
+                    d.size_bytes,
+                    accounting.of(&d.name).unwrap_or(0.0),
+                )
+            })
+            .collect();
+        DvfReport::compute(app.name.clone(), fit, accounting.time_s, profiles)
+    }))
 }
 
 /// Time-resolved DVF per structure (see [`crate::dvf::timed_dvf_d`]):
@@ -369,13 +374,16 @@ pub fn evaluate_source(
     model_name: Option<&str>,
     overrides: &[(&str, f64)],
 ) -> Result<DvfReport, WorkflowError> {
-    let doc = dvf_aspen::parse(source)?;
-    let mut resolver = Resolver::new(&doc);
-    for (k, v) in overrides {
-        resolver = resolver.set_param(k, *v);
-    }
-    let machine = resolver.machine(machine_name)?;
-    let app = resolver.model(model_name)?;
+    let doc = dvf_obs::span_scope("parse", || dvf_aspen::parse(source))?;
+    let (machine, app) = dvf_obs::span_scope("resolve", || {
+        let mut resolver = Resolver::new(&doc);
+        for (k, v) in overrides {
+            resolver = resolver.set_param(k, *v);
+        }
+        let machine = resolver.machine(machine_name)?;
+        let app = resolver.model(model_name)?;
+        Ok::<_, WorkflowError>((machine, app))
+    })?;
     evaluate(&app, &machine)
 }
 
@@ -509,8 +517,14 @@ mod tests {
         let r = Resolver::new(&doc);
         let app = r.model(None).unwrap();
         let machine = r.machine(None).unwrap();
-        assert_eq!(order_ratio(&app, app.kernels[0].order.as_deref(), "G"), 0.75);
-        assert_eq!(order_ratio(&app, app.kernels[0].order.as_deref(), "E"), 0.25);
+        assert_eq!(
+            order_ratio(&app, app.kernels[0].order.as_deref(), "G"),
+            0.75
+        );
+        assert_eq!(
+            order_ratio(&app, app.kernels[0].order.as_deref(), "E"),
+            0.25
+        );
 
         // Removing the order (exclusive cache) must not increase accesses.
         let acc_shared = account_accesses(&app, &machine).unwrap();

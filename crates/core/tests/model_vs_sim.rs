@@ -128,7 +128,13 @@ fn random_model_tracks_simulation() {
 
     let cases = [
         // (N, E, k, iter, cache)
-        (1000u64, 32u64, 150u64, 400u64, CacheConfig::new(4, 64, 32).unwrap()),
+        (
+            1000u64,
+            32u64,
+            150u64,
+            400u64,
+            CacheConfig::new(4, 64, 32).unwrap(),
+        ),
         (4000, 16, 200, 300, CacheConfig::new(8, 128, 32).unwrap()),
         (512, 64, 64, 500, CacheConfig::new(4, 64, 64).unwrap()),
     ];
@@ -140,9 +146,7 @@ fn random_model_tracks_simulation() {
             iterations: iters,
             ratio: 1.0,
         };
-        let modeled = spec
-            .mem_accesses(&CacheView::exclusive(cfg))
-            .unwrap();
+        let modeled = spec.mem_accesses(&CacheView::exclusive(cfg)).unwrap();
 
         // Simulate: construction sweep, then `iters` rounds of `k`
         // distinct uniform elements each.

@@ -31,5 +31,7 @@
 pub mod campaign;
 pub mod flip;
 
-pub use campaign::{cg_campaign, ft_campaign, mc_campaign, vm_campaign, Campaign, CampaignResult, Outcome};
+pub use campaign::{
+    cg_campaign, ft_campaign, mc_campaign, vm_campaign, Campaign, CampaignResult, Outcome,
+};
 pub use flip::flip_bit;

@@ -203,7 +203,11 @@ pub fn generate_bodies(params: NbParams) -> Vec<Body> {
     let mut rng = StdRng::seed_from_u64(params.seed);
     (0..params.bodies)
         .map(|i| {
-            let (cx, cy) = if i % 3 == 0 { (-0.4, -0.3) } else { (0.35, 0.3) };
+            let (cx, cy) = if i % 3 == 0 {
+                (-0.4, -0.3)
+            } else {
+                (0.35, 0.3)
+            };
             // Sum of uniforms approximates a Gaussian.
             let g = |rng: &mut StdRng| -> f64 {
                 (0..6).map(|_| rng.gen_range(-0.5..0.5)).sum::<f64>() / 6.0

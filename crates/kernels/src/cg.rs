@@ -141,10 +141,7 @@ pub fn run_plain(params: CgParams) -> (CgOutput, Vec<f64>) {
         flops += 2.0 * (n * n) as f64 + 10.0 * n as f64;
     }
 
-    let error = x
-        .iter()
-        .map(|&xi| (xi - 1.0).abs())
-        .fold(0.0f64, f64::max);
+    let error = x.iter().map(|&xi| (xi - 1.0).abs()).fold(0.0f64, f64::max);
     (
         CgOutput {
             n,
@@ -168,7 +165,8 @@ pub fn run_traced(params: CgParams, rec: &Recorder) -> CgOutput {
     let mut r = rec.buffer::<f64>("r", n);
     let mut q = rec.buffer::<f64>("q", n);
 
-    a.raw_mut().copy_from_slice(&spd_matrix_with_spread(n, params.diag_spread));
+    a.raw_mut()
+        .copy_from_slice(&spd_matrix_with_spread(n, params.diag_spread));
     let b = rhs_for_ones(a.raw(), n);
     r.raw_mut().copy_from_slice(&b);
     p.raw_mut().copy_from_slice(&b);

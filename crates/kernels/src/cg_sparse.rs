@@ -276,11 +276,7 @@ pub fn run_traced(params: SparseCgParams, rec: &Recorder) -> SparseCgOutput {
         avg_row_nnz: a.avg_row_nnz(),
         iterations,
         residual: rho.sqrt() / bnorm,
-        error: x
-            .raw()
-            .iter()
-            .map(|&v| (v - 1.0).abs())
-            .fold(0.0, f64::max),
+        error: x.raw().iter().map(|&v| (v - 1.0).abs()).fold(0.0, f64::max),
         flops,
     }
 }

@@ -61,7 +61,10 @@ impl FtParams {
     /// Class S (both verification and profiling per paper Tables V/VI):
     /// a 2048-point transform (32 KiB working set ≈ the paper's 33 KB).
     pub fn class_s() -> Self {
-        Self { n: 2048, repeats: 4 }
+        Self {
+            n: 2048,
+            repeats: 4,
+        }
     }
 }
 

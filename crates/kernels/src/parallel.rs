@@ -28,7 +28,11 @@ pub fn dense_matvec_par(a: &[f64], n: usize, x: &[f64], y: &mut [f64]) {
     let workers = workers_for(n);
     if workers <= 1 {
         for (i, yi) in y.iter_mut().enumerate() {
-            *yi = a[i * n..(i + 1) * n].iter().zip(x).map(|(aij, xj)| aij * xj).sum();
+            *yi = a[i * n..(i + 1) * n]
+                .iter()
+                .zip(x)
+                .map(|(aij, xj)| aij * xj)
+                .sum();
         }
         return;
     }
@@ -85,7 +89,13 @@ mod tests {
 
     fn serial_dense(a: &[f64], n: usize, x: &[f64]) -> Vec<f64> {
         (0..n)
-            .map(|i| a[i * n..(i + 1) * n].iter().zip(x).map(|(p, q)| p * q).sum())
+            .map(|i| {
+                a[i * n..(i + 1) * n]
+                    .iter()
+                    .zip(x)
+                    .map(|(p, q)| p * q)
+                    .sum()
+            })
             .collect()
     }
 

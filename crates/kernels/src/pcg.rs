@@ -53,10 +53,7 @@ pub fn run_plain(params: CgParams) -> (CgOutput, Vec<f64>) {
         flops += 2.0 * (n * n) as f64 + 13.0 * n as f64;
     }
 
-    let error = x
-        .iter()
-        .map(|&xi| (xi - 1.0).abs())
-        .fold(0.0f64, f64::max);
+    let error = x.iter().map(|&xi| (xi - 1.0).abs()).fold(0.0f64, f64::max);
     (
         CgOutput {
             n,
@@ -80,7 +77,8 @@ pub fn run_traced(params: CgParams, rec: &Recorder) -> CgOutput {
     let mut z = rec.buffer::<f64>("z", n);
     let m = {
         let mut m = rec.buffer::<f64>("M", n);
-        a.raw_mut().copy_from_slice(&spd_matrix_with_spread(n, params.diag_spread));
+        a.raw_mut()
+            .copy_from_slice(&spd_matrix_with_spread(n, params.diag_spread));
         for i in 0..n {
             m.raw_mut()[i] = 1.0 / a.raw()[i * n + i];
         }
@@ -200,10 +198,7 @@ mod tests {
     #[test]
     fn trace_includes_pcg_structures() {
         let rec = Recorder::new();
-        run_traced(
-            CgParams::new(20, 2, 0.0),
-            &rec,
-        );
+        run_traced(CgParams::new(20, 2, 0.0), &rec);
         let trace = rec.into_trace();
         for name in ["A", "x", "p", "r", "z", "M"] {
             let ds = trace.registry.id(name).unwrap();

@@ -20,7 +20,10 @@ pub struct VmParams {
 impl VmParams {
     /// Paper Table V verification input: 10³ element array.
     pub fn verification() -> Self {
-        Self { n: 1000, stride_a: 4 }
+        Self {
+            n: 1000,
+            stride_a: 4,
+        }
     }
 
     /// Paper Table VI profiling input: 10⁵ element array.
@@ -108,7 +111,10 @@ mod tests {
 
     #[test]
     fn traced_matches_plain() {
-        let params = VmParams { n: 1000, stride_a: 4 };
+        let params = VmParams {
+            n: 1000,
+            stride_a: 4,
+        };
         let rec = Recorder::new();
         let traced = run_traced(params, &rec);
         let plain = run_plain(params);
@@ -118,7 +124,10 @@ mod tests {
 
     #[test]
     fn trace_has_expected_shape() {
-        let params = VmParams { n: 100, stride_a: 4 };
+        let params = VmParams {
+            n: 100,
+            stride_a: 4,
+        };
         let rec = Recorder::new();
         run_traced(params, &rec);
         let trace = rec.into_trace();

@@ -1,0 +1,281 @@
+//! Immutable snapshots of the registry and their text/JSON renderings.
+//!
+//! The JSON schema is versioned (`dvf-obs/1`) and pinned by a golden test;
+//! tools that parse it can rely on field names and nesting staying stable
+//! within a major schema version.
+
+use crate::json::JsonWriter;
+use crate::registry::Registry;
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
+
+/// Aggregated statistics for one span path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEntry {
+    /// `/`-joined nesting path, e.g. `eval/patterns/A`.
+    pub path: String,
+    /// Nesting depth at record time (number of enclosing spans).
+    pub depth: usize,
+    /// Times a span with this path completed.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across all completions.
+    pub total_ns: u64,
+    /// Fastest single completion, in nanoseconds.
+    pub min_ns: u64,
+    /// Slowest single completion, in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// One named counter and its value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterEntry {
+    /// Registered name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// One histogram with its bucket tallies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramEntry {
+    /// Registered name.
+    pub name: String,
+    /// Inclusive upper bounds, one per bucket (the final overflow bucket
+    /// is represented by the extra trailing count).
+    pub bounds: Vec<u64>,
+    /// `bounds.len() + 1` counts, the last being the overflow bucket.
+    pub bucket_counts: Vec<u64>,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+}
+
+/// Immutable copy of everything recorded: spans in first-completion
+/// order, counters and histograms in registration order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Span statistics.
+    pub spans: Vec<SpanEntry>,
+    /// Counter values.
+    pub counters: Vec<CounterEntry>,
+    /// Histogram tallies.
+    pub histograms: Vec<HistogramEntry>,
+}
+
+pub(crate) fn snapshot_of(registry: &Registry) -> Snapshot {
+    let spans = registry
+        .spans
+        .lock()
+        .expect("obs registry poisoned")
+        .iter()
+        .map(|(path, r)| SpanEntry {
+            path: path.clone(),
+            depth: r.depth,
+            count: r.count,
+            total_ns: r.total_ns,
+            min_ns: r.min_ns,
+            max_ns: r.max_ns,
+        })
+        .collect();
+    let counters = registry
+        .counters
+        .lock()
+        .expect("obs registry poisoned")
+        .iter()
+        .map(|(name, c)| CounterEntry {
+            name: name.clone(),
+            value: c.value(),
+        })
+        .collect();
+    let histograms = registry
+        .histograms
+        .lock()
+        .expect("obs registry poisoned")
+        .iter()
+        .map(|(name, h)| {
+            let inner = crate::registry::histogram_inner(h);
+            HistogramEntry {
+                name: name.clone(),
+                bounds: inner.bounds.clone(),
+                bucket_counts: inner
+                    .buckets
+                    .iter()
+                    .map(|b| b.load(Ordering::Relaxed))
+                    .collect(),
+                count: inner.count.load(Ordering::Relaxed),
+                sum: inner.sum.load(Ordering::Relaxed),
+            }
+        })
+        .collect();
+    Snapshot {
+        spans,
+        counters,
+        histograms,
+    }
+}
+
+/// Format nanoseconds with an adaptive unit.
+fn human_ns(ns: u64) -> String {
+    let v = ns as f64;
+    if v >= 1e9 {
+        format!("{:.3} s", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.3} ms", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} µs", v / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+impl Snapshot {
+    /// Spans in execution order: parents before their children, siblings
+    /// by first completion (which, for sequential sibling scopes, is
+    /// execution order — `parse` completes before `resolve` starts).
+    fn display_order(&self) -> Vec<&SpanEntry> {
+        let index_of = |path: &str| self.spans.iter().position(|s| s.path == path);
+        let mut ordered: Vec<&SpanEntry> = self.spans.iter().collect();
+        ordered.sort_by(|a, b| {
+            let (sa, sb): (Vec<&str>, Vec<&str>) =
+                (a.path.split('/').collect(), b.path.split('/').collect());
+            for i in 0..sa.len().min(sb.len()) {
+                if sa[i] != sb[i] {
+                    // First differing level: order by when each subtree
+                    // first completed (a span for the prefix always
+                    // exists once the subtree has completed).
+                    let ia = index_of(&sa[..=i].join("/")).unwrap_or(usize::MAX);
+                    let ib = index_of(&sb[..=i].join("/")).unwrap_or(usize::MAX);
+                    return ia.cmp(&ib);
+                }
+            }
+            // One path is a prefix of the other: the parent goes first.
+            sa.len().cmp(&sb.len())
+        });
+        ordered
+    }
+
+    /// Look up one span by full path.
+    pub fn span(&self, path: &str) -> Option<&SpanEntry> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+
+    /// Total seconds recorded under `path`, if present.
+    pub fn span_total_s(&self, path: &str) -> Option<f64> {
+        self.span(path).map(|s| s.total_ns as f64 / 1e9)
+    }
+
+    /// Value of the counter named `name`, if registered.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Human-readable profile report.
+    ///
+    /// Spans indent by nesting depth; entries keep execution order.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== dvf-obs profile ==");
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "spans:");
+            for s in self.display_order() {
+                let name = s.path.rsplit('/').next().unwrap_or(&s.path);
+                let label = format!("{:indent$}{name}", "", indent = 2 + 2 * s.depth);
+                let _ = write!(
+                    out,
+                    "{label:<32} {:>6}x {:>12}",
+                    s.count,
+                    human_ns(s.total_ns)
+                );
+                if s.count > 1 {
+                    let _ = write!(
+                        out,
+                        "  (min {}, max {})",
+                        human_ns(s.min_ns),
+                        human_ns(s.max_ns)
+                    );
+                }
+                out.push('\n');
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for c in &self.counters {
+                let _ = writeln!(out, "  {:<30} {:>12}", c.name, c.value);
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "histograms:");
+            for h in &self.histograms {
+                let _ = writeln!(out, "  {:<30} count {} sum {}", h.name, h.count, h.sum);
+                for (i, n) in h.bucket_counts.iter().enumerate() {
+                    if *n == 0 {
+                        continue;
+                    }
+                    let le = h
+                        .bounds
+                        .get(i)
+                        .map(|b| format!("<= {b}"))
+                        .unwrap_or_else(|| "> last".to_owned());
+                    let _ = writeln!(out, "    {le:<12} {n}");
+                }
+            }
+        }
+        if self.spans.is_empty() && self.counters.is_empty() && self.histograms.is_empty() {
+            let _ = writeln!(out, "(no metrics recorded — was instrumentation enabled?)");
+        }
+        out
+    }
+
+    /// The `dvf-obs/1` JSON document (schema pinned by a golden test).
+    pub fn render_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("schema").string("dvf-obs/1");
+        w.key("spans").begin_array();
+        for s in &self.spans {
+            w.begin_object();
+            w.key("path").string(&s.path);
+            w.key("depth").u64(s.depth as u64);
+            w.key("count").u64(s.count);
+            w.key("total_ns").u64(s.total_ns);
+            w.key("min_ns").u64(s.min_ns);
+            w.key("max_ns").u64(s.max_ns);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("counters").begin_array();
+        for c in &self.counters {
+            w.begin_object();
+            w.key("name").string(&c.name);
+            w.key("value").u64(c.value);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("histograms").begin_array();
+        for h in &self.histograms {
+            w.begin_object();
+            w.key("name").string(&h.name);
+            w.key("count").u64(h.count);
+            w.key("sum").u64(h.sum);
+            w.key("buckets").begin_array();
+            for (i, n) in h.bucket_counts.iter().enumerate() {
+                w.begin_object();
+                match h.bounds.get(i) {
+                    Some(b) => w.key("le").u64(*b),
+                    None => w.key("le").null(),
+                };
+                w.key("count").u64(*n);
+                w.end_object();
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+}

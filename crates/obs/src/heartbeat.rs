@@ -1,0 +1,110 @@
+//! Progress heartbeat for long-running CLI jobs.
+//!
+//! Trace replays and fault-injection campaigns can run for minutes with
+//! no output; a [`Heartbeat`] prints a short stderr line every N events
+//! so the user can tell the tool is alive (and how far along it is).
+
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Event-count progress ticker writing to stderr.
+///
+/// Call [`tick`](Heartbeat::tick) with the number of events just
+/// processed; a line is printed each time the cumulative count crosses a
+/// multiple of `every`. Construct with [`quiet`](Heartbeat::quiet) (or a
+/// `--quiet` flag) to suppress all output without touching call sites.
+#[derive(Debug)]
+pub struct Heartbeat {
+    label: String,
+    every: u64,
+    seen: u64,
+    next_at: u64,
+    quiet: bool,
+    started: Instant,
+}
+
+impl Heartbeat {
+    /// A heartbeat labelled `label` that reports every `every` events.
+    pub fn new(label: impl Into<String>, every: u64) -> Self {
+        Self {
+            label: label.into(),
+            every: every.max(1),
+            seen: 0,
+            next_at: every.max(1),
+            quiet: false,
+            started: Instant::now(),
+        }
+    }
+
+    /// Silence the heartbeat (counting still happens).
+    pub fn quiet(mut self, quiet: bool) -> Self {
+        self.quiet = quiet;
+        self
+    }
+
+    /// Record `n` more events, printing if a reporting boundary was
+    /// crossed.
+    pub fn tick(&mut self, n: u64) {
+        self.seen = self.seen.saturating_add(n);
+        if self.seen < self.next_at {
+            return;
+        }
+        while self.next_at <= self.seen {
+            self.next_at = self.next_at.saturating_add(self.every);
+        }
+        if !self.quiet {
+            self.report("");
+        }
+    }
+
+    /// Total events seen so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Print a final summary line (unless quiet).
+    pub fn done(&self) {
+        if !self.quiet {
+            self.report(" done");
+        }
+    }
+
+    fn report(&self, suffix: &str) {
+        let secs = self.started.elapsed().as_secs_f64();
+        let rate = if secs > 0.0 {
+            self.seen as f64 / secs
+        } else {
+            0.0
+        };
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(
+            err,
+            "[{}] {} events in {:.1}s ({:.2e}/s){}",
+            self.label, self.seen, secs, rate, suffix
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_crosses_boundaries_once() {
+        let mut hb = Heartbeat::new("test", 100).quiet(true);
+        hb.tick(50);
+        assert_eq!(hb.seen(), 50);
+        hb.tick(250);
+        assert_eq!(hb.seen(), 300);
+        // Next boundary is past the total, not at a skipped multiple.
+        assert!(hb.next_at > hb.seen);
+        hb.done();
+    }
+
+    #[test]
+    fn zero_interval_is_clamped() {
+        let mut hb = Heartbeat::new("test", 0).quiet(true);
+        hb.tick(3);
+        assert_eq!(hb.seen(), 3);
+    }
+}

@@ -1,0 +1,195 @@
+//! A minimal JSON writer (no external dependencies), shared by every
+//! machine-readable exporter in the workspace.
+//!
+//! The writer tracks nesting and comma placement; escaping follows RFC
+//! 8259. Non-finite floats serialize as `null` (JSON has no NaN/Inf).
+//!
+//! ```
+//! let mut w = dvf_obs::JsonWriter::new();
+//! w.begin_object();
+//! w.key("name").string("A");
+//! w.key("misses").u64(42);
+//! w.end_object();
+//! assert_eq!(w.finish(), r#"{"name":"A","misses":42}"#);
+//! ```
+
+use std::fmt::Write as _;
+
+/// Streaming JSON document builder.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open container: `true` once a value has been
+    /// written at that level (so the next one needs a comma).
+    stack: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(has_values) = self.stack.last_mut() {
+            if *has_values {
+                self.out.push(',');
+            }
+            *has_values = true;
+        }
+    }
+
+    /// Open `{`.
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.pre_value();
+        self.out.push('{');
+        self.stack.push(false);
+        self
+    }
+
+    /// Close `}`.
+    pub fn end_object(&mut self) -> &mut Self {
+        self.stack.pop().expect("end_object without begin_object");
+        self.out.push('}');
+        self
+    }
+
+    /// Open `[`.
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.pre_value();
+        self.out.push('[');
+        self.stack.push(false);
+        self
+    }
+
+    /// Close `]`.
+    pub fn end_array(&mut self) -> &mut Self {
+        self.stack.pop().expect("end_array without begin_array");
+        self.out.push(']');
+        self
+    }
+
+    /// Write an object key; the next call must write its value.
+    pub fn key(&mut self, name: &str) -> &mut Self {
+        self.pre_value();
+        self.write_escaped(name);
+        self.out.push(':');
+        // The value after a key is not a fresh array/object element.
+        if let Some(has_values) = self.stack.last_mut() {
+            *has_values = false;
+        }
+        self
+    }
+
+    /// Write a string value.
+    pub fn string(&mut self, v: &str) -> &mut Self {
+        self.pre_value();
+        self.write_escaped(v);
+        self
+    }
+
+    /// Write an unsigned integer value.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.pre_value();
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    /// Write a float value (`null` when not finite).
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.pre_value();
+        if v.is_finite() {
+            // `{:?}` keeps full round-trip precision and always includes
+            // a decimal point or exponent, staying valid JSON.
+            let _ = write!(self.out, "{v:?}");
+        } else {
+            self.out.push_str("null");
+        }
+        self
+    }
+
+    /// Write a boolean value.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.pre_value();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Write a `null`.
+    pub fn null(&mut self) -> &mut Self {
+        self.pre_value();
+        self.out.push_str("null");
+        self
+    }
+
+    /// Consume the writer and return the document. Panics if containers
+    /// are still open (an exporter bug, not an input error).
+    pub fn finish(self) -> String {
+        assert!(
+            self.stack.is_empty(),
+            "unbalanced JSON containers ({} still open)",
+            self.stack.len()
+        );
+        self.out
+    }
+
+    fn write_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(self.out, "\\u{:04x}", c as u32);
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_document_with_commas() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("xs").begin_array().u64(1).u64(2).end_array();
+        w.key("nested")
+            .begin_object()
+            .key("ok")
+            .bool(true)
+            .end_object();
+        w.key("pi").f64(0.5);
+        w.key("none").null();
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"xs":[1,2],"nested":{"ok":true},"pi":0.5,"none":null}"#
+        );
+    }
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        let mut w = JsonWriter::new();
+        w.string("a\"b\\c\nd\u{1}");
+        assert_eq!(w.finish(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.begin_array()
+            .f64(f64::NAN)
+            .f64(f64::INFINITY)
+            .f64(1.0)
+            .end_array();
+        assert_eq!(w.finish(), "[null,null,1.0]");
+    }
+}

@@ -1,0 +1,223 @@
+//! The global metric registry: counters, histograms and span statistics.
+//!
+//! All mutation goes through atomics (counters, histogram buckets) or a
+//! short-lived mutex (name registration, span aggregation), so the
+//! registry is safe under thread-based or rayon-style parallelism.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+///
+/// Cloning is cheap (an `Arc` bump); clones observe the same value.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `v` (no-op while instrumentation is disabled).
+    #[inline]
+    pub fn add(&self, v: u64) {
+        if crate::enabled() {
+            self.0.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Add 1 (no-op while instrumentation is disabled).
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramInner {
+    /// Inclusive upper bounds, strictly increasing; the implicit final
+    /// bucket catches everything above the last bound.
+    pub(crate) bounds: Vec<u64>,
+    /// One count per bound plus the overflow bucket.
+    pub(crate) buckets: Vec<AtomicU64>,
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `u64` observations.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// Record one observation (no-op while instrumentation is disabled).
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        let inner = &self.0;
+        let idx = inner.bounds.partition_point(|&b| b < v);
+        inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+}
+
+/// Aggregated wall-clock statistics for one span path.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SpanRecord {
+    pub(crate) depth: usize,
+    pub(crate) count: u64,
+    pub(crate) total_ns: u64,
+    pub(crate) min_ns: u64,
+    pub(crate) max_ns: u64,
+}
+
+/// The process-wide registry. Metric vectors preserve first-registration
+/// order so reports read in execution order.
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    pub(crate) counters: Mutex<Vec<(String, Counter)>>,
+    pub(crate) histograms: Mutex<Vec<(String, Histogram)>>,
+    pub(crate) spans: Mutex<Vec<(String, SpanRecord)>>,
+}
+
+impl Registry {
+    pub(crate) fn counter(&self, name: &str) -> Counter {
+        let mut counters = self.counters.lock().expect("obs registry poisoned");
+        if let Some((_, c)) = counters.iter().find(|(n, _)| n == name) {
+            return c.clone();
+        }
+        let c = Counter(Arc::new(AtomicU64::new(0)));
+        counters.push((name.to_owned(), c.clone()));
+        c
+    }
+
+    pub(crate) fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let mut histograms = self.histograms.lock().expect("obs registry poisoned");
+        if let Some((_, h)) = histograms.iter().find(|(n, _)| n == name) {
+            return h.clone();
+        }
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing: {bounds:?}"
+        );
+        let h = Histogram(Arc::new(HistogramInner {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }));
+        histograms.push((name.to_owned(), h.clone()));
+        h
+    }
+
+    pub(crate) fn record_span(&self, path: String, depth: usize, elapsed_ns: u64) {
+        let mut spans = self.spans.lock().expect("obs registry poisoned");
+        let record = match spans.iter_mut().find(|(p, _)| *p == path) {
+            Some((_, r)) => r,
+            None => {
+                spans.push((
+                    path,
+                    SpanRecord {
+                        depth,
+                        min_ns: u64::MAX,
+                        ..SpanRecord::default()
+                    },
+                ));
+                &mut spans.last_mut().expect("just pushed").1
+            }
+        };
+        record.count += 1;
+        record.total_ns += elapsed_ns;
+        record.min_ns = record.min_ns.min(elapsed_ns);
+        record.max_ns = record.max_ns.max(elapsed_ns);
+    }
+
+    pub(crate) fn snapshot(&self) -> crate::Snapshot {
+        crate::export::snapshot_of(self)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.spans.lock().expect("obs registry poisoned").clear();
+        // Zero counters in place so cached handles stay connected.
+        for (_, c) in self.counters.lock().expect("obs registry poisoned").iter() {
+            c.0.store(0, Ordering::Relaxed);
+        }
+        for (_, h) in self
+            .histograms
+            .lock()
+            .expect("obs registry poisoned")
+            .iter()
+        {
+            for b in &h.0.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            h.0.count.store(0, Ordering::Relaxed);
+            h.0.sum.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Expose a histogram's internals to the snapshot builder.
+pub(crate) fn histogram_inner(h: &Histogram) -> &HistogramInner {
+    &h.0
+}
+
+/// The process-wide registry instance.
+pub(crate) fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::default)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn counter_handles_alias_one_cell() {
+        let _lock = crate::test_guard();
+        crate::set_enabled(true);
+        let a = crate::counter("registry.test.alias");
+        let b = crate::counter("registry.test.alias");
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.value(), 5);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn disabled_counters_do_not_move() {
+        let _lock = crate::test_guard();
+        crate::set_enabled(false);
+        let c = crate::counter("registry.test.disabled");
+        let before = c.value();
+        c.add(10);
+        c.incr();
+        assert_eq!(c.value(), before);
+    }
+
+    #[test]
+    fn histogram_buckets_partition_observations() {
+        let _lock = crate::test_guard();
+        crate::set_enabled(true);
+        let h = crate::histogram("registry.test.hist", &[10, 100]);
+        for v in [1, 10, 11, 100, 101, 5000] {
+            h.observe(v);
+        }
+        let snap = crate::snapshot();
+        let entry = snap
+            .histograms
+            .iter()
+            .find(|e| e.name == "registry.test.hist")
+            .expect("registered");
+        assert_eq!(entry.bucket_counts, vec![2, 2, 2]);
+        assert_eq!(entry.count, 6);
+        assert_eq!(entry.sum, 1 + 10 + 11 + 100 + 101 + 5000);
+        crate::set_enabled(false);
+    }
+}

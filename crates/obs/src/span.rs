@@ -1,0 +1,142 @@
+//! Hierarchical timed spans.
+//!
+//! A span is an RAII guard: creating it pushes a segment onto a
+//! thread-local path stack, dropping it records the elapsed wall-clock
+//! time under the `/`-joined path (so nesting is visible in the report
+//! without any manual bookkeeping):
+//!
+//! ```
+//! # let _l = ();
+//! dvf_obs::set_enabled(true);
+//! dvf_obs::reset();
+//! {
+//!     let _outer = dvf_obs::span("eval");
+//!     let _inner = dvf_obs::span("parse"); // recorded as "eval/parse"
+//! }
+//! let snap = dvf_obs::snapshot();
+//! assert!(snap.span("eval/parse").is_some());
+//! dvf_obs::set_enabled(false);
+//! ```
+//!
+//! Guards must be dropped in reverse creation order (the natural scoped
+//! usage); an out-of-order drop would mis-attribute the remainder of the
+//! enclosing span's path.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// Segments of the currently open span path on this thread.
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for one timed span. Inert (and allocation-free) when
+/// instrumentation is disabled.
+#[derive(Debug)]
+#[must_use = "a span guard records its time when dropped; binding it to `_` drops it immediately"]
+pub struct SpanGuard(Option<ActiveSpan>);
+
+#[derive(Debug)]
+struct ActiveSpan {
+    path: String,
+    depth: usize,
+    start: Instant,
+}
+
+/// Open a timed span named `name`, nested under any span currently open
+/// on this thread. The returned guard records on drop.
+pub fn span(name: impl Into<String>) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard(None);
+    }
+    let name = name.into();
+    let (path, depth) = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let depth = stack.len();
+        let path = if stack.is_empty() {
+            name.clone()
+        } else {
+            format!("{}/{name}", stack.join("/"))
+        };
+        stack.push(name);
+        (path, depth)
+    });
+    SpanGuard(Some(ActiveSpan {
+        path,
+        depth,
+        start: Instant::now(),
+    }))
+}
+
+/// Run `f` inside a span named `name` and return its result.
+pub fn span_scope<T>(name: impl Into<String>, f: impl FnOnce() -> T) -> T {
+    let _guard = span(name);
+    f()
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.0.take() else { return };
+        let elapsed_ns = u64::try_from(active.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        crate::registry::global().record_span(active.path, active.depth, elapsed_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_compose_paths_and_depths() {
+        let _lock = crate::test_guard();
+        crate::set_enabled(true);
+        crate::reset();
+        {
+            let _a = span("a");
+            {
+                let _b = span("b");
+                let _c = span("c");
+            }
+            let _d = span("b"); // same name, same parent: aggregates
+        }
+        let snap = crate::snapshot();
+        let paths: Vec<(&str, usize)> = snap
+            .spans
+            .iter()
+            .map(|s| (s.path.as_str(), s.depth))
+            .collect();
+        assert_eq!(paths, vec![("a/b/c", 2), ("a/b", 1), ("a", 0)]);
+        assert_eq!(snap.span("a/b").expect("recorded").count, 2);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _lock = crate::test_guard();
+        crate::set_enabled(false);
+        crate::reset();
+        {
+            let _g = span("ghost");
+        }
+        assert!(crate::snapshot().spans.is_empty());
+    }
+
+    #[test]
+    fn span_scope_returns_value_and_records() {
+        let _lock = crate::test_guard();
+        crate::set_enabled(true);
+        crate::reset();
+        let v = span_scope("outer", || span_scope("inner", || 42));
+        assert_eq!(v, 42);
+        let snap = crate::snapshot();
+        assert!(snap.span("outer/inner").is_some());
+        assert!(
+            snap.span("outer").expect("recorded").total_ns
+                >= snap.span("outer/inner").expect("recorded").total_ns
+        );
+        crate::set_enabled(false);
+    }
+}

@@ -1,0 +1,84 @@
+//! Registry behavior under thread-based parallelism: counter bumps from
+//! many threads must never be lost, and span recording from concurrent
+//! threads must keep per-thread nesting intact.
+
+use std::sync::Barrier;
+
+#[test]
+fn concurrent_counter_sums_are_exact() {
+    dvf_obs::set_enabled(true);
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            s.spawn(|| {
+                // One registry lookup, then pure atomic adds.
+                let c = dvf_obs::counter("test.concurrent");
+                barrier.wait();
+                for i in 0..PER_THREAD {
+                    if i % 2 == 0 {
+                        c.incr();
+                    } else {
+                        c.add(1);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(
+        dvf_obs::snapshot().counter_value("test.concurrent"),
+        Some(THREADS as u64 * PER_THREAD)
+    );
+}
+
+#[test]
+fn concurrent_histograms_lose_no_observations() {
+    dvf_obs::set_enabled(true);
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 5_000;
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || {
+                let h = dvf_obs::histogram("test.hist", &[10, 1_000]);
+                for i in 0..PER_THREAD {
+                    h.observe(t * PER_THREAD + i);
+                }
+            });
+        }
+    });
+    let snap = dvf_obs::snapshot();
+    let h = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "test.hist")
+        .expect("registered");
+    assert_eq!(h.count, THREADS * PER_THREAD);
+    assert_eq!(h.bucket_counts.iter().sum::<u64>(), THREADS * PER_THREAD);
+    // Sum of 0..N-1 observed exactly once each.
+    let n = THREADS * PER_THREAD;
+    assert_eq!(h.sum, n * (n - 1) / 2);
+}
+
+#[test]
+fn spans_nest_per_thread_not_globally() {
+    dvf_obs::set_enabled(true);
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            s.spawn(move || {
+                let _outer = dvf_obs::span(format!("thread{t}"));
+                let _inner = dvf_obs::span("work");
+            });
+        }
+    });
+    let snap = dvf_obs::snapshot();
+    for t in 0..4 {
+        // Each thread's stack is independent: `work` nests under its own
+        // thread's root, never under another thread's.
+        let inner = snap
+            .span(&format!("thread{t}/work"))
+            .expect("per-thread nesting");
+        assert_eq!(inner.count, 1);
+        assert_eq!(inner.depth, 1);
+    }
+}

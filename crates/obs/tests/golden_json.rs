@@ -1,0 +1,78 @@
+//! Golden test pinning the `dvf-obs/1` JSON export schema.
+//!
+//! The JSON document is consumed by external tooling; any change to key
+//! names, nesting or value encoding is a breaking schema change and must
+//! bump the `schema` version string. This test freezes the layout by
+//! rendering a hand-built snapshot and comparing byte-for-byte.
+
+use dvf_obs::{CounterEntry, HistogramEntry, Snapshot, SpanEntry};
+
+fn sample_snapshot() -> Snapshot {
+    Snapshot {
+        spans: vec![
+            SpanEntry {
+                path: "eval/parse".to_owned(),
+                depth: 1,
+                count: 1,
+                total_ns: 1200,
+                min_ns: 1200,
+                max_ns: 1200,
+            },
+            SpanEntry {
+                path: "eval".to_owned(),
+                depth: 0,
+                count: 1,
+                total_ns: 5000,
+                min_ns: 5000,
+                max_ns: 5000,
+            },
+        ],
+        counters: vec![CounterEntry {
+            name: "pattern.streaming".to_owned(),
+            value: 3,
+        }],
+        histograms: vec![HistogramEntry {
+            name: "latency".to_owned(),
+            bounds: vec![10, 100],
+            bucket_counts: vec![2, 1, 0],
+            count: 3,
+            sum: 57,
+        }],
+    }
+}
+
+#[test]
+fn json_export_matches_golden() {
+    let golden = concat!(
+        "{\"schema\":\"dvf-obs/1\",",
+        "\"spans\":[",
+        "{\"path\":\"eval/parse\",\"depth\":1,\"count\":1,",
+        "\"total_ns\":1200,\"min_ns\":1200,\"max_ns\":1200},",
+        "{\"path\":\"eval\",\"depth\":0,\"count\":1,",
+        "\"total_ns\":5000,\"min_ns\":5000,\"max_ns\":5000}",
+        "],",
+        "\"counters\":[{\"name\":\"pattern.streaming\",\"value\":3}],",
+        "\"histograms\":[{\"name\":\"latency\",\"count\":3,\"sum\":57,",
+        "\"buckets\":[{\"le\":10,\"count\":2},{\"le\":100,\"count\":1},",
+        "{\"le\":null,\"count\":0}]}]}",
+    );
+    assert_eq!(sample_snapshot().render_json(), golden);
+}
+
+#[test]
+fn empty_snapshot_still_has_all_sections() {
+    assert_eq!(
+        Snapshot::default().render_json(),
+        "{\"schema\":\"dvf-obs/1\",\"spans\":[],\"counters\":[],\"histograms\":[]}"
+    );
+}
+
+#[test]
+fn text_report_orders_phases_by_execution() {
+    let text = sample_snapshot().render_text();
+    let eval_at = text.find("  eval ").expect("root span line");
+    let parse_at = text.find("    parse").expect("indented child line");
+    assert!(eval_at < parse_at, "parent precedes child:\n{text}");
+    assert!(text.contains("pattern.streaming"), "{text}");
+    assert!(text.contains("latency"), "{text}");
+}

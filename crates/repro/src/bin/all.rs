@@ -6,7 +6,6 @@
 //! sharing compiled artifacts and a single process.
 
 use dvf_repro::{csv, render, usecases, verify};
-use std::time::Instant;
 
 fn banner(title: &str) {
     println!("\n{}", "=".repeat(72));
@@ -15,10 +14,15 @@ fn banner(title: &str) {
 }
 
 fn main() {
-    let t0 = Instant::now();
+    // Section timing runs through dvf-obs spans; DVF_PROFILE=1 (or =json)
+    // dumps the per-section breakdown to stderr at the end.
+    let profile = dvf_obs::init_from_env();
+    dvf_obs::set_enabled(true);
+    let run_span = dvf_obs::span("all");
     let csv_dir = csv::csv_dir_from_args();
 
     banner("Table II — the six kernels");
+    let tables_span = dvf_obs::span("tables");
     for (name, class, structures, patterns) in dvf_kernels::TABLE2 {
         println!("{name:<30} {class:<24} {structures:<18} {patterns}");
     }
@@ -27,8 +31,10 @@ fn main() {
     for scheme in dvf_core::fit::EccScheme::ALL {
         println!("{:<20} {:>12}", scheme.label(), scheme.fit_per_mbit());
     }
+    drop(tables_span);
 
     banner("Fig. 4 — model verification");
+    let fig4_span = dvf_obs::span("fig4");
     let results = verify::verify_all();
     print!("{}", render::render_verification(&results));
     if let Some(dir) = &csv_dir {
@@ -49,12 +55,22 @@ fn main() {
         let _ = csv::write_csv(
             dir,
             "fig4",
-            &["kernel", "data", "cache", "modeled", "simulated", "rel_error"],
+            &[
+                "kernel",
+                "data",
+                "cache",
+                "modeled",
+                "simulated",
+                "rel_error",
+            ],
             &rows,
         );
     }
 
+    drop(fig4_span);
+
     banner("Fig. 5 — DVF profiling");
+    let fig5_span = dvf_obs::span("fig5");
     let rows = dvf_repro::profile_all();
     print!("{}", render::render_profile(&rows));
     if let Some(dir) = &csv_dir {
@@ -75,12 +91,23 @@ fn main() {
         let _ = csv::write_csv(
             dir,
             "fig5",
-            &["kernel", "data", "cache", "size_bytes", "n_ha", "time_s", "dvf"],
+            &[
+                "kernel",
+                "data",
+                "cache",
+                "size_bytes",
+                "n_ha",
+                "time_s",
+                "dvf",
+            ],
             &csv_rows,
         );
     }
 
+    drop(fig5_span);
+
     banner("Fig. 6 — CG vs PCG");
+    let fig6_span = dvf_obs::span("fig6");
     let fig6 = usecases::fig6_sweep(&usecases::FIG6_SIZES);
     print!("{}", render::render_fig6(&fig6));
     if let Some(dir) = &csv_dir {
@@ -104,7 +131,10 @@ fn main() {
         );
     }
 
+    drop(fig6_span);
+
     banner("Fig. 7 — ECC trade-off");
+    let fig7_span = dvf_obs::span("fig7");
     let fig7 = usecases::fig7_sweep();
     print!("{}", render::render_fig7(&fig7));
     if let Some(dir) = &csv_dir {
@@ -127,12 +157,22 @@ fn main() {
         );
     }
 
+    drop(fig7_span);
+    drop(run_span);
+
+    let snap = dvf_obs::snapshot();
     println!(
         "\ncomplete reproduction in {:.1} s{}",
-        t0.elapsed().as_secs_f64(),
+        snap.span_total_s("all").unwrap_or(0.0),
         match &csv_dir {
             Some(d) => format!("; CSVs in {}", d.display()),
             None => String::new(),
         }
     );
+    if let Some(format) = profile {
+        match format {
+            dvf_obs::ProfileFormat::Text => eprint!("{}", snap.render_text()),
+            dvf_obs::ProfileFormat::Json => eprintln!("{}", snap.render_json()),
+        }
+    }
 }

@@ -20,15 +20,14 @@ use dvf_core::timemodel::{MachineModel, ResourceDemand};
 use dvf_faultinject::{mc_campaign, vm_campaign, Campaign};
 use dvf_kernels::{mc, vm};
 use dvf_repro::models::{self, StructureModel};
-use std::time::Instant;
 
 fn dvf_of(structures: &[StructureModel], flops: f64) -> Vec<(String, f64)> {
     let cache = table4::PROFILE_8MB;
     let machine = MachineModel::default();
     let fit = FitRate::of(EccScheme::None);
     let total_nha: f64 = structures.iter().map(|s| s.n_ha).sum();
-    let time = ResourceDemand::from_accesses(flops, total_nha, cache.line_bytes as u64)
-        .time_on(&machine);
+    let time =
+        ResourceDemand::from_accesses(flops, total_nha, cache.line_bytes as u64).time_on(&machine);
     structures
         .iter()
         .map(|s| (s.name.to_owned(), dvf_d(fit, time, s.size_bytes, s.n_ha)))
@@ -78,12 +77,21 @@ fn report(kernel: &str, campaign: &Campaign, dvf: &[(String, f64)], elapsed_s: f
         .unwrap_or_default();
     println!(
         "most vulnerable: fault injection says `{fi_top}`, DVF says `{dvf_top}` -> {}",
-        if fi_top == dvf_top { "AGREE" } else { "methods weight different effects (see header)" }
+        if fi_top == dvf_top {
+            "AGREE"
+        } else {
+            "methods weight different effects (see header)"
+        }
     );
 }
 
 fn main() {
     println!("DVF vs statistical fault injection (single-bit flips, seeded)");
+    // Campaign wall time comes from the spans the campaigns themselves
+    // record, so enable instrumentation unconditionally; DVF_PROFILE
+    // additionally dumps the full profile at the end.
+    let profile = dvf_obs::init_from_env();
+    dvf_obs::set_enabled(true);
     let trials = 300;
 
     // --- VM ---
@@ -91,11 +99,15 @@ fn main() {
         n: 4000,
         stride_a: 4,
     };
-    let t0 = Instant::now();
     let vm_fi = vm_campaign(vm_params, trials, 42);
-    let vm_elapsed = t0.elapsed().as_secs_f64();
+    let vm_elapsed = dvf_obs::snapshot()
+        .span_total_s("campaign:VM")
+        .unwrap_or(0.0);
     let vm_out = vm::run_plain(vm_params);
-    let vm_dvf = dvf_of(&models::vm_model(vm_params, table4::PROFILE_8MB), vm_out.flops);
+    let vm_dvf = dvf_of(
+        &models::vm_model(vm_params, table4::PROFILE_8MB),
+        vm_out.flops,
+    );
     report("VM", &vm_fi, &vm_dvf, vm_elapsed);
 
     // --- MC ---
@@ -105,11 +117,15 @@ fn main() {
         lookups: 2_000,
         seed: 42,
     };
-    let t0 = Instant::now();
     let mc_fi = mc_campaign(mc_params, trials, 43);
-    let mc_elapsed = t0.elapsed().as_secs_f64();
+    let mc_elapsed = dvf_obs::snapshot()
+        .span_total_s("campaign:MC")
+        .unwrap_or(0.0);
     let mc_out = mc::run_plain(mc_params);
-    let mc_dvf = dvf_of(&models::mc_model(mc_params, table4::PROFILE_8MB), mc_out.flops);
+    let mc_dvf = dvf_of(
+        &models::mc_model(mc_params, table4::PROFILE_8MB),
+        mc_out.flops,
+    );
     report("MC", &mc_fi, &mc_dvf, mc_elapsed);
 
     println!(
@@ -117,4 +133,12 @@ fn main() {
          statistical estimate at one hardware point; the DVF model answers per\n\
          (structure, cache, ECC) point in closed form — the paper's core pitch."
     );
+
+    if let Some(format) = profile {
+        let snap = dvf_obs::snapshot();
+        match format {
+            dvf_obs::ProfileFormat::Text => eprint!("{}", snap.render_text()),
+            dvf_obs::ProfileFormat::Json => eprintln!("{}", snap.render_json()),
+        }
+    }
 }

@@ -29,7 +29,14 @@ fn main() {
         let path = dvf_repro::csv::write_csv(
             &dir,
             "fig4",
-            &["kernel", "data", "cache", "modeled", "simulated", "rel_error"],
+            &[
+                "kernel",
+                "data",
+                "cache",
+                "modeled",
+                "simulated",
+                "rel_error",
+            ],
             &rows,
         )
         .expect("write csv");

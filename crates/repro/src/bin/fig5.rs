@@ -29,7 +29,15 @@ fn main() {
         let path = dvf_repro::csv::write_csv(
             &dir,
             "fig5",
-            &["kernel", "data", "cache", "size_bytes", "n_ha", "time_s", "dvf"],
+            &[
+                "kernel",
+                "data",
+                "cache",
+                "size_bytes",
+                "n_ha",
+                "time_s",
+                "dvf",
+            ],
             &csv_rows,
         )
         .expect("write csv");

@@ -49,6 +49,9 @@ fn main() {
         .windows(2)
         .find(|w| (w[0].pcg_dvf > w[0].cg_dvf) && (w[1].pcg_dvf <= w[1].cg_dvf))
     {
-        println!("crossover between n = {} and n = {}", cross[0].n, cross[1].n);
+        println!(
+            "crossover between n = {} and n = {}",
+            cross[0].n, cross[1].n
+        );
     }
 }

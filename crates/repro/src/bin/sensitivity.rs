@@ -94,7 +94,7 @@ fn main() {
             ("at the cliff (32K)", 1.0, 0.5),
             ("well above (128K)", 4.0, 0.25),
         ] {
-            let s = elasticities(&f, &["cache_scale"], &[base], step);
+            let s = elasticities(f, &["cache_scale"], &[base], step);
             println!(
                 "{:<34} {:>12.3} {:>12.3}",
                 format!("template(FT X) @ {label}"),

@@ -19,13 +19,14 @@ fn main() {
     let cfg = table4::SMALL_VERIFICATION;
 
     let mut all_agree = true;
-    let mut run = |kernel: &str,
-                   trace: dvf_cachesim::Trace,
-                   sizes: Vec<(&str, u64)>| {
+    let mut run = |kernel: &str, trace: dvf_cachesim::Trace, sizes: Vec<(&str, u64)>| {
         let rows = compare_vulnerability(&trace, cfg, fit, 1.0, &sizes);
         let agree = rankings_agree(&rows);
         all_agree &= agree;
-        println!("== {kernel} (rankings {}) ==", if agree { "AGREE" } else { "DIFFER" });
+        println!(
+            "== {kernel} (rankings {}) ==",
+            if agree { "AGREE" } else { "DIFFER" }
+        );
         println!(
             "{:<8} {:>12} {:>12} {:>16} {:>14}",
             "data", "size (B)", "loads", "corrupted-loads", "DVF"

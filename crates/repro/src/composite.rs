@@ -128,9 +128,15 @@ pub fn replay_periodic(period: &Trace, iters: u64, config: CacheConfig) -> Vec<(
     let mut sim = Simulator::new(config);
     sim.flush_at_end = false;
     sim.run(&period.refs);
-    let first: Vec<u64> = ids.iter().map(|(id, _)| sim.stats().ds(*id).misses).collect();
+    let first: Vec<u64> = ids
+        .iter()
+        .map(|(id, _)| sim.stats().ds(*id).misses)
+        .collect();
     sim.run(&period.refs);
-    let second: Vec<u64> = ids.iter().map(|(id, _)| sim.stats().ds(*id).misses).collect();
+    let second: Vec<u64> = ids
+        .iter()
+        .map(|(id, _)| sim.stats().ds(*id).misses)
+        .collect();
 
     ids.into_iter()
         .zip(first.into_iter().zip(second))

@@ -43,10 +43,7 @@ mod tests {
     #[test]
     fn writes_and_formats() {
         let dir = std::env::temp_dir().join(format!("dvf-csv-test-{}", std::process::id()));
-        let rows = vec![
-            vec!["a".into(), "1".into()],
-            vec!["b".into(), "2".into()],
-        ];
+        let rows = vec![vec!["a".into(), "1".into()], vec!["b".into(), "2".into()]];
         let path = write_csv(&dir, "t", &["name", "value"], &rows).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text, "name,value\na,1\nb,2\n");

@@ -63,8 +63,16 @@ pub fn vm_model(p: VmParams, cache: CacheConfig) -> Vec<StructureModel> {
             8 * p.n as u64,
             a.mem_accesses_aligned(&view).expect("valid spec"),
         ),
-        StructureModel::new("B", 8 * m, bc.mem_accesses_aligned(&view).expect("valid spec")),
-        StructureModel::new("C", 8 * m, bc.mem_accesses_aligned(&view).expect("valid spec")),
+        StructureModel::new(
+            "B",
+            8 * m,
+            bc.mem_accesses_aligned(&view).expect("valid spec"),
+        ),
+        StructureModel::new(
+            "C",
+            8 * m,
+            bc.mem_accesses_aligned(&view).expect("valid spec"),
+        ),
     ]
 }
 
@@ -146,8 +154,7 @@ pub fn nb_model(out: &NbOutput, cache: CacheConfig) -> Vec<StructureModel> {
     // Blocks of tree traffic between a body's read and its write-back:
     // each lands in a given set with probability 1/NA; the body's block is
     // evicted once CA distinct newer blocks hit its set (LRU).
-    let walk_blocks =
-        (out.k_avg * 32.0 / cache.line_bytes as f64).round() as u64;
+    let walk_blocks = (out.k_avg * 32.0 / cache.line_bytes as f64).round() as u64;
     let evict_prob = binomial_tail_ge(
         walk_blocks,
         1.0 / cache.num_sets as f64,
@@ -192,7 +199,7 @@ pub fn mg_cycle_template(n: u64, smooths: u64) -> Vec<u64> {
         sweep(&mut refs); // pre-smooth
     }
     sweep(&mut refs); // residual (same stencil reads)
-    // Prolongation correction: one touch per interior cell.
+                      // Prolongation correction: one touch per interior cell.
     for i in 1..n - 1 {
         for j in 1..n - 1 {
             for k in 1..n - 1 {
@@ -265,7 +272,13 @@ mod tests {
 
     #[test]
     fn vm_model_shapes() {
-        let m = vm_model(VmParams { n: 200, stride_a: 4 }, table4::SMALL_VERIFICATION);
+        let m = vm_model(
+            VmParams {
+                n: 200,
+                stride_a: 4,
+            },
+            table4::SMALL_VERIFICATION,
+        );
         assert_eq!(m.len(), 3);
         // Aligned arrays, stride 32 B = CL: one line per reference.
         assert!((m[0].n_ha - 50.0).abs() < 1e-9);

@@ -45,12 +45,9 @@ fn rows_for(profile: &KernelProfile, machine: &MachineModel) -> Vec<ProfileRow> 
     for (label, config) in table4::PROFILING_LABELS.iter().zip(table4::PROFILING) {
         let structures = (profile.model)(config);
         let total_nha: f64 = structures.iter().map(|s| s.n_ha).sum();
-        let time_s = ResourceDemand::from_accesses(
-            profile.flops,
-            total_nha,
-            config.line_bytes as u64,
-        )
-        .time_on(machine);
+        let time_s =
+            ResourceDemand::from_accesses(profile.flops, total_nha, config.line_bytes as u64)
+                .time_on(machine);
         for s in &structures {
             rows.push(ProfileRow {
                 kernel: profile.kernel,
@@ -126,8 +123,8 @@ pub fn profile_all() -> Vec<ProfileRow> {
 
     // FT
     let ft_params = fft::FtParams::class_s();
-    let ft_flops = 5.0 * (ft_params.n as f64) * (ft_params.n as f64).log2()
-        * ft_params.repeats as f64;
+    let ft_flops =
+        5.0 * (ft_params.n as f64) * (ft_params.n as f64).log2() * ft_params.repeats as f64;
     rows.extend(rows_for(
         &KernelProfile {
             kernel: "FT",

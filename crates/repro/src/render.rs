@@ -43,7 +43,11 @@ pub fn render_profile(rows: &[ProfileRow]) -> String {
     for row in rows {
         if row.kernel != current {
             current = row.kernel;
-            let _ = writeln!(out, "\n== {} (T = {:.3e} s at 8MB row) ==", current, row.time_s);
+            let _ = writeln!(
+                out,
+                "\n== {} (T = {:.3e} s at 8MB row) ==",
+                current, row.time_s
+            );
             let _ = writeln!(
                 out,
                 "{:<8} {:<7} {:>14} {:>14} {:>14}",

@@ -46,40 +46,34 @@ pub fn fig6_sweep(sizes: &[usize]) -> Vec<Fig6Row> {
     // Each size is an independent pair of solves + model evaluations:
     // fan out across cores.
     dvf_core::sweep::par_map(sizes, |&n| {
-        {
-            let params = cg::CgParams {
-                n,
-                max_iters: 4000,
-                tol: 1e-8,
-                diag_spread: spread_for(n),
-            };
-            let (cg_out, _) = cg::run_plain(params);
-            let (pcg_out, _) = pcg::run_plain(params);
+        let params = cg::CgParams {
+            n,
+            max_iters: 4000,
+            tol: 1e-8,
+            diag_spread: spread_for(n),
+        };
+        let (cg_out, _) = cg::run_plain(params);
+        let (pcg_out, _) = pcg::run_plain(params);
 
-            let dvf_of = |structures: &[models::StructureModel], flops: f64| {
-                let total_nha: f64 = structures.iter().map(|s| s.n_ha).sum();
-                let time = ResourceDemand::from_accesses(
-                    flops,
-                    total_nha,
-                    cache.line_bytes as u64,
-                )
+        let dvf_of = |structures: &[models::StructureModel], flops: f64| {
+            let total_nha: f64 = structures.iter().map(|s| s.n_ha).sum();
+            let time = ResourceDemand::from_accesses(flops, total_nha, cache.line_bytes as u64)
                 .time_on(&machine);
-                structures
-                    .iter()
-                    .map(|s| dvf_d(fit, time, s.size_bytes, s.n_ha))
-                    .sum::<f64>()
-            };
+            structures
+                .iter()
+                .map(|s| dvf_d(fit, time, s.size_bytes, s.n_ha))
+                .sum::<f64>()
+        };
 
-            let cg_structs = models::cg_model(n as u64, cg_out.iterations as u64, cache);
-            let pcg_structs = models::pcg_model(n as u64, pcg_out.iterations as u64, cache);
+        let cg_structs = models::cg_model(n as u64, cg_out.iterations as u64, cache);
+        let pcg_structs = models::pcg_model(n as u64, pcg_out.iterations as u64, cache);
 
-            Fig6Row {
-                n,
-                cg_iters: cg_out.iterations,
-                pcg_iters: pcg_out.iterations,
-                cg_dvf: dvf_of(&cg_structs, cg_out.flops),
-                pcg_dvf: dvf_of(&pcg_structs, pcg_out.flops),
-            }
+        Fig6Row {
+            n,
+            cg_iters: cg_out.iterations,
+            pcg_iters: pcg_out.iterations,
+            cg_dvf: dvf_of(&cg_structs, cg_out.flops),
+            pcg_dvf: dvf_of(&pcg_structs, pcg_out.flops),
         }
     })
 }

@@ -171,7 +171,10 @@ mod tests {
 
     #[test]
     fn corrupted_loads_scale_with_fit_and_time() {
-        let params = vm::VmParams { n: 500, stride_a: 4 };
+        let params = vm::VmParams {
+            n: 500,
+            stride_a: 4,
+        };
         let rec = Recorder::new();
         vm::run_traced(params, &rec);
         let trace = rec.into_trace();

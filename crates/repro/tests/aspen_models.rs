@@ -40,14 +40,23 @@ fn machines_resolve_to_table4_capacities() {
     let doc = parse(MACHINES).unwrap();
     let r = Resolver::new(&doc);
     assert_eq!(
-        r.machine(Some("small_verification")).unwrap().cache.capacity(),
+        r.machine(Some("small_verification"))
+            .unwrap()
+            .cache
+            .capacity(),
         8 * 1024
     );
     assert_eq!(
-        r.machine(Some("large_verification")).unwrap().cache.capacity(),
+        r.machine(Some("large_verification"))
+            .unwrap()
+            .cache
+            .capacity(),
         4 << 20
     );
-    assert_eq!(r.machine(Some("profile_8mb")).unwrap().cache.capacity(), 8 << 20);
+    assert_eq!(
+        r.machine(Some("profile_8mb")).unwrap().cache.capacity(),
+        8 << 20
+    );
 }
 
 #[test]
@@ -73,10 +82,7 @@ fn nb_fixture_matches_paper_example_numbers() {
     let machine = r.machine(Some("small_verification")).unwrap();
     let acc = dvf_core::workflow::account_accesses(&app, &machine).unwrap();
     let t = acc.of("T").unwrap();
-    assert!(
-        (t - (1000.0 + 148.8 * 1000.0)).abs() < 1.0,
-        "T N_ha = {t}"
-    );
+    assert!((t - (1000.0 + 148.8 * 1000.0)).abs() < 1.0, "T N_ha = {t}");
 }
 
 #[test]
@@ -120,7 +126,10 @@ fn cg_fixture_evaluates_with_reuse_and_order() {
 fn mg_fixture_expands_the_paper_template() {
     let src = with_machines(MG);
     let doc = parse(&src).unwrap();
-    let r = Resolver::new(&doc).set_param("n1", 8.0).set_param("n2", 8.0).set_param("n3", 8.0);
+    let r = Resolver::new(&doc)
+        .set_param("n1", 8.0)
+        .set_param("n2", 8.0)
+        .set_param("n3", 8.0);
     let app = r.model(Some("mg")).unwrap();
     match &app.kernels[0].accesses[0].access.pattern {
         dvf_aspen::PatternSpec::Template { refs, repeat, .. } => {
@@ -131,7 +140,9 @@ fn mg_fixture_expands_the_paper_template() {
         other => panic!("unexpected {other:?}"),
     }
     // Evaluates end to end.
-    let machine = Resolver::new(&doc).machine(Some("small_verification")).unwrap();
+    let machine = Resolver::new(&doc)
+        .machine(Some("small_verification"))
+        .unwrap();
     let app_full = Resolver::new(&doc).model(Some("mg")).unwrap();
     let report = evaluate(&app_full, &machine).unwrap();
     assert!(report.dvf_of("R").unwrap() > 0.0);
@@ -145,16 +156,12 @@ fn ft_fixture_shows_capacity_threshold() {
     let doc = parse(&src).unwrap();
     let r = Resolver::new(&doc);
     let app = r.model(Some("ft")).unwrap();
-    let small = dvf_core::workflow::account_accesses(
-        &app,
-        &r.machine(Some("small_verification")).unwrap(),
-    )
-    .unwrap();
-    let large = dvf_core::workflow::account_accesses(
-        &app,
-        &r.machine(Some("large_verification")).unwrap(),
-    )
-    .unwrap();
+    let small =
+        dvf_core::workflow::account_accesses(&app, &r.machine(Some("small_verification")).unwrap())
+            .unwrap();
+    let large =
+        dvf_core::workflow::account_accesses(&app, &r.machine(Some("large_verification")).unwrap())
+            .unwrap();
     let ratio = small.of("X").unwrap() / large.of("X").unwrap();
     assert!(ratio > 5.0, "threshold jump missing: ratio {ratio}");
 }

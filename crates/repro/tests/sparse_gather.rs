@@ -68,7 +68,10 @@ fn csr_stream_and_gather_models_track_simulation() {
     let p = trace.registry.id("p").unwrap();
     let p_measured = sim.ds(p).misses as f64;
     let compulsory = (params.n as f64 * 8.0 / cfg.line_bytes as f64).ceil();
-    assert!(p_measured > 2.0 * compulsory, "gather must thrash the 8 KB cache");
+    assert!(
+        p_measured > 2.0 * compulsory,
+        "gather must thrash the 8 KB cache"
+    );
     let ratio = p_model / p_measured;
     assert!(
         (1.0 / 3.0..=3.0).contains(&ratio),

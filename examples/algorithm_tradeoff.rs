@@ -37,8 +37,6 @@ fn main() {
         );
     }
 
-    println!(
-        "\nTakeaway: below the crossover the preconditioner's extra working set"
-    );
+    println!("\nTakeaway: below the crossover the preconditioner's extra working set");
     println!("dominates; above it, the shorter run wins. Pick the variant per size.");
 }

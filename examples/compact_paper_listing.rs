@@ -37,9 +37,8 @@ Parameters : {(1000,32,200,1000,1.0)}";
 fn main() {
     let machine_doc = parse(MACHINE).expect("machine parses");
     let env = base_env(&machine_doc, &[]).expect("env");
-    let machine =
-        resolve_machine_def(machine_doc.machine(None).expect("one machine"), &env)
-            .expect("machine resolves");
+    let machine = resolve_machine_def(machine_doc.machine(None).expect("one machine"), &env)
+        .expect("machine resolves");
 
     for (name, listing) in [("vm", VM_LISTING), ("nb", NB_LISTING)] {
         println!("=== paper listing `{name}` ===");
@@ -47,8 +46,8 @@ fn main() {
         let program = parse_compact(listing).expect("compact listing parses");
         let model = program.to_model(name).expect("lowers to the block AST");
         let empty = Document::default();
-        let app = resolve_model_def(&model, &base_env(&empty, &[]).unwrap())
-            .expect("model resolves");
+        let app =
+            resolve_model_def(&model, &base_env(&empty, &[]).unwrap()).expect("model resolves");
         let report = evaluate(&app, &machine).expect("evaluates");
         print!("{}", report.render());
         println!();

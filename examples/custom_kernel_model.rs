@@ -34,7 +34,11 @@ fn main() {
     }
     rec.set_enabled(false);
     let trace = rec.into_trace();
-    println!("traced {} references over {} structures", trace.len(), trace.registry.len());
+    println!(
+        "traced {} references over {} structures",
+        trace.len(),
+        trace.registry.len()
+    );
 
     // 2. Simulate a 256 KB LLC.
     let config = CacheConfig::new(8, 512, 64).expect("valid geometry");
@@ -54,7 +58,10 @@ fn main() {
         .mem_accesses_aligned(&view)
         .expect("valid spec");
 
-    println!("\n{:<8} {:>12} {:>12} {:>8}", "data", "modeled", "simulated", "error%");
+    println!(
+        "\n{:<8} {:>12} {:>12} {:>8}",
+        "data", "modeled", "simulated", "error%"
+    );
     for (name, modeled) in [("Band", modeled_band), ("y", modeled_y), ("x", modeled_x)] {
         let ds = trace.registry.id(name).expect("registered");
         let measured = report.ds(ds).misses;

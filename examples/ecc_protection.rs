@@ -44,10 +44,6 @@ fn main() {
     println!("Past it, extra slowdown increases exposure faster than ECC reduces FIT.");
     println!(
         "Chipkill dominates everywhere it is available: {:.0}x lower DVF at the optimum.",
-        best.dvf
-            / chipkill
-                .iter()
-                .map(|p| p.dvf)
-                .fold(f64::INFINITY, f64::min)
+        best.dvf / chipkill.iter().map(|p| p.dvf).fold(f64::INFINITY, f64::min)
     );
 }

@@ -36,7 +36,10 @@ model vm {
 fn main() {
     let report = evaluate_source(MODEL, None, None, &[]).expect("model evaluates");
 
-    println!("DVF report for `{}` (T = {:.3e} s):\n", report.app, report.time_s);
+    println!(
+        "DVF report for `{}` (T = {:.3e} s):\n",
+        report.app, report.time_s
+    );
     print!("{}", report.render());
 
     let (worst, dvf) = report.most_vulnerable().expect("nonempty model");

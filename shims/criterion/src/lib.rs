@@ -1,0 +1,277 @@
+//! Workspace-internal stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this shim keeps
+//! the workspace's benchmarks compiling and running with the subset of the
+//! criterion 0.5 API they use: [`Criterion`], [`BenchmarkGroup`],
+//! [`BenchmarkId`], [`Throughput`], `bench_function`, `bench_with_input`,
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: after a short calibration phase,
+//! each benchmark runs a fixed number of timed batches and reports the
+//! median batch (ns/iter plus derived throughput). Environment knobs:
+//!
+//! * `CRITERION_SAMPLE_MS` — target measure time per benchmark (default 200);
+//! * a single CLI substring argument filters benchmarks by name, as with
+//!   real criterion (other flags such as `--bench` are ignored).
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{parameter}", name.into()),
+        }
+    }
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    sample_ms: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Accept (and ignore) harness flags cargo passes; a bare argument
+        // is a name filter, as with real criterion.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        let sample_ms = std::env::var("CRITERION_SAMPLE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200);
+        Criterion { filter, sample_ms }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let sample_ms = self.sample_ms;
+        let skip = self
+            .filter
+            .as_deref()
+            .is_some_and(|needle| !name.contains(needle));
+        if !skip {
+            run_benchmark(name, None, sample_ms, f);
+        }
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used to derive rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; see `CRITERION_SAMPLE_MS`.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark `f` under `{group}/{name}`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        let skip = self
+            .criterion
+            .filter
+            .as_deref()
+            .is_some_and(|needle| !full.contains(needle));
+        if !skip {
+            run_benchmark(&full, self.throughput, self.criterion.sample_ms, f);
+        }
+        self
+    }
+
+    /// Benchmark `f` with an explicit input under `{group}/{id}`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id.name.clone(), |b| f(b, input))
+    }
+
+    /// End the group (report output is already printed per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Timing context passed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Iterations to run in the current timed batch.
+    batch: u64,
+    /// Wall time of the last batch.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over this batch's iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    tp: Option<Throughput>,
+    sample_ms: u64,
+    mut f: F,
+) {
+    // Calibrate: grow the batch until one batch costs >= ~2 ms (or a cap).
+    let mut bencher = Bencher {
+        batch: 1,
+        elapsed: Duration::ZERO,
+    };
+    loop {
+        f(&mut bencher);
+        if bencher.elapsed >= Duration::from_millis(2) || bencher.batch >= 1 << 24 {
+            break;
+        }
+        bencher.batch *= 4;
+    }
+    let per_iter_ns = bencher.elapsed.as_nanos() as f64 / bencher.batch as f64;
+    // Size batches so ~10 samples fill the measurement budget.
+    let budget = Duration::from_millis(sample_ms.max(10));
+    let samples = 10u32;
+    let batch = ((budget.as_nanos() as f64 / samples as f64 / per_iter_ns.max(1.0)) as u64).max(1);
+    bencher.batch = batch;
+
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            f(&mut bencher);
+            bencher.elapsed.as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[per_iter.len() / 2];
+    let spread = (per_iter[per_iter.len() - 1] - per_iter[0]) / 2.0;
+
+    let rate = match tp {
+        Some(Throughput::Elements(n)) => format!("  {}/s", si(n as f64 / (median * 1e-9), "elem")),
+        Some(Throughput::Bytes(n)) => format!("  {}/s", si(n as f64 / (median * 1e-9), "B")),
+        None => String::new(),
+    };
+    println!("{name:<44} time: {} ±{}{rate}", ns(median), ns(spread));
+}
+
+fn ns(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.3} s", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.3} ms", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.3} µs", v / 1e3)
+    } else {
+        format!("{v:.1} ns")
+    }
+}
+
+fn si(v: f64, unit: &str) -> String {
+    if v >= 1e9 {
+        format!("{:.2} G{unit}", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} M{unit}", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} K{unit}", v / 1e3)
+    } else {
+        format!("{v:.2} {unit}")
+    }
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produce a `main` that runs each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        // Keep the self-test fast.
+        std::env::set_var("CRITERION_SAMPLE_MS", "10");
+        let mut c = Criterion::default();
+        c.bench_function("shim/self_test", |b| b.iter(|| black_box(1u64 + 1)));
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(100));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats_parameter() {
+        assert_eq!(BenchmarkId::new("policy", "lru").name, "policy/lru");
+    }
+}

@@ -1,0 +1,149 @@
+//! Workspace-internal stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this shim keeps the
+//! workspace's property tests compiling and running by implementing the
+//! subset of the proptest 1.x API they use: the [`proptest!`] macro,
+//! [`strategy::Strategy`] with `prop_map`, range/tuple/regex strategies,
+//! `prop::collection::vec`, `prop::sample::select`, `prop::bool::ANY`, and
+//! the `prop_assert*`/`prop_assume!` macros.
+//!
+//! Semantics are simplified relative to real proptest: each test runs a
+//! fixed number of seeded random cases (default 64, override with
+//! `PROPTEST_CASES`), there is no shrinking, and failure reports the case
+//! number plus the assertion message. Test sources need no changes to swap
+//! the real crate back in.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy combinators grouped as in the real crate's `prop` module.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{Strategy, VecStrategy};
+        use std::ops::Range;
+
+        /// A vector whose length is drawn from `size` and whose elements
+        /// are drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+    }
+
+    /// Sampling from explicit option sets.
+    pub mod sample {
+        use crate::strategy::Select;
+
+        /// Uniformly select one of `options`.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select() needs at least one option");
+            Select { options }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        /// Strategy producing `true`/`false` with equal probability.
+        #[derive(Debug, Clone, Copy)]
+        pub struct AnyBool;
+
+        /// The strategy for an arbitrary `bool`.
+        pub const ANY: AnyBool = AnyBool;
+    }
+}
+
+/// Everything a property-test module needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Assert a condition inside a [`proptest!`] body; on failure the current
+/// case is reported with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    }};
+}
+
+/// Discard the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::string::String::from(
+                $crate::test_runner::ASSUME_REJECTED,
+            ));
+        }
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `PROPTEST_CASES` seeded random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::test_runner::cases();
+            for case in 0..cases {
+                let mut rng = $crate::test_runner::rng_for(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), ::std::string::String> =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err(e)
+                        if e == $crate::test_runner::ASSUME_REJECTED => {}
+                    ::std::result::Result::Err(msg) => panic!(
+                        "property `{}` failed at case {} of {}: {}\n\
+                         (re-run with PROPTEST_CASES={} to reproduce the same stream)",
+                        stringify!($name), case, cases, msg, cases
+                    ),
+                }
+            }
+        }
+    )*};
+}

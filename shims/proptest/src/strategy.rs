@@ -1,0 +1,300 @@
+//! The [`Strategy`] trait and the value generators the workspace's
+//! property tests use.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike real proptest there is no shrinking tree: a strategy simply
+/// samples a fresh value from the test's seeded generator.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform every generated value with `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    pub(crate) inner: S,
+    pub(crate) f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategies!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($n:ident),+))*) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($n,)+) = self;
+                ($($n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Strategy returned by [`crate::prop::collection::vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Strategy returned by [`crate::prop::sample::select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    pub(crate) options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        self.options[rng.gen_range(0..self.options.len())].clone()
+    }
+}
+
+impl Strategy for crate::prop::bool::AnyBool {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Regex-subset string strategy
+// ---------------------------------------------------------------------
+
+/// A string literal acts as a generator for the regex subset the
+/// workspace's tests use: character classes (`[a-z0-9_]`), the
+/// non-control escape `\PC`, literal characters, and `{m,n}`/`{m}`
+/// repetition suffixes.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (atom, lo, hi) in &atoms {
+            let reps = rng.gen_range(*lo..=*hi);
+            for _ in 0..reps {
+                atom.emit(rng, &mut out);
+            }
+        }
+        out
+    }
+}
+
+/// One generable unit of the pattern.
+#[derive(Debug)]
+enum Atom {
+    /// `[...]`: inclusive character ranges and singletons, expanded.
+    Class(Vec<char>),
+    /// `\PC`: any non-control character.
+    NonControl,
+    /// A literal character.
+    Literal(char),
+}
+
+/// Sampling pool for `\PC`: mostly printable ASCII with a sprinkle of
+/// multi-byte non-control characters to exercise UTF-8 handling.
+const NON_CONTROL_EXTRAS: &[char] = &['é', 'ß', 'λ', 'Ω', '→', '漢', '🦀', '\u{00A0}'];
+
+impl Atom {
+    fn emit(&self, rng: &mut StdRng, out: &mut String) {
+        match self {
+            Atom::Class(chars) => out.push(chars[rng.gen_range(0..chars.len())]),
+            Atom::NonControl => {
+                if rng.gen_bool(0.9) {
+                    out.push(char::from(rng.gen_range(0x20u8..0x7F)));
+                } else {
+                    out.push(NON_CONTROL_EXTRAS[rng.gen_range(0..NON_CONTROL_EXTRAS.len())]);
+                }
+            }
+            Atom::Literal(c) => out.push(*c),
+        }
+    }
+}
+
+/// Parse the pattern into `(atom, min_reps, max_reps)` triples. Panics on
+/// syntax outside the supported subset, which is a test-authoring error.
+fn parse_pattern(pattern: &str) -> Vec<(Atom, usize, usize)> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut set = Vec::new();
+                loop {
+                    let Some(c) = chars.next() else {
+                        panic!("unterminated character class in pattern `{pattern}`");
+                    };
+                    if c == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("dangling `-` in pattern `{pattern}`"));
+                        assert!(c <= hi, "inverted range {c}-{hi} in pattern `{pattern}`");
+                        set.extend(c..=hi);
+                    } else {
+                        set.push(c);
+                    }
+                }
+                assert!(!set.is_empty(), "empty character class in `{pattern}`");
+                Atom::Class(set)
+            }
+            '\\' => match chars.next() {
+                Some('P') => {
+                    assert_eq!(
+                        chars.next(),
+                        Some('C'),
+                        "only the \\PC escape is supported (pattern `{pattern}`)"
+                    );
+                    Atom::NonControl
+                }
+                Some(escaped) => Atom::Literal(escaped),
+                None => panic!("dangling backslash in pattern `{pattern}`"),
+            },
+            literal => Atom::Literal(literal),
+        };
+        // Optional {m}, {m,n} repetition suffix.
+        let (lo, hi) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(c) => spec.push(c),
+                    None => panic!("unterminated repetition in pattern `{pattern}`"),
+                }
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repetition lower bound"),
+                    hi.trim().parse().expect("bad repetition upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push((atom, lo, hi));
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn identifier_pattern_generates_identifiers() {
+        let mut rng = rng_for("strategy::ident", 0);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,6}".sample(&mut rng);
+            assert!((1..=7).contains(&s.chars().count()), "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase(), "{s:?}");
+            assert!(
+                cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_control_pattern_stays_non_control() {
+        let mut rng = rng_for("strategy::pc", 0);
+        for _ in 0..100 {
+            let s = "\\PC{0,400}".sample(&mut rng);
+            assert!(s.chars().count() <= 400);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn tuples_maps_vecs_and_select_compose() {
+        let mut rng = rng_for("strategy::compose", 0);
+        let strat = crate::prop::collection::vec(
+            (1u64..10, crate::prop::sample::select(vec!["a", "b"])),
+            2..5,
+        )
+        .prop_map(|v| v.len());
+        for _ in 0..50 {
+            let n = strat.sample(&mut rng);
+            assert!((2..5).contains(&n));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Case-count and seeding plumbing used by the [`proptest!`](crate::proptest)
+//! macro expansion.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Sentinel error used by `prop_assume!` to discard a case.
+pub const ASSUME_REJECTED: &str = "__proptest_shim_assume_rejected__";
+
+/// Number of random cases per property: `PROPTEST_CASES` or 64.
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Deterministic per-(test, case) generator: FNV-1a over the test's full
+/// path, mixed with the case index.
+pub fn rng_for(test_path: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, RngCore};
+
+    #[test]
+    fn distinct_tests_and_cases_get_distinct_streams() {
+        let a = rng_for("mod::test_a", 0).next_u64();
+        let b = rng_for("mod::test_b", 0).next_u64();
+        let c = rng_for("mod::test_a", 1).next_u64();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = rng_for("x", 3);
+        let mut b = rng_for("x", 3);
+        assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+    }
+}

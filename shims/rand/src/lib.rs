@@ -1,0 +1,204 @@
+//! Workspace-internal stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! the (small) subset of the rand 0.8 API the workspace actually uses,
+//! backed by a deterministic SplitMix64 generator:
+//!
+//! * [`rngs::StdRng`] with [`SeedableRng::seed_from_u64`],
+//! * [`Rng::gen_range`] over integer and float ranges,
+//! * [`Rng::gen_bool`] and [`Rng::gen`] for `f64`/`bool`/`u64`.
+//!
+//! The streams differ from the real `rand` crate's ChaCha-based `StdRng`,
+//! but every consumer in this workspace only relies on *seeded determinism*
+//! and rough uniformity, both of which SplitMix64 provides. Swapping the
+//! real crate back in requires no source changes.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Next raw 64-bit word from the generator.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types that can be drawn uniformly from the generator's full range
+/// (the shim's equivalent of sampling the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A range that can be sampled uniformly (mirrors
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draw one value from the range. Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform integer in `[0, bound)` by widening multiply (Lemire's method,
+/// without the rejection step: bias is < 2^-32 for every bound used here).
+fn bounded<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    ((rng.next_u64() as u128 * bound as u128) >> 64) as u64
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + bounded(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range.
+                    return rng.next_u64() as $t;
+                }
+                lo + bounded(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::draw(rng) * (self.end - self.start)
+    }
+}
+
+/// Convenience methods over any [`RngCore`] (mirrors `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform value in `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} is not a probability");
+        f64::draw(self) < p
+    }
+
+    /// Draw a value of `T` from its full-range uniform distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Seedable construction (mirrors `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand`'s
+    /// `StdRng`. Passes through all 2^64 states; plenty for the seeded
+    /// kernels and injection campaigns in this workspace.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(5usize..=5);
+            assert_eq!(w, 5);
+            let f = rng.gen_range(-0.5f64..0.5);
+            assert!((-0.5..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn float_draws_cover_unit_interval_roughly_uniformly() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((0.24..0.26).contains(&(hits as f64 / 100_000.0)), "{hits}");
+    }
+}

@@ -11,12 +11,18 @@
 //!     --model <name>                    pick a model (if several)
 //!     --param <name>=<value>            override a parameter (repeatable)
 //!     --residual <f>                    protected-DVF factor (default 0)
+//!     --profile[=json]                  print per-phase timing/counters
 //! ```
+//!
+//! Profiling can also be enabled without touching the command line by
+//! setting `DVF_PROFILE=1` (text) or `DVF_PROFILE=json` in the
+//! environment; the report goes to stderr after the normal output.
 //!
 //! Exit code 0 on success, 1 on user error, 2 on bad usage.
 
 use dvf::aspen::{parse, Resolver};
 use dvf::core::workflow::evaluate;
+use dvf::obs::ProfileFormat;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -25,11 +31,14 @@ usage: dvf <command> [args]
 commands:
   check <file>                       parse and resolve; print diagnostics
   fmt <file>                         pretty-print the model in canonical form
-  eval <file> [--machine M] [--model M] [--param k=v]...
+  eval <file> [--machine M] [--model M] [--param k=v]... [--profile[=json]]
                                      compute and print the DVF report
   timed <file> [same options]        time-resolved DVF (phase-weighted)
   protect <file> --budget BYTES [--residual F] [same options]
                                      plan selective protection by DVF density
+
+`--profile` (or DVF_PROFILE=1 / DVF_PROFILE=json in the environment)
+appends a per-phase timing and counter report to stderr.
 ";
 
 fn main() -> ExitCode {
@@ -115,13 +124,21 @@ fn eval_command(source: &str, flags: &[String], mode: Mode) -> ExitCode {
     let mut overrides: Vec<(String, f64)> = Vec::new();
     let mut budget: Option<u64> = None;
     let mut residual: f64 = 0.0;
+    // DVF_PROFILE pre-enables profiling; an explicit flag overrides it.
+    let mut profile: Option<ProfileFormat> = dvf::obs::init_from_env();
 
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
-        let value = |it: &mut std::slice::Iter<String>| -> Option<String> {
-            it.next().cloned()
-        };
+        let value = |it: &mut std::slice::Iter<String>| -> Option<String> { it.next().cloned() };
         match flag.as_str() {
+            "--profile" | "--profile=text" => {
+                profile = Some(ProfileFormat::Text);
+                dvf::obs::set_enabled(true);
+            }
+            "--profile=json" => {
+                profile = Some(ProfileFormat::Json);
+                dvf::obs::set_enabled(true);
+            }
             "--machine" => match value(&mut it) {
                 Some(v) => machine_name = Some(v),
                 None => return usage_err("--machine needs a value"),
@@ -161,13 +178,21 @@ fn eval_command(source: &str, flags: &[String], mode: Mode) -> ExitCode {
         return usage_err("protect requires --budget <bytes>");
     }
 
-    let doc = match parse(source) {
+    // Root span: everything below nests under `eval`/`timed`/`protect`.
+    let root_span = dvf::obs::span(match mode {
+        Mode::Classic => "eval",
+        Mode::Timed => "timed",
+        Mode::Protect => "protect",
+    });
+
+    let doc = match dvf::obs::span_scope("parse", || parse(source)) {
         Ok(doc) => doc,
         Err(d) => {
             eprint!("{}", d.render(source));
             return ExitCode::FAILURE;
         }
     };
+    let resolve_span = dvf::obs::span("resolve");
     let mut resolver = Resolver::new(&doc);
     for (k, v) in &overrides {
         resolver = resolver.set_param(k, *v);
@@ -186,6 +211,7 @@ fn eval_command(source: &str, flags: &[String], mode: Mode) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    drop(resolve_span);
     println!(
         "machine `{}`: {} cache, FIT {}",
         machine.name,
@@ -193,7 +219,7 @@ fn eval_command(source: &str, flags: &[String], mode: Mode) -> ExitCode {
         dvf::core::workflow::fit_of(&machine).0
     );
 
-    match mode {
+    let code = match mode {
         Mode::Classic => match evaluate(&app, &machine) {
             Ok(report) => {
                 println!("model `{}` (T = {:.4e} s):\n", report.app, report.time_s);
@@ -253,7 +279,17 @@ fn eval_command(source: &str, flags: &[String], mode: Mode) -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+    };
+
+    drop(root_span);
+    if let Some(format) = profile {
+        let snap = dvf::obs::snapshot();
+        match format {
+            ProfileFormat::Text => eprint!("{}", snap.render_text()),
+            ProfileFormat::Json => eprintln!("{}", snap.render_json()),
+        }
     }
+    code
 }
 
 fn usage_err(msg: &str) -> ExitCode {

@@ -22,6 +22,9 @@
 //!   reference traces.
 //! * [`repro`] (`dvf-repro`) — regenerates every table and figure of the
 //!   paper's evaluation.
+//! * [`obs`] (`dvf-obs`) — `std`-only tracing/metrics: hierarchical timed
+//!   spans, counters, histograms, text/JSON exporters, wired through the
+//!   whole pipeline and surfaced as `dvf ... --profile`.
 //!
 //! ## Five-minute tour
 //!
@@ -61,4 +64,5 @@ pub use dvf_aspen as aspen;
 pub use dvf_cachesim as cachesim;
 pub use dvf_core as core;
 pub use dvf_kernels as kernels;
+pub use dvf_obs as obs;
 pub use dvf_repro as repro;

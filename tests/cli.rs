@@ -81,6 +81,65 @@ fn eval_prints_report_and_honors_params() {
 }
 
 #[test]
+fn eval_profile_prints_phase_report() {
+    let path = write_model(MODEL);
+    let out = dvf(&["eval", path.to_str().unwrap(), "--profile"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("DVF"),
+        "normal report still prints: {stdout}"
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("== dvf-obs profile =="), "{stderr}");
+    // Every pipeline phase shows up, and the per-structure + counter
+    // detail is there too.
+    for phase in [
+        "eval",
+        "parse",
+        "resolve",
+        "patterns",
+        "time-model",
+        "report",
+    ] {
+        assert!(stderr.contains(phase), "missing phase `{phase}`: {stderr}");
+    }
+    assert!(stderr.contains("pattern.streaming"), "{stderr}");
+}
+
+#[test]
+fn eval_profile_json_is_valid_and_versioned() {
+    let path = write_model(MODEL);
+    let out = dvf(&["eval", path.to_str().unwrap(), "--profile=json"]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    let doc = stderr
+        .lines()
+        .find(|l| l.starts_with('{'))
+        .expect("a JSON line on stderr");
+    assert!(doc.starts_with("{\"schema\":\"dvf-obs/1\""), "{doc}");
+    assert!(doc.ends_with('}'), "{doc}");
+    assert!(doc.contains("\"path\":\"eval/parse\""), "{doc}");
+    assert!(
+        doc.contains("\"name\":\"pattern.streaming\",\"value\":2"),
+        "{doc}"
+    );
+}
+
+#[test]
+fn profile_env_var_enables_profiling() {
+    let path = write_model(MODEL);
+    let out = Command::new(env!("CARGO_BIN_EXE_dvf"))
+        .args(["eval", path.to_str().unwrap()])
+        .env("DVF_PROFILE", "1")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("== dvf-obs profile =="), "{stderr}");
+}
+
+#[test]
 fn timed_mode_runs() {
     let path = write_model(MODEL);
     let out = dvf(&["timed", path.to_str().unwrap()]);

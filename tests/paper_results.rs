@@ -39,7 +39,10 @@ fn worst_error(
 
 #[test]
 fn fig4_vm_error_within_bound() {
-    let params = vm::VmParams { n: 1000, stride_a: 4 };
+    let params = vm::VmParams {
+        n: 1000,
+        stride_a: 4,
+    };
     let rec = Recorder::new();
     vm::run_traced(params, &rec);
     let trace = rec.into_trace();
