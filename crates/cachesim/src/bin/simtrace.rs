@@ -2,30 +2,42 @@
 //!
 //! ```text
 //! simtrace <trace-file> [--assoc N] [--sets N] [--line N] [--policy lru|fifo|plru|random]
+//!          [--config A:S:L]...                  # replay several geometries at once
+//!          [--jobs N]                           # worker threads for multi-config replay
 //!          [--l1-assoc N --l1-sets N --l1-line N]     # enable a two-level hierarchy
 //!          [--json]                                   # machine-readable report
 //!          [--quiet]                                  # no progress heartbeat
 //! ```
 //!
 //! The trace format is one reference per line: `name kind addr`
-//! (kind `R`/`W`, addr decimal or `0x…` hex); `#` starts a comment.
+//! (kind `R`/`W`, addr decimal or `0x…` hex); `#` starts a comment. Binary
+//! `DVFT` traces are detected by magic and — in single-config mode —
+//! replayed straight from disk in bounded-memory chunks.
 //!
 //! Long replays print a progress heartbeat to stderr every million
 //! references (suppress with `--quiet`); `--json` swaps the tables for a
-//! `dvf-cachesim/1` JSON document on stdout.
+//! `dvf-cachesim/1` JSON document on stdout. With repeated `--config`
+//! flags the trace is loaded once and fanned across `--jobs` threads, and
+//! the JSON report grows a `"runs"` array (one entry per geometry).
 
+use dvf_cachesim::binio::{TraceReader, DEFAULT_CHUNK};
 use dvf_cachesim::hierarchy::simulate_hierarchy;
 use dvf_cachesim::{
-    CacheConfig, CacheStats, DsRegistry, Fifo, Lru, PolicyKind, RandomEvict, ReplacementPolicy,
-    SimReport, Simulator, Trace, TreePlru,
+    simulate_many_with_threads, CacheConfig, CacheStats, DsRegistry, Fifo, Lru, PolicyKind,
+    RandomEvict, ReplacementPolicy, SimJob, SimReport, Simulator, Trace, TreePlru,
 };
 use dvf_obs::{Heartbeat, JsonWriter};
+use std::io::{BufReader, Read};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: simtrace <trace-file> [options]
   --assoc N --sets N --line N     LLC geometry (default 8/8192/64 = 4 MiB)
   --policy lru|fifo|plru|random   replacement policy (default lru)
+  --config A:S:L                  replay this geometry too (repeatable; the
+                                  trace is loaded once and fanned out)
+  --jobs N                        worker threads for --config fan-out
+                                  (default: one per core)
   --l1-assoc N --l1-sets N --l1-line N
                                   put an L1 in front (LRU at both levels)
   --json                          emit a dvf-cachesim/1 JSON report
@@ -34,8 +46,6 @@ usage: simtrace <trace-file> [options]
 
 /// References between heartbeat reports.
 const HEARTBEAT_EVERY: u64 = 1_000_000;
-/// References fed to the simulator between heartbeat checks.
-const CHUNK: usize = 65_536;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,6 +58,8 @@ fn main() -> ExitCode {
     let mut sets = 8192usize;
     let mut line = 64usize;
     let mut policy = PolicyKind::Lru;
+    let mut configs: Vec<CacheConfig> = Vec::new();
+    let mut jobs = 0usize; // 0 = one per core
     let mut l1: (Option<usize>, Option<usize>, Option<usize>) = (None, None, None);
     let mut json = false;
     let mut quiet = false;
@@ -63,8 +75,8 @@ fn main() -> ExitCode {
                 quiet = true;
                 continue;
             }
-            "--assoc" | "--sets" | "--line" | "--policy" | "--l1-assoc" | "--l1-sets"
-            | "--l1-line" => {}
+            "--assoc" | "--sets" | "--line" | "--policy" | "--config" | "--jobs" | "--l1-assoc"
+            | "--l1-sets" | "--l1-line" => {}
             other => {
                 eprintln!("unknown flag `{other}`\n");
                 eprint!("{USAGE}");
@@ -90,10 +102,22 @@ fn main() -> ExitCode {
                 Some(v) => line = v,
                 None => return bad_value(flag, value),
             },
+            "--jobs" => match parse_usize(value) {
+                Some(v) => jobs = v,
+                None => return bad_value(flag, value),
+            },
             "--policy" => match value.parse::<PolicyKind>() {
                 Ok(p) => policy = p,
                 Err(e) => {
                     eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--config" => match parse_config_spec(value) {
+                Ok(c) => configs.push(c),
+                Err(e) => {
+                    eprintln!("bad --config `{value}`: {e}\n");
+                    eprint!("{USAGE}");
                     return ExitCode::from(2);
                 }
             },
@@ -104,34 +128,6 @@ fn main() -> ExitCode {
         }
     }
 
-    let bytes = match std::fs::read(path) {
-        Ok(b) => b,
-        Err(e) => {
-            eprintln!("cannot read {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    // Binary (DVFT) traces are detected by magic; anything else is text.
-    let trace = if bytes.starts_with(b"DVFT") {
-        match dvf_cachesim::binio::read_binary(bytes.as_slice()) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("bad binary trace: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    } else {
-        match String::from_utf8(bytes)
-            .map_err(|e| e.to_string())
-            .and_then(|text| Trace::from_text(&text))
-        {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("bad trace: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    };
     let llc = match CacheConfig::new(assoc, sets, line) {
         Ok(c) => c,
         Err(e) => {
@@ -142,6 +138,11 @@ fn main() -> ExitCode {
 
     match l1 {
         (Some(a), Some(s), Some(l)) => {
+            if !configs.is_empty() {
+                eprintln!("--config cannot be combined with hierarchy mode\n");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
             let l1cfg = match CacheConfig::new(a, s, l) {
                 Ok(c) => c,
                 Err(e) => {
@@ -152,6 +153,13 @@ fn main() -> ExitCode {
             if policy != PolicyKind::Lru {
                 eprintln!("note: hierarchy mode always uses LRU");
             }
+            let trace = match load_trace(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             let report = simulate_hierarchy(&trace, l1cfg, llc);
             if json {
                 let mut w = JsonWriter::new();
@@ -176,8 +184,70 @@ fn main() -> ExitCode {
                 println!("main-memory accesses: {}", report.total_mem_accesses());
             }
         }
+        (None, None, None) if !configs.is_empty() => {
+            // Multi-config fan-out: the default geometry runs first, then
+            // every --config, all sharing one borrowed trace.
+            let trace = match load_trace(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut sim_jobs = vec![SimJob {
+                config: llc,
+                policy,
+            }];
+            sim_jobs.extend(configs.iter().map(|&config| SimJob { config, policy }));
+            let workers = if jobs == 0 {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            } else {
+                jobs
+            };
+            let reports = simulate_many_with_threads(&trace, &sim_jobs, workers);
+            if json {
+                let mut w = JsonWriter::new();
+                w.begin_object();
+                w.key("schema").string("dvf-cachesim/1");
+                w.key("refs").u64(trace.len() as u64);
+                w.key("policy").string(policy.name());
+                w.key("jobs").u64(workers as u64);
+                w.key("runs").begin_array();
+                for report in &reports {
+                    w.begin_object();
+                    config_json(&mut w, &report.config);
+                    stats_json(&mut w, report.stats(), &trace.registry);
+                    w.key("mem_accesses").u64(report.total().mem_accesses());
+                    w.end_object();
+                }
+                w.end_array();
+                w.end_object();
+                println!("{}", w.finish());
+            } else {
+                println!(
+                    "{} refs through {} geometries ({} policy, {} worker threads)",
+                    trace.len(),
+                    reports.len(),
+                    policy.name(),
+                    workers
+                );
+                for report in &reports {
+                    println!("\n{}:", report.config);
+                    println!("{}", report.stats().render(&trace.registry));
+                    println!("main-memory accesses: {}", report.total().mem_accesses());
+                }
+            }
+        }
         (None, None, None) => {
-            let report = replay(&trace, llc, policy, quiet);
+            let (report, registry) = match replay_single(path, llc, policy, quiet) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             if json {
                 let mut w = JsonWriter::new();
                 w.begin_object();
@@ -185,18 +255,16 @@ fn main() -> ExitCode {
                 w.key("refs").u64(report.refs);
                 w.key("policy").string(report.policy);
                 config_json(&mut w, &llc);
-                stats_json(&mut w, report.stats(), &trace.registry);
+                stats_json(&mut w, report.stats(), &registry);
                 w.key("mem_accesses").u64(report.total().mem_accesses());
                 w.end_object();
                 println!("{}", w.finish());
             } else {
                 println!(
                     "{} refs through {} ({} policy)",
-                    trace.len(),
-                    llc,
-                    report.policy
+                    report.refs, llc, report.policy
                 );
-                println!("\n{}", report.stats().render(&trace.registry));
+                println!("\n{}", report.stats().render(&registry));
                 println!("main-memory accesses: {}", report.total().mem_accesses());
             }
         }
@@ -209,10 +277,81 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Replay the trace in chunks so a heartbeat can report progress on
-/// multi-million-reference runs without touching the per-reference path.
-fn replay(trace: &Trace, config: CacheConfig, policy: PolicyKind, quiet: bool) -> SimReport {
-    fn go<P: ReplacementPolicy>(
+/// Parse `A:S:L` (associativity : sets : line bytes) into a validated
+/// geometry.
+fn parse_config_spec(spec: &str) -> Result<CacheConfig, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.len() != 3 {
+        return Err("expected A:S:L (associativity:sets:line-bytes)".to_owned());
+    }
+    let nums: Vec<usize> = parts
+        .iter()
+        .map(|p| p.parse::<usize>().map_err(|_| format!("bad number `{p}`")))
+        .collect::<Result<_, _>>()?;
+    CacheConfig::new(nums[0], nums[1], nums[2]).map_err(|e| e.to_string())
+}
+
+/// Whether the file starts with the binary-trace magic.
+fn is_binary(path: &str) -> std::io::Result<bool> {
+    let mut f = std::fs::File::open(path)?;
+    let mut magic = [0u8; 4];
+    match f.read_exact(&mut magic) {
+        Ok(()) => Ok(&magic == b"DVFT"),
+        // Shorter than a magic: certainly not a DVFT trace.
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+/// Load the full trace into memory (multi-config and hierarchy modes need
+/// to replay it several times).
+fn load_trace(path: &str) -> Result<Trace, String> {
+    if is_binary(path).map_err(|e| format!("cannot read {path}: {e}"))? {
+        let f = std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        dvf_cachesim::binio::read_binary(BufReader::new(f))
+            .map_err(|e| format!("bad binary trace: {e}"))
+    } else {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Trace::from_text(&text).map_err(|e| format!("bad trace: {e}"))
+    }
+}
+
+/// Single-config replay. Binary traces stream from disk chunk-by-chunk
+/// (memory stays bounded no matter the trace length); text traces are
+/// parsed up front.
+fn replay_single(
+    path: &str,
+    config: CacheConfig,
+    policy: PolicyKind,
+    quiet: bool,
+) -> Result<(SimReport, DsRegistry), String> {
+    fn go_stream<P: ReplacementPolicy, R: Read>(
+        mut reader: TraceReader<R>,
+        config: CacheConfig,
+        policy: P,
+        quiet: bool,
+    ) -> Result<(SimReport, DsRegistry), String> {
+        let registry = reader.registry().clone();
+        let mut sim = Simulator::with_policy(config, policy);
+        let mut hb = Heartbeat::new("simtrace", HEARTBEAT_EVERY).quiet(quiet);
+        let mut chunk = Vec::new();
+        loop {
+            let n = reader
+                .read_chunk(&mut chunk, DEFAULT_CHUNK)
+                .map_err(|e| format!("bad binary trace: {e}"))?;
+            if n == 0 {
+                break;
+            }
+            sim.run(&chunk);
+            hb.tick(n as u64);
+        }
+        if hb.seen() >= HEARTBEAT_EVERY {
+            hb.done();
+        }
+        Ok((sim.finish(), registry))
+    }
+
+    fn go_mem<P: ReplacementPolicy>(
         trace: &Trace,
         config: CacheConfig,
         policy: P,
@@ -220,21 +359,36 @@ fn replay(trace: &Trace, config: CacheConfig, policy: PolicyKind, quiet: bool) -
     ) -> SimReport {
         let mut sim = Simulator::with_policy(config, policy);
         let mut hb = Heartbeat::new("simtrace", HEARTBEAT_EVERY).quiet(quiet);
-        for chunk in trace.refs.chunks(CHUNK) {
+        for chunk in trace.refs.chunks(DEFAULT_CHUNK) {
             sim.run(chunk);
             hb.tick(chunk.len() as u64);
         }
-        // Only announce completion for runs long enough to have ticked.
         if hb.seen() >= HEARTBEAT_EVERY {
             hb.done();
         }
         sim.finish()
     }
-    match policy {
-        PolicyKind::Lru => go(trace, config, Lru, quiet),
-        PolicyKind::Fifo => go(trace, config, Fifo, quiet),
-        PolicyKind::Plru => go(trace, config, TreePlru, quiet),
-        PolicyKind::Random => go(trace, config, RandomEvict::default(), quiet),
+
+    if is_binary(path).map_err(|e| format!("cannot read {path}: {e}"))? {
+        let f = std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let reader =
+            TraceReader::new(BufReader::new(f)).map_err(|e| format!("bad binary trace: {e}"))?;
+        match policy {
+            PolicyKind::Lru => go_stream(reader, config, Lru, quiet),
+            PolicyKind::Fifo => go_stream(reader, config, Fifo, quiet),
+            PolicyKind::Plru => go_stream(reader, config, TreePlru, quiet),
+            PolicyKind::Random => go_stream(reader, config, RandomEvict::default(), quiet),
+        }
+    } else {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let trace = Trace::from_text(&text).map_err(|e| format!("bad trace: {e}"))?;
+        let report = match policy {
+            PolicyKind::Lru => go_mem(&trace, config, Lru, quiet),
+            PolicyKind::Fifo => go_mem(&trace, config, Fifo, quiet),
+            PolicyKind::Plru => go_mem(&trace, config, TreePlru, quiet),
+            PolicyKind::Random => go_mem(&trace, config, RandomEvict::default(), quiet),
+        };
+        Ok((report, trace.registry))
     }
 }
 

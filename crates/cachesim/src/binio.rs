@@ -10,11 +10,13 @@
 //! records: ds u16 | kind u8 (0 = read, 1 = write) | addr u64   (LE)
 //! ```
 
-use crate::trace::{AccessKind, DsId, MemRef, Trace};
+use crate::trace::{AccessKind, DsId, DsRegistry, MemRef, Trace};
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"DVFT";
 const VERSION: u8 = 1;
+/// Bytes per serialized reference record.
+const RECORD_BYTES: usize = 11;
 
 /// Serialize a trace.
 pub fn write_binary<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
@@ -46,51 +48,130 @@ fn bad(msg: &str) -> io::Error {
 }
 
 /// Deserialize a trace written by [`write_binary`].
-pub fn read_binary<R: Read>(mut r: R) -> io::Result<Trace> {
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(bad("not a DVFT trace (bad magic)"));
-    }
-    let mut version = [0u8; 1];
-    r.read_exact(&mut version)?;
-    if version[0] != VERSION {
-        return Err(bad("unsupported DVFT version"));
-    }
-    let mut buf2 = [0u8; 2];
-    r.read_exact(&mut buf2)?;
-    let count = u16::from_le_bytes(buf2);
-
+///
+/// Materializes the full reference vector; for bounded-memory replay use
+/// [`TraceReader`] and feed chunks straight into a simulator.
+pub fn read_binary<R: Read>(r: R) -> io::Result<Trace> {
+    let mut reader = TraceReader::new(r)?;
     let mut trace = Trace::new();
-    for _ in 0..count {
-        r.read_exact(&mut buf2)?;
-        let len = u16::from_le_bytes(buf2) as usize;
-        let mut name = vec![0u8; len];
-        r.read_exact(&mut name)?;
-        let name = String::from_utf8(name).map_err(|_| bad("name is not UTF-8"))?;
-        trace.registry.register(&name);
+    for (_, name) in reader.registry().iter() {
+        trace.registry.register(name);
     }
-
-    let mut record = [0u8; 11];
-    loop {
-        // Records run to EOF; a partial record is corruption.
-        match r.read(&mut record[..1])? {
-            0 => break,
-            _ => r.read_exact(&mut record[1..])?,
-        }
-        let ds = u16::from_le_bytes([record[0], record[1]]);
-        if ds >= count {
-            return Err(bad("record names unregistered structure"));
-        }
-        let kind = match record[2] {
-            0 => AccessKind::Read,
-            1 => AccessKind::Write,
-            _ => return Err(bad("bad access kind byte")),
-        };
-        let addr = u64::from_le_bytes(record[3..11].try_into().expect("8 bytes"));
-        trace.push(MemRef::new(DsId(ds), addr, kind));
+    let mut chunk = Vec::new();
+    while reader.read_chunk(&mut chunk, DEFAULT_CHUNK)? > 0 {
+        trace.refs.extend_from_slice(&chunk);
     }
     Ok(trace)
+}
+
+/// Default references per [`TraceReader::read_chunk`] call (~704 KiB of
+/// records, ~1.5 MiB resident with the decoded `MemRef`s).
+pub const DEFAULT_CHUNK: usize = 65_536;
+
+/// Incremental DVFT reader: parses the header once, then decodes records
+/// in caller-sized chunks so multi-gigabyte traces replay in bounded
+/// memory.
+///
+/// ```no_run
+/// use dvf_cachesim::{binio::TraceReader, CacheConfig, Simulator};
+///
+/// let file = std::fs::File::open("kernel.dvft").unwrap();
+/// let mut reader = TraceReader::new(std::io::BufReader::new(file)).unwrap();
+/// let mut sim = Simulator::new(CacheConfig::new(8, 8192, 64).unwrap());
+/// let mut chunk = Vec::new();
+/// while reader.read_chunk(&mut chunk, 65_536).unwrap() > 0 {
+///     sim.run(&chunk);
+/// }
+/// let report = sim.finish();
+/// ```
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    inner: R,
+    registry: DsRegistry,
+    /// Undecoded tail bytes carried between `read_chunk` calls (a read can
+    /// end mid-record; only EOF mid-record is corruption).
+    carry: Vec<u8>,
+    eof: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Parse the DVFT header, leaving the reader positioned at the records.
+    pub fn new(mut r: R) -> io::Result<Self> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("not a DVFT trace (bad magic)"));
+        }
+        let mut version = [0u8; 1];
+        r.read_exact(&mut version)?;
+        if version[0] != VERSION {
+            return Err(bad("unsupported DVFT version"));
+        }
+        let mut buf2 = [0u8; 2];
+        r.read_exact(&mut buf2)?;
+        let count = u16::from_le_bytes(buf2);
+
+        let mut registry = DsRegistry::new();
+        for _ in 0..count {
+            r.read_exact(&mut buf2)?;
+            let len = u16::from_le_bytes(buf2) as usize;
+            let mut name = vec![0u8; len];
+            r.read_exact(&mut name)?;
+            let name = String::from_utf8(name).map_err(|_| bad("name is not UTF-8"))?;
+            registry.register(&name);
+        }
+        Ok(Self {
+            inner: r,
+            registry,
+            carry: Vec::new(),
+            eof: false,
+        })
+    }
+
+    /// Data-structure names declared in the header.
+    pub fn registry(&self) -> &DsRegistry {
+        &self.registry
+    }
+
+    /// Decode up to `max` references into `out` (cleared first), returning
+    /// how many were produced. `Ok(0)` means the trace is exhausted.
+    pub fn read_chunk(&mut self, out: &mut Vec<MemRef>, max: usize) -> io::Result<usize> {
+        out.clear();
+        if max == 0 {
+            return Ok(0);
+        }
+        let want = max * RECORD_BYTES;
+        // Top the carry buffer up to a full chunk of raw record bytes.
+        while !self.eof && self.carry.len() < want {
+            let start = self.carry.len();
+            self.carry.resize(want, 0);
+            let n = self.inner.read(&mut self.carry[start..])?;
+            self.carry.truncate(start + n);
+            if n == 0 {
+                self.eof = true;
+            }
+        }
+        let whole = self.carry.len() / RECORD_BYTES * RECORD_BYTES;
+        if self.eof && self.carry.len() > whole {
+            return Err(bad("truncated record at end of trace"));
+        }
+        let count = self.registry.len() as u16;
+        for record in self.carry[..whole].chunks_exact(RECORD_BYTES) {
+            let ds = u16::from_le_bytes([record[0], record[1]]);
+            if ds >= count {
+                return Err(bad("record names unregistered structure"));
+            }
+            let kind = match record[2] {
+                0 => AccessKind::Read,
+                1 => AccessKind::Write,
+                _ => return Err(bad("bad access kind byte")),
+            };
+            let addr = u64::from_le_bytes(record[3..RECORD_BYTES].try_into().expect("8 bytes"));
+            out.push(MemRef::new(DsId(ds), addr, kind));
+        }
+        self.carry.drain(..whole);
+        Ok(out.len())
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +245,58 @@ mod tests {
         let header = 4 + 1 + 2 + 2 + 1;
         buf[header + 2] = 7;
         assert!(read_binary(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn chunked_reader_matches_full_read() {
+        let mut t = Trace::new();
+        let a = t.registry.register("A");
+        let b = t.registry.register("B");
+        for i in 0..1000u64 {
+            let ds = if i % 3 == 0 { b } else { a };
+            t.push(MemRef::new(ds, i * 17, AccessKind::Read));
+        }
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+
+        // Chunk sizes that do and don't divide the record count.
+        for chunk_size in [1usize, 7, 100, 1000, 5000] {
+            let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+            assert_eq!(reader.registry().len(), 2);
+            let mut refs = Vec::new();
+            let mut chunk = Vec::new();
+            loop {
+                let n = reader.read_chunk(&mut chunk, chunk_size).unwrap();
+                if n == 0 {
+                    break;
+                }
+                assert!(n <= chunk_size);
+                refs.extend_from_slice(&chunk);
+            }
+            assert_eq!(refs, t.refs, "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn chunked_reader_rejects_truncation() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        let mut chunk = Vec::new();
+        let mut err = None;
+        loop {
+            match reader.read_chunk(&mut chunk, 2) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert!(err.unwrap().to_string().contains("truncated"));
     }
 
     #[test]

@@ -1,24 +1,39 @@
 //! The set-associative cache model.
+//!
+//! Storage is struct-of-arrays: one flat, contiguous tag array (with an
+//! invalid-tag sentinel) plus parallel dirty/owner arrays, indexed by
+//! `set * associativity + way`. The hit scan — the hot operation of every
+//! replay — then walks `associativity` adjacent `u64`s instead of chasing
+//! a per-set `Vec<Option<Line>>`, which both removes a pointer indirection
+//! per access and shrinks each probed entry from a 24-byte `Option<Line>`
+//! to 8 bytes.
 
-use crate::config::CacheConfig;
+use crate::config::{CacheConfig, CacheGeometry};
 use crate::replacement::{Lru, ReplacementPolicy};
 use crate::stats::CacheStats;
 use crate::trace::{AccessKind, DsId, MemRef};
 
-/// One resident cache line.
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: u64,
-    dirty: bool,
-    /// Which data structure loaded the line (writebacks are charged to it).
-    owner: DsId,
+/// Sentinel marking an empty way in the flat tag array.
+///
+/// Tag words are stored biased by one (`stored = tag + 1`), so zero means
+/// "empty" and a fresh cache is all-zeroes: construction is one `calloc`
+/// with no explicit fill, and sets the trace never maps to never fault
+/// their pages in — which matters when a short trace replays through a
+/// many-megabyte geometry. The bias only wraps for `tag == u64::MAX`,
+/// i.e. an access in the top line of the 64-bit address space; every
+/// practical geometry and trace stays far below it.
+const EMPTY_WAY: u64 = 0;
+
+/// Bias a real tag into its stored representation.
+#[inline(always)]
+fn store_tag(tag: u64) -> u64 {
+    tag.wrapping_add(1)
 }
 
-/// A cache set: ways plus the replacement policy's bookkeeping.
-#[derive(Debug, Clone)]
-struct Set<S> {
-    ways: Vec<Option<Line>>,
-    policy_state: S,
+/// Recover the real tag from a stored (non-empty) tag word.
+#[inline(always)]
+fn load_tag(word: u64) -> u64 {
+    word.wrapping_sub(1)
 }
 
 /// A dirty line written back on eviction.
@@ -59,24 +74,121 @@ impl AccessOutcome {
 #[derive(Debug, Clone)]
 pub struct SetAssociativeCache<P: ReplacementPolicy = Lru> {
     config: CacheConfig,
+    geom: CacheGeometry,
+    assoc: usize,
     policy: P,
-    sets: Vec<Set<P::SetState>>,
+    /// `num_sets * associativity` biased tag words ([`EMPTY_WAY`] = empty).
+    tags: Vec<u64>,
+    /// Parallel to `tags`: the line's owner [`DsId`] in the high bits and
+    /// its dirty flag in bit 0, packed so the miss path touches one array
+    /// (one cache line) instead of two.
+    meta: Vec<u32>,
+    /// Parallel to `tags`: per-way replacement bookkeeping (e.g. LRU
+    /// recency stamps), flat like the tag array so policy updates stay on
+    /// cache lines the probe already pulled in.
+    policy_ways: Vec<P::WayState>,
+    /// One replacement-policy residue per set (PLRU bits, RNG streams;
+    /// zero-sized for LRU/FIFO, whose ranks live in `policy_ways`).
+    policy_state: Vec<P::SetState>,
     stats: CacheStats,
+}
+
+/// Pack a line's owner and dirty flag into one `meta` word.
+#[inline(always)]
+fn pack_meta(owner: DsId, dirty: bool) -> u32 {
+    (u32::from(owner.0) << 1) | u32::from(dirty)
+}
+
+/// Scan one set's tag slice for the biased tag word `marked`, returning
+/// `(hit_way, first_free_way)` with `usize::MAX` marking "none".
+///
+/// The scan works one cache line (8 tag words) at a time: within a line
+/// both comparisons accumulate branch-free into bitmasks the compiler can
+/// vectorize, and the only branches are one exit test per line. Fills
+/// always claim the *first* empty way (and evictions replace in place),
+/// so the occupied ways of a set form a prefix: finding an empty word in
+/// a line means nothing valid follows in later lines, and the scan may
+/// stop — a sparsely occupied set of a large cache touches one line, not
+/// `assoc / 8`.
+#[inline(always)]
+fn scan_set(set_tags: &[u64], marked: u64) -> (usize, usize) {
+    // Sets that fit one cache line take a single branch-free pass.
+    if set_tags.len() <= 8 {
+        let mut hit = 0u64;
+        let mut free = 0u64;
+        for (way, &t) in set_tags.iter().enumerate() {
+            hit |= u64::from(t == marked) << way;
+            free |= u64::from(t == EMPTY_WAY) << way;
+        }
+        let hit_way = if hit != 0 {
+            hit.trailing_zeros() as usize
+        } else {
+            usize::MAX
+        };
+        let free_way = if free != 0 {
+            free.trailing_zeros() as usize
+        } else {
+            usize::MAX
+        };
+        return (hit_way, free_way);
+    }
+    let mut base = 0;
+    let mut lines = set_tags.chunks_exact(8);
+    for line in &mut lines {
+        let mut hit = 0u64;
+        let mut free = 0u64;
+        for (way, &t) in line.iter().enumerate() {
+            hit |= u64::from(t == marked) << way;
+            free |= u64::from(t == EMPTY_WAY) << way;
+        }
+        if hit != 0 {
+            return (base + hit.trailing_zeros() as usize, usize::MAX);
+        }
+        if free != 0 {
+            return (usize::MAX, base + free.trailing_zeros() as usize);
+        }
+        base += 8;
+    }
+    let mut hit = 0u64;
+    let mut free = 0u64;
+    for (way, &t) in lines.remainder().iter().enumerate() {
+        hit |= u64::from(t == marked) << way;
+        free |= u64::from(t == EMPTY_WAY) << way;
+    }
+    let hit_way = if hit != 0 {
+        base + hit.trailing_zeros() as usize
+    } else {
+        usize::MAX
+    };
+    let free_way = if free != 0 {
+        base + free.trailing_zeros() as usize
+    } else {
+        usize::MAX
+    };
+    (hit_way, free_way)
 }
 
 impl<P: ReplacementPolicy> SetAssociativeCache<P> {
     /// Build an empty cache with the given geometry and policy.
+    ///
+    /// Panics with the descriptive [`crate::config::ConfigError`] message
+    /// if `config` violates the power-of-two geometry assumptions (only
+    /// possible via a struct literal; [`CacheConfig::new`] validates).
     pub fn with_policy(config: CacheConfig, policy: P) -> Self {
-        let sets = (0..config.num_sets)
-            .map(|i| Set {
-                ways: vec![None; config.associativity],
-                policy_state: policy.new_set(config.associativity, i),
-            })
+        let geom = config.geometry();
+        let blocks = config.num_blocks();
+        let policy_state = (0..config.num_sets)
+            .map(|i| policy.new_set(config.associativity, i))
             .collect();
         Self {
             config,
+            geom,
+            assoc: config.associativity,
             policy,
-            sets,
+            tags: vec![EMPTY_WAY; blocks],
+            meta: vec![0; blocks],
+            policy_ways: vec![P::WayState::default(); blocks],
+            policy_state,
             stats: CacheStats::new(),
         }
     }
@@ -94,59 +206,107 @@ impl<P: ReplacementPolicy> SetAssociativeCache<P> {
     }
 
     /// Issue one reference.
+    #[inline]
     pub fn access(&mut self, mref: MemRef) -> AccessOutcome {
-        let block = self.config.block_of(mref.addr);
-        let set_idx = self.config.set_of(block);
-        let tag = self.config.tag_of(block);
-        let set = &mut self.sets[set_idx];
+        let block = self.geom.block_of(mref.addr);
+        let set_idx = self.geom.set_of(block);
+        let marked = store_tag(self.geom.tag_of(block));
+        let assoc = self.assoc;
+        let base = set_idx * assoc;
+        let is_write = mref.kind == AccessKind::Write;
 
+        // One stats resolution per reference, shared by the read/write
+        // count and the hit/miss count below.
         let ds_stats = self.stats.ds_mut(mref.ds);
-        match mref.kind {
-            AccessKind::Read => ds_stats.reads += 1,
-            AccessKind::Write => ds_stats.writes += 1,
+        if is_write {
+            ds_stats.writes += 1;
+        } else {
+            ds_stats.reads += 1;
         }
 
-        // Hit path.
-        if let Some(way) = set
-            .ways
-            .iter()
-            .position(|l| l.is_some_and(|l| l.tag == tag))
-        {
-            self.policy.on_hit(&mut set.policy_state, way);
-            let line = set.ways[way].as_mut().expect("hit way is occupied");
-            if mref.kind == AccessKind::Write {
-                line.dirty = true;
+        // One scan over `associativity` contiguous tags serves both paths:
+        // it finds the hit, and remembers the first free way for the miss.
+        let (hit_way, free) = scan_set(&self.tags[base..base + assoc], marked);
+        if hit_way != usize::MAX {
+            ds_stats.hits += 1;
+            if is_write {
+                self.meta[base + hit_way] |= 1;
             }
-            self.stats.ds_mut(mref.ds).hits += 1;
+            self.policy.on_hit(
+                &mut self.policy_state[set_idx],
+                &mut self.policy_ways[base..base + assoc],
+                hit_way,
+            );
             return AccessOutcome::Hit;
         }
 
-        // Miss: find a free way, or evict the policy's victim.
-        self.stats.ds_mut(mref.ds).misses += 1;
-        let (way, writeback) = match set.ways.iter().position(Option::is_none) {
-            Some(free) => (free, None),
-            None => {
-                let victim = self.policy.victim(&mut set.policy_state);
-                let old = set.ways[victim].expect("victim way is occupied");
-                let wb = if old.dirty {
-                    self.stats.ds_mut(old.owner).writebacks += 1;
-                    Some(Writeback {
-                        owner: old.owner,
-                        addr: self.config.addr_of(old.tag, set_idx),
-                    })
-                } else {
-                    None
-                };
-                (victim, wb)
-            }
+        // Miss: take the free way found above, or evict the policy's victim.
+        ds_stats.misses += 1;
+        let (way, writeback) = if free != usize::MAX {
+            (free, None)
+        } else {
+            let victim = self.policy.victim(
+                &mut self.policy_state[set_idx],
+                &mut self.policy_ways[base..base + assoc],
+            );
+            let slot = base + victim;
+            let victim_meta = self.meta[slot];
+            let wb = if victim_meta & 1 != 0 {
+                let owner = DsId((victim_meta >> 1) as u16);
+                self.stats.ds_mut(owner).writebacks += 1;
+                Some(Writeback {
+                    owner,
+                    addr: self.geom.addr_of(load_tag(self.tags[slot]), set_idx),
+                })
+            } else {
+                None
+            };
+            (victim, wb)
         };
-        set.ways[way] = Some(Line {
-            tag,
-            dirty: mref.kind == AccessKind::Write,
-            owner: mref.ds,
-        });
-        self.policy.on_fill(&mut set.policy_state, way);
+        let slot = base + way;
+        self.tags[slot] = marked;
+        self.meta[slot] = pack_meta(mref.ds, is_write);
+        self.policy.on_fill(
+            &mut self.policy_state[set_idx],
+            &mut self.policy_ways[base..base + assoc],
+            way,
+        );
         AccessOutcome::Miss { writeback }
+    }
+
+    /// Replay a slice of references through [`Self::access`].
+    ///
+    /// Identical results to calling `access` per reference. When the
+    /// geometry's metadata arrays are large enough to spill out of the
+    /// fast cache levels, the loop additionally peeks [`LOOKAHEAD`]
+    /// references ahead and touches the upcoming set's tag and way-state
+    /// words. The touch is a plain load whose value is immediately
+    /// discarded ([`std::hint::black_box`] keeps it from being optimized
+    /// out) — a safe software prefetch that hides most of the cache-miss
+    /// latency a many-megabyte geometry otherwise pays per access. Small
+    /// geometries (metadata resident in L1/L2) skip the peek: there the
+    /// extra loads are pure overhead.
+    pub fn replay(&mut self, refs: &[MemRef]) {
+        /// How far ahead the replay loop touches upcoming sets' metadata.
+        const LOOKAHEAD: usize = 12;
+        /// Metadata footprint below which prefetching costs more than it saves.
+        const PREFETCH_MIN_BYTES: usize = 256 * 1024;
+        let meta_bytes =
+            self.tags.len() * (size_of::<u64>() + size_of::<u32>() + size_of::<P::WayState>());
+        if meta_bytes < PREFETCH_MIN_BYTES {
+            for &r in refs {
+                self.access(r);
+            }
+            return;
+        }
+        for i in 0..refs.len() {
+            if let Some(r) = refs.get(i + LOOKAHEAD) {
+                let base = self.geom.set_of(self.geom.block_of(r.addr)) * self.assoc;
+                std::hint::black_box(self.tags[base]);
+                std::hint::black_box(self.policy_ways[base]);
+            }
+            self.access(refs[i]);
+        }
     }
 
     /// Write every resident dirty line back to main memory (end of run),
@@ -160,17 +320,16 @@ impl<P: ReplacementPolicy> SetAssociativeCache<P> {
     /// cache level above can forward them (used by the hierarchy).
     pub fn drain_dirty(&mut self) -> Vec<Writeback> {
         let mut drained = Vec::new();
-        for (set_idx, set) in self.sets.iter_mut().enumerate() {
-            for line in set.ways.iter_mut() {
-                if let Some(l) = line.take() {
-                    if l.dirty {
-                        self.stats.ds_mut(l.owner).writebacks += 1;
-                        drained.push(Writeback {
-                            owner: l.owner,
-                            addr: self.config.addr_of(l.tag, set_idx),
-                        });
-                    }
-                }
+        for slot in 0..self.tags.len() {
+            let word = std::mem::replace(&mut self.tags[slot], EMPTY_WAY);
+            let meta = std::mem::replace(&mut self.meta[slot], 0);
+            if word != EMPTY_WAY && meta & 1 != 0 {
+                let owner = DsId((meta >> 1) as u16);
+                self.stats.ds_mut(owner).writebacks += 1;
+                drained.push(Writeback {
+                    owner,
+                    addr: self.geom.addr_of(load_tag(word), slot / self.assoc),
+                });
             }
         }
         drained
@@ -178,10 +337,7 @@ impl<P: ReplacementPolicy> SetAssociativeCache<P> {
 
     /// Number of currently resident lines (diagnostic).
     pub fn resident_lines(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.ways.iter().filter(|w| w.is_some()).count())
-            .sum()
+        self.tags.iter().filter(|&&t| t != EMPTY_WAY).count()
     }
 
     /// Consume the cache and return its statistics without flushing.

@@ -16,6 +16,8 @@ use std::fmt;
 pub enum ConfigError {
     /// Associativity must be at least 1.
     ZeroAssociativity,
+    /// Associativity must fit the 16-bit per-way rank state.
+    HugeAssociativity(usize),
     /// The number of sets must be a power of two (so that the set index is a
     /// bit field of the block address) and at least 1.
     BadNumSets(usize),
@@ -27,6 +29,9 @@ impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConfigError::ZeroAssociativity => write!(f, "cache associativity must be >= 1"),
+            ConfigError::HugeAssociativity(n) => {
+                write!(f, "cache associativity must be <= 65536, got {n}")
+            }
             ConfigError::BadNumSets(n) => {
                 write!(f, "number of cache sets must be a power of two, got {n}")
             }
@@ -62,20 +67,54 @@ impl CacheConfig {
         num_sets: usize,
         line_bytes: usize,
     ) -> Result<Self, ConfigError> {
-        if associativity == 0 {
-            return Err(ConfigError::ZeroAssociativity);
-        }
-        if num_sets == 0 || !num_sets.is_power_of_two() {
-            return Err(ConfigError::BadNumSets(num_sets));
-        }
-        if line_bytes == 0 || !line_bytes.is_power_of_two() {
-            return Err(ConfigError::BadLineBytes(line_bytes));
-        }
-        Ok(Self {
+        let config = Self {
             associativity,
             num_sets,
             line_bytes,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Check the power-of-two assumptions the address math relies on.
+    ///
+    /// The fields are public (so Table IV can be `const`), which means a
+    /// struct literal can bypass [`CacheConfig::new`]; every consumer that
+    /// decomposes addresses goes through [`CacheConfig::geometry`], which
+    /// re-validates, so a non-power-of-two literal fails loudly instead of
+    /// silently mis-mapping addresses.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.associativity == 0 {
+            return Err(ConfigError::ZeroAssociativity);
+        }
+        if self.associativity > 1 << 16 {
+            return Err(ConfigError::HugeAssociativity(self.associativity));
+        }
+        if self.num_sets == 0 || !self.num_sets.is_power_of_two() {
+            return Err(ConfigError::BadNumSets(self.num_sets));
+        }
+        if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
+            return Err(ConfigError::BadLineBytes(self.line_bytes));
+        }
+        Ok(())
+    }
+
+    /// Precompute the shift/mask constants for address decomposition,
+    /// validating the geometry first.
+    pub fn try_geometry(&self) -> Result<CacheGeometry, ConfigError> {
+        self.validate()?;
+        Ok(CacheGeometry {
+            line_shift: self.line_bytes.trailing_zeros(),
+            set_shift: self.num_sets.trailing_zeros(),
+            set_mask: self.num_sets as u64 - 1,
         })
+    }
+
+    /// Like [`CacheConfig::try_geometry`] but panics with the descriptive
+    /// error for invalid geometries (used by infallible constructors).
+    pub fn geometry(&self) -> CacheGeometry {
+        self.try_geometry()
+            .unwrap_or_else(|e| panic!("invalid cache geometry: {e}"))
     }
 
     /// Total capacity `Cc` in bytes.
@@ -89,6 +128,9 @@ impl CacheConfig {
     }
 
     /// Map a byte address to its cache block number (`addr / CL`).
+    ///
+    /// Convenience for cold paths; the simulator hot loop uses a
+    /// [`CacheGeometry`] computed once instead.
     #[inline]
     pub fn block_of(&self, addr: u64) -> u64 {
         addr >> self.line_bytes.trailing_zeros()
@@ -116,6 +158,49 @@ impl CacheConfig {
     pub fn addr_of(&self, tag: u64, set: usize) -> u64 {
         let block = (tag << self.num_sets.trailing_zeros()) | set as u64;
         block << self.line_bytes.trailing_zeros()
+    }
+}
+
+/// Address-decomposition constants of one [`CacheConfig`], computed once.
+///
+/// The per-access path splits every address into (tag, set, block offset);
+/// recomputing `trailing_zeros` and the set mask from the raw geometry on
+/// each reference is measurable waste at tens of millions of references
+/// per second, so [`CacheConfig::geometry`] hoists them into this struct
+/// at cache-construction time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// `log2(CL)`: shift from byte address to block number.
+    pub line_shift: u32,
+    /// `log2(NA)`: shift from block number to tag.
+    pub set_shift: u32,
+    /// `NA - 1`: mask extracting the set index from a block number.
+    pub set_mask: u64,
+}
+
+impl CacheGeometry {
+    /// Block number of a byte address.
+    #[inline(always)]
+    pub fn block_of(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    /// Set index of a block.
+    #[inline(always)]
+    pub fn set_of(&self, block: u64) -> usize {
+        (block & self.set_mask) as usize
+    }
+
+    /// Tag of a block.
+    #[inline(always)]
+    pub fn tag_of(&self, block: u64) -> u64 {
+        block >> self.set_shift
+    }
+
+    /// Base byte address of the line with `tag` in `set`.
+    #[inline(always)]
+    pub fn addr_of(&self, tag: u64, set: usize) -> u64 {
+        ((tag << self.set_shift) | set as u64) << self.line_shift
     }
 }
 
@@ -263,6 +348,49 @@ mod tests {
         assert_eq!(PROFILE_128KB.capacity(), 128 * 1024);
         assert_eq!(PROFILE_1MB.capacity(), 1024 * 1024);
         assert_eq!(PROFILE_8MB.capacity(), 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn geometry_matches_config_math() {
+        let c = CacheConfig::new(4, 64, 32).unwrap();
+        let g = c.geometry();
+        for addr in [0u64, 31, 32, 0xdead_beef, u64::MAX] {
+            let block = c.block_of(addr);
+            assert_eq!(g.block_of(addr), block);
+            assert_eq!(g.set_of(block), c.set_of(block));
+            assert_eq!(g.tag_of(block), c.tag_of(block));
+            let (tag, set) = (c.tag_of(block), c.set_of(block));
+            assert_eq!(g.addr_of(tag, set), c.addr_of(tag, set));
+        }
+    }
+
+    #[test]
+    fn geometry_rejects_unvalidated_literals() {
+        // Public fields allow non-power-of-two literals to bypass `new`;
+        // geometry() re-validates with the descriptive error.
+        let bad = CacheConfig {
+            associativity: 4,
+            num_sets: 65,
+            line_bytes: 32,
+        };
+        assert_eq!(bad.try_geometry(), Err(ConfigError::BadNumSets(65)));
+        let bad_line = CacheConfig {
+            associativity: 4,
+            num_sets: 64,
+            line_bytes: 48,
+        };
+        assert_eq!(bad_line.try_geometry(), Err(ConfigError::BadLineBytes(48)));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn geometry_panic_is_descriptive() {
+        let bad = CacheConfig {
+            associativity: 2,
+            num_sets: 3,
+            line_bytes: 32,
+        };
+        let _ = bad.geometry();
     }
 
     #[test]

@@ -53,9 +53,12 @@ pub mod stats;
 pub mod trace;
 
 pub use cache::{AccessOutcome, SetAssociativeCache, Writeback};
-pub use config::CacheConfig;
+pub use config::{CacheConfig, CacheGeometry};
 pub use hierarchy::{simulate_hierarchy, CacheHierarchy, HierarchyReport};
 pub use replacement::{Fifo, Lru, PolicyKind, RandomEvict, ReplacementPolicy, TreePlru};
-pub use sim::{simulate, simulate_with_policy, SimReport, Simulator};
+pub use sim::{
+    simulate, simulate_many, simulate_many_with_threads, simulate_with_policy, SimJob, SimReport,
+    Simulator,
+};
 pub use stats::{CacheStats, DsStats};
 pub use trace::{AccessKind, DsId, DsRegistry, MemRef, Trace};

@@ -6,26 +6,35 @@
 //! FIFO, tree-PLRU and random variants are provided for the ablation study
 //! quantifying how sensitive the models are to that assumption.
 
-/// A per-set replacement policy.
+/// A per-set replacement policy over flat struct-of-arrays state.
 ///
-/// The cache owns one `SetState` per set; the policy is stateless apart
-/// from that (so a single policy value can serve the whole cache).
+/// The cache owns one [`SetState`] per set plus one [`WayState`] per line,
+/// stored in a single contiguous array indexed `set * assoc + way` — the
+/// same layout as the tag/dirty/owner arrays, so a policy update touches
+/// the cache line the tag probe already pulled in instead of chasing a
+/// per-set heap allocation. The policy value itself is stateless.
+///
+/// [`SetState`]: ReplacementPolicy::SetState
+/// [`WayState`]: ReplacementPolicy::WayState
 pub trait ReplacementPolicy {
-    /// Bookkeeping carried per cache set.
+    /// Per-way bookkeeping word (e.g. an LRU recency stamp). Policies
+    /// without per-way state use `()`, which occupies no memory.
+    type WayState: Clone + Copy + Default + std::fmt::Debug;
+    /// Per-set residue (clock, direction bits, RNG stream, ...).
     type SetState: Clone + std::fmt::Debug;
 
     /// Fresh state for a set with `ways` ways, distinguished by `set_index`
     /// (used to seed per-set randomness deterministically).
     fn new_set(&self, ways: usize, set_index: usize) -> Self::SetState;
 
-    /// Called when `way` hits.
-    fn on_hit(&self, state: &mut Self::SetState, way: usize);
+    /// Called when `way` hits. `ways` is the set's slice of way state.
+    fn on_hit(&self, state: &mut Self::SetState, ways: &mut [Self::WayState], way: usize);
 
     /// Called when a line is filled into `way` (after a miss).
-    fn on_fill(&self, state: &mut Self::SetState, way: usize);
+    fn on_fill(&self, state: &mut Self::SetState, ways: &mut [Self::WayState], way: usize);
 
     /// Choose the way to evict. Only called when every way is occupied.
-    fn victim(&self, state: &mut Self::SetState) -> usize;
+    fn victim(&self, state: &mut Self::SetState, ways: &mut [Self::WayState]) -> usize;
 
     /// Human-readable policy name.
     fn name(&self) -> &'static str;
@@ -35,41 +44,87 @@ pub trait ReplacementPolicy {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Lru;
 
-/// Recency stamps per way; larger = more recent.
-#[derive(Debug, Clone)]
-pub struct LruState {
-    stamps: Vec<u64>,
-    clock: u64,
+/// Promote `way` to most-recent in a set of recency ranks.
+///
+/// Ranks order the ways of one set: `0` is the eviction candidate,
+/// `len - 1` the most recent. Promotion closes the gap the promoted way
+/// leaves behind by decrementing every rank above it — a branch-free
+/// full-slice pass the compiler vectorizes, and for realistic
+/// associativities the whole rank slice (2 bytes per way) lives in the
+/// single cache line the set's metadata already occupies.
+#[inline(always)]
+fn promote(ranks: &mut [u16], way: usize) {
+    // Dispatch the common associativities to fixed-size bodies: with the
+    // length known at compile time the pass fully unrolls and vectorizes,
+    // where the runtime-length loop stays scalar and branchy.
+    match ranks.len() {
+        2 => promote_fixed::<2>(ranks, way),
+        4 => promote_fixed::<4>(ranks, way),
+        8 => promote_fixed::<8>(ranks, way),
+        16 => promote_fixed::<16>(ranks, way),
+        _ => {
+            let r = ranks[way];
+            for w in ranks.iter_mut() {
+                *w -= u16::from(*w > r);
+            }
+            ranks[way] = (ranks.len() - 1) as u16;
+        }
+    }
+}
+
+#[inline(always)]
+fn promote_fixed<const N: usize>(ranks: &mut [u16], way: usize) {
+    let ranks: &mut [u16; N] = ranks.try_into().expect("dispatched on len");
+    let r = ranks[way];
+    for w in ranks.iter_mut() {
+        *w -= u16::from(*w > r);
+    }
+    ranks[way] = (N - 1) as u16;
+}
+
+/// The way holding rank `0` (only meaningful once the set is full).
+#[inline(always)]
+fn rank_zero_way(ranks: &[u16]) -> usize {
+    match ranks.len() {
+        2 => rank_zero_fixed::<2>(ranks),
+        4 => rank_zero_fixed::<4>(ranks),
+        8 => rank_zero_fixed::<8>(ranks),
+        16 => rank_zero_fixed::<16>(ranks),
+        _ => ranks.iter().position(|&r| r == 0).unwrap_or(0),
+    }
+}
+
+#[inline(always)]
+fn rank_zero_fixed<const N: usize>(ranks: &[u16]) -> usize {
+    let ranks: &[u16; N] = ranks.try_into().expect("dispatched on len");
+    // Branch-free bitmask scan, same shape as the tag scan in `cache.rs`.
+    let mut zero = 0u32;
+    for (way, &r) in ranks.iter().enumerate() {
+        zero |= u32::from(r == 0) << way;
+    }
+    if zero != 0 {
+        zero.trailing_zeros() as usize
+    } else {
+        0
+    }
 }
 
 impl ReplacementPolicy for Lru {
-    type SetState = LruState;
+    type WayState = u16; // recency rank: 0 = LRU, len - 1 = MRU
+    type SetState = ();
 
-    fn new_set(&self, ways: usize, _set_index: usize) -> LruState {
-        LruState {
-            stamps: vec![0; ways],
-            clock: 0,
-        }
+    fn new_set(&self, _ways: usize, _set_index: usize) {}
+
+    fn on_hit(&self, _state: &mut (), ways: &mut [u16], way: usize) {
+        promote(ways, way);
     }
 
-    fn on_hit(&self, state: &mut LruState, way: usize) {
-        state.clock += 1;
-        state.stamps[way] = state.clock;
+    fn on_fill(&self, _state: &mut (), ways: &mut [u16], way: usize) {
+        promote(ways, way);
     }
 
-    fn on_fill(&self, state: &mut LruState, way: usize) {
-        state.clock += 1;
-        state.stamps[way] = state.clock;
-    }
-
-    fn victim(&self, state: &mut LruState) -> usize {
-        let (way, _) = state
-            .stamps
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, s)| s)
-            .expect("set has at least one way");
-        way
+    fn victim(&self, _state: &mut (), ways: &mut [u16]) -> usize {
+        rank_zero_way(ways)
     }
 
     fn name(&self) -> &'static str {
@@ -82,30 +137,19 @@ impl ReplacementPolicy for Lru {
 pub struct Fifo;
 
 impl ReplacementPolicy for Fifo {
-    type SetState = LruState; // same shape: fill stamps only
+    type WayState = u16; // fill rank: 0 = oldest fill
+    type SetState = ();
 
-    fn new_set(&self, ways: usize, _set_index: usize) -> LruState {
-        LruState {
-            stamps: vec![0; ways],
-            clock: 0,
-        }
+    fn new_set(&self, _ways: usize, _set_index: usize) {}
+
+    fn on_hit(&self, _state: &mut (), _ways: &mut [u16], _way: usize) {}
+
+    fn on_fill(&self, _state: &mut (), ways: &mut [u16], way: usize) {
+        promote(ways, way);
     }
 
-    fn on_hit(&self, _state: &mut LruState, _way: usize) {}
-
-    fn on_fill(&self, state: &mut LruState, way: usize) {
-        state.clock += 1;
-        state.stamps[way] = state.clock;
-    }
-
-    fn victim(&self, state: &mut LruState) -> usize {
-        let (way, _) = state
-            .stamps
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, s)| s)
-            .expect("set has at least one way");
-        way
+    fn victim(&self, _state: &mut (), ways: &mut [u16]) -> usize {
+        rank_zero_way(ways)
     }
 
     fn name(&self) -> &'static str {
@@ -123,35 +167,74 @@ impl ReplacementPolicy for Fifo {
 pub struct TreePlru;
 
 /// Direction bits of the PLRU tree, heap-ordered (`node 0` is the root).
+///
+/// The bits pack into one inline `u64` word (a tree over up to 64 ways
+/// has at most 63 nodes — single-register shifts, unlike `u128`), so
+/// per-set state is `Copy`-sized and the sets array stays a flat
+/// allocation with no per-set heap indirection. Wider sets — far beyond
+/// any hardware PLRU — spill to a boxed slice.
 #[derive(Debug, Clone)]
 pub struct PlruState {
-    bits: Vec<bool>,
-    ways: usize,
+    bits: PlruBits,
+    ways: u32,
     /// `ways` rounded up to a power of two: the leaf count of the bit tree.
-    virtual_ways: usize,
+    virtual_ways: u32,
+}
+
+/// Bit storage for [`PlruState`].
+#[derive(Debug, Clone)]
+enum PlruBits {
+    /// Tree with ≤ 63 nodes, heap-ordered in one word.
+    Packed(u64),
+    /// Degenerately wide set; `Vec<bool>` heap-ordered.
+    Heap(Vec<bool>),
+}
+
+impl PlruState {
+    #[inline(always)]
+    fn get(&self, node: usize) -> bool {
+        match &self.bits {
+            PlruBits::Packed(w) => (w >> node) & 1 == 1,
+            PlruBits::Heap(v) => v[node],
+        }
+    }
+
+    #[inline(always)]
+    fn set(&mut self, node: usize, value: bool) {
+        match &mut self.bits {
+            PlruBits::Packed(w) => *w = (*w & !(1u64 << node)) | (u64::from(value) << node),
+            PlruBits::Heap(v) => v[node] = value,
+        }
+    }
 }
 
 impl ReplacementPolicy for TreePlru {
+    type WayState = ();
     type SetState = PlruState;
 
     fn new_set(&self, ways: usize, _set_index: usize) -> PlruState {
         let virtual_ways = ways.next_power_of_two();
+        let bits = if virtual_ways <= 64 {
+            PlruBits::Packed(0)
+        } else {
+            PlruBits::Heap(vec![false; virtual_ways - 1])
+        };
         PlruState {
-            bits: vec![false; virtual_ways.saturating_sub(1)],
-            ways,
-            virtual_ways,
+            bits,
+            ways: ways as u32,
+            virtual_ways: virtual_ways as u32,
         }
     }
 
-    fn on_hit(&self, state: &mut PlruState, way: usize) {
+    fn on_hit(&self, state: &mut PlruState, _ways: &mut [()], way: usize) {
         touch(state, way);
     }
 
-    fn on_fill(&self, state: &mut PlruState, way: usize) {
+    fn on_fill(&self, state: &mut PlruState, _ways: &mut [()], way: usize) {
         touch(state, way);
     }
 
-    fn victim(&self, state: &mut PlruState) -> usize {
+    fn victim(&self, state: &mut PlruState, _ways: &mut [()]) -> usize {
         if state.ways == 1 {
             return 0;
         }
@@ -160,12 +243,12 @@ impl ReplacementPolicy for TreePlru {
         let levels = state.virtual_ways.trailing_zeros();
         let mut way = 0;
         for _ in 0..levels {
-            let go_right = state.bits[node];
+            let go_right = state.get(node);
             way = (way << 1) | usize::from(go_right);
             node = 2 * node + 1 + usize::from(go_right);
         }
         // Fold virtual leaves beyond the real way count back into range.
-        way % state.ways
+        way % state.ways as usize
     }
 
     fn name(&self) -> &'static str {
@@ -184,7 +267,7 @@ fn touch(state: &mut PlruState, way: usize) {
     for level in (0..levels).rev() {
         let went_right = (way >> level) & 1 == 1;
         // Point away from the branch we took.
-        state.bits[node] = !went_right;
+        state.set(node, !went_right);
         node = 2 * node + 1 + usize::from(went_right);
     }
 }
@@ -224,6 +307,7 @@ fn splitmix64(x: &mut u64) -> u64 {
 }
 
 impl ReplacementPolicy for RandomEvict {
+    type WayState = ();
     type SetState = RandState;
 
     fn new_set(&self, ways: usize, set_index: usize) -> RandState {
@@ -233,11 +317,11 @@ impl ReplacementPolicy for RandomEvict {
         }
     }
 
-    fn on_hit(&self, _state: &mut RandState, _way: usize) {}
+    fn on_hit(&self, _state: &mut RandState, _ways: &mut [()], _way: usize) {}
 
-    fn on_fill(&self, _state: &mut RandState, _way: usize) {}
+    fn on_fill(&self, _state: &mut RandState, _ways: &mut [()], _way: usize) {}
 
-    fn victim(&self, state: &mut RandState) -> usize {
+    fn victim(&self, state: &mut RandState, _ways: &mut [()]) -> usize {
         (splitmix64(&mut state.x) % state.ways as u64) as usize
     }
 
@@ -299,14 +383,15 @@ mod tests {
 
     fn drive<P: ReplacementPolicy>(policy: &P, ways: usize, hits: &[usize]) -> usize {
         let mut state = policy.new_set(ways, 0);
+        let mut way_state = vec![P::WayState::default(); ways];
         for (i, &w) in hits.iter().enumerate() {
             if i < ways {
-                policy.on_fill(&mut state, w);
+                policy.on_fill(&mut state, &mut way_state, w);
             } else {
-                policy.on_hit(&mut state, w);
+                policy.on_hit(&mut state, &mut way_state, w);
             }
         }
-        policy.victim(&mut state)
+        policy.victim(&mut state, &mut way_state)
     }
 
     #[test]
@@ -325,10 +410,11 @@ mod tests {
     fn plru_victim_avoids_most_recent() {
         let policy = TreePlru;
         let mut state = policy.new_set(4, 0);
+        let mut ways = [(); 4];
         for w in 0..4 {
-            policy.on_fill(&mut state, w);
+            policy.on_fill(&mut state, &mut ways, w);
         }
-        let v = policy.victim(&mut state);
+        let v = policy.victim(&mut state, &mut ways);
         // The most recently touched way (3) is never the PLRU victim.
         assert_ne!(v, 3);
     }
@@ -337,8 +423,9 @@ mod tests {
     fn plru_single_way() {
         let policy = TreePlru;
         let mut state = policy.new_set(1, 0);
-        policy.on_fill(&mut state, 0);
-        assert_eq!(policy.victim(&mut state), 0);
+        let mut ways = [(); 1];
+        policy.on_fill(&mut state, &mut ways, 0);
+        assert_eq!(policy.victim(&mut state, &mut ways), 0);
     }
 
     #[test]
@@ -346,8 +433,9 @@ mod tests {
         let policy = RandomEvict::new(42);
         let mut s1 = policy.new_set(8, 3);
         let mut s2 = policy.new_set(8, 3);
-        let v1: Vec<usize> = (0..16).map(|_| policy.victim(&mut s1)).collect();
-        let v2: Vec<usize> = (0..16).map(|_| policy.victim(&mut s2)).collect();
+        let mut ways = [(); 8];
+        let v1: Vec<usize> = (0..16).map(|_| policy.victim(&mut s1, &mut ways)).collect();
+        let v2: Vec<usize> = (0..16).map(|_| policy.victim(&mut s2, &mut ways)).collect();
         assert_eq!(v1, v2);
         assert!(v1.iter().all(|&w| w < 8));
     }
@@ -357,8 +445,9 @@ mod tests {
         let policy = RandomEvict::new(42);
         let mut s1 = policy.new_set(8, 0);
         let mut s2 = policy.new_set(8, 1);
-        let v1: Vec<usize> = (0..32).map(|_| policy.victim(&mut s1)).collect();
-        let v2: Vec<usize> = (0..32).map(|_| policy.victim(&mut s2)).collect();
+        let mut ways = [(); 8];
+        let v1: Vec<usize> = (0..32).map(|_| policy.victim(&mut s1, &mut ways)).collect();
+        let v2: Vec<usize> = (0..32).map(|_| policy.victim(&mut s2, &mut ways)).collect();
         assert_ne!(v1, v2);
     }
 

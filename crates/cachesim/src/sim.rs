@@ -7,7 +7,7 @@ use crate::stats::{CacheStats, DsStats};
 use crate::trace::{DsId, MemRef, Trace};
 
 /// Final report of a simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimReport {
     /// Cache geometry the run used.
     pub config: CacheConfig,
@@ -74,11 +74,10 @@ impl<P: ReplacementPolicy> Simulator<P> {
         self.cache.access(r);
     }
 
-    /// Replay a slice of references.
+    /// Replay a slice of references (prefetching replay loop).
     pub fn run(&mut self, refs: &[MemRef]) {
-        for &r in refs {
-            self.access(r);
-        }
+        self.refs += refs.len() as u64;
+        self.cache.replay(refs);
     }
 
     /// Statistics accumulated so far (mid-run snapshotting; resident dirty
@@ -132,6 +131,79 @@ pub fn simulate_with_policy(trace: &Trace, config: CacheConfig, policy: PolicyKi
         PolicyKind::Plru => go(trace, config, TreePlru),
         PolicyKind::Random => go(trace, config, RandomEvict::default()),
     }
+}
+
+/// One (geometry, policy) replay job for [`simulate_many`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimJob {
+    /// Cache geometry for this job.
+    pub config: CacheConfig,
+    /// Replacement policy for this job.
+    pub policy: PolicyKind,
+}
+
+impl SimJob {
+    /// Job with the given geometry and LRU replacement (the paper's setup).
+    pub fn lru(config: CacheConfig) -> Self {
+        Self {
+            config,
+            policy: PolicyKind::Lru,
+        }
+    }
+}
+
+/// Replay one borrowed trace through every job in parallel.
+///
+/// The trace is shared by reference across `std::thread::scope` workers —
+/// never cloned — so fanning a multi-million-reference trace across a
+/// config × policy grid costs one trace, not N. Reports come back in job
+/// order and are bit-identical to running [`simulate_with_policy`] per
+/// job sequentially (each job owns its cache; no shared mutable state).
+///
+/// Worker count defaults to `available_parallelism`, capped at the job
+/// count. Use [`simulate_many_with_threads`] to pin it.
+pub fn simulate_many(trace: &Trace, jobs: &[SimJob]) -> Vec<SimReport> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    simulate_many_with_threads(trace, jobs, threads)
+}
+
+/// [`simulate_many`] with an explicit worker-thread cap (`threads == 1`
+/// degenerates to a plain sequential loop with no thread spawns).
+pub fn simulate_many_with_threads(
+    trace: &Trace,
+    jobs: &[SimJob],
+    threads: usize,
+) -> Vec<SimReport> {
+    let workers = threads.max(1).min(jobs.len().max(1));
+    let _span = dvf_obs::span("cachesim.par");
+    dvf_obs::add("cachesim.par.jobs", jobs.len() as u64);
+    dvf_obs::add("cachesim.par.workers", workers as u64);
+    if workers <= 1 || jobs.len() <= 1 {
+        return jobs
+            .iter()
+            .map(|j| simulate_with_policy(trace, j.config, j.policy))
+            .collect();
+    }
+    // Scoped-thread fan-out with ordered result slots (same pattern as
+    // dvf-core's `sweep::par_map`, which we cannot depend on from here
+    // without inverting the crate graph).
+    let chunk = jobs.len().div_ceil(workers);
+    let mut results: Vec<Option<SimReport>> = (0..jobs.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (slot_chunk, job_chunk) in results.chunks_mut(chunk).zip(jobs.chunks(chunk)) {
+            scope.spawn(move || {
+                for (slot, job) in slot_chunk.iter_mut().zip(job_chunk) {
+                    *slot = Some(simulate_with_policy(trace, job.config, job.policy));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every job slot filled by its worker"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -189,5 +261,39 @@ mod tests {
             // streaming: identical compulsory misses under every policy
             assert_eq!(r.total().misses, 1024 / 32);
         }
+    }
+
+    #[test]
+    fn simulate_many_matches_sequential_in_job_order() {
+        let t = streaming_trace(64 * 1024, 8);
+        let mut jobs = Vec::new();
+        for kind in PolicyKind::ALL {
+            jobs.push(SimJob {
+                config: table4::SMALL_VERIFICATION,
+                policy: kind,
+            });
+            jobs.push(SimJob {
+                config: table4::PROFILE_16KB,
+                policy: kind,
+            });
+        }
+        let par = simulate_many(&t, &jobs);
+        assert_eq!(par.len(), jobs.len());
+        for (job, report) in jobs.iter().zip(&par) {
+            let seq = simulate_with_policy(&t, job.config, job.policy);
+            assert_eq!(*report, seq, "{} on {}", job.policy.name(), job.config);
+        }
+    }
+
+    #[test]
+    fn simulate_many_handles_edge_thread_counts() {
+        let t = streaming_trace(4096, 16);
+        let jobs = [SimJob::lru(table4::SMALL_VERIFICATION)];
+        for threads in [0, 1, 7] {
+            let out = simulate_many_with_threads(&t, &jobs, threads);
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0].total().misses, 4096 / 32);
+        }
+        assert!(simulate_many(&t, &[]).is_empty());
     }
 }

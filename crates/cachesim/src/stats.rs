@@ -71,7 +71,7 @@ impl fmt::Display for DsStats {
 }
 
 /// Aggregate statistics for a full simulation, indexed by [`DsId`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CacheStats {
     per_ds: Vec<DsStats>,
 }

@@ -1,7 +1,8 @@
 //! Property-based tests for the cache simulator invariants.
 
 use dvf_cachesim::{
-    simulate, simulate_with_policy, AccessKind, CacheConfig, MemRef, PolicyKind, Simulator, Trace,
+    simulate, simulate_many_with_threads, simulate_with_policy, AccessKind, CacheConfig, MemRef,
+    PolicyKind, SimJob, Simulator, Trace,
 };
 use proptest::prelude::*;
 
@@ -106,6 +107,29 @@ proptest! {
         let r1 = simulate(&trace, cfg);
         let r2 = simulate(&back, cfg);
         prop_assert_eq!(r1.total(), r2.total());
+    }
+
+    /// Parallel fan-out is bit-identical to per-job sequential replay for
+    /// every policy, any geometry mix, and any worker count.
+    #[test]
+    fn simulate_many_matches_sequential(
+        cfg_a in arb_config(),
+        cfg_b in arb_config(),
+        trace in arb_trace(200),
+        threads in 1usize..6,
+    ) {
+        let jobs: Vec<SimJob> = PolicyKind::ALL
+            .iter()
+            .flat_map(|&policy| {
+                [SimJob { config: cfg_a, policy }, SimJob { config: cfg_b, policy }]
+            })
+            .collect();
+        let par = simulate_many_with_threads(&trace, &jobs, threads);
+        prop_assert_eq!(par.len(), jobs.len());
+        for (job, report) in jobs.iter().zip(&par) {
+            let seq = simulate_with_policy(&trace, job.config, job.policy);
+            prop_assert_eq!(report, &seq);
+        }
     }
 }
 

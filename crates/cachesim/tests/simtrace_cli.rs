@@ -1,0 +1,159 @@
+//! Integration tests for the `simtrace` binary, driving the real
+//! executable via `CARGO_BIN_EXE_simtrace`.
+
+use dvf_cachesim::{
+    simulate_many_with_threads, simulate_with_policy, AccessKind, MemRef, PolicyKind, SimJob, Trace,
+};
+use std::process::Command;
+
+/// A small mixed trace over two structures.
+fn sample_trace() -> Trace {
+    let mut t = Trace::new();
+    let a = t.registry.register("A");
+    let b = t.registry.register("B");
+    for i in 0..2000u64 {
+        t.push(MemRef::new(a, i * 8, AccessKind::Read));
+        if i % 3 == 0 {
+            t.push(MemRef::new(b, (i % 128) * 8, AccessKind::Write));
+        }
+    }
+    t
+}
+
+fn simtrace(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_simtrace"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn write_temp(name: &str, bytes: &[u8]) -> TempFile {
+    let path = std::env::temp_dir().join(format!("simtrace-test-{}-{name}", std::process::id()));
+    std::fs::write(&path, bytes).expect("write trace");
+    TempFile(path)
+}
+
+struct TempFile(std::path::PathBuf);
+
+impl TempFile {
+    fn as_str(&self) -> &str {
+        self.0.to_str().unwrap()
+    }
+}
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn text_and_binary_replay_agree() {
+    let trace = sample_trace();
+    let text = write_temp("t.trace", trace.to_text().as_bytes());
+    let mut bin_bytes = Vec::new();
+    dvf_cachesim::binio::write_binary(&trace, &mut bin_bytes).unwrap();
+    let bin = write_temp("t.dvft", &bin_bytes);
+
+    let args = [
+        "--assoc", "4", "--sets", "64", "--line", "32", "--json", "--quiet",
+    ];
+    let from_text = simtrace(&[&[text.as_str()], &args[..]].concat());
+    let from_bin = simtrace(&[&[bin.as_str()], &args[..]].concat());
+    assert!(from_text.status.success(), "{from_text:?}");
+    assert!(from_bin.status.success(), "{from_bin:?}");
+    // The binary path streams chunk-by-chunk from disk; results must be
+    // byte-identical to the in-memory text replay.
+    assert_eq!(from_text.stdout, from_bin.stdout);
+
+    let doc = String::from_utf8(from_bin.stdout).unwrap();
+    let expected = simulate_with_policy(
+        &trace,
+        dvf_cachesim::CacheConfig::new(4, 64, 32).unwrap(),
+        PolicyKind::Lru,
+    );
+    assert!(doc.contains("\"schema\":\"dvf-cachesim/1\""), "{doc}");
+    assert!(doc.contains(&format!("\"refs\":{}", trace.len())), "{doc}");
+    assert!(
+        doc.contains(&format!(
+            "\"mem_accesses\":{}",
+            expected.total().mem_accesses()
+        )),
+        "{doc}"
+    );
+}
+
+#[test]
+fn multi_config_jobs_reports_every_geometry() {
+    let trace = sample_trace();
+    let text = write_temp("m.trace", trace.to_text().as_bytes());
+
+    let out = simtrace(&[
+        text.as_str(),
+        "--assoc",
+        "4",
+        "--sets",
+        "64",
+        "--line",
+        "32",
+        "--config",
+        "2:16:32",
+        "--config",
+        "8:128:64",
+        "--jobs",
+        "2",
+        "--json",
+        "--quiet",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let doc = String::from_utf8(out.stdout).unwrap();
+    assert!(doc.contains("\"schema\":\"dvf-cachesim/1\""), "{doc}");
+    assert!(doc.contains("\"jobs\":2"), "{doc}");
+    assert!(doc.contains("\"runs\":["), "{doc}");
+
+    // One run per geometry: the default plus both --config specs, in order.
+    for cap in [64 * 4 * 32, 16 * 2 * 32, 128 * 8 * 64] {
+        assert!(doc.contains(&format!("\"capacity_bytes\":{cap}")), "{doc}");
+    }
+
+    // Totals must match the library fan-out exactly.
+    let jobs: Vec<SimJob> = [(4, 64, 32), (2, 16, 32), (8, 128, 64)]
+        .iter()
+        .map(|&(a, s, l)| SimJob::lru(dvf_cachesim::CacheConfig::new(a, s, l).unwrap()))
+        .collect();
+    for report in simulate_many_with_threads(&trace, &jobs, 2) {
+        assert!(
+            doc.contains(&format!(
+                "\"mem_accesses\":{}",
+                report.total().mem_accesses()
+            )),
+            "missing mem_accesses for {}: {doc}",
+            report.config
+        );
+    }
+}
+
+#[test]
+fn bad_config_spec_is_a_usage_error() {
+    let trace = sample_trace();
+    let text = write_temp("b.trace", trace.to_text().as_bytes());
+    for spec in ["4:64", "nope", "3:63:32"] {
+        let out = simtrace(&[text.as_str(), "--config", spec]);
+        assert_eq!(out.status.code(), Some(2), "spec `{spec}` should fail");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("bad --config"), "{stderr}");
+    }
+}
+
+#[test]
+fn truncated_binary_trace_fails_cleanly() {
+    let trace = sample_trace();
+    let mut bin_bytes = Vec::new();
+    dvf_cachesim::binio::write_binary(&trace, &mut bin_bytes).unwrap();
+    bin_bytes.truncate(bin_bytes.len() - 5);
+    let bin = write_temp("trunc.dvft", &bin_bytes);
+    let out = simtrace(&[bin.as_str(), "--quiet"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("truncated"), "{stderr}");
+}

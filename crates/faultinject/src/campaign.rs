@@ -105,6 +105,77 @@ fn classify(output: f64, golden: f64, rel_tol: f64) -> Outcome {
 }
 
 // ---------------------------------------------------------------------
+// Trial scheduling
+// ---------------------------------------------------------------------
+
+/// SplitMix64 finalizer: scrambles a 64-bit value into an avalanche mix.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Independent RNG seed for one trial, derived from the campaign seed,
+/// the target-structure index and the trial index.
+///
+/// Every trial owning its own `StdRng` (instead of all trials advancing
+/// one shared stream) is what makes parallel campaigns **bit-identical**
+/// to sequential ones: trial `i`'s draws no longer depend on how many
+/// draws trials `0..i` made or on which worker ran them.
+fn trial_seed(campaign_seed: u64, structure: u64, trial: u32) -> u64 {
+    mix64(
+        campaign_seed
+            .wrapping_add(mix64(structure.wrapping_add(0x9E37_79B9_7F4A_7C15)))
+            .wrapping_add(mix64(trial as u64 ^ 0xD1B5_4A32_D192_ED03)),
+    )
+}
+
+/// Run `trials` injections for one structure across up to `jobs` scoped
+/// threads, preserving trial order. `f` receives the trial's private RNG;
+/// `jobs == 1` degenerates to a plain sequential loop, and any `jobs`
+/// value yields identical outcomes thanks to [`trial_seed`].
+fn run_trials<F>(trials: u32, jobs: usize, campaign_seed: u64, structure: u64, f: F) -> Vec<Outcome>
+where
+    F: Fn(&mut StdRng) -> Outcome + Sync,
+{
+    let run_one = |t: u32| {
+        let mut rng = StdRng::seed_from_u64(trial_seed(campaign_seed, structure, t));
+        f(&mut rng)
+    };
+    let workers = jobs.max(1).min(trials.max(1) as usize);
+    if workers <= 1 {
+        return (0..trials).map(run_one).collect();
+    }
+    if dvf_obs::enabled() {
+        dvf_obs::add("fi.par.trials", trials as u64);
+        dvf_obs::add("fi.par.workers", workers as u64);
+    }
+    let chunk = (trials as usize).div_ceil(workers);
+    let mut outcomes: Vec<Option<Outcome>> = vec![None; trials as usize];
+    std::thread::scope(|scope| {
+        for (c, slot_chunk) in outcomes.chunks_mut(chunk).enumerate() {
+            let run_one = &run_one;
+            scope.spawn(move || {
+                for (i, slot) in slot_chunk.iter_mut().enumerate() {
+                    *slot = Some(run_one((c * chunk + i) as u32));
+                }
+            });
+        }
+    });
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("every trial slot filled by its worker"))
+        .collect()
+}
+
+/// Worker count for the `*_campaign_par` entry points: one per core.
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+// ---------------------------------------------------------------------
 // VM
 // ---------------------------------------------------------------------
 
@@ -137,13 +208,19 @@ fn vm_with_flip(params: VmParams, target: usize, elem: usize, bit: u32, tau: usi
 
 /// Fault-injection campaign over VM's `A`, `B`, `C` (paper Table II).
 pub fn vm_campaign(params: VmParams, trials: u32, seed: u64) -> Campaign {
+    vm_campaign_par(params, trials, seed, 1)
+}
+
+/// [`vm_campaign`] with trials fanned across up to `jobs` threads
+/// (`0` = one per core); tallies are bit-identical for every `jobs`.
+pub fn vm_campaign_par(params: VmParams, trials: u32, seed: u64, jobs: usize) -> Campaign {
     let _span = dvf_obs::span("campaign:VM");
+    let jobs = if jobs == 0 { default_jobs() } else { jobs };
     let golden = dvf_kernels::vm::run_plain(params).checksum;
-    let mut rng = StdRng::seed_from_u64(seed);
     let m = params.iterations();
     let mut results = Vec::new();
     for (t, name) in ["A", "B", "C"].iter().enumerate() {
-        let outcomes = (0..trials).map(|_| {
+        let outcomes = run_trials(trials, jobs, seed, t as u64, |rng| {
             let elem = rng.gen_range(0..params.n);
             let bit = rng.gen_range(0..64);
             let tau = rng.gen_range(0..=m);
@@ -225,8 +302,14 @@ fn cg_with_flip(params: CgParams, target: usize, elem: usize, bit: u32, tau: usi
 /// wrong answer, while a low-order flip in the operator `A` merely
 /// perturbs the system being solved — usually below tolerance.
 pub fn cg_campaign(params: CgParams, trials: u32, seed: u64) -> Campaign {
+    cg_campaign_par(params, trials, seed, 1)
+}
+
+/// [`cg_campaign`] with trials fanned across up to `jobs` threads
+/// (`0` = one per core); tallies are bit-identical for every `jobs`.
+pub fn cg_campaign_par(params: CgParams, trials: u32, seed: u64, jobs: usize) -> Campaign {
     let _span = dvf_obs::span("campaign:CG");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let jobs = if jobs == 0 { default_jobs() } else { jobs };
     let n = params.n;
     // Golden run fixes the injection window: flips must land while the
     // solver is still iterating.
@@ -235,7 +318,7 @@ pub fn cg_campaign(params: CgParams, trials: u32, seed: u64) -> Campaign {
     let mut results = Vec::new();
     for (t, name) in ["A", "x", "p", "r"].iter().enumerate() {
         let len = if t == 0 { n * n } else { n };
-        let outcomes = (0..trials).map(|_| {
+        let outcomes = run_trials(trials, jobs, seed, t as u64, |rng| {
             let elem = rng.gen_range(0..len);
             let bit = rng.gen_range(0..64);
             let tau = rng.gen_range(0..window);
@@ -307,15 +390,21 @@ fn mc_with_flip(params: McParams, target: usize, elem: usize, bit: u32, tau: usi
 
 /// Fault-injection campaign over MC's `G` and `E`.
 pub fn mc_campaign(params: McParams, trials: u32, seed: u64) -> Campaign {
+    mc_campaign_par(params, trials, seed, 1)
+}
+
+/// [`mc_campaign`] with trials fanned across up to `jobs` threads
+/// (`0` = one per core); tallies are bit-identical for every `jobs`.
+pub fn mc_campaign_par(params: McParams, trials: u32, seed: u64, jobs: usize) -> Campaign {
     let _span = dvf_obs::span("campaign:MC");
+    let jobs = if jobs == 0 { default_jobs() } else { jobs };
     let golden = mc_with_flip(params, 0, 0, 0, usize::MAX); // flip never fires
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut results = Vec::new();
     for (t, name, len) in [
         (0usize, "G", params.grid_points),
         (1, "E", params.xs_entries),
     ] {
-        let outcomes = (0..trials).map(|_| {
+        let outcomes = run_trials(trials, jobs, seed, t as u64, |rng| {
             let elem = rng.gen_range(0..len);
             let bit = rng.gen_range(0..64);
             let tau = rng.gen_range(0..params.lookups);
@@ -400,20 +489,24 @@ fn mul(a: dvf_kernels::fft::Complex, b: dvf_kernels::fft::Complex) -> dvf_kernel
 /// SDC — there is no convergence loop to absorb or flag it. The
 /// interesting contrast with CG.
 pub fn ft_campaign(n: usize, trials: u32, seed: u64) -> Campaign {
+    ft_campaign_par(n, trials, seed, 1)
+}
+
+/// [`ft_campaign`] with trials fanned across up to `jobs` threads
+/// (`0` = one per core); tallies are bit-identical for every `jobs`.
+pub fn ft_campaign_par(n: usize, trials: u32, seed: u64, jobs: usize) -> Campaign {
     let _span = dvf_obs::span("campaign:FT");
+    let jobs = if jobs == 0 { default_jobs() } else { jobs };
     assert!(n.is_power_of_two());
     let golden = ft_with_flip(n, 0, 0, true, usize::MAX);
-    let mut rng = StdRng::seed_from_u64(seed);
     let passes = n.trailing_zeros() as usize + 1;
-    let outcomes: Vec<Outcome> = (0..trials)
-        .map(|_| {
-            let elem = rng.gen_range(0..n);
-            let bit = rng.gen_range(0..64);
-            let re_part = rng.gen_bool(0.5);
-            let tau = rng.gen_range(0..passes);
-            classify(ft_with_flip(n, elem, bit, re_part, tau), golden, 1e-12)
-        })
-        .collect();
+    let outcomes = run_trials(trials, jobs, seed, 0, |rng| {
+        let elem = rng.gen_range(0..n);
+        let bit = rng.gen_range(0..64);
+        let re_part = rng.gen_bool(0.5);
+        let tau = rng.gen_range(0..passes);
+        classify(ft_with_flip(n, elem, bit, re_part, tau), golden, 1e-12)
+    });
     Campaign {
         kernel: "FT",
         results: vec![CampaignResult::tally("X", outcomes)],
@@ -448,6 +541,49 @@ mod tests {
         let b = vm_campaign(small_vm(), 30, 11);
         for (x, y) in a.results.iter().zip(&b.results) {
             assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn parallel_campaigns_match_sequential_tallies() {
+        // Bit-identical, not statistically similar: per-trial seeds make
+        // the outcome of trial i independent of scheduling.
+        for jobs in [2, 3, 8] {
+            let seq = vm_campaign(small_vm(), 30, 11);
+            let par = vm_campaign_par(small_vm(), 30, 11, jobs);
+            assert_eq!(seq.results, par.results, "VM with {jobs} jobs");
+        }
+        let mc = McParams {
+            grid_points: 1000,
+            xs_entries: 500,
+            lookups: 100,
+            seed: 1,
+        };
+        assert_eq!(
+            mc_campaign(mc, 24, 5).results,
+            mc_campaign_par(mc, 24, 5, 4).results
+        );
+        assert_eq!(
+            ft_campaign(128, 24, 7).results,
+            ft_campaign_par(128, 24, 7, 4).results
+        );
+        let cg = CgParams::new(32, 200, 1e-10);
+        assert_eq!(
+            cg_campaign(cg, 12, 3).results,
+            cg_campaign_par(cg, 12, 3, 4).results
+        );
+    }
+
+    #[test]
+    fn trial_seeds_are_unique_across_structures_and_trials() {
+        let mut seen = std::collections::HashSet::new();
+        for structure in 0..4u64 {
+            for trial in 0..256u32 {
+                assert!(
+                    seen.insert(trial_seed(42, structure, trial)),
+                    "seed collision at ({structure}, {trial})"
+                );
+            }
         }
     }
 

@@ -14,16 +14,99 @@
 //! computation parts of the algorithms, and ignore initialization and
 //! finalization phases".
 
-use dvf_cachesim::{AccessKind, DsId, MemRef, Trace};
+use dvf_cachesim::{AccessKind, DsId, DsRegistry, MemRef, ReplacementPolicy, Simulator, Trace};
 use std::cell::RefCell;
 use std::rc::Rc;
 
+/// Anything that can consume a recorded reference stream.
+///
+/// Implemented by [`Trace`] (buffer everything — the original behavior),
+/// by [`Simulator`] (replay on the fly, so a kernel's references go
+/// straight through the cache model without ever materializing a
+/// `Vec<MemRef>`), and by [`Tee`] (fan one stream out to several sinks,
+/// e.g. simulate two geometries in one kernel run).
+pub trait TraceSink {
+    /// Consume one reference.
+    fn emit(&mut self, r: MemRef);
+}
+
+impl TraceSink for Trace {
+    fn emit(&mut self, r: MemRef) {
+        self.push(r);
+    }
+}
+
+impl<P: ReplacementPolicy> TraceSink for Simulator<P> {
+    fn emit(&mut self, r: MemRef) {
+        self.access(r);
+    }
+}
+
+/// Fan-out sink: every emitted reference is forwarded to all children.
+#[derive(Default)]
+pub struct Tee {
+    sinks: Vec<Rc<RefCell<dyn TraceSink>>>,
+}
+
+impl Tee {
+    /// Empty tee (add sinks with [`push`](Tee::push)).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a sink; keep your own `Rc` clone to read results back later.
+    pub fn push(&mut self, sink: Rc<RefCell<dyn TraceSink>>) {
+        self.sinks.push(sink);
+    }
+
+    /// Number of attached sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether no sinks are attached.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl TraceSink for Tee {
+    fn emit(&mut self, r: MemRef) {
+        for sink in &self.sinks {
+            sink.borrow_mut().emit(r);
+        }
+    }
+}
+
+impl std::fmt::Debug for Tee {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tee").field("sinks", &self.len()).finish()
+    }
+}
+
 /// Shared recording state.
-#[derive(Debug, Default)]
+#[derive(Default)]
 struct Shared {
     trace: Trace,
     enabled: bool,
     next_base: u64,
+    /// Streaming destination; when set, references bypass `trace.refs`
+    /// (the registry in `trace` still names the tracked buffers).
+    sink: Option<Rc<RefCell<dyn TraceSink>>>,
+    /// References delivered to `sink` so far.
+    emitted: u64,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("trace", &self.trace)
+            .field("enabled", &self.enabled)
+            .field("next_base", &self.next_base)
+            .field("streaming", &self.sink.is_some())
+            .field("emitted", &self.emitted)
+            .finish()
+    }
 }
 
 /// Collects the reference stream of one kernel execution.
@@ -41,6 +124,45 @@ impl Recorder {
     /// initialization, as the paper does).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// New recorder that streams every recorded reference into `sink`
+    /// instead of buffering a [`Trace`], bounding memory for large runs.
+    ///
+    /// Keep a clone of the sink `Rc` to recover results afterwards:
+    ///
+    /// ```
+    /// use dvf_cachesim::{CacheConfig, Simulator};
+    /// use dvf_kernels::recorder::Recorder;
+    /// use std::cell::RefCell;
+    /// use std::rc::Rc;
+    ///
+    /// let sim = Rc::new(RefCell::new(Simulator::new(
+    ///     CacheConfig::new(4, 64, 32).unwrap(),
+    /// )));
+    /// let rec = Recorder::streaming(sim.clone());
+    /// rec.set_enabled(true);
+    /// let mut buf = rec.buffer::<f64>("A", 8);
+    /// buf.set(0, 1.0);
+    /// drop((rec, buf)); // release the recorder's sink handle
+    /// let report = Rc::try_unwrap(sim).ok().unwrap().into_inner().finish();
+    /// assert_eq!(report.refs, 1);
+    /// ```
+    pub fn streaming(sink: Rc<RefCell<impl TraceSink + 'static>>) -> Self {
+        let rec = Self::new();
+        rec.shared.borrow_mut().sink = Some(sink);
+        rec
+    }
+
+    /// Number of references streamed to the sink so far (0 when buffering).
+    pub fn emitted(&self) -> u64 {
+        self.shared.borrow().emitted
+    }
+
+    /// Names registered by tracked buffers so far (needed to label sink
+    /// results in streaming mode, where `into_trace` would be empty).
+    pub fn registry(&self) -> DsRegistry {
+        self.shared.borrow().trace.registry.clone()
     }
 
     /// Turn recording on or off.
@@ -142,9 +264,22 @@ impl<T: Copy> TrackedBuffer<T> {
     #[inline]
     fn record(&self, index: usize, kind: AccessKind) {
         let mut shared = self.shared.borrow_mut();
-        if shared.enabled {
-            let addr = self.base + index as u64 * self.elem;
-            shared.trace.push(MemRef::new(self.ds, addr, kind));
+        if !shared.enabled {
+            return;
+        }
+        let addr = self.base + index as u64 * self.elem;
+        let r = MemRef::new(self.ds, addr, kind);
+        match &shared.sink {
+            Some(sink) => {
+                // Clone the sink handle and release the recorder borrow
+                // before emitting, so a sink is free to touch the recorder
+                // (e.g. a diagnostic sink reading `len`).
+                let sink = Rc::clone(sink);
+                shared.emitted += 1;
+                drop(shared);
+                sink.borrow_mut().emit(r);
+            }
+            None => shared.trace.push(r),
         }
     }
 
@@ -251,5 +386,79 @@ mod tests {
         let a = rec.buffer::<u8>("A", 1);
         let b = rec.buffer::<u8>("B", 1);
         assert_ne!(a.ds(), b.ds());
+    }
+
+    #[test]
+    fn streaming_into_simulator_matches_buffered_replay() {
+        use dvf_cachesim::{simulate, CacheConfig, Simulator};
+
+        fn kernel(rec: &Recorder) {
+            rec.set_enabled(true);
+            let mut a = rec.buffer::<f64>("A", 64);
+            let b = rec.buffer::<f64>("B", 64);
+            for i in 0..64 {
+                let v = b.get(i);
+                a.update(i, |x| x + v);
+            }
+        }
+
+        let cfg = CacheConfig::new(4, 64, 32).unwrap();
+
+        // Buffered: record the whole trace, then replay.
+        let buffered = Recorder::new();
+        kernel(&buffered);
+        let trace = buffered.into_trace();
+        let expected = simulate(&trace, cfg);
+
+        // Streaming: references hit the simulator as the kernel runs.
+        let sim = Rc::new(RefCell::new(Simulator::new(cfg)));
+        let streamed = Recorder::streaming(sim.clone());
+        kernel(&streamed);
+        assert_eq!(streamed.emitted(), trace.len() as u64);
+        assert!(streamed.is_empty(), "streaming must not buffer refs");
+        let registry = streamed.registry();
+        drop(streamed);
+        let Ok(sim) = Rc::try_unwrap(sim) else {
+            panic!("sole owner");
+        };
+        let report = sim.into_inner();
+        let report = report.finish();
+
+        assert_eq!(report.refs, expected.refs);
+        assert_eq!(report.stats(), expected.stats());
+        assert_eq!(registry.name(trace.refs[0].ds), "B");
+    }
+
+    #[test]
+    fn tee_duplicates_the_stream() {
+        use dvf_cachesim::{CacheConfig, Simulator};
+
+        let small = Rc::new(RefCell::new(Simulator::new(
+            CacheConfig::new(2, 4, 32).unwrap(),
+        )));
+        let big = Rc::new(RefCell::new(Simulator::new(
+            CacheConfig::new(4, 64, 32).unwrap(),
+        )));
+        let mut tee = Tee::new();
+        tee.push(small.clone());
+        tee.push(big.clone());
+        assert_eq!(tee.len(), 2);
+
+        let rec = Recorder::streaming(Rc::new(RefCell::new(tee)));
+        rec.set_enabled(true);
+        let mut buf = rec.buffer::<u64>("A", 512);
+        for i in 0..512 {
+            buf.set(i, i as u64);
+        }
+        drop((rec, buf));
+
+        let small = Rc::try_unwrap(small).ok().unwrap().into_inner().finish();
+        let big = Rc::try_unwrap(big).ok().unwrap().into_inner().finish();
+        assert_eq!(small.refs, 512);
+        assert_eq!(big.refs, 512);
+        // 512 × 8 B = 4 KiB streams through both geometries: identical
+        // compulsory misses, but only the larger cache holds every line.
+        assert_eq!(small.total().misses, big.total().misses);
+        assert!(small.total().writebacks > 0);
     }
 }

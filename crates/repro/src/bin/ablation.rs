@@ -4,10 +4,16 @@
 //! The paper's models assume LRU. This ablation replays each verification
 //! trace under LRU, FIFO, tree-PLRU and random replacement and reports the
 //! per-policy main-memory loads, quantifying how far the LRU assumption
-//! drifts on other policies.
+//! drifts on other policies. Traces are recorded in parallel (one worker
+//! per kernel), and each trace fans across all four policies with
+//! `simulate_many`.
 
-use dvf_cachesim::{config::table4, simulate_with_policy, PolicyKind};
+use dvf_cachesim::{config::table4, simulate_many, PolicyKind, SimJob, Trace};
+use dvf_core::sweep::par_map;
 use dvf_kernels::{barnes_hut, fft, mc, mg, vm, Recorder};
+
+/// A labelled kernel-trace recorder.
+type TraceRecorder = (&'static str, fn() -> Trace);
 
 fn main() {
     println!("Ablation — replacement-policy sensitivity of the verification traces");
@@ -17,48 +23,52 @@ fn main() {
         "kernel", "refs", "lru", "fifo", "plru", "random"
     );
 
-    let traces: Vec<(&str, dvf_cachesim::Trace)> = vec![
-        ("VM", {
+    let recorders: [TraceRecorder; 5] = [
+        ("VM", || {
             let rec = Recorder::new();
             vm::run_traced(vm::VmParams::verification(), &rec);
             rec.into_trace()
         }),
-        ("NB", {
+        ("NB", || {
             let rec = Recorder::new();
             barnes_hut::run_traced(barnes_hut::NbParams::verification(), &rec);
             rec.into_trace()
         }),
-        ("MG", {
+        ("MG", || {
             let rec = Recorder::new();
             mg::run_traced(mg::MgParams::verification(), &rec);
             rec.into_trace()
         }),
-        ("FT", {
+        ("FT", || {
             let rec = Recorder::new();
             fft::run_traced(fft::FtParams::class_s(), &rec);
             rec.into_trace()
         }),
-        ("MC", {
+        ("MC", || {
             let rec = Recorder::new();
             mc::run_traced(mc::McParams::verification(), &rec);
             rec.into_trace()
         }),
     ];
+    let traces: Vec<(&str, Trace)> = par_map(&recorders, |(name, record)| (*name, record()));
 
+    let jobs: Vec<SimJob> = PolicyKind::ALL
+        .iter()
+        .map(|&policy| SimJob {
+            config: table4::SMALL_VERIFICATION,
+            policy,
+        })
+        .collect();
     for (name, trace) in &traces {
-        let mut misses = Vec::new();
-        for kind in PolicyKind::ALL {
-            let report = simulate_with_policy(trace, table4::SMALL_VERIFICATION, kind);
-            misses.push(report.total().misses);
-        }
+        let reports = simulate_many(trace, &jobs);
         println!(
             "{:<8} {:>12} {:>12} {:>12} {:>12} {:>12}",
             name,
             trace.len(),
-            misses[0],
-            misses[1],
-            misses[2],
-            misses[3]
+            reports[0].total().misses,
+            reports[1].total().misses,
+            reports[2].total().misses,
+            reports[3].total().misses
         );
     }
 

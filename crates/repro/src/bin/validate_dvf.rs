@@ -5,12 +5,82 @@
 //! *corrupted main-memory loads* under a uniform DRAM error process
 //! (deterministic, from one simulation pass — see
 //! `dvf_repro::validation`), next to DVF itself, and reports whether the
-//! two vulnerability orders agree.
+//! two vulnerability orders agree. Kernel traces are recorded across
+//! worker threads; printing stays in kernel order.
 
 use dvf_cachesim::config::table4;
+use dvf_cachesim::Trace;
 use dvf_core::fit::{EccScheme, FitRate};
+use dvf_core::sweep::par_map;
 use dvf_kernels::{barnes_hut, cg, fft, mc, mg, vm, Recorder};
 use dvf_repro::validation::{compare_vulnerability, rankings_agree};
+
+/// Record one kernel's verification trace plus its structure footprints.
+type TraceCase = (&'static str, Trace, Vec<(&'static str, u64)>);
+
+fn record_all() -> Vec<TraceCase> {
+    let cases: [fn() -> TraceCase; 6] = [
+        || {
+            let params = vm::VmParams::verification();
+            let rec = Recorder::new();
+            vm::run_traced(params, &rec);
+            let m = params.iterations() as u64;
+            (
+                "VM",
+                rec.into_trace(),
+                vec![("A", 8 * params.n as u64), ("B", 8 * m), ("C", 8 * m)],
+            )
+        },
+        || {
+            let params = cg::CgParams::verification();
+            let rec = Recorder::new();
+            cg::run_traced(params, &rec);
+            let n = params.n as u64;
+            (
+                "CG",
+                rec.into_trace(),
+                vec![("A", 8 * n * n), ("x", 8 * n), ("p", 8 * n), ("r", 8 * n)],
+            )
+        },
+        || {
+            let params = barnes_hut::NbParams::verification();
+            let rec = Recorder::new();
+            let out = barnes_hut::run_traced(params, &rec);
+            (
+                "NB",
+                rec.into_trace(),
+                vec![
+                    ("T", 32 * out.tree_nodes as u64),
+                    ("P", 32 * params.bodies as u64),
+                ],
+            )
+        },
+        || {
+            let params = mg::MgParams::verification();
+            let rec = Recorder::new();
+            mg::run_traced(params, &rec);
+            let n = params.n as u64;
+            ("MG", rec.into_trace(), vec![("R", 16 * n * n * n)])
+        },
+        || {
+            let params = fft::FtParams::class_s();
+            let rec = Recorder::new();
+            fft::run_traced(params, &rec);
+            ("FT", rec.into_trace(), vec![("X", 16 * params.n as u64)])
+        },
+        || {
+            let params = mc::McParams::verification();
+            let rec = Recorder::new();
+            mc::run_traced(params, &rec);
+            (
+                "MC",
+                rec.into_trace(),
+                vec![("G", params.grid_bytes()), ("E", params.xs_bytes())],
+            )
+        },
+    ];
+    par_map(&cases, |record| record())
+}
 
 fn main() {
     println!("DVF vs expected corrupted loads (uniform DRAM error process)");
@@ -19,7 +89,7 @@ fn main() {
     let cfg = table4::SMALL_VERIFICATION;
 
     let mut all_agree = true;
-    let mut run = |kernel: &str, trace: dvf_cachesim::Trace, sizes: Vec<(&str, u64)>| {
+    for (kernel, trace, sizes) in record_all() {
         let rows = compare_vulnerability(&trace, cfg, fit, 1.0, &sizes);
         let agree = rankings_agree(&rows);
         all_agree &= agree;
@@ -38,65 +108,6 @@ fn main() {
             );
         }
         println!();
-    };
-
-    {
-        let params = vm::VmParams::verification();
-        let rec = Recorder::new();
-        vm::run_traced(params, &rec);
-        let m = params.iterations() as u64;
-        run(
-            "VM",
-            rec.into_trace(),
-            vec![("A", 8 * params.n as u64), ("B", 8 * m), ("C", 8 * m)],
-        );
-    }
-    {
-        let params = cg::CgParams::verification();
-        let rec = Recorder::new();
-        cg::run_traced(params, &rec);
-        let n = params.n as u64;
-        run(
-            "CG",
-            rec.into_trace(),
-            vec![("A", 8 * n * n), ("x", 8 * n), ("p", 8 * n), ("r", 8 * n)],
-        );
-    }
-    {
-        let params = barnes_hut::NbParams::verification();
-        let rec = Recorder::new();
-        let out = barnes_hut::run_traced(params, &rec);
-        run(
-            "NB",
-            rec.into_trace(),
-            vec![
-                ("T", 32 * out.tree_nodes as u64),
-                ("P", 32 * params.bodies as u64),
-            ],
-        );
-    }
-    {
-        let params = mg::MgParams::verification();
-        let rec = Recorder::new();
-        mg::run_traced(params, &rec);
-        let n = params.n as u64;
-        run("MG", rec.into_trace(), vec![("R", 16 * n * n * n)]);
-    }
-    {
-        let params = fft::FtParams::class_s();
-        let rec = Recorder::new();
-        fft::run_traced(params, &rec);
-        run("FT", rec.into_trace(), vec![("X", 16 * params.n as u64)]);
-    }
-    {
-        let params = mc::McParams::verification();
-        let rec = Recorder::new();
-        mc::run_traced(params, &rec);
-        run(
-            "MC",
-            rec.into_trace(),
-            vec![("G", params.grid_bytes()), ("E", params.xs_bytes())],
-        );
     }
 
     println!(

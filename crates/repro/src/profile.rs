@@ -63,90 +63,82 @@ fn rows_for(profile: &KernelProfile, machine: &MachineModel) -> Vec<ProfileRow> 
     rows
 }
 
+fn profile_vm() -> KernelProfile {
+    let params = vm::VmParams::profiling();
+    let out = vm::run_plain(params);
+    KernelProfile {
+        kernel: "VM",
+        flops: out.flops,
+        model: Box::new(move |cfg| models::vm_model(params, cfg)),
+    }
+}
+
+fn profile_cg() -> KernelProfile {
+    let params = cg::CgParams::profiling();
+    let (out, _) = cg::run_plain(params);
+    let (n, iters) = (params.n as u64, out.iterations as u64);
+    KernelProfile {
+        kernel: "CG",
+        flops: out.flops,
+        model: Box::new(move |cfg| models::cg_model(n, iters, cfg)),
+    }
+}
+
+fn profile_nb() -> KernelProfile {
+    let out = barnes_hut::run_plain(barnes_hut::NbParams::profiling());
+    let flops = out.flops;
+    KernelProfile {
+        kernel: "NB",
+        flops,
+        model: Box::new(move |cfg| models::nb_model(&out, cfg)),
+    }
+}
+
+fn profile_mg() -> KernelProfile {
+    let params = mg::MgParams::profiling();
+    let out = mg::run_plain(params);
+    KernelProfile {
+        kernel: "MG",
+        flops: out.flops,
+        model: Box::new(move |cfg| models::mg_model(params, cfg)),
+    }
+}
+
+fn profile_ft() -> KernelProfile {
+    let params = fft::FtParams::class_s();
+    let flops = 5.0 * (params.n as f64) * (params.n as f64).log2() * params.repeats as f64;
+    KernelProfile {
+        kernel: "FT",
+        flops,
+        model: Box::new(move |cfg| models::ft_model(params, cfg)),
+    }
+}
+
+fn profile_mc() -> KernelProfile {
+    let params = mc::McParams::profiling();
+    let out = mc::run_plain(params);
+    KernelProfile {
+        kernel: "MC",
+        flops: out.flops,
+        model: Box::new(move |cfg| models::mc_model(params, cfg)),
+    }
+}
+
 /// Profile all six kernels at the Table VI inputs (Fig. 5).
 ///
 /// Runs each kernel once (untraced) to obtain measured flops and the
 /// model parameters the paper takes from application output (NB's `k` and
-/// `iter`, CG's iteration count).
+/// `iter`, CG's iteration count). The kernel runs fan across worker
+/// threads; row order (kernel, then cache) is preserved.
 pub fn profile_all() -> Vec<ProfileRow> {
     let machine = MachineModel::default();
-    let mut rows = Vec::new();
-
-    // VM
-    let vm_params = vm::VmParams::profiling();
-    let vm_out = vm::run_plain(vm_params);
-    rows.extend(rows_for(
-        &KernelProfile {
-            kernel: "VM",
-            flops: vm_out.flops,
-            model: Box::new(move |cfg| models::vm_model(vm_params, cfg)),
-        },
-        &machine,
-    ));
-
-    // CG
-    let cg_params = cg::CgParams::profiling();
-    let (cg_out, _) = cg::run_plain(cg_params);
-    let (n, iters) = (cg_params.n as u64, cg_out.iterations as u64);
-    rows.extend(rows_for(
-        &KernelProfile {
-            kernel: "CG",
-            flops: cg_out.flops,
-            model: Box::new(move |cfg| models::cg_model(n, iters, cfg)),
-        },
-        &machine,
-    ));
-
-    // NB
-    let nb_out = barnes_hut::run_plain(barnes_hut::NbParams::profiling());
-    let nb_flops = nb_out.flops;
-    rows.extend(rows_for(
-        &KernelProfile {
-            kernel: "NB",
-            flops: nb_flops,
-            model: Box::new(move |cfg| models::nb_model(&nb_out, cfg)),
-        },
-        &machine,
-    ));
-
-    // MG
-    let mg_params = mg::MgParams::profiling();
-    let mg_out = mg::run_plain(mg_params);
-    rows.extend(rows_for(
-        &KernelProfile {
-            kernel: "MG",
-            flops: mg_out.flops,
-            model: Box::new(move |cfg| models::mg_model(mg_params, cfg)),
-        },
-        &machine,
-    ));
-
-    // FT
-    let ft_params = fft::FtParams::class_s();
-    let ft_flops =
-        5.0 * (ft_params.n as f64) * (ft_params.n as f64).log2() * ft_params.repeats as f64;
-    rows.extend(rows_for(
-        &KernelProfile {
-            kernel: "FT",
-            flops: ft_flops,
-            model: Box::new(move |cfg| models::ft_model(ft_params, cfg)),
-        },
-        &machine,
-    ));
-
-    // MC
-    let mc_params = mc::McParams::profiling();
-    let mc_out = mc::run_plain(mc_params);
-    rows.extend(rows_for(
-        &KernelProfile {
-            kernel: "MC",
-            flops: mc_out.flops,
-            model: Box::new(move |cfg| models::mc_model(mc_params, cfg)),
-        },
-        &machine,
-    ));
-
-    rows
+    let kernels: [fn() -> KernelProfile; 6] = [
+        profile_vm, profile_cg, profile_nb, profile_mg, profile_ft, profile_mc,
+    ];
+    dvf_core::sweep::par_map(&kernels, |k| rows_for(&k(), &machine))
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 /// Sum DVF over the data structures of one kernel at one cache: `DVF_a`.

@@ -8,7 +8,7 @@
 //! 15 % in all cases.
 
 use crate::models::{self, StructureModel};
-use dvf_cachesim::{config::table4, simulate, CacheConfig, Trace};
+use dvf_cachesim::{config::table4, simulate_many, CacheConfig, SimJob, Trace};
 use dvf_kernels::{barnes_hut, cg, fft, mc, mg, vm, Recorder};
 
 /// One Fig. 4 data point: a (kernel, data structure, cache) comparison.
@@ -59,11 +59,14 @@ fn compare(
     model: &dyn Fn(CacheConfig) -> Vec<StructureModel>,
 ) -> KernelVerification {
     let mut rows = Vec::new();
-    for (label, config) in [
+    let labeled = [
         ("small", table4::SMALL_VERIFICATION),
         ("large", table4::LARGE_VERIFICATION),
-    ] {
-        let report = simulate(trace, config);
+    ];
+    // Both verification caches replay the same borrowed trace in parallel.
+    let jobs: Vec<SimJob> = labeled.iter().map(|&(_, cfg)| SimJob::lru(cfg)).collect();
+    let reports = simulate_many(trace, &jobs);
+    for ((label, config), report) in labeled.into_iter().zip(reports) {
         for m in model(config) {
             let ds = trace
                 .registry
@@ -141,14 +144,10 @@ pub fn verify_mc() -> KernelVerification {
     compare("MC", &trace, &move |cfg| models::mc_model(params, cfg))
 }
 
-/// Run the full Fig. 4 verification suite.
+/// Run the full Fig. 4 verification suite, one kernel per worker thread.
 pub fn verify_all() -> Vec<KernelVerification> {
-    vec![
-        verify_vm(),
-        verify_cg(),
-        verify_nb(),
-        verify_mg(),
-        verify_ft(),
-        verify_mc(),
-    ]
+    let kernels: [fn() -> KernelVerification; 6] = [
+        verify_vm, verify_cg, verify_nb, verify_mg, verify_ft, verify_mc,
+    ];
+    dvf_core::sweep::par_map(&kernels, |k| k())
 }
