@@ -9,7 +9,11 @@ use crate::token::Token;
 /// Parse a complete source file.
 pub fn parse(source: &str) -> Result<Document, Diagnostic> {
     let tokens = lex(source)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     p.document()
 }
 
@@ -17,18 +21,47 @@ pub fn parse(source: &str) -> Result<Document, Diagnostic> {
 /// strings on the command line).
 pub fn parse_expr(source: &str) -> Result<Spanned<Expr>, Diagnostic> {
     let tokens = lex(source)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let e = p.expr()?;
     p.expect_eof()?;
     Ok(e)
 }
 
+/// Deepest combined expression / `iterate` nesting accepted. Aspen source
+/// is untrusted input; without a bound, a few kilobytes of `(((((…` or
+/// `-----…` drives the recursive-descent parser into a stack overflow —
+/// an abort, not a reportable error. Real models nest single digits deep;
+/// the bound is sized so that even the deepest production chain (one
+/// parenthesized level costs ~8 debug-build frames) fits the 2 MiB stacks
+/// the test harness gives its threads.
+const MAX_NESTING_DEPTH: usize = 96;
+
 struct Parser {
     tokens: Vec<Spanned<Token>>,
     pos: usize,
+    /// Current recursion depth across the self-recursive productions.
+    depth: usize,
 }
 
 impl Parser {
+    /// Run one self-recursive production with the nesting bound enforced.
+    fn descend<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, Diagnostic>,
+    ) -> Result<T, Diagnostic> {
+        if self.depth >= MAX_NESTING_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.depth += 1;
+        let r = f(self);
+        self.depth -= 1;
+        r
+    }
+
     fn peek(&self) -> &Spanned<Token> {
         &self.tokens[self.pos.min(self.tokens.len() - 1)]
     }
@@ -293,7 +326,8 @@ impl Parser {
                             break;
                         }
                         Token::Ident(w) if w == "access" || w == "iterate" || w == "call" => {
-                            body.push(self.kernel_stmt()?);
+                            let stmt = self.descend(|p| p.kernel_stmt())?;
+                            body.push(stmt);
                         }
                         other => {
                             return Err(self.err(format!(
@@ -386,7 +420,7 @@ impl Parser {
     // ---- expressions -----------------------------------------------------
 
     fn expr(&mut self) -> Result<Spanned<Expr>, Diagnostic> {
-        self.additive()
+        self.descend(|p| p.additive())
     }
 
     fn additive(&mut self) -> Result<Spanned<Expr>, Diagnostic> {
@@ -441,7 +475,7 @@ impl Parser {
         if self.peek().node == Token::Caret {
             self.bump();
             // Right associative.
-            let exp = self.power()?;
+            let exp = self.descend(|p| p.power())?;
             let span = base.span.to(exp.span);
             return Ok(Spanned::new(
                 Expr::Binary {
@@ -458,7 +492,7 @@ impl Parser {
     fn unary(&mut self) -> Result<Spanned<Expr>, Diagnostic> {
         if self.peek().node == Token::Minus {
             let start = self.bump().span;
-            let operand = self.unary()?;
+            let operand = self.descend(|p| p.unary())?;
             let span = start.to(operand.span);
             return Ok(Spanned::new(Expr::Neg(Box::new(operand)), span));
         }

@@ -26,8 +26,20 @@ impl Span {
     }
 
     /// Slice the source text this span covers.
+    ///
+    /// Spans are byte ranges produced by the byte-oriented lexer, so on
+    /// non-ASCII source an endpoint can land inside a multi-byte UTF-8
+    /// sequence; endpoints are clamped to the source length and snapped
+    /// down to character boundaries rather than panicking.
     pub fn text<'s>(&self, source: &'s str) -> &'s str {
-        &source[self.start.min(source.len())..self.end.min(source.len())]
+        let floor = |mut i: usize| {
+            i = i.min(source.len());
+            while !source.is_char_boundary(i) {
+                i -= 1;
+            }
+            i
+        };
+        &source[floor(self.start)..floor(self.end.max(self.start))]
     }
 
     /// 1-based `(line, column)` of the span start.
@@ -97,5 +109,18 @@ mod tests {
         assert_eq!(Span::new(6, 11).text(src), "world");
         // Out-of-range spans clamp instead of panicking.
         assert_eq!(Span::new(6, 99).text(src), "world");
+    }
+
+    #[test]
+    fn text_snaps_to_char_boundaries() {
+        // "a" (1 byte), "é" (bytes 1..3), "漢" (bytes 3..6).
+        let src = "aé漢";
+        // Endpoints inside a multi-byte character snap down, never panic.
+        assert_eq!(Span::new(1, 2).text(src), "");
+        assert_eq!(Span::new(1, 3).text(src), "é");
+        assert_eq!(Span::new(4, 99).text(src), "漢");
+        assert_eq!(Span::new(0, 4).text(src), "aé");
+        // Inverted spans degrade to empty rather than slicing backwards.
+        assert_eq!(Span::new(5, 2).text(src), "");
     }
 }

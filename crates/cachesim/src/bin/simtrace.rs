@@ -37,7 +37,8 @@ usage: simtrace <trace-file> [options]
   --config A:S:L                  replay this geometry too (repeatable; the
                                   trace is loaded once and fanned out)
   --jobs N                        worker threads for --config fan-out
-                                  (default: one per core)
+                                  (0 = one per core, the default; values
+                                  above the core count are clamped)
   --l1-assoc N --l1-sets N --l1-line N
                                   put an L1 in front (LRU at both levels)
   --json                          emit a dvf-cachesim/1 JSON report
@@ -199,13 +200,13 @@ fn main() -> ExitCode {
                 policy,
             }];
             sim_jobs.extend(configs.iter().map(|&config| SimJob { config, policy }));
-            let workers = if jobs == 0 {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            } else {
-                jobs
-            };
+            // `--jobs 0` means one worker per core; explicit values are
+            // clamped to available parallelism so `--jobs 10000` cannot
+            // ask for 10000 scoped threads.
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            let workers = if jobs == 0 { cores } else { jobs.min(cores) };
             let reports = simulate_many_with_threads(&trace, &sim_jobs, workers);
             if json {
                 let mut w = JsonWriter::new();

@@ -43,8 +43,22 @@ pub fn write_binary<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
     Ok(())
 }
 
-fn bad(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.to_owned())
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// `read_exact` with a descriptive error naming the header field that was
+/// cut short, instead of a bare `UnexpectedEof`.
+fn read_exact_field<R: Read>(r: &mut R, buf: &mut [u8], field: &str) -> io::Result<()> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            bad(format!(
+                "truncated DVFT header: ran out of bytes in {field}"
+            ))
+        } else {
+            e
+        }
+    })
 }
 
 /// Deserialize a trace written by [`write_binary`].
@@ -96,28 +110,51 @@ pub struct TraceReader<R: Read> {
 
 impl<R: Read> TraceReader<R> {
     /// Parse the DVFT header, leaving the reader positioned at the records.
+    ///
+    /// The header comes from untrusted input, so every length field is
+    /// treated as a claim, not a fact: name bytes are read through a
+    /// [`Read::take`] bound so a header advertising a huge name against a
+    /// tiny file allocates only what actually arrives, duplicate names are
+    /// rejected (the registry would otherwise silently alias two header
+    /// slots to one id, shifting every later record's identity), and each
+    /// failure names the field that was malformed.
     pub fn new(mut r: R) -> io::Result<Self> {
         let mut magic = [0u8; 4];
-        r.read_exact(&mut magic)?;
+        read_exact_field(&mut r, &mut magic, "magic")?;
         if &magic != MAGIC {
             return Err(bad("not a DVFT trace (bad magic)"));
         }
         let mut version = [0u8; 1];
-        r.read_exact(&mut version)?;
+        read_exact_field(&mut r, &mut version, "version")?;
         if version[0] != VERSION {
-            return Err(bad("unsupported DVFT version"));
+            return Err(bad(format!(
+                "unsupported DVFT version {} (expected {VERSION})",
+                version[0]
+            )));
         }
         let mut buf2 = [0u8; 2];
-        r.read_exact(&mut buf2)?;
+        read_exact_field(&mut r, &mut buf2, "structure count")?;
         let count = u16::from_le_bytes(buf2);
 
         let mut registry = DsRegistry::new();
-        for _ in 0..count {
-            r.read_exact(&mut buf2)?;
+        for idx in 0..count {
+            read_exact_field(&mut r, &mut buf2, &format!("length of name {idx}"))?;
             let len = u16::from_le_bytes(buf2) as usize;
-            let mut name = vec![0u8; len];
-            r.read_exact(&mut name)?;
-            let name = String::from_utf8(name).map_err(|_| bad("name is not UTF-8"))?;
+            // Bounded read: allocate as bytes arrive instead of trusting
+            // `len` up front, then verify the claim was honest.
+            let mut name = Vec::new();
+            (&mut r).take(len as u64).read_to_end(&mut name)?;
+            if name.len() < len {
+                return Err(bad(format!(
+                    "truncated DVFT header: name {idx} claims {len} bytes, only {} present",
+                    name.len()
+                )));
+            }
+            let name =
+                String::from_utf8(name).map_err(|_| bad(format!("name {idx} is not UTF-8")))?;
+            if registry.id(&name).is_some() {
+                return Err(bad(format!("duplicate structure name `{name}` in header")));
+            }
             registry.register(&name);
         }
         Ok(Self {
@@ -133,43 +170,73 @@ impl<R: Read> TraceReader<R> {
         &self.registry
     }
 
+    /// Raw bytes buffered per refill pass of [`read_chunk`]. A caller
+    /// passing a huge `max` (or `usize::MAX` for "everything") gets its
+    /// records in full, but the staging buffer never grows past this.
+    const SLAB_BYTES: usize = 1 << 20;
+
     /// Decode up to `max` references into `out` (cleared first), returning
     /// how many were produced. `Ok(0)` means the trace is exhausted.
+    ///
+    /// `max` bounds the *output*, not the scratch allocation: input is
+    /// staged through a fixed-size slab, so `read_chunk(&mut out, usize::MAX)`
+    /// is safe (it decodes the whole trace without a proportional upfront
+    /// buffer, though `out` itself grows with the record count).
     pub fn read_chunk(&mut self, out: &mut Vec<MemRef>, max: usize) -> io::Result<usize> {
         out.clear();
         if max == 0 {
             return Ok(0);
         }
-        let want = max * RECORD_BYTES;
-        // Top the carry buffer up to a full chunk of raw record bytes.
-        while !self.eof && self.carry.len() < want {
-            let start = self.carry.len();
-            self.carry.resize(want, 0);
-            let n = self.inner.read(&mut self.carry[start..])?;
-            self.carry.truncate(start + n);
-            if n == 0 {
-                self.eof = true;
-            }
-        }
-        let whole = self.carry.len() / RECORD_BYTES * RECORD_BYTES;
-        if self.eof && self.carry.len() > whole {
-            return Err(bad("truncated record at end of trace"));
-        }
         let count = self.registry.len() as u16;
-        for record in self.carry[..whole].chunks_exact(RECORD_BYTES) {
-            let ds = u16::from_le_bytes([record[0], record[1]]);
-            if ds >= count {
-                return Err(bad("record names unregistered structure"));
+        while out.len() < max {
+            let budget = max - out.len();
+            let want = budget
+                .saturating_mul(RECORD_BYTES)
+                .clamp(RECORD_BYTES, Self::SLAB_BYTES);
+            // Top the carry buffer up to one slab of raw record bytes.
+            while !self.eof && self.carry.len() < want {
+                let start = self.carry.len();
+                self.carry.resize(want, 0);
+                let n = self.inner.read(&mut self.carry[start..])?;
+                self.carry.truncate(start + n);
+                if n == 0 {
+                    self.eof = true;
+                }
             }
-            let kind = match record[2] {
-                0 => AccessKind::Read,
-                1 => AccessKind::Write,
-                _ => return Err(bad("bad access kind byte")),
-            };
-            let addr = u64::from_le_bytes(record[3..RECORD_BYTES].try_into().expect("8 bytes"));
-            out.push(MemRef::new(DsId(ds), addr, kind));
+            let whole_bytes = self.carry.len() / RECORD_BYTES * RECORD_BYTES;
+            if self.eof && self.carry.len() > whole_bytes {
+                return Err(bad(format!(
+                    "truncated record at end of trace ({} stray bytes)",
+                    self.carry.len() - whole_bytes
+                )));
+            }
+            let take_bytes = budget.min(whole_bytes / RECORD_BYTES) * RECORD_BYTES;
+            for record in self.carry[..take_bytes].chunks_exact(RECORD_BYTES) {
+                let ds = u16::from_le_bytes([record[0], record[1]]);
+                if ds >= count {
+                    return Err(bad(format!(
+                        "record names unregistered structure id {ds} (header declared {count})"
+                    )));
+                }
+                let kind = match record[2] {
+                    0 => AccessKind::Read,
+                    1 => AccessKind::Write,
+                    k => return Err(bad(format!("bad access kind byte {k}"))),
+                };
+                let addr = u64::from_le_bytes(record[3..RECORD_BYTES].try_into().expect("8 bytes"));
+                out.push(MemRef::new(DsId(ds), addr, kind));
+            }
+            self.carry.drain(..take_bytes);
+            if self.eof && self.carry.is_empty() {
+                break;
+            }
+            if take_bytes == 0 {
+                // No whole record decoded and not at EOF shouldn't happen
+                // (the refill loop runs until eof or >= RECORD_BYTES), but
+                // guard against a pathological `Read` impl looping forever.
+                break;
+            }
         }
-        self.carry.drain(..whole);
         Ok(out.len())
     }
 }
@@ -297,6 +364,145 @@ mod tests {
             }
         }
         assert!(err.unwrap().to_string().contains("truncated"));
+    }
+
+    /// A reader that hands out one byte per `read` call: worst-case
+    /// fragmentation for the carry buffer.
+    struct Dribble<'a>(&'a [u8]);
+
+    impl Read for Dribble<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.0.is_empty() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.0[0];
+            self.0 = &self.0[1..];
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn rejects_truncation_mid_header() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        // Header layout: magic(4) version(1) count(2) | len(2) "A" | len(2) "Grid".
+        // Cut at every prefix of the header and demand a descriptive error.
+        let header_len = 4 + 1 + 2 + (2 + 1) + (2 + 4);
+        for cut in 0..header_len {
+            let err = TraceReader::new(&buf[..cut]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut at {cut}");
+            let msg = err.to_string();
+            assert!(
+                msg.contains("truncated") || msg.contains("magic") || msg.contains("claims"),
+                "cut at {cut}: {msg}"
+            );
+        }
+        // The full header parses.
+        assert!(TraceReader::new(&buf[..header_len]).is_ok());
+    }
+
+    #[test]
+    fn rejects_duplicate_header_names() {
+        // Hand-built header declaring "A" twice: the registry would
+        // otherwise dedupe them and alias two ids onto one slot.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"DVFT");
+        buf.push(1);
+        buf.extend_from_slice(&2u16.to_le_bytes());
+        for _ in 0..2 {
+            buf.extend_from_slice(&1u16.to_le_bytes());
+            buf.push(b'A');
+        }
+        let err = TraceReader::new(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn header_claiming_more_than_present_is_rejected() {
+        // count = 65535 and a name length claiming 65535 bytes against a
+        // near-empty input: must error out, not trust the claim.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"DVFT");
+        buf.push(1);
+        buf.extend_from_slice(&u16::MAX.to_le_bytes());
+        buf.extend_from_slice(&u16::MAX.to_le_bytes());
+        buf.extend_from_slice(b"tiny");
+        let err = TraceReader::new(buf.as_slice()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("claims"), "{msg}");
+    }
+
+    #[test]
+    fn read_chunk_with_max_below_record_count() {
+        let mut t = Trace::new();
+        let a = t.registry.register("A");
+        for i in 0..10u64 {
+            t.push(MemRef::read(a, i));
+        }
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        let mut chunk = Vec::new();
+        let mut sizes = Vec::new();
+        let mut refs = Vec::new();
+        loop {
+            let n = reader.read_chunk(&mut chunk, 3).unwrap();
+            if n == 0 {
+                break;
+            }
+            sizes.push(n);
+            refs.extend_from_slice(&chunk);
+        }
+        assert_eq!(sizes, vec![3, 3, 3, 1]);
+        assert_eq!(refs, t.refs);
+    }
+
+    #[test]
+    fn read_chunk_with_huge_max_stays_bounded() {
+        // `max` bounds output, not scratch: usize::MAX must not attempt a
+        // proportional allocation (the old code computed max * 11 bytes).
+        let mut t = Trace::new();
+        let a = t.registry.register("A");
+        for i in 0..1000u64 {
+            t.push(MemRef::read(a, i));
+        }
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        let mut chunk = Vec::new();
+        assert_eq!(reader.read_chunk(&mut chunk, usize::MAX).unwrap(), 1000);
+        assert_eq!(chunk, t.refs);
+        assert_eq!(reader.read_chunk(&mut chunk, usize::MAX).unwrap(), 0);
+    }
+
+    #[test]
+    fn chunked_reader_survives_fragmented_reads() {
+        // A one-byte-at-a-time reader forces every carry-buffer partial
+        // fill path; decoded output must still be identical.
+        let mut t = Trace::new();
+        let a = t.registry.register("A");
+        let b = t.registry.register("B");
+        for i in 0..257u64 {
+            let ds = if i % 2 == 0 { a } else { b };
+            t.push(MemRef::new(ds, i * 31, AccessKind::Read));
+        }
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+
+        let mut reader = TraceReader::new(Dribble(&buf)).unwrap();
+        assert_eq!(reader.registry().len(), 2);
+        let mut refs = Vec::new();
+        let mut chunk = Vec::new();
+        loop {
+            let n = reader.read_chunk(&mut chunk, 7).unwrap();
+            if n == 0 {
+                break;
+            }
+            refs.extend_from_slice(&chunk);
+        }
+        assert_eq!(refs, t.refs);
     }
 
     #[test]

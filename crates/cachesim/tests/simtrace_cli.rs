@@ -108,7 +108,13 @@ fn multi_config_jobs_reports_every_geometry() {
     assert!(out.status.success(), "{out:?}");
     let doc = String::from_utf8(out.stdout).unwrap();
     assert!(doc.contains("\"schema\":\"dvf-cachesim/1\""), "{doc}");
-    assert!(doc.contains("\"jobs\":2"), "{doc}");
+    // `--jobs` is clamped to available parallelism; the report shows the
+    // effective worker count.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let expected_jobs = 2usize.min(cores);
+    assert!(doc.contains(&format!("\"jobs\":{expected_jobs}")), "{doc}");
     assert!(doc.contains("\"runs\":["), "{doc}");
 
     // One run per geometry: the default plus both --config specs, in order.

@@ -12,7 +12,22 @@
 
 /// Natural log of the gamma function, Lanczos approximation (g = 7, 9
 /// coefficients). Accurate to ~15 significant digits for `x > 0`.
+///
+/// # Domain
+///
+/// Defined for `x > 0` only. At zero and the negative integers Γ has
+/// poles, and for other negative `x` the *sign* of Γ(x) alternates, so a
+/// real-valued `ln Γ` does not exist; the reflection formula used below
+/// for `x < 0.5` would silently return `-inf` (at the poles) or NaN
+/// (where `sin(πx) < 0`) with no indication of misuse. Debug builds
+/// assert `x > 0`; release builds remain garbage-in/garbage-out for
+/// non-positive input, matching every internal caller's established
+/// `x ≥ 1` usage.
 pub fn ln_gamma(x: f64) -> f64 {
+    debug_assert!(
+        x > 0.0,
+        "ln_gamma is only defined for x > 0 (called with x = {x})"
+    );
     // Coefficients for g=7, n=9 (Godfrey / numerical recipes lineage).
     const G: f64 = 7.0;
     const COEF: [f64; 9] = [

@@ -56,10 +56,19 @@ impl EccTradeoff {
     /// Effective FIT at degradation `d`: linear interpolation from the
     /// unprotected rate at `d = 0` down to the scheme's rate at full
     /// strength, constant beyond.
+    ///
+    /// A `full_protection_degradation` of zero (or below) models a scheme
+    /// that is fully effective with no overhead at all, so the scheme's
+    /// full-strength rate applies at every degradation — the naive `0/0`
+    /// would otherwise poison the curve with NaN at `d = 0`.
     pub fn effective_fit(&self, degradation: f64) -> FitRate {
         let base = EccScheme::None.fit_per_mbit();
         let full = self.scheme.fit_per_mbit();
-        let frac = (degradation / self.full_protection_degradation).clamp(0.0, 1.0);
+        let frac = if self.full_protection_degradation <= 0.0 {
+            1.0
+        } else {
+            (degradation / self.full_protection_degradation).clamp(0.0, 1.0)
+        };
         FitRate(base + (full - base) * frac)
     }
 
@@ -91,7 +100,13 @@ impl EccTradeoff {
 
 /// Evenly spaced degradations `0 ..= max` with `steps` intervals
 /// (Fig. 7 uses 0–30 %).
+///
+/// `steps == 0` degenerates to the single point `[0.0]` rather than the
+/// `0/0 = NaN` grid a literal reading of the formula would produce.
 pub fn degradation_grid(max: f64, steps: usize) -> Vec<f64> {
+    if steps == 0 {
+        return vec![0.0];
+    }
     (0..=steps).map(|i| max * i as f64 / steps as f64).collect()
 }
 
@@ -223,6 +238,30 @@ mod tests {
         }
         // At d = 0 neither scheme is effective yet: identical DVF.
         assert!((s[0].dvf - c[0].dvf).abs() < 1e-12 * s[0].dvf);
+    }
+
+    #[test]
+    fn effective_fit_with_zero_protection_point_is_finite() {
+        // full_protection_degradation == 0 used to evaluate 0/0 at d = 0.
+        let t = EccTradeoff {
+            scheme: EccScheme::Secded,
+            full_protection_degradation: 0.0,
+        };
+        // Instant full protection: the scheme's rate applies everywhere.
+        assert_eq!(t.effective_fit(0.0).0, 1300.0);
+        assert_eq!(t.effective_fit(0.05).0, 1300.0);
+        assert!(t.effective_fit(0.0).0.is_finite());
+    }
+
+    #[test]
+    fn degradation_grid_zero_steps_is_finite() {
+        // steps == 0 used to yield a single-NaN grid via 0/0.
+        let g = degradation_grid(0.3, 0);
+        assert_eq!(g, vec![0.0]);
+        // And the degenerate grid stays usable downstream.
+        let points = EccTradeoff::new(EccScheme::Secded).sweep(10.0, 1 << 20, 1e4, &g);
+        assert_eq!(points.len(), 1);
+        assert!(points[0].dvf.is_finite());
     }
 
     #[test]

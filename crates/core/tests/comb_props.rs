@@ -1,0 +1,111 @@
+//! Property tests for the log-space combinatorics in `dvf_core::comb`.
+//!
+//! `ln_gamma` is the foundation of the random-access (Eq. 5) and
+//! data-reuse (Eqs. 8, 12) models; Eq. 12 in particular evaluates the
+//! gamma-continued binomial coefficient at a *non-integer* first
+//! argument, so these properties pin both the classical identities and
+//! the real-argument extension.
+
+use dvf_core::comb::{binomial, ln_binomial, ln_binomial_real, ln_factorial, ln_gamma};
+use proptest::prelude::*;
+
+const SQRT_PI: f64 = 1.772_453_850_905_516;
+
+fn assert_rel(a: f64, b: f64, tol: f64) {
+    assert!(
+        (a - b).abs() <= tol * b.abs().max(1.0),
+        "expected {b}, got {a}"
+    );
+}
+
+#[test]
+fn ln_gamma_known_values() {
+    // Γ(1/2) = √π, Γ(3/2) = √π/2, Γ(5/2) = 3√π/4 — the half-integer
+    // ladder exercises both the reflection branch (x < 0.5) and the
+    // Lanczos core.
+    assert_rel(ln_gamma(0.5), SQRT_PI.ln(), 1e-13);
+    assert_rel(ln_gamma(1.5), (SQRT_PI / 2.0).ln(), 1e-13);
+    assert_rel(ln_gamma(2.5), (3.0 * SQRT_PI / 4.0).ln(), 1e-13);
+    // Γ(1/3) — a non-half-integer reflection-path value (Abramowitz & Stegun).
+    assert_rel(ln_gamma(1.0 / 3.0), 2.678_938_534_707_748_f64.ln(), 1e-12);
+    // Γ(1) = Γ(2) = 1.
+    assert!(ln_gamma(1.0).abs() < 1e-13);
+    assert!(ln_gamma(2.0).abs() < 1e-13);
+}
+
+proptest! {
+    /// Recurrence Γ(x+1) = x·Γ(x), i.e. lnΓ(x+1) = ln x + lnΓ(x),
+    /// across the reflection/Lanczos seam at x = 0.5.
+    #[test]
+    fn ln_gamma_recurrence(x in 0.01f64..60.0) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() <= 1e-10 * lhs.abs().max(1.0),
+            "x = {x}: lnΓ(x+1) = {lhs}, ln x + lnΓ(x) = {rhs}");
+    }
+
+    /// Integer agreement: lnΓ(n+1) = ln(n!).
+    #[test]
+    fn ln_gamma_matches_factorial(n in 1u64..170) {
+        let lhs = ln_gamma(n as f64 + 1.0);
+        let rhs = ln_factorial(n);
+        prop_assert!((lhs - rhs).abs() <= 1e-11 * rhs.abs().max(1.0));
+    }
+
+    /// The gamma-continued binomial coefficient at non-integer `n`
+    /// (the Eq. 12 path) matches the falling-factorial product
+    /// C(n, k) = Π_{j=1..k} (n − k + j) / j for integer k.
+    #[test]
+    fn ln_binomial_real_matches_product(frac in 0.01f64..0.99, whole in 1u64..40, k in 0u64..12) {
+        let n = whole as f64 + frac; // strictly non-integer
+        prop_assume!((k as f64) <= n);
+        let mut product = 1.0f64;
+        for j in 1..=k {
+            product *= (n - k as f64 + j as f64) / j as f64;
+        }
+        let got = ln_binomial_real(n, k as f64).exp();
+        prop_assert!((got - product).abs() <= 1e-10 * product.abs().max(1.0),
+            "C({n}, {k}): got {got}, product {product}");
+    }
+
+    /// Pascal's rule survives the continuation to real n:
+    /// C(n, k) = C(n−1, k−1) + C(n−1, k).
+    #[test]
+    fn ln_binomial_real_pascal(frac in 0.01f64..0.99, whole in 2u64..40, k in 1u64..12) {
+        let n = whole as f64 + frac;
+        prop_assume!((k as f64) <= n - 1.0);
+        let lhs = ln_binomial_real(n, k as f64).exp();
+        let rhs = ln_binomial_real(n - 1.0, k as f64 - 1.0).exp()
+            + ln_binomial_real(n - 1.0, k as f64).exp();
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * rhs.abs().max(1.0));
+    }
+
+    /// Real-argument extension agrees with the integer path on integers.
+    #[test]
+    fn ln_binomial_real_extends_integer(n in 0u64..500, k in 0u64..500) {
+        let real = ln_binomial_real(n as f64, k as f64);
+        let int = ln_binomial(n, k);
+        if k > n {
+            prop_assert_eq!(real, f64::NEG_INFINITY);
+            prop_assert_eq!(int, f64::NEG_INFINITY);
+        } else {
+            prop_assert!((real - int).abs() <= 1e-10 * int.abs().max(1.0));
+        }
+    }
+}
+
+#[test]
+fn ln_binomial_real_known_values() {
+    // C(2.5, 1) = 2.5 and C(7.3, 3) = 7.3·6.3·5.3/6 — hand-checkable
+    // non-integer points of the Eq. 12 path.
+    assert_rel(ln_binomial_real(2.5, 1.0).exp(), 2.5, 1e-12);
+    assert_rel(
+        ln_binomial_real(7.3, 3.0).exp(),
+        7.3 * 6.3 * 5.3 / 6.0,
+        1e-12,
+    );
+    // Out-of-support inputs are the coefficient's natural zero.
+    assert_eq!(ln_binomial_real(3.0, 3.5), f64::NEG_INFINITY);
+    assert_eq!(ln_binomial_real(3.0, -0.5), f64::NEG_INFINITY);
+    assert_eq!(binomial(3, 7), 0.0);
+}

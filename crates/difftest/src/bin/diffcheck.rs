@@ -1,0 +1,72 @@
+//! `diffcheck` — run the differential oracle grid and report agreement.
+//!
+//! ```text
+//! diffcheck [--smoke] [--json] [--seed N]
+//! ```
+//!
+//! * `--smoke` — reduced grid (first two problem sizes per pattern,
+//!   24 points) for CI; the default full grid is 48 points.
+//! * `--json`  — emit the versioned `dvf-difftest/1` report instead of
+//!   the text table.
+//! * `--seed N` — base seed for workload generation (default 1).
+//!
+//! Exits 1 if any grid point disagrees beyond its model's tolerance.
+
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: diffcheck [--smoke] [--json] [--seed N]";
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut json = false;
+    let mut seed: u64 = 1;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--json" => json = true,
+            "--seed" => {
+                let Some(v) = args.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("--seed needs an unsigned integer\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                seed = v;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = dvf_difftest::run_grid(seed, smoke);
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.failures().is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        if json {
+            // The table names the failing points; echo them for JSON runs.
+            for p in report.failures() {
+                eprintln!(
+                    "FAIL {} {} {}: model {:.1} vs simulated {:.0} (rel_err {:.4} > {:.3})",
+                    p.pattern,
+                    p.case,
+                    dvf_difftest::oracle::geometry_label(p.config),
+                    p.model,
+                    p.simulated,
+                    p.rel_err,
+                    p.tolerance
+                );
+            }
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,25 @@
+//! Differential oracle for the CGPMAC closed-form models.
+//!
+//! The paper's `N_ha` models (`dvf-core::patterns`) and the cache
+//! simulator (`dvf-cachesim`) implement the same quantity through two
+//! unrelated code paths: closed-form combinatorics versus cycle-level
+//! set-associative LRU replay of a recorded trace. This crate
+//! cross-checks them: for a seeded grid of (pattern × problem size ×
+//! cache geometry) points it records each workload once with
+//! `dvf-kernels`' [`Recorder`](dvf_kernels::Recorder), replays the
+//! trace through every geometry with
+//! [`simulate_many`](dvf_cachesim::simulate_many), and asserts the two
+//! miss counts agree within the per-model documented tolerance.
+//!
+//! A disagreement means one of the two sides is wrong — historically
+//! this harness is how the edge-case bugs in the models and the binary
+//! trace decoder were flushed out. See `DESIGN.md` ("Differential
+//! oracle") for the methodology and the tolerance table, and the
+//! `diffcheck` binary for the command-line entry point.
+
+pub mod oracle;
+pub mod rng;
+pub mod workloads;
+
+pub use oracle::{run_grid, DiffPoint, GridReport, JSON_SCHEMA};
+pub use workloads::{ModelPoint, Workload};

@@ -1,0 +1,333 @@
+//! The differential grid: run every workload, replay its trace through
+//! the cache simulator, and compare simulated misses against the
+//! closed-form predictions.
+//!
+//! The grid is 4 patterns × 4 problem sizes × 3 cache geometries = 48
+//! points (`--smoke` keeps the first two sizes per pattern → 24 points).
+//! Geometries are chosen per pattern so each model is exercised inside
+//! its stated domain:
+//!
+//! * streaming — set-associative LRU caches spanning 8 KiB, 32 KiB and
+//!   256 KiB with both 32 B and 64 B lines;
+//! * random / template — *fully-associative* caches of the same
+//!   capacities: both are capacity models (Eq. 6 assumes the cache
+//!   retains its full `Cc/CL` blocks of the structure; the
+//!   stack-distance closed form is exact only for fully-associative
+//!   LRU). Set-associative replay adds a set-imbalance loss the models
+//!   deliberately exclude — measured ~7–10% even at 16–32 ways;
+//! * reuse — set-associative 64 B-line geometries (its Eq. 11 *is* a
+//!   per-set model), matching the 64-byte block spacing of the
+//!   generated footprints.
+//!
+//! The random and reuse models predict *expectations* over random
+//! placements, so those grid points compare against the mean of
+//! [`REPLICAS`] independently seeded realizations.
+//!
+//! Per-pattern tolerances (also documented in `DESIGN.md`):
+//!
+//! | pattern   | tolerance | error source left after construction |
+//! |-----------|-----------|--------------------------------------|
+//! | streaming | 0.5 %     | none — model is exact for aligned bases |
+//! | template  | 0.5 %     | none — exact for fully-associative LRU  |
+//! | random    | 10 %      | expectation vs. sampled realizations; residual set imbalance |
+//! | reuse     | 10 %      | binomial per-set expectation vs. sampled placements |
+
+use crate::rng::SplitMix64;
+use crate::workloads::{self, Workload};
+use dvf_cachesim::{simulate_many, CacheConfig, SimJob};
+use dvf_obs::JsonWriter;
+use std::fmt::Write as _;
+
+/// Schema identifier of the JSON report.
+pub const JSON_SCHEMA: &str = "dvf-difftest/1";
+
+/// Relative tolerance for the streaming model (exact; slack covers
+/// floating-point rounding only).
+pub const STREAMING_TOL: f64 = 0.005;
+/// Relative tolerance for the template model (exact for fully-associative
+/// LRU; slack covers floating-point rounding only).
+pub const TEMPLATE_TOL: f64 = 0.005;
+/// Relative tolerance for the random model (expectation vs. realization).
+pub const RANDOM_TOL: f64 = 0.10;
+/// Relative tolerance for the reuse model (expectation vs. realization).
+pub const REUSE_TOL: f64 = 0.10;
+
+/// One compared (pattern, size, geometry) grid point.
+#[derive(Debug, Clone)]
+pub struct DiffPoint {
+    /// Pattern name.
+    pub pattern: &'static str,
+    /// Problem-size parameters.
+    pub case: String,
+    /// Cache geometry simulated.
+    pub config: CacheConfig,
+    /// Closed-form `N_ha` prediction.
+    pub model: f64,
+    /// Misses observed by replaying the recorded trace.
+    pub simulated: f64,
+    /// `|model − simulated| / max(simulated, 1)`.
+    pub rel_err: f64,
+    /// Documented tolerance for this pattern.
+    pub tolerance: f64,
+}
+
+impl DiffPoint {
+    /// Whether the point agrees within its pattern's tolerance.
+    pub fn pass(&self) -> bool {
+        self.rel_err <= self.tolerance
+    }
+}
+
+/// Result of one full grid run.
+#[derive(Debug)]
+pub struct GridReport {
+    /// Base seed every workload seed was derived from.
+    pub seed: u64,
+    /// Whether the reduced smoke grid was run.
+    pub smoke: bool,
+    /// Every compared point, in grid order.
+    pub points: Vec<DiffPoint>,
+}
+
+impl GridReport {
+    /// Points that disagree beyond tolerance.
+    pub fn failures(&self) -> Vec<&DiffPoint> {
+        self.points.iter().filter(|p| !p.pass()).collect()
+    }
+
+    /// Largest relative error across the grid.
+    pub fn max_rel_err(&self) -> f64 {
+        self.points.iter().map(|p| p.rel_err).fold(0.0, f64::max)
+    }
+
+    /// Plain-text agreement table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "differential oracle: seed={} grid={}",
+            self.seed,
+            if self.smoke { "smoke" } else { "full" }
+        );
+        let _ = writeln!(
+            out,
+            "{:<9} {:<24} {:<16} {:>12} {:>12} {:>8} {:>6}  status",
+            "pattern", "case", "geometry", "model", "simulated", "rel_err", "tol"
+        );
+        for p in &self.points {
+            let _ = writeln!(
+                out,
+                "{:<9} {:<24} {:<16} {:>12.1} {:>12.1} {:>8.4} {:>6.3}  {}",
+                p.pattern,
+                p.case,
+                geometry_label(p.config),
+                p.model,
+                p.simulated,
+                p.rel_err,
+                p.tolerance,
+                if p.pass() { "ok" } else { "FAIL" }
+            );
+        }
+        let failed = self.failures().len();
+        let _ = writeln!(
+            out,
+            "{} points, {} failed, max rel_err {:.4}",
+            self.points.len(),
+            failed,
+            self.max_rel_err()
+        );
+        out
+    }
+
+    /// Versioned machine-readable report (`dvf-difftest/1`).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("schema").string(JSON_SCHEMA);
+        w.key("seed").u64(self.seed);
+        w.key("smoke").bool(self.smoke);
+        w.key("points").begin_array();
+        for p in &self.points {
+            w.begin_object();
+            w.key("pattern").string(p.pattern);
+            w.key("case").string(&p.case);
+            w.key("geometry").begin_object();
+            w.key("associativity").u64(p.config.associativity as u64);
+            w.key("num_sets").u64(p.config.num_sets as u64);
+            w.key("line_bytes").u64(p.config.line_bytes as u64);
+            w.end_object();
+            w.key("model").f64(p.model);
+            w.key("simulated").f64(p.simulated);
+            w.key("rel_err").f64(p.rel_err);
+            w.key("tolerance").f64(p.tolerance);
+            w.key("pass").bool(p.pass());
+            w.end_object();
+        }
+        w.end_array();
+        w.key("summary").begin_object();
+        w.key("points").u64(self.points.len() as u64);
+        w.key("failed").u64(self.failures().len() as u64);
+        w.key("max_rel_err").f64(self.max_rel_err());
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
+}
+
+/// Short `CAxNAxCL` geometry label, e.g. `8w512s64B` (256 KiB).
+pub fn geometry_label(c: CacheConfig) -> String {
+    format!("{}w{}s{}B", c.associativity, c.num_sets, c.line_bytes)
+}
+
+fn geom(assoc: usize, sets: usize, line: usize) -> CacheConfig {
+    CacheConfig::new(assoc, sets, line).expect("grid geometries are valid")
+}
+
+/// Per-workload seed derivation: decorrelates workloads from each other
+/// and from the base seed while staying a pure function of
+/// (base, pattern index, size index).
+fn derive_seed(base: u64, pattern: u64, size: u64) -> u64 {
+    SplitMix64::new(base ^ (pattern << 32) ^ size).next_u64()
+}
+
+/// Independent placement realizations averaged per stochastic grid
+/// point. The random and reuse models predict *expectations* over
+/// random placements; comparing against the mean of several seeded
+/// realizations shrinks sampling noise by `1/√REPLICAS` without
+/// loosening the documented tolerance.
+pub const REPLICAS: u64 = 3;
+
+/// Build the workload list for one grid run: each inner vector holds
+/// the placement replicas of one (pattern, size) case — identical model
+/// predictions, independently seeded placements.
+fn build_workloads(seed: u64, smoke: bool) -> Vec<Vec<Workload>> {
+    // Set-associative geometries for streaming: 8 KiB with 32 B lines,
+    // 32 KiB and 256 KiB with 64 B lines.
+    let set_assoc = [geom(4, 64, 32), geom(8, 64, 64), geom(8, 512, 64)];
+    // Fully-associative geometries (8 KiB / 32 KiB / 256 KiB) for random
+    // and template: both models are *capacity* models — Eq. 6's
+    // hypergeometric derivation assumes the cache retains its full
+    // `Cc/CL` blocks of the structure, and the stack-distance closed
+    // form is exact only for fully-associative LRU. Set-associative
+    // replay deviates by the set-imbalance loss (measured ~7–10% even at
+    // 16–32 ways); that is model-domain mismatch, not model error.
+    let fully_assoc = [geom(256, 1, 32), geom(512, 1, 64), geom(4096, 1, 64)];
+    // 64 B-line geometries (16 KiB / 64 KiB / 256 KiB) for reuse.
+    let line64 = [geom(4, 64, 64), geom(8, 128, 64), geom(8, 512, 64)];
+
+    let streaming_sizes = [(4096, 1), (20_000, 2), (100_000, 4), (250_000, 8)];
+    let random_sizes = [
+        (96, 24, 8),
+        (512, 128, 12),
+        (2048, 512, 12),
+        (8192, 2048, 12),
+    ];
+    let template_sizes = [
+        (64, 512, 2),
+        (256, 2048, 2),
+        (1024, 8192, 1),
+        (4096, 16_384, 1),
+    ];
+    let reuse_sizes = [
+        (256, 256, 8),
+        (192, 192, 6),
+        (512, 1024, 4),
+        (1024, 4096, 3),
+    ];
+
+    let take = if smoke { 2 } else { 4 };
+    let mut out = Vec::new();
+    for &(n, stride) in &streaming_sizes[..take] {
+        // Streaming is deterministic: one replica.
+        out.push(vec![workloads::streaming(
+            n,
+            stride,
+            &set_assoc,
+            STREAMING_TOL,
+        )]);
+    }
+    for (i, &(n, k, iters)) in random_sizes[..take].iter().enumerate() {
+        out.push(
+            (0..REPLICAS)
+                .map(|r| {
+                    let s = derive_seed(seed, 1 + (r << 8), i as u64);
+                    workloads::random(s, n, k, iters, &fully_assoc, RANDOM_TOL)
+                })
+                .collect(),
+        );
+    }
+    for (i, &(r, l, repeat)) in template_sizes[..take].iter().enumerate() {
+        // The template is part of the case definition (both sides see
+        // the same reference string), so one replica suffices.
+        let s = derive_seed(seed, 2, i as u64);
+        out.push(vec![workloads::template(
+            s,
+            r,
+            l,
+            repeat,
+            &fully_assoc,
+            TEMPLATE_TOL,
+        )]);
+    }
+    for (i, &(fa, fb, reuses)) in reuse_sizes[..take].iter().enumerate() {
+        out.push(
+            (0..REPLICAS)
+                .map(|r| {
+                    let s = derive_seed(seed, 3 + (r << 8), i as u64);
+                    workloads::reuse(s, fa, fb, reuses, &line64, REUSE_TOL)
+                })
+                .collect(),
+        );
+    }
+    out
+}
+
+/// Run the full differential grid: generate every seeded workload,
+/// fan its trace across the pattern's geometries with [`simulate_many`],
+/// and compare misses against the closed forms.
+pub fn run_grid(seed: u64, smoke: bool) -> GridReport {
+    let _span = dvf_obs::span("difftest.grid");
+    let mut points = Vec::new();
+    for replicas in build_workloads(seed, smoke) {
+        // Per-geometry miss counts averaged over the placement replicas
+        // (each replica fans its trace across all geometries at once
+        // through `simulate_many`).
+        let head = &replicas[0];
+        let mut sums = vec![0.0; head.points.len()];
+        for w in &replicas {
+            let jobs: Vec<SimJob> = w.points.iter().map(|p| SimJob::lru(p.config)).collect();
+            let reports = simulate_many(&w.trace, &jobs);
+            for (sum, report) in sums.iter_mut().zip(&reports) {
+                *sum += report.ds(w.target).misses as f64;
+            }
+        }
+        for (mp, sum) in head.points.iter().zip(&sums) {
+            let simulated = sum / replicas.len() as f64;
+            let rel_err = (mp.model - simulated).abs() / simulated.max(1.0);
+            let point = DiffPoint {
+                pattern: head.pattern,
+                case: head.case.clone(),
+                config: mp.config,
+                model: mp.model,
+                simulated,
+                rel_err,
+                tolerance: head.tolerance,
+            };
+            dvf_obs::add("difftest.points", 1);
+            dvf_obs::add(
+                if point.pass() {
+                    "difftest.pass"
+                } else {
+                    "difftest.fail"
+                },
+                1,
+            );
+            points.push(point);
+        }
+    }
+    GridReport {
+        seed,
+        smoke,
+        points,
+    }
+}

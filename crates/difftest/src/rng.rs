@@ -1,0 +1,95 @@
+//! Seeded pseudo-randomness for workload generation.
+//!
+//! The oracle must be reproducible bit-for-bit from its seed, so it
+//! carries its own tiny generator instead of depending on the `rand`
+//! shim: SplitMix64 (Steele, Lea & Flood), the standard seeding
+//! generator — one 64-bit state word, full period, excellent avalanche.
+
+/// SplitMix64 generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded generator; every distinct seed yields an independent stream.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n > 0`). The multiply-shift reduction's
+    /// bias is below 2⁻³² for the workload sizes used here.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is meaningless");
+        (((self.next_u64() >> 32) * n as u64) >> 32) as usize
+    }
+
+    /// Sample `k` distinct values from `0..n` in uniform random order
+    /// (partial Fisher–Yates over a caller-provided scratch permutation,
+    /// reused across calls to avoid re-allocating).
+    pub fn sample_distinct(&mut self, scratch: &mut Vec<usize>, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct values from 0..{n}");
+        if scratch.len() != n {
+            scratch.clear();
+            scratch.extend(0..n);
+        }
+        let mut out = Vec::with_capacity(k);
+        for i in 0..k {
+            let j = i + self.below(n - i);
+            scratch.swap(i, j);
+            out.push(scratch[i]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = (0..5).map(|_| SplitMix64::new(42).next_u64()).collect();
+        assert!(a.iter().all(|&x| x == a[0]));
+        let mut r1 = SplitMix64::new(7);
+        let mut r2 = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(r1.next_u64(), r2.next_u64());
+        }
+        assert_ne!(SplitMix64::new(1).next_u64(), SplitMix64::new(2).next_u64());
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut rng = SplitMix64::new(3);
+        for n in [1usize, 2, 7, 100, 1 << 20] {
+            for _ in 0..50 {
+                assert!(rng.below(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn sample_distinct_is_distinct_and_in_range() {
+        let mut rng = SplitMix64::new(9);
+        let mut scratch = Vec::new();
+        for (n, k) in [(10usize, 10usize), (100, 7), (1000, 999), (5, 0)] {
+            let s = rng.sample_distinct(&mut scratch, n, k);
+            assert_eq!(s.len(), k);
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), k, "duplicates in sample of {k} from {n}");
+            assert!(s.iter().all(|&x| x < n));
+        }
+    }
+}

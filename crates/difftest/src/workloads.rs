@@ -1,0 +1,331 @@
+//! Seeded workload generators for the differential oracle.
+//!
+//! Each generator builds one concrete kernel execution with
+//! `dvf-kernels`' [`Recorder`]/[`TrackedBuffer`] instrumentation *and*
+//! the matching CGPMAC spec, then evaluates the closed form once per
+//! cache geometry. The recorded trace replays through `dvf-cachesim`
+//! later; the interesting part here is constructing access sequences
+//! that actually satisfy each model's assumptions:
+//!
+//! * **streaming** — strided single pass; the recorder 4 KiB-aligns
+//!   buffer bases, so [`StreamingSpec::mem_accesses_aligned`] (zero
+//!   misalignment probability) is the exact oracle.
+//! * **random** — per iteration, `k` *distinct* uniformly drawn elements
+//!   (the hypergeometric derivation of Eq. 6 assumes exactly this);
+//!   elements are 64-byte and touched at 32-byte granularity so every
+//!   sub-block the model counts (`⌈E/CL⌉` per element) is really touched
+//!   under both 32 B and 64 B lines.
+//! * **template** — a fixed random reference template replayed `repeat`
+//!   times; the stack-distance algorithm is exact for fully-associative
+//!   LRU, so template geometries are the fully-associative equivalents
+//!   of the set-associative grid.
+//! * **reuse** — `A` re-read after interference from `B`, with `A`'s
+//!   re-reads in *boustrophedon* (alternating-direction) order. Eq. 11
+//!   counts the LRU-protected (most-recently-used) tail of `A` per set
+//!   as retained; re-reading in the same direction would instead trigger
+//!   LRU's sequential-cycling cascade and miss far more than the model
+//!   predicts, while alternating direction touches the retained tail
+//!   first and realizes the model's count exactly per set. Blocks land
+//!   in random sets (sparse random placement inside each buffer) to
+//!   match the model's binomial per-set footprint assumption.
+
+use crate::rng::SplitMix64;
+use dvf_cachesim::{CacheConfig, DsId, Trace};
+use dvf_core::patterns::{
+    CacheView, InterferenceScenario, RandomSpec, ReuseSpec, StreamingSpec, TemplateSpec,
+};
+use dvf_kernels::recorder::Recorder;
+
+/// One (geometry, closed-form prediction) pair of a workload.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelPoint {
+    /// Cache geometry the prediction is for.
+    pub config: CacheConfig,
+    /// Closed-form `N_ha` prediction.
+    pub model: f64,
+}
+
+/// A recorded kernel with its per-geometry closed-form predictions.
+#[derive(Debug)]
+pub struct Workload {
+    /// Pattern name (`streaming` / `random` / `template` / `reuse`).
+    pub pattern: &'static str,
+    /// Human-readable size parameters, e.g. `N=4096 stride=2`.
+    pub case: String,
+    /// The recorded reference stream.
+    pub trace: Trace,
+    /// Data structure whose misses the models predict.
+    pub target: DsId,
+    /// Documented relative tolerance for this pattern's model.
+    pub tolerance: f64,
+    /// One prediction per cache geometry.
+    pub points: Vec<ModelPoint>,
+}
+
+fn view(config: CacheConfig) -> CacheView {
+    CacheView::exclusive(config)
+}
+
+/// Strided streaming pass over `n` 8-byte elements.
+pub fn streaming(n: usize, stride: usize, geoms: &[CacheConfig], tolerance: f64) -> Workload {
+    let rec = Recorder::new();
+    let buf = rec.buffer::<u64>("A", n);
+    rec.set_enabled(true);
+    let mut i = 0;
+    while i < n {
+        let _ = buf.get(i);
+        i += stride;
+    }
+    let target = buf.ds();
+    drop(buf);
+
+    let spec = StreamingSpec {
+        element_bytes: 8,
+        num_elements: n as u64,
+        stride_elements: stride as u64,
+    };
+    let points = geoms
+        .iter()
+        .map(|&config| ModelPoint {
+            config,
+            model: spec
+                .mem_accesses_aligned(&view(config))
+                .expect("valid streaming spec"),
+        })
+        .collect();
+    Workload {
+        pattern: "streaming",
+        case: format!("N={n} stride={stride}"),
+        trace: rec.into_trace(),
+        target,
+        tolerance,
+        points,
+    }
+}
+
+/// Sub-block touch granularity of the random workload: every 64-byte
+/// element is read at offsets 0 and 32 so that 32 B-line geometries see
+/// both halves, matching the model's `⌈E/CL⌉` blocks-per-element factor.
+const RANDOM_ELEMENT_SLOTS: usize = 8;
+
+/// Random visits: a construction pass over `n` 64-byte elements, then
+/// `iterations` rounds each visiting `k` distinct random elements.
+pub fn random(
+    seed: u64,
+    n: usize,
+    k: usize,
+    iterations: usize,
+    geoms: &[CacheConfig],
+    tolerance: f64,
+) -> Workload {
+    let mut rng = SplitMix64::new(seed);
+    let rec = Recorder::new();
+    let buf = rec.buffer::<u64>("A", n * RANDOM_ELEMENT_SLOTS);
+    rec.set_enabled(true);
+    let touch = |e: usize| {
+        let _ = buf.get(e * RANDOM_ELEMENT_SLOTS);
+        let _ = buf.get(e * RANDOM_ELEMENT_SLOTS + 4);
+    };
+    // Construction pass: stream every element once (the model's
+    // compulsory `⌈E·N/CL⌉` initial loads).
+    let mut stamp: Vec<u64> = vec![0; n];
+    let mut clock = 0u64;
+    let mut tick = |stamp: &mut Vec<u64>, e: usize| {
+        clock += 1;
+        stamp[e] = clock;
+    };
+    for e in 0..n {
+        touch(e);
+        tick(&mut stamp, e);
+    }
+    // Visiting passes: k distinct elements per iteration, visited in
+    // descending recency order. Eq. 6 counts an element as a hit when it
+    // is resident at *iteration start*; with an arbitrary visit order,
+    // the iteration's own misses evict still-unvisited resident elements
+    // first (intra-iteration erosion), inflating misses above the model.
+    // Most-recent-first visiting means every visit earlier than element
+    // `e` is more recent than `e`, so under LRU no eviction can reach a
+    // start-resident element before its visit — realizing the model's
+    // count exactly, and (by the stack-distance inclusion property) for
+    // every cache capacity at once.
+    let mut scratch = Vec::new();
+    for _ in 0..iterations {
+        let mut visits = rng.sample_distinct(&mut scratch, n, k);
+        visits.sort_unstable_by_key(|&e| std::cmp::Reverse(stamp[e]));
+        for e in visits {
+            touch(e);
+            tick(&mut stamp, e);
+        }
+    }
+    let target = buf.ds();
+    drop(buf);
+
+    let spec = RandomSpec {
+        num_elements: n as u64,
+        element_bytes: (RANDOM_ELEMENT_SLOTS * 8) as u64,
+        k: k as u64,
+        iterations: iterations as u64,
+        ratio: 1.0,
+    };
+    let points = geoms
+        .iter()
+        .map(|&config| ModelPoint {
+            config,
+            model: spec.mem_accesses(&view(config)).expect("valid random spec"),
+        })
+        .collect();
+    Workload {
+        pattern: "random",
+        case: format!("N={n} k={k} iter={iterations}"),
+        trace: rec.into_trace(),
+        target,
+        tolerance,
+        points,
+    }
+}
+
+/// Template replay: `len` random references into `elements` 16-byte
+/// elements, replayed `repeat` times.
+pub fn template(
+    seed: u64,
+    elements: usize,
+    len: usize,
+    repeat: usize,
+    geoms: &[CacheConfig],
+    tolerance: f64,
+) -> Workload {
+    let mut rng = SplitMix64::new(seed);
+    let refs: Vec<usize> = (0..len).map(|_| rng.below(elements)).collect();
+
+    let rec = Recorder::new();
+    let buf = rec.buffer::<u128>("A", elements);
+    rec.set_enabled(true);
+    for _ in 0..repeat {
+        for &r in &refs {
+            let _ = buf.get(r);
+        }
+    }
+    let target = buf.ds();
+    drop(buf);
+
+    let spec = TemplateSpec::new(16, refs.iter().map(|&r| r as u64).collect());
+    let points = geoms
+        .iter()
+        .map(|&config| ModelPoint {
+            config,
+            model: spec
+                .mem_accesses_repeated(&view(config), repeat as u64)
+                .expect("valid template spec"),
+        })
+        .collect();
+    Workload {
+        pattern: "template",
+        case: format!("R={elements} L={len} repeat={repeat}"),
+        trace: rec.into_trace(),
+        target,
+        tolerance,
+        points,
+    }
+}
+
+/// Sparse-placement factor: each reuse buffer holds `POOL_FACTOR ×`
+/// its footprint in blocks, and the footprint is a distinct random
+/// sample of the pool, so per-set block counts approach the model's
+/// independent-binomial assumption. The factor matters quantitatively:
+/// sampling *without replacement* from a pool only `8×` the footprint
+/// underdisperses per-set counts enough to starve Eq. 11's rare-tail
+/// eviction term by ~40% on mid-sized grids; at `64×` the hypergeometric
+/// variance deficit (`1/POOL_FACTOR`) leaves the expected loss within a
+/// few percent of the binomial limit.
+const POOL_FACTOR: usize = 64;
+
+/// Elements (u64) per 64-byte block in the reuse buffers.
+const BLOCK_SLOTS: usize = 8;
+
+/// Data reuse: load `fa` blocks of `A`, then `reuses` rounds of (`fb`
+/// blocks of `B`, re-read `A` boustrophedon).
+///
+/// Only meaningful for 64-byte-line geometries: footprint blocks are
+/// 64-byte spaced, so a different line size would change the per-set
+/// mapping the placement randomizes over.
+pub fn reuse(
+    seed: u64,
+    fa: usize,
+    fb: usize,
+    reuses: usize,
+    geoms: &[CacheConfig],
+    tolerance: f64,
+) -> Workload {
+    let mut rng = SplitMix64::new(seed);
+    let rec = Recorder::new();
+    let a = rec.buffer::<u64>("A", fa * POOL_FACTOR * BLOCK_SLOTS);
+    let b = rec.buffer::<u64>("B", fb * POOL_FACTOR * BLOCK_SLOTS);
+    let mut scratch = Vec::new();
+    let a_blocks = rng.sample_distinct(&mut scratch, fa * POOL_FACTOR, fa);
+    let mut scratch = Vec::new();
+    let b_blocks = rng.sample_distinct(&mut scratch, fb * POOL_FACTOR, fb);
+
+    rec.set_enabled(true);
+    // Initial exclusive load of A (forward).
+    for &blk in &a_blocks {
+        let _ = a.get(blk * BLOCK_SLOTS);
+    }
+    for round in 0..reuses {
+        // B interferes. B itself alternates direction across rounds:
+        // with a fixed order, from round 2 on B's misses evict B's own
+        // least-recent survivors (sequential cycling) instead of A, so A
+        // would pay Eq. 11's interference loss once rather than per
+        // round. Alternating makes each B pass hit its own retained
+        // tail first and push the evictions onto A, as the model charges.
+        if round % 2 == 1 {
+            for &blk in b_blocks.iter().rev() {
+                let _ = b.get(blk * BLOCK_SLOTS);
+            }
+        } else {
+            for &blk in &b_blocks {
+                let _ = b.get(blk * BLOCK_SLOTS);
+            }
+        }
+        // Re-read A, alternating direction each round so the LRU-retained
+        // tail of the previous pass is touched first (see module docs).
+        if round % 2 == 0 {
+            for &blk in a_blocks.iter().rev() {
+                let _ = a.get(blk * BLOCK_SLOTS);
+            }
+        } else {
+            for &blk in &a_blocks {
+                let _ = a.get(blk * BLOCK_SLOTS);
+            }
+        }
+    }
+    let target = a.ds();
+    drop((a, b));
+
+    let spec = ReuseSpec {
+        target_blocks: fa as u64,
+        interfering_blocks: fb as u64,
+        reuses: reuses as u64,
+        scenario: InterferenceScenario::Exclusive,
+    };
+    let points = geoms
+        .iter()
+        .map(|&config| {
+            debug_assert_eq!(
+                config.line_bytes, 64,
+                "reuse workload blocks are 64-byte spaced"
+            );
+            ModelPoint {
+                config,
+                model: spec.mem_accesses(&view(config)).expect("valid reuse spec"),
+            }
+        })
+        .collect();
+    Workload {
+        pattern: "reuse",
+        case: format!("Fa={fa} Fb={fb} reuses={reuses}"),
+        trace: rec.into_trace(),
+        target,
+        tolerance,
+        points,
+    }
+}

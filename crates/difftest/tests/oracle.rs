@@ -1,0 +1,168 @@
+//! End-to-end tests of the differential grid, plus a reference-model
+//! cross-check of the cache simulator on the oracle's own traces.
+
+use dvf_cachesim::{simulate_many, CacheConfig, SimJob};
+use dvf_difftest::{oracle, run_grid, workloads};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+#[test]
+fn smoke_grid_passes_within_tolerance() {
+    let report = run_grid(1, true);
+    assert_eq!(
+        report.points.len(),
+        24,
+        "4 patterns x 2 sizes x 3 geometries"
+    );
+    let failures = report.failures();
+    assert!(
+        failures.is_empty(),
+        "disagreements:\n{}",
+        report.render_text()
+    );
+    // The exact models really are exact: streaming and template replay
+    // to the model value bit-for-bit.
+    for p in &report.points {
+        if p.pattern == "streaming" || p.pattern == "template" {
+            assert_eq!(p.model, p.simulated, "{} {}", p.pattern, p.case);
+        }
+    }
+}
+
+#[test]
+fn full_grid_covers_48_points_and_passes() {
+    let report = run_grid(1, false);
+    assert_eq!(
+        report.points.len(),
+        48,
+        "4 patterns x 4 sizes x 3 geometries"
+    );
+    assert!(
+        report.failures().is_empty(),
+        "disagreements:\n{}",
+        report.render_text()
+    );
+    assert!(report.max_rel_err() <= 0.10);
+}
+
+#[test]
+fn grid_is_deterministic_per_seed() {
+    let a = run_grid(7, true);
+    let b = run_grid(7, true);
+    assert_eq!(a.to_json(), b.to_json());
+    let c = run_grid(8, true);
+    assert_ne!(
+        a.to_json(),
+        c.to_json(),
+        "different seeds must generate different workloads"
+    );
+}
+
+#[test]
+fn json_report_is_versioned_and_complete() {
+    let report = run_grid(3, true);
+    let json = report.to_json();
+    assert!(json.starts_with(&format!("{{\"schema\":\"{}\"", oracle::JSON_SCHEMA)));
+    assert!(json.contains("\"seed\":3"));
+    assert!(json.contains("\"smoke\":true"));
+    assert!(json.contains("\"summary\""));
+    assert!(json.contains("\"max_rel_err\""));
+    assert_eq!(json.matches("\"pattern\":").count(), report.points.len());
+    // Balanced braces/brackets (JsonWriter tracks nesting, but guard the
+    // report shape anyway since CI consumers parse it).
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+}
+
+#[test]
+fn text_table_names_every_pattern() {
+    let rendered = run_grid(2, true).render_text();
+    for pattern in ["streaming", "random", "template", "reuse"] {
+        assert!(rendered.contains(pattern), "missing {pattern}:\n{rendered}");
+    }
+    assert!(rendered.contains("0 failed"));
+}
+
+/// Independent single-level LRU model: per-set `VecDeque` with explicit
+/// move-to-front — the textbook structure the SoA simulator replaced.
+/// Counting misses for one data structure lets us cross-check the
+/// simulator itself on the oracle's traces (a third opinion besides the
+/// closed forms).
+fn reference_misses(
+    trace: &dvf_cachesim::Trace,
+    target: dvf_cachesim::DsId,
+    cfg: CacheConfig,
+) -> u64 {
+    let sets = cfg.num_sets as u64;
+    let line = cfg.line_bytes as u64;
+    let mut cache: Vec<VecDeque<u64>> = vec![VecDeque::new(); cfg.num_sets];
+    let mut misses = 0;
+    for r in &trace.refs {
+        let block = r.addr / line;
+        let ways = &mut cache[(block % sets) as usize];
+        if let Some(pos) = ways.iter().position(|&b| b == block) {
+            let b = ways.remove(pos).expect("position was valid");
+            ways.push_front(b);
+        } else {
+            if r.ds == target {
+                misses += 1;
+            }
+            if ways.len() == cfg.associativity {
+                ways.pop_back();
+            }
+            ways.push_front(block);
+        }
+    }
+    misses
+}
+
+#[test]
+fn simulator_matches_reference_lru_on_oracle_traces() {
+    let configs = [
+        CacheConfig::new(4, 64, 64).unwrap(),
+        CacheConfig::new(8, 128, 64).unwrap(),
+        CacheConfig::new(512, 1, 64).unwrap(),
+    ];
+    for seed in [1, 2, 3] {
+        let w = workloads::reuse(seed, 192, 192, 6, &configs, 0.1);
+        let jobs: Vec<SimJob> = configs.iter().map(|&c| SimJob::lru(c)).collect();
+        let reports = simulate_many(&w.trace, &jobs);
+        for (cfg, report) in configs.iter().zip(&reports) {
+            assert_eq!(
+                report.ds(w.target).misses,
+                reference_misses(&w.trace, w.target, *cfg),
+                "simulator disagrees with reference LRU: seed {seed}, {cfg:?}"
+            );
+        }
+    }
+    let w = workloads::random(9, 512, 128, 4, &configs, 0.1);
+    let jobs: Vec<SimJob> = configs.iter().map(|&c| SimJob::lru(c)).collect();
+    let reports = simulate_many(&w.trace, &jobs);
+    for (cfg, report) in configs.iter().zip(&reports) {
+        assert_eq!(
+            report.ds(w.target).misses,
+            reference_misses(&w.trace, w.target, *cfg),
+            "simulator disagrees with reference LRU on random trace: {cfg:?}"
+        );
+    }
+}
+
+proptest! {
+    /// The simulator agrees with the reference LRU on arbitrary small
+    /// reuse workloads, not just the grid's sizes.
+    #[test]
+    fn simulator_matches_reference_on_arbitrary_reuse(
+        seed in 0u64..1_000_000,
+        fa in 1usize..48,
+        fb in 1usize..48,
+        reuses in 1usize..5,
+    ) {
+        let cfg = CacheConfig::new(4, 16, 64).unwrap();
+        let w = workloads::reuse(seed, fa, fb, reuses, &[cfg], 0.1);
+        let reports = simulate_many(&w.trace, &[SimJob::lru(cfg)]);
+        prop_assert_eq!(
+            reports[0].ds(w.target).misses,
+            reference_misses(&w.trace, w.target, cfg)
+        );
+    }
+}
