@@ -52,13 +52,14 @@ pub mod sim;
 pub mod stats;
 pub mod trace;
 
+pub use binio::{read_binary, write_binary, write_binary_v2, TraceReader, TraceWriter};
 pub use cache::{AccessOutcome, SetAssociativeCache, Writeback};
 pub use config::{CacheConfig, CacheGeometry};
 pub use hierarchy::{simulate_hierarchy, CacheHierarchy, HierarchyReport};
 pub use replacement::{Fifo, Lru, PolicyKind, RandomEvict, ReplacementPolicy, TreePlru};
 pub use sim::{
-    simulate, simulate_many, simulate_many_with_threads, simulate_with_policy, SimJob, SimReport,
-    Simulator,
+    simulate, simulate_many, simulate_many_with_threads, simulate_with_policy, AnySimulator,
+    SimJob, SimReport, Simulator,
 };
 pub use stats::{CacheStats, DsStats};
 pub use trace::{AccessKind, DsId, DsRegistry, MemRef, Trace};

@@ -152,6 +152,68 @@ impl SimJob {
     }
 }
 
+/// Policy-erased streaming simulator: one variant per [`PolicyKind`].
+///
+/// Lets heterogeneous job grids (mixed geometries *and* policies) be
+/// driven chunk-by-chunk from a single reference stream — the fused
+/// record→simulate path — without generics at the call site.
+#[derive(Debug)]
+pub enum AnySimulator {
+    /// LRU replacement (the paper's configuration).
+    Lru(Simulator<Lru>),
+    /// FIFO replacement.
+    Fifo(Simulator<Fifo>),
+    /// Tree pseudo-LRU replacement.
+    Plru(Simulator<TreePlru>),
+    /// Random replacement.
+    Random(Simulator<RandomEvict>),
+}
+
+impl AnySimulator {
+    /// Simulator for one job's geometry + policy.
+    pub fn new(job: SimJob) -> Self {
+        match job.policy {
+            PolicyKind::Lru => AnySimulator::Lru(Simulator::with_policy(job.config, Lru)),
+            PolicyKind::Fifo => AnySimulator::Fifo(Simulator::with_policy(job.config, Fifo)),
+            PolicyKind::Plru => AnySimulator::Plru(Simulator::with_policy(job.config, TreePlru)),
+            PolicyKind::Random => {
+                AnySimulator::Random(Simulator::with_policy(job.config, RandomEvict::default()))
+            }
+        }
+    }
+
+    /// Replay one reference.
+    #[inline]
+    pub fn access(&mut self, r: MemRef) {
+        match self {
+            AnySimulator::Lru(s) => s.access(r),
+            AnySimulator::Fifo(s) => s.access(r),
+            AnySimulator::Plru(s) => s.access(r),
+            AnySimulator::Random(s) => s.access(r),
+        }
+    }
+
+    /// Replay a slice of references (prefetching replay loop).
+    pub fn run(&mut self, refs: &[MemRef]) {
+        match self {
+            AnySimulator::Lru(s) => s.run(refs),
+            AnySimulator::Fifo(s) => s.run(refs),
+            AnySimulator::Plru(s) => s.run(refs),
+            AnySimulator::Random(s) => s.run(refs),
+        }
+    }
+
+    /// Flush (if enabled) and produce the report.
+    pub fn finish(self) -> SimReport {
+        match self {
+            AnySimulator::Lru(s) => s.finish(),
+            AnySimulator::Fifo(s) => s.finish(),
+            AnySimulator::Plru(s) => s.finish(),
+            AnySimulator::Random(s) => s.finish(),
+        }
+    }
+}
+
 /// Replay one borrowed trace through every job in parallel.
 ///
 /// The trace is shared by reference across `std::thread::scope` workers —

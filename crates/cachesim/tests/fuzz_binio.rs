@@ -5,13 +5,12 @@
 //! decode or fail with an `io::Error` — never panic, never allocate
 //! proportionally to a length *claim* the input doesn't back with bytes.
 
-use dvf_cachesim::binio::{read_binary, write_binary, TraceReader};
+use dvf_cachesim::binio::{read_binary, write_binary, write_binary_v2, TraceReader};
 use dvf_cachesim::{AccessKind, MemRef, Trace};
 use proptest::prelude::*;
 
-/// A well-formed trace to mutate: two structures, mixed kinds, addresses
-/// spanning the full u64 range.
-fn sample_trace(refs: usize) -> Vec<u8> {
+/// The two-structure mixed trace all fixtures serialize.
+fn sample(refs: usize) -> Trace {
     let mut t = Trace::new();
     let a = t.registry.register("A");
     let b = t.registry.register("Grid");
@@ -24,8 +23,61 @@ fn sample_trace(refs: usize) -> Vec<u8> {
         };
         t.push(MemRef::new(ds, i.wrapping_mul(0x9e37_79b9_7f4a_7c15), kind));
     }
+    t
+}
+
+/// A well-formed v1 trace to mutate: two structures, mixed kinds,
+/// addresses spanning the full u64 range.
+fn sample_trace(refs: usize) -> Vec<u8> {
     let mut buf = Vec::new();
-    write_binary(&t, &mut buf).unwrap();
+    write_binary(&sample(refs), &mut buf).unwrap();
+    buf
+}
+
+/// The same trace in the compressed block-indexed v2 format.
+fn sample_trace_v2(refs: usize) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_binary_v2(&sample(refs), &mut buf).unwrap();
+    buf
+}
+
+/// Append an unsigned LEB128 varint (the v2 wire primitive).
+fn push_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(b);
+            break;
+        }
+        buf.push(b | 0x80);
+    }
+}
+
+/// Assemble a syntactically complete single-block DVFT2 file around a
+/// hand-crafted block payload, so properties can target the record
+/// decoder with the container (trailer, index, magics) held valid.
+fn craft_v2(payload: &[u8], record_count: u64, names: &[&str]) -> Vec<u8> {
+    let mut buf = b"DVFT\x02".to_vec();
+    buf.push(0x01); // block marker
+    push_varint(&mut buf, record_count);
+    push_varint(&mut buf, payload.len() as u64);
+    buf.extend_from_slice(payload);
+
+    let mut trailer = Vec::new();
+    push_varint(&mut trailer, names.len() as u64);
+    for n in names {
+        push_varint(&mut trailer, n.len() as u64);
+        trailer.extend_from_slice(n.as_bytes());
+    }
+    push_varint(&mut trailer, 1); // block count
+    push_varint(&mut trailer, 0); // body offset of block 0
+    push_varint(&mut trailer, record_count);
+
+    buf.push(0x00); // end-of-blocks sentinel
+    buf.extend_from_slice(&trailer);
+    buf.extend_from_slice(&(1 + trailer.len() as u32).to_le_bytes());
+    buf.extend_from_slice(b"2TFV");
     buf
 }
 
@@ -97,6 +149,113 @@ proptest! {
         drain(&bytes, max);
     }
 
+    /// v2 byte soup behind a valid magic+version prefix reaches the
+    /// trailer/index parser and block decoder without panicking.
+    #[test]
+    fn v2_reader_never_panics_behind_valid_magic(
+        bytes in prop::collection::vec(0u8..=255u8, 0..512),
+        max in 1usize..64,
+    ) {
+        let mut buf = b"DVFT\x02".to_vec();
+        buf.extend_from_slice(&bytes);
+        let _ = read_binary(buf.as_slice());
+        drain(&buf, max);
+    }
+
+    /// Mutations of a well-formed v2 trace (overwrites, truncations,
+    /// insertions, deletions) decode or error — never panic. This walks
+    /// every corruption class at once: corrupt varint continuation bits,
+    /// broken block markers, a damaged index, sheared run tokens.
+    #[test]
+    fn v2_reader_never_panics_on_mutated_traces(
+        refs in 0usize..400,
+        ops in prop::collection::vec((0u8..4, 0u16..8192, 0u8..=255u8), 0..12),
+        max in 1usize..64,
+    ) {
+        let mut bytes = sample_trace_v2(refs);
+        for &(kind, pos, byte) in &ops {
+            if bytes.is_empty() {
+                break;
+            }
+            let i = pos as usize % bytes.len();
+            match kind {
+                0 => bytes[i] = byte,
+                1 => bytes.truncate(i),
+                2 => bytes.insert(i, byte),
+                _ => {
+                    bytes.remove(i);
+                }
+            }
+        }
+        let _ = read_binary(bytes.as_slice());
+        drain(&bytes, max);
+    }
+
+    /// Truncating anywhere inside the block-index trailer must produce a
+    /// clean error: the end magic or trailer bytes are gone, and nothing
+    /// the index *claimed* may be trusted.
+    #[test]
+    fn v2_truncated_block_index_is_rejected(
+        refs in 1usize..300,
+        cut in 1usize..64,
+    ) {
+        let full = sample_trace_v2(refs);
+        // Trailer length (including sentinel) is stored 8 bytes from the
+        // end; the trailer region spans tlen + 8 trailing bytes.
+        let n = full.len();
+        let tlen = u32::from_le_bytes(full[n - 8..n - 4].try_into().unwrap()) as usize;
+        let cut = cut % (tlen + 8) + 1; // 1 ..= tlen + 8 bytes removed
+        let mut bytes = full;
+        bytes.truncate(n - cut);
+        prop_assert!(read_binary(bytes.as_slice()).is_err(), "cut {cut} decoded");
+        let streamed = TraceReader::new(bytes.as_slice()).and_then(|mut r| {
+            let mut chunk = Vec::new();
+            while r.read_chunk(&mut chunk, 64)? > 0 {}
+            Ok(())
+        });
+        prop_assert!(streamed.is_err(), "cut {cut} streamed");
+    }
+
+    /// Setting a continuation bit on a body byte can run a varint past
+    /// its field or off the payload end; either way the decoder must
+    /// error or produce records — never panic or hang.
+    #[test]
+    fn v2_corrupt_varint_continuation_never_panics(
+        refs in 1usize..300,
+        pos in 0u16..8192,
+        max in 1usize..64,
+    ) {
+        let mut bytes = sample_trace_v2(refs);
+        // Corrupt only body bytes (after magic+version, before trailer);
+        // the continuation bit is the varint wire's length signal.
+        let body = 5..bytes.len().saturating_sub(8);
+        if body.is_empty() {
+            return Ok(());
+        }
+        let i = body.start + pos as usize % body.len();
+        bytes[i] |= 0x80;
+        let _ = read_binary(bytes.as_slice());
+        drain(&bytes, max);
+    }
+
+    /// A record whose escaped structure id points past the dictionary is
+    /// rejected with a descriptive error (a raw index would read out of
+    /// bounds in the per-structure delta state).
+    #[test]
+    fn v2_out_of_range_ds_id_is_rejected(ds in 2u64..1_000_000) {
+        // Tag 0x3e = escape-ds marker (id 31 in bits 1-5), read access;
+        // the real id follows as a varint, then the address delta.
+        let mut payload = vec![0x3e];
+        push_varint(&mut payload, ds);
+        push_varint(&mut payload, 0); // zigzag delta 0
+        let bytes = craft_v2(&payload, 1, &["A", "B"]);
+        let err = read_binary(bytes.as_slice()).unwrap_err();
+        prop_assert!(
+            err.to_string().contains("out-of-range"),
+            "unexpected error: {err}"
+        );
+    }
+
     /// Headers whose count / name-length fields claim far more data than
     /// the input holds are rejected with a descriptive error instead of
     /// being trusted (the old code allocated `len` bytes up front).
@@ -116,6 +275,41 @@ proptest! {
             msg.contains("claims") || msg.contains("truncated") || msg.contains("UTF-8"),
             "unexpected error: {msg}"
         );
+    }
+}
+
+#[test]
+fn crafted_v2_fixture_decodes_when_well_formed() {
+    // Sanity-pin `craft_v2` itself: the same escaped-id record with an
+    // in-range id must decode, so the rejection property above is testing
+    // the id bound and not an accident of the fixture.
+    let mut payload = vec![0x3e];
+    push_varint(&mut payload, 1); // ds id 1: in range
+    push_varint(&mut payload, 2); // zigzag(2) = +1
+    let bytes = craft_v2(&payload, 1, &["A", "B"]);
+    let trace = read_binary(bytes.as_slice()).unwrap();
+    assert_eq!(
+        trace.refs,
+        vec![MemRef::new(dvf_cachesim::DsId(1), 1, AccessKind::Read)]
+    );
+}
+
+#[test]
+fn unmutated_v2_sample_roundtrips_through_drain_paths() {
+    // The v2 fixture must decode identically through every chunk size the
+    // properties use, and match the v1 encoding of the same trace.
+    let trace = sample(300);
+    let bytes = sample_trace_v2(300);
+    let full = read_binary(bytes.as_slice()).unwrap();
+    assert_eq!(full.refs, trace.refs);
+    for max in [1usize, 7, 33, 100, 1000] {
+        let mut reader = TraceReader::new(bytes.as_slice()).unwrap();
+        let mut refs = Vec::new();
+        let mut chunk = Vec::new();
+        while reader.read_chunk(&mut chunk, max).unwrap() > 0 {
+            refs.extend_from_slice(&chunk);
+        }
+        assert_eq!(refs, full.refs, "max = {max}");
     }
 }
 

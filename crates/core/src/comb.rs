@@ -56,9 +56,24 @@ pub fn ln_gamma(x: f64) -> f64 {
     }
 }
 
-/// `ln(n!)` for integer `n`; exact table for small `n`, log-gamma above.
-pub fn ln_factorial(n: u64) -> f64 {
-    // Precomputed ln(n!) for n <= 20 (where n! fits u64 exactly).
+/// Arguments covered by the precomputed `ln(n!)` table. Binomial pmf/tail
+/// sums (Eqs. 5, 8, 12) call `ln_factorial` millions of times during a
+/// sweep, almost always with footprint-in-blocks arguments well below this
+/// bound; the table turns each such call into a load.
+const LN_FACTORIAL_TABLE_LEN: usize = 4097;
+
+/// `ln(n!)` for `n < LN_FACTORIAL_TABLE_LEN`, precomputed on first use with
+/// [`ln_factorial_direct`] — table entries are bit-identical to what the
+/// direct computation returns, so the fast path changes no result.
+static LN_FACTORIAL_TABLE: std::sync::LazyLock<Vec<f64>> = std::sync::LazyLock::new(|| {
+    (0..LN_FACTORIAL_TABLE_LEN as u64)
+        .map(ln_factorial_direct)
+        .collect()
+});
+
+/// The uncached `ln(n!)`: exact u64 factorial for `n ≤ 20` (where `n!`
+/// fits), log-gamma above.
+fn ln_factorial_direct(n: u64) -> f64 {
     if n <= 20 {
         let mut f: u64 = 1;
         for i in 2..=n {
@@ -67,6 +82,15 @@ pub fn ln_factorial(n: u64) -> f64 {
         (f as f64).ln()
     } else {
         ln_gamma(n as f64 + 1.0)
+    }
+}
+
+/// `ln(n!)` for integer `n`; precomputed table for small `n`, log-gamma
+/// above.
+pub fn ln_factorial(n: u64) -> f64 {
+    match LN_FACTORIAL_TABLE.get(n as usize) {
+        Some(&v) => v,
+        None => ln_gamma(n as f64 + 1.0),
     }
 }
 
@@ -266,5 +290,20 @@ mod tests {
         // The table/gamma switchover at n = 20 must agree.
         assert_close(ln_factorial(20), ln_gamma(21.0), 1e-12);
         assert_close(ln_factorial(21), ln_gamma(22.0), 1e-12);
+    }
+
+    #[test]
+    fn ln_factorial_table_is_bit_identical_to_direct() {
+        // Inside the table, at its edge, and beyond it.
+        for n in (0..64)
+            .chain([1000, 4095, 4096, 4097, 5000, 100_000])
+            .map(|n| n as u64)
+        {
+            assert_eq!(
+                ln_factorial(n).to_bits(),
+                ln_factorial_direct(n).to_bits(),
+                "n = {n}"
+            );
+        }
     }
 }

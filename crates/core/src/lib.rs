@@ -29,6 +29,8 @@
 //!   parallel parameter grids);
 //! * [`workflow`] — the Fig. 3 pipeline: evaluate a resilience-extended
 //!   Aspen program (parsed by `dvf-aspen`) into a [`dvf::DvfReport`];
+//! * [`memo`] — the process-wide pattern-evaluation cache that makes
+//!   repeated sweep-grid evaluations cheap;
 //! * [`comb`] — the log-space combinatorics underpinning the probability
 //!   models.
 //!
@@ -57,6 +59,7 @@ pub mod comb;
 pub mod domain;
 pub mod dvf;
 pub mod fit;
+pub mod memo;
 pub mod patterns;
 pub mod protect;
 pub mod sweep;

@@ -1,0 +1,284 @@
+//! Memoized CGPMAC pattern-model evaluation.
+//!
+//! Parameter sweeps (`dvf sweep`, the figure harnesses, the `elasticities`
+//! helper) evaluate the same log-gamma-heavy closed forms (Eqs. 3–15) at
+//! many grid points, and most grid points share most of their pattern
+//! evaluations — only the swept parameter changes. This module provides a
+//! process-wide cache keyed by the *complete* input of one pattern-model
+//! evaluation: the pattern's numeric parameters plus the cache view
+//! (geometry and sharing ratio, keyed by exact bit pattern). Template
+//! reference strings are interned to small ids so a key is always a few
+//! machine words — hashing never re-walks a 10⁵-entry template.
+//!
+//! The cache is semantically invisible: a hit returns the exact `f64` the
+//! miss path computed and stored, so cached and uncached sweeps are
+//! bit-identical (asserted by the property tests in `tests/memo_sweep.rs`).
+//! Hits and misses are counted in `dvf-obs` under `sweep.cache.hit` /
+//! `sweep.cache.miss`.
+
+use crate::patterns::{CacheView, ModelError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, LazyLock, Mutex};
+
+/// Hashable identity of a [`CacheView`]: geometry plus the exact bit
+/// pattern of the sharing ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ViewKey {
+    associativity: u64,
+    sets: u64,
+    line_bytes: u64,
+    ratio_bits: u64,
+}
+
+impl ViewKey {
+    /// Key of a view.
+    pub fn of(view: &CacheView) -> Self {
+        Self {
+            associativity: view.config.associativity as u64,
+            sets: view.config.num_sets as u64,
+            line_bytes: view.config.line_bytes as u64,
+            ratio_bits: view.ratio.to_bits(),
+        }
+    }
+}
+
+/// Interned id of a template reference string.
+pub type TemplateId = u32;
+
+/// Hashable identity of one pattern-model evaluation's parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PatternKey {
+    /// `StreamingSpec::mem_accesses`.
+    Streaming {
+        /// Element size in bytes.
+        element_bytes: u64,
+        /// Number of elements.
+        num_elements: u64,
+        /// Stride in elements.
+        stride_elements: u64,
+    },
+    /// `RandomSpec::mem_accesses`.
+    Random {
+        /// Number of elements.
+        num_elements: u64,
+        /// Element size in bytes.
+        element_bytes: u64,
+        /// Distinct elements visited per iteration.
+        k: u64,
+        /// Iterations.
+        iterations: u64,
+        /// Exact bit pattern of the spec's own cache ratio.
+        ratio_bits: u64,
+    },
+    /// `TemplateSpec::mem_accesses_repeated` with an interned template.
+    Template {
+        /// Element size in bytes.
+        element_bytes: u64,
+        /// Interned reference string (see [`intern_template`]).
+        template: TemplateId,
+        /// Replay count.
+        repeat: u64,
+    },
+    /// `ReuseSpec::from_bytes(..).mem_accesses`.
+    Reuse {
+        /// Target structure size in bytes.
+        size_bytes: u64,
+        /// Interfering footprint in bytes.
+        interfering_bytes: u64,
+        /// Number of reuses.
+        reuses: u64,
+        /// Whether the interference is concurrent (vs. exclusive).
+        concurrent: bool,
+    },
+}
+
+/// Complete key of one evaluation: pattern parameters × cache view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EvalKey {
+    /// Pattern parameters.
+    pub pattern: PatternKey,
+    /// Cache view.
+    pub view: ViewKey,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+static CACHE: LazyLock<Mutex<HashMap<EvalKey, f64>>> = LazyLock::new(|| Mutex::new(HashMap::new()));
+
+static TEMPLATES: LazyLock<Mutex<HashMap<Arc<[u64]>, TemplateId>>> =
+    LazyLock::new(|| Mutex::new(HashMap::new()));
+
+/// Whether memoization is active (default: on).
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn memoization on or off (off = every evaluation recomputes).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Drop every cached evaluation and interned template.
+pub fn clear() {
+    // Lock order: cache before templates (the only place both are held).
+    let mut cache = CACHE.lock().expect("memo cache poisoned");
+    let mut templates = TEMPLATES.lock().expect("template interner poisoned");
+    cache.clear();
+    templates.clear();
+}
+
+/// Number of cached evaluations.
+pub fn len() -> usize {
+    CACHE.lock().expect("memo cache poisoned").len()
+}
+
+/// Intern a template reference string, returning a small stable id.
+///
+/// Identical slices (same length, same values) always map to the same id
+/// within one interner generation ([`clear`] starts a new generation and
+/// empties the evaluation cache with it).
+pub fn intern_template(refs: &[u64]) -> TemplateId {
+    let mut templates = TEMPLATES.lock().expect("template interner poisoned");
+    if let Some(&id) = templates.get(refs) {
+        return id;
+    }
+    let id = TemplateId::try_from(templates.len()).expect("more than u32::MAX distinct templates");
+    templates.insert(Arc::from(refs), id);
+    id
+}
+
+/// Evaluate a pattern model through the cache: return the stored value on
+/// a hit, otherwise run `compute`, store an `Ok` result, and return it.
+/// Model errors are never cached (they are cheap — validation fails before
+/// any combinatorics run).
+pub fn evaluate(
+    key: EvalKey,
+    compute: impl FnOnce() -> Result<f64, ModelError>,
+) -> Result<f64, ModelError> {
+    if !enabled() {
+        return compute();
+    }
+    if let Some(&v) = CACHE.lock().expect("memo cache poisoned").get(&key) {
+        dvf_obs::add("sweep.cache.hit", 1);
+        return Ok(v);
+    }
+    dvf_obs::add("sweep.cache.miss", 1);
+    let v = compute()?;
+    CACHE.lock().expect("memo cache poisoned").insert(key, v);
+    Ok(v)
+}
+
+/// Convenience: the key of a pattern evaluated under a view.
+pub fn key(pattern: PatternKey, view: &CacheView) -> EvalKey {
+    EvalKey {
+        pattern,
+        view: ViewKey::of(view),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::StreamingSpec;
+    use dvf_cachesim::CacheConfig;
+
+    /// Serializes tests that toggle the process-global enabled flag or
+    /// clear the cache (other tests in this crate evaluate through the
+    /// cache concurrently, but only these tests mutate its global state).
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn test_view() -> CacheView {
+        CacheView::exclusive(CacheConfig::new(4, 64, 32).unwrap())
+    }
+
+    fn streaming_key(n: u64, view: &CacheView) -> EvalKey {
+        key(
+            PatternKey::Streaming {
+                element_bytes: 8,
+                num_elements: n,
+                stride_elements: 1,
+            },
+            view,
+        )
+    }
+
+    #[test]
+    fn hit_returns_stored_value_bit_exactly() {
+        let _guard = serial();
+        set_enabled(true);
+        let view = test_view();
+        let spec = StreamingSpec {
+            element_bytes: 8,
+            num_elements: 77_777,
+            stride_elements: 1,
+        };
+        let k = streaming_key(77_777, &view);
+        let first = evaluate(k, || spec.mem_accesses(&view)).unwrap();
+        // Second call must not recompute: a poisoned closure proves the hit.
+        let second = evaluate(k, || panic!("cache should have hit")).unwrap();
+        assert_eq!(first.to_bits(), second.to_bits());
+        // After clear the key is gone and the closure runs again.
+        clear();
+        let recomputed = evaluate(k, || Ok(-1.0)).unwrap();
+        assert_eq!(recomputed, -1.0);
+    }
+
+    #[test]
+    fn disabled_cache_recomputes() {
+        let _guard = serial();
+        set_enabled(false);
+        let view = test_view();
+        let k = streaming_key(5, &view);
+        let mut calls = 0;
+        for _ in 0..3 {
+            let _ = evaluate(k, || {
+                calls += 1;
+                Ok(1.0)
+            });
+        }
+        set_enabled(true);
+        assert_eq!(calls, 3);
+        // The key was never stored: the first enabled evaluation misses.
+        let probe = evaluate(k, || Ok(2.0)).unwrap();
+        assert_eq!(probe, 2.0, "disabled evaluations must not populate");
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let _guard = serial();
+        set_enabled(true);
+        let view = test_view();
+        let k = streaming_key(0, &view);
+        let mut calls = 0;
+        for _ in 0..2 {
+            let r = evaluate(k, || {
+                calls += 1;
+                Err(ModelError::ZeroParameter("N"))
+            });
+            assert!(r.is_err());
+        }
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn template_interning_is_stable_and_content_addressed() {
+        let a = intern_template(&[1, 2, 3]);
+        let b = intern_template(&[1, 2, 3]);
+        let c = intern_template(&[1, 2, 4]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn distinct_ratios_are_distinct_keys() {
+        let cfg = CacheConfig::new(4, 64, 32).unwrap();
+        let exclusive = ViewKey::of(&CacheView::exclusive(cfg));
+        let shared = ViewKey::of(&CacheView::shared(cfg, 0.25));
+        assert_ne!(exclusive, shared);
+    }
+}

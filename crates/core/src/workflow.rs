@@ -15,6 +15,7 @@
 
 use crate::dvf::{DataStructureProfile, DvfReport};
 use crate::fit::{EccScheme, FitRate};
+use crate::memo;
 use crate::patterns::{
     CacheView, InterferenceScenario, ModelError, RandomSpec, ReuseSpec, StreamingSpec, TemplateSpec,
 };
@@ -218,17 +219,34 @@ pub fn account_phases(
                 },
                 1,
             );
+            // Every arm evaluates through the process-wide memo cache
+            // (`crate::memo`): the key captures the pattern's complete
+            // numeric parameters plus the cache view, so sweeps that
+            // revisit a (pattern, geometry, ratio) point skip the
+            // log-gamma-heavy closed forms entirely.
             let n_ha = match &access.pattern {
                 PatternSpec::Streaming {
                     element_bytes,
                     count,
                     stride_elements,
-                } => StreamingSpec {
-                    element_bytes: *element_bytes,
-                    num_elements: *count,
-                    stride_elements: *stride_elements,
-                }
-                .mem_accesses(&view)
+                } => memo::evaluate(
+                    memo::key(
+                        memo::PatternKey::Streaming {
+                            element_bytes: *element_bytes,
+                            num_elements: *count,
+                            stride_elements: *stride_elements,
+                        },
+                        &view,
+                    ),
+                    || {
+                        StreamingSpec {
+                            element_bytes: *element_bytes,
+                            num_elements: *count,
+                            stride_elements: *stride_elements,
+                        }
+                        .mem_accesses(&view)
+                    },
+                )
                 .map_err(model_err)?,
                 PatternSpec::Random {
                     elements,
@@ -236,37 +254,76 @@ pub fn account_phases(
                     k,
                     iters,
                     ratio: spec_ratio,
-                } => RandomSpec {
-                    num_elements: *elements,
-                    element_bytes: *element_bytes,
-                    k: *k,
-                    iterations: *iters,
-                    ratio: *spec_ratio,
-                }
-                .mem_accesses(&view)
+                } => memo::evaluate(
+                    memo::key(
+                        memo::PatternKey::Random {
+                            num_elements: *elements,
+                            element_bytes: *element_bytes,
+                            k: *k,
+                            iterations: *iters,
+                            ratio_bits: spec_ratio.to_bits(),
+                        },
+                        &view,
+                    ),
+                    || {
+                        RandomSpec {
+                            num_elements: *elements,
+                            element_bytes: *element_bytes,
+                            k: *k,
+                            iterations: *iters,
+                            ratio: *spec_ratio,
+                        }
+                        .mem_accesses(&view)
+                    },
+                )
                 .map_err(model_err)?,
                 PatternSpec::Template {
                     element_bytes,
                     refs,
                     repeat,
-                } => TemplateSpec::new(*element_bytes, refs.clone())
-                    .mem_accesses_repeated(&view, *repeat)
-                    .map_err(model_err)?,
+                } => memo::evaluate(
+                    memo::key(
+                        memo::PatternKey::Template {
+                            element_bytes: *element_bytes,
+                            template: memo::intern_template(refs),
+                            repeat: *repeat,
+                        },
+                        &view,
+                    ),
+                    || {
+                        TemplateSpec::new(*element_bytes, refs.clone())
+                            .mem_accesses_repeated(&view, *repeat)
+                    },
+                )
+                .map_err(model_err)?,
                 PatternSpec::Reuse {
                     interfering_bytes,
                     reuses,
                     scenario,
-                } => ReuseSpec::from_bytes(
-                    data.size_bytes,
-                    *interfering_bytes,
-                    *reuses,
-                    match scenario {
-                        ReuseScenario::Exclusive => InterferenceScenario::Exclusive,
-                        ReuseScenario::Concurrent => InterferenceScenario::Concurrent,
+                } => memo::evaluate(
+                    memo::key(
+                        memo::PatternKey::Reuse {
+                            size_bytes: data.size_bytes,
+                            interfering_bytes: *interfering_bytes,
+                            reuses: *reuses,
+                            concurrent: matches!(scenario, ReuseScenario::Concurrent),
+                        },
+                        &view,
+                    ),
+                    || {
+                        ReuseSpec::from_bytes(
+                            data.size_bytes,
+                            *interfering_bytes,
+                            *reuses,
+                            match scenario {
+                                ReuseScenario::Exclusive => InterferenceScenario::Exclusive,
+                                ReuseScenario::Concurrent => InterferenceScenario::Concurrent,
+                            },
+                            config.line_bytes as u64,
+                        )
+                        .mem_accesses(&view)
                     },
-                    config.line_bytes as u64,
                 )
-                .mem_accesses(&view)
                 .map_err(model_err)?,
             };
 
@@ -385,6 +442,74 @@ pub fn evaluate_source(
         Ok::<_, WorkflowError>((machine, app))
     })?;
     evaluate(&app, &machine)
+}
+
+/// A reusable, parse-once workflow for parameter sweeps.
+///
+/// [`evaluate_source`] re-parses the program at every call; a sweep over a
+/// parameter grid only needs to re-*resolve* and re-*evaluate*, and the
+/// pattern evaluations themselves are memoized process-wide
+/// ([`crate::memo`]), so grid points that share pattern parameters cost a
+/// hash lookup. [`DvfWorkflow::sweep_param`] additionally fans the grid
+/// across worker threads with [`crate::sweep::par_map`].
+#[derive(Debug, Clone)]
+pub struct DvfWorkflow {
+    doc: dvf_aspen::Document,
+    machine_name: Option<String>,
+    model_name: Option<String>,
+}
+
+impl DvfWorkflow {
+    /// Parse a resilience-extended Aspen program once for repeated
+    /// evaluation.
+    pub fn parse(source: &str) -> Result<Self, WorkflowError> {
+        let doc = dvf_obs::span_scope("parse", || dvf_aspen::parse(source))?;
+        Ok(Self {
+            doc,
+            machine_name: None,
+            model_name: None,
+        })
+    }
+
+    /// Select a machine by name (default: the document's only machine).
+    pub fn with_machine(mut self, name: &str) -> Self {
+        self.machine_name = Some(name.to_owned());
+        self
+    }
+
+    /// Select a model by name (default: the document's only model).
+    pub fn with_model(mut self, name: &str) -> Self {
+        self.model_name = Some(name.to_owned());
+        self
+    }
+
+    /// Resolve with `overrides` and evaluate the full Fig. 3 pipeline.
+    pub fn evaluate(&self, overrides: &[(&str, f64)]) -> Result<DvfReport, WorkflowError> {
+        let (machine, app) = dvf_obs::span_scope("resolve", || {
+            let mut resolver = Resolver::new(&self.doc);
+            for (k, v) in overrides {
+                resolver = resolver.set_param(k, *v);
+            }
+            let machine = resolver.machine(self.machine_name.as_deref())?;
+            let app = resolver.model(self.model_name.as_deref())?;
+            Ok::<_, WorkflowError>((machine, app))
+        })?;
+        evaluate(&app, &machine)
+    }
+
+    /// Sweep one parameter over `values` in parallel, preserving order.
+    ///
+    /// Each grid point is an independent resolve + evaluate; the memoized
+    /// pattern cache is shared across workers, so evaluations repeated
+    /// between grid points (patterns the swept parameter does not reach)
+    /// are computed once.
+    pub fn sweep_param(
+        &self,
+        param: &str,
+        values: &[f64],
+    ) -> Vec<Result<DvfReport, WorkflowError>> {
+        crate::sweep::par_map(values, |&v| self.evaluate(&[(param, v)]))
+    }
 }
 
 #[cfg(test)]

@@ -1,30 +1,35 @@
 //! `diffcheck` — run the differential oracle grid and report agreement.
 //!
 //! ```text
-//! diffcheck [--smoke] [--json] [--seed N]
+//! diffcheck [--smoke] [--json] [--fused] [--seed N]
 //! ```
 //!
 //! * `--smoke` — reduced grid (first two problem sizes per pattern,
 //!   24 points) for CI; the default full grid is 48 points.
 //! * `--json`  — emit the versioned `dvf-difftest/1` report instead of
 //!   the text table.
+//! * `--fused` — stream each workload straight from the recorder into
+//!   the geometry simulators (no trace materialization); bit-identical
+//!   results to the default buffered replay.
 //! * `--seed N` — base seed for workload generation (default 1).
 //!
 //! Exits 1 if any grid point disagrees beyond its model's tolerance.
 
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: diffcheck [--smoke] [--json] [--seed N]";
+const USAGE: &str = "usage: diffcheck [--smoke] [--json] [--fused] [--seed N]";
 
 fn main() -> ExitCode {
     let mut smoke = false;
     let mut json = false;
+    let mut fused = false;
     let mut seed: u64 = 1;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--json" => json = true,
+            "--fused" => fused = true,
             "--seed" => {
                 let Some(v) = args.next().and_then(|s| s.parse().ok()) else {
                     eprintln!("--seed needs an unsigned integer\n{USAGE}");
@@ -43,7 +48,11 @@ fn main() -> ExitCode {
         }
     }
 
-    let report = dvf_difftest::run_grid(seed, smoke);
+    let report = if fused {
+        dvf_difftest::run_grid_fused(seed, smoke)
+    } else {
+        dvf_difftest::run_grid(seed, smoke)
+    };
     if json {
         println!("{}", report.to_json());
     } else {

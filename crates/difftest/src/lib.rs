@@ -21,5 +21,5 @@ pub mod oracle;
 pub mod rng;
 pub mod workloads;
 
-pub use oracle::{run_grid, DiffPoint, GridReport, JSON_SCHEMA};
-pub use workloads::{ModelPoint, Workload};
+pub use oracle::{run_grid, run_grid_fused, DiffPoint, GridReport, ReplayMode, JSON_SCHEMA};
+pub use workloads::{ModelPoint, Workload, WorkloadDef};

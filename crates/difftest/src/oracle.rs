@@ -33,9 +33,11 @@
 //! | reuse     | 10 %      | binomial per-set expectation vs. sampled placements |
 
 use crate::rng::SplitMix64;
-use crate::workloads::{self, Workload};
-use dvf_cachesim::{simulate_many, CacheConfig, SimJob};
+use crate::workloads::{self, WorkloadDef};
+use dvf_cachesim::{simulate_many, CacheConfig, DsId, SimJob};
+use dvf_kernels::record_fanout;
 use dvf_obs::JsonWriter;
+use std::cell::Cell;
 use std::fmt::Write as _;
 
 /// Schema identifier of the JSON report.
@@ -200,7 +202,7 @@ pub const REPLICAS: u64 = 3;
 /// Build the workload list for one grid run: each inner vector holds
 /// the placement replicas of one (pattern, size) case — identical model
 /// predictions, independently seeded placements.
-fn build_workloads(seed: u64, smoke: bool) -> Vec<Vec<Workload>> {
+fn build_workloads(seed: u64, smoke: bool) -> Vec<Vec<WorkloadDef>> {
     // Set-associative geometries for streaming: 8 KiB with 32 B lines,
     // 32 KiB and 256 KiB with 64 B lines.
     let set_assoc = [geom(4, 64, 32), geom(8, 64, 64), geom(8, 512, 64)];
@@ -239,7 +241,7 @@ fn build_workloads(seed: u64, smoke: bool) -> Vec<Vec<Workload>> {
     let mut out = Vec::new();
     for &(n, stride) in &streaming_sizes[..take] {
         // Streaming is deterministic: one replica.
-        out.push(vec![workloads::streaming(
+        out.push(vec![workloads::streaming_def(
             n,
             stride,
             &set_assoc,
@@ -251,7 +253,7 @@ fn build_workloads(seed: u64, smoke: bool) -> Vec<Vec<Workload>> {
             (0..REPLICAS)
                 .map(|r| {
                     let s = derive_seed(seed, 1 + (r << 8), i as u64);
-                    workloads::random(s, n, k, iters, &fully_assoc, RANDOM_TOL)
+                    workloads::random_def(s, n, k, iters, &fully_assoc, RANDOM_TOL)
                 })
                 .collect(),
         );
@@ -260,7 +262,7 @@ fn build_workloads(seed: u64, smoke: bool) -> Vec<Vec<Workload>> {
         // The template is part of the case definition (both sides see
         // the same reference string), so one replica suffices.
         let s = derive_seed(seed, 2, i as u64);
-        out.push(vec![workloads::template(
+        out.push(vec![workloads::template_def(
             s,
             r,
             l,
@@ -274,7 +276,7 @@ fn build_workloads(seed: u64, smoke: bool) -> Vec<Vec<Workload>> {
             (0..REPLICAS)
                 .map(|r| {
                     let s = derive_seed(seed, 3 + (r << 8), i as u64);
-                    workloads::reuse(s, fa, fb, reuses, &line64, REUSE_TOL)
+                    workloads::reuse_def(s, fa, fb, reuses, &line64, REUSE_TOL)
                 })
                 .collect(),
         );
@@ -282,23 +284,53 @@ fn build_workloads(seed: u64, smoke: bool) -> Vec<Vec<Workload>> {
     out
 }
 
+/// How a grid run replays each workload through the simulators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayMode {
+    /// Materialize the trace in memory, then fan it across the
+    /// pattern's geometries with [`simulate_many`].
+    Buffered,
+    /// Stream references straight from the recorder into every
+    /// geometry's simulator (`record_fanout`); no trace is built.
+    Fused,
+}
+
+/// Simulate one workload replica across its geometries, returning the
+/// per-geometry miss counts of the target data structure.
+fn replay_replica(w: &WorkloadDef, jobs: &[SimJob], mode: ReplayMode) -> Vec<u64> {
+    match mode {
+        ReplayMode::Buffered => {
+            let m = w.materialize();
+            let reports = simulate_many(&m.trace, jobs);
+            reports.iter().map(|r| r.ds(m.target).misses).collect()
+        }
+        ReplayMode::Fused => {
+            let target = Cell::new(DsId(0));
+            let (_registry, reports) = record_fanout(jobs, |rec| {
+                target.set(w.record(rec));
+            });
+            reports.iter().map(|r| r.ds(target.get()).misses).collect()
+        }
+    }
+}
+
 /// Run the full differential grid: generate every seeded workload,
-/// fan its trace across the pattern's geometries with [`simulate_many`],
-/// and compare misses against the closed forms.
-pub fn run_grid(seed: u64, smoke: bool) -> GridReport {
+/// fan its reference stream across the pattern's geometries, and
+/// compare misses against the closed forms.
+pub fn run_grid_with_mode(seed: u64, smoke: bool, mode: ReplayMode) -> GridReport {
     let _span = dvf_obs::span("difftest.grid");
     let mut points = Vec::new();
     for replicas in build_workloads(seed, smoke) {
         // Per-geometry miss counts averaged over the placement replicas
-        // (each replica fans its trace across all geometries at once
-        // through `simulate_many`).
+        // (each replica fans its reference stream across all geometries
+        // at once).
         let head = &replicas[0];
+        let jobs: Vec<SimJob> = head.points.iter().map(|p| SimJob::lru(p.config)).collect();
         let mut sums = vec![0.0; head.points.len()];
         for w in &replicas {
-            let jobs: Vec<SimJob> = w.points.iter().map(|p| SimJob::lru(p.config)).collect();
-            let reports = simulate_many(&w.trace, &jobs);
-            for (sum, report) in sums.iter_mut().zip(&reports) {
-                *sum += report.ds(w.target).misses as f64;
+            let misses = replay_replica(w, &jobs, mode);
+            for (sum, m) in sums.iter_mut().zip(&misses) {
+                *sum += *m as f64;
             }
         }
         for (mp, sum) in head.points.iter().zip(&sums) {
@@ -330,4 +362,16 @@ pub fn run_grid(seed: u64, smoke: bool) -> GridReport {
         smoke,
         points,
     }
+}
+
+/// Buffered grid run (materialized traces + [`simulate_many`]).
+pub fn run_grid(seed: u64, smoke: bool) -> GridReport {
+    run_grid_with_mode(seed, smoke, ReplayMode::Buffered)
+}
+
+/// Fused grid run: every workload streams straight from its recorder
+/// into the geometry simulators. Bit-identical to [`run_grid`] on the
+/// same seed (the recording closures are deterministic).
+pub fn run_grid_fused(seed: u64, smoke: bool) -> GridReport {
+    run_grid_with_mode(seed, smoke, ReplayMode::Fused)
 }

@@ -1,11 +1,17 @@
 //! Seeded workload generators for the differential oracle.
 //!
 //! Each generator builds one concrete kernel execution with
-//! `dvf-kernels`' [`Recorder`]/[`TrackedBuffer`] instrumentation *and*
+//! `dvf-kernels`' [`Recorder`]/`TrackedBuffer` instrumentation *and*
 //! the matching CGPMAC spec, then evaluates the closed form once per
-//! cache geometry. The recorded trace replays through `dvf-cachesim`
-//! later; the interesting part here is constructing access sequences
-//! that actually satisfy each model's assumptions:
+//! cache geometry. A generator returns a [`WorkloadDef`]: the model
+//! predictions plus a deterministic recording closure, which the oracle
+//! either materializes into an in-memory [`Workload`] trace (the
+//! buffered path) or streams straight into a bank of simulators via
+//! `record_fanout` (the fused path). Both paths replay the identical
+//! reference sequence, so their miss counts agree bit-for-bit.
+//!
+//! The interesting part here is constructing access sequences that
+//! actually satisfy each model's assumptions:
 //!
 //! * **streaming** — strided single pass; the recorder 4 KiB-aligns
 //!   buffer bases, so [`StreamingSpec::mem_accesses_aligned`] (zero
@@ -35,6 +41,7 @@ use dvf_core::patterns::{
     CacheView, InterferenceScenario, RandomSpec, ReuseSpec, StreamingSpec, TemplateSpec,
 };
 use dvf_kernels::recorder::Recorder;
+use std::fmt;
 
 /// One (geometry, closed-form prediction) pair of a workload.
 #[derive(Debug, Clone, Copy)]
@@ -43,6 +50,60 @@ pub struct ModelPoint {
     pub config: CacheConfig,
     /// Closed-form `N_ha` prediction.
     pub model: f64,
+}
+
+/// A workload definition: model predictions plus a deterministic
+/// recording closure.
+///
+/// The closure re-creates the exact same reference sequence on every
+/// invocation (all randomness is re-derived from the captured seed), so
+/// the buffered and fused replay paths see identical streams.
+pub struct WorkloadDef {
+    /// Pattern name (`streaming` / `random` / `template` / `reuse`).
+    pub pattern: &'static str,
+    /// Human-readable size parameters, e.g. `N=4096 stride=2`.
+    pub case: String,
+    /// Documented relative tolerance for this pattern's model.
+    pub tolerance: f64,
+    /// One prediction per cache geometry.
+    pub points: Vec<ModelPoint>,
+    /// Records the reference sequence into `rec`, returning the data
+    /// structure whose misses the model predicts.
+    record: Box<dyn Fn(&Recorder) -> DsId + Send + Sync>,
+}
+
+impl fmt::Debug for WorkloadDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkloadDef")
+            .field("pattern", &self.pattern)
+            .field("case", &self.case)
+            .field("tolerance", &self.tolerance)
+            .field("points", &self.points)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkloadDef {
+    /// Record the reference sequence into `rec` (fused path). Returns
+    /// the target data structure id within `rec`'s registry.
+    pub fn record(&self, rec: &Recorder) -> DsId {
+        (self.record)(rec)
+    }
+
+    /// Record into a fresh recorder and materialize the trace
+    /// (buffered path).
+    pub fn materialize(&self) -> Workload {
+        let rec = Recorder::new();
+        let target = (self.record)(&rec);
+        Workload {
+            pattern: self.pattern,
+            case: self.case.clone(),
+            trace: rec.into_trace(),
+            target,
+            tolerance: self.tolerance,
+            points: self.points.clone(),
+        }
+    }
 }
 
 /// A recorded kernel with its per-geometry closed-form predictions.
@@ -67,18 +128,12 @@ fn view(config: CacheConfig) -> CacheView {
 }
 
 /// Strided streaming pass over `n` 8-byte elements.
-pub fn streaming(n: usize, stride: usize, geoms: &[CacheConfig], tolerance: f64) -> Workload {
-    let rec = Recorder::new();
-    let buf = rec.buffer::<u64>("A", n);
-    rec.set_enabled(true);
-    let mut i = 0;
-    while i < n {
-        let _ = buf.get(i);
-        i += stride;
-    }
-    let target = buf.ds();
-    drop(buf);
-
+pub fn streaming_def(
+    n: usize,
+    stride: usize,
+    geoms: &[CacheConfig],
+    tolerance: f64,
+) -> WorkloadDef {
     let spec = StreamingSpec {
         element_bytes: 8,
         num_elements: n as u64,
@@ -93,14 +148,29 @@ pub fn streaming(n: usize, stride: usize, geoms: &[CacheConfig], tolerance: f64)
                 .expect("valid streaming spec"),
         })
         .collect();
-    Workload {
+    WorkloadDef {
         pattern: "streaming",
         case: format!("N={n} stride={stride}"),
-        trace: rec.into_trace(),
-        target,
         tolerance,
         points,
+        record: Box::new(move |rec| {
+            let buf = rec.buffer::<u64>("A", n);
+            rec.set_enabled(true);
+            let mut i = 0;
+            while i < n {
+                let _ = buf.get(i);
+                i += stride;
+            }
+            let target = buf.ds();
+            drop(buf);
+            target
+        }),
     }
+}
+
+/// Strided streaming pass, materialized (see [`streaming_def`]).
+pub fn streaming(n: usize, stride: usize, geoms: &[CacheConfig], tolerance: f64) -> Workload {
+    streaming_def(n, stride, geoms, tolerance).materialize()
 }
 
 /// Sub-block touch granularity of the random workload: every 64-byte
@@ -110,56 +180,14 @@ const RANDOM_ELEMENT_SLOTS: usize = 8;
 
 /// Random visits: a construction pass over `n` 64-byte elements, then
 /// `iterations` rounds each visiting `k` distinct random elements.
-pub fn random(
+pub fn random_def(
     seed: u64,
     n: usize,
     k: usize,
     iterations: usize,
     geoms: &[CacheConfig],
     tolerance: f64,
-) -> Workload {
-    let mut rng = SplitMix64::new(seed);
-    let rec = Recorder::new();
-    let buf = rec.buffer::<u64>("A", n * RANDOM_ELEMENT_SLOTS);
-    rec.set_enabled(true);
-    let touch = |e: usize| {
-        let _ = buf.get(e * RANDOM_ELEMENT_SLOTS);
-        let _ = buf.get(e * RANDOM_ELEMENT_SLOTS + 4);
-    };
-    // Construction pass: stream every element once (the model's
-    // compulsory `⌈E·N/CL⌉` initial loads).
-    let mut stamp: Vec<u64> = vec![0; n];
-    let mut clock = 0u64;
-    let mut tick = |stamp: &mut Vec<u64>, e: usize| {
-        clock += 1;
-        stamp[e] = clock;
-    };
-    for e in 0..n {
-        touch(e);
-        tick(&mut stamp, e);
-    }
-    // Visiting passes: k distinct elements per iteration, visited in
-    // descending recency order. Eq. 6 counts an element as a hit when it
-    // is resident at *iteration start*; with an arbitrary visit order,
-    // the iteration's own misses evict still-unvisited resident elements
-    // first (intra-iteration erosion), inflating misses above the model.
-    // Most-recent-first visiting means every visit earlier than element
-    // `e` is more recent than `e`, so under LRU no eviction can reach a
-    // start-resident element before its visit — realizing the model's
-    // count exactly, and (by the stack-distance inclusion property) for
-    // every cache capacity at once.
-    let mut scratch = Vec::new();
-    for _ in 0..iterations {
-        let mut visits = rng.sample_distinct(&mut scratch, n, k);
-        visits.sort_unstable_by_key(|&e| std::cmp::Reverse(stamp[e]));
-        for e in visits {
-            touch(e);
-            tick(&mut stamp, e);
-        }
-    }
-    let target = buf.ds();
-    drop(buf);
-
+) -> WorkloadDef {
     let spec = RandomSpec {
         num_elements: n as u64,
         element_bytes: (RANDOM_ELEMENT_SLOTS * 8) as u64,
@@ -174,39 +202,81 @@ pub fn random(
             model: spec.mem_accesses(&view(config)).expect("valid random spec"),
         })
         .collect();
-    Workload {
+    WorkloadDef {
         pattern: "random",
         case: format!("N={n} k={k} iter={iterations}"),
-        trace: rec.into_trace(),
-        target,
         tolerance,
         points,
+        record: Box::new(move |rec| {
+            let mut rng = SplitMix64::new(seed);
+            let buf = rec.buffer::<u64>("A", n * RANDOM_ELEMENT_SLOTS);
+            rec.set_enabled(true);
+            let touch = |e: usize| {
+                let _ = buf.get(e * RANDOM_ELEMENT_SLOTS);
+                let _ = buf.get(e * RANDOM_ELEMENT_SLOTS + 4);
+            };
+            // Construction pass: stream every element once (the model's
+            // compulsory `⌈E·N/CL⌉` initial loads).
+            let mut stamp: Vec<u64> = vec![0; n];
+            let mut clock = 0u64;
+            let mut tick = |stamp: &mut Vec<u64>, e: usize| {
+                clock += 1;
+                stamp[e] = clock;
+            };
+            for e in 0..n {
+                touch(e);
+                tick(&mut stamp, e);
+            }
+            // Visiting passes: k distinct elements per iteration, visited in
+            // descending recency order. Eq. 6 counts an element as a hit when it
+            // is resident at *iteration start*; with an arbitrary visit order,
+            // the iteration's own misses evict still-unvisited resident elements
+            // first (intra-iteration erosion), inflating misses above the model.
+            // Most-recent-first visiting means every visit earlier than element
+            // `e` is more recent than `e`, so under LRU no eviction can reach a
+            // start-resident element before its visit — realizing the model's
+            // count exactly, and (by the stack-distance inclusion property) for
+            // every cache capacity at once.
+            let mut scratch = Vec::new();
+            for _ in 0..iterations {
+                let mut visits = rng.sample_distinct(&mut scratch, n, k);
+                visits.sort_unstable_by_key(|&e| std::cmp::Reverse(stamp[e]));
+                for e in visits {
+                    touch(e);
+                    tick(&mut stamp, e);
+                }
+            }
+            let target = buf.ds();
+            drop(buf);
+            target
+        }),
     }
+}
+
+/// Random visits, materialized (see [`random_def`]).
+pub fn random(
+    seed: u64,
+    n: usize,
+    k: usize,
+    iterations: usize,
+    geoms: &[CacheConfig],
+    tolerance: f64,
+) -> Workload {
+    random_def(seed, n, k, iterations, geoms, tolerance).materialize()
 }
 
 /// Template replay: `len` random references into `elements` 16-byte
 /// elements, replayed `repeat` times.
-pub fn template(
+pub fn template_def(
     seed: u64,
     elements: usize,
     len: usize,
     repeat: usize,
     geoms: &[CacheConfig],
     tolerance: f64,
-) -> Workload {
+) -> WorkloadDef {
     let mut rng = SplitMix64::new(seed);
     let refs: Vec<usize> = (0..len).map(|_| rng.below(elements)).collect();
-
-    let rec = Recorder::new();
-    let buf = rec.buffer::<u128>("A", elements);
-    rec.set_enabled(true);
-    for _ in 0..repeat {
-        for &r in &refs {
-            let _ = buf.get(r);
-        }
-    }
-    let target = buf.ds();
-    drop(buf);
 
     let spec = TemplateSpec::new(16, refs.iter().map(|&r| r as u64).collect());
     let points = geoms
@@ -218,14 +288,36 @@ pub fn template(
                 .expect("valid template spec"),
         })
         .collect();
-    Workload {
+    WorkloadDef {
         pattern: "template",
         case: format!("R={elements} L={len} repeat={repeat}"),
-        trace: rec.into_trace(),
-        target,
         tolerance,
         points,
+        record: Box::new(move |rec| {
+            let buf = rec.buffer::<u128>("A", elements);
+            rec.set_enabled(true);
+            for _ in 0..repeat {
+                for &r in &refs {
+                    let _ = buf.get(r);
+                }
+            }
+            let target = buf.ds();
+            drop(buf);
+            target
+        }),
     }
+}
+
+/// Template replay, materialized (see [`template_def`]).
+pub fn template(
+    seed: u64,
+    elements: usize,
+    len: usize,
+    repeat: usize,
+    geoms: &[CacheConfig],
+    tolerance: f64,
+) -> Workload {
+    template_def(seed, elements, len, repeat, geoms, tolerance).materialize()
 }
 
 /// Sparse-placement factor: each reuse buffer holds `POOL_FACTOR ×`
@@ -248,59 +340,14 @@ const BLOCK_SLOTS: usize = 8;
 /// Only meaningful for 64-byte-line geometries: footprint blocks are
 /// 64-byte spaced, so a different line size would change the per-set
 /// mapping the placement randomizes over.
-pub fn reuse(
+pub fn reuse_def(
     seed: u64,
     fa: usize,
     fb: usize,
     reuses: usize,
     geoms: &[CacheConfig],
     tolerance: f64,
-) -> Workload {
-    let mut rng = SplitMix64::new(seed);
-    let rec = Recorder::new();
-    let a = rec.buffer::<u64>("A", fa * POOL_FACTOR * BLOCK_SLOTS);
-    let b = rec.buffer::<u64>("B", fb * POOL_FACTOR * BLOCK_SLOTS);
-    let mut scratch = Vec::new();
-    let a_blocks = rng.sample_distinct(&mut scratch, fa * POOL_FACTOR, fa);
-    let mut scratch = Vec::new();
-    let b_blocks = rng.sample_distinct(&mut scratch, fb * POOL_FACTOR, fb);
-
-    rec.set_enabled(true);
-    // Initial exclusive load of A (forward).
-    for &blk in &a_blocks {
-        let _ = a.get(blk * BLOCK_SLOTS);
-    }
-    for round in 0..reuses {
-        // B interferes. B itself alternates direction across rounds:
-        // with a fixed order, from round 2 on B's misses evict B's own
-        // least-recent survivors (sequential cycling) instead of A, so A
-        // would pay Eq. 11's interference loss once rather than per
-        // round. Alternating makes each B pass hit its own retained
-        // tail first and push the evictions onto A, as the model charges.
-        if round % 2 == 1 {
-            for &blk in b_blocks.iter().rev() {
-                let _ = b.get(blk * BLOCK_SLOTS);
-            }
-        } else {
-            for &blk in &b_blocks {
-                let _ = b.get(blk * BLOCK_SLOTS);
-            }
-        }
-        // Re-read A, alternating direction each round so the LRU-retained
-        // tail of the previous pass is touched first (see module docs).
-        if round % 2 == 0 {
-            for &blk in a_blocks.iter().rev() {
-                let _ = a.get(blk * BLOCK_SLOTS);
-            }
-        } else {
-            for &blk in &a_blocks {
-                let _ = a.get(blk * BLOCK_SLOTS);
-            }
-        }
-    }
-    let target = a.ds();
-    drop((a, b));
-
+) -> WorkloadDef {
     let spec = ReuseSpec {
         target_blocks: fa as u64,
         interfering_blocks: fb as u64,
@@ -320,12 +367,68 @@ pub fn reuse(
             }
         })
         .collect();
-    Workload {
+    WorkloadDef {
         pattern: "reuse",
         case: format!("Fa={fa} Fb={fb} reuses={reuses}"),
-        trace: rec.into_trace(),
-        target,
         tolerance,
         points,
+        record: Box::new(move |rec| {
+            let mut rng = SplitMix64::new(seed);
+            let a = rec.buffer::<u64>("A", fa * POOL_FACTOR * BLOCK_SLOTS);
+            let b = rec.buffer::<u64>("B", fb * POOL_FACTOR * BLOCK_SLOTS);
+            let mut scratch = Vec::new();
+            let a_blocks = rng.sample_distinct(&mut scratch, fa * POOL_FACTOR, fa);
+            let mut scratch = Vec::new();
+            let b_blocks = rng.sample_distinct(&mut scratch, fb * POOL_FACTOR, fb);
+
+            rec.set_enabled(true);
+            // Initial exclusive load of A (forward).
+            for &blk in &a_blocks {
+                let _ = a.get(blk * BLOCK_SLOTS);
+            }
+            for round in 0..reuses {
+                // B interferes. B itself alternates direction across rounds:
+                // with a fixed order, from round 2 on B's misses evict B's own
+                // least-recent survivors (sequential cycling) instead of A, so A
+                // would pay Eq. 11's interference loss once rather than per
+                // round. Alternating makes each B pass hit its own retained
+                // tail first and push the evictions onto A, as the model charges.
+                if round % 2 == 1 {
+                    for &blk in b_blocks.iter().rev() {
+                        let _ = b.get(blk * BLOCK_SLOTS);
+                    }
+                } else {
+                    for &blk in &b_blocks {
+                        let _ = b.get(blk * BLOCK_SLOTS);
+                    }
+                }
+                // Re-read A, alternating direction each round so the LRU-retained
+                // tail of the previous pass is touched first (see module docs).
+                if round % 2 == 0 {
+                    for &blk in a_blocks.iter().rev() {
+                        let _ = a.get(blk * BLOCK_SLOTS);
+                    }
+                } else {
+                    for &blk in &a_blocks {
+                        let _ = a.get(blk * BLOCK_SLOTS);
+                    }
+                }
+            }
+            let target = a.ds();
+            drop((a, b));
+            target
+        }),
     }
+}
+
+/// Data reuse, materialized (see [`reuse_def`]).
+pub fn reuse(
+    seed: u64,
+    fa: usize,
+    fb: usize,
+    reuses: usize,
+    geoms: &[CacheConfig],
+    tolerance: f64,
+) -> Workload {
+    reuse_def(seed, fa, fb, reuses, geoms, tolerance).materialize()
 }

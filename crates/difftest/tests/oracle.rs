@@ -46,6 +46,47 @@ fn full_grid_covers_48_points_and_passes() {
 }
 
 #[test]
+fn fused_smoke_grid_matches_buffered_bit_for_bit() {
+    let buffered = run_grid(1, true);
+    let fused = dvf_difftest::run_grid_fused(1, true);
+    assert_eq!(
+        buffered.to_json(),
+        fused.to_json(),
+        "fused streaming must replay the identical reference sequence"
+    );
+}
+
+/// The smoke grid's workloads survive a v1 and a v2 binary round-trip
+/// with byte-identical reference streams, so replaying a v1 file, a v2
+/// file, or the fused stream all count the same misses.
+#[test]
+fn grid_traces_roundtrip_v1_and_v2_identically() {
+    let configs = [CacheConfig::new(4, 64, 64).unwrap()];
+    let cases = [
+        workloads::streaming(4096, 1, &configs, 0.005),
+        workloads::random(11, 512, 128, 4, &configs, 0.1),
+        workloads::template(12, 256, 2048, 2, &configs, 0.005),
+        workloads::reuse(13, 192, 192, 6, &configs, 0.1),
+    ];
+    for w in &cases {
+        let mut v1 = Vec::new();
+        dvf_cachesim::write_binary(&w.trace, &mut v1).unwrap();
+        let mut v2 = Vec::new();
+        dvf_cachesim::write_binary_v2(&w.trace, &mut v2).unwrap();
+        let from_v1 = dvf_cachesim::read_binary(&v1[..]).unwrap();
+        let from_v2 = dvf_cachesim::read_binary(&v2[..]).unwrap();
+        assert_eq!(from_v1.refs, w.trace.refs, "{} v1 roundtrip", w.pattern);
+        assert_eq!(from_v2.refs, w.trace.refs, "{} v2 roundtrip", w.pattern);
+        let jobs = [SimJob::lru(configs[0])];
+        let direct = simulate_many(&w.trace, &jobs)[0].ds(w.target).misses;
+        let via_v1 = simulate_many(&from_v1, &jobs)[0].ds(w.target).misses;
+        let via_v2 = simulate_many(&from_v2, &jobs)[0].ds(w.target).misses;
+        assert_eq!(direct, via_v1, "{} replay from v1 file", w.pattern);
+        assert_eq!(direct, via_v2, "{} replay from v2 file", w.pattern);
+    }
+}
+
+#[test]
 fn grid_is_deterministic_per_seed() {
     let a = run_grid(7, true);
     let b = run_grid(7, true);

@@ -14,7 +14,10 @@
 //! computation parts of the algorithms, and ignore initialization and
 //! finalization phases".
 
-use dvf_cachesim::{AccessKind, DsId, DsRegistry, MemRef, ReplacementPolicy, Simulator, Trace};
+use dvf_cachesim::{
+    AccessKind, AnySimulator, DsId, DsRegistry, MemRef, ReplacementPolicy, SimJob, SimReport,
+    Simulator, Trace,
+};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -82,6 +85,144 @@ impl std::fmt::Debug for Tee {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Tee").field("sinks", &self.len()).finish()
     }
+}
+
+/// References buffered per [`SimFanout`] replay chunk (1 MiB of
+/// `MemRef`s): large enough to amortize the scoped-thread fan-out and to
+/// keep each simulator in its prefetching [`Simulator::run`] loop.
+const FANOUT_CHUNK: usize = 65_536;
+
+/// Fan-out sink driving a whole simulation job grid straight from kernel
+/// recording — the *fused* record→simulate path.
+///
+/// Unlike [`Tee`] (one `Rc<RefCell<…>>` dispatch per reference per sink),
+/// this sink buffers references into chunks and replays each chunk across
+/// all simulators with scoped threads, so fanning a kernel over N
+/// geometries costs one buffered chunk, not N materialized traces — and
+/// no trace file at all. Every simulator sees the full stream in order,
+/// so reports are bit-identical to buffering a [`Trace`] and replaying it
+/// through [`dvf_cachesim::simulate_many`].
+#[derive(Debug)]
+pub struct SimFanout {
+    sims: Vec<AnySimulator>,
+    buf: Vec<MemRef>,
+    threads: usize,
+}
+
+impl SimFanout {
+    /// Fan-out over one simulator per job, with worker threads defaulting
+    /// to `available_parallelism` (capped at the job count).
+    pub fn new(jobs: &[SimJob]) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_threads(jobs, threads)
+    }
+
+    /// [`SimFanout::new`] with an explicit worker-thread cap.
+    pub fn with_threads(jobs: &[SimJob], threads: usize) -> Self {
+        Self {
+            sims: jobs.iter().map(|&j| AnySimulator::new(j)).collect(),
+            buf: Vec::with_capacity(FANOUT_CHUNK),
+            threads: threads.max(1),
+        }
+    }
+
+    /// Number of simulators attached.
+    pub fn len(&self) -> usize {
+        self.sims.len()
+    }
+
+    /// Whether no simulators are attached.
+    pub fn is_empty(&self) -> bool {
+        self.sims.is_empty()
+    }
+
+    /// Replay the buffered chunk through every simulator.
+    fn flush_chunk(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let workers = self.threads.min(self.sims.len().max(1));
+        if workers <= 1 || self.sims.len() <= 1 {
+            for sim in &mut self.sims {
+                sim.run(&self.buf);
+            }
+        } else {
+            let per = self.sims.len().div_ceil(workers);
+            let buf = &self.buf;
+            std::thread::scope(|scope| {
+                for sims in self.sims.chunks_mut(per) {
+                    scope.spawn(move || {
+                        for sim in sims {
+                            sim.run(buf);
+                        }
+                    });
+                }
+            });
+        }
+        dvf_obs::add("kernels.fanout.chunks", 1);
+        dvf_obs::add("kernels.fanout.refs", self.buf.len() as u64);
+        self.buf.clear();
+    }
+
+    /// Flush the final partial chunk and collect the reports, in job
+    /// order.
+    pub fn finish(mut self) -> Vec<SimReport> {
+        self.flush_chunk();
+        self.sims.drain(..).map(AnySimulator::finish).collect()
+    }
+}
+
+impl TraceSink for SimFanout {
+    #[inline]
+    fn emit(&mut self, r: MemRef) {
+        self.buf.push(r);
+        if self.buf.len() >= FANOUT_CHUNK {
+            self.flush_chunk();
+        }
+    }
+}
+
+/// Run a recording closure with a [`SimFanout`] sink over `jobs` and
+/// return the registry the kernel declared plus one report per job.
+///
+/// This is the fused pipeline in one call: the kernel's references stream
+/// chunk-by-chunk into every simulator, and no `Trace` (let alone a trace
+/// file) is ever materialized.
+///
+/// ```
+/// use dvf_cachesim::{CacheConfig, SimJob};
+/// use dvf_kernels::recorder::record_fanout;
+///
+/// let jobs = [
+///     SimJob::lru(CacheConfig::new(4, 64, 32).unwrap()),
+///     SimJob::lru(CacheConfig::new(8, 512, 64).unwrap()),
+/// ];
+/// let (registry, reports) = record_fanout(&jobs, |rec| {
+///     rec.set_enabled(true);
+///     let mut a = rec.buffer::<u64>("A", 512);
+///     for i in 0..512 {
+///         a.set(i, i as u64);
+///     }
+/// });
+/// let a = registry.id("A").unwrap();
+/// assert_eq!(reports.len(), 2);
+/// assert!(reports[0].ds(a).misses > 0);
+/// ```
+pub fn record_fanout<F: FnOnce(&Recorder)>(
+    jobs: &[SimJob],
+    run: F,
+) -> (DsRegistry, Vec<SimReport>) {
+    let fanout = Rc::new(RefCell::new(SimFanout::new(jobs)));
+    let rec = Recorder::streaming(fanout.clone());
+    run(&rec);
+    let registry = rec.registry();
+    drop(rec);
+    let Ok(fanout) = Rc::try_unwrap(fanout) else {
+        panic!("kernel closure must drop its tracked buffers and recorder clones");
+    };
+    (registry, fanout.into_inner().finish())
 }
 
 /// Shared recording state.
@@ -427,6 +568,69 @@ mod tests {
         assert_eq!(report.refs, expected.refs);
         assert_eq!(report.stats(), expected.stats());
         assert_eq!(registry.name(trace.refs[0].ds), "B");
+    }
+
+    #[test]
+    fn fanout_matches_buffered_simulate_many() {
+        use dvf_cachesim::{simulate_many, CacheConfig, PolicyKind, SimJob};
+
+        fn kernel(rec: &Recorder) {
+            rec.set_enabled(true);
+            let mut a = rec.buffer::<f64>("A", 700);
+            let b = rec.buffer::<f64>("B", 300);
+            for i in 0..700 {
+                let v = b.get(i % 300);
+                a.update(i, |x| x + v);
+            }
+        }
+
+        let jobs = [
+            SimJob::lru(CacheConfig::new(4, 64, 32).unwrap()),
+            SimJob::lru(CacheConfig::new(8, 512, 64).unwrap()),
+            SimJob {
+                config: CacheConfig::new(4, 64, 32).unwrap(),
+                policy: PolicyKind::Fifo,
+            },
+        ];
+
+        let buffered = Recorder::new();
+        kernel(&buffered);
+        let trace = buffered.into_trace();
+        let expected = simulate_many(&trace, &jobs);
+
+        let (registry, fused) = record_fanout(&jobs, kernel);
+        assert_eq!(fused, expected);
+        assert_eq!(registry.id("A"), trace.registry.id("A"));
+        assert_eq!(registry.id("B"), trace.registry.id("B"));
+    }
+
+    #[test]
+    fn fanout_flushes_across_chunk_boundaries() {
+        use dvf_cachesim::{simulate, CacheConfig, SimJob};
+
+        // More references than one FANOUT_CHUNK, so at least one mid-run
+        // flush happens before `finish`.
+        let n = super::FANOUT_CHUNK + 1234;
+        let jobs = [SimJob::lru(CacheConfig::new(4, 64, 32).unwrap())];
+        let (registry, fused) = record_fanout(&jobs, |rec| {
+            rec.set_enabled(true);
+            let buf = rec.buffer::<u64>("A", n);
+            for i in 0..n {
+                let _ = buf.get(i);
+            }
+        });
+        let a = registry.id("A").unwrap();
+
+        let buffered = Recorder::new();
+        buffered.set_enabled(true);
+        let buf = buffered.buffer::<u64>("A", n);
+        for i in 0..n {
+            let _ = buf.get(i);
+        }
+        drop(buf);
+        let expected = simulate(&buffered.into_trace(), jobs[0].config);
+        assert_eq!(fused[0].ds(a), expected.ds(a));
+        assert_eq!(fused[0].refs, n as u64);
     }
 
     #[test]

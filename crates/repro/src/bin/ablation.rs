@@ -1,19 +1,20 @@
 //! Extension study: how sensitive is the CGPMAC/LRU modeling to the
 //! simulator's replacement policy?
 //!
-//! The paper's models assume LRU. This ablation replays each verification
-//! trace under LRU, FIFO, tree-PLRU and random replacement and reports the
-//! per-policy main-memory loads, quantifying how far the LRU assumption
-//! drifts on other policies. Traces are recorded in parallel (one worker
-//! per kernel), and each trace fans across all four policies with
-//! `simulate_many`.
+//! The paper's models assume LRU. This ablation streams each verification
+//! kernel through LRU, FIFO, tree-PLRU and random replacement simulators
+//! simultaneously and reports the per-policy main-memory loads, quantifying
+//! how far the LRU assumption drifts on other policies. Kernels run in
+//! parallel (one worker per kernel), and each kernel's reference stream
+//! fans across all four policies via the fused `record_fanout` pipeline —
+//! no trace is materialized.
 
-use dvf_cachesim::{config::table4, simulate_many, PolicyKind, SimJob, Trace};
+use dvf_cachesim::{config::table4, PolicyKind, SimJob, SimReport};
 use dvf_core::sweep::par_map;
-use dvf_kernels::{barnes_hut, fft, mc, mg, vm, Recorder};
+use dvf_kernels::{barnes_hut, fft, mc, mg, record_fanout, vm, Recorder};
 
-/// A labelled kernel-trace recorder.
-type TraceRecorder = (&'static str, fn() -> Trace);
+/// A labelled kernel entry point.
+type Kernel = (&'static str, fn(&Recorder));
 
 fn main() {
     println!("Ablation — replacement-policy sensitivity of the verification traces");
@@ -23,34 +24,23 @@ fn main() {
         "kernel", "refs", "lru", "fifo", "plru", "random"
     );
 
-    let recorders: [TraceRecorder; 5] = [
-        ("VM", || {
-            let rec = Recorder::new();
-            vm::run_traced(vm::VmParams::verification(), &rec);
-            rec.into_trace()
+    let kernels: [Kernel; 5] = [
+        ("VM", |rec| {
+            vm::run_traced(vm::VmParams::verification(), rec);
         }),
-        ("NB", || {
-            let rec = Recorder::new();
-            barnes_hut::run_traced(barnes_hut::NbParams::verification(), &rec);
-            rec.into_trace()
+        ("NB", |rec| {
+            barnes_hut::run_traced(barnes_hut::NbParams::verification(), rec);
         }),
-        ("MG", || {
-            let rec = Recorder::new();
-            mg::run_traced(mg::MgParams::verification(), &rec);
-            rec.into_trace()
+        ("MG", |rec| {
+            mg::run_traced(mg::MgParams::verification(), rec);
         }),
-        ("FT", || {
-            let rec = Recorder::new();
-            fft::run_traced(fft::FtParams::class_s(), &rec);
-            rec.into_trace()
+        ("FT", |rec| {
+            fft::run_traced(fft::FtParams::class_s(), rec);
         }),
-        ("MC", || {
-            let rec = Recorder::new();
-            mc::run_traced(mc::McParams::verification(), &rec);
-            rec.into_trace()
+        ("MC", |rec| {
+            mc::run_traced(mc::McParams::verification(), rec);
         }),
     ];
-    let traces: Vec<(&str, Trace)> = par_map(&recorders, |(name, record)| (*name, record()));
 
     let jobs: Vec<SimJob> = PolicyKind::ALL
         .iter()
@@ -59,12 +49,17 @@ fn main() {
             policy,
         })
         .collect();
-    for (name, trace) in &traces {
-        let reports = simulate_many(trace, &jobs);
+
+    let results: Vec<(&str, Vec<SimReport>)> = par_map(&kernels, |(name, run)| {
+        let (_registry, reports) = record_fanout(&jobs, run);
+        (*name, reports)
+    });
+
+    for (name, reports) in &results {
         println!(
             "{:<8} {:>12} {:>12} {:>12} {:>12} {:>12}",
             name,
-            trace.len(),
+            reports[0].refs,
             reports[0].total().misses,
             reports[1].total().misses,
             reports[2].total().misses,

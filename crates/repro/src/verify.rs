@@ -8,8 +8,9 @@
 //! 15 % in all cases.
 
 use crate::models::{self, StructureModel};
-use dvf_cachesim::{config::table4, simulate_many, CacheConfig, SimJob, Trace};
-use dvf_kernels::{barnes_hut, cg, fft, mc, mg, vm, Recorder};
+use dvf_cachesim::{config::table4, CacheConfig, SimJob};
+use dvf_kernels::{barnes_hut, cg, fft, mc, mg, record_fanout, vm, Recorder};
+use std::cell::{Cell, RefCell};
 
 /// One Fig. 4 data point: a (kernel, data structure, cache) comparison.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,23 +54,29 @@ pub struct KernelVerification {
     pub rows: Vec<VerifyRow>,
 }
 
+/// Run a kernel through the fused record→simulate pipeline and compare
+/// against the analytical model.
+///
+/// The kernel's references stream chunk-by-chunk into both verification
+/// simulators ([`record_fanout`]); no trace is materialized. `run` is
+/// executed before `model` is consulted, so a model closure may read
+/// outputs the kernel closure stashed (iteration counts etc.).
 fn compare(
     kernel: &'static str,
-    trace: &Trace,
     model: &dyn Fn(CacheConfig) -> Vec<StructureModel>,
+    run: impl FnOnce(&Recorder),
 ) -> KernelVerification {
-    let mut rows = Vec::new();
     let labeled = [
         ("small", table4::SMALL_VERIFICATION),
         ("large", table4::LARGE_VERIFICATION),
     ];
-    // Both verification caches replay the same borrowed trace in parallel.
     let jobs: Vec<SimJob> = labeled.iter().map(|&(_, cfg)| SimJob::lru(cfg)).collect();
-    let reports = simulate_many(trace, &jobs);
+    let (registry, reports) = record_fanout(&jobs, run);
+    let trace_refs = reports.first().map(|r| r.refs as usize).unwrap_or(0);
+    let mut rows = Vec::new();
     for ((label, config), report) in labeled.into_iter().zip(reports) {
         for m in model(config) {
-            let ds = trace
-                .registry
+            let ds = registry
                 .id(m.name)
                 .unwrap_or_else(|| panic!("{kernel}: model names unknown structure {}", m.name));
             rows.push(VerifyRow {
@@ -83,7 +90,7 @@ fn compare(
     }
     KernelVerification {
         kernel,
-        trace_refs: trace.len(),
+        trace_refs,
         rows,
     }
 }
@@ -91,57 +98,57 @@ fn compare(
 /// Verify VM.
 pub fn verify_vm() -> KernelVerification {
     let params = vm::VmParams::verification();
-    let rec = Recorder::new();
-    vm::run_traced(params, &rec);
-    let trace = rec.into_trace();
-    compare("VM", &trace, &|cfg| models::vm_model(params, cfg))
+    compare("VM", &|cfg| models::vm_model(params, cfg), |rec| {
+        vm::run_traced(params, rec);
+    })
 }
 
 /// Verify CG.
 pub fn verify_cg() -> KernelVerification {
     let params = cg::CgParams::verification();
-    let rec = Recorder::new();
-    let out = cg::run_traced(params, &rec);
-    let trace = rec.into_trace();
     let n = params.n as u64;
-    let iters = out.iterations as u64;
-    compare("CG", &trace, &move |cfg| models::cg_model(n, iters, cfg))
+    let iters = Cell::new(0u64);
+    compare("CG", &|cfg| models::cg_model(n, iters.get(), cfg), |rec| {
+        let out = cg::run_traced(params, rec);
+        iters.set(out.iterations as u64);
+    })
 }
 
 /// Verify Barnes-Hut.
 pub fn verify_nb() -> KernelVerification {
     let params = barnes_hut::NbParams::verification();
-    let rec = Recorder::new();
-    let out = barnes_hut::run_traced(params, &rec);
-    let trace = rec.into_trace();
-    compare("NB", &trace, &move |cfg| models::nb_model(&out, cfg))
+    let out = RefCell::new(None);
+    compare(
+        "NB",
+        &|cfg| models::nb_model(out.borrow().as_ref().expect("kernel ran first"), cfg),
+        |rec| {
+            *out.borrow_mut() = Some(barnes_hut::run_traced(params, rec));
+        },
+    )
 }
 
 /// Verify MG.
 pub fn verify_mg() -> KernelVerification {
     let params = mg::MgParams::verification();
-    let rec = Recorder::new();
-    mg::run_traced(params, &rec);
-    let trace = rec.into_trace();
-    compare("MG", &trace, &move |cfg| models::mg_model(params, cfg))
+    compare("MG", &|cfg| models::mg_model(params, cfg), |rec| {
+        mg::run_traced(params, rec);
+    })
 }
 
 /// Verify FT.
 pub fn verify_ft() -> KernelVerification {
     let params = fft::FtParams::class_s();
-    let rec = Recorder::new();
-    fft::run_traced(params, &rec);
-    let trace = rec.into_trace();
-    compare("FT", &trace, &move |cfg| models::ft_model(params, cfg))
+    compare("FT", &|cfg| models::ft_model(params, cfg), |rec| {
+        fft::run_traced(params, rec);
+    })
 }
 
 /// Verify MC.
 pub fn verify_mc() -> KernelVerification {
     let params = mc::McParams::verification();
-    let rec = Recorder::new();
-    mc::run_traced(params, &rec);
-    let trace = rec.into_trace();
-    compare("MC", &trace, &move |cfg| models::mc_model(params, cfg))
+    compare("MC", &|cfg| models::mc_model(params, cfg), |rec| {
+        mc::run_traced(params, rec);
+    })
 }
 
 /// Run the full Fig. 4 verification suite, one kernel per worker thread.

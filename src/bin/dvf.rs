@@ -7,10 +7,13 @@
 //! dvf timed <file> [options]            time-resolved DVF per structure
 //! dvf protect <file> --budget B [options]
 //!                                       DVF-guided protection plan
+//! dvf sweep <file> --sweep p=LO:HI:STEPS [options]
+//!                                       parallel memoized parameter sweep
 //!     --machine <name>                  pick a machine (if several)
 //!     --model <name>                    pick a model (if several)
 //!     --param <name>=<value>            override a parameter (repeatable)
 //!     --residual <f>                    protected-DVF factor (default 0)
+//!     --no-cache                        disable sweep memoization
 //!     --profile[=json]                  print per-phase timing/counters
 //! ```
 //!
@@ -36,6 +39,9 @@ commands:
   timed <file> [same options]        time-resolved DVF (phase-weighted)
   protect <file> --budget BYTES [--residual F] [same options]
                                      plan selective protection by DVF density
+  sweep <file> --sweep p=LO:HI:STEPS [--no-cache] [same options]
+                                     evaluate a parameter grid in parallel
+                                     with memoized pattern models
 
 `--profile` (or DVF_PROFILE=1 / DVF_PROFILE=json in the environment)
 appends a per-phase timing and counter report to stderr.
@@ -81,6 +87,7 @@ fn main() -> ExitCode {
         "eval" => with_source(&args[1..], |s, f| eval_command(s, f, Mode::Classic)),
         "timed" => with_source(&args[1..], |s, f| eval_command(s, f, Mode::Timed)),
         "protect" => with_source(&args[1..], |s, f| eval_command(s, f, Mode::Protect)),
+        "sweep" => with_source(&args[1..], sweep_command),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -290,6 +297,163 @@ fn eval_command(source: &str, flags: &[String], mode: Mode) -> ExitCode {
         }
     }
     code
+}
+
+/// `sweep`: evaluate a parameter grid in parallel through [`DvfWorkflow`],
+/// sharing the memoized pattern cache across grid points.
+fn sweep_command(source: &str, flags: &[String]) -> ExitCode {
+    use dvf::core::workflow::DvfWorkflow;
+
+    let mut machine_name: Option<String> = None;
+    let mut model_name: Option<String> = None;
+    let mut overrides: Vec<(String, f64)> = Vec::new();
+    let mut grid: Option<(String, Vec<f64>)> = None;
+    let mut profile: Option<ProfileFormat> = dvf::obs::init_from_env();
+
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        let value = |it: &mut std::slice::Iter<String>| -> Option<String> { it.next().cloned() };
+        match flag.as_str() {
+            "--profile" | "--profile=text" => {
+                profile = Some(ProfileFormat::Text);
+                dvf::obs::set_enabled(true);
+            }
+            "--profile=json" => {
+                profile = Some(ProfileFormat::Json);
+                dvf::obs::set_enabled(true);
+            }
+            "--no-cache" => dvf::core::memo::set_enabled(false),
+            "--machine" => match value(&mut it) {
+                Some(v) => machine_name = Some(v),
+                None => return usage_err("--machine needs a value"),
+            },
+            "--model" => match value(&mut it) {
+                Some(v) => model_name = Some(v),
+                None => return usage_err("--model needs a value"),
+            },
+            "--param" => match value(&mut it) {
+                Some(v) => match v.split_once('=') {
+                    Some((k, raw)) => match raw.parse::<f64>() {
+                        Ok(num) => overrides.push((k.to_owned(), num)),
+                        Err(_) => return usage_err(&format!("bad --param value `{raw}`")),
+                    },
+                    None => return usage_err("--param expects name=value"),
+                },
+                None => return usage_err("--param needs a value"),
+            },
+            "--sweep" => match value(&mut it) {
+                Some(v) => match parse_sweep_spec(&v) {
+                    Ok(g) => grid = Some(g),
+                    Err(msg) => return usage_err(&msg),
+                },
+                None => return usage_err("--sweep needs a value"),
+            },
+            other => return usage_err(&format!("unknown flag `{other}`")),
+        }
+    }
+    let Some((param, values)) = grid else {
+        return usage_err("sweep requires --sweep name=LO:HI:STEPS (or name=v1,v2,...)");
+    };
+
+    let root_span = dvf::obs::span("sweep");
+    let mut wf = match DvfWorkflow::parse(source) {
+        Ok(wf) => wf,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(name) = &machine_name {
+        wf = wf.with_machine(name);
+    }
+    if let Some(name) = &model_name {
+        wf = wf.with_model(name);
+    }
+
+    // Each grid point resolves with the fixed overrides plus the swept
+    // parameter; the memo cache deduplicates pattern evaluations shared
+    // between points.
+    let results = dvf::core::sweep::par_map(&values, |&v| {
+        let mut point: Vec<(&str, f64)> = overrides
+            .iter()
+            .map(|(k, val)| (k.as_str(), *val))
+            .collect();
+        point.push((param.as_str(), v));
+        wf.evaluate(&point)
+    });
+    drop(root_span);
+
+    println!(
+        "sweep `{param}` over {} point(s):\n\n{:<14} {:>14} {:>14}",
+        values.len(),
+        param,
+        "time (s)",
+        "DVF_app"
+    );
+    let mut failures = 0usize;
+    for (v, r) in values.iter().zip(&results) {
+        match r {
+            Ok(report) => println!(
+                "{v:<14} {:>14.6e} {:>14.6e}",
+                report.time_s,
+                report.dvf_app()
+            ),
+            Err(e) => {
+                println!("{v:<14} error: {e}");
+                failures += 1;
+            }
+        }
+    }
+
+    if let Some(format) = profile {
+        let snap = dvf::obs::snapshot();
+        match format {
+            ProfileFormat::Text => eprint!("{}", snap.render_text()),
+            ProfileFormat::Json => eprintln!("{}", snap.render_json()),
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{failures} of {} grid point(s) failed", values.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Parse `name=LO:HI:STEPS` (inclusive linear grid) or `name=v1,v2,...`.
+fn parse_sweep_spec(spec: &str) -> Result<(String, Vec<f64>), String> {
+    let Some((name, raw)) = spec.split_once('=') else {
+        return Err(format!("--sweep expects name=LO:HI:STEPS, got `{spec}`"));
+    };
+    let parts: Vec<&str> = raw.split(':').collect();
+    let values = if parts.len() == 3 {
+        let lo: f64 = parts[0]
+            .parse()
+            .map_err(|_| format!("bad sweep bound `{}`", parts[0]))?;
+        let hi: f64 = parts[1]
+            .parse()
+            .map_err(|_| format!("bad sweep bound `{}`", parts[1]))?;
+        let steps: usize = parts[2]
+            .parse()
+            .map_err(|_| format!("bad sweep step count `{}`", parts[2]))?;
+        if steps < 2 {
+            return Err("--sweep needs at least 2 steps".to_owned());
+        }
+        (0..steps)
+            .map(|i| lo + (hi - lo) * i as f64 / (steps - 1) as f64)
+            .collect()
+    } else if parts.len() == 1 {
+        let values: Result<Vec<f64>, _> = raw.split(',').map(str::parse::<f64>).collect();
+        values.map_err(|_| format!("bad sweep value list `{raw}`"))?
+    } else {
+        return Err(format!(
+            "--sweep expects LO:HI:STEPS or v1,v2,..., got `{raw}`"
+        ));
+    };
+    if values.is_empty() {
+        return Err("--sweep needs at least one value".to_owned());
+    }
+    Ok((name.to_owned(), values))
 }
 
 fn usage_err(msg: &str) -> ExitCode {

@@ -7,12 +7,22 @@
 //!          [--l1-assoc N --l1-sets N --l1-line N]     # enable a two-level hierarchy
 //!          [--json]                                   # machine-readable report
 //!          [--quiet]                                  # no progress heartbeat
+//! simtrace <trace-file> --convert <out>        # rewrite as compressed DVFT2
+//! simtrace --record <kernel> [geometry flags]  # fused kernel→simulator run
 //! ```
 //!
 //! The trace format is one reference per line: `name kind addr`
 //! (kind `R`/`W`, addr decimal or `0x…` hex); `#` starts a comment. Binary
-//! `DVFT` traces are detected by magic and — in single-config mode —
-//! replayed straight from disk in bounded-memory chunks.
+//! `DVFT` traces (v1 fixed-record or v2 compressed) are detected by magic
+//! and — in single-config mode — replayed straight from disk in
+//! bounded-memory chunks.
+//!
+//! `--convert` reads any supported input (text, DVFT v1, DVFT2) and
+//! rewrites it in the compressed block-indexed DVFT2 format. `--record`
+//! skips trace files entirely: it runs one of the instrumented paper
+//! kernels (`vm`, `cg`, `nb`, `mg`, `ft`, `mc` at the Table V verification
+//! input) and streams its references straight into the configured
+//! simulator(s) — the fused path, no intermediate trace materialization.
 //!
 //! Long replays print a progress heartbeat to stderr every million
 //! references (suppress with `--quiet`); `--json` swaps the tables for a
@@ -26,12 +36,15 @@ use dvf_cachesim::{
     simulate_many_with_threads, CacheConfig, CacheStats, DsRegistry, Fifo, Lru, PolicyKind,
     RandomEvict, ReplacementPolicy, SimJob, SimReport, Simulator, Trace, TreePlru,
 };
+use dvf_kernels::{barnes_hut, cg, fft, mc, mg, record_fanout, vm, Recorder};
 use dvf_obs::{Heartbeat, JsonWriter};
 use std::io::{BufReader, Read};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: simtrace <trace-file> [options]
+       simtrace <trace-file> --convert <out>
+       simtrace --record <kernel> [options]
   --assoc N --sets N --line N     LLC geometry (default 8/8192/64 = 4 MiB)
   --policy lru|fifo|plru|random   replacement policy (default lru)
   --config A:S:L                  replay this geometry too (repeatable; the
@@ -41,6 +54,11 @@ usage: simtrace <trace-file> [options]
                                   above the core count are clamped)
   --l1-assoc N --l1-sets N --l1-line N
                                   put an L1 in front (LRU at both levels)
+  --convert OUT                   rewrite the input trace (text, DVFT v1,
+                                  or DVFT2) as compressed DVFT2 at OUT
+  --record KERNEL                 record vm|cg|nb|mg|ft|mc (verification
+                                  input) and stream it straight into the
+                                  simulator — no trace file
   --json                          emit a dvf-cachesim/1 JSON report
   --quiet                         suppress the progress heartbeat
 ";
@@ -50,9 +68,11 @@ const HEARTBEAT_EVERY: u64 = 1_000_000;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
-        eprint!("{USAGE}");
-        return ExitCode::from(2);
+    let path_arg = args.first().filter(|a| !a.starts_with("--")).cloned();
+    let flag_args = if path_arg.is_some() {
+        &args[1..]
+    } else {
+        &args[..]
     };
 
     let mut assoc = 8usize;
@@ -62,10 +82,12 @@ fn main() -> ExitCode {
     let mut configs: Vec<CacheConfig> = Vec::new();
     let mut jobs = 0usize; // 0 = one per core
     let mut l1: (Option<usize>, Option<usize>, Option<usize>) = (None, None, None);
+    let mut convert: Option<String> = None;
+    let mut record: Option<String> = None;
     let mut json = false;
     let mut quiet = false;
 
-    let mut it = args[1..].iter();
+    let mut it = flag_args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--json" => {
@@ -77,7 +99,7 @@ fn main() -> ExitCode {
                 continue;
             }
             "--assoc" | "--sets" | "--line" | "--policy" | "--config" | "--jobs" | "--l1-assoc"
-            | "--l1-sets" | "--l1-line" => {}
+            | "--l1-sets" | "--l1-line" | "--convert" | "--record" => {}
             other => {
                 eprintln!("unknown flag `{other}`\n");
                 eprint!("{USAGE}");
@@ -122,6 +144,8 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--convert" => convert = Some(value.clone()),
+            "--record" => record = Some(value.clone()),
             "--l1-assoc" => l1.0 = parse_usize(value),
             "--l1-sets" => l1.1 = parse_usize(value),
             "--l1-line" => l1.2 = parse_usize(value),
@@ -135,6 +159,42 @@ fn main() -> ExitCode {
             eprintln!("bad LLC geometry: {e}");
             return ExitCode::from(2);
         }
+    };
+
+    // `--convert`: rewrite the input as DVFT2 and stop — no replay.
+    if let Some(out) = convert {
+        if record.is_some() || l1 != (None, None, None) || !configs.is_empty() {
+            eprintln!("--convert takes only an input file and an output path\n");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+        let Some(path) = path_arg else {
+            eprintln!("--convert needs an input <trace-file>\n");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        };
+        return convert_trace(&path, &out);
+    }
+
+    // `--record`: references come from a kernel, not a file; the fused
+    // sink drives every configured simulator during recording.
+    if let Some(kernel) = record {
+        if path_arg.is_some() || l1 != (None, None, None) {
+            eprintln!("--record replaces the <trace-file> and excludes hierarchy mode\n");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+        let Some(run) = kernel_by_name(&kernel) else {
+            eprintln!("unknown kernel `{kernel}` (expected vm|cg|nb|mg|ft|mc)\n");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        };
+        return record_fused(&kernel, run, llc, policy, &configs, json);
+    }
+
+    let Some(path) = path_arg.as_deref() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
     };
 
     match l1 {
@@ -273,6 +333,112 @@ fn main() -> ExitCode {
             eprintln!("hierarchy mode needs all of --l1-assoc, --l1-sets, --l1-line\n");
             eprint!("{USAGE}");
             return ExitCode::from(2);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--convert`: load any supported trace and rewrite it as DVFT2.
+fn convert_trace(path: &str, out: &str) -> ExitCode {
+    let trace = match load_trace(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let file = match std::fs::File::create(out) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot create {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut w = std::io::BufWriter::new(file);
+    if let Err(e) = dvf_cachesim::binio::write_binary_v2(&trace, &mut w) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    drop(w);
+    let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "converted {} refs -> {out} (DVFT2, {bytes} bytes)",
+        trace.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Resolve `--record` kernel names to their traced entry points at the
+/// Table V verification inputs.
+fn kernel_by_name(name: &str) -> Option<fn(&Recorder)> {
+    Some(match name {
+        "vm" => |rec: &Recorder| {
+            vm::run_traced(vm::VmParams::verification(), rec);
+        },
+        "cg" => |rec: &Recorder| {
+            cg::run_traced(cg::CgParams::verification(), rec);
+        },
+        "nb" => |rec: &Recorder| {
+            barnes_hut::run_traced(barnes_hut::NbParams::verification(), rec);
+        },
+        "mg" => |rec: &Recorder| {
+            mg::run_traced(mg::MgParams::verification(), rec);
+        },
+        "ft" => |rec: &Recorder| {
+            fft::run_traced(fft::FtParams::class_s(), rec);
+        },
+        "mc" => |rec: &Recorder| {
+            mc::run_traced(mc::McParams::verification(), rec);
+        },
+        _ => return None,
+    })
+}
+
+/// `--record`: run the kernel once, streaming its references through the
+/// fused sink into one simulator per geometry — no trace materialization.
+fn record_fused(
+    kernel: &str,
+    run: fn(&Recorder),
+    llc: CacheConfig,
+    policy: PolicyKind,
+    configs: &[CacheConfig],
+    json: bool,
+) -> ExitCode {
+    let mut sim_jobs = vec![SimJob {
+        config: llc,
+        policy,
+    }];
+    sim_jobs.extend(configs.iter().map(|&config| SimJob { config, policy }));
+    let (registry, reports) = record_fanout(&sim_jobs, run);
+    let refs = reports.first().map(|r| r.refs).unwrap_or(0);
+    if json {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("schema").string("dvf-cachesim/1");
+        w.key("kernel").string(kernel);
+        w.key("refs").u64(refs);
+        w.key("policy").string(policy.name());
+        w.key("runs").begin_array();
+        for report in &reports {
+            w.begin_object();
+            config_json(&mut w, &report.config);
+            stats_json(&mut w, report.stats(), &registry);
+            w.key("mem_accesses").u64(report.total().mem_accesses());
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        println!("{}", w.finish());
+    } else {
+        println!(
+            "{refs} refs recorded from `{kernel}` through {} geometries ({} policy, fused)",
+            reports.len(),
+            policy.name()
+        );
+        for report in &reports {
+            println!("\n{}:", report.config);
+            println!("{}", report.stats().render(&registry));
+            println!("main-memory accesses: {}", report.total().mem_accesses());
         }
     }
     ExitCode::SUCCESS

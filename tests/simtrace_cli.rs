@@ -151,6 +151,78 @@ fn bad_config_spec_is_a_usage_error() {
     }
 }
 
+/// Where the checked-in golden files for `--convert` live.
+const GOLDEN_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden");
+
+/// Regenerate the golden fixtures. Normally inert; run
+/// `REGEN_GOLDEN=1 cargo test -p dvf --test simtrace_cli regen` after an
+/// intentional format change, then commit the updated files.
+#[test]
+fn regen_golden_files() {
+    if std::env::var_os("REGEN_GOLDEN").is_none() {
+        return;
+    }
+    let trace = sample_trace();
+    std::fs::create_dir_all(GOLDEN_DIR).unwrap();
+    let mut v1 = Vec::new();
+    dvf_cachesim::binio::write_binary(&trace, &mut v1).unwrap();
+    std::fs::write(format!("{GOLDEN_DIR}/convert_input_v1.dvft"), v1).unwrap();
+    let mut v2 = Vec::new();
+    dvf_cachesim::binio::write_binary_v2(&trace, &mut v2).unwrap();
+    std::fs::write(format!("{GOLDEN_DIR}/convert_output_v2.dvft"), v2).unwrap();
+}
+
+#[test]
+fn convert_v1_to_v2_matches_golden() {
+    let input = format!("{GOLDEN_DIR}/convert_input_v1.dvft");
+    let golden = std::fs::read(format!("{GOLDEN_DIR}/convert_output_v2.dvft")).unwrap();
+    let out = std::env::temp_dir().join(format!("simtrace-conv-{}.dvft", std::process::id()));
+    let out_path = TempFile(out);
+
+    let run = simtrace(&[&input, "--convert", out_path.as_str()]);
+    assert!(run.status.success(), "{run:?}");
+    let converted = std::fs::read(&out_path.0).unwrap();
+    // The conversion is deterministic: byte-exact against the checked-in
+    // golden DVFT2 file.
+    assert_eq!(converted, golden, "conversion drifted from the golden file");
+
+    // And the v1 input still decodes to the same trace the goldens encode
+    // (backward compatibility of the reader).
+    let v1 = dvf_cachesim::binio::read_binary(&std::fs::read(&input).unwrap()[..]).unwrap();
+    let v2 = dvf_cachesim::binio::read_binary(&converted[..]).unwrap();
+    assert_eq!(v1.refs, v2.refs);
+    assert_eq!(v1.refs, sample_trace().refs);
+}
+
+#[test]
+fn record_fused_matches_buffered_replay() {
+    // The fused `--record` path must agree with recording a trace in
+    // memory and replaying it through the same geometry.
+    let out = simtrace(&[
+        "--record", "vm", "--assoc", "4", "--sets", "64", "--line", "32", "--json",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let doc = String::from_utf8(out.stdout).unwrap();
+
+    let rec = dvf_kernels::Recorder::new();
+    dvf_kernels::vm::run_traced(dvf_kernels::vm::VmParams::verification(), &rec);
+    let trace = rec.into_trace();
+    let expected = simulate_with_policy(
+        &trace,
+        dvf_cachesim::CacheConfig::new(4, 64, 32).unwrap(),
+        PolicyKind::Lru,
+    );
+    assert!(doc.contains("\"kernel\":\"vm\""), "{doc}");
+    assert!(doc.contains(&format!("\"refs\":{}", trace.len())), "{doc}");
+    assert!(
+        doc.contains(&format!(
+            "\"mem_accesses\":{}",
+            expected.total().mem_accesses()
+        )),
+        "{doc}"
+    );
+}
+
 #[test]
 fn truncated_binary_trace_fails_cleanly() {
     let trace = sample_trace();
