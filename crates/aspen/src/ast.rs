@@ -249,6 +249,26 @@ impl Document {
         })
     }
 
+    /// Every parameter name an override could meaningfully target:
+    /// global `param`s plus machine- and model-scoped ones, in source
+    /// order, deduplicated. Used to reject sweeps over parameters the
+    /// document never declares.
+    pub fn param_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = Vec::new();
+        let all = self.items.iter().flat_map(|i| match i {
+            Item::Param(p) => std::slice::from_ref(p).iter(),
+            Item::Machine(m) => m.params.iter(),
+            Item::Model(m) => m.params.iter(),
+        });
+        for p in all {
+            let name = p.name.node.as_str();
+            if !names.contains(&name) {
+                names.push(name);
+            }
+        }
+        names
+    }
+
     /// Find a machine by name, or the only machine if `name` is `None`.
     pub fn machine(&self, name: Option<&str>) -> Option<&MachineDef> {
         let mut machines = self.items.iter().filter_map(|i| match i {

@@ -1,6 +1,7 @@
 //! Diagnostics with source context.
 
 use crate::span::Span;
+use dvf_obs::JsonWriter;
 use std::fmt;
 
 /// A parse/lex/resolution error anchored to a source span.
@@ -10,6 +11,9 @@ pub struct Diagnostic {
     pub message: String,
     /// Where.
     pub span: Span,
+    /// Stable machine-readable category (`lex`, `parse`, `eval`,
+    /// `resolve`), when the producer assigned one.
+    pub code: Option<&'static str>,
 }
 
 impl Diagnostic {
@@ -18,7 +22,14 @@ impl Diagnostic {
         Self {
             message: message.into(),
             span,
+            code: None,
         }
+    }
+
+    /// Attach a stable category code.
+    pub fn with_code(mut self, code: &'static str) -> Self {
+        self.code = Some(code);
+        self
     }
 
     /// Render with the offending source line and a caret marker:
@@ -46,6 +57,37 @@ impl Diagnostic {
             "error: {}\n  --> line {line}, column {col}\n   |  {line_text}\n   |  {caret_pad}{carets}\n",
             self.message
         )
+    }
+
+    /// Write the structured form onto an open JSON writer, as one object
+    /// value: `{"code":…,"message":…,"line":…,"col":…,"span":{"start":…,
+    /// "end":…}}`. Shared by `dvf check --json` and the `dvf-serve`
+    /// `/v1/parse` endpoint so both surfaces emit identical diagnostics.
+    pub fn write_json(&self, source: &str, w: &mut JsonWriter) {
+        let (line, col) = self.span.line_col(source);
+        w.begin_object();
+        match self.code {
+            Some(code) => w.key("code").string(code),
+            None => w.key("code").null(),
+        };
+        w.key("message").string(&self.message);
+        w.key("line").u64(line as u64);
+        w.key("col").u64(col as u64);
+        w.key("span")
+            .begin_object()
+            .key("start")
+            .u64(self.span.start as u64)
+            .key("end")
+            .u64(self.span.end as u64)
+            .end_object();
+        w.end_object();
+    }
+
+    /// The structured form as a standalone JSON document.
+    pub fn render_json(&self, source: &str) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(source, &mut w);
+        w.finish()
     }
 }
 
@@ -77,5 +119,22 @@ mod tests {
         let d = Diagnostic::new("unexpected end", Span::new(1, 1));
         let out = d.render(src);
         assert!(out.contains("unexpected end"));
+    }
+
+    #[test]
+    fn json_form_carries_code_span_and_position() {
+        let src = "param n = 100\nparam m 200\n";
+        let d = Diagnostic::new("expected `=`", Span::new(22, 25)).with_code("parse");
+        let json = d.render_json(src);
+        assert_eq!(
+            json,
+            r#"{"code":"parse","message":"expected `=`","line":2,"col":9,"span":{"start":22,"end":25}}"#
+        );
+    }
+
+    #[test]
+    fn json_form_without_code_is_null() {
+        let d = Diagnostic::new("oops", Span::new(0, 1));
+        assert!(d.render_json("x").starts_with(r#"{"code":null,"#));
     }
 }

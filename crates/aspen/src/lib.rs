@@ -110,8 +110,9 @@ impl<'d> Resolver<'d> {
                 },
                 span::Span::default(),
             )
+            .with_code("resolve")
         })?;
-        resolve_machine_def(def, &self.env()?)
+        resolve_machine_def(def, &self.env()?).map_err(tag_resolve)
     }
 
     /// Resolve a model by name (or the document's only model).
@@ -124,8 +125,17 @@ impl<'d> Resolver<'d> {
                 },
                 span::Span::default(),
             )
+            .with_code("resolve")
         })?;
-        resolve_model_def(def, &self.env()?)
+        resolve_model_def(def, &self.env()?).map_err(tag_resolve)
+    }
+}
+
+/// Categorize a resolution-stage diagnostic unless it already has a code.
+fn tag_resolve(d: Diagnostic) -> Diagnostic {
+    match d.code {
+        Some(_) => d,
+        None => d.with_code("resolve"),
     }
 }
 

@@ -7,14 +7,20 @@ use crate::span::{Span, Spanned};
 use crate::token::Token;
 
 /// Parse a complete source file.
+///
+/// Diagnostics come back categorized: lexer errors carry code `lex`,
+/// everything else from this front-end `parse`.
 pub fn parse(source: &str) -> Result<Document, Diagnostic> {
-    let tokens = lex(source)?;
+    let tokens = lex(source).map_err(|d| d.with_code("lex"))?;
     let mut p = Parser {
         tokens,
         pos: 0,
         depth: 0,
     };
-    p.document()
+    p.document().map_err(|d| match d.code {
+        Some(_) => d,
+        None => d.with_code("parse"),
+    })
 }
 
 /// Parse a standalone expression (used by tests and by parameter override

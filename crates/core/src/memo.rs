@@ -18,7 +18,7 @@
 
 use crate::patterns::{CacheView, ModelError};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, LazyLock, Mutex};
 
 /// Hashable identity of a [`CacheView`]: geometry plus the exact bit
@@ -104,6 +104,12 @@ pub struct EvalKey {
 
 static ENABLED: AtomicBool = AtomicBool::new(true);
 
+/// Lifetime hit/miss tallies, tracked independently of `dvf-obs` (which
+/// only records when profiling is enabled) so long-running consumers such
+/// as `dvf-serve` can report per-request cache-effect deltas unconditionally.
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
 static CACHE: LazyLock<Mutex<HashMap<EvalKey, f64>>> = LazyLock::new(|| Mutex::new(HashMap::new()));
 
 static TEMPLATES: LazyLock<Mutex<HashMap<Arc<[u64]>, TemplateId>>> =
@@ -133,6 +139,41 @@ pub fn len() -> usize {
     CACHE.lock().expect("memo cache poisoned").len()
 }
 
+/// Point-in-time view of the process-wide cache: resident entries plus
+/// lifetime hit/miss tallies (monotonic — [`clear`] drops entries but not
+/// the tallies). Consumers wanting the cache effect of one operation take
+/// a snapshot before and after and subtract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lifetime lookup hits.
+    pub hits: u64,
+    /// Lifetime lookup misses (each populated one entry).
+    pub misses: u64,
+    /// Evaluations currently resident.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Hits and misses accumulated since `earlier` (entry count is the
+    /// current one; it is a level, not a flow).
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            entries: self.entries,
+        }
+    }
+}
+
+/// Current [`CacheStats`] of the shared cache.
+pub fn stats() -> CacheStats {
+    CacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        entries: len() as u64,
+    }
+}
+
 /// Intern a template reference string, returning a small stable id.
 ///
 /// Identical slices (same length, same values) always map to the same id
@@ -160,9 +201,11 @@ pub fn evaluate(
         return compute();
     }
     if let Some(&v) = CACHE.lock().expect("memo cache poisoned").get(&key) {
+        HITS.fetch_add(1, Ordering::Relaxed);
         dvf_obs::add("sweep.cache.hit", 1);
         return Ok(v);
     }
+    MISSES.fetch_add(1, Ordering::Relaxed);
     dvf_obs::add("sweep.cache.miss", 1);
     let v = compute()?;
     CACHE.lock().expect("memo cache poisoned").insert(key, v);
@@ -263,6 +306,28 @@ mod tests {
             assert!(r.is_err());
         }
         assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let _guard = serial();
+        set_enabled(true);
+        let view = test_view();
+        let spec = StreamingSpec {
+            element_bytes: 8,
+            num_elements: 31_337,
+            stride_elements: 1,
+        };
+        let k = streaming_key(31_337, &view);
+        clear();
+        let before = stats();
+        let _ = evaluate(k, || spec.mem_accesses(&view));
+        let _ = evaluate(k, || spec.mem_accesses(&view));
+        let delta = stats().since(&before);
+        // Other tests may evaluate concurrently, so assert lower bounds.
+        assert!(delta.misses >= 1, "{delta:?}");
+        assert!(delta.hits >= 1, "{delta:?}");
+        assert!(stats().entries >= 1);
     }
 
     #[test]

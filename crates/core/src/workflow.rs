@@ -40,6 +40,14 @@ pub enum WorkflowError {
         /// Underlying model error.
         source: ModelError,
     },
+    /// An override or sweep targets a parameter the document never
+    /// declares (globally, in a machine, or in a model).
+    UnknownParameter {
+        /// The offending parameter name.
+        param: String,
+        /// Every parameter the document does declare, in source order.
+        known: Vec<String>,
+    },
 }
 
 impl std::fmt::Display for WorkflowError {
@@ -49,6 +57,20 @@ impl std::fmt::Display for WorkflowError {
             WorkflowError::BadCache(msg) => write!(f, "invalid cache geometry: {msg}"),
             WorkflowError::Model { data, source } => {
                 write!(f, "model error for data structure `{data}`: {source}")
+            }
+            WorkflowError::UnknownParameter { param, known } => {
+                if known.is_empty() {
+                    write!(
+                        f,
+                        "unknown parameter `{param}` (the document declares none)"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "unknown parameter `{param}` (declared parameters: {})",
+                        known.join(", ")
+                    )
+                }
             }
         }
     }
@@ -510,6 +532,35 @@ impl DvfWorkflow {
     ) -> Vec<Result<DvfReport, WorkflowError>> {
         crate::sweep::par_map(values, |&v| self.evaluate(&[(param, v)]))
     }
+
+    /// Every parameter name the document declares (global, machine- and
+    /// model-scoped), in source order.
+    pub fn param_names(&self) -> Vec<String> {
+        self.doc
+            .param_names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect()
+    }
+
+    /// Reject a sweep/override target the document never declares.
+    ///
+    /// Overrides of undeclared names are silently inert (the resolver
+    /// injects them into an environment nothing reads), so a sweep over a
+    /// typo'd name would return a flat line instead of an error. Both the
+    /// `dvf sweep` CLI and the `dvf-serve` `/v1/sweep` endpoint call this
+    /// before evaluating.
+    pub fn check_param(&self, param: &str) -> Result<(), WorkflowError> {
+        let known = self.doc.param_names();
+        if known.contains(&param) {
+            Ok(())
+        } else {
+            Err(WorkflowError::UnknownParameter {
+                param: param.to_owned(),
+                known: known.into_iter().map(str::to_owned).collect(),
+            })
+        }
+    }
 }
 
 #[cfg(test)]
@@ -725,6 +776,35 @@ mod tests {
         // Only `main` (the root) is accounted: 5 sweeps of 32 lines each.
         // If `sweep` were double-counted this would read 192.
         assert!((acc.of("A").unwrap() - 160.0).abs() < 1e-9, "{acc:?}");
+    }
+
+    #[test]
+    fn check_param_accepts_declared_and_rejects_unknown() {
+        let wf = DvfWorkflow::parse(VM_SOURCE).unwrap();
+        wf.check_param("n").unwrap();
+        let err = wf.check_param("nn").unwrap_err();
+        assert!(matches!(err, WorkflowError::UnknownParameter { .. }));
+        let msg = err.to_string();
+        assert!(msg.contains("`nn`"), "{msg}");
+        assert!(msg.contains("n"), "{msg}");
+        assert_eq!(wf.param_names(), vec!["n".to_owned()]);
+    }
+
+    #[test]
+    fn check_param_sees_machine_scoped_params() {
+        let src = r#"
+            machine m {
+              param ways = 8
+              cache { associativity = ways  sets = 64  line = 32 }
+            }
+            model app {
+              data A { size = 1024 element = 8 }
+              kernel k { access A as streaming() }
+            }
+        "#;
+        let wf = DvfWorkflow::parse(src).unwrap();
+        wf.check_param("ways").unwrap();
+        assert!(wf.check_param("sets").is_err());
     }
 
     #[test]

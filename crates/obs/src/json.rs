@@ -122,6 +122,17 @@ impl JsonWriter {
         self
     }
 
+    /// Splice an already-serialized JSON value verbatim (comma placement
+    /// is still handled). The caller vouches that `json` is a complete,
+    /// valid JSON value — used to embed one exporter's document inside
+    /// another (e.g. the `dvf-obs/1` snapshot inside a `dvf-serve/1`
+    /// metrics response) without re-parsing.
+    pub fn raw(&mut self, json: &str) -> &mut Self {
+        self.pre_value();
+        self.out.push_str(json);
+        self
+    }
+
     /// Consume the writer and return the document. Panics if containers
     /// are still open (an exporter bug, not an input error).
     pub fn finish(self) -> String {

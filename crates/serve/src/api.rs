@@ -1,0 +1,520 @@
+//! The versioned `dvf-serve/1` JSON API.
+//!
+//! | endpoint                  | verb   | purpose                                    |
+//! |---------------------------|--------|--------------------------------------------|
+//! | `/v1/healthz`             | GET    | liveness + uptime + session count          |
+//! | `/v1/metrics`             | GET    | `dvf-obs` snapshot + memo-cache stats      |
+//! | `/v1/parse`               | POST   | Aspen source → structured diagnostics      |
+//! | `/v1/sessions`            | POST   | register a named model (LRU-capped)        |
+//! | `/v1/sessions`            | GET    | list resident sessions                     |
+//! | `/v1/sessions/{name}`     | DELETE | evict one session                          |
+//! | `/v1/dvf`                 | POST   | full Fig. 3 pipeline → per-structure DVF   |
+//! | `/v1/sweep`               | POST   | memoized parameter-grid sweep              |
+//!
+//! Every response body is `{"schema":"dvf-serve/1", ...}`; errors are
+//! `{"schema":…,"error":{"code":…,"message":…}}` with 4xx/5xx status.
+//! `/v1/dvf` and `/v1/sweep` accept either `"source"` (evaluate inline)
+//! or `"session"` (evaluate a registered model).
+
+use crate::http::{error_response, Request, Response};
+use crate::jsonval::Json;
+use crate::registry::Session;
+use crate::ServeCtx;
+use dvf_core::memo;
+use dvf_core::workflow::{DvfWorkflow, WorkflowError};
+use dvf_obs::JsonWriter;
+use std::sync::Arc;
+
+/// Hard cap on sweep grid sizes, guarding worker time per request.
+const MAX_SWEEP_POINTS: usize = 4096;
+
+/// Dispatch one request. Infallible by construction: every error path is
+/// a `Response` (panics are caught one level up, in the worker).
+pub fn route(req: &Request, ctx: &ServeCtx) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/v1/healthz") => healthz(ctx),
+        ("GET", "/v1/metrics") => metrics(ctx),
+        ("POST", "/v1/parse") => with_json(req, |body| parse_source(&body)),
+        ("POST", "/v1/sessions") => with_json(req, |body| register_session(&body, ctx)),
+        ("GET", "/v1/sessions") => list_sessions(ctx),
+        ("DELETE", path) if path.strip_prefix("/v1/sessions/").is_some() => {
+            delete_session(path.strip_prefix("/v1/sessions/").unwrap_or(""), ctx)
+        }
+        ("POST", "/v1/dvf") => with_json(req, |body| evaluate_dvf(&body, ctx)),
+        ("POST", "/v1/sweep") => with_json(req, |body| sweep(&body, ctx)),
+        ("POST", "/v1/_panic") if ctx.config.panic_route => {
+            panic!("deliberate panic via /v1/_panic (test configuration)")
+        }
+        (_, path) if KNOWN_PATHS.contains(&path) || path.starts_with("/v1/sessions/") => {
+            error_response(
+                405,
+                "method_not_allowed",
+                "method not allowed for this route",
+            )
+            .with_header("Allow", allow_of(path))
+        }
+        _ => error_response(404, "not_found", "no such route (API root is /v1/)"),
+    }
+}
+
+const KNOWN_PATHS: [&str; 6] = [
+    "/v1/healthz",
+    "/v1/metrics",
+    "/v1/parse",
+    "/v1/sessions",
+    "/v1/dvf",
+    "/v1/sweep",
+];
+
+fn allow_of(path: &str) -> &'static str {
+    match path {
+        "/v1/healthz" | "/v1/metrics" => "GET",
+        "/v1/parse" | "/v1/dvf" | "/v1/sweep" => "POST",
+        "/v1/sessions" => "GET, POST",
+        _ => "DELETE",
+    }
+}
+
+/// Decode the body as UTF-8 JSON, then hand it to the endpoint.
+fn with_json(req: &Request, f: impl FnOnce(Json) -> Response) -> Response {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return error_response(400, "bad_utf8", "request body is not valid UTF-8");
+    };
+    match Json::parse(text) {
+        Ok(body) => f(body),
+        Err(e) => error_response(400, "bad_json", &format!("malformed JSON body: {e}")),
+    }
+}
+
+fn writer() -> JsonWriter {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema").string(crate::SCHEMA);
+    w
+}
+
+fn healthz(ctx: &ServeCtx) -> Response {
+    let mut w = writer();
+    w.key("ok").bool(true);
+    w.key("uptime_s").f64(ctx.started.elapsed().as_secs_f64());
+    w.key("sessions").u64(ctx.registry.len() as u64);
+    w.key("draining").bool(ctx.draining());
+    w.end_object();
+    Response::json(200, w.finish())
+}
+
+fn metrics(ctx: &ServeCtx) -> Response {
+    let stats = memo::stats();
+    let mut w = writer();
+    // The embedded document is itself schema-versioned (`dvf-obs/1`).
+    w.key("obs").raw(&dvf_obs::snapshot().render_json());
+    w.key("cache")
+        .begin_object()
+        .key("hits")
+        .u64(stats.hits)
+        .key("misses")
+        .u64(stats.misses)
+        .key("entries")
+        .u64(stats.entries)
+        .end_object();
+    w.key("sessions").u64(ctx.registry.len() as u64);
+    w.end_object();
+    Response::json(200, w.finish())
+}
+
+fn parse_source(body: &Json) -> Response {
+    let Some(source) = body.get("source").and_then(Json::as_str) else {
+        return error_response(422, "missing_field", "body needs a string `source` field");
+    };
+    let mut w = writer();
+    match dvf_aspen::parse(source) {
+        Ok(doc) => {
+            let machines = doc
+                .items
+                .iter()
+                .filter(|i| matches!(i, dvf_aspen::ast::Item::Machine(_)))
+                .count();
+            let models = doc
+                .items
+                .iter()
+                .filter(|i| matches!(i, dvf_aspen::ast::Item::Model(_)))
+                .count();
+            w.key("ok").bool(true);
+            w.key("machines").u64(machines as u64);
+            w.key("models").u64(models as u64);
+            w.key("params").begin_array();
+            for name in doc.param_names() {
+                w.string(name);
+            }
+            w.end_array();
+            w.key("diagnostics").begin_array().end_array();
+        }
+        Err(d) => {
+            w.key("ok").bool(false);
+            w.key("diagnostics").begin_array();
+            d.write_json(source, &mut w);
+            w.end_array();
+        }
+    }
+    w.end_object();
+    Response::json(200, w.finish())
+}
+
+/// Session (and data-structure) names the URL path can round-trip.
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 128
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.'))
+}
+
+fn register_session(body: &Json, ctx: &ServeCtx) -> Response {
+    let Some(name) = body.get("name").and_then(Json::as_str) else {
+        return error_response(422, "missing_field", "body needs a string `name` field");
+    };
+    if !valid_name(name) {
+        return error_response(
+            422,
+            "bad_name",
+            "session names are 1-128 chars of [A-Za-z0-9_.-]",
+        );
+    }
+    let Some(source) = body.get("source").and_then(Json::as_str) else {
+        return error_response(422, "missing_field", "body needs a string `source` field");
+    };
+    let workflow = match DvfWorkflow::parse(source) {
+        Ok(wf) => wf,
+        Err(WorkflowError::Language(d)) => {
+            let mut w = writer();
+            w.key("error")
+                .begin_object()
+                .key("code")
+                .string("bad_source")
+                .key("message")
+                .string(&format!("source does not parse: {d}"))
+                .end_object();
+            w.key("diagnostics").begin_array();
+            d.write_json(source, &mut w);
+            w.end_array();
+            w.end_object();
+            return Response::json(422, w.finish());
+        }
+        Err(e) => return error_response(422, "bad_source", &e.to_string()),
+    };
+    let workflow = apply_selection(workflow, body);
+    let evicted = ctx.registry.insert(name, workflow, source.len());
+    let mut w = writer();
+    w.key("ok").bool(true);
+    w.key("name").string(name);
+    w.key("evicted").begin_array();
+    for e in &evicted {
+        w.string(e);
+    }
+    w.end_array();
+    w.key("sessions").u64(ctx.registry.len() as u64);
+    w.end_object();
+    Response::json(200, w.finish())
+}
+
+fn list_sessions(ctx: &ServeCtx) -> Response {
+    let mut w = writer();
+    w.key("sessions").begin_array();
+    for (name, source_bytes) in ctx.registry.list() {
+        w.begin_object();
+        w.key("name").string(&name);
+        w.key("source_bytes").u64(source_bytes as u64);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    Response::json(200, w.finish())
+}
+
+fn delete_session(name: &str, ctx: &ServeCtx) -> Response {
+    if ctx.registry.remove(name) {
+        let mut w = writer();
+        w.key("ok").bool(true);
+        w.key("name").string(name);
+        w.end_object();
+        Response::json(200, w.finish())
+    } else {
+        error_response(
+            404,
+            "no_such_session",
+            &format!("no session named `{name}`"),
+        )
+    }
+}
+
+/// Apply optional `"machine"`/`"model"` selections from a request body.
+fn apply_selection(mut wf: DvfWorkflow, body: &Json) -> DvfWorkflow {
+    if let Some(machine) = body.get("machine").and_then(Json::as_str) {
+        wf = wf.with_machine(machine);
+    }
+    if let Some(model) = body.get("model").and_then(Json::as_str) {
+        wf = wf.with_model(model);
+    }
+    wf
+}
+
+/// The workflow a request addresses: an inline source (owned) or a
+/// registered session (shared, evaluated concurrently without cloning).
+enum WfRef {
+    Owned(DvfWorkflow),
+    Shared(Arc<Session>),
+}
+
+impl WfRef {
+    fn workflow(&self) -> &DvfWorkflow {
+        match self {
+            WfRef::Owned(wf) => wf,
+            WfRef::Shared(s) => &s.workflow,
+        }
+    }
+}
+
+/// Resolve `"source"` or `"session"` (exactly one) into a workflow.
+fn resolve_workflow(body: &Json, ctx: &ServeCtx) -> Result<WfRef, Response> {
+    match (
+        body.get("source").and_then(Json::as_str),
+        body.get("session").and_then(Json::as_str),
+    ) {
+        (Some(_), Some(_)) => Err(error_response(
+            422,
+            "ambiguous_target",
+            "give either `source` or `session`, not both",
+        )),
+        (None, None) => Err(error_response(
+            422,
+            "missing_field",
+            "body needs a `source` (inline program) or `session` (registered name)",
+        )),
+        (Some(source), None) => match DvfWorkflow::parse(source) {
+            Ok(wf) => Ok(WfRef::Owned(apply_selection(wf, body))),
+            Err(e) => Err(error_response(422, "bad_source", &e.to_string())),
+        },
+        (None, Some(name)) => {
+            let session = ctx.registry.get(name).ok_or_else(|| {
+                error_response(
+                    404,
+                    "no_such_session",
+                    &format!("no session named `{name}` (register via POST /v1/sessions)"),
+                )
+            })?;
+            // Per-request machine/model overrides force a private copy;
+            // the common path shares the session's workflow directly.
+            if body.get("machine").is_some() || body.get("model").is_some() {
+                Ok(WfRef::Owned(apply_selection(
+                    session.workflow.clone(),
+                    body,
+                )))
+            } else {
+                Ok(WfRef::Shared(session))
+            }
+        }
+    }
+}
+
+/// Decode `"params": {"name": number, ...}` overrides.
+fn overrides_of(body: &Json) -> Result<Vec<(String, f64)>, Response> {
+    let Some(params) = body.get("params") else {
+        return Ok(Vec::new());
+    };
+    let Some(members) = params.as_obj() else {
+        return Err(error_response(
+            422,
+            "bad_params",
+            "`params` must be an object of name → number",
+        ));
+    };
+    members
+        .iter()
+        .map(|(k, v)| match v.as_f64() {
+            Some(n) => Ok((k.clone(), n)),
+            None => Err(error_response(
+                422,
+                "bad_params",
+                &format!("parameter `{k}` must be a number"),
+            )),
+        })
+        .collect()
+}
+
+/// Map a workflow failure onto the error envelope.
+fn workflow_error(e: &WorkflowError) -> Response {
+    let code = match e {
+        WorkflowError::Language(_) => "language",
+        WorkflowError::BadCache(_) => "bad_cache",
+        WorkflowError::Model { .. } => "model",
+        WorkflowError::UnknownParameter { .. } => "unknown_param",
+    };
+    error_response(422, code, &e.to_string())
+}
+
+fn evaluate_dvf(body: &Json, ctx: &ServeCtx) -> Response {
+    let wf = match resolve_workflow(body, ctx) {
+        Ok(wf) => wf,
+        Err(resp) => return resp,
+    };
+    let overrides = match overrides_of(body) {
+        Ok(o) => o,
+        Err(resp) => return resp,
+    };
+    let point: Vec<(&str, f64)> = overrides.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let report = match wf.workflow().evaluate(&point) {
+        Ok(r) => r,
+        Err(e) => return workflow_error(&e),
+    };
+    let mut w = writer();
+    w.key("ok").bool(true);
+    w.key("app").string(&report.app);
+    w.key("fit_per_mbit").f64(report.fit.0);
+    w.key("time_s").f64(report.time_s);
+    w.key("dvf_app").f64(report.dvf_app());
+    w.key("structures").begin_array();
+    for (profile, dvf) in &report.structures {
+        w.begin_object();
+        w.key("name").string(&profile.name);
+        w.key("size_bytes").u64(profile.size_bytes);
+        w.key("n_ha").f64(profile.n_ha);
+        w.key("dvf").f64(*dvf);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    Response::json(200, w.finish())
+}
+
+/// Decode the grid: `"values": [..]` or `"lo"/"hi"/"steps"`.
+fn grid_of(body: &Json) -> Result<Vec<f64>, Response> {
+    if let Some(values) = body.get("values") {
+        let Some(items) = values.as_arr() else {
+            return Err(error_response(422, "bad_grid", "`values` must be an array"));
+        };
+        let values: Option<Vec<f64>> = items.iter().map(Json::as_f64).collect();
+        return match values {
+            Some(v) if !v.is_empty() => Ok(v),
+            Some(_) => Err(error_response(
+                422,
+                "bad_grid",
+                "`values` must be non-empty",
+            )),
+            None => Err(error_response(
+                422,
+                "bad_grid",
+                "`values` must hold numbers",
+            )),
+        };
+    }
+    let (lo, hi, steps) = match (
+        body.get("lo").and_then(Json::as_f64),
+        body.get("hi").and_then(Json::as_f64),
+        body.get("steps").and_then(Json::as_u64),
+    ) {
+        (Some(lo), Some(hi), Some(steps)) => (lo, hi, steps as usize),
+        _ => {
+            return Err(error_response(
+                422,
+                "bad_grid",
+                "give `values` (array) or numeric `lo`, `hi` and integer `steps` >= 2",
+            ))
+        }
+    };
+    if steps < 2 {
+        return Err(error_response(
+            422,
+            "bad_grid",
+            "`steps` must be at least 2",
+        ));
+    }
+    if steps > MAX_SWEEP_POINTS {
+        return Err(error_response(
+            422,
+            "too_many_points",
+            &format!("sweep grids are capped at {MAX_SWEEP_POINTS} points"),
+        ));
+    }
+    Ok((0..steps)
+        .map(|i| lo + (hi - lo) * i as f64 / (steps - 1) as f64)
+        .collect())
+}
+
+fn sweep(body: &Json, ctx: &ServeCtx) -> Response {
+    let wf = match resolve_workflow(body, ctx) {
+        Ok(wf) => wf,
+        Err(resp) => return resp,
+    };
+    let Some(param) = body.get("param").and_then(Json::as_str) else {
+        return error_response(422, "missing_field", "body needs a string `param` field");
+    };
+    let values = match grid_of(body) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    if values.len() > MAX_SWEEP_POINTS {
+        return error_response(
+            422,
+            "too_many_points",
+            &format!("sweep grids are capped at {MAX_SWEEP_POINTS} points"),
+        );
+    }
+    let overrides = match overrides_of(body) {
+        Ok(o) => o,
+        Err(resp) => return resp,
+    };
+    // Same validation as `dvf sweep`: a typo'd parameter is an error, not
+    // a silently flat curve.
+    if let Err(e) = wf.workflow().check_param(param) {
+        return workflow_error(&e);
+    }
+
+    let before = memo::stats();
+    let results = dvf_core::sweep::par_map(&values, |&v| {
+        let mut point: Vec<(&str, f64)> = overrides
+            .iter()
+            .map(|(k, val)| (k.as_str(), *val))
+            .collect();
+        point.push((param, v));
+        wf.workflow().evaluate(&point)
+    });
+    let cache = memo::stats().since(&before);
+
+    let mut failed = 0u64;
+    let mut w = writer();
+    w.key("ok").bool(true);
+    w.key("param").string(param);
+    w.key("points").u64(values.len() as u64);
+    w.key("rows").begin_array();
+    for (v, r) in values.iter().zip(&results) {
+        w.begin_object();
+        w.key("value").f64(*v);
+        match r {
+            Ok(report) => {
+                w.key("time_s").f64(report.time_s);
+                w.key("dvf_app").f64(report.dvf_app());
+            }
+            Err(e) => {
+                failed += 1;
+                w.key("error").string(&e.to_string());
+            }
+        }
+        w.end_object();
+    }
+    w.end_array();
+    w.key("failed").u64(failed);
+    // Cache-effect deltas, named after the obs counters they mirror.
+    // Process-wide: concurrent requests' evaluations land in the same
+    // tallies, so treat these as indicative under contention.
+    w.key("cache")
+        .begin_object()
+        .key("sweep.cache.hit")
+        .u64(cache.hits)
+        .key("sweep.cache.miss")
+        .u64(cache.misses)
+        .key("entries")
+        .u64(cache.entries)
+        .end_object();
+    w.end_object();
+    Response::json(200, w.finish())
+}

@@ -1,0 +1,421 @@
+//! Hand-rolled HTTP/1.1 plumbing: request parsing with strict limits,
+//! response serialization, and the per-connection keep-alive loop.
+//!
+//! The server speaks exactly the subset the `dvf-serve/1` API needs:
+//! `GET`/`POST`/`DELETE`, `Content-Length` bodies (no chunked encoding),
+//! persistent connections with `Connection: close` opt-out. Everything a
+//! client can get wrong is answered with a proper status instead of a
+//! dropped connection: oversized headers (431), oversized bodies (413),
+//! missing length on a body (411), chunked encoding (501), garbage (400).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Upper bound on the request line + headers block.
+pub(crate) const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component of the target (query string stripped).
+    pub path: String,
+    /// Raw query string, if any (without the `?`).
+    pub query: Option<String>,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (possibly empty).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Does the client ask for the connection to be closed after this
+    /// exchange? (HTTP/1.1 defaults to keep-alive.)
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// One response about to be serialized.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body bytes (always sent with an exact `Content-Length`).
+    pub body: String,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Extra headers (name, value) appended verbatim.
+    pub extra_headers: Vec<(&'static str, String)>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            body,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// Append a header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.extra_headers.push((name, value.into()));
+        self
+    }
+
+    /// Standard reason phrase for the handful of codes the API uses.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            411 => "Length Required",
+            413 => "Content Too Large",
+            422 => "Unprocessable Content",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            501 => "Not Implemented",
+            503 => "Service Unavailable",
+            _ => "",
+        }
+    }
+}
+
+/// Why reading the next request off a connection stopped.
+#[derive(Debug)]
+pub(crate) enum ReadOutcome {
+    /// Clean end: the peer closed (or went idle past the read timeout)
+    /// between requests.
+    Done,
+    /// Protocol error: answer with this response, then close.
+    Reject(Response),
+}
+
+/// Buffered reader over one connection, preserving bytes that arrive
+/// ahead of the current request (pipelining / keep-alive).
+pub(crate) struct Conn<'a> {
+    stream: &'a TcpStream,
+    buf: Vec<u8>,
+}
+
+impl<'a> Conn<'a> {
+    pub(crate) fn new(stream: &'a TcpStream) -> Self {
+        Self {
+            stream,
+            buf: Vec::with_capacity(1024),
+        }
+    }
+
+    /// Pull more bytes from the socket; `Ok(false)` on orderly EOF.
+    fn fill(&mut self) -> std::io::Result<bool> {
+        let mut chunk = [0u8; 4096];
+        let n = self.stream.read(&mut chunk)?;
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(n > 0)
+    }
+
+    /// Read and parse the next request, enforcing `max_body` on the body
+    /// and [`MAX_HEADER_BYTES`] on the header block.
+    pub(crate) fn read_request(&mut self, max_body: usize) -> Result<Request, ReadOutcome> {
+        // Accumulate until the blank line ending the header block.
+        let header_end = loop {
+            if let Some(pos) = find_subsequence(&self.buf, b"\r\n\r\n") {
+                break pos;
+            }
+            if self.buf.len() > MAX_HEADER_BYTES {
+                return Err(ReadOutcome::Reject(error_response(
+                    431,
+                    "headers_too_large",
+                    "request header block exceeds 16 KiB",
+                )));
+            }
+            match self.fill() {
+                Ok(true) => {}
+                // EOF or timeout with no bytes of a new request: the
+                // peer is done. Mid-request it is a malformed exchange
+                // either way — nothing useful left to answer.
+                Ok(false) => return Err(ReadOutcome::Done),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Err(ReadOutcome::Done)
+                }
+                Err(_) => return Err(ReadOutcome::Done),
+            }
+        };
+
+        let head = String::from_utf8_lossy(&self.buf[..header_end]).into_owned();
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split(' ');
+        let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(t), Some(v)) if parts.next().is_none() && !m.is_empty() => {
+                (m.to_owned(), t.to_owned(), v.to_owned())
+            }
+            _ => {
+                return Err(ReadOutcome::Reject(error_response(
+                    400,
+                    "bad_request_line",
+                    "malformed request line",
+                )))
+            }
+        };
+        if version != "HTTP/1.1" && version != "HTTP/1.0" {
+            return Err(ReadOutcome::Reject(error_response(
+                400,
+                "bad_version",
+                "only HTTP/1.0 and HTTP/1.1 are supported",
+            )));
+        }
+
+        let mut headers = Vec::new();
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(ReadOutcome::Reject(error_response(
+                    400,
+                    "bad_header",
+                    "malformed header line",
+                )));
+            };
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+        }
+
+        let header = |name: &str| {
+            headers
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.as_str())
+        };
+        if header("transfer-encoding").is_some() {
+            return Err(ReadOutcome::Reject(error_response(
+                501,
+                "chunked_unsupported",
+                "transfer-encoding is not supported; send Content-Length",
+            )));
+        }
+        let content_length = match header("content-length") {
+            None if method == "POST" || method == "PUT" => {
+                return Err(ReadOutcome::Reject(error_response(
+                    411,
+                    "length_required",
+                    "POST requests must carry Content-Length",
+                )))
+            }
+            None => 0usize,
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => {
+                    return Err(ReadOutcome::Reject(error_response(
+                        400,
+                        "bad_content_length",
+                        "Content-Length is not a valid integer",
+                    )))
+                }
+            },
+        };
+        if content_length > max_body {
+            return Err(ReadOutcome::Reject(error_response(
+                413,
+                "body_too_large",
+                &format!("request body exceeds the {max_body}-byte limit"),
+            )));
+        }
+
+        // Read the body: some of it may already be buffered.
+        let body_start = header_end + 4;
+        while self.buf.len() < body_start + content_length {
+            match self.fill() {
+                Ok(true) => {}
+                _ => {
+                    return Err(ReadOutcome::Reject(error_response(
+                        400,
+                        "truncated_body",
+                        "connection ended before the declared Content-Length",
+                    )))
+                }
+            }
+        }
+        let body = self.buf[body_start..body_start + content_length].to_vec();
+        // Keep whatever arrived beyond this request for the next round.
+        self.buf.drain(..body_start + content_length);
+
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_owned(), Some(q.to_owned())),
+            None => (target, None),
+        };
+        Ok(Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+        })
+    }
+}
+
+/// Serialize and send `resp`; `keep_alive` selects the `Connection` header.
+pub(crate) fn write_response(
+    mut stream: &TcpStream,
+    resp: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        resp.status,
+        resp.reason(),
+        resp.content_type,
+        resp.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in &resp.extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(resp.body.as_bytes())?;
+    stream.flush()
+}
+
+/// The standard `dvf-serve/1` error envelope.
+pub fn error_response(status: u16, code: &str, message: &str) -> Response {
+    let mut w = dvf_obs::JsonWriter::new();
+    w.begin_object();
+    w.key("schema").string(crate::SCHEMA);
+    w.key("error")
+        .begin_object()
+        .key("code")
+        .string(code)
+        .key("message")
+        .string(message)
+        .end_object();
+    w.end_object();
+    Response::json(status, w.finish())
+}
+
+/// Configure per-connection socket behaviour.
+pub(crate) fn prepare_stream(
+    stream: &TcpStream,
+    read_timeout: Duration,
+    write_timeout: Duration,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(read_timeout))?;
+    stream.set_write_timeout(Some(write_timeout))?;
+    stream.set_nodelay(true)
+}
+
+fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Feed raw bytes through a real socket pair and parse one request.
+    fn parse_one(raw: &[u8], max_body: usize) -> Result<Request, ReadOutcome> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(raw).unwrap();
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        prepare_stream(&server_side, Duration::from_secs(1), Duration::from_secs(1)).unwrap();
+        Conn::new(&server_side).read_request(max_body)
+    }
+
+    #[test]
+    fn parses_post_with_body_and_query() {
+        let req = parse_one(
+            b"POST /v1/dvf?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nabcd",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/dvf");
+        assert_eq!(req.query.as_deref(), Some("x=1"));
+        assert_eq!(req.header("host"), Some("h"));
+        assert_eq!(req.body, b"abcd");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let out = parse_one(
+            b"POST /v1/parse HTTP/1.1\r\nContent-Length: 999999\r\n\r\n",
+            1024,
+        );
+        match out {
+            Err(ReadOutcome::Reject(r)) => assert_eq!(r.status, 413),
+            other => panic!("expected 413, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn post_without_length_is_411() {
+        let out = parse_one(b"POST /v1/parse HTTP/1.1\r\nHost: h\r\n\r\n", 1024);
+        match out {
+            Err(ReadOutcome::Reject(r)) => assert_eq!(r.status, 411),
+            other => panic!("expected 411, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_request_line_is_400() {
+        let out = parse_one(b"NOT-HTTP\r\n\r\n", 1024);
+        match out {
+            Err(ReadOutcome::Reject(r)) => assert_eq!(r.status, 400),
+            other => panic!("expected 400, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_400() {
+        let out = parse_one(
+            b"POST /v1/parse HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc",
+            1024,
+        );
+        match out {
+            Err(ReadOutcome::Reject(r)) => assert_eq!(r.status, 400),
+            other => panic!("expected 400, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_done() {
+        let out = parse_one(b"", 1024);
+        assert!(matches!(out, Err(ReadOutcome::Done)));
+    }
+
+    #[test]
+    fn error_envelope_is_valid_json() {
+        let r = error_response(404, "not_found", "no such route");
+        let v = crate::jsonval::Json::parse(&r.body).unwrap();
+        assert_eq!(
+            v.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("not_found")
+        );
+    }
+}

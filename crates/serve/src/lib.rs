@@ -1,0 +1,363 @@
+//! # dvf-serve
+//!
+//! A resident DVF evaluation service: the parse-once workflow
+//! ([`dvf_core::workflow::DvfWorkflow`]) and the process-wide sweep memo
+//! cache ([`dvf_core::memo`]) behind a dependency-free HTTP/1.1 JSON API.
+//!
+//! The CLI pays the parse + first-evaluation cost on every invocation;
+//! a long-lived server amortizes it. Registered models stay parsed in an
+//! LRU-capped [`registry::Registry`], and every sweep the server answers
+//! warms the same memo cache, so interactive clients (notebooks,
+//! dashboards, CI bots) see cache-hit latencies after the first call.
+//!
+//! ## Shape
+//!
+//! ```text
+//! accept thread ──try_send──▶ bounded queue ──▶ worker pool (N threads)
+//!      │                        (full ⇒ 503 + Retry-After)
+//!      └─ draining? stop        each worker: keep-alive loop,
+//!                               catch_unwind per request (panic ⇒ 500)
+//! ```
+//!
+//! * One acceptor, a `sync_channel(queue_depth)` of accepted sockets, and
+//!   a fixed pool of workers — overload is answered *immediately* with
+//!   `503` instead of unbounded queueing.
+//! * Per-connection read/write timeouts and body/header byte limits
+//!   ([`http`]); a slow or hostile client costs one worker at most a
+//!   timeout, never a hang.
+//! * Request handlers run under `catch_unwind`: a panic turns into a
+//!   `500` and the worker lives on.
+//! * [`Server::shutdown`] (or SIGTERM via [`signal`] in the CLI) drains:
+//!   stop accepting, finish queued connections, join every thread.
+//!
+//! The wire schema is versioned (`dvf-serve/1`, [`SCHEMA`]); see
+//! [`api`] for the endpoint table.
+//!
+//! ## Example
+//!
+//! ```
+//! let server = dvf_serve::Server::bind(dvf_serve::ServerConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     ..Default::default()
+//! })
+//! .unwrap();
+//! let addr = server.addr();
+//! // ... point clients at http://{addr}/v1/ ...
+//! server.shutdown();
+//! ```
+
+pub mod api;
+pub mod http;
+pub mod jsonval;
+pub mod registry;
+pub mod signal;
+
+use http::{error_response, Conn, ReadOutcome};
+use registry::Registry;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Wire schema identifier carried by every response body.
+pub const SCHEMA: &str = "dvf-serve/1";
+
+/// Tunables for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address (`host:port`; port `0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Accepted connections waiting for a worker before new arrivals are
+    /// turned away with `503`.
+    pub queue_depth: usize,
+    /// Largest accepted request body, in bytes.
+    pub max_body_bytes: usize,
+    /// Per-connection socket read timeout (also bounds keep-alive idle).
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// Requests served per connection before it is closed.
+    pub keep_alive_max: usize,
+    /// Registered-session cap (LRU eviction beyond it).
+    pub max_sessions: usize,
+    /// Expose `POST /v1/_panic` (worker panic isolation test hook).
+    pub panic_route: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue_depth: 64,
+            max_body_bytes: 1024 * 1024,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            keep_alive_max: 1000,
+            max_sessions: 32,
+            panic_route: false,
+        }
+    }
+}
+
+/// Shared server state every worker sees.
+#[derive(Debug)]
+pub struct ServeCtx {
+    /// The configuration the server was started with.
+    pub config: ServerConfig,
+    /// Named parse-once sessions.
+    pub registry: Registry,
+    /// Server start time (for `/v1/healthz` uptime).
+    pub started: Instant,
+    draining: AtomicBool,
+}
+
+impl ServeCtx {
+    /// Fresh context from a configuration.
+    pub fn new(config: ServerConfig) -> Self {
+        let registry = Registry::new(config.max_sessions);
+        Self {
+            config,
+            registry,
+            started: Instant::now(),
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    /// Is the server refusing new connections while finishing old ones?
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed)
+    }
+}
+
+/// A running server: acceptor + worker pool.
+///
+/// Dropping a `Server` without calling [`Server::shutdown`] detaches the
+/// threads (the process must exit to stop them); call `shutdown` for a
+/// deterministic drain.
+#[derive(Debug)]
+pub struct Server {
+    ctx: Arc<ServeCtx>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the acceptor and worker pool, and return immediately.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let ctx = Arc::new(ServeCtx::new(config));
+
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(ctx.config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+
+        let workers = (0..ctx.config.workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let ctx = Arc::clone(&ctx);
+                std::thread::Builder::new()
+                    .name(format!("dvf-serve-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only to dequeue, never while serving.
+                        let next = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+                        match next {
+                            Ok(stream) => handle_connection(&stream, &ctx),
+                            // Sender gone: drain is complete.
+                            Err(_) => break,
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let acceptor = {
+            let ctx = Arc::clone(&ctx);
+            std::thread::Builder::new()
+                .name("dvf-serve-accept".to_owned())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if ctx.draining() {
+                            break;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        match tx.try_send(stream) {
+                            Ok(()) => {}
+                            Err(TrySendError::Full(stream)) => reject_busy(&stream),
+                            Err(TrySendError::Disconnected(_)) => break,
+                        }
+                    }
+                    // `tx` drops here; workers finish the queue and exit.
+                })
+                .expect("spawn accept thread")
+        };
+
+        Ok(Self {
+            ctx,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state (for introspection in tests and the CLI).
+    pub fn ctx(&self) -> &Arc<ServeCtx> {
+        &self.ctx
+    }
+
+    /// Graceful drain: stop accepting, serve everything already queued,
+    /// join all threads. Idempotent-safe to call exactly once by move.
+    pub fn shutdown(mut self) {
+        self.ctx.draining.store(true, Ordering::Relaxed);
+        // The acceptor is parked in `accept(2)`; poke it awake so it
+        // observes the draining flag. A failed connect means it is
+        // already gone.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Answer a connection we have no queue slot for: `503` + `Retry-After`,
+/// sent from the accept thread (cheap: one small write), then close.
+fn reject_busy(stream: &TcpStream) {
+    dvf_obs::add("serve.req.rejected", 1);
+    let _ = http::prepare_stream(
+        stream,
+        Duration::from_millis(250),
+        Duration::from_millis(250),
+    );
+    let resp = error_response(503, "overloaded", "request queue is full; retry shortly")
+        .with_header("Retry-After", "1");
+    let _ = http::write_response(stream, &resp, false);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Latency buckets for `serve.latency_us` (µs, roughly ×4 apart).
+const LATENCY_BOUNDS_US: [u64; 8] = [100, 400, 1_600, 6_400, 25_600, 102_400, 409_600, 1_638_400];
+
+/// Serve one connection: keep-alive loop with per-request panic isolation.
+fn handle_connection(stream: &TcpStream, ctx: &ServeCtx) {
+    if http::prepare_stream(stream, ctx.config.read_timeout, ctx.config.write_timeout).is_err() {
+        return;
+    }
+    let mut conn = Conn::new(stream);
+    for served in 0..ctx.config.keep_alive_max {
+        let request = match conn.read_request(ctx.config.max_body_bytes) {
+            Ok(req) => req,
+            Err(ReadOutcome::Done) => return,
+            Err(ReadOutcome::Reject(resp)) => {
+                dvf_obs::add("serve.req.err", 1);
+                let _ = http::write_response(stream, &resp, false);
+                return;
+            }
+        };
+
+        let started = Instant::now();
+        let resp =
+            catch_unwind(AssertUnwindSafe(|| api::route(&request, ctx))).unwrap_or_else(|_| {
+                error_response(
+                    500,
+                    "handler_panic",
+                    "the request handler panicked; the server is still up",
+                )
+            });
+        dvf_obs::histogram("serve.latency_us", &LATENCY_BOUNDS_US)
+            .observe(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        dvf_obs::add(
+            if resp.status < 400 {
+                "serve.req.ok"
+            } else {
+                "serve.req.err"
+            },
+            1,
+        );
+
+        // Close after this response when the client asks, when the
+        // connection hit its request budget, or when we are draining.
+        let keep_alive =
+            !request.wants_close() && served + 1 < ctx.config.keep_alive_max && !ctx.draining();
+        if http::write_response(stream, &resp, keep_alive).is_err() || !keep_alive {
+            let _ = stream.flush_shutdown();
+            return;
+        }
+    }
+}
+
+/// Small extension: flush then close both directions, best-effort.
+trait FlushShutdown {
+    fn flush_shutdown(&self) -> std::io::Result<()>;
+}
+
+impl FlushShutdown for TcpStream {
+    fn flush_shutdown(&self) -> std::io::Result<()> {
+        let mut s = self;
+        let _ = s.flush();
+        self.shutdown(std::net::Shutdown::Both)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        let status: u16 = out
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap();
+        let body = out.split("\r\n\r\n").nth(1).unwrap_or("").to_owned();
+        (status, body)
+    }
+
+    #[test]
+    fn binds_serves_healthz_and_shuts_down() {
+        let server = Server::bind(ServerConfig::default()).unwrap();
+        let addr = server.addr();
+        let (status, body) = get(addr, "/v1/healthz");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"schema\":\"dvf-serve/1\""), "{body}");
+        assert!(body.contains("\"ok\":true"), "{body}");
+        server.shutdown();
+        // The port is released: a fresh bind to the same address works.
+        let again = TcpListener::bind(addr);
+        assert!(again.is_ok());
+    }
+
+    #[test]
+    fn unknown_route_is_404_and_server_survives() {
+        let server = Server::bind(ServerConfig::default()).unwrap();
+        let (status, body) = get(server.addr(), "/nope");
+        assert_eq!(status, 404);
+        assert!(body.contains("not_found"), "{body}");
+        let (status, _) = get(server.addr(), "/v1/healthz");
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+}

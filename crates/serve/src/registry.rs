@@ -1,0 +1,175 @@
+//! Named model sessions: upload an Aspen program once, query it many
+//! times. The registry is a small LRU — a capacity cap bounds resident
+//! parsed documents, and the least recently *used* (not registered)
+//! session is evicted when a new one would exceed it.
+//!
+//! Concurrency: lookups take the read lock and touch an atomic recency
+//! stamp, so any number of sweeps can resolve their session in parallel;
+//! only registration/removal takes the write lock. The evaluations
+//! themselves run outside the lock against an `Arc`'d session, and all
+//! sessions share the process-wide pattern memo cache (`dvf_core::memo`).
+
+use dvf_core::workflow::DvfWorkflow;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One registered model: a parse-once workflow plus bookkeeping.
+#[derive(Debug)]
+pub struct Session {
+    /// Registry key.
+    pub name: String,
+    /// The parsed, ready-to-evaluate workflow (machine/model defaults
+    /// from registration already applied).
+    pub workflow: DvfWorkflow,
+    /// Size of the registered source, for the listing endpoint.
+    pub source_bytes: usize,
+    /// Recency stamp (registry clock ticks; larger = more recent).
+    last_used: AtomicU64,
+}
+
+/// LRU-capped map of named sessions.
+#[derive(Debug)]
+pub struct Registry {
+    cap: usize,
+    clock: AtomicU64,
+    inner: RwLock<HashMap<String, Arc<Session>>>,
+}
+
+impl Registry {
+    /// Registry holding at most `cap` sessions (`cap` is clamped to ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            clock: AtomicU64::new(0),
+            inner: RwLock::new(HashMap::new()),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Look up and touch a session.
+    pub fn get(&self, name: &str) -> Option<Arc<Session>> {
+        let sessions = self.inner.read().expect("registry lock poisoned");
+        let session = sessions.get(name)?;
+        session.last_used.store(self.tick(), Ordering::Relaxed);
+        Some(Arc::clone(session))
+    }
+
+    /// Register (or replace) a session; returns the names evicted to
+    /// stay within the capacity cap, oldest first.
+    pub fn insert(&self, name: &str, workflow: DvfWorkflow, source_bytes: usize) -> Vec<String> {
+        let session = Arc::new(Session {
+            name: name.to_owned(),
+            workflow,
+            source_bytes,
+            last_used: AtomicU64::new(self.tick()),
+        });
+        let mut sessions = self.inner.write().expect("registry lock poisoned");
+        sessions.insert(name.to_owned(), session);
+        let mut evicted = Vec::new();
+        while sessions.len() > self.cap {
+            let oldest = sessions
+                .iter()
+                .min_by_key(|(_, s)| s.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map over capacity");
+            sessions.remove(&oldest);
+            evicted.push(oldest);
+        }
+        evicted
+    }
+
+    /// Drop a session; `true` if it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        self.inner
+            .write()
+            .expect("registry lock poisoned")
+            .remove(name)
+            .is_some()
+    }
+
+    /// Number of resident sessions.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("registry lock poisoned").len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(name, source_bytes)` of every resident session, sorted by name.
+    pub fn list(&self) -> Vec<(String, usize)> {
+        let sessions = self.inner.read().expect("registry lock poisoned");
+        let mut out: Vec<(String, usize)> = sessions
+            .values()
+            .map(|s| (s.name.clone(), s.source_bytes))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+        machine m { cache { associativity = 4 sets = 64 line = 32 } }
+        model app {
+          data A { size = 1024 element = 8 }
+          kernel k { access A as streaming() }
+        }
+    "#;
+
+    fn wf() -> DvfWorkflow {
+        DvfWorkflow::parse(SRC).unwrap()
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let r = Registry::new(4);
+        assert!(r.is_empty());
+        assert!(r.insert("a", wf(), SRC.len()).is_empty());
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get("a").unwrap().name, "a");
+        assert!(r.get("b").is_none());
+        assert!(r.remove("a"));
+        assert!(!r.remove("a"));
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used() {
+        let r = Registry::new(2);
+        r.insert("a", wf(), 1);
+        r.insert("b", wf(), 2);
+        // Touch `a` so `b` is the LRU when `c` arrives.
+        r.get("a").unwrap();
+        let evicted = r.insert("c", wf(), 3);
+        assert_eq!(evicted, vec!["b".to_owned()]);
+        assert!(r.get("a").is_some());
+        assert!(r.get("b").is_none());
+        assert_eq!(r.list().len(), 2);
+    }
+
+    #[test]
+    fn replacing_a_session_does_not_evict() {
+        let r = Registry::new(2);
+        r.insert("a", wf(), 1);
+        r.insert("b", wf(), 2);
+        let evicted = r.insert("a", wf(), 3);
+        assert!(evicted.is_empty());
+        assert_eq!(r.get("a").unwrap().source_bytes, 3);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let r = Registry::new(0);
+        r.insert("a", wf(), 1);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.insert("b", wf(), 2), vec!["a".to_owned()]);
+    }
+}

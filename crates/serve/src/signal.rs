@@ -1,0 +1,88 @@
+//! A latch for SIGINT / SIGTERM, driving graceful shutdown.
+//!
+//! The handler does the only thing an async-signal-safe handler may do
+//! with `std`: store into a static atomic. The serve loop polls
+//! [`triggered`] and runs the drain sequence itself, so no work happens
+//! in signal context.
+//!
+//! On non-Unix targets [`install`] is a no-op and [`triggered`] stays
+//! `false`; the server then only stops via [`crate::Server::shutdown`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+/// Has SIGINT or SIGTERM arrived since [`install`]?
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::Relaxed)
+}
+
+/// Reset the latch (test support: the latch is process-global).
+pub fn reset() {
+    TRIGGERED.store(false, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+// The one `unsafe` island in the workspace: binding `signal(2)` from libc
+// (already linked by std) to catch SIGTERM, which std exposes no safe API
+// for. The handler body is a single atomic store — async-signal-safe.
+#[allow(unsafe_code)]
+mod imp {
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        super::TRIGGERED.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        // SAFETY: `signal` is the C standard library function; passing a
+        // valid signal number and a non-capturing `extern "C"` function
+        // whose body is one atomic store satisfies its contract.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Install the SIGINT/SIGTERM handlers (idempotent).
+pub fn install() {
+    imp::install();
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raising_sigterm_sets_the_latch() {
+        reset();
+        install();
+        assert!(!triggered());
+        // Raise SIGTERM at ourselves through the installed handler.
+        #[allow(unsafe_code)]
+        {
+            extern "C" {
+                fn raise(signum: i32) -> i32;
+            }
+            // SAFETY: `raise` delivers a signal to this process; the
+            // installed handler only stores an atomic flag.
+            unsafe {
+                raise(15);
+            }
+        }
+        assert!(triggered());
+    }
+}

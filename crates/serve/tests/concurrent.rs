@@ -1,0 +1,119 @@
+//! Concurrency determinism: many threads hammering one session's sweep
+//! endpoint must each receive results bit-identical to a sequential
+//! baseline. The shared memo cache and the parallel grid evaluation are
+//! only allowed to change *when* numbers are computed, never *what*.
+
+mod common;
+
+use common::{json_str, request, MODEL};
+use dvf_serve::jsonval::Json;
+use dvf_serve::{Server, ServerConfig};
+use std::net::SocketAddr;
+
+const SWEEP: &str = r#"{"session":"shared","param":"n","lo":100,"hi":40000,"steps":9}"#;
+
+/// `(value, time_s, dvf_app)` per row, with exact f64 equality intended:
+/// the JSON writer round-trips f64 precisely, so any drift shows up.
+fn sweep_rows(addr: SocketAddr) -> Vec<(f64, f64, f64)> {
+    let reply = request(addr, "POST", "/v1/sweep", Some(SWEEP));
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let v = reply.json();
+    assert_eq!(v.get("failed").unwrap().as_u64(), Some(0));
+    v.get("rows")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|row| {
+            (
+                row.get("value").unwrap().as_f64().unwrap(),
+                row.get("time_s").unwrap().as_f64().unwrap(),
+                row.get("dvf_app").unwrap().as_f64().unwrap(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_sweeps_match_sequential_bit_for_bit() {
+    let server = Server::bind(ServerConfig {
+        workers: 8,
+        ..Default::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    let body = format!(r#"{{"name":"shared","source":{}}}"#, json_str(MODEL));
+    let reply = request(addr, "POST", "/v1/sessions", Some(&body));
+    assert_eq!(reply.status, 200, "{}", reply.body);
+
+    // Sequential baseline (also warms the memo cache, the worst case for
+    // a determinism bug: every concurrent request below may race between
+    // cached and freshly computed values).
+    let baseline = sweep_rows(addr);
+    assert_eq!(baseline.len(), 9);
+    assert!(baseline.windows(2).all(|w| w[0].0 < w[1].0));
+
+    let threads: Vec<_> = (0..8)
+        .map(|_| std::thread::spawn(move || (0..4).map(|_| sweep_rows(addr)).collect::<Vec<_>>()))
+        .collect();
+    for t in threads {
+        for rows in t.join().expect("client thread") {
+            assert_eq!(rows, baseline, "concurrent sweep diverged from baseline");
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_mixed_endpoints_stay_consistent() {
+    // Sweeps, evaluations and metrics interleaved: nothing deadlocks and
+    // every evaluation result stays equal to its own baseline.
+    let server = Server::bind(ServerConfig {
+        workers: 6,
+        ..Default::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+    let body = format!(r#"{{"name":"shared","source":{}}}"#, json_str(MODEL));
+    assert_eq!(
+        request(addr, "POST", "/v1/sessions", Some(&body)).status,
+        200
+    );
+
+    let dvf_baseline = {
+        let reply = request(addr, "POST", "/v1/dvf", Some(r#"{"session":"shared"}"#));
+        reply.json().get("dvf_app").unwrap().as_f64().unwrap()
+    };
+
+    let threads: Vec<_> = (0..6)
+        .map(|i| {
+            std::thread::spawn(move || {
+                for _ in 0..5 {
+                    match i % 3 {
+                        0 => {
+                            let reply =
+                                request(addr, "POST", "/v1/dvf", Some(r#"{"session":"shared"}"#));
+                            assert_eq!(reply.status, 200);
+                            let got = reply.json().get("dvf_app").unwrap().as_f64().unwrap();
+                            assert_eq!(got.to_bits(), dvf_baseline.to_bits());
+                        }
+                        1 => {
+                            let rows = sweep_rows(addr);
+                            assert_eq!(rows.len(), 9);
+                        }
+                        _ => {
+                            let reply = request(addr, "GET", "/v1/metrics", None);
+                            assert_eq!(reply.status, 200);
+                            assert!(matches!(reply.json(), Json::Obj(_)));
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    server.shutdown();
+}

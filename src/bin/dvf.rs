@@ -1,7 +1,7 @@
 //! `dvf` — command-line front-end for the DVF toolchain.
 //!
 //! ```text
-//! dvf check <file>                      parse + resolve, report diagnostics
+//! dvf check <file> [--json]             parse + resolve, report diagnostics
 //! dvf fmt <file>                        pretty-print in canonical form
 //! dvf eval <file> [options]             compute the DVF report
 //! dvf timed <file> [options]            time-resolved DVF per structure
@@ -9,6 +9,9 @@
 //!                                       DVF-guided protection plan
 //! dvf sweep <file> --sweep p=LO:HI:STEPS [options]
 //!                                       parallel memoized parameter sweep
+//! dvf serve [--addr A] [--workers N] [--queue N] [--sessions N]
+//!           [--max-body BYTES] [--read-timeout-ms MS]
+//!                                       resident HTTP JSON evaluation service
 //!     --machine <name>                  pick a machine (if several)
 //!     --model <name>                    pick a model (if several)
 //!     --param <name>=<value>            override a parameter (repeatable)
@@ -32,7 +35,8 @@ const USAGE: &str = "\
 usage: dvf <command> [args]
 
 commands:
-  check <file>                       parse and resolve; print diagnostics
+  check <file> [--json]              parse and resolve; print diagnostics
+                                     (--json: machine-readable, one document)
   fmt <file>                         pretty-print the model in canonical form
   eval <file> [--machine M] [--model M] [--param k=v]... [--profile[=json]]
                                      compute and print the DVF report
@@ -42,6 +46,10 @@ commands:
   sweep <file> --sweep p=LO:HI:STEPS [--no-cache] [same options]
                                      evaluate a parameter grid in parallel
                                      with memoized pattern models
+  serve [--addr HOST:PORT] [--workers N] [--queue N] [--sessions N]
+        [--max-body BYTES] [--read-timeout-ms MS]
+                                     start the resident dvf-serve/1 HTTP
+                                     service (SIGTERM/ctrl-c drains cleanly)
 
 `--profile` (or DVF_PROFILE=1 / DVF_PROFILE=json in the environment)
 appends a per-phase timing and counter report to stderr.
@@ -54,26 +62,7 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     match command.as_str() {
-        "check" => with_source(&args[1..], |source, _| match parse(source) {
-            Ok(doc) => {
-                let machines = doc
-                    .items
-                    .iter()
-                    .filter(|i| matches!(i, dvf::aspen::ast::Item::Machine(_)))
-                    .count();
-                let models = doc
-                    .items
-                    .iter()
-                    .filter(|i| matches!(i, dvf::aspen::ast::Item::Model(_)))
-                    .count();
-                println!("ok: {machines} machine(s), {models} model(s)");
-                ExitCode::SUCCESS
-            }
-            Err(d) => {
-                eprint!("{}", d.render(source));
-                ExitCode::FAILURE
-            }
-        }),
+        "check" => with_source(&args[1..], check_command),
         "fmt" => with_source(&args[1..], |source, _| match parse(source) {
             Ok(doc) => {
                 print!("{}", dvf::aspen::pretty(&doc));
@@ -88,6 +77,7 @@ fn main() -> ExitCode {
         "timed" => with_source(&args[1..], |s, f| eval_command(s, f, Mode::Timed)),
         "protect" => with_source(&args[1..], |s, f| eval_command(s, f, Mode::Protect)),
         "sweep" => with_source(&args[1..], sweep_command),
+        "serve" => serve_command(&args[1..]),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -112,6 +102,63 @@ fn with_source(args: &[String], f: impl FnOnce(&str, &[String]) -> ExitCode) -> 
         Ok(source) => f(&source, &args[1..]),
         Err(e) => {
             eprintln!("cannot read {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `check`: parse + count items. `--json` swaps the human rendering for
+/// the same structured diagnostics `/v1/parse` serves.
+fn check_command(source: &str, flags: &[String]) -> ExitCode {
+    let json = match flags {
+        [] => false,
+        [f] if f == "--json" => true,
+        [other, ..] => return usage_err(&format!("unknown flag `{other}`")),
+    };
+    match parse(source) {
+        Ok(doc) => {
+            let machines = doc
+                .items
+                .iter()
+                .filter(|i| matches!(i, dvf::aspen::ast::Item::Machine(_)))
+                .count();
+            let models = doc
+                .items
+                .iter()
+                .filter(|i| matches!(i, dvf::aspen::ast::Item::Model(_)))
+                .count();
+            if json {
+                let mut w = dvf::obs::JsonWriter::new();
+                w.begin_object();
+                w.key("ok").bool(true);
+                w.key("machines").u64(machines as u64);
+                w.key("models").u64(models as u64);
+                w.key("params").begin_array();
+                for name in doc.param_names() {
+                    w.string(name);
+                }
+                w.end_array();
+                w.key("diagnostics").begin_array().end_array();
+                w.end_object();
+                println!("{}", w.finish());
+            } else {
+                println!("ok: {machines} machine(s), {models} model(s)");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(d) => {
+            if json {
+                let mut w = dvf::obs::JsonWriter::new();
+                w.begin_object();
+                w.key("ok").bool(false);
+                w.key("diagnostics").begin_array();
+                d.write_json(source, &mut w);
+                w.end_array();
+                w.end_object();
+                println!("{}", w.finish());
+            } else {
+                eprint!("{}", d.render(source));
+            }
             ExitCode::FAILURE
         }
     }
@@ -370,6 +417,15 @@ fn sweep_command(source: &str, flags: &[String]) -> ExitCode {
         wf = wf.with_model(name);
     }
 
+    // A typo'd name would otherwise sweep an inert override and print a
+    // perfectly flat curve; fail loudly instead.
+    for name in std::iter::once(param.as_str()).chain(overrides.iter().map(|(k, _)| k.as_str())) {
+        if let Err(e) = wf.check_param(name) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     // Each grid point resolves with the fixed overrides plus the swept
     // parameter; the memo cache deduplicates pattern evaluations shared
     // between points.
@@ -418,6 +474,71 @@ fn sweep_command(source: &str, flags: &[String]) -> ExitCode {
         eprintln!("{failures} of {} grid point(s) failed", values.len());
         ExitCode::FAILURE
     }
+}
+
+/// `serve`: run the resident dvf-serve/1 HTTP service until SIGTERM or
+/// ctrl-c, then drain gracefully.
+fn serve_command(flags: &[String]) -> ExitCode {
+    let mut config = dvf::serve::ServerConfig {
+        addr: "127.0.0.1:8377".to_owned(),
+        ..Default::default()
+    };
+
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        let value = |it: &mut std::slice::Iter<String>| -> Option<String> { it.next().cloned() };
+        macro_rules! numeric {
+            ($field:expr, $name:literal, $ty:ty, $map:expr) => {
+                match value(&mut it).map(|v| v.parse::<$ty>()) {
+                    Some(Ok(n)) => $field = $map(n),
+                    Some(Err(_)) => return usage_err(concat!("bad ", $name, " value")),
+                    None => return usage_err(concat!($name, " needs a value")),
+                }
+            };
+        }
+        match flag.as_str() {
+            "--addr" => match value(&mut it) {
+                Some(v) => config.addr = v,
+                None => return usage_err("--addr needs a value"),
+            },
+            "--workers" => numeric!(config.workers, "--workers", usize, |n: usize| n.max(1)),
+            "--queue" => numeric!(config.queue_depth, "--queue", usize, |n: usize| n.max(1)),
+            "--sessions" => numeric!(config.max_sessions, "--sessions", usize, |n| n),
+            "--max-body" => numeric!(config.max_body_bytes, "--max-body", usize, |n| n),
+            "--read-timeout-ms" => numeric!(
+                config.read_timeout,
+                "--read-timeout-ms",
+                u64,
+                std::time::Duration::from_millis
+            ),
+            other => return usage_err(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    // The service reports obs counters on /v1/metrics; keep them on.
+    dvf::obs::set_enabled(true);
+    dvf::serve::signal::install();
+    let server = match dvf::serve::Server::bind(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "dvf-serve listening on http://{}/v1/ (schema {})",
+        server.addr(),
+        dvf::serve::SCHEMA
+    );
+    println!("press ctrl-c (or send SIGTERM) to drain and exit");
+
+    while !dvf::serve::signal::triggered() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("signal received; draining...");
+    server.shutdown();
+    eprintln!("drained; bye");
+    ExitCode::SUCCESS
 }
 
 /// Parse `name=LO:HI:STEPS` (inclusive linear grid) or `name=v1,v2,...`.

@@ -25,6 +25,9 @@
 //! * [`obs`] (`dvf-obs`) — `std`-only tracing/metrics: hierarchical timed
 //!   spans, counters, histograms, text/JSON exporters, wired through the
 //!   whole pipeline and surfaced as `dvf ... --profile`.
+//! * [`serve`] (`dvf-serve`) — the resident evaluation service: a
+//!   dependency-free HTTP/1.1 JSON API (`dvf serve`) keeping parsed
+//!   models and the sweep memo cache warm across requests.
 //!
 //! ## Five-minute tour
 //!
@@ -66,3 +69,4 @@ pub use dvf_core as core;
 pub use dvf_kernels as kernels;
 pub use dvf_obs as obs;
 pub use dvf_repro as repro;
+pub use dvf_serve as serve;

@@ -169,6 +169,114 @@ fn protect_requires_budget() {
 }
 
 #[test]
+fn check_json_emits_machine_readable_document() {
+    let path = write_model(MODEL);
+    let out = dvf(&["check", path.to_str().unwrap(), "--json"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with("{\"ok\":true"), "{stdout}");
+    assert!(stdout.contains("\"machines\":1"), "{stdout}");
+    assert!(stdout.contains("\"params\":[\"n\"]"), "{stdout}");
+    assert!(stdout.contains("\"diagnostics\":[]"), "{stdout}");
+}
+
+#[test]
+fn check_json_reports_structured_diagnostics() {
+    let path = write_model("model vm { data A }");
+    let out = dvf(&["check", path.to_str().unwrap(), "--json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with("{\"ok\":false"), "{stdout}");
+    assert!(stdout.contains("\"code\":\"parse\""), "{stdout}");
+    assert!(stdout.contains("\"line\":1"), "{stdout}");
+    assert!(stdout.contains("\"span\":{"), "{stdout}");
+}
+
+#[test]
+fn sweep_runs_a_grid() {
+    let path = write_model(MODEL);
+    let out = dvf(&["sweep", path.to_str().unwrap(), "--sweep", "n=100:1000:4"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("sweep `n` over 4 point(s)"), "{stdout}");
+}
+
+#[test]
+fn sweep_of_unknown_param_is_a_diagnostic_not_a_flat_line() {
+    let path = write_model(MODEL);
+    let out = dvf(&["sweep", path.to_str().unwrap(), "--sweep", "nn=100:1000:4"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown parameter `nn`"), "{stderr}");
+    assert!(stderr.contains("declared parameters: n"), "{stderr}");
+    // No grid output was produced.
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(!stdout.contains("sweep `nn`"), "{stdout}");
+}
+
+#[test]
+fn sweep_validates_override_params_too() {
+    let path = write_model(MODEL);
+    let out = dvf(&[
+        "sweep",
+        path.to_str().unwrap(),
+        "--sweep",
+        "n=100:1000:4",
+        "--param",
+        "bogus=1",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown parameter `bogus`"), "{stderr}");
+}
+
+#[cfg(unix)]
+#[test]
+fn serve_boots_answers_and_drains_on_sigterm() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dvf"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("server starts");
+
+    // First stdout line announces the bound address.
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("announce line");
+    let addr = line
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split("/v1/").next())
+        .unwrap_or_else(|| panic!("no address in announce line: {line:?}"))
+        .to_owned();
+
+    // One real request through the live server.
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    write!(
+        stream,
+        "GET /v1/healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("read reply");
+    assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+    assert!(reply.contains("\"dvf-serve/1\""), "{reply}");
+
+    // SIGTERM drains cleanly: exit code 0.
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(kill.success());
+    let status = child.wait().expect("server exits");
+    assert!(status.success(), "serve exited with {status:?}");
+}
+
+#[test]
 fn unknown_command_is_usage_error() {
     let out = dvf(&["frobnicate"]);
     assert_eq!(out.status.code(), Some(2));
