@@ -64,7 +64,63 @@ fn obs_overhead(c: &mut Criterion) {
         b.iter(|| drop(black_box(dvf_obs::span("bench"))))
     });
 
+    // The per-request trace layer: spans and counters while a trace is
+    // active on the thread (the always-on server path), and the full
+    // begin → finish cycle a request pays.
+    {
+        let _trace = dvf_obs::trace::begin(dvf_obs::trace::trace_id(1, 0));
+        group.bench_function("span/traced", |b| {
+            b.iter(|| drop(black_box(dvf_obs::span("bench"))))
+        });
+        group.bench_function("counter/traced", |b| {
+            b.iter(|| dvf_obs::add("bench.obs.traced", black_box(1)))
+        });
+    }
+    group.bench_function("trace/begin_finish", |b| {
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            let guard = dvf_obs::trace::begin(dvf_obs::trace::trace_id(2, n));
+            black_box(guard.finish())
+        })
+    });
+
     group.finish();
+
+    if std::env::var("OBS_OVERHEAD_ASSERT").as_deref() == Ok("1") {
+        assert_disabled_path_flat();
+    }
+}
+
+/// CI smoke assertion (`OBS_OVERHEAD_ASSERT=1`): the fully disabled
+/// instrumentation path — no global registry, no active trace — must
+/// stay within noise. "Noise" here is an absolute per-op ceiling chosen
+/// far above a flag check (tens of instructions) but far below a real
+/// recording path (allocation + lock), so a regression that starts doing
+/// work while disabled fails loudly on any hardware.
+fn assert_disabled_path_flat() {
+    const OPS: u64 = 1_000_000;
+    const CEILING_NS_PER_OP: f64 = 50.0;
+    dvf_obs::set_enabled(false);
+
+    let started = std::time::Instant::now();
+    for _ in 0..OPS {
+        drop(black_box(dvf_obs::span("bench.assert")));
+    }
+    let span_ns = started.elapsed().as_nanos() as f64 / OPS as f64;
+
+    let started = std::time::Instant::now();
+    for _ in 0..OPS {
+        dvf_obs::add("bench.assert.counter", black_box(1));
+    }
+    let add_ns = started.elapsed().as_nanos() as f64 / OPS as f64;
+
+    assert!(
+        span_ns < CEILING_NS_PER_OP && add_ns < CEILING_NS_PER_OP,
+        "disabled-path overhead regressed: span {span_ns:.1} ns/op, \
+         add {add_ns:.1} ns/op (ceiling {CEILING_NS_PER_OP} ns/op)"
+    );
+    println!("obs_overhead assert: ok (span {span_ns:.1} ns/op, add {add_ns:.1} ns/op)");
 }
 
 criterion_group!(benches, obs_overhead);

@@ -98,8 +98,10 @@ impl<P: ReplacementPolicy> Simulator<P> {
             stats: self.cache.into_stats(),
         };
         // Observability: one batched update per run, so the per-reference
-        // hot path stays instrumentation-free.
-        if dvf_obs::enabled() {
+        // hot path stays instrumentation-free. Also fires when only a
+        // per-request trace is active, so fused-path simulations
+        // attribute their reference counts to the requesting trace.
+        if dvf_obs::enabled() || dvf_obs::trace::active() {
             let total = report.total();
             dvf_obs::add("cachesim.refs", report.refs);
             dvf_obs::add("cachesim.hits", total.hits);

@@ -177,6 +177,8 @@ where
     if workers <= 1 || items.len() <= 1 {
         return items.iter().map(&f).collect();
     }
+    dvf_obs::add("sweep.par.points", items.len() as u64);
+    dvf_obs::add("sweep.par.workers", workers as u64);
     let chunk = items.len().div_ceil(workers);
     let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     std::thread::scope(|scope| {

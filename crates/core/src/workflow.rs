@@ -507,6 +507,7 @@ impl DvfWorkflow {
 
     /// Resolve with `overrides` and evaluate the full Fig. 3 pipeline.
     pub fn evaluate(&self, overrides: &[(&str, f64)]) -> Result<DvfReport, WorkflowError> {
+        let _workflow = dvf_obs::span("workflow");
         let (machine, app) = dvf_obs::span_scope("resolve", || {
             let mut resolver = Resolver::new(&self.doc);
             for (k, v) in overrides {

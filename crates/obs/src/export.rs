@@ -115,6 +115,41 @@ pub(crate) fn snapshot_of(registry: &Registry) -> Snapshot {
     }
 }
 
+/// Sanitize a registry name into a Prometheus metric name: `dvf_`
+/// prefix, every non-alphanumeric character mapped to `_`.
+pub(crate) fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("dvf_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escape a string for use inside a Prometheus label value.
+pub(crate) fn prom_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Nanoseconds as a decimal seconds literal without float round-trip
+/// noise (`1234` ns → `0.000001234`).
+fn format_seconds(ns: u64) -> String {
+    format!("{}.{:09}", ns / 1_000_000_000, ns % 1_000_000_000)
+}
+
 /// Format nanoseconds with an adaptive unit.
 fn human_ns(ns: u64) -> String {
     let v = ns as f64;
@@ -226,6 +261,58 @@ impl Snapshot {
         }
         if self.spans.is_empty() && self.counters.is_empty() && self.histograms.is_empty() {
             let _ = writeln!(out, "(no metrics recorded — was instrumentation enabled?)");
+        }
+        out
+    }
+
+    /// Prometheus text exposition (format version 0.0.4) of this
+    /// snapshot, std-only.
+    ///
+    /// Naming: every series is prefixed `dvf_`, non-alphanumeric name
+    /// characters become `_`, and counters get the conventional
+    /// `_total` suffix. Units stay as recorded (a histogram named
+    /// `serve.latency_us` exposes `dvf_serve_latency_us_bucket` with
+    /// microsecond bounds). Histogram buckets are rendered
+    /// *cumulatively* with an explicit `le="+Inf"` terminator plus
+    /// `_sum`/`_count`, per the exposition format — the snapshot itself
+    /// stores per-bucket counts. Span aggregates become summary-style
+    /// `dvf_span_seconds_sum`/`_count` series labelled by path.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for c in &self.counters {
+            let name = format!("{}_total", prom_name(&c.name));
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", c.value);
+        }
+        for h in &self.histograms {
+            let name = prom_name(&h.name);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (i, n) in h.bucket_counts.iter().enumerate() {
+                cumulative += n;
+                match h.bounds.get(i) {
+                    Some(b) => {
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{b}\"}} {cumulative}");
+                    }
+                    None => {
+                        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                    }
+                }
+            }
+            let _ = writeln!(out, "{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "# TYPE dvf_span_seconds summary");
+            for s in &self.spans {
+                let path = prom_label_value(&s.path);
+                let _ = writeln!(
+                    out,
+                    "dvf_span_seconds_sum{{path=\"{path}\"}} {}",
+                    format_seconds(s.total_ns)
+                );
+                let _ = writeln!(out, "dvf_span_seconds_count{{path=\"{path}\"}} {}", s.count);
+            }
         }
         out
     }

@@ -17,6 +17,13 @@
 //! * a global **enable switch** ([`set_enabled`]): when disabled (the
 //!   default), every instrumentation call is a single relaxed atomic load
 //!   and a branch, so hot loops pay near-zero cost;
+//! * **per-request traces** ([`trace`]) — a thread-local recording scope
+//!   that spans and counter deltas attach to, independent of the global
+//!   switch, giving each request its own phase timeline;
+//! * a **flight recorder** ([`ring`]) — a fixed-capacity lock-striped
+//!   ring retaining the most recent completed request records;
+//! * a **Prometheus text renderer** ([`Snapshot::render_prometheus`])
+//!   alongside the text and JSON exporters;
 //! * a [`Heartbeat`] progress ticker for long-running CLI jobs.
 //!
 //! ## Example
@@ -39,13 +46,17 @@ pub mod export;
 pub mod heartbeat;
 pub mod json;
 pub mod registry;
+pub mod ring;
 pub mod span;
+pub mod trace;
 
 pub use export::{CounterEntry, HistogramEntry, Snapshot, SpanEntry};
 pub use heartbeat::Heartbeat;
 pub use json::JsonWriter;
 pub use registry::{Counter, Histogram};
+pub use ring::{FlightRecorder, PhaseRecord, RequestRecord};
 pub use span::{span, span_scope, SpanGuard};
+pub use trace::{FinishedTrace, PhaseSample, TraceGuard};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -96,11 +107,15 @@ pub fn counter(name: &str) -> Counter {
     registry::global().counter(name)
 }
 
-/// One-shot convenience: `counter(name).add(v)`.
+/// One-shot convenience: `counter(name).add(v)`, plus attribution to
+/// the per-request trace active on this thread (if any). Either sink
+/// can be on independently; when both are off this is two cheap flag
+/// checks.
 pub fn add(name: &str, v: u64) {
     if enabled() {
         counter(name).add(v);
     }
+    trace::add_delta(name, v);
 }
 
 /// Handle to the histogram registered under `name` with the given

@@ -1,0 +1,279 @@
+//! Flight recorder: a fixed-capacity, lock-striped ring of completed
+//! request records.
+//!
+//! The recorder answers "what just happened?" on a live server without
+//! unbounded memory: the most recent [`FlightRecorder::capacity`] records
+//! are always retained, older ones are overwritten. Placement is
+//! deterministic — a global sequence number `seq` maps to stripe
+//! `seq % S` and, within the stripe, slot `(seq / S) % per_stripe` — so
+//! concurrent pushes contend only on their own stripe's mutex, and a
+//! record can only ever be displaced by one that is exactly
+//! `capacity` sequence numbers (i.e. `capacity` requests) newer.
+//!
+//! A slot is overwritten only when the incoming record's `seq` exceeds
+//! the resident one's: a thread stalled between taking its sequence
+//! number and acquiring the stripe lock can never clobber a newer record
+//! that already lapped it.
+
+use crate::trace::FinishedTrace;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of independently locked stripes. Consecutive sequence numbers
+/// land on different stripes, so a burst of completions fans out across
+/// locks instead of serializing on one.
+const STRIPES: usize = 8;
+
+/// One phase line of a recorded request timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseRecord {
+    /// `/`-joined span path (e.g. `sweep/simulate`).
+    pub path: String,
+    /// Nesting depth; depth-0 phases partition the request and their
+    /// durations sum to at most the total.
+    pub depth: usize,
+    /// Wall-clock microseconds (floor of the nanosecond measurement, so
+    /// summed floors never exceed the floored total).
+    pub us: u64,
+}
+
+/// One completed request, as retained by the recorder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// Monotone completion sequence number (0-based, recorder-global).
+    pub seq: u64,
+    /// Trace id (the value served in `X-Dvf-Trace-Id`).
+    pub id: u64,
+    /// Method + path, e.g. `POST /v1/sweep`.
+    pub route: String,
+    /// HTTP status code of the response.
+    pub status: u16,
+    /// Total wall-clock microseconds for the request.
+    pub total_us: u64,
+    /// Phase timeline in completion order.
+    pub phases: Vec<PhaseRecord>,
+    /// Counter deltas attributed to this request.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl RequestRecord {
+    /// Build a record from a finished trace plus the request metadata
+    /// the trace itself doesn't know.
+    pub fn from_trace(trace: &FinishedTrace, route: String, status: u16) -> Self {
+        RequestRecord {
+            seq: 0,
+            id: trace.id,
+            route,
+            status,
+            total_us: trace.elapsed_ns / 1_000,
+            phases: trace
+                .phases
+                .iter()
+                .map(|p| PhaseRecord {
+                    path: p.path.clone(),
+                    depth: p.depth,
+                    us: p.elapsed_ns / 1_000,
+                })
+                .collect(),
+            counters: trace.deltas.clone(),
+        }
+    }
+}
+
+/// Fixed-capacity, lock-striped ring of [`RequestRecord`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    next_seq: AtomicU64,
+    per_stripe: usize,
+    stripes: [Mutex<Vec<Option<RequestRecord>>>; STRIPES],
+}
+
+impl FlightRecorder {
+    /// Create a recorder retaining at least `capacity` records (rounded
+    /// up to a multiple of the stripe count; zero is bumped to one slot
+    /// per stripe).
+    pub fn new(capacity: usize) -> Self {
+        let per_stripe = capacity.div_ceil(STRIPES).max(1);
+        FlightRecorder {
+            next_seq: AtomicU64::new(0),
+            per_stripe,
+            stripes: std::array::from_fn(|_| Mutex::new(vec![None; per_stripe])),
+        }
+    }
+
+    /// Number of records retained before overwriting begins.
+    pub fn capacity(&self) -> usize {
+        self.per_stripe * STRIPES
+    }
+
+    /// Total records pushed over the recorder's lifetime.
+    pub fn pushed(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed)
+    }
+
+    /// Record one completed request. Returns the sequence number it was
+    /// stored under.
+    pub fn push(&self, mut record: RequestRecord) -> u64 {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        record.seq = seq;
+        let stripe = (seq as usize) % STRIPES;
+        let slot = ((seq as usize) / STRIPES) % self.per_stripe;
+        let mut guard = self.stripes[stripe]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Overwrite only forward in time: if a faster thread already
+        // lapped this slot with a newer record, keep the newer one.
+        if guard[slot].as_ref().is_none_or(|r| r.seq < seq) {
+            guard[slot] = Some(record);
+        }
+        seq
+    }
+
+    /// The most recent `n` records with `total_us >= min_total_us`,
+    /// newest first.
+    pub fn recent(&self, n: usize, min_total_us: u64) -> Vec<RequestRecord> {
+        let mut all = self.collect();
+        all.sort_by_key(|r| std::cmp::Reverse(r.seq));
+        all.retain(|r| r.total_us >= min_total_us);
+        all.truncate(n);
+        all
+    }
+
+    /// Look up a retained record by trace id (newest match wins if ids
+    /// ever collide).
+    pub fn get(&self, id: u64) -> Option<RequestRecord> {
+        self.collect()
+            .into_iter()
+            .filter(|r| r.id == id)
+            .max_by_key(|r| r.seq)
+    }
+
+    fn collect(&self) -> Vec<RequestRecord> {
+        let mut all = Vec::with_capacity(self.capacity());
+        for stripe in &self.stripes {
+            let guard = stripe
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            all.extend(guard.iter().filter_map(|slot| slot.clone()));
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64, total_us: u64) -> RequestRecord {
+        RequestRecord {
+            seq: 0,
+            id,
+            route: "GET /v1/healthz".into(),
+            status: 200,
+            total_us,
+            phases: Vec::new(),
+            counters: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_stripes() {
+        assert_eq!(FlightRecorder::new(0).capacity(), STRIPES);
+        assert_eq!(FlightRecorder::new(1).capacity(), STRIPES);
+        assert_eq!(FlightRecorder::new(256).capacity(), 256);
+        assert_eq!(FlightRecorder::new(257).capacity(), 264);
+    }
+
+    #[test]
+    fn retains_most_recent_capacity_records() {
+        let ring = FlightRecorder::new(16);
+        for i in 0..100u64 {
+            ring.push(record(i, i));
+        }
+        assert_eq!(ring.pushed(), 100);
+        let recent = ring.recent(usize::MAX, 0);
+        assert_eq!(recent.len(), 16);
+        let ids: Vec<u64> = recent.iter().map(|r| r.id).collect();
+        // Newest first: 99, 98, ..., 84.
+        assert_eq!(ids, (84..100).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recent_filters_by_min_latency_and_truncates() {
+        let ring = FlightRecorder::new(32);
+        for i in 0..20u64 {
+            ring.push(record(i, i * 10));
+        }
+        let slow = ring.recent(3, 150);
+        assert_eq!(slow.len(), 3);
+        assert!(slow.iter().all(|r| r.total_us >= 150));
+        assert_eq!(slow[0].id, 19);
+    }
+
+    #[test]
+    fn get_finds_by_trace_id() {
+        let ring = FlightRecorder::new(16);
+        ring.push(record(0xDEAD, 5));
+        ring.push(record(0xBEEF, 7));
+        assert_eq!(ring.get(0xBEEF).expect("retained").total_us, 7);
+        assert!(ring.get(0xF00D).is_none());
+    }
+
+    #[test]
+    fn from_trace_floors_micros() {
+        let trace = crate::trace::FinishedTrace {
+            id: 3,
+            elapsed_ns: 10_999,
+            phases: vec![crate::trace::PhaseSample {
+                path: "parse".into(),
+                depth: 0,
+                elapsed_ns: 1_999,
+            }],
+            phases_dropped: 0,
+            deltas: vec![("memo.hit".into(), 2)],
+        };
+        let rec = RequestRecord::from_trace(&trace, "POST /v1/sweep".into(), 200);
+        assert_eq!(rec.total_us, 10);
+        assert_eq!(rec.phases[0].us, 1);
+        assert_eq!(rec.counters, vec![("memo.hit".to_owned(), 2)]);
+    }
+
+    #[test]
+    fn concurrent_pushes_keep_most_recent_window() {
+        use std::sync::Arc;
+        let ring = Arc::new(FlightRecorder::new(64));
+        let threads = 8u32;
+        let per_thread = 200u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        ring.push(record(u64::from(t) * 10_000 + i, i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("pusher thread");
+        }
+        let total = u64::from(threads) * per_thread;
+        assert_eq!(ring.pushed(), total);
+        let recent = ring.recent(usize::MAX, 0);
+        assert_eq!(recent.len(), ring.capacity());
+        // Every retained record is from the most recent `capacity`
+        // sequence numbers, ids are unique, seqs strictly descend.
+        let floor = total - ring.capacity() as u64;
+        let mut ids = Vec::new();
+        for pair in recent.windows(2) {
+            assert!(pair[0].seq > pair[1].seq);
+        }
+        for r in &recent {
+            assert!(r.seq >= floor, "stale record seq {} < {floor}", r.seq);
+            ids.push(r.id);
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), ring.capacity());
+    }
+}

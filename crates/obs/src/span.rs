@@ -18,9 +18,17 @@
 //! dvf_obs::set_enabled(false);
 //! ```
 //!
-//! Guards must be dropped in reverse creation order (the natural scoped
-//! usage); an out-of-order drop would mis-attribute the remainder of the
-//! enclosing span's path.
+//! Guards should be dropped in reverse creation order (the natural
+//! scoped usage). Each guard remembers the stack index it was created
+//! at and truncates back to it on drop, so a mis-ordered drop cannot
+//! silently mis-attribute the enclosing span's remainder — the stack is
+//! restored to the guard's own level and debug builds assert on the
+//! mismatched pop.
+//!
+//! Spans also feed the per-request trace layer: while a
+//! [`crate::trace`] context is active on the thread, every completing
+//! span is appended to that trace's timeline, even when the global
+//! registry is disabled.
 
 use std::cell::RefCell;
 use std::time::Instant;
@@ -46,7 +54,7 @@ struct ActiveSpan {
 /// Open a timed span named `name`, nested under any span currently open
 /// on this thread. The returned guard records on drop.
 pub fn span(name: impl Into<String>) -> SpanGuard {
-    if !crate::enabled() {
+    if !crate::enabled() && !crate::trace::active() {
         return SpanGuard(None);
     }
     let name = name.into();
@@ -78,10 +86,26 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(active) = self.0.take() else { return };
         let elapsed_ns = u64::try_from(active.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        STACK.with(|stack| {
-            stack.borrow_mut().pop();
+        // Pop by the identity captured at creation, not blindly: truncate
+        // back to this guard's own stack level. In the well-ordered case
+        // that is exactly one pop; on a mis-ordered drop it discards the
+        // orphaned inner segments instead of mis-attributing the
+        // enclosing span's remainder to a stale path.
+        let ordered = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let ordered = stack.len() == active.depth + 1;
+            stack.truncate(active.depth);
+            ordered
         });
-        crate::registry::global().record_span(active.path, active.depth, elapsed_ns);
+        crate::trace::attach_span(&active.path, active.depth, elapsed_ns);
+        debug_assert!(
+            ordered,
+            "span `{}` dropped out of order (stack did not end at depth {})",
+            active.path, active.depth
+        );
+        if crate::enabled() {
+            crate::registry::global().record_span(active.path, active.depth, elapsed_ns);
+        }
     }
 }
 
@@ -122,6 +146,35 @@ mod tests {
             let _g = span("ghost");
         }
         assert!(crate::snapshot().spans.is_empty());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn out_of_order_drop_asserts_and_recovers() {
+        let _lock = crate::test_guard();
+        crate::set_enabled(true);
+        crate::reset();
+        let a = span("a");
+        let b = span("b");
+        // Dropping the outer guard first is a misuse: debug builds
+        // assert, and the stack is truncated back to `a`'s level so the
+        // orphaned `b` segment cannot leak into later paths.
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drop(a))).is_err();
+        assert!(panicked, "mis-ordered drop must debug_assert");
+        // `b` now finds the stack below its own level; it also asserts,
+        // but recovery already happened, so catch and move on.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drop(b)));
+        // The thread-local stack is clean again: a fresh span records at
+        // depth 0 under its own name.
+        crate::reset();
+        {
+            let _c = span("clean");
+        }
+        let snap = crate::snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].path, "clean");
+        assert_eq!(snap.spans[0].depth, 0);
+        crate::set_enabled(false);
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Golden test pinning the Prometheus text exposition.
+//!
+//! The rendering is consumed by standard scrapers; bucket cumulation,
+//! the `_total` counter suffix, the `+Inf` terminator and the series
+//! naming scheme are all load-bearing. This test freezes the layout by
+//! rendering a hand-built snapshot and comparing byte-for-byte.
+
+use dvf_obs::{CounterEntry, HistogramEntry, Snapshot, SpanEntry};
+
+fn sample_snapshot() -> Snapshot {
+    Snapshot {
+        spans: vec![
+            SpanEntry {
+                path: "eval/parse".to_owned(),
+                depth: 1,
+                count: 1,
+                total_ns: 1200,
+                min_ns: 1200,
+                max_ns: 1200,
+            },
+            SpanEntry {
+                path: "eval".to_owned(),
+                depth: 0,
+                count: 1,
+                total_ns: 5000,
+                min_ns: 5000,
+                max_ns: 5000,
+            },
+        ],
+        counters: vec![CounterEntry {
+            name: "pattern.streaming".to_owned(),
+            value: 3,
+        }],
+        histograms: vec![HistogramEntry {
+            name: "serve.latency_us".to_owned(),
+            bounds: vec![10, 100],
+            bucket_counts: vec![2, 1, 1],
+            count: 4,
+            sum: 257,
+        }],
+    }
+}
+
+#[test]
+fn prometheus_export_matches_golden() {
+    let golden = concat!(
+        "# TYPE dvf_pattern_streaming_total counter\n",
+        "dvf_pattern_streaming_total 3\n",
+        "# TYPE dvf_serve_latency_us histogram\n",
+        "dvf_serve_latency_us_bucket{le=\"10\"} 2\n",
+        "dvf_serve_latency_us_bucket{le=\"100\"} 3\n",
+        "dvf_serve_latency_us_bucket{le=\"+Inf\"} 4\n",
+        "dvf_serve_latency_us_sum 257\n",
+        "dvf_serve_latency_us_count 4\n",
+        "# TYPE dvf_span_seconds summary\n",
+        "dvf_span_seconds_sum{path=\"eval/parse\"} 0.000001200\n",
+        "dvf_span_seconds_count{path=\"eval/parse\"} 1\n",
+        "dvf_span_seconds_sum{path=\"eval\"} 0.000005000\n",
+        "dvf_span_seconds_count{path=\"eval\"} 1\n",
+    );
+    assert_eq!(sample_snapshot().render_prometheus(), golden);
+}
+
+#[test]
+fn empty_snapshot_renders_empty_exposition() {
+    assert_eq!(Snapshot::default().render_prometheus(), "");
+}
+
+#[test]
+fn bucket_counts_are_cumulative_and_terminate_at_inf() {
+    let text = sample_snapshot().render_prometheus();
+    // The +Inf bucket equals the total observation count — the defining
+    // invariant of cumulative histogram exposition.
+    let inf_line = text
+        .lines()
+        .find(|l| l.contains("le=\"+Inf\""))
+        .expect("+Inf bucket");
+    assert!(inf_line.ends_with(" 4"), "{inf_line}");
+    // Cumulation is monotone.
+    let counts: Vec<u64> = text
+        .lines()
+        .filter(|l| l.contains("_bucket{"))
+        .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+        .collect();
+    assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+}

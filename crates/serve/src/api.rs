@@ -10,6 +10,14 @@
 //! | `/v1/sessions/{name}`     | DELETE | evict one session                          |
 //! | `/v1/dvf`                 | POST   | full Fig. 3 pipeline → per-structure DVF   |
 //! | `/v1/sweep`               | POST   | memoized parameter-grid sweep              |
+//! | `/v1/debug/requests`      | GET    | flight recorder: recent request records    |
+//! | `/v1/debug/requests/{id}` | GET    | one request's full phase timeline          |
+//!
+//! `/v1/metrics?format=prometheus` renders the same snapshot in the
+//! Prometheus text exposition format (plus serve gauges and build info).
+//! `/v1/debug/requests` takes `n` (max records, default 20) and
+//! `min_us`/`min_ms` (minimum total latency) query parameters; `{id}` is
+//! the 16-hex-digit value from the `X-Dvf-Trace-Id` response header.
 //!
 //! Every response body is `{"schema":"dvf-serve/1", ...}`; errors are
 //! `{"schema":…,"error":{"code":…,"message":…}}` with 4xx/5xx status.
@@ -33,7 +41,11 @@ const MAX_SWEEP_POINTS: usize = 4096;
 pub fn route(req: &Request, ctx: &ServeCtx) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/v1/healthz") => healthz(ctx),
-        ("GET", "/v1/metrics") => metrics(ctx),
+        ("GET", "/v1/metrics") => metrics(req, ctx),
+        ("GET", "/v1/debug/requests") => debug_requests(req, ctx),
+        ("GET", path) if path.strip_prefix("/v1/debug/requests/").is_some() => {
+            debug_request_by_id(path.strip_prefix("/v1/debug/requests/").unwrap_or(""), ctx)
+        }
         ("POST", "/v1/parse") => with_json(req, |body| parse_source(&body)),
         ("POST", "/v1/sessions") => with_json(req, |body| register_session(&body, ctx)),
         ("GET", "/v1/sessions") => list_sessions(ctx),
@@ -45,7 +57,11 @@ pub fn route(req: &Request, ctx: &ServeCtx) -> Response {
         ("POST", "/v1/_panic") if ctx.config.panic_route => {
             panic!("deliberate panic via /v1/_panic (test configuration)")
         }
-        (_, path) if KNOWN_PATHS.contains(&path) || path.starts_with("/v1/sessions/") => {
+        (_, path)
+            if KNOWN_PATHS.contains(&path)
+                || path.starts_with("/v1/sessions/")
+                || path.starts_with("/v1/debug/requests/") =>
+        {
             error_response(
                 405,
                 "method_not_allowed",
@@ -57,20 +73,22 @@ pub fn route(req: &Request, ctx: &ServeCtx) -> Response {
     }
 }
 
-const KNOWN_PATHS: [&str; 6] = [
+const KNOWN_PATHS: [&str; 7] = [
     "/v1/healthz",
     "/v1/metrics",
     "/v1/parse",
     "/v1/sessions",
     "/v1/dvf",
     "/v1/sweep",
+    "/v1/debug/requests",
 ];
 
 fn allow_of(path: &str) -> &'static str {
     match path {
-        "/v1/healthz" | "/v1/metrics" => "GET",
+        "/v1/healthz" | "/v1/metrics" | "/v1/debug/requests" => "GET",
         "/v1/parse" | "/v1/dvf" | "/v1/sweep" => "POST",
         "/v1/sessions" => "GET, POST",
+        path if path.starts_with("/v1/debug/requests/") => "GET",
         _ => "DELETE",
     }
 }
@@ -80,10 +98,33 @@ fn with_json(req: &Request, f: impl FnOnce(Json) -> Response) -> Response {
     let Ok(text) = std::str::from_utf8(&req.body) else {
         return error_response(400, "bad_utf8", "request body is not valid UTF-8");
     };
-    match Json::parse(text) {
+    let parsed = dvf_obs::span_scope("parse", || Json::parse(text));
+    match parsed {
         Ok(body) => f(body),
         Err(e) => error_response(400, "bad_json", &format!("malformed JSON body: {e}")),
     }
+}
+
+/// Crate version + build identity for `/v1/healthz`, `/v1/metrics` and
+/// the Prometheus `dvf_build_info` series. The git describe string is
+/// injected at compile time via the `DVF_BUILD_GIT` environment variable
+/// (absent in plain `cargo build`, hence the fallback).
+fn build_info() -> (&'static str, &'static str) {
+    (
+        env!("CARGO_PKG_VERSION"),
+        option_env!("DVF_BUILD_GIT").unwrap_or("unknown"),
+    )
+}
+
+fn write_build(w: &mut JsonWriter) {
+    let (version, git) = build_info();
+    w.key("build")
+        .begin_object()
+        .key("version")
+        .string(version)
+        .key("git")
+        .string(git)
+        .end_object();
 }
 
 fn writer() -> JsonWriter {
@@ -97,13 +138,29 @@ fn healthz(ctx: &ServeCtx) -> Response {
     let mut w = writer();
     w.key("ok").bool(true);
     w.key("uptime_s").f64(ctx.started.elapsed().as_secs_f64());
+    // Monotone integer seconds: what the serve-smoke CI step asserts
+    // liveness against (never decreases, no float formatting to parse).
+    w.key("uptime_seconds").u64(ctx.started.elapsed().as_secs());
+    write_build(&mut w);
     w.key("sessions").u64(ctx.registry.len() as u64);
     w.key("draining").bool(ctx.draining());
     w.end_object();
     Response::json(200, w.finish())
 }
 
-fn metrics(ctx: &ServeCtx) -> Response {
+fn metrics(req: &Request, ctx: &ServeCtx) -> Response {
+    match req.query_param("format") {
+        Some("prometheus") => metrics_prometheus(ctx),
+        None | Some("json") => metrics_json(ctx),
+        Some(other) => error_response(
+            422,
+            "bad_format",
+            &format!("unknown metrics format `{other}` (json or prometheus)"),
+        ),
+    }
+}
+
+fn metrics_json(ctx: &ServeCtx) -> Response {
     let stats = memo::stats();
     let mut w = writer();
     // The embedded document is itself schema-versioned (`dvf-obs/1`).
@@ -118,8 +175,132 @@ fn metrics(ctx: &ServeCtx) -> Response {
         .u64(stats.entries)
         .end_object();
     w.key("sessions").u64(ctx.registry.len() as u64);
+    w.key("uptime_seconds").u64(ctx.started.elapsed().as_secs());
+    write_build(&mut w);
     w.end_object();
     Response::json(200, w.finish())
+}
+
+/// Content type scrapers expect for text exposition format 0.0.4.
+const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+fn metrics_prometheus(ctx: &ServeCtx) -> Response {
+    use std::fmt::Write as _;
+    let mut out = dvf_obs::snapshot().render_prometheus();
+    // Serve-level gauges the obs registry doesn't know about.
+    let gauges: [(&str, u64); 5] = [
+        ("dvf_serve_sessions", ctx.registry.len() as u64),
+        ("dvf_serve_queue_depth", ctx.queued()),
+        ("dvf_serve_draining", u64::from(ctx.draining())),
+        ("dvf_serve_uptime_seconds", ctx.started.elapsed().as_secs()),
+        ("dvf_serve_flight_records", ctx.recorder.pushed()),
+    ];
+    for (name, value) in gauges {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    let (version, git) = build_info();
+    let _ = writeln!(out, "# TYPE dvf_build_info gauge");
+    let _ = writeln!(
+        out,
+        "dvf_build_info{{version=\"{version}\",git=\"{git}\"}} 1"
+    );
+    Response::text(200, out, PROMETHEUS_CONTENT_TYPE)
+}
+
+/// Render one flight-recorder record as a JSON object.
+fn write_record(w: &mut JsonWriter, r: &dvf_obs::RequestRecord) {
+    w.begin_object();
+    w.key("seq").u64(r.seq);
+    w.key("id").string(&format!("{:016x}", r.id));
+    w.key("route").string(&r.route);
+    w.key("status").u64(u64::from(r.status));
+    w.key("total_us").u64(r.total_us);
+    w.key("phases").begin_array();
+    for p in &r.phases {
+        w.begin_object();
+        w.key("path").string(&p.path);
+        w.key("depth").u64(p.depth as u64);
+        w.key("us").u64(p.us);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("counters").begin_array();
+    for (name, value) in &r.counters {
+        w.begin_object();
+        w.key("name").string(name);
+        w.key("value").u64(*value);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+}
+
+/// Most records a single `/v1/debug/requests` response will list.
+const MAX_DEBUG_REQUESTS: usize = 1024;
+
+fn debug_requests(req: &Request, ctx: &ServeCtx) -> Response {
+    let n = match req.query_param("n") {
+        None => 20,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n.min(MAX_DEBUG_REQUESTS),
+            _ => return error_response(422, "bad_query", "`n` must be a positive integer"),
+        },
+    };
+    let min_us = match (req.query_param("min_us"), req.query_param("min_ms")) {
+        (Some(_), Some(_)) => {
+            return error_response(
+                422,
+                "bad_query",
+                "give either `min_us` or `min_ms`, not both",
+            )
+        }
+        (Some(us), None) => match us.parse::<u64>() {
+            Ok(v) => v,
+            Err(_) => return error_response(422, "bad_query", "`min_us` must be an integer"),
+        },
+        (None, Some(ms)) => match ms.parse::<u64>() {
+            Ok(v) => v.saturating_mul(1_000),
+            Err(_) => return error_response(422, "bad_query", "`min_ms` must be an integer"),
+        },
+        (None, None) => 0,
+    };
+    let records = ctx.recorder.recent(n, min_us);
+    let mut w = writer();
+    w.key("recorded").u64(ctx.recorder.pushed());
+    w.key("capacity").u64(ctx.recorder.capacity() as u64);
+    w.key("requests").begin_array();
+    for r in &records {
+        write_record(&mut w, r);
+    }
+    w.end_array();
+    w.end_object();
+    Response::json(200, w.finish())
+}
+
+fn debug_request_by_id(id: &str, ctx: &ServeCtx) -> Response {
+    let Ok(id) = u64::from_str_radix(id, 16) else {
+        return error_response(
+            422,
+            "bad_trace_id",
+            "trace ids are the hex value from X-Dvf-Trace-Id",
+        );
+    };
+    match ctx.recorder.get(id) {
+        Some(r) => {
+            let mut w = writer();
+            w.key("request");
+            write_record(&mut w, &r);
+            w.end_object();
+            Response::json(200, w.finish())
+        }
+        None => error_response(
+            404,
+            "no_such_trace",
+            "no retained record with that trace id (the flight recorder \
+             keeps only the most recent requests)",
+        ),
+    }
 }
 
 fn parse_source(body: &Json) -> Response {
@@ -441,6 +622,7 @@ fn grid_of(body: &Json) -> Result<Vec<f64>, Response> {
 }
 
 fn sweep(body: &Json, ctx: &ServeCtx) -> Response {
+    let _sweep = dvf_obs::span("sweep");
     let wf = match resolve_workflow(body, ctx) {
         Ok(wf) => wf,
         Err(resp) => return resp,
@@ -479,6 +661,12 @@ fn sweep(body: &Json, ctx: &ServeCtx) -> Response {
         wf.workflow().evaluate(&point)
     });
     let cache = memo::stats().since(&before);
+    // Attribute the memo-cache effect to this request's trace as an
+    // absolute overwrite: the per-point bumps happen on `par_map` worker
+    // threads the trace cannot see (except the single-point inline case,
+    // which would otherwise double-count against these deltas).
+    dvf_obs::trace::set_delta("sweep.cache.hit", cache.hits);
+    dvf_obs::trace::set_delta("sweep.cache.miss", cache.misses);
 
     let mut failed = 0u64;
     let mut w = writer();

@@ -45,6 +45,16 @@ impl Request {
         self.header("connection")
             .is_some_and(|v| v.eq_ignore_ascii_case("close"))
     }
+
+    /// Value of one `name=value` pair in the query string, if present.
+    /// (No percent-decoding: the API's query parameters are all simple
+    /// tokens and numbers.)
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.as_deref()?.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
+    }
 }
 
 /// One response about to be serialized.
@@ -67,6 +77,18 @@ impl Response {
             status,
             body,
             content_type: "application/json",
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// A plain-text response with an explicit content type (used for the
+    /// Prometheus exposition, whose scrapers key off the version tag in
+    /// the content type).
+    pub fn text(status: u16, body: String, content_type: &'static str) -> Self {
+        Self {
+            status,
+            body,
+            content_type,
             extra_headers: Vec::new(),
         }
     }
@@ -356,6 +378,8 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/dvf");
         assert_eq!(req.query.as_deref(), Some("x=1"));
+        assert_eq!(req.query_param("x"), Some("1"));
+        assert_eq!(req.query_param("y"), None);
         assert_eq!(req.header("host"), Some("h"));
         assert_eq!(req.body, b"abcd");
         assert!(!req.wants_close());

@@ -57,7 +57,7 @@ use registry::Registry;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -88,6 +88,16 @@ pub struct ServerConfig {
     pub max_sessions: usize,
     /// Expose `POST /v1/_panic` (worker panic isolation test hook).
     pub panic_route: bool,
+    /// Seed for the deterministic per-request trace ids (the `n`-th
+    /// request gets `dvf_obs::trace::trace_id(trace_seed, n)`); fixed by
+    /// default so tests and replays see reproducible ids.
+    pub trace_seed: u64,
+    /// Completed-request records retained by the flight recorder
+    /// (rounded up to a stripe multiple; see [`dvf_obs::FlightRecorder`]).
+    pub flight_capacity: usize,
+    /// Log a structured JSON line to stderr for every request slower
+    /// than this (the `dvf serve --slow-ms N` flag); `None` disables.
+    pub slow_request: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -102,6 +112,9 @@ impl Default for ServerConfig {
             keep_alive_max: 1000,
             max_sessions: 32,
             panic_route: false,
+            trace_seed: 0x0DF5_C0DE_D00D_FEED,
+            flight_capacity: 256,
+            slow_request: None,
         }
     }
 }
@@ -115,24 +128,44 @@ pub struct ServeCtx {
     pub registry: Registry,
     /// Server start time (for `/v1/healthz` uptime).
     pub started: Instant,
+    /// Always-on ring of completed request records (`/v1/debug/requests`).
+    pub recorder: dvf_obs::FlightRecorder,
     draining: AtomicBool,
+    trace_counter: AtomicU64,
+    queued: AtomicU64,
 }
 
 impl ServeCtx {
     /// Fresh context from a configuration.
     pub fn new(config: ServerConfig) -> Self {
         let registry = Registry::new(config.max_sessions);
+        let recorder = dvf_obs::FlightRecorder::new(config.flight_capacity);
         Self {
             config,
             registry,
             started: Instant::now(),
+            recorder,
             draining: AtomicBool::new(false),
+            trace_counter: AtomicU64::new(0),
+            queued: AtomicU64::new(0),
         }
     }
 
     /// Is the server refusing new connections while finishing old ones?
     pub fn draining(&self) -> bool {
         self.draining.load(Ordering::Relaxed)
+    }
+
+    /// Accepted connections currently waiting for a worker (the queue
+    /// depth gauge exposed by `/v1/metrics?format=prometheus`).
+    pub fn queued(&self) -> u64 {
+        self.queued.load(Ordering::Relaxed)
+    }
+
+    /// Next deterministic trace id from the server's seeded counter.
+    fn next_trace_id(&self) -> u64 {
+        let n = self.trace_counter.fetch_add(1, Ordering::Relaxed);
+        dvf_obs::trace::trace_id(self.config.trace_seed, n)
     }
 }
 
@@ -169,7 +202,10 @@ impl Server {
                         // Hold the lock only to dequeue, never while serving.
                         let next = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
                         match next {
-                            Ok(stream) => handle_connection(&stream, &ctx),
+                            Ok(stream) => {
+                                ctx.queued.fetch_sub(1, Ordering::Relaxed);
+                                handle_connection(&stream, &ctx);
+                            }
                             // Sender gone: drain is complete.
                             Err(_) => break,
                         }
@@ -189,7 +225,9 @@ impl Server {
                         }
                         let Ok(stream) = conn else { continue };
                         match tx.try_send(stream) {
-                            Ok(()) => {}
+                            Ok(()) => {
+                                ctx.queued.fetch_add(1, Ordering::Relaxed);
+                            }
                             Err(TrySendError::Full(stream)) => reject_busy(&stream),
                             Err(TrySendError::Disconnected(_)) => break,
                         }
@@ -270,6 +308,12 @@ fn handle_connection(stream: &TcpStream, ctx: &ServeCtx) {
         };
 
         let started = Instant::now();
+        // Trace the whole handler: spans and counter deltas fired while
+        // routing attach to this request's timeline. The guard lives
+        // outside the catch_unwind closure, so a panicking handler still
+        // has its trace finished (and recorded with status 500) below.
+        let trace_id = ctx.next_trace_id();
+        let trace_guard = dvf_obs::trace::begin(trace_id);
         let resp =
             catch_unwind(AssertUnwindSafe(|| api::route(&request, ctx))).unwrap_or_else(|_| {
                 error_response(
@@ -278,6 +322,7 @@ fn handle_connection(stream: &TcpStream, ctx: &ServeCtx) {
                     "the request handler panicked; the server is still up",
                 )
             });
+        let resp = resp.with_header("X-Dvf-Trace-Id", format!("{trace_id:016x}"));
         dvf_obs::histogram("serve.latency_us", &LATENCY_BOUNDS_US)
             .observe(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
         dvf_obs::add(
@@ -288,6 +333,19 @@ fn handle_connection(stream: &TcpStream, ctx: &ServeCtx) {
             },
             1,
         );
+        if let Some(trace) = trace_guard.finish() {
+            let route = format!("{} {}", request.method, request.path);
+            if let Some(threshold) = ctx.config.slow_request {
+                if trace.elapsed_ns >= threshold.as_nanos() as u64 {
+                    log_slow_request(&trace, &route, resp.status);
+                }
+            }
+            ctx.recorder.push(dvf_obs::RequestRecord::from_trace(
+                &trace,
+                route,
+                resp.status,
+            ));
+        }
 
         // Close after this response when the client asks, when the
         // connection hit its request budget, or when we are draining.
@@ -298,6 +356,37 @@ fn handle_connection(stream: &TcpStream, ctx: &ServeCtx) {
             return;
         }
     }
+}
+
+/// Emit one structured JSON line to stderr for a slow request, naming
+/// the phase that dominated it (`dvf serve --slow-ms N`).
+fn log_slow_request(trace: &dvf_obs::FinishedTrace, route: &str, status: u16) {
+    let mut w = dvf_obs::JsonWriter::new();
+    w.begin_object();
+    w.key("event").string("slow_request");
+    w.key("trace_id").string(&format!("{:016x}", trace.id));
+    w.key("route").string(route);
+    w.key("status").u64(u64::from(status));
+    w.key("total_us").u64(trace.elapsed_ns / 1_000);
+    match trace.dominant_phase() {
+        Some(p) => {
+            w.key("dominant_phase").string(&p.path);
+            w.key("dominant_us").u64(p.elapsed_ns / 1_000);
+        }
+        None => {
+            w.key("dominant_phase").null();
+        }
+    }
+    w.key("phases").begin_array();
+    for p in trace.phases.iter().filter(|p| p.depth == 0) {
+        w.begin_object();
+        w.key("path").string(&p.path);
+        w.key("us").u64(p.elapsed_ns / 1_000);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    eprintln!("{}", w.finish());
 }
 
 /// Small extension: flush then close both directions, best-effort.

@@ -1,6 +1,9 @@
 //! Minimal blocking HTTP client for exercising the server over real
 //! sockets (std-only, like everything else here).
 
+// Shared by several test binaries; not every binary uses every helper.
+#![allow(dead_code)]
+
 use dvf_serve::jsonval::Json;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};

@@ -10,7 +10,7 @@
 //! dvf sweep <file> --sweep p=LO:HI:STEPS [options]
 //!                                       parallel memoized parameter sweep
 //! dvf serve [--addr A] [--workers N] [--queue N] [--sessions N]
-//!           [--max-body BYTES] [--read-timeout-ms MS]
+//!           [--max-body BYTES] [--read-timeout-ms MS] [--slow-ms MS]
 //!                                       resident HTTP JSON evaluation service
 //!     --machine <name>                  pick a machine (if several)
 //!     --model <name>                    pick a model (if several)
@@ -47,9 +47,11 @@ commands:
                                      evaluate a parameter grid in parallel
                                      with memoized pattern models
   serve [--addr HOST:PORT] [--workers N] [--queue N] [--sessions N]
-        [--max-body BYTES] [--read-timeout-ms MS]
+        [--max-body BYTES] [--read-timeout-ms MS] [--slow-ms MS]
                                      start the resident dvf-serve/1 HTTP
-                                     service (SIGTERM/ctrl-c drains cleanly)
+                                     service (SIGTERM/ctrl-c drains cleanly;
+                                     --slow-ms logs slow requests as JSON
+                                     lines on stderr)
 
 `--profile` (or DVF_PROFILE=1 / DVF_PROFILE=json in the environment)
 appends a per-phase timing and counter report to stderr.
@@ -511,6 +513,9 @@ fn serve_command(flags: &[String]) -> ExitCode {
                 u64,
                 std::time::Duration::from_millis
             ),
+            "--slow-ms" => numeric!(config.slow_request, "--slow-ms", u64, |ms| Some(
+                std::time::Duration::from_millis(ms)
+            )),
             other => return usage_err(&format!("unknown flag `{other}`")),
         }
     }

@@ -276,6 +276,67 @@ fn serve_boots_answers_and_drains_on_sigterm() {
     assert!(status.success(), "serve exited with {status:?}");
 }
 
+#[cfg(unix)]
+#[test]
+fn serve_slow_ms_logs_structured_lines() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dvf"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--slow-ms",
+            "0",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("server starts");
+
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("announce line");
+    let addr = line
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split("/v1/").next())
+        .unwrap_or_else(|| panic!("no address in announce line: {line:?}"))
+        .to_owned();
+
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    write!(
+        stream,
+        "GET /v1/healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("read reply");
+    assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+    assert!(reply.contains("X-Dvf-Trace-Id:"), "{reply}");
+
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(kill.success());
+    let out = child.wait_with_output().expect("server exits");
+    assert!(out.status.success());
+    // --slow-ms 0: every request crosses the threshold, so the healthz
+    // round-trip produced one structured line naming its trace.
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    let slow = stderr
+        .lines()
+        .find(|l| l.contains("\"event\":\"slow_request\""))
+        .unwrap_or_else(|| panic!("no slow_request line in stderr: {stderr}"));
+    assert!(slow.contains("\"route\":\"GET /v1/healthz\""), "{slow}");
+    assert!(slow.contains("\"trace_id\":\""), "{slow}");
+    assert!(slow.contains("\"total_us\":"), "{slow}");
+}
+
 #[test]
 fn unknown_command_is_usage_error() {
     let out = dvf(&["frobnicate"]);
