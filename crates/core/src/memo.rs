@@ -15,11 +15,26 @@
 //! bit-identical (asserted by the property tests in `tests/memo_sweep.rs`).
 //! Hits and misses are counted in `dvf-obs` under `sweep.cache.hit` /
 //! `sweep.cache.miss`.
+//!
+//! ## Striping
+//!
+//! The cache is striped: keys are routed to one of [`stripe_count`]
+//! independent `Mutex<HashMap>` shards by key hash, so concurrent sweeps
+//! (the `dvf-serve` worker pool, `par_map` fan-outs) contend only when
+//! they touch the same stripe instead of serializing on one process-wide
+//! lock. Hit/miss tallies live *inside* each stripe and are bumped under
+//! the stripe lock, which makes [`stats`] a consistent cut: it holds
+//! every stripe lock at once, so `hits + misses` equals the number of
+//! enabled lookups that completed — no torn reads between two independent
+//! atomics. The template interner is striped the same way (routed by
+//! content hash, ids allocated from one shared counter), so interning
+//! never funnels through a single lock either.
 
 use crate::patterns::{CacheView, ModelError};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, LazyLock, Mutex};
+use std::hash::{BuildHasher, RandomState};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, LazyLock, Mutex, MutexGuard};
 
 /// Hashable identity of a [`CacheView`]: geometry plus the exact bit
 /// pattern of the sharing ratio.
@@ -104,16 +119,86 @@ pub struct EvalKey {
 
 static ENABLED: AtomicBool = AtomicBool::new(true);
 
-/// Lifetime hit/miss tallies, tracked independently of `dvf-obs` (which
-/// only records when profiling is enabled) so long-running consumers such
-/// as `dvf-serve` can report per-request cache-effect deltas unconditionally.
-static HITS: AtomicU64 = AtomicU64::new(0);
-static MISSES: AtomicU64 = AtomicU64::new(0);
+/// Default number of lock stripes (cache and template interner alike).
+const DEFAULT_STRIPES: usize = 16;
 
-static CACHE: LazyLock<Mutex<HashMap<EvalKey, f64>>> = LazyLock::new(|| Mutex::new(HashMap::new()));
+/// One shard of the evaluation cache. Hit/miss tallies are bumped under
+/// the same lock that guards the map, so a full-cache snapshot taken with
+/// every stripe locked is exactly consistent (tallies are lifetime
+/// counters, tracked independently of `dvf-obs` — which only records when
+/// profiling is enabled — so long-running consumers such as `dvf-serve`
+/// can report per-request cache-effect deltas unconditionally).
+#[derive(Debug, Default)]
+struct Stripe {
+    map: HashMap<EvalKey, f64>,
+    hits: u64,
+    misses: u64,
+}
 
-static TEMPLATES: LazyLock<Mutex<HashMap<Arc<[u64]>, TemplateId>>> =
-    LazyLock::new(|| Mutex::new(HashMap::new()));
+/// The striped cache plus the hasher that routes keys to stripes.
+struct Striped {
+    stripes: Box<[Mutex<Stripe>]>,
+    hasher: RandomState,
+}
+
+impl Striped {
+    fn stripe_of(&self, key: &EvalKey) -> &Mutex<Stripe> {
+        let h = self.hasher.hash_one(key) as usize;
+        &self.stripes[h % self.stripes.len()]
+    }
+
+    /// Lock every stripe, in index order (the only multi-stripe lock
+    /// pattern in this module, so the order is trivially consistent).
+    fn lock_all(&self) -> Vec<MutexGuard<'_, Stripe>> {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("memo cache poisoned"))
+            .collect()
+    }
+}
+
+/// Stripe count resolved once at first cache touch: the `DVF_MEMO_STRIPES`
+/// environment variable (clamped to `1..=256`) or [`DEFAULT_STRIPES`].
+/// The override exists for contention experiments (`stripes=1` reproduces
+/// the old single-mutex behaviour in an otherwise identical binary).
+fn configured_stripes() -> usize {
+    std::env::var("DVF_MEMO_STRIPES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(DEFAULT_STRIPES, |n| n.clamp(1, 256))
+}
+
+static CACHE: LazyLock<Striped> = LazyLock::new(|| Striped {
+    stripes: (0..configured_stripes())
+        .map(|_| Mutex::new(Stripe::default()))
+        .collect(),
+    hasher: RandomState::new(),
+});
+
+/// Striped template interner: content-hash routing (identical slices land
+/// on the same stripe, hence see the same id) with ids allocated from one
+/// shared counter so they stay unique across stripes.
+/// One interner stripe: a content-keyed map from template slice to id.
+type TemplateStripe = Mutex<HashMap<Arc<[u64]>, TemplateId>>;
+
+struct TemplateInterner {
+    stripes: Box<[TemplateStripe]>,
+    hasher: RandomState,
+    next_id: AtomicU32,
+}
+
+static TEMPLATES: LazyLock<TemplateInterner> = LazyLock::new(|| TemplateInterner {
+    stripes: (0..configured_stripes())
+        .map(|_| Mutex::new(HashMap::new()))
+        .collect(),
+    hasher: RandomState::new(),
+    next_id: AtomicU32::new(0),
+});
+
+/// Number of lock stripes the cache was built with (fixed at first use).
+pub fn stripe_count() -> usize {
+    CACHE.stripes.len()
+}
 
 /// Whether memoization is active (default: on).
 pub fn enabled() -> bool {
@@ -127,16 +212,27 @@ pub fn set_enabled(on: bool) {
 
 /// Drop every cached evaluation and interned template.
 pub fn clear() {
-    // Lock order: cache before templates (the only place both are held).
-    let mut cache = CACHE.lock().expect("memo cache poisoned");
-    let mut templates = TEMPLATES.lock().expect("template interner poisoned");
-    cache.clear();
-    templates.clear();
+    // Lock order: every cache stripe (ascending), then every template
+    // stripe (ascending) — the only place multiple locks are held at
+    // once besides `stats`, which takes cache stripes only.
+    let mut cache = CACHE.lock_all();
+    let mut templates: Vec<_> = TEMPLATES
+        .stripes
+        .iter()
+        .map(|s| s.lock().expect("template interner poisoned"))
+        .collect();
+    for stripe in &mut cache {
+        stripe.map.clear();
+    }
+    for stripe in &mut templates {
+        stripe.clear();
+    }
+    TEMPLATES.next_id.store(0, Ordering::Relaxed);
 }
 
 /// Number of cached evaluations.
 pub fn len() -> usize {
-    CACHE.lock().expect("memo cache poisoned").len()
+    CACHE.lock_all().iter().map(|stripe| stripe.map.len()).sum()
 }
 
 /// Point-in-time view of the process-wide cache: resident entries plus
@@ -166,12 +262,24 @@ impl CacheStats {
 }
 
 /// Current [`CacheStats`] of the shared cache.
+///
+/// The snapshot is a consistent cut: every stripe lock is held while
+/// reading, and lookups tally under their stripe lock, so at quiescence
+/// `hits + misses` equals the exact number of enabled lookups (the old
+/// two-independent-atomics implementation could tear between the loads).
 pub fn stats() -> CacheStats {
-    CacheStats {
-        hits: HITS.load(Ordering::Relaxed),
-        misses: MISSES.load(Ordering::Relaxed),
-        entries: len() as u64,
+    let stripes = CACHE.lock_all();
+    let mut out = CacheStats {
+        hits: 0,
+        misses: 0,
+        entries: 0,
+    };
+    for stripe in &stripes {
+        out.hits += stripe.hits;
+        out.misses += stripe.misses;
+        out.entries += stripe.map.len() as u64;
     }
+    out
 }
 
 /// Intern a template reference string, returning a small stable id.
@@ -180,11 +288,17 @@ pub fn stats() -> CacheStats {
 /// within one interner generation ([`clear`] starts a new generation and
 /// empties the evaluation cache with it).
 pub fn intern_template(refs: &[u64]) -> TemplateId {
-    let mut templates = TEMPLATES.lock().expect("template interner poisoned");
+    let h = TEMPLATES.hasher.hash_one(refs) as usize;
+    let stripe = &TEMPLATES.stripes[h % TEMPLATES.stripes.len()];
+    let mut templates = stripe.lock().expect("template interner poisoned");
     if let Some(&id) = templates.get(refs) {
         return id;
     }
-    let id = TemplateId::try_from(templates.len()).expect("more than u32::MAX distinct templates");
+    // Ids come from one shared counter so they are unique across stripes;
+    // uniqueness per *content* is the stripe map's job (same content
+    // always hashes to the same stripe).
+    let id = TEMPLATES.next_id.fetch_add(1, Ordering::Relaxed);
+    assert_ne!(id, TemplateId::MAX, "more than u32::MAX distinct templates");
     templates.insert(Arc::from(refs), id);
     id
 }
@@ -200,15 +314,24 @@ pub fn evaluate(
     if !enabled() {
         return compute();
     }
-    if let Some(&v) = CACHE.lock().expect("memo cache poisoned").get(&key) {
-        HITS.fetch_add(1, Ordering::Relaxed);
-        dvf_obs::add("sweep.cache.hit", 1);
-        return Ok(v);
+    let stripe = CACHE.stripe_of(&key);
+    {
+        let mut guard = stripe.lock().expect("memo cache poisoned");
+        if let Some(&v) = guard.map.get(&key) {
+            guard.hits += 1;
+            drop(guard);
+            dvf_obs::add("sweep.cache.hit", 1);
+            return Ok(v);
+        }
+        guard.misses += 1;
     }
-    MISSES.fetch_add(1, Ordering::Relaxed);
     dvf_obs::add("sweep.cache.miss", 1);
     let v = compute()?;
-    CACHE.lock().expect("memo cache poisoned").insert(key, v);
+    stripe
+        .lock()
+        .expect("memo cache poisoned")
+        .map
+        .insert(key, v);
     Ok(v)
 }
 

@@ -125,12 +125,33 @@ pub struct TraceGuard {
 /// If a trace is already active (a misuse — traces do not nest) the old
 /// recording is discarded and a fresh one starts; debug builds assert.
 pub fn begin(id: u64) -> TraceGuard {
+    begin_at(id, Instant::now())
+}
+
+/// Start recording a trace whose clock started `backdate_ns` in the past.
+///
+/// This is the queue-boundary handoff primitive: when a request is parsed
+/// on one thread, queued, and executed on another, the executing thread
+/// begins the trace backdated by the queue wait so `elapsed_ns` covers
+/// the request's whole server-side life, not just the compute slice.
+/// Pair it with [`add_phase`] to record the wait itself as a `queue`
+/// phase, keeping the depth-0 partition invariant (top-level phase sum ≤
+/// trace total) intact.
+pub fn begin_backdated(id: u64, backdate_ns: u64) -> TraceGuard {
+    let now = Instant::now();
+    let started = now
+        .checked_sub(std::time::Duration::from_nanos(backdate_ns))
+        .unwrap_or(now);
+    begin_at(id, started)
+}
+
+fn begin_at(id: u64, started: Instant) -> TraceGuard {
     CTX.with(|ctx| {
         let mut ctx = ctx.borrow_mut();
         debug_assert!(ctx.is_none(), "trace::begin while a trace is active");
         *ctx = Some(TraceCtx {
             id,
-            started: Instant::now(),
+            started,
             phases: Vec::new(),
             phases_dropped: 0,
             deltas: Vec::new(),
@@ -209,6 +230,17 @@ pub(crate) fn attach_span(path: &str, depth: usize, elapsed_ns: u64) {
             }
         }
     });
+}
+
+/// Record a synthetic phase on the active trace (no-op otherwise).
+///
+/// Spans measure themselves; this is for durations measured elsewhere —
+/// e.g. the time a request spent in a queue before any handler span ran.
+/// A depth-0 synthetic phase participates in the partition invariant, so
+/// only record time the trace's clock actually covers (see
+/// [`begin_backdated`]).
+pub fn add_phase(path: &str, depth: usize, elapsed_ns: u64) {
+    attach_span(path, depth, elapsed_ns);
 }
 
 /// Accumulate `v` into the active trace's delta for `name` (no-op when no
@@ -368,6 +400,26 @@ mod tests {
         let done = guard.finish().unwrap();
         assert_eq!(done.phases.len(), MAX_PHASES);
         assert_eq!(done.phases_dropped, 10);
+    }
+
+    #[test]
+    fn backdated_trace_covers_the_queue_wait() {
+        let _lock = crate::test_guard();
+        crate::set_enabled(false);
+        let wait_ns = 5_000_000; // a pretend 5 ms queue wait
+        let guard = begin_backdated(11, wait_ns);
+        add_phase("queue", 0, wait_ns);
+        {
+            let _work = crate::span("compute");
+        }
+        let done = guard.finish().expect("active trace");
+        // The trace's clock started before the queue wait, so the total
+        // covers it and the depth-0 partition invariant holds.
+        assert!(done.elapsed_ns >= wait_ns, "{}", done.elapsed_ns);
+        assert!(done.top_level_ns() <= done.elapsed_ns);
+        assert_eq!(done.phases[0].path, "queue");
+        assert_eq!(done.phases[0].elapsed_ns, wait_ns);
+        assert!(done.phases.iter().any(|p| p.path == "compute"));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! | `/v1/sessions/{name}`     | DELETE | evict one session                          |
 //! | `/v1/dvf`                 | POST   | full Fig. 3 pipeline → per-structure DVF   |
 //! | `/v1/sweep`               | POST   | memoized parameter-grid sweep              |
+//! | `/v1/batch`               | POST   | many dvf/sweep questions in one round-trip |
 //! | `/v1/debug/requests`      | GET    | flight recorder: recent request records    |
 //! | `/v1/debug/requests/{id}` | GET    | one request's full phase timeline          |
 //!
@@ -54,9 +55,11 @@ pub fn route(req: &Request, ctx: &ServeCtx) -> Response {
         }
         ("POST", "/v1/dvf") => with_json(req, |body| evaluate_dvf(&body, ctx)),
         ("POST", "/v1/sweep") => with_json(req, |body| sweep(&body, ctx)),
+        ("POST", "/v1/batch") => with_json(req, |body| batch(&body, ctx)),
         ("POST", "/v1/_panic") if ctx.config.panic_route => {
             panic!("deliberate panic via /v1/_panic (test configuration)")
         }
+        ("POST", "/v1/_slow") if ctx.config.slow_route => slow(req),
         (_, path)
             if KNOWN_PATHS.contains(&path)
                 || path.starts_with("/v1/sessions/")
@@ -73,20 +76,21 @@ pub fn route(req: &Request, ctx: &ServeCtx) -> Response {
     }
 }
 
-const KNOWN_PATHS: [&str; 7] = [
+const KNOWN_PATHS: [&str; 8] = [
     "/v1/healthz",
     "/v1/metrics",
     "/v1/parse",
     "/v1/sessions",
     "/v1/dvf",
     "/v1/sweep",
+    "/v1/batch",
     "/v1/debug/requests",
 ];
 
 fn allow_of(path: &str) -> &'static str {
     match path {
         "/v1/healthz" | "/v1/metrics" | "/v1/debug/requests" => "GET",
-        "/v1/parse" | "/v1/dvf" | "/v1/sweep" => "POST",
+        "/v1/parse" | "/v1/dvf" | "/v1/sweep" | "/v1/batch" => "POST",
         "/v1/sessions" => "GET, POST",
         path if path.starts_with("/v1/debug/requests/") => "GET",
         _ => "DELETE",
@@ -103,6 +107,62 @@ fn with_json(req: &Request, f: impl FnOnce(Json) -> Response) -> Response {
         Ok(body) => f(body),
         Err(e) => error_response(400, "bad_json", &format!("malformed JSON body: {e}")),
     }
+}
+
+/// A structured endpoint failure: status, machine-readable code, human
+/// message. Kept apart from [`Response`] so `/v1/batch` can embed one
+/// entry's failure as a JSON object instead of failing the whole batch.
+#[derive(Debug, Clone)]
+struct ApiError {
+    status: u16,
+    code: &'static str,
+    message: String,
+}
+
+impl ApiError {
+    fn new(status: u16, code: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            status,
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Render as a whole-request failure.
+    fn into_response(self) -> Response {
+        error_response(self.status, self.code, &self.message)
+    }
+
+    /// Render as one batch entry's `{"error":{...}}` object.
+    fn write_entry(&self, w: &mut JsonWriter) {
+        w.begin_object()
+            .key("error")
+            .begin_object()
+            .key("code")
+            .string(self.code)
+            .key("message")
+            .string(&self.message)
+            .end_object()
+            .end_object();
+    }
+}
+
+/// Test-configuration route (`slow_route`): hold a compute worker for
+/// `{"ms": N}` milliseconds, so overload tests can occupy the pool
+/// deterministically instead of racing real work.
+fn slow(req: &Request) -> Response {
+    let ms = std::str::from_utf8(&req.body)
+        .ok()
+        .and_then(|text| Json::parse(text).ok())
+        .and_then(|body| body.get("ms").and_then(Json::as_u64))
+        .unwrap_or(25)
+        .min(5_000);
+    std::thread::sleep(std::time::Duration::from_millis(ms));
+    let mut w = writer();
+    w.key("ok").bool(true);
+    w.key("slept_ms").u64(ms);
+    w.end_object();
+    Response::json(200, w.finish())
 }
 
 /// Crate version + build identity for `/v1/healthz`, `/v1/metrics` and
@@ -176,6 +236,23 @@ fn metrics_json(ctx: &ServeCtx) -> Response {
         .end_object();
     w.key("sessions").u64(ctx.registry.len() as u64);
     w.key("uptime_seconds").u64(ctx.started.elapsed().as_secs());
+    // Transport shape: configuration (workers, capacities) next to the
+    // live gauges (queued requests, open connections) they bound.
+    w.key("serve")
+        .begin_object()
+        .key("transport")
+        .string(ctx.config.transport.as_str())
+        .key("workers")
+        .u64(ctx.config.workers as u64)
+        .key("queue_capacity")
+        .u64(ctx.config.queue_depth as u64)
+        .key("queued")
+        .u64(ctx.queued())
+        .key("max_connections")
+        .u64(ctx.config.max_connections as u64)
+        .key("open_connections")
+        .u64(ctx.open_connections())
+        .end_object();
     write_build(&mut w);
     w.end_object();
     Response::json(200, w.finish())
@@ -188,17 +265,27 @@ fn metrics_prometheus(ctx: &ServeCtx) -> Response {
     use std::fmt::Write as _;
     let mut out = dvf_obs::snapshot().render_prometheus();
     // Serve-level gauges the obs registry doesn't know about.
-    let gauges: [(&str, u64); 5] = [
+    let gauges: [(&str, u64); 9] = [
         ("dvf_serve_sessions", ctx.registry.len() as u64),
         ("dvf_serve_queue_depth", ctx.queued()),
         ("dvf_serve_draining", u64::from(ctx.draining())),
         ("dvf_serve_uptime_seconds", ctx.started.elapsed().as_secs()),
         ("dvf_serve_flight_records", ctx.recorder.pushed()),
+        ("dvf_serve_workers", ctx.config.workers as u64),
+        ("dvf_serve_queue_capacity", ctx.config.queue_depth as u64),
+        (
+            "dvf_serve_max_connections",
+            ctx.config.max_connections as u64,
+        ),
+        ("dvf_serve_open_connections", ctx.open_connections()),
     ];
     for (name, value) in gauges {
         let _ = writeln!(out, "# TYPE {name} gauge");
         let _ = writeln!(out, "{name} {value}");
     }
+    let transport = ctx.config.transport.as_str();
+    let _ = writeln!(out, "# TYPE dvf_serve_transport gauge");
+    let _ = writeln!(out, "dvf_serve_transport{{transport=\"{transport}\"}} 1");
     let (version, git) = build_info();
     let _ = writeln!(out, "# TYPE dvf_build_info gauge");
     let _ = writeln!(
@@ -456,31 +543,31 @@ impl WfRef {
 }
 
 /// Resolve `"source"` or `"session"` (exactly one) into a workflow.
-fn resolve_workflow(body: &Json, ctx: &ServeCtx) -> Result<WfRef, Response> {
+fn resolve_workflow(body: &Json, ctx: &ServeCtx) -> Result<WfRef, ApiError> {
     match (
         body.get("source").and_then(Json::as_str),
         body.get("session").and_then(Json::as_str),
     ) {
-        (Some(_), Some(_)) => Err(error_response(
+        (Some(_), Some(_)) => Err(ApiError::new(
             422,
             "ambiguous_target",
             "give either `source` or `session`, not both",
         )),
-        (None, None) => Err(error_response(
+        (None, None) => Err(ApiError::new(
             422,
             "missing_field",
             "body needs a `source` (inline program) or `session` (registered name)",
         )),
         (Some(source), None) => match DvfWorkflow::parse(source) {
             Ok(wf) => Ok(WfRef::Owned(apply_selection(wf, body))),
-            Err(e) => Err(error_response(422, "bad_source", &e.to_string())),
+            Err(e) => Err(ApiError::new(422, "bad_source", e.to_string())),
         },
         (None, Some(name)) => {
             let session = ctx.registry.get(name).ok_or_else(|| {
-                error_response(
+                ApiError::new(
                     404,
                     "no_such_session",
-                    &format!("no session named `{name}` (register via POST /v1/sessions)"),
+                    format!("no session named `{name}` (register via POST /v1/sessions)"),
                 )
             })?;
             // Per-request machine/model overrides force a private copy;
@@ -498,12 +585,12 @@ fn resolve_workflow(body: &Json, ctx: &ServeCtx) -> Result<WfRef, Response> {
 }
 
 /// Decode `"params": {"name": number, ...}` overrides.
-fn overrides_of(body: &Json) -> Result<Vec<(String, f64)>, Response> {
+fn overrides_of(body: &Json) -> Result<Vec<(String, f64)>, ApiError> {
     let Some(params) = body.get("params") else {
         return Ok(Vec::new());
     };
     let Some(members) = params.as_obj() else {
-        return Err(error_response(
+        return Err(ApiError::new(
             422,
             "bad_params",
             "`params` must be an object of name → number",
@@ -513,41 +600,28 @@ fn overrides_of(body: &Json) -> Result<Vec<(String, f64)>, Response> {
         .iter()
         .map(|(k, v)| match v.as_f64() {
             Some(n) => Ok((k.clone(), n)),
-            None => Err(error_response(
+            None => Err(ApiError::new(
                 422,
                 "bad_params",
-                &format!("parameter `{k}` must be a number"),
+                format!("parameter `{k}` must be a number"),
             )),
         })
         .collect()
 }
 
 /// Map a workflow failure onto the error envelope.
-fn workflow_error(e: &WorkflowError) -> Response {
+fn workflow_error(e: &WorkflowError) -> ApiError {
     let code = match e {
         WorkflowError::Language(_) => "language",
         WorkflowError::BadCache(_) => "bad_cache",
         WorkflowError::Model { .. } => "model",
         WorkflowError::UnknownParameter { .. } => "unknown_param",
     };
-    error_response(422, code, &e.to_string())
+    ApiError::new(422, code, e.to_string())
 }
 
-fn evaluate_dvf(body: &Json, ctx: &ServeCtx) -> Response {
-    let wf = match resolve_workflow(body, ctx) {
-        Ok(wf) => wf,
-        Err(resp) => return resp,
-    };
-    let overrides = match overrides_of(body) {
-        Ok(o) => o,
-        Err(resp) => return resp,
-    };
-    let point: Vec<(&str, f64)> = overrides.iter().map(|(k, v)| (k.as_str(), *v)).collect();
-    let report = match wf.workflow().evaluate(&point) {
-        Ok(r) => r,
-        Err(e) => return workflow_error(&e),
-    };
-    let mut w = writer();
+/// The `/v1/dvf` success fields, shared with `/v1/batch` entries.
+fn write_dvf_report(w: &mut JsonWriter, report: &dvf_core::dvf::DvfReport) {
     w.key("ok").bool(true);
     w.key("app").string(&report.app);
     w.key("fit_per_mbit").f64(report.fit.0);
@@ -563,29 +637,39 @@ fn evaluate_dvf(body: &Json, ctx: &ServeCtx) -> Response {
         w.end_object();
     }
     w.end_array();
+}
+
+fn evaluate_dvf(body: &Json, ctx: &ServeCtx) -> Response {
+    let wf = match resolve_workflow(body, ctx) {
+        Ok(wf) => wf,
+        Err(e) => return e.into_response(),
+    };
+    let overrides = match overrides_of(body) {
+        Ok(o) => o,
+        Err(e) => return e.into_response(),
+    };
+    let point: Vec<(&str, f64)> = overrides.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let report = match wf.workflow().evaluate(&point) {
+        Ok(r) => r,
+        Err(e) => return workflow_error(&e).into_response(),
+    };
+    let mut w = writer();
+    write_dvf_report(&mut w, &report);
     w.end_object();
     Response::json(200, w.finish())
 }
 
 /// Decode the grid: `"values": [..]` or `"lo"/"hi"/"steps"`.
-fn grid_of(body: &Json) -> Result<Vec<f64>, Response> {
+fn grid_of(body: &Json) -> Result<Vec<f64>, ApiError> {
     if let Some(values) = body.get("values") {
         let Some(items) = values.as_arr() else {
-            return Err(error_response(422, "bad_grid", "`values` must be an array"));
+            return Err(ApiError::new(422, "bad_grid", "`values` must be an array"));
         };
         let values: Option<Vec<f64>> = items.iter().map(Json::as_f64).collect();
         return match values {
             Some(v) if !v.is_empty() => Ok(v),
-            Some(_) => Err(error_response(
-                422,
-                "bad_grid",
-                "`values` must be non-empty",
-            )),
-            None => Err(error_response(
-                422,
-                "bad_grid",
-                "`values` must hold numbers",
-            )),
+            Some(_) => Err(ApiError::new(422, "bad_grid", "`values` must be non-empty")),
+            None => Err(ApiError::new(422, "bad_grid", "`values` must hold numbers")),
         };
     }
     let (lo, hi, steps) = match (
@@ -595,7 +679,7 @@ fn grid_of(body: &Json) -> Result<Vec<f64>, Response> {
     ) {
         (Some(lo), Some(hi), Some(steps)) => (lo, hi, steps as usize),
         _ => {
-            return Err(error_response(
+            return Err(ApiError::new(
                 422,
                 "bad_grid",
                 "give `values` (array) or numeric `lo`, `hi` and integer `steps` >= 2",
@@ -603,17 +687,13 @@ fn grid_of(body: &Json) -> Result<Vec<f64>, Response> {
         }
     };
     if steps < 2 {
-        return Err(error_response(
-            422,
-            "bad_grid",
-            "`steps` must be at least 2",
-        ));
+        return Err(ApiError::new(422, "bad_grid", "`steps` must be at least 2"));
     }
     if steps > MAX_SWEEP_POINTS {
-        return Err(error_response(
+        return Err(ApiError::new(
             422,
             "too_many_points",
-            &format!("sweep grids are capped at {MAX_SWEEP_POINTS} points"),
+            format!("sweep grids are capped at {MAX_SWEEP_POINTS} points"),
         ));
     }
     Ok((0..steps)
@@ -621,18 +701,47 @@ fn grid_of(body: &Json) -> Result<Vec<f64>, Response> {
         .collect())
 }
 
+/// The per-point `rows` array + `failed` tally, shared between
+/// `/v1/sweep` and `/v1/batch` sweep entries.
+fn write_sweep_rows(
+    w: &mut JsonWriter,
+    values: &[f64],
+    results: &[Result<dvf_core::dvf::DvfReport, WorkflowError>],
+) -> u64 {
+    let mut failed = 0u64;
+    w.key("rows").begin_array();
+    for (v, r) in values.iter().zip(results) {
+        w.begin_object();
+        w.key("value").f64(*v);
+        match r {
+            Ok(report) => {
+                w.key("time_s").f64(report.time_s);
+                w.key("dvf_app").f64(report.dvf_app());
+            }
+            Err(e) => {
+                failed += 1;
+                w.key("error").string(&e.to_string());
+            }
+        }
+        w.end_object();
+    }
+    w.end_array();
+    w.key("failed").u64(failed);
+    failed
+}
+
 fn sweep(body: &Json, ctx: &ServeCtx) -> Response {
     let _sweep = dvf_obs::span("sweep");
     let wf = match resolve_workflow(body, ctx) {
         Ok(wf) => wf,
-        Err(resp) => return resp,
+        Err(e) => return e.into_response(),
     };
     let Some(param) = body.get("param").and_then(Json::as_str) else {
         return error_response(422, "missing_field", "body needs a string `param` field");
     };
     let values = match grid_of(body) {
         Ok(v) => v,
-        Err(resp) => return resp,
+        Err(e) => return e.into_response(),
     };
     if values.len() > MAX_SWEEP_POINTS {
         return error_response(
@@ -643,12 +752,12 @@ fn sweep(body: &Json, ctx: &ServeCtx) -> Response {
     }
     let overrides = match overrides_of(body) {
         Ok(o) => o,
-        Err(resp) => return resp,
+        Err(e) => return e.into_response(),
     };
     // Same validation as `dvf sweep`: a typo'd parameter is an error, not
     // a silently flat curve.
     if let Err(e) = wf.workflow().check_param(param) {
-        return workflow_error(&e);
+        return workflow_error(&e).into_response();
     }
 
     let before = memo::stats();
@@ -668,29 +777,11 @@ fn sweep(body: &Json, ctx: &ServeCtx) -> Response {
     dvf_obs::trace::set_delta("sweep.cache.hit", cache.hits);
     dvf_obs::trace::set_delta("sweep.cache.miss", cache.misses);
 
-    let mut failed = 0u64;
     let mut w = writer();
     w.key("ok").bool(true);
     w.key("param").string(param);
     w.key("points").u64(values.len() as u64);
-    w.key("rows").begin_array();
-    for (v, r) in values.iter().zip(&results) {
-        w.begin_object();
-        w.key("value").f64(*v);
-        match r {
-            Ok(report) => {
-                w.key("time_s").f64(report.time_s);
-                w.key("dvf_app").f64(report.dvf_app());
-            }
-            Err(e) => {
-                failed += 1;
-                w.key("error").string(&e.to_string());
-            }
-        }
-        w.end_object();
-    }
-    w.end_array();
-    w.key("failed").u64(failed);
+    write_sweep_rows(&mut w, &values, &results);
     // Cache-effect deltas, named after the obs counters they mirror.
     // Process-wide: concurrent requests' evaluations land in the same
     // tallies, so treat these as indicative under contention.
@@ -703,6 +794,166 @@ fn sweep(body: &Json, ctx: &ServeCtx) -> Response {
         .key("entries")
         .u64(cache.entries)
         .end_object();
+    w.end_object();
+    Response::json(200, w.finish())
+}
+
+/// Hard cap on `/v1/batch` sizes, guarding worker time per request.
+const MAX_BATCH_ENTRIES: usize = 256;
+
+/// One batch entry, fully validated and ready to evaluate.
+enum BatchWork {
+    Dvf {
+        wf: WfRef,
+        overrides: Vec<(String, f64)>,
+    },
+    Sweep {
+        wf: WfRef,
+        param: String,
+        values: Vec<f64>,
+        overrides: Vec<(String, f64)>,
+    },
+}
+
+/// Validate one batch entry. The kind is explicit (`"kind"`) or inferred:
+/// a `param` field means sweep, otherwise dvf.
+fn prepare_entry(entry: &Json, ctx: &ServeCtx) -> Result<BatchWork, ApiError> {
+    let is_sweep = match entry.get("kind").and_then(Json::as_str) {
+        Some("dvf") => false,
+        Some("sweep") => true,
+        Some(other) => {
+            return Err(ApiError::new(
+                422,
+                "bad_kind",
+                format!("unknown entry kind `{other}` (dvf or sweep)"),
+            ))
+        }
+        None => entry.get("param").is_some(),
+    };
+    let wf = resolve_workflow(entry, ctx)?;
+    let overrides = overrides_of(entry)?;
+    if is_sweep {
+        let Some(param) = entry.get("param").and_then(Json::as_str) else {
+            return Err(ApiError::new(
+                422,
+                "missing_field",
+                "sweep entries need a string `param` field",
+            ));
+        };
+        let values = grid_of(entry)?;
+        wf.workflow()
+            .check_param(param)
+            .map_err(|e| workflow_error(&e))?;
+        Ok(BatchWork::Sweep {
+            wf,
+            param: param.to_owned(),
+            values,
+            overrides,
+        })
+    } else {
+        if entry.get("param").is_some() {
+            return Err(ApiError::new(
+                422,
+                "bad_entry",
+                "`param` is a sweep field; use `\"kind\":\"sweep\"` or drop it",
+            ));
+        }
+        Ok(BatchWork::Dvf { wf, overrides })
+    }
+}
+
+/// Evaluate one prepared entry into its result object (rendered to a
+/// string here so entries can run on different threads and still be
+/// spliced into the response in entry order). Returns `(json, ok)`.
+fn run_entry(work: &BatchWork) -> (String, bool) {
+    let mut w = JsonWriter::new();
+    let ok = match work {
+        BatchWork::Dvf { wf, overrides } => {
+            let point: Vec<(&str, f64)> = overrides.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+            match wf.workflow().evaluate(&point) {
+                Ok(report) => {
+                    w.begin_object();
+                    w.key("kind").string("dvf");
+                    write_dvf_report(&mut w, &report);
+                    w.end_object();
+                    true
+                }
+                Err(e) => {
+                    workflow_error(&e).write_entry(&mut w);
+                    false
+                }
+            }
+        }
+        BatchWork::Sweep {
+            wf,
+            param,
+            values,
+            overrides,
+        } => {
+            // Points run sequentially within an entry; the batch already
+            // parallelises across entries.
+            let results: Vec<_> = values
+                .iter()
+                .map(|&v| {
+                    let mut point: Vec<(&str, f64)> = overrides
+                        .iter()
+                        .map(|(k, val)| (k.as_str(), *val))
+                        .collect();
+                    point.push((param, v));
+                    wf.workflow().evaluate(&point)
+                })
+                .collect();
+            w.begin_object();
+            w.key("kind").string("sweep");
+            w.key("ok").bool(true);
+            w.key("param").string(param);
+            w.key("points").u64(values.len() as u64);
+            write_sweep_rows(&mut w, values, &results);
+            w.end_object();
+            true
+        }
+    };
+    (w.finish(), ok)
+}
+
+/// `POST /v1/batch`: answer many dvf/sweep questions in one round-trip.
+/// Entries are validated serially (cheap), evaluated in parallel
+/// (expensive), and rendered back in entry order — the response bytes are
+/// deterministic however the parallel evaluation interleaves. A bad entry
+/// yields a per-entry `{"error":{...}}` object, never a whole-batch
+/// failure; the sweep `cache` object is deliberately omitted (its values
+/// depend on what other requests did to the process-wide memo cache).
+fn batch(body: &Json, ctx: &ServeCtx) -> Response {
+    let Some(entries) = body.get("entries").and_then(Json::as_arr) else {
+        return error_response(422, "missing_field", "body needs an `entries` array");
+    };
+    if entries.len() > MAX_BATCH_ENTRIES {
+        return error_response(
+            422,
+            "too_many_entries",
+            &format!("batches are capped at {MAX_BATCH_ENTRIES} entries"),
+        );
+    }
+    let prepared: Vec<Result<BatchWork, ApiError>> =
+        entries.iter().map(|e| prepare_entry(e, ctx)).collect();
+    let fragments = dvf_core::sweep::par_map(&prepared, |p| match p {
+        Ok(work) => run_entry(work),
+        Err(e) => {
+            let mut w = JsonWriter::new();
+            e.write_entry(&mut w);
+            (w.finish(), false)
+        }
+    });
+    let failed = fragments.iter().filter(|(_, ok)| !ok).count() as u64;
+    let mut w = writer();
+    w.key("ok").bool(true);
+    w.key("entries").u64(entries.len() as u64);
+    w.key("failed_entries").u64(failed);
+    w.key("results").begin_array();
+    for (fragment, _) in &fragments {
+        w.raw(fragment);
+    }
+    w.end_array();
     w.end_object();
     Response::json(200, w.finish())
 }

@@ -129,6 +129,142 @@ pub(crate) enum ReadOutcome {
     Reject(Response),
 }
 
+/// Result of one attempt to parse a request out of buffered bytes.
+///
+/// [`parse_request`] is a pure function of the buffer, so both the
+/// blocking transport (read until parseable) and the event loop (parse
+/// after every readiness-driven read) share one grammar and one set of
+/// limit checks.
+#[derive(Debug)]
+pub(crate) enum Parse {
+    /// More bytes are needed. `header_complete` distinguishes "waiting
+    /// for a new request" (EOF here is a clean close) from "waiting for
+    /// declared body bytes" (EOF here is a truncation error).
+    Incomplete {
+        /// The header block has fully arrived; only body bytes are missing.
+        header_complete: bool,
+    },
+    /// One complete request, and how many buffer bytes it consumed.
+    Complete(Request, usize),
+    /// Protocol error: answer with this response, then close.
+    Reject(Response),
+}
+
+/// Try to parse one request from the front of `buf`, enforcing
+/// [`MAX_HEADER_BYTES`] on the header block and `max_body` on the body.
+/// Never consumes bytes itself — a [`Parse::Complete`] reports how many
+/// bytes the caller should drain.
+pub(crate) fn parse_request(buf: &[u8], max_body: usize) -> Parse {
+    let Some(header_end) = find_subsequence(buf, b"\r\n\r\n") else {
+        if buf.len() > MAX_HEADER_BYTES {
+            return Parse::Reject(error_response(
+                431,
+                "headers_too_large",
+                "request header block exceeds 16 KiB",
+            ));
+        }
+        return Parse::Incomplete {
+            header_complete: false,
+        };
+    };
+
+    let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if parts.next().is_none() && !m.is_empty() => {
+            (m.to_owned(), t.to_owned(), v.to_owned())
+        }
+        _ => {
+            return Parse::Reject(error_response(
+                400,
+                "bad_request_line",
+                "malformed request line",
+            ))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Parse::Reject(error_response(
+            400,
+            "bad_version",
+            "only HTTP/1.0 and HTTP/1.1 are supported",
+        ));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Parse::Reject(error_response(400, "bad_header", "malformed header line"));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let header = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    if header("transfer-encoding").is_some() {
+        return Parse::Reject(error_response(
+            501,
+            "chunked_unsupported",
+            "transfer-encoding is not supported; send Content-Length",
+        ));
+    }
+    let content_length = match header("content-length") {
+        None if method == "POST" || method == "PUT" => {
+            return Parse::Reject(error_response(
+                411,
+                "length_required",
+                "POST requests must carry Content-Length",
+            ))
+        }
+        None => 0usize,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                return Parse::Reject(error_response(
+                    400,
+                    "bad_content_length",
+                    "Content-Length is not a valid integer",
+                ))
+            }
+        },
+    };
+    if content_length > max_body {
+        return Parse::Reject(error_response(
+            413,
+            "body_too_large",
+            &format!("request body exceeds the {max_body}-byte limit"),
+        ));
+    }
+
+    let body_start = header_end + 4;
+    if buf.len() < body_start + content_length {
+        return Parse::Incomplete {
+            header_complete: true,
+        };
+    }
+    let body = buf[body_start..body_start + content_length].to_vec();
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), Some(q.to_owned())),
+        None => (target, None),
+    };
+    Parse::Complete(
+        Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+        },
+        body_start + content_length,
+    )
+}
+
 /// Buffered reader over one connection, preserving bytes that arrive
 /// ahead of the current request (pipelining / keep-alive).
 pub(crate) struct Conn<'a> {
@@ -152,152 +288,58 @@ impl<'a> Conn<'a> {
         Ok(n > 0)
     }
 
-    /// Read and parse the next request, enforcing `max_body` on the body
-    /// and [`MAX_HEADER_BYTES`] on the header block.
+    /// Read and parse the next request: block (within the socket's read
+    /// timeout) until [`parse_request`] has enough bytes to decide.
     pub(crate) fn read_request(&mut self, max_body: usize) -> Result<Request, ReadOutcome> {
-        // Accumulate until the blank line ending the header block.
-        let header_end = loop {
-            if let Some(pos) = find_subsequence(&self.buf, b"\r\n\r\n") {
-                break pos;
-            }
-            if self.buf.len() > MAX_HEADER_BYTES {
-                return Err(ReadOutcome::Reject(error_response(
-                    431,
-                    "headers_too_large",
-                    "request header block exceeds 16 KiB",
-                )));
-            }
+        loop {
+            let header_complete = match parse_request(&self.buf, max_body) {
+                Parse::Complete(req, consumed) => {
+                    // Keep whatever arrived beyond this request for the
+                    // next round (pipelining / keep-alive).
+                    self.buf.drain(..consumed);
+                    return Ok(req);
+                }
+                Parse::Reject(resp) => return Err(ReadOutcome::Reject(resp)),
+                Parse::Incomplete { header_complete } => header_complete,
+            };
             match self.fill() {
                 Ok(true) => {}
-                // EOF or timeout with no bytes of a new request: the
-                // peer is done. Mid-request it is a malformed exchange
-                // either way — nothing useful left to answer.
+                // EOF or timeout with the header block still incomplete:
+                // the peer is done (clean between requests, malformed
+                // mid-header — nothing useful left to answer either way).
+                // After a complete header, a short body is a protocol
+                // error the client deserves to hear about.
+                Ok(false) if header_complete => return Err(ReadOutcome::Reject(truncated_body())),
                 Ok(false) => return Err(ReadOutcome::Done),
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut =>
                 {
-                    return Err(ReadOutcome::Done)
+                    if header_complete {
+                        return Err(ReadOutcome::Reject(truncated_body()));
+                    }
+                    return Err(ReadOutcome::Done);
                 }
+                Err(_) if header_complete => return Err(ReadOutcome::Reject(truncated_body())),
                 Err(_) => return Err(ReadOutcome::Done),
             }
-        };
-
-        let head = String::from_utf8_lossy(&self.buf[..header_end]).into_owned();
-        let mut lines = head.split("\r\n");
-        let request_line = lines.next().unwrap_or("");
-        let mut parts = request_line.split(' ');
-        let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
-            (Some(m), Some(t), Some(v)) if parts.next().is_none() && !m.is_empty() => {
-                (m.to_owned(), t.to_owned(), v.to_owned())
-            }
-            _ => {
-                return Err(ReadOutcome::Reject(error_response(
-                    400,
-                    "bad_request_line",
-                    "malformed request line",
-                )))
-            }
-        };
-        if version != "HTTP/1.1" && version != "HTTP/1.0" {
-            return Err(ReadOutcome::Reject(error_response(
-                400,
-                "bad_version",
-                "only HTTP/1.0 and HTTP/1.1 are supported",
-            )));
         }
-
-        let mut headers = Vec::new();
-        for line in lines {
-            let Some((name, value)) = line.split_once(':') else {
-                return Err(ReadOutcome::Reject(error_response(
-                    400,
-                    "bad_header",
-                    "malformed header line",
-                )));
-            };
-            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
-        }
-
-        let header = |name: &str| {
-            headers
-                .iter()
-                .find(|(k, _)| k == name)
-                .map(|(_, v)| v.as_str())
-        };
-        if header("transfer-encoding").is_some() {
-            return Err(ReadOutcome::Reject(error_response(
-                501,
-                "chunked_unsupported",
-                "transfer-encoding is not supported; send Content-Length",
-            )));
-        }
-        let content_length = match header("content-length") {
-            None if method == "POST" || method == "PUT" => {
-                return Err(ReadOutcome::Reject(error_response(
-                    411,
-                    "length_required",
-                    "POST requests must carry Content-Length",
-                )))
-            }
-            None => 0usize,
-            Some(v) => match v.parse::<usize>() {
-                Ok(n) => n,
-                Err(_) => {
-                    return Err(ReadOutcome::Reject(error_response(
-                        400,
-                        "bad_content_length",
-                        "Content-Length is not a valid integer",
-                    )))
-                }
-            },
-        };
-        if content_length > max_body {
-            return Err(ReadOutcome::Reject(error_response(
-                413,
-                "body_too_large",
-                &format!("request body exceeds the {max_body}-byte limit"),
-            )));
-        }
-
-        // Read the body: some of it may already be buffered.
-        let body_start = header_end + 4;
-        while self.buf.len() < body_start + content_length {
-            match self.fill() {
-                Ok(true) => {}
-                _ => {
-                    return Err(ReadOutcome::Reject(error_response(
-                        400,
-                        "truncated_body",
-                        "connection ended before the declared Content-Length",
-                    )))
-                }
-            }
-        }
-        let body = self.buf[body_start..body_start + content_length].to_vec();
-        // Keep whatever arrived beyond this request for the next round.
-        self.buf.drain(..body_start + content_length);
-
-        let (path, query) = match target.split_once('?') {
-            Some((p, q)) => (p.to_owned(), Some(q.to_owned())),
-            None => (target, None),
-        };
-        Ok(Request {
-            method,
-            path,
-            query,
-            headers,
-            body,
-        })
     }
 }
 
-/// Serialize and send `resp`; `keep_alive` selects the `Connection` header.
-pub(crate) fn write_response(
-    mut stream: &TcpStream,
-    resp: &Response,
-    keep_alive: bool,
-) -> std::io::Result<()> {
+/// The `400` a connection gets when it ends before its declared body.
+pub(crate) fn truncated_body() -> Response {
+    error_response(
+        400,
+        "truncated_body",
+        "connection ended before the declared Content-Length",
+    )
+}
+
+/// Serialize `resp` to wire bytes; `keep_alive` selects the `Connection`
+/// header. Shared by the blocking writer below and the event loop's
+/// per-connection output buffers.
+pub(crate) fn serialize_response(resp: &Response, keep_alive: bool) -> Vec<u8> {
     let mut head = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         resp.status,
@@ -313,8 +355,18 @@ pub(crate) fn write_response(
         head.push_str("\r\n");
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(resp.body.as_bytes())?;
+    let mut out = head.into_bytes();
+    out.extend_from_slice(resp.body.as_bytes());
+    out
+}
+
+/// Serialize and send `resp`; `keep_alive` selects the `Connection` header.
+pub(crate) fn write_response(
+    mut stream: &TcpStream,
+    resp: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    stream.write_all(&serialize_response(resp, keep_alive))?;
     stream.flush()
 }
 
@@ -431,6 +483,65 @@ mod tests {
     fn clean_eof_is_done() {
         let out = parse_one(b"", 1024);
         assert!(matches!(out, Err(ReadOutcome::Done)));
+    }
+
+    #[test]
+    fn incremental_parse_settles_at_every_prefix() {
+        // Feeding the parser byte-by-byte must pass through Incomplete
+        // (header, then body) and produce the same request at the end.
+        let raw = b"POST /v1/dvf HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+        let header_end = find_subsequence(raw, b"\r\n\r\n").unwrap() + 4;
+        for cut in 0..raw.len() {
+            match parse_request(&raw[..cut], 1024) {
+                Parse::Incomplete { header_complete } => {
+                    assert_eq!(header_complete, cut >= header_end, "cut={cut}")
+                }
+                other => panic!("prefix {cut} must be incomplete, got {other:?}"),
+            }
+        }
+        match parse_request(raw, 1024) {
+            Parse::Complete(req, consumed) => {
+                assert_eq!(consumed, raw.len());
+                assert_eq!(req.body, b"abcd");
+            }
+            other => panic!("expected complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_reports_pipelined_consumption() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        match parse_request(raw, 1024) {
+            Parse::Complete(req, consumed) => {
+                assert_eq!(req.path, "/a");
+                assert_eq!(consumed, raw.len() / 2);
+                match parse_request(&raw[consumed..], 1024) {
+                    Parse::Complete(req, _) => assert_eq!(req.path, "/b"),
+                    other => panic!("second request must parse, got {other:?}"),
+                }
+            }
+            other => panic!("expected complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_header_block_rejects_while_incomplete() {
+        let big = vec![b'A'; MAX_HEADER_BYTES + 1];
+        match parse_request(&big, 1024) {
+            Parse::Reject(r) => assert_eq!(r.status, 431),
+            other => panic!("expected 431, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serialized_response_carries_connection_choice() {
+        let resp = Response::json(200, "{}".into()).with_header("X-T", "1");
+        let keep = String::from_utf8(serialize_response(&resp, true)).unwrap();
+        assert!(keep.contains("Connection: keep-alive\r\n"), "{keep}");
+        assert!(keep.contains("X-T: 1\r\n"), "{keep}");
+        assert!(keep.ends_with("\r\n\r\n{}"), "{keep}");
+        let close = String::from_utf8(serialize_response(&resp, false)).unwrap();
+        assert!(close.contains("Connection: close\r\n"), "{close}");
     }
 
     #[test]

@@ -12,6 +12,29 @@
 //!
 //! ## Shape
 //!
+//! Two transports share the HTTP grammar ([`http`]), the API ([`api`]),
+//! and the per-request observability plumbing; [`Transport`] selects one
+//! at bind time.
+//!
+//! [`Transport::EventLoop`] (default on unix) is readiness-based:
+//!
+//! ```text
+//! poll(2) loop (1 thread) ──ready requests──▶ bounded queue ──▶ compute
+//!   owns listener + every        │                workers (N threads)
+//!   connection state machine     └ full ⇒ per-request 503 + Retry-After
+//!   (non-blocking reads/writes,    completions return via channel +
+//!    keep-alive, pipelining)       self-pipe wakeup
+//! ```
+//!
+//! Connections cost a file descriptor and a small state struct, never a
+//! thread: 10k idle keep-alive clients are 10k pollfds, while compute
+//! parallelism stays pinned at `workers`. Requests are parsed on the I/O
+//! thread and only *complete* requests are handed to workers, so a slow
+//! client cannot occupy one.
+//!
+//! [`Transport::Threaded`] is the original blocking design, retained as
+//! the A/B baseline and the portable fallback:
+//!
 //! ```text
 //! accept thread ──try_send──▶ bounded queue ──▶ worker pool (N threads)
 //!      │                        (full ⇒ 503 + Retry-After)
@@ -19,16 +42,11 @@
 //!                               catch_unwind per request (panic ⇒ 500)
 //! ```
 //!
-//! * One acceptor, a `sync_channel(queue_depth)` of accepted sockets, and
-//!   a fixed pool of workers — overload is answered *immediately* with
-//!   `503` instead of unbounded queueing.
-//! * Per-connection read/write timeouts and body/header byte limits
-//!   ([`http`]); a slow or hostile client costs one worker at most a
-//!   timeout, never a hang.
-//! * Request handlers run under `catch_unwind`: a panic turns into a
-//!   `500` and the worker lives on.
-//! * [`Server::shutdown`] (or SIGTERM via [`signal`] in the CLI) drains:
-//!   stop accepting, finish queued connections, join every thread.
+//! Both transports answer overload *immediately* with `503` instead of
+//! queueing without bound, isolate handler panics (`500`, server lives),
+//! enforce per-connection read/write timeouts and body/header limits, and
+//! drain gracefully on [`Server::shutdown`] (or SIGTERM via [`signal`] in
+//! the CLI): stop accepting, finish what is in flight, join every thread.
 //!
 //! The wire schema is versioned (`dvf-serve/1`, [`SCHEMA`]); see
 //! [`api`] for the endpoint table.
@@ -47,35 +65,86 @@
 //! ```
 
 pub mod api;
+mod eventloop;
 pub mod http;
 pub mod jsonval;
+pub mod loadgen;
 pub mod registry;
 pub mod signal;
+mod sys;
+mod threaded;
 
-use http::{error_response, Conn, ReadOutcome};
+use http::{error_response, Request, Response};
 use registry::Registry;
-use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, TrySendError};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Wire schema identifier carried by every response body.
 pub const SCHEMA: &str = "dvf-serve/1";
+
+/// Connection-handling strategy for [`Server::bind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Readiness-based `poll(2)` event loop: one I/O thread owns every
+    /// connection, a fixed pool of compute workers executes fully-parsed
+    /// requests. Unix-only; [`Server::bind`] falls back to
+    /// [`Transport::Threaded`] elsewhere.
+    EventLoop,
+    /// Blocking accept + worker-per-connection pool (the pre-event-loop
+    /// design, kept as the interleaved A/B baseline and portable path).
+    Threaded,
+}
+
+impl Default for Transport {
+    fn default() -> Self {
+        if cfg!(unix) {
+            Transport::EventLoop
+        } else {
+            Transport::Threaded
+        }
+    }
+}
+
+impl Transport {
+    /// Stable lower-case name (metrics, CLI flags, bench labels).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Transport::EventLoop => "event-loop",
+            Transport::Threaded => "threaded",
+        }
+    }
+
+    /// Parse a CLI flag value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "event-loop" | "eventloop" | "event_loop" => Some(Transport::EventLoop),
+            "threaded" | "thread-pool" | "threadpool" => Some(Transport::Threaded),
+            _ => None,
+        }
+    }
+}
 
 /// Tunables for [`Server::bind`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Listen address (`host:port`; port `0` picks an ephemeral port).
     pub addr: String,
-    /// Worker threads handling connections.
+    /// Connection-handling strategy.
+    pub transport: Transport,
+    /// Compute worker threads ([`Transport::EventLoop`]) or
+    /// connection-handling threads ([`Transport::Threaded`]).
     pub workers: usize,
-    /// Accepted connections waiting for a worker before new arrivals are
+    /// Parsed requests ([`Transport::EventLoop`]) or accepted connections
+    /// ([`Transport::Threaded`]) waiting for a worker before arrivals are
     /// turned away with `503`.
     pub queue_depth: usize,
+    /// Concurrently-open connections the event loop will hold before
+    /// answering new arrivals with `503` at accept (ignored by
+    /// [`Transport::Threaded`], whose `queue_depth` bounds connections).
+    pub max_connections: usize,
     /// Largest accepted request body, in bytes.
     pub max_body_bytes: usize,
     /// Per-connection socket read timeout (also bounds keep-alive idle).
@@ -88,6 +157,9 @@ pub struct ServerConfig {
     pub max_sessions: usize,
     /// Expose `POST /v1/_panic` (worker panic isolation test hook).
     pub panic_route: bool,
+    /// Expose `POST /v1/_slow` (deterministic worker-occupancy test hook:
+    /// the handler sleeps for the requested milliseconds).
+    pub slow_route: bool,
     /// Seed for the deterministic per-request trace ids (the `n`-th
     /// request gets `dvf_obs::trace::trace_id(trace_seed, n)`); fixed by
     /// default so tests and replays see reproducible ids.
@@ -104,14 +176,17 @@ impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             addr: "127.0.0.1:0".to_owned(),
+            transport: Transport::default(),
             workers: 4,
             queue_depth: 64,
+            max_connections: 4096,
             max_body_bytes: 1024 * 1024,
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             keep_alive_max: 1000,
             max_sessions: 32,
             panic_route: false,
+            slow_route: false,
             trace_seed: 0x0DF5_C0DE_D00D_FEED,
             flight_capacity: 256,
             slow_request: None,
@@ -133,6 +208,7 @@ pub struct ServeCtx {
     draining: AtomicBool,
     trace_counter: AtomicU64,
     queued: AtomicU64,
+    open_connections: AtomicU64,
 }
 
 impl ServeCtx {
@@ -148,6 +224,7 @@ impl ServeCtx {
             draining: AtomicBool::new(false),
             trace_counter: AtomicU64::new(0),
             queued: AtomicU64::new(0),
+            open_connections: AtomicU64::new(0),
         }
     }
 
@@ -156,20 +233,48 @@ impl ServeCtx {
         self.draining.load(Ordering::Relaxed)
     }
 
-    /// Accepted connections currently waiting for a worker (the queue
-    /// depth gauge exposed by `/v1/metrics?format=prometheus`).
+    /// Work items currently waiting for a worker — parsed requests under
+    /// [`Transport::EventLoop`], accepted connections under
+    /// [`Transport::Threaded`] (the queue-depth gauge exposed by
+    /// `/v1/metrics`).
     pub fn queued(&self) -> u64 {
         self.queued.load(Ordering::Relaxed)
     }
 
+    /// Connections currently open (accepted and not yet closed), the
+    /// `dvf_serve_open_connections` gauge.
+    pub fn open_connections(&self) -> u64 {
+        self.open_connections.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn queued_add(&self, n: i64) {
+        if n >= 0 {
+            self.queued.fetch_add(n as u64, Ordering::Relaxed);
+        } else {
+            self.queued.fetch_sub(n.unsigned_abs(), Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn conn_opened(&self) {
+        self.open_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn conn_closed(&self) {
+        self.open_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn set_draining(&self) {
+        self.draining.store(true, Ordering::Relaxed);
+    }
+
     /// Next deterministic trace id from the server's seeded counter.
-    fn next_trace_id(&self) -> u64 {
+    pub(crate) fn next_trace_id(&self) -> u64 {
         let n = self.trace_counter.fetch_add(1, Ordering::Relaxed);
         dvf_obs::trace::trace_id(self.config.trace_seed, n)
     }
 }
 
-/// A running server: acceptor + worker pool.
+/// A running server (either transport).
 ///
 /// Dropping a `Server` without calling [`Server::shutdown`] detaches the
 /// threads (the process must exit to stop them); call `shutdown` for a
@@ -178,71 +283,32 @@ impl ServeCtx {
 pub struct Server {
     ctx: Arc<ServeCtx>,
     addr: SocketAddr,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    handle: TransportHandle,
+}
+
+#[derive(Debug)]
+enum TransportHandle {
+    Threaded(threaded::Handle),
+    #[cfg(unix)]
+    Event(eventloop::Handle),
 }
 
 impl Server {
-    /// Bind, spawn the acceptor and worker pool, and return immediately.
+    /// Bind, spawn the configured transport, and return immediately.
     pub fn bind(config: ServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let ctx = Arc::new(ServeCtx::new(config));
-
-        let (tx, rx) = mpsc::sync_channel::<TcpStream>(ctx.config.queue_depth.max(1));
-        let rx = Arc::new(Mutex::new(rx));
-
-        let workers = (0..ctx.config.workers.max(1))
-            .map(|i| {
-                let rx = Arc::clone(&rx);
-                let ctx = Arc::clone(&ctx);
-                std::thread::Builder::new()
-                    .name(format!("dvf-serve-worker-{i}"))
-                    .spawn(move || loop {
-                        // Hold the lock only to dequeue, never while serving.
-                        let next = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
-                        match next {
-                            Ok(stream) => {
-                                ctx.queued.fetch_sub(1, Ordering::Relaxed);
-                                handle_connection(&stream, &ctx);
-                            }
-                            // Sender gone: drain is complete.
-                            Err(_) => break,
-                        }
-                    })
-                    .expect("spawn worker thread")
-            })
-            .collect();
-
-        let acceptor = {
-            let ctx = Arc::clone(&ctx);
-            std::thread::Builder::new()
-                .name("dvf-serve-accept".to_owned())
-                .spawn(move || {
-                    for conn in listener.incoming() {
-                        if ctx.draining() {
-                            break;
-                        }
-                        let Ok(stream) = conn else { continue };
-                        match tx.try_send(stream) {
-                            Ok(()) => {
-                                ctx.queued.fetch_add(1, Ordering::Relaxed);
-                            }
-                            Err(TrySendError::Full(stream)) => reject_busy(&stream),
-                            Err(TrySendError::Disconnected(_)) => break,
-                        }
-                    }
-                    // `tx` drops here; workers finish the queue and exit.
-                })
-                .expect("spawn accept thread")
+        let handle = match ctx.config.transport {
+            #[cfg(unix)]
+            Transport::EventLoop => {
+                TransportHandle::Event(eventloop::spawn(listener, Arc::clone(&ctx))?)
+            }
+            // Off unix the event loop's poll shim is unavailable; the
+            // threaded transport is the portable answer for every config.
+            _ => TransportHandle::Threaded(threaded::spawn(listener, Arc::clone(&ctx))),
         };
-
-        Ok(Self {
-            ctx,
-            addr,
-            acceptor: Some(acceptor),
-            workers,
-        })
+        Ok(Self { ctx, addr, handle })
     }
 
     /// The bound address (resolves port `0`).
@@ -255,106 +321,70 @@ impl Server {
         &self.ctx
     }
 
-    /// Graceful drain: stop accepting, serve everything already queued,
-    /// join all threads. Idempotent-safe to call exactly once by move.
-    pub fn shutdown(mut self) {
-        self.ctx.draining.store(true, Ordering::Relaxed);
-        // The acceptor is parked in `accept(2)`; poke it awake so it
-        // observes the draining flag. A failed connect means it is
-        // already gone.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+    /// Graceful drain: stop accepting, serve everything already accepted
+    /// or queued, join all threads. Consumes the server.
+    pub fn shutdown(self) {
+        self.ctx.set_draining();
+        match self.handle {
+            TransportHandle::Threaded(h) => h.shutdown(self.addr),
+            #[cfg(unix)]
+            TransportHandle::Event(h) => h.shutdown(),
         }
     }
-}
-
-/// Answer a connection we have no queue slot for: `503` + `Retry-After`,
-/// sent from the accept thread (cheap: one small write), then close.
-fn reject_busy(stream: &TcpStream) {
-    dvf_obs::add("serve.req.rejected", 1);
-    let _ = http::prepare_stream(
-        stream,
-        Duration::from_millis(250),
-        Duration::from_millis(250),
-    );
-    let resp = error_response(503, "overloaded", "request queue is full; retry shortly")
-        .with_header("Retry-After", "1");
-    let _ = http::write_response(stream, &resp, false);
-    let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
 /// Latency buckets for `serve.latency_us` (µs, roughly ×4 apart).
-const LATENCY_BOUNDS_US: [u64; 8] = [100, 400, 1_600, 6_400, 25_600, 102_400, 409_600, 1_638_400];
+pub(crate) const LATENCY_BOUNDS_US: [u64; 8] =
+    [100, 400, 1_600, 6_400, 25_600, 102_400, 409_600, 1_638_400];
 
-/// Serve one connection: keep-alive loop with per-request panic isolation.
-fn handle_connection(stream: &TcpStream, ctx: &ServeCtx) {
-    if http::prepare_stream(stream, ctx.config.read_timeout, ctx.config.write_timeout).is_err() {
-        return;
-    }
-    let mut conn = Conn::new(stream);
-    for served in 0..ctx.config.keep_alive_max {
-        let request = match conn.read_request(ctx.config.max_body_bytes) {
-            Ok(req) => req,
-            Err(ReadOutcome::Done) => return,
-            Err(ReadOutcome::Reject(resp)) => {
-                dvf_obs::add("serve.req.err", 1);
-                let _ = http::write_response(stream, &resp, false);
-                return;
+/// Route one request under panic isolation and stamp the trace header.
+/// Shared by both transports so a panicking handler is a `500` (never a
+/// dead thread) everywhere.
+pub(crate) fn run_handler(request: &Request, ctx: &ServeCtx, trace_id: u64) -> Response {
+    let resp = catch_unwind(AssertUnwindSafe(|| api::route(request, ctx))).unwrap_or_else(|_| {
+        error_response(
+            500,
+            "handler_panic",
+            "the request handler panicked; the server is still up",
+        )
+    });
+    resp.with_header("X-Dvf-Trace-Id", format!("{trace_id:016x}"))
+}
+
+/// Per-request bookkeeping both transports share once a response exists:
+/// latency histogram, ok/err counters, slow-request logging, and the
+/// flight-recorder entry assembled from the finished trace. `latency`
+/// is the full server-side latency (queue wait included on the event
+/// loop, whose traces are begun backdated to cover it).
+pub(crate) fn finish_request(
+    ctx: &ServeCtx,
+    request: &Request,
+    resp: &Response,
+    trace_guard: dvf_obs::trace::TraceGuard,
+    latency: Duration,
+) {
+    dvf_obs::histogram("serve.latency_us", &LATENCY_BOUNDS_US)
+        .observe(latency.as_micros().min(u128::from(u64::MAX)) as u64);
+    dvf_obs::add(
+        if resp.status < 400 {
+            "serve.req.ok"
+        } else {
+            "serve.req.err"
+        },
+        1,
+    );
+    if let Some(trace) = trace_guard.finish() {
+        let route = format!("{} {}", request.method, request.path);
+        if let Some(threshold) = ctx.config.slow_request {
+            if trace.elapsed_ns >= threshold.as_nanos() as u64 {
+                log_slow_request(&trace, &route, resp.status);
             }
-        };
-
-        let started = Instant::now();
-        // Trace the whole handler: spans and counter deltas fired while
-        // routing attach to this request's timeline. The guard lives
-        // outside the catch_unwind closure, so a panicking handler still
-        // has its trace finished (and recorded with status 500) below.
-        let trace_id = ctx.next_trace_id();
-        let trace_guard = dvf_obs::trace::begin(trace_id);
-        let resp =
-            catch_unwind(AssertUnwindSafe(|| api::route(&request, ctx))).unwrap_or_else(|_| {
-                error_response(
-                    500,
-                    "handler_panic",
-                    "the request handler panicked; the server is still up",
-                )
-            });
-        let resp = resp.with_header("X-Dvf-Trace-Id", format!("{trace_id:016x}"));
-        dvf_obs::histogram("serve.latency_us", &LATENCY_BOUNDS_US)
-            .observe(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
-        dvf_obs::add(
-            if resp.status < 400 {
-                "serve.req.ok"
-            } else {
-                "serve.req.err"
-            },
-            1,
-        );
-        if let Some(trace) = trace_guard.finish() {
-            let route = format!("{} {}", request.method, request.path);
-            if let Some(threshold) = ctx.config.slow_request {
-                if trace.elapsed_ns >= threshold.as_nanos() as u64 {
-                    log_slow_request(&trace, &route, resp.status);
-                }
-            }
-            ctx.recorder.push(dvf_obs::RequestRecord::from_trace(
-                &trace,
-                route,
-                resp.status,
-            ));
         }
-
-        // Close after this response when the client asks, when the
-        // connection hit its request budget, or when we are draining.
-        let keep_alive =
-            !request.wants_close() && served + 1 < ctx.config.keep_alive_max && !ctx.draining();
-        if http::write_response(stream, &resp, keep_alive).is_err() || !keep_alive {
-            let _ = stream.flush_shutdown();
-            return;
-        }
+        ctx.recorder.push(dvf_obs::RequestRecord::from_trace(
+            &trace,
+            route,
+            resp.status,
+        ));
     }
 }
 
@@ -390,12 +420,13 @@ fn log_slow_request(trace: &dvf_obs::FinishedTrace, route: &str, status: u16) {
 }
 
 /// Small extension: flush then close both directions, best-effort.
-trait FlushShutdown {
+pub(crate) trait FlushShutdown {
     fn flush_shutdown(&self) -> std::io::Result<()>;
 }
 
 impl FlushShutdown for TcpStream {
     fn flush_shutdown(&self) -> std::io::Result<()> {
+        use std::io::Write as _;
         let mut s = self;
         let _ = s.flush();
         self.shutdown(std::net::Shutdown::Both)
@@ -425,28 +456,48 @@ mod tests {
         (status, body)
     }
 
+    fn transports() -> Vec<Transport> {
+        if cfg!(unix) {
+            vec![Transport::EventLoop, Transport::Threaded]
+        } else {
+            vec![Transport::Threaded]
+        }
+    }
+
     #[test]
     fn binds_serves_healthz_and_shuts_down() {
-        let server = Server::bind(ServerConfig::default()).unwrap();
-        let addr = server.addr();
-        let (status, body) = get(addr, "/v1/healthz");
-        assert_eq!(status, 200);
-        assert!(body.contains("\"schema\":\"dvf-serve/1\""), "{body}");
-        assert!(body.contains("\"ok\":true"), "{body}");
-        server.shutdown();
-        // The port is released: a fresh bind to the same address works.
-        let again = TcpListener::bind(addr);
-        assert!(again.is_ok());
+        for transport in transports() {
+            let server = Server::bind(ServerConfig {
+                transport,
+                ..Default::default()
+            })
+            .unwrap();
+            let addr = server.addr();
+            let (status, body) = get(addr, "/v1/healthz");
+            assert_eq!(status, 200, "{transport:?}");
+            assert!(body.contains("\"schema\":\"dvf-serve/1\""), "{body}");
+            assert!(body.contains("\"ok\":true"), "{body}");
+            server.shutdown();
+            // The port is released: a fresh bind to the same address works.
+            let again = TcpListener::bind(addr);
+            assert!(again.is_ok(), "{transport:?}");
+        }
     }
 
     #[test]
     fn unknown_route_is_404_and_server_survives() {
-        let server = Server::bind(ServerConfig::default()).unwrap();
-        let (status, body) = get(server.addr(), "/nope");
-        assert_eq!(status, 404);
-        assert!(body.contains("not_found"), "{body}");
-        let (status, _) = get(server.addr(), "/v1/healthz");
-        assert_eq!(status, 200);
-        server.shutdown();
+        for transport in transports() {
+            let server = Server::bind(ServerConfig {
+                transport,
+                ..Default::default()
+            })
+            .unwrap();
+            let (status, body) = get(server.addr(), "/nope");
+            assert_eq!(status, 404, "{transport:?}");
+            assert!(body.contains("not_found"), "{body}");
+            let (status, _) = get(server.addr(), "/v1/healthz");
+            assert_eq!(status, 200, "{transport:?}");
+            server.shutdown();
+        }
     }
 }

@@ -1,0 +1,142 @@
+//! The blocking accept/worker transport: one acceptor thread feeding a
+//! bounded queue of connections to a fixed pool of workers, each running
+//! a blocking keep-alive loop. Retained alongside [`crate::eventloop`]
+//! as the interleaved A/B baseline and the portable (non-unix) path —
+//! see [`crate::Transport`].
+
+use crate::http::{self, error_response, Conn, ReadOutcome};
+use crate::{FlushShutdown as _, ServeCtx};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc::{self, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Threads to join at shutdown.
+#[derive(Debug)]
+pub(crate) struct Handle {
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Handle {
+    /// Complete a drain already signalled via [`ServeCtx::set_draining`]:
+    /// poke the acceptor out of `accept(2)`, then join everything.
+    pub(crate) fn shutdown(self, addr: SocketAddr) {
+        // A failed connect means the acceptor is already gone.
+        let _ = TcpStream::connect(addr);
+        let _ = self.acceptor.join();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Spawn the acceptor and worker pool over an already-bound listener.
+pub(crate) fn spawn(listener: TcpListener, ctx: Arc<ServeCtx>) -> Handle {
+    let (tx, rx) = mpsc::sync_channel::<TcpStream>(ctx.config.queue_depth.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+
+    let workers = (0..ctx.config.workers.max(1))
+        .map(|i| {
+            let rx = Arc::clone(&rx);
+            let ctx = Arc::clone(&ctx);
+            std::thread::Builder::new()
+                .name(format!("dvf-serve-worker-{i}"))
+                .spawn(move || loop {
+                    // Hold the lock only to dequeue, never while serving.
+                    let next = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+                    match next {
+                        Ok(stream) => {
+                            ctx.queued_add(-1);
+                            handle_connection(&stream, &ctx);
+                            ctx.conn_closed();
+                        }
+                        // Sender gone: drain is complete.
+                        Err(_) => break,
+                    }
+                })
+                .expect("spawn worker thread")
+        })
+        .collect();
+
+    let acceptor = {
+        let ctx = Arc::clone(&ctx);
+        std::thread::Builder::new()
+            .name("dvf-serve-accept".to_owned())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if ctx.draining() {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    match tx.try_send(stream) {
+                        Ok(()) => {
+                            ctx.queued_add(1);
+                            ctx.conn_opened();
+                        }
+                        Err(TrySendError::Full(stream)) => reject_busy(&stream),
+                        Err(TrySendError::Disconnected(_)) => break,
+                    }
+                }
+                // `tx` drops here; workers finish the queue and exit.
+            })
+            .expect("spawn accept thread")
+    };
+
+    Handle { acceptor, workers }
+}
+
+/// Answer a connection we have no queue slot for: `503` + `Retry-After`,
+/// sent from the accept thread (cheap: one small write), then close.
+fn reject_busy(stream: &TcpStream) {
+    dvf_obs::add("serve.req.rejected", 1);
+    let _ = http::prepare_stream(
+        stream,
+        Duration::from_millis(250),
+        Duration::from_millis(250),
+    );
+    let resp = error_response(503, "overloaded", "request queue is full; retry shortly")
+        .with_header("Retry-After", "1");
+    let _ = http::write_response(stream, &resp, false);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Serve one connection: keep-alive loop with per-request panic isolation.
+fn handle_connection(stream: &TcpStream, ctx: &ServeCtx) {
+    if http::prepare_stream(stream, ctx.config.read_timeout, ctx.config.write_timeout).is_err() {
+        return;
+    }
+    let mut conn = Conn::new(stream);
+    for served in 0..ctx.config.keep_alive_max {
+        let request = match conn.read_request(ctx.config.max_body_bytes) {
+            Ok(req) => req,
+            Err(ReadOutcome::Done) => return,
+            Err(ReadOutcome::Reject(resp)) => {
+                dvf_obs::add("serve.req.err", 1);
+                let _ = http::write_response(stream, &resp, false);
+                return;
+            }
+        };
+
+        let started = Instant::now();
+        // Trace the whole handler: spans and counter deltas fired while
+        // routing attach to this request's timeline. The guard lives
+        // outside the catch_unwind closure (inside `run_handler`), so a
+        // panicking handler still has its trace finished (and recorded
+        // with status 500) below.
+        let trace_id = ctx.next_trace_id();
+        let trace_guard = dvf_obs::trace::begin(trace_id);
+        let resp = crate::run_handler(&request, ctx, trace_id);
+        crate::finish_request(ctx, &request, &resp, trace_guard, started.elapsed());
+
+        // Close after this response when the client asks, when the
+        // connection hit its request budget, or when we are draining.
+        let keep_alive =
+            !request.wants_close() && served + 1 < ctx.config.keep_alive_max && !ctx.draining();
+        if http::write_response(stream, &resp, keep_alive).is_err() || !keep_alive {
+            let _ = stream.flush_shutdown();
+            return;
+        }
+    }
+}

@@ -221,8 +221,13 @@ fn missing_session_is_404() {
 fn full_queue_turns_connections_away_with_503() {
     // One worker, one queue slot. Parking the worker on an idle
     // keep-alive connection and queueing a second leaves no room: the
-    // next arrivals must be told to retry, not silently parked.
+    // next arrivals must be told to retry, not silently parked. This
+    // overload shape is specific to the threaded transport, where an
+    // idle keep-alive connection pins a worker; the event loop parks
+    // idle connections for free, and its overload behaviour is covered
+    // by tests/overload.rs.
     let server = Server::bind(ServerConfig {
+        transport: dvf_serve::Transport::Threaded,
         workers: 1,
         queue_depth: 1,
         read_timeout: Duration::from_secs(2),

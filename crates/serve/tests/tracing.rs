@@ -186,6 +186,11 @@ fn prometheus_metrics_render_with_serve_gauges() {
     assert!(body.contains("dvf_serve_queue_depth "), "{body}");
     assert!(body.contains("dvf_serve_draining 0"), "{body}");
     assert!(body.contains("dvf_serve_uptime_seconds "), "{body}");
+    assert!(body.contains("dvf_serve_workers "), "{body}");
+    assert!(body.contains("dvf_serve_queue_capacity "), "{body}");
+    assert!(body.contains("dvf_serve_max_connections "), "{body}");
+    assert!(body.contains("dvf_serve_open_connections "), "{body}");
+    assert!(body.contains("dvf_serve_transport{transport=\""), "{body}");
     assert!(body.contains("dvf_build_info{version=\""), "{body}");
 
     // The JSON rendering is still the default.
@@ -194,6 +199,12 @@ fn prometheus_metrics_render_with_serve_gauges() {
     let doc = json.json();
     assert!(doc.get("obs").is_some());
     assert!(doc.get("uptime_seconds").unwrap().as_u64().is_some());
+    let serve = doc.get("serve").expect("serve object");
+    assert!(serve.get("transport").unwrap().as_str().is_some());
+    assert!(serve.get("workers").unwrap().as_u64().is_some());
+    assert!(serve.get("queue_capacity").unwrap().as_u64().is_some());
+    assert!(serve.get("max_connections").unwrap().as_u64().is_some());
+    assert!(serve.get("open_connections").unwrap().as_u64().is_some());
     let build = doc.get("build").expect("build object");
     assert_eq!(
         build.get("version").unwrap().as_str(),
@@ -206,6 +217,65 @@ fn prometheus_metrics_render_with_serve_gauges() {
     assert_eq!(bad.status, 422);
     server.shutdown();
     dvf_obs::set_enabled(false);
+}
+
+#[cfg(unix)]
+#[test]
+fn queue_wait_is_a_traced_phase_on_the_event_loop() {
+    use common::{connect, read_reply, send};
+    use std::io::BufReader;
+
+    // One worker and a slow occupant: the next request waits in the
+    // compute queue, and that wait must surface as a depth-0 `queue`
+    // phase in its trace even though I/O and compute ran on different
+    // threads (the trace is begun backdated at the handoff).
+    let server = Server::bind(ServerConfig {
+        transport: dvf_serve::Transport::EventLoop,
+        workers: 1,
+        slow_route: true,
+        ..Default::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    let mut busy = connect(addr);
+    send(&mut busy, "POST", "/v1/_slow", Some(r#"{"ms":400}"#), false);
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    let queued = request(addr, "GET", "/v1/healthz", None);
+    assert_eq!(queued.status, 200);
+    let trace_id = queued.header("X-Dvf-Trace-Id").expect("trace header");
+
+    let detail = request(addr, "GET", &format!("/v1/debug/requests/{trace_id}"), None);
+    assert_eq!(detail.status, 200, "{}", detail.body);
+    let doc = detail.json();
+    let rec = doc.get("request").expect("request object");
+    let total_us = rec.get("total_us").unwrap().as_u64().expect("total_us");
+    let phases = rec.get("phases").unwrap().as_arr().expect("phases");
+    let queue_us = phases
+        .iter()
+        .find(|p| p.get("path").unwrap().as_str() == Some("queue"))
+        .and_then(|p| {
+            assert_eq!(p.get("depth").unwrap().as_u64(), Some(0));
+            p.get("us").unwrap().as_u64()
+        })
+        .expect("queue phase in trace");
+    // The occupant held the worker ~300ms past our arrival; allow wide
+    // slack for scheduling, but the wait must be clearly visible and
+    // covered by the total.
+    assert!(
+        queue_us >= 100_000,
+        "queue wait should reflect the backlog, got {queue_us}us"
+    );
+    assert!(
+        queue_us <= total_us,
+        "queue ({queue_us}us) must be covered by the total ({total_us}us)"
+    );
+
+    let reply = read_reply(&mut BufReader::new(busy.try_clone().unwrap()));
+    assert_eq!(reply.status, 200);
+    drop(busy);
+    server.shutdown();
 }
 
 #[test]

@@ -10,8 +10,13 @@
 //! dvf sweep <file> --sweep p=LO:HI:STEPS [options]
 //!                                       parallel memoized parameter sweep
 //! dvf serve [--addr A] [--workers N] [--queue N] [--sessions N]
+//!           [--transport T] [--max-connections N]
 //!           [--max-body BYTES] [--read-timeout-ms MS] [--slow-ms MS]
 //!                                       resident HTTP JSON evaluation service
+//! dvf loadgen --addr A [--rate RPS] [--connections N] [--duration-s S]
+//!             [--poisson] [--seed N] [--path P] [--body JSON]
+//!                                       open-loop load generator (reports
+//!                                       schedule-to-response latency)
 //!     --machine <name>                  pick a machine (if several)
 //!     --model <name>                    pick a model (if several)
 //!     --param <name>=<value>            override a parameter (repeatable)
@@ -47,11 +52,18 @@ commands:
                                      evaluate a parameter grid in parallel
                                      with memoized pattern models
   serve [--addr HOST:PORT] [--workers N] [--queue N] [--sessions N]
+        [--transport event-loop|threaded] [--max-connections N]
         [--max-body BYTES] [--read-timeout-ms MS] [--slow-ms MS]
                                      start the resident dvf-serve/1 HTTP
                                      service (SIGTERM/ctrl-c drains cleanly;
                                      --slow-ms logs slow requests as JSON
                                      lines on stderr)
+  loadgen --addr HOST:PORT [--rate RPS] [--connections N] [--duration-s S]
+          [--poisson] [--seed N] [--path P] [--body JSON]
+                                     offer open-loop load to a running server
+                                     and print a dvf-loadgen/1 JSON report
+                                     (latency measured from scheduled arrival,
+                                     so queueing delay is not hidden)
 
 `--profile` (or DVF_PROFILE=1 / DVF_PROFILE=json in the environment)
 appends a per-phase timing and counter report to stderr.
@@ -80,6 +92,7 @@ fn main() -> ExitCode {
         "protect" => with_source(&args[1..], |s, f| eval_command(s, f, Mode::Protect)),
         "sweep" => with_source(&args[1..], sweep_command),
         "serve" => serve_command(&args[1..]),
+        "loadgen" => loadgen_command(&args[1..]),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -505,6 +518,23 @@ fn serve_command(flags: &[String]) -> ExitCode {
             },
             "--workers" => numeric!(config.workers, "--workers", usize, |n: usize| n.max(1)),
             "--queue" => numeric!(config.queue_depth, "--queue", usize, |n: usize| n.max(1)),
+            "--transport" => match value(&mut it) {
+                Some(v) => match dvf::serve::Transport::parse(&v) {
+                    Some(t) => config.transport = t,
+                    None => {
+                        return usage_err(&format!(
+                            "bad --transport `{v}` (event-loop or threaded)"
+                        ))
+                    }
+                },
+                None => return usage_err("--transport needs a value"),
+            },
+            "--max-connections" => numeric!(
+                config.max_connections,
+                "--max-connections",
+                usize,
+                |n: usize| n.max(1)
+            ),
             "--sessions" => numeric!(config.max_sessions, "--sessions", usize, |n| n),
             "--max-body" => numeric!(config.max_body_bytes, "--max-body", usize, |n| n),
             "--read-timeout-ms" => numeric!(
@@ -531,9 +561,10 @@ fn serve_command(flags: &[String]) -> ExitCode {
         }
     };
     println!(
-        "dvf-serve listening on http://{}/v1/ (schema {})",
+        "dvf-serve listening on http://{}/v1/ (schema {}, transport {})",
         server.addr(),
-        dvf::serve::SCHEMA
+        dvf::serve::SCHEMA,
+        server.ctx().config.transport.as_str()
     );
     println!("press ctrl-c (or send SIGTERM) to drain and exit");
 
@@ -543,6 +574,78 @@ fn serve_command(flags: &[String]) -> ExitCode {
     eprintln!("signal received; draining...");
     server.shutdown();
     eprintln!("drained; bye");
+    ExitCode::SUCCESS
+}
+
+/// `loadgen`: offer open-loop load to a running server and print the
+/// resulting `dvf-loadgen/1` JSON report on stdout.
+fn loadgen_command(flags: &[String]) -> ExitCode {
+    use dvf::serve::loadgen;
+    let mut spec = loadgen::LoadSpec::default();
+    let mut addr: Option<String> = None;
+
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        let value = |it: &mut std::slice::Iter<String>| -> Option<String> { it.next().cloned() };
+        macro_rules! numeric {
+            ($field:expr, $name:literal, $ty:ty, $map:expr) => {
+                match value(&mut it).map(|v| v.parse::<$ty>()) {
+                    Some(Ok(n)) => $field = $map(n),
+                    Some(Err(_)) => return usage_err(concat!("bad ", $name, " value")),
+                    None => return usage_err(concat!($name, " needs a value")),
+                }
+            };
+        }
+        match flag.as_str() {
+            "--addr" => match value(&mut it) {
+                Some(v) => addr = Some(v),
+                None => return usage_err("--addr needs a value"),
+            },
+            "--rate" => numeric!(spec.rate_per_s, "--rate", f64, |r: f64| r.max(0.001)),
+            "--connections" => {
+                numeric!(spec.connections, "--connections", usize, |n: usize| n
+                    .max(1))
+            }
+            "--duration-s" => numeric!(spec.duration, "--duration-s", f64, |s: f64| {
+                std::time::Duration::from_secs_f64(s.clamp(0.01, 3600.0))
+            }),
+            "--poisson" => spec.poisson = true,
+            "--seed" => numeric!(spec.seed, "--seed", u64, |n| n),
+            "--path" => match value(&mut it) {
+                Some(v) => spec.path = v,
+                None => return usage_err("--path needs a value"),
+            },
+            "--body" => match value(&mut it) {
+                Some(v) => {
+                    spec.method = "POST".to_owned();
+                    spec.body = Some(v);
+                }
+                None => return usage_err("--body needs a value"),
+            },
+            other => return usage_err(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let Some(addr) = addr else {
+        return usage_err("loadgen requires --addr HOST:PORT");
+    };
+    use std::net::ToSocketAddrs as _;
+    spec.addr = match addr.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+        Some(a) => a,
+        None => {
+            eprintln!("cannot resolve `{addr}`");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = loadgen::run(&spec);
+    println!("{}", report.to_json(&spec));
+    // Socket errors mean the measurement itself is suspect; surface that
+    // in the exit code so scripted runs (CI smoke) fail loudly.
+    if report.errors_io > 0 {
+        eprintln!("{} requests lost to socket errors", report.errors_io);
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }
 
