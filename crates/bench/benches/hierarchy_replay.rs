@@ -1,0 +1,82 @@
+//! Hierarchy replay throughput: what deeper stacks cost per reference.
+//!
+//! Replays one synthetic mixed trace through one-, two- and three-level
+//! hierarchies (plus a prefetching two-level variant) so the per-level
+//! overhead of the walk, victim routing and prefetch probing is visible
+//! as a Melem/s ratio against the flat single-cache engine.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dvf_cachesim::{
+    simulate_hierarchy_config, AccessKind, CacheConfig, HierarchyConfig, LevelSpec, MemRef, Trace,
+};
+use std::hint::black_box;
+
+fn synthetic_trace(refs: usize) -> Trace {
+    let mut t = Trace::new();
+    let a = t.registry.register("A");
+    let b = t.registry.register("B");
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    for i in 0..refs {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let ds = if i % 3 == 0 { b } else { a };
+        let kind = if state.is_multiple_of(4) {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        t.push(MemRef::new(ds, state % (1 << 22), kind));
+    }
+    t
+}
+
+fn cfg(assoc: usize, sets: usize, line: usize) -> CacheConfig {
+    CacheConfig::new(assoc, sets, line).expect("bench geometry is valid")
+}
+
+fn hierarchy_throughput(c: &mut Criterion) {
+    let trace = synthetic_trace(100_000);
+    // A realistic downward slope: 32 KiB L1, 256 KiB L2, 4 MiB L3.
+    let l1 = cfg(8, 64, 64);
+    let l2 = cfg(8, 512, 64);
+    let l3 = cfg(16, 4096, 64);
+    let shapes: Vec<(&str, HierarchyConfig)> = vec![
+        (
+            "1-level",
+            HierarchyConfig::new(vec![LevelSpec::new(l3)]).unwrap(),
+        ),
+        ("2-level", HierarchyConfig::two_level(l1, l3).unwrap()),
+        (
+            "3-level",
+            HierarchyConfig::new(vec![
+                LevelSpec::new(l1),
+                LevelSpec::new(l2),
+                LevelSpec::new(l3),
+            ])
+            .unwrap(),
+        ),
+        (
+            "2-level+pf2",
+            HierarchyConfig::new(vec![
+                LevelSpec::new(l1),
+                LevelSpec::new(l3).with_prefetch(2),
+            ])
+            .unwrap(),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("hierarchy_replay");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for (label, config) in &shapes {
+        group.bench_with_input(BenchmarkId::new("depth", label), config, |b, config| {
+            b.iter(|| black_box(simulate_hierarchy_config(black_box(&trace), config)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, hierarchy_throughput);
+criterion_main!(benches);

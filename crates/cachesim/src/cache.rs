@@ -45,6 +45,31 @@ pub struct Writeback {
     pub addr: u64,
 }
 
+/// An evicted line — clean or dirty — as reported by
+/// [`SetAssociativeCache::demand_access`] and the install paths.
+///
+/// Unlike [`Writeback`] this also reports *clean* victims, which a cache
+/// hierarchy needs: an exclusive lower level is filled exclusively by the
+/// level above's victims, clean ones included.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Victim {
+    /// Data structure the evicted line belongs to.
+    pub owner: DsId,
+    /// Base address of the evicted line.
+    pub addr: u64,
+    /// Whether the line was dirty (its owner was charged one writeback).
+    pub dirty: bool,
+}
+
+/// Result of one [`SetAssociativeCache::demand_access`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DemandOutcome {
+    /// Whether the line was resident.
+    pub hit: bool,
+    /// The line evicted by the fill, if any (misses only).
+    pub victim: Option<Victim>,
+}
+
 /// Result of a single access, for callers that want to trace behaviour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessOutcome {
@@ -244,6 +269,26 @@ impl<P: ReplacementPolicy> SetAssociativeCache<P> {
     /// Issue one reference.
     #[inline]
     pub fn access(&mut self, mref: MemRef) -> AccessOutcome {
+        let out = self.demand_access(mref);
+        if out.hit {
+            AccessOutcome::Hit
+        } else {
+            AccessOutcome::Miss {
+                writeback: out.victim.filter(|v| v.dirty).map(|v| Writeback {
+                    owner: v.owner,
+                    addr: v.addr,
+                }),
+            }
+        }
+    }
+
+    /// Issue one reference, reporting the evicted victim (clean or dirty).
+    ///
+    /// Same behaviour and statistics as [`Self::access`]; the richer
+    /// outcome exists for the hierarchy, whose exclusive levels are filled
+    /// by clean victims too.
+    #[inline]
+    pub fn demand_access(&mut self, mref: MemRef) -> DemandOutcome {
         let block = self.geom.block_of(mref.addr);
         let set_idx = self.geom.set_of(block);
         let marked = store_tag(self.geom.tag_of(block));
@@ -277,41 +322,226 @@ impl<P: ReplacementPolicy> SetAssociativeCache<P> {
                 &mut self.policy_ways[base..base + assoc],
                 hit_way,
             );
-            return AccessOutcome::Hit;
+            return DemandOutcome {
+                hit: true,
+                victim: None,
+            };
         }
 
         // Miss: take the free way found above, or evict the policy's victim.
         ds_stats.misses += 1;
-        let (way, writeback) = if free != usize::MAX {
+        let victim = self.fill_way(set_idx, free, marked, mref.ds, is_write);
+        DemandOutcome { hit: false, victim }
+    }
+
+    /// Fill a line into `set_idx` at the precomputed first free way
+    /// (`usize::MAX` = set full, evict the policy's victim). Charges a
+    /// dirty victim's writeback to its owner; shared by the demand-miss
+    /// fill and the write-no-fill install paths.
+    #[inline]
+    fn fill_way(
+        &mut self,
+        set_idx: usize,
+        free: usize,
+        marked: u64,
+        ds: DsId,
+        dirty: bool,
+    ) -> Option<Victim> {
+        let assoc = self.assoc;
+        let base = set_idx * assoc;
+        let (way, victim) = if free != usize::MAX {
             (free, None)
         } else {
-            let victim = self.policy.victim(
+            let way = self.policy.victim(
                 &mut self.policy_state[set_idx],
                 &mut self.policy_ways[base..base + assoc],
             );
-            let slot = base + victim;
+            let slot = base + way;
             let victim_meta = self.meta[slot];
-            let wb = if victim_meta & 1 != 0 {
-                let owner = DsId((victim_meta >> 1) as u16);
+            let owner = DsId((victim_meta >> 1) as u16);
+            let victim_dirty = victim_meta & 1 != 0;
+            if victim_dirty {
                 self.stats.ds_mut(owner).writebacks += 1;
-                Some(Writeback {
+            }
+            (
+                way,
+                Some(Victim {
                     owner,
                     addr: self.geom.addr_of(load_tag(self.tags[slot]), set_idx),
-                })
-            } else {
-                None
-            };
-            (victim, wb)
+                    dirty: victim_dirty,
+                }),
+            )
         };
         let slot = base + way;
         self.tags[slot] = marked;
-        self.meta[slot] = pack_meta(mref.ds, is_write);
+        self.meta[slot] = pack_meta(ds, dirty);
         self.policy.on_fill(
             &mut self.policy_state[set_idx],
             &mut self.policy_ways[base..base + assoc],
             way,
         );
-        AccessOutcome::Miss { writeback }
+        victim
+    }
+
+    /// Absorb a victim writeback from the level above ("write-no-fill"):
+    /// if the line is resident, promote it and set its dirty bit, and
+    /// return `true`. An absent line is *not* allocated — a writeback
+    /// carries no demand for the data, so allocating would either charge a
+    /// phantom memory read or silently fabricate a fill; the caller
+    /// forwards the writeback further down instead. No statistics are
+    /// touched either way (no memory access happens at this level).
+    pub fn absorb_writeback(&mut self, addr: u64) -> bool {
+        let block = self.geom.block_of(addr);
+        let set_idx = self.geom.set_of(block);
+        let marked = store_tag(self.geom.tag_of(block));
+        let base = set_idx * self.assoc;
+        match self.tags[base..base + self.assoc]
+            .iter()
+            .position(|&t| t == marked)
+        {
+            Some(way) => {
+                self.meta[base + way] |= 1;
+                self.policy.on_hit(
+                    &mut self.policy_state[set_idx],
+                    &mut self.policy_ways[base..base + self.assoc],
+                    way,
+                );
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Install a line without a memory read, *allocating* on absence.
+    ///
+    /// This is the fill path for data that arrives from above with a
+    /// genuine claim to residence: an exclusive level's victim fill or a
+    /// tagged prefetch. A resident line is re-promoted and its dirty flag
+    /// ORed in; an absent line claims a free way or evicts the policy's
+    /// victim — charging the *victim's* writeback if it was dirty, but
+    /// counting no read, write, hit, or miss for the installed line
+    /// itself, because no memory access happens on its behalf.
+    pub fn install(&mut self, owner: DsId, addr: u64, dirty: bool) -> Option<Victim> {
+        let block = self.geom.block_of(addr);
+        let set_idx = self.geom.set_of(block);
+        let marked = store_tag(self.geom.tag_of(block));
+        let assoc = self.assoc;
+        let base = set_idx * assoc;
+        let (hit_way, free) = if self.resident {
+            scan_set_resident(&self.tags[base..base + assoc], marked)
+        } else {
+            scan_set(&self.tags[base..base + assoc], marked)
+        };
+        if hit_way != usize::MAX {
+            if dirty {
+                self.meta[base + hit_way] |= 1;
+            }
+            self.policy.on_hit(
+                &mut self.policy_state[set_idx],
+                &mut self.policy_ways[base..base + assoc],
+                hit_way,
+            );
+            return None;
+        }
+        self.fill_way(set_idx, free, marked, owner, dirty)
+    }
+
+    /// Whether the line containing `addr` is resident. Non-mutating: no
+    /// statistics, no recency update (a tag probe, not an access).
+    pub fn probe(&self, addr: u64) -> bool {
+        let block = self.geom.block_of(addr);
+        let set_idx = self.geom.set_of(block);
+        let marked = store_tag(self.geom.tag_of(block));
+        let base = set_idx * self.assoc;
+        self.tags[base..base + self.assoc].contains(&marked)
+    }
+
+    /// Set the dirty bit of a resident line without touching statistics or
+    /// recency; returns whether the line was resident. Used when dirtiness
+    /// migrates upward (an exclusive level's dirty copy moves up with the
+    /// line).
+    pub fn mark_dirty(&mut self, addr: u64) -> bool {
+        let block = self.geom.block_of(addr);
+        let set_idx = self.geom.set_of(block);
+        let marked = store_tag(self.geom.tag_of(block));
+        let base = set_idx * self.assoc;
+        match self.tags[base..base + self.assoc]
+            .iter()
+            .position(|&t| t == marked)
+        {
+            Some(way) => {
+                self.meta[base + way] |= 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove the line containing `addr` if resident (hierarchy
+    /// back-invalidation and exclusive extraction), reporting it with its
+    /// dirty flag. No statistics are touched — the caller decides where
+    /// the removed data goes and charges accordingly.
+    ///
+    /// The occupied ways of a set must stay a prefix (both tag scans rely
+    /// on it), so the freed way is back-filled by swapping the set's last
+    /// occupied way into the hole; [`ReplacementPolicy::on_invalidate`]
+    /// then retires the removed line's policy state.
+    pub fn invalidate(&mut self, addr: u64) -> Option<Victim> {
+        let block = self.geom.block_of(addr);
+        let set_idx = self.geom.set_of(block);
+        let marked = store_tag(self.geom.tag_of(block));
+        let assoc = self.assoc;
+        let base = set_idx * assoc;
+        let set_tags = &self.tags[base..base + assoc];
+        let way = set_tags.iter().position(|&t| t == marked)?;
+        let occupied = set_tags
+            .iter()
+            .position(|&t| t == EMPTY_WAY)
+            .unwrap_or(assoc);
+        let meta = self.meta[base + way];
+        let victim = Victim {
+            owner: DsId((meta >> 1) as u16),
+            addr: self.geom.addr_of(load_tag(self.tags[base + way]), set_idx),
+            dirty: meta & 1 != 0,
+        };
+        // Swap the hole to the end of the occupied prefix; the removed
+        // line's policy word travels with it for `on_invalidate` to read.
+        let last = occupied - 1;
+        self.tags.swap(base + way, base + last);
+        self.policy_ways.swap(base + way, base + last);
+        self.meta.swap(base + way, base + last);
+        self.tags[base + last] = EMPTY_WAY;
+        self.meta[base + last] = 0;
+        self.policy.on_invalidate(
+            &mut self.policy_state[set_idx],
+            &mut self.policy_ways[base..base + assoc],
+            last,
+            occupied,
+        );
+        Some(victim)
+    }
+
+    /// Demand lookup *without* fill-on-miss, extracting the line on a hit
+    /// — the access pattern of an exclusive hierarchy level. Counts the
+    /// read/write and the hit/miss exactly like [`Self::demand_access`],
+    /// but a miss installs nothing and a hit removes the line (it moves up
+    /// into the levels above), returning whether the extracted copy was
+    /// dirty.
+    pub fn lookup_extract(&mut self, mref: MemRef) -> Option<bool> {
+        let ds_stats = self.stats.ds_mut(mref.ds);
+        if mref.kind == AccessKind::Write {
+            ds_stats.writes += 1;
+        } else {
+            ds_stats.reads += 1;
+        }
+        if self.probe(mref.addr) {
+            self.stats.ds_mut(mref.ds).hits += 1;
+            let victim = self.invalidate(mref.addr).expect("probe said resident");
+            Some(victim.dirty)
+        } else {
+            self.stats.ds_mut(mref.ds).misses += 1;
+            None
+        }
     }
 
     /// Replay a slice of references through [`Self::access`].
@@ -580,6 +810,104 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn absorb_writeback_updates_resident_without_stats_and_refuses_absent() {
+        let mut c = SetAssociativeCache::new(tiny());
+        let a = DsId(0);
+        assert!(c.access(MemRef::read(a, 0)).is_miss());
+        let before = c.stats().total();
+        // Resident: dirty bit set in place, no read/write/hit/miss counted.
+        assert!(c.absorb_writeback(0));
+        assert_eq!(c.stats().total(), before);
+        // Absent: refused, nothing allocated, still no stats.
+        assert!(!c.absorb_writeback(512));
+        assert!(!c.probe(512));
+        assert_eq!(c.stats().total(), before);
+        // The in-place dirtying is real: the line writes back on flush.
+        c.flush();
+        assert_eq!(c.stats().ds(a).writebacks, 1);
+    }
+
+    #[test]
+    fn install_allocates_without_memory_read_and_charges_only_victims() {
+        let mut c = SetAssociativeCache::new(tiny());
+        let (a, b) = (DsId(0), DsId(1));
+        // Fresh install: no read/write/hit/miss for the installed line.
+        assert!(c.install(a, 0, true).is_none());
+        let t = c.stats().total();
+        assert_eq!(
+            (t.reads, t.writes, t.hits, t.misses, t.writebacks),
+            (0, 0, 0, 0, 0)
+        );
+        // Re-install on a resident line ORs the dirty flag, no stats.
+        assert!(c.install(a, 0, false).is_none());
+        assert!(c.probe(0));
+        // Fill set 0 (blocks 0, 2, 4 collide): the second install evicts
+        // the dirty LRU line and charges *its owner's* writeback only.
+        assert!(c.install(b, 32, false).is_none());
+        let victim = c.install(b, 64, false).expect("set full, must evict");
+        assert_eq!(victim.owner, a);
+        assert!(victim.dirty);
+        assert_eq!(c.stats().ds(a).writebacks, 1);
+        assert_eq!(c.stats().ds(b).writebacks, 0);
+    }
+
+    #[test]
+    fn probe_and_mark_dirty_touch_no_stats_or_recency() {
+        let mut c = SetAssociativeCache::new(tiny());
+        let a = DsId(0);
+        assert!(c.access(MemRef::read(a, 0)).is_miss()); // block 0
+        assert!(c.access(MemRef::read(a, 32)).is_miss()); // block 2, same set
+        let before = c.stats().total();
+        assert!(c.probe(0));
+        assert!(!c.probe(512));
+        assert!(c.mark_dirty(0));
+        assert!(!c.mark_dirty(512));
+        assert_eq!(c.stats().total(), before);
+        // Block 0 stayed LRU despite probe/mark_dirty: the next conflict
+        // evicts it (and its marked dirty bit makes that a writeback).
+        assert!(c.access(MemRef::read(a, 64)).is_miss());
+        assert!(!c.probe(0));
+        assert_eq!(c.stats().ds(a).writebacks, 1);
+    }
+
+    #[test]
+    fn invalidate_extracts_victim_and_keeps_scan_invariants() {
+        let mut c = SetAssociativeCache::new(tiny());
+        let a = DsId(0);
+        assert!(c.access(MemRef::write(a, 0)).is_miss()); // block 0, dirty
+        assert!(c.access(MemRef::read(a, 32)).is_miss()); // block 2
+        let before = c.stats().total();
+        let v = c.invalidate(0).expect("resident");
+        assert!(v.dirty);
+        assert_eq!(v.owner, a);
+        assert_eq!(v.addr, 0);
+        assert_eq!(c.stats().total(), before, "invalidate charges nothing");
+        assert!(c.invalidate(0).is_none());
+        // The freed way is reusable and the survivor still hits: the
+        // occupied-prefix compaction kept the set scannable.
+        assert_eq!(c.access(MemRef::read(a, 32)), AccessOutcome::Hit);
+        assert!(c.access(MemRef::read(a, 64)).is_miss());
+        assert_eq!(c.resident_lines(), 2);
+    }
+
+    #[test]
+    fn lookup_extract_counts_like_demand_but_never_fills() {
+        let mut c = SetAssociativeCache::new(tiny());
+        let a = DsId(0);
+        // Miss: counted, nothing installed.
+        assert_eq!(c.lookup_extract(MemRef::read(a, 0)), None);
+        assert_eq!(c.stats().ds(a).misses, 1);
+        assert!(!c.probe(0));
+        // Hit: counted, line extracted with its dirty flag.
+        assert!(c.access(MemRef::write(a, 0)).is_miss());
+        assert_eq!(c.lookup_extract(MemRef::read(a, 0)), Some(true));
+        assert_eq!(c.stats().ds(a).hits, 1);
+        assert!(!c.probe(0));
+        assert_eq!(c.stats().ds(a).reads, 2);
+        assert_eq!(c.stats().ds(a).writes, 1);
     }
 
     #[test]

@@ -23,6 +23,29 @@ pub enum ConfigError {
     BadNumSets(usize),
     /// The line length must be a power of two and at least 1 byte.
     BadLineBytes(usize),
+    /// A cache hierarchy must have at least one level.
+    EmptyHierarchy,
+    /// Hierarchy levels must be ordered from smallest (closest to the CPU)
+    /// to largest: level `level` is smaller than the level above it.
+    InvertedHierarchy {
+        /// Index of the offending (lower, larger-expected) level.
+        level: usize,
+        /// Capacity of the level above, in bytes.
+        upper_bytes: usize,
+        /// Capacity of the offending level, in bytes.
+        lower_bytes: usize,
+    },
+    /// Hierarchy line sizes must not shrink going down: a lower level's
+    /// line must cover the line above it, or writebacks and
+    /// back-invalidations would straddle multiple lower lines.
+    ShrinkingLineBytes {
+        /// Index of the offending lower level.
+        level: usize,
+        /// Line length of the level above, in bytes.
+        upper_bytes: usize,
+        /// Line length of the offending level, in bytes.
+        lower_bytes: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -37,6 +60,33 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::BadLineBytes(n) => {
                 write!(f, "cache line length must be a power of two bytes, got {n}")
+            }
+            ConfigError::EmptyHierarchy => {
+                write!(f, "cache hierarchy must have at least one level")
+            }
+            ConfigError::InvertedHierarchy {
+                level,
+                upper_bytes,
+                lower_bytes,
+            } => {
+                write!(
+                    f,
+                    "hierarchy level {level} ({lower_bytes} B) is smaller than \
+                     the level above it ({upper_bytes} B); order levels from \
+                     smallest to largest"
+                )
+            }
+            ConfigError::ShrinkingLineBytes {
+                level,
+                upper_bytes,
+                lower_bytes,
+            } => {
+                write!(
+                    f,
+                    "hierarchy level {level} has a {lower_bytes} B line, \
+                     shorter than the {upper_bytes} B line above it; line \
+                     sizes must not shrink going down"
+                )
             }
         }
     }

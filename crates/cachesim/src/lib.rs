@@ -53,9 +53,13 @@ pub mod stats;
 pub mod trace;
 
 pub use binio::{read_binary, write_binary, write_binary_v2, TraceReader, TraceWriter};
-pub use cache::{AccessOutcome, SetAssociativeCache, Writeback};
-pub use config::{CacheConfig, CacheGeometry};
-pub use hierarchy::{simulate_hierarchy, CacheHierarchy, HierarchyReport};
+pub use cache::{AccessOutcome, DemandOutcome, SetAssociativeCache, Victim, Writeback};
+pub use config::{CacheConfig, CacheGeometry, ConfigError};
+pub use hierarchy::{
+    simulate_hierarchy, simulate_hierarchy_config, simulate_hierarchy_many,
+    simulate_hierarchy_many_with_threads, CacheHierarchy, HierarchyConfig, HierarchyReport,
+    InclusionPolicy, LevelReport, LevelSpec, PrefetchStats, MAX_PREFETCH_DEGREE,
+};
 pub use replacement::{Fifo, Lru, PolicyKind, RandomEvict, ReplacementPolicy, TreePlru};
 pub use sim::{
     simulate, simulate_many, simulate_many_with_threads, simulate_with_policy, AnySimulator,

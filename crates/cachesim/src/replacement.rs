@@ -36,6 +36,23 @@ pub trait ReplacementPolicy {
     /// Choose the way to evict. Only called when every way is occupied.
     fn victim(&self, state: &mut Self::SetState, ways: &mut [Self::WayState]) -> usize;
 
+    /// Called when the line in `way` is removed *outside* the fill path
+    /// (hierarchy back-invalidation or exclusive extraction). `occupied`
+    /// is the number of occupied ways before the removal. Implementations
+    /// must restore their cold-start invariant so a later fill into the
+    /// freed way behaves exactly as if the way had never been occupied.
+    /// The default resets the way's state word, which is sufficient for
+    /// policies whose per-way state is stateless or approximate.
+    fn on_invalidate(
+        &self,
+        _state: &mut Self::SetState,
+        ways: &mut [Self::WayState],
+        way: usize,
+        _occupied: usize,
+    ) {
+        ways[way] = Self::WayState::default();
+    }
+
     /// Human-readable policy name.
     fn name(&self) -> &'static str;
 }
@@ -109,6 +126,26 @@ fn rank_zero_fixed<const N: usize>(ranks: &[u16]) -> usize {
     }
 }
 
+/// Remove `way`'s rank from a rank order, restoring the cold-start shape.
+///
+/// Rank invariant for rank-based policies (LRU, FIFO): empty ways hold
+/// rank `0`, and the `occupied` ways hold the dense top-aligned ranks
+/// `len - occupied .. len`, so a fill into an empty way (stale rank `0`)
+/// promotes into exactly the dense order `len - occupied - 1 .. len`.
+/// Retiring rank `r` re-establishes that shape by shifting every occupied
+/// rank below `r` up one and zeroing the freed way — the surviving lines
+/// keep their relative order, i.e. the result is bit-identical to never
+/// having inserted the removed line between them.
+#[inline]
+fn retire_rank(ranks: &mut [u16], way: usize, occupied: usize) {
+    let r = ranks[way];
+    let lo = (ranks.len() - occupied) as u16; // smallest occupied rank
+    for w in ranks.iter_mut() {
+        *w += u16::from(*w >= lo && *w < r);
+    }
+    ranks[way] = 0;
+}
+
 impl ReplacementPolicy for Lru {
     type WayState = u16; // recency rank: 0 = LRU, len - 1 = MRU
     type SetState = ();
@@ -125,6 +162,10 @@ impl ReplacementPolicy for Lru {
 
     fn victim(&self, _state: &mut (), ways: &mut [u16]) -> usize {
         rank_zero_way(ways)
+    }
+
+    fn on_invalidate(&self, _state: &mut (), ways: &mut [u16], way: usize, occupied: usize) {
+        retire_rank(ways, way, occupied);
     }
 
     fn name(&self) -> &'static str {
@@ -150,6 +191,10 @@ impl ReplacementPolicy for Fifo {
 
     fn victim(&self, _state: &mut (), ways: &mut [u16]) -> usize {
         rank_zero_way(ways)
+    }
+
+    fn on_invalidate(&self, _state: &mut (), ways: &mut [u16], way: usize, occupied: usize) {
+        retire_rank(ways, way, occupied);
     }
 
     fn name(&self) -> &'static str {

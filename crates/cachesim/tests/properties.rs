@@ -1,8 +1,9 @@
 //! Property-based tests for the cache simulator invariants.
 
 use dvf_cachesim::{
-    simulate, simulate_many_with_threads, simulate_with_policy, AccessKind, CacheConfig, MemRef,
-    PolicyKind, SimJob, Simulator, Trace,
+    simulate, simulate_hierarchy_config, simulate_hierarchy_many_with_threads,
+    simulate_many_with_threads, simulate_with_policy, AccessKind, CacheConfig, HierarchyConfig,
+    InclusionPolicy, LevelSpec, MemRef, PolicyKind, SimJob, Simulator, Trace,
 };
 use proptest::prelude::*;
 
@@ -157,6 +158,103 @@ proptest! {
         blocks.sort_unstable();
         blocks.dedup();
         prop_assert!(llc_total.misses >= blocks.len() as u64);
+    }
+
+    /// A stack of identical levels under a *hit-insensitive* policy
+    /// (FIFO, seeded random — victim choice ignores hits) degenerates to
+    /// the single cache bit-for-bit, writes included: each lower level
+    /// sees exactly the upper level's miss stream and, starting cold with
+    /// the same geometry, replays the same fills and evictions, so its
+    /// content shadows the upper level's at every step. DRAM traffic per
+    /// data structure must therefore equal the single-level run's misses
+    /// and writebacks exactly. (LRU and PLRU do *not* degenerate: hits
+    /// promote in the upper level only, so recency orders diverge.)
+    #[test]
+    fn same_geometry_stack_degenerates_for_hit_insensitive_policies(
+        cfg in arb_config(),
+        trace in arb_trace(250),
+        depth in 2usize..=3,
+    ) {
+        for policy in [PolicyKind::Fifo, PolicyKind::Random] {
+            let single = simulate_with_policy(&trace, cfg, policy);
+            let stack = HierarchyConfig::new(
+                (0..depth).map(|_| LevelSpec::new(cfg).with_policy(policy)).collect(),
+            ).unwrap();
+            let hier = simulate_hierarchy_config(&trace, &stack);
+            for (id, _) in trace.registry.iter() {
+                prop_assert_eq!(hier.dram.ds(id).misses, single.ds(id).misses);
+                prop_assert_eq!(hier.dram.ds(id).writebacks, single.ds(id).writebacks);
+            }
+        }
+    }
+
+    /// A single pass over distinct lines (no reuse) degenerates for
+    /// *every* policy: with nothing to re-reference, replacement order is
+    /// unobservable and each line costs exactly one DRAM read (plus one
+    /// writeback if written).
+    #[test]
+    fn streaming_degenerates_for_all_policies(
+        cfg in arb_config(),
+        writes in prop::collection::vec(prop::bool::ANY, 1..300),
+    ) {
+        let mut trace = Trace::new();
+        let id = trace.registry.register("A");
+        for (i, &w) in writes.iter().enumerate() {
+            let addr = i as u64 * cfg.line_bytes as u64;
+            let kind = if w { AccessKind::Write } else { AccessKind::Read };
+            trace.push(MemRef::new(id, addr, kind));
+        }
+        let dirty_lines = writes.iter().filter(|&&w| w).count() as u64;
+        for policy in PolicyKind::ALL {
+            let single = simulate_with_policy(&trace, cfg, policy);
+            prop_assert_eq!(single.ds(id).misses, writes.len() as u64);
+            prop_assert_eq!(single.ds(id).writebacks, dirty_lines);
+            let stack = HierarchyConfig::new(vec![
+                LevelSpec::new(cfg).with_policy(policy),
+                LevelSpec::new(cfg).with_policy(policy),
+            ]).unwrap();
+            let hier = simulate_hierarchy_config(&trace, &stack);
+            prop_assert_eq!(hier.dram.ds(id).misses, writes.len() as u64);
+            prop_assert_eq!(hier.dram.ds(id).writebacks, dirty_lines);
+        }
+    }
+
+    /// Hierarchy fan-out over scoped threads is bit-identical to running
+    /// each stack sequentially, for any worker count and a shape mix
+    /// covering every inclusion policy and a prefetcher.
+    #[test]
+    fn hierarchy_fanout_matches_sequential(
+        trace in arb_trace(200),
+        threads in 1usize..6,
+    ) {
+        let l1 = CacheConfig::new(2, 8, 32).unwrap();
+        let l2 = CacheConfig::new(4, 32, 32).unwrap();
+        let configs: Vec<HierarchyConfig> = [
+            InclusionPolicy::Nine,
+            InclusionPolicy::Inclusive,
+            InclusionPolicy::Exclusive,
+        ]
+        .iter()
+        .map(|&incl| {
+            HierarchyConfig::new(vec![
+                LevelSpec::new(l1).with_prefetch(1),
+                LevelSpec::new(l2).with_inclusion(incl),
+            ])
+            .unwrap()
+        })
+        .collect();
+        let par = simulate_hierarchy_many_with_threads(&trace, &configs, threads);
+        prop_assert_eq!(par.len(), configs.len());
+        for (config, report) in configs.iter().zip(&par) {
+            let seq = simulate_hierarchy_config(&trace, config);
+            prop_assert_eq!(report.refs, seq.refs);
+            prop_assert_eq!(&report.dram, &seq.dram);
+            prop_assert_eq!(&report.dram_prefetch, &seq.dram_prefetch);
+            for (a, b) in report.levels.iter().zip(&seq.levels) {
+                prop_assert_eq!(&a.stats, &b.stats);
+                prop_assert_eq!(a.prefetch, b.prefetch);
+            }
+        }
     }
 
     /// Binary serialization round-trips any trace.

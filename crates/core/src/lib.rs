@@ -72,3 +72,6 @@ pub use patterns::{
     CacheView, InterferenceScenario, ModelError, RandomSpec, ReuseSpec, StreamingSpec, TemplateSpec,
 };
 pub use timemodel::{MachineModel, ResourceDemand};
+pub use workflow::{
+    account_hierarchy, evaluate_hierarchy, HierarchyAccounting, HierarchyDvf, WorkflowError,
+};

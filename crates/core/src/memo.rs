@@ -34,7 +34,7 @@ use crate::patterns::{CacheView, ModelError};
 use std::collections::HashMap;
 use std::hash::{BuildHasher, RandomState};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-use std::sync::{Arc, LazyLock, Mutex, MutexGuard};
+use std::sync::{Arc, LazyLock, Mutex, MutexGuard, Once};
 
 /// Hashable identity of a [`CacheView`]: geometry plus the exact bit
 /// pattern of the sharing ratio.
@@ -161,11 +161,45 @@ impl Striped {
 /// environment variable (clamped to `1..=256`) or [`DEFAULT_STRIPES`].
 /// The override exists for contention experiments (`stripes=1` reproduces
 /// the old single-mutex behaviour in an otherwise identical binary).
+///
+/// A set-but-unparseable value (`0x10`, empty, `sixteen`) used to be
+/// swallowed by an `ok()` chain and silently fall back to the default —
+/// an operator who fat-fingers the variable now gets exactly one stderr
+/// warning (the resolver is called from both the cache and the template
+/// interner, hence the [`Once`]) and can confirm the resolved count via
+/// `/v1/metrics` in `dvf-serve`.
+fn parse_stripes(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok().map(|n| n.clamp(1, 256))
+}
+
 fn configured_stripes() -> usize {
-    std::env::var("DVF_MEMO_STRIPES")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .map_or(DEFAULT_STRIPES, |n| n.clamp(1, 256))
+    match std::env::var("DVF_MEMO_STRIPES") {
+        Ok(raw) => match parse_stripes(&raw) {
+            Some(n) => n,
+            None => {
+                static WARN: Once = Once::new();
+                WARN.call_once(|| {
+                    eprintln!(
+                        "warning: ignoring invalid DVF_MEMO_STRIPES value `{raw}` \
+                         (expected an integer 1..=256); using {DEFAULT_STRIPES} stripes"
+                    );
+                });
+                DEFAULT_STRIPES
+            }
+        },
+        Err(std::env::VarError::NotUnicode(_)) => {
+            static WARN: Once = Once::new();
+            WARN.call_once(|| {
+                eprintln!(
+                    "warning: ignoring non-unicode DVF_MEMO_STRIPES value; \
+                     using {DEFAULT_STRIPES} stripes"
+                );
+            });
+            DEFAULT_STRIPES
+        }
+        // Unset stays silent: the default is the normal case.
+        Err(std::env::VarError::NotPresent) => DEFAULT_STRIPES,
+    }
 }
 
 static CACHE: LazyLock<Striped> = LazyLock::new(|| Striped {
@@ -468,5 +502,21 @@ mod tests {
         let exclusive = ViewKey::of(&CacheView::exclusive(cfg));
         let shared = ViewKey::of(&CacheView::shared(cfg, 0.25));
         assert_ne!(exclusive, shared);
+    }
+
+    #[test]
+    fn stripe_override_parsing_rejects_what_it_cannot_read() {
+        // The values an operator plausibly exports: plain integers work
+        // (with whitespace tolerated and out-of-range clamped) …
+        assert_eq!(parse_stripes("16"), Some(16));
+        assert_eq!(parse_stripes(" 8 "), Some(8));
+        assert_eq!(parse_stripes("0"), Some(1));
+        assert_eq!(parse_stripes("9999"), Some(256));
+        // … while the historically-silent failure modes now surface as
+        // `None`, which `configured_stripes` turns into a warning.
+        assert_eq!(parse_stripes("0x10"), None);
+        assert_eq!(parse_stripes(""), None);
+        assert_eq!(parse_stripes("sixteen"), None);
+        assert_eq!(parse_stripes("-4"), None);
     }
 }

@@ -23,7 +23,7 @@ use crate::timemodel::{MachineModel, ResourceDemand};
 use dvf_aspen::{
     AppSpec, Diagnostic, EccKind, MachineSpec, OrderStepSpec, PatternSpec, Resolver, ReuseScenario,
 };
-use dvf_cachesim::CacheConfig;
+use dvf_cachesim::{CacheConfig, HierarchyConfig};
 use std::collections::HashMap;
 
 /// Errors from the end-to-end workflow.
@@ -206,7 +206,17 @@ pub fn account_phases(
     app: &AppSpec,
     machine: &MachineSpec,
 ) -> Result<Vec<PhaseAccounting>, WorkflowError> {
-    let config = cache_config_of(machine)?;
+    account_phases_at(app, machine, cache_config_of(machine)?)
+}
+
+/// [`account_phases`] against an explicit cache geometry instead of the
+/// machine's declared one — the building block of per-level hierarchy
+/// accounting, where the same app is modeled once per cache level.
+pub fn account_phases_at(
+    app: &AppSpec,
+    machine: &MachineSpec,
+    config: CacheConfig,
+) -> Result<Vec<PhaseAccounting>, WorkflowError> {
     let mm = machine_model_of(machine);
     let mut phases = Vec::new();
 
@@ -444,6 +454,165 @@ pub fn evaluate_timed(
         .collect())
 }
 
+/// Per-level access accounting for a multi-level cache hierarchy.
+///
+/// `below_level[i]` is the modeled traffic that *misses* cache level `i`
+/// (level 0 is the L1) — equivalently, the accesses arriving at the
+/// storage underneath it: the next cache level for `i < n-1`, main memory
+/// for the last level. Each entry is the CGPMAC evaluation of the whole
+/// app at that level's geometry; with a single level this is exactly the
+/// paper's `N_ha` (the paper models the LLC only, §III-C).
+///
+/// The independence approximation — level `i`'s misses computed as if it
+/// were the only cache — matches simulation for inclusive-style LRU
+/// stacks where a bigger cache's hits are a superset of a smaller one's;
+/// DESIGN.md §12 documents where it breaks (exclusive victim levels,
+/// prefetching).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchyAccounting {
+    /// One [`AccessAccounting`] per cache level, top (L1) first.
+    pub below_level: Vec<AccessAccounting>,
+}
+
+impl HierarchyAccounting {
+    /// Modeled execution time: the last level governs DRAM traffic, so
+    /// its roofline estimate is the hierarchy's (matching the paper's
+    /// LLC-only time model).
+    pub fn time_s(&self) -> f64 {
+        self.below_level.last().map(|a| a.time_s).unwrap_or(0.0)
+    }
+}
+
+/// Model `app` once per level of `hierarchy` (paper CGPMAC stage at each
+/// geometry), yielding traffic-below-level counts for per-level DVF.
+pub fn account_hierarchy(
+    app: &AppSpec,
+    machine: &MachineSpec,
+    hierarchy: &HierarchyConfig,
+) -> Result<HierarchyAccounting, WorkflowError> {
+    let below_level = hierarchy
+        .levels()
+        .iter()
+        .map(|spec| {
+            let phases = account_phases_at(app, machine, spec.cache)?;
+            let n_ha = app
+                .datas
+                .iter()
+                .map(|d| {
+                    let total: f64 = phases.iter().filter_map(|p| p.of(&d.name)).sum();
+                    (d.name.clone(), total)
+                })
+                .collect();
+            Ok(AccessAccounting {
+                n_ha,
+                time_s: phases.iter().map(|p| p.time_s).sum(),
+            })
+        })
+        .collect::<Result<Vec<_>, WorkflowError>>()?;
+    Ok(HierarchyAccounting { below_level })
+}
+
+/// DVF with per-level exposure splits: the input to Table VII-style
+/// "which storage should ECC protect?" studies.
+///
+/// Every access that leaves cache level `i` touches the storage below it,
+/// so a structure's vulnerable-access count with a given protection
+/// choice is the sum of its exposures into the *unprotected* storages.
+/// With one cache level and no protection this is exactly the paper's
+/// `DVF_d = N_error · N_ha`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchyDvf {
+    /// Application name.
+    pub app: String,
+    /// Failure rate of the machine (explicit `fit` or ECC-scheme rate).
+    pub fit: FitRate,
+    /// Modeled execution time in seconds.
+    pub time_s: f64,
+    /// Names of the storages below each cache level, top first:
+    /// `"L2", …, "Ln", "memory"` (a single-level hierarchy has just
+    /// `"memory"`).
+    pub storages: Vec<String>,
+    /// `(structure name, size in bytes, per-storage exposures)` in
+    /// declaration order; `exposures[i]` pairs with `storages[i]`.
+    pub exposures: Vec<(String, u64, Vec<f64>)>,
+}
+
+impl HierarchyDvf {
+    /// `DVF_d` for one structure with ECC protecting the named storages
+    /// (empty slice = nothing protected, the paper's default stance for
+    /// its unprotected-memory scenario).
+    pub fn dvf_of(&self, name: &str, protected: &[&str]) -> Option<f64> {
+        let (_, size, exposures) = self.exposures.iter().find(|(n, _, _)| n == name)?;
+        let ne = crate::dvf::n_error(self.fit, self.time_s, *size);
+        let vulnerable: f64 = self
+            .storages
+            .iter()
+            .zip(exposures)
+            .filter(|(s, _)| !protected.contains(&s.as_str()))
+            .map(|(_, e)| e)
+            .sum();
+        Some(ne * vulnerable)
+    }
+
+    /// Application-level DVF (sum over structures, paper eq. 6) under a
+    /// protection choice.
+    pub fn dvf_app(&self, protected: &[&str]) -> f64 {
+        self.exposures
+            .iter()
+            .filter_map(|(name, _, _)| self.dvf_of(name, protected))
+            .sum()
+    }
+
+    /// The protect-which-level study: app-level DVF with nothing
+    /// protected, then with each storage protected alone — the marginal
+    /// value of pointing ECC at each layer.
+    pub fn protect_rows(&self) -> Vec<(String, f64)> {
+        let mut rows = vec![("none".to_owned(), self.dvf_app(&[]))];
+        for storage in &self.storages {
+            rows.push((storage.clone(), self.dvf_app(&[storage.as_str()])));
+        }
+        rows
+    }
+}
+
+/// Full per-level pipeline: hierarchy accounting + exposure-split DVF.
+pub fn evaluate_hierarchy(
+    app: &AppSpec,
+    machine: &MachineSpec,
+    hierarchy: &HierarchyConfig,
+) -> Result<HierarchyDvf, WorkflowError> {
+    let accounting = account_hierarchy(app, machine, hierarchy)?;
+    let n = accounting.below_level.len();
+    let storages = (0..n)
+        .map(|i| {
+            if i + 1 < n {
+                format!("L{}", i + 2)
+            } else {
+                "memory".to_owned()
+            }
+        })
+        .collect();
+    let exposures = app
+        .datas
+        .iter()
+        .map(|d| {
+            let per_storage = accounting
+                .below_level
+                .iter()
+                .map(|acc| acc.of(&d.name).unwrap_or(0.0))
+                .collect();
+            (d.name.clone(), d.size_bytes, per_storage)
+        })
+        .collect();
+    Ok(HierarchyDvf {
+        app: app.name.clone(),
+        fit: fit_of(machine),
+        time_s: accounting.time_s(),
+        storages,
+        exposures,
+    })
+}
+
 /// One-call convenience: parse source, resolve (with parameter overrides),
 /// evaluate. The document must contain exactly one machine and one model,
 /// unless names are given.
@@ -518,6 +687,26 @@ impl DvfWorkflow {
             Ok::<_, WorkflowError>((machine, app))
         })?;
         evaluate(&app, &machine)
+    }
+
+    /// Resolve with `overrides` and run the per-level hierarchy pipeline
+    /// ([`evaluate_hierarchy`]) instead of the classic LLC-only one.
+    pub fn evaluate_hierarchy(
+        &self,
+        overrides: &[(&str, f64)],
+        hierarchy: &HierarchyConfig,
+    ) -> Result<HierarchyDvf, WorkflowError> {
+        let _workflow = dvf_obs::span("workflow");
+        let (machine, app) = dvf_obs::span_scope("resolve", || {
+            let mut resolver = Resolver::new(&self.doc);
+            for (k, v) in overrides {
+                resolver = resolver.set_param(k, *v);
+            }
+            let machine = resolver.machine(self.machine_name.as_deref())?;
+            let app = resolver.model(self.model_name.as_deref())?;
+            Ok::<_, WorkflowError>((machine, app))
+        })?;
+        evaluate_hierarchy(&app, &machine, hierarchy)
     }
 
     /// Sweep one parameter over `values` in parallel, preserving order.
@@ -813,6 +1002,71 @@ mod tests {
         let err = evaluate_source("model {", None, None, &[]).unwrap_err();
         assert!(matches!(err, WorkflowError::Language(_)));
         assert!(err.to_string().contains("language error"));
+    }
+
+    fn two_level_hierarchy_for(machine: &MachineSpec) -> HierarchyConfig {
+        // A quarter-size L1 with the machine's declared cache as the LLC.
+        let llc = cache_config_of(machine).unwrap();
+        let l1 =
+            CacheConfig::new(llc.associativity, (llc.num_sets / 4).max(1), llc.line_bytes).unwrap();
+        HierarchyConfig::two_level(l1, llc).unwrap()
+    }
+
+    #[test]
+    fn single_level_hierarchy_matches_classic_evaluation() {
+        let doc = dvf_aspen::parse(VM_SOURCE).unwrap();
+        let r = Resolver::new(&doc);
+        let app = r.model(None).unwrap();
+        let machine = r.machine(None).unwrap();
+        let llc = cache_config_of(&machine).unwrap();
+        let hier = HierarchyConfig::new(vec![dvf_cachesim::LevelSpec::new(llc)]).unwrap();
+        let split = evaluate_hierarchy(&app, &machine, &hier).unwrap();
+        let classic = evaluate(&app, &machine).unwrap();
+        // One level → one storage ("memory"); unprotected DVF is the
+        // paper's DVF, and protecting memory zeroes it.
+        assert_eq!(split.storages, vec!["memory".to_owned()]);
+        for (name, _, _) in &split.exposures {
+            let a = split.dvf_of(name, &[]).unwrap();
+            let b = classic.dvf_of(name).unwrap();
+            assert!((a - b).abs() <= 1e-12 * b.abs(), "{name}: {a} vs {b}");
+        }
+        assert_eq!(split.dvf_app(&["memory"]), 0.0);
+    }
+
+    #[test]
+    fn hierarchy_exposures_shrink_down_the_stack() {
+        let src = r#"
+            machine m { cache { associativity = 4 sets = 256 line = 32 } }
+            model app {
+              data A { size = 512 * KiB  element = 8 }
+              data p { size = 4 * KiB  element = 8 }
+              kernel iter {
+                access A as streaming()
+                access p as reuse(reuses = 100)
+              }
+            }
+        "#;
+        let doc = dvf_aspen::parse(src).unwrap();
+        let r = Resolver::new(&doc);
+        let app = r.model(None).unwrap();
+        let machine = r.machine(None).unwrap();
+        let hier = two_level_hierarchy_for(&machine);
+        let acc = account_hierarchy(&app, &machine, &hier).unwrap();
+        assert_eq!(acc.below_level.len(), 2);
+        // The reused structure benefits from the bigger level: traffic
+        // into memory must not exceed traffic into the L2.
+        let into_l2 = acc.below_level[0].of("p").unwrap();
+        let into_mem = acc.below_level[1].of("p").unwrap();
+        assert!(into_mem <= into_l2, "{into_mem} > {into_l2}");
+        // Protect-which-level rows: none ≥ any single protection, and
+        // protecting the busier storage helps at least as much.
+        let split = evaluate_hierarchy(&app, &machine, &hier).unwrap();
+        let rows = split.protect_rows();
+        assert_eq!(rows[0].0, "none");
+        assert_eq!(rows.len(), 3);
+        for (label, dvf) in &rows[1..] {
+            assert!(*dvf <= rows[0].1, "protecting {label} increased DVF");
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `diffcheck` — run the differential oracle grid and report agreement.
 //!
 //! ```text
-//! diffcheck [--smoke] [--json] [--fused] [--seed N]
+//! diffcheck [--smoke] [--json] [--fused] [--hierarchy] [--seed N]
 //! ```
 //!
 //! * `--smoke` — reduced grid (first two problem sizes per pattern,
@@ -11,18 +11,24 @@
 //! * `--fused` — stream each workload straight from the recorder into
 //!   the geometry simulators (no trace materialization); bit-identical
 //!   results to the default buffered replay.
+//! * `--hierarchy` — run the multi-level hierarchy oracle instead:
+//!   the engine versus an independent reference model at zero
+//!   tolerance, over stacks of every inclusion policy, LRU and FIFO,
+//!   with and without prefetchers, plus closed-form rows
+//!   (`dvf-difftest-hierarchy/1` under `--json`).
 //! * `--seed N` — base seed for workload generation (default 1).
 //!
 //! Exits 1 if any grid point disagrees beyond its model's tolerance.
 
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: diffcheck [--smoke] [--json] [--fused] [--seed N]";
+const USAGE: &str = "usage: diffcheck [--smoke] [--json] [--fused] [--hierarchy] [--seed N]";
 
 fn main() -> ExitCode {
     let mut smoke = false;
     let mut json = false;
     let mut fused = false;
+    let mut hierarchy = false;
     let mut seed: u64 = 1;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -30,6 +36,7 @@ fn main() -> ExitCode {
             "--smoke" => smoke = true,
             "--json" => json = true,
             "--fused" => fused = true,
+            "--hierarchy" => hierarchy = true,
             "--seed" => {
                 let Some(v) = args.next().and_then(|s| s.parse().ok()) else {
                     eprintln!("--seed needs an unsigned integer\n{USAGE}");
@@ -46,6 +53,32 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if hierarchy {
+        if fused {
+            eprintln!("--hierarchy has no fused mode (it replays in-memory traces)\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+        let report = dvf_difftest::run_hierarchy_grid(seed, smoke);
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            print!("{}", report.render_text());
+        }
+        let failures = report.failures();
+        if failures.is_empty() {
+            return ExitCode::SUCCESS;
+        }
+        if json {
+            for p in &failures {
+                eprintln!(
+                    "FAIL {} {} {}: expected {} got {}",
+                    p.workload, p.stack, p.quantity, p.expected, p.actual
+                );
+            }
+        }
+        return ExitCode::FAILURE;
     }
 
     let report = if fused {

@@ -1,0 +1,1062 @@
+//! Differential oracle for the multi-level cache hierarchy.
+//!
+//! The CGPMAC oracle (`crate::oracle`) checks the simulator against
+//! *closed forms*, which only exist for single-level LRU. The hierarchy
+//! has no closed form for arbitrary stacks, so this module checks it
+//! against an **independent reference model**: a deliberately naive
+//! re-implementation of the same write-back semantics over
+//! `Vec`-of-lines sets with monotonic recency counters — no flat
+//! struct-of-arrays layout, no packed tag words, no rank permutations,
+//! no bit-scans. The two implementations share nothing but the
+//! specification:
+//!
+//! * demand misses walk down until a level holds the line; every level
+//!   on the way observes one line-sized read;
+//! * victim writebacks are **write-no-fill**: a dirty victim offered to
+//!   a non-exclusive lower level updates a resident copy in place or is
+//!   forwarded down, never allocating (the accounting bug this PR
+//!   fixes);
+//! * fills happen before victim routing (fill-before-writeback order);
+//! * exclusive levels extract on hit and allocate victims, clean and
+//!   dirty alike;
+//! * inclusive evictions back-invalidate the levels above, folding an
+//!   upper dirty copy into the one downstream writeback;
+//! * prefetch fills are tagged: sourced by probes (never perturbing
+//!   lower-level recency), charged to a separate DRAM pool, invisible
+//!   in demand hit/miss statistics.
+//!
+//! Agreement is **exact** (tolerance zero): every compared quantity —
+//! per-level hits, misses and writebacks, per-data-structure DRAM reads
+//! and writes, prefetch counters — must match bit-for-bit over seeded
+//! mixed read/write workloads across two- and three-level stacks of
+//! every inclusion policy. The reference model implements LRU and FIFO,
+//! the two policies whose abstract state (recency order, fill order) is
+//! specified independently of the engine's data layout; PLRU and random
+//! stacks are exercised by the engine's own unit and property tests
+//! instead, since replicating them would mean mirroring internals, not
+//! checking a specification.
+//!
+//! A handful of arithmetic closed-form rows ride along where hand
+//! analysis *is* possible: streaming reads and writes through a small
+//! stack, a sequential-stream prefetcher (one demand miss, every other
+//! line prefetched, one overshoot), and the headline writeback pin — a
+//! dirty eviction must cost exactly one DRAM write and zero extra DRAM
+//! reads, which the old read-allocating writeback path got wrong.
+
+use crate::rng::SplitMix64;
+use dvf_cachesim::{
+    simulate_hierarchy_config, AccessKind, CacheConfig, CacheGeometry, CacheStats, DsId,
+    HierarchyConfig, HierarchyReport, InclusionPolicy, LevelSpec, MemRef, PolicyKind, Trace,
+    Victim, MAX_PREFETCH_DEGREE,
+};
+use dvf_obs::JsonWriter;
+
+/// JSON schema identifier for [`HierarchyGridReport::to_json`].
+pub const JSON_SCHEMA: &str = "dvf-difftest-hierarchy/1";
+
+// ---------------------------------------------------------------------------
+// Reference cache: one set = Vec of lines, recency = monotonic counter.
+// ---------------------------------------------------------------------------
+
+/// Replacement policies the reference model can replicate exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RefPolicy {
+    Lru,
+    Fifo,
+}
+
+impl RefPolicy {
+    fn of(kind: PolicyKind) -> Self {
+        match kind {
+            PolicyKind::Lru => RefPolicy::Lru,
+            PolicyKind::Fifo => RefPolicy::Fifo,
+            other => panic!("reference model does not replicate {other:?}"),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RefLine {
+    tag: u64,
+    owner: DsId,
+    dirty: bool,
+    /// Monotonic stamp: LRU bumps it on hit and fill, FIFO only on
+    /// fill. The victim is always the minimum-stamp line.
+    rank: u64,
+}
+
+/// Naive set-associative cache with the same observable semantics as
+/// `dvf_cachesim::SetAssociativeCache` under LRU or FIFO.
+///
+/// Physical way order is mirrored too — fills append to the occupied
+/// prefix or replace the evicted way in place, and invalidation
+/// swap-removes with the last occupied way — so even order-sensitive
+/// outputs like `drain_dirty` (which walks ways in slot order) agree.
+#[derive(Debug, Clone)]
+struct RefCache {
+    geom: CacheGeometry,
+    assoc: usize,
+    policy: RefPolicy,
+    sets: Vec<Vec<RefLine>>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl RefCache {
+    fn new(config: CacheConfig, policy: RefPolicy) -> Self {
+        Self {
+            geom: config.geometry(),
+            assoc: config.associativity,
+            policy,
+            sets: vec![Vec::new(); config.num_sets],
+            clock: 0,
+            stats: CacheStats::new(),
+        }
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn locate(&self, addr: u64) -> (usize, u64, Option<usize>) {
+        let block = self.geom.block_of(addr);
+        let set_idx = self.geom.set_of(block);
+        let tag = self.geom.tag_of(block);
+        let pos = self.sets[set_idx].iter().position(|l| l.tag == tag);
+        (set_idx, tag, pos)
+    }
+
+    /// Fill `tag` into `set_idx`, evicting the minimum-stamp line if the
+    /// set is full (charging the victim's writeback to its owner).
+    fn fill(&mut self, set_idx: usize, tag: u64, owner: DsId, dirty: bool) -> Option<Victim> {
+        let rank = self.bump();
+        let set = &mut self.sets[set_idx];
+        if set.len() < self.assoc {
+            set.push(RefLine {
+                tag,
+                owner,
+                dirty,
+                rank,
+            });
+            return None;
+        }
+        let pos = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.rank)
+            .map(|(i, _)| i)
+            .expect("full set is non-empty");
+        let old = &set[pos];
+        let victim = Victim {
+            owner: old.owner,
+            addr: self.geom.addr_of(old.tag, set_idx),
+            dirty: old.dirty,
+        };
+        set[pos] = RefLine {
+            tag,
+            owner,
+            dirty,
+            rank,
+        };
+        if victim.dirty {
+            self.stats.ds_mut(victim.owner).writebacks += 1;
+        }
+        Some(victim)
+    }
+
+    /// One demand reference: `(hit, victim)`.
+    fn demand_access(&mut self, r: MemRef) -> (bool, Option<Victim>) {
+        let is_write = r.kind == AccessKind::Write;
+        let ds = self.stats.ds_mut(r.ds);
+        if is_write {
+            ds.writes += 1;
+        } else {
+            ds.reads += 1;
+        }
+        let (set_idx, tag, pos) = self.locate(r.addr);
+        if let Some(pos) = pos {
+            self.stats.ds_mut(r.ds).hits += 1;
+            if is_write {
+                self.sets[set_idx][pos].dirty = true;
+            }
+            if self.policy == RefPolicy::Lru {
+                let rank = self.bump();
+                self.sets[set_idx][pos].rank = rank;
+            }
+            return (true, None);
+        }
+        self.stats.ds_mut(r.ds).misses += 1;
+        let victim = self.fill(set_idx, tag, r.ds, is_write);
+        (false, victim)
+    }
+
+    /// Demand lookup without fill, extracting on hit (exclusive levels).
+    fn lookup_extract(&mut self, r: MemRef) -> Option<bool> {
+        let ds = self.stats.ds_mut(r.ds);
+        if r.kind == AccessKind::Write {
+            ds.writes += 1;
+        } else {
+            ds.reads += 1;
+        }
+        let (set_idx, _, pos) = self.locate(r.addr);
+        match pos {
+            Some(pos) => {
+                self.stats.ds_mut(r.ds).hits += 1;
+                let line = self.sets[set_idx].swap_remove(pos);
+                Some(line.dirty)
+            }
+            None => {
+                self.stats.ds_mut(r.ds).misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Write-no-fill: update a resident copy in place, else refuse.
+    fn absorb_writeback(&mut self, addr: u64) -> bool {
+        let (set_idx, _, pos) = self.locate(addr);
+        match pos {
+            Some(pos) => {
+                self.sets[set_idx][pos].dirty = true;
+                if self.policy == RefPolicy::Lru {
+                    let rank = self.bump();
+                    self.sets[set_idx][pos].rank = rank;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Allocate without a memory read (exclusive victim fills, prefetch).
+    fn install(&mut self, owner: DsId, addr: u64, dirty: bool) -> Option<Victim> {
+        let (set_idx, tag, pos) = self.locate(addr);
+        if let Some(pos) = pos {
+            if dirty {
+                self.sets[set_idx][pos].dirty = true;
+            }
+            if self.policy == RefPolicy::Lru {
+                let rank = self.bump();
+                self.sets[set_idx][pos].rank = rank;
+            }
+            return None;
+        }
+        self.fill(set_idx, tag, owner, dirty)
+    }
+
+    fn probe(&self, addr: u64) -> bool {
+        self.locate(addr).2.is_some()
+    }
+
+    fn mark_dirty(&mut self, addr: u64) -> bool {
+        let (set_idx, _, pos) = self.locate(addr);
+        match pos {
+            Some(pos) => {
+                self.sets[set_idx][pos].dirty = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn invalidate(&mut self, addr: u64) -> Option<Victim> {
+        let (set_idx, _, pos) = self.locate(addr);
+        pos.map(|pos| {
+            let line = self.sets[set_idx].swap_remove(pos);
+            Victim {
+                owner: line.owner,
+                addr: self.geom.addr_of(line.tag, set_idx),
+                dirty: line.dirty,
+            }
+        })
+    }
+
+    /// Flush everything, returning dirty lines in slot order and
+    /// charging their writebacks (mirrors `drain_dirty`).
+    fn drain_dirty(&mut self) -> Vec<Victim> {
+        let mut out = Vec::new();
+        for set_idx in 0..self.sets.len() {
+            let set = std::mem::take(&mut self.sets[set_idx]);
+            for line in set {
+                if line.dirty {
+                    self.stats.ds_mut(line.owner).writebacks += 1;
+                    out.push(Victim {
+                        owner: line.owner,
+                        addr: self.geom.addr_of(line.tag, set_idx),
+                        dirty: true,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference prefetcher and hierarchy walk.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, Default)]
+struct RefStream {
+    last_block: i64,
+    last_delta: i64,
+    primed: bool,
+}
+
+/// Next-line + constant-stride predictor, re-derived from its spec: two
+/// consecutive equal non-zero deltas lock a stride, anything else
+/// degrades to next-line; streams are tracked per data structure.
+#[derive(Debug, Clone, Default)]
+struct RefPrefetcher {
+    degree: usize,
+    streams: Vec<RefStream>,
+    issued: u64,
+    redundant: u64,
+    filled: u64,
+    dram_reads: u64,
+}
+
+impl RefPrefetcher {
+    fn advance(&mut self, ds: usize, block: i64) -> Vec<i64> {
+        if self.streams.len() <= ds {
+            self.streams.resize(ds + 1, RefStream::default());
+        }
+        let s = &mut self.streams[ds];
+        let step = if s.primed {
+            let delta = block - s.last_block;
+            let locked = delta != 0 && delta == s.last_delta;
+            s.last_delta = delta;
+            if locked {
+                delta
+            } else {
+                1
+            }
+        } else {
+            s.primed = true;
+            1
+        };
+        s.last_block = block;
+        (1..=self.degree as i64)
+            .map(|k| block + step * k)
+            .filter(|&c| c >= 0)
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RefLevel {
+    cache: RefCache,
+    inclusion: InclusionPolicy,
+    line_bytes: u64,
+    line_shift: u32,
+    prefetcher: Option<RefPrefetcher>,
+}
+
+/// The reference hierarchy: same walk specification, independent engine.
+#[derive(Debug)]
+struct RefHierarchy {
+    levels: Vec<RefLevel>,
+    dram: CacheStats,
+    dram_prefetch: CacheStats,
+}
+
+impl RefHierarchy {
+    fn new(config: &HierarchyConfig) -> Self {
+        let levels = config
+            .levels()
+            .iter()
+            .map(|spec| RefLevel {
+                cache: RefCache::new(spec.cache, RefPolicy::of(spec.policy)),
+                inclusion: spec.inclusion,
+                line_bytes: spec.cache.line_bytes as u64,
+                line_shift: (spec.cache.line_bytes as u64).trailing_zeros(),
+                prefetcher: (spec.prefetch_degree > 0).then(|| RefPrefetcher {
+                    degree: spec.prefetch_degree.min(MAX_PREFETCH_DEGREE),
+                    ..RefPrefetcher::default()
+                }),
+            })
+            .collect();
+        Self {
+            levels,
+            dram: CacheStats::new(),
+            dram_prefetch: CacheStats::new(),
+        }
+    }
+
+    fn access(&mut self, mref: MemRef) {
+        let n = self.levels.len();
+        let (hit0, victim0) = self.levels[0].cache.demand_access(mref);
+        let mut hit_level = if hit0 { 0 } else { n };
+        let mut pending: Vec<(usize, Victim)> = Vec::new();
+        if let Some(v) = victim0 {
+            pending.push((0, v));
+        }
+        if !hit0 {
+            let mut extracted_dirty = false;
+            for i in 1..n {
+                let lower = MemRef::new(mref.ds, mref.addr, AccessKind::Read);
+                if self.levels[i].inclusion == InclusionPolicy::Exclusive {
+                    if let Some(dirty) = self.levels[i].cache.lookup_extract(lower) {
+                        extracted_dirty |= dirty;
+                        hit_level = i;
+                        break;
+                    }
+                } else {
+                    let (hit, victim) = self.levels[i].cache.demand_access(lower);
+                    if let Some(v) = victim {
+                        pending.push((i, v));
+                    }
+                    if hit {
+                        hit_level = i;
+                        break;
+                    }
+                }
+            }
+            if hit_level == n {
+                self.dram.ds_mut(mref.ds).misses += 1;
+            }
+            if extracted_dirty {
+                self.levels[0].cache.mark_dirty(mref.addr);
+            }
+            for (i, v) in pending {
+                self.push_victim(i, v);
+            }
+        }
+        for i in 0..=hit_level.min(n - 1) {
+            if self.levels[i].prefetcher.is_some() {
+                self.issue_prefetches(i, mref.ds, mref.addr);
+            }
+        }
+    }
+
+    fn push_victim(&mut self, from: usize, victim: Victim) {
+        let mut v = victim;
+        if self.levels[from].inclusion == InclusionPolicy::Inclusive
+            && from > 0
+            && self.invalidate_above(from, v.addr)
+        {
+            v.dirty = true;
+        }
+        let n = self.levels.len();
+        let mut j = from + 1;
+        while j < n {
+            if self.levels[j].inclusion == InclusionPolicy::Exclusive {
+                match self.levels[j].cache.install(v.owner, v.addr, v.dirty) {
+                    None => return,
+                    Some(next) => {
+                        v = next;
+                        j += 1;
+                    }
+                }
+            } else {
+                if !v.dirty {
+                    return;
+                }
+                if self.levels[j].cache.absorb_writeback(v.addr) {
+                    return;
+                }
+                j += 1;
+            }
+        }
+        if v.dirty {
+            self.dram.ds_mut(v.owner).writebacks += 1;
+        }
+    }
+
+    fn invalidate_above(&mut self, j: usize, addr: u64) -> bool {
+        let line_j = self.levels[j].line_bytes;
+        let mut dirty = false;
+        for i in 0..j {
+            let line_i = self.levels[i].line_bytes;
+            let mut a = addr;
+            while a < addr + line_j {
+                if let Some(v) = self.levels[i].cache.invalidate(a) {
+                    dirty |= v.dirty;
+                }
+                a += line_i;
+            }
+        }
+        dirty
+    }
+
+    fn issue_prefetches(&mut self, i: usize, ds: DsId, addr: u64) {
+        let shift = self.levels[i].line_shift;
+        let block = (addr >> shift) as i64;
+        let pf = self.levels[i].prefetcher.as_mut().expect("caller checked");
+        let cands = pf.advance(ds.index(), block);
+        for cand in cands {
+            let paddr = (cand as u64) << shift;
+            self.levels[i].prefetcher.as_mut().expect("present").issued += 1;
+            if self.levels[i].cache.probe(paddr) {
+                self.levels[i]
+                    .prefetcher
+                    .as_mut()
+                    .expect("present")
+                    .redundant += 1;
+                continue;
+            }
+            let from_below = (i + 1..self.levels.len()).any(|j| self.levels[j].cache.probe(paddr));
+            if !from_below {
+                self.dram_prefetch.ds_mut(ds).misses += 1;
+                self.levels[i]
+                    .prefetcher
+                    .as_mut()
+                    .expect("present")
+                    .dram_reads += 1;
+            }
+            self.levels[i].prefetcher.as_mut().expect("present").filled += 1;
+            if let Some(v) = self.levels[i].cache.install(ds, paddr, false) {
+                self.push_victim(i, v);
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        for i in 0..self.levels.len() {
+            let drained = self.levels[i].cache.drain_dirty();
+            for v in drained {
+                self.push_victim(i, v);
+            }
+        }
+    }
+
+    /// Replay a trace, flush, and expose the counters for comparison.
+    fn run(config: &HierarchyConfig, trace: &Trace) -> RefOutcome {
+        let mut h = RefHierarchy::new(config);
+        for &r in &trace.refs {
+            h.access(r);
+        }
+        h.flush();
+        RefOutcome {
+            levels: h
+                .levels
+                .into_iter()
+                .map(|l| {
+                    let pf = l.prefetcher.unwrap_or_default();
+                    (
+                        l.cache.stats,
+                        [pf.issued, pf.redundant, pf.filled, pf.dram_reads],
+                    )
+                })
+                .collect(),
+            dram: h.dram,
+            dram_prefetch: h.dram_prefetch,
+        }
+    }
+}
+
+/// Counters of one reference-model run.
+struct RefOutcome {
+    /// Per level: demand stats plus `[issued, redundant, filled,
+    /// dram_reads]` prefetch counters.
+    levels: Vec<(CacheStats, [u64; 4])>,
+    dram: CacheStats,
+    dram_prefetch: CacheStats,
+}
+
+// ---------------------------------------------------------------------------
+// Grid: stacks × workloads, compared quantity by quantity.
+// ---------------------------------------------------------------------------
+
+/// One compared quantity of one (workload, stack) case.
+#[derive(Debug, Clone)]
+pub struct HierarchyPoint {
+    /// Workload name (`mixed`, `write-storm`, `stream-reads`, ...).
+    pub workload: &'static str,
+    /// Stack label, e.g. `2w8s32B:lru:nine+4w32s32B:lru:nine`.
+    pub stack: String,
+    /// Quantity name, e.g. `L2.misses` or `dram.writes.A`.
+    pub quantity: String,
+    /// Reference-model (or closed-form) value.
+    pub expected: u64,
+    /// Engine value.
+    pub actual: u64,
+}
+
+impl HierarchyPoint {
+    /// Agreement is exact: the oracle tolerates no drift.
+    pub fn pass(&self) -> bool {
+        self.expected == self.actual
+    }
+}
+
+/// Full hierarchy-oracle run.
+#[derive(Debug, Clone)]
+pub struct HierarchyGridReport {
+    /// Base seed the workloads derived from.
+    pub seed: u64,
+    /// Whether the reduced smoke grid ran.
+    pub smoke: bool,
+    /// Every compared quantity.
+    pub points: Vec<HierarchyPoint>,
+}
+
+impl HierarchyGridReport {
+    /// Points that disagreed.
+    pub fn failures(&self) -> Vec<&HierarchyPoint> {
+        self.points.iter().filter(|p| !p.pass()).collect()
+    }
+
+    /// Fixed-width table, one row per compared quantity.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<12} {:<46} {:<18} {:>12} {:>12}  status",
+            "workload", "stack", "quantity", "expected", "actual"
+        );
+        for p in &self.points {
+            let _ = writeln!(
+                out,
+                "{:<12} {:<46} {:<18} {:>12} {:>12}  {}",
+                p.workload,
+                p.stack,
+                p.quantity,
+                p.expected,
+                p.actual,
+                if p.pass() { "ok" } else { "FAIL" }
+            );
+        }
+        let failed = self.failures().len();
+        let _ = writeln!(
+            out,
+            "{} points, {} failed (exact agreement required)",
+            self.points.len(),
+            failed
+        );
+        out
+    }
+
+    /// Machine-readable form (schema [`JSON_SCHEMA`]).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("schema").string(JSON_SCHEMA);
+        w.key("seed").u64(self.seed);
+        w.key("smoke").bool(self.smoke);
+        w.key("points").begin_array();
+        for p in &self.points {
+            w.begin_object();
+            w.key("workload").string(p.workload);
+            w.key("stack").string(&p.stack);
+            w.key("quantity").string(&p.quantity);
+            w.key("expected").u64(p.expected);
+            w.key("actual").u64(p.actual);
+            w.key("pass").bool(p.pass());
+            w.end_object();
+        }
+        w.end_array();
+        w.key("summary").begin_object();
+        w.key("points").u64(self.points.len() as u64);
+        w.key("failed").u64(self.failures().len() as u64);
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
+}
+
+fn cfg(assoc: usize, sets: usize, line: usize) -> CacheConfig {
+    CacheConfig::new(assoc, sets, line).expect("grid geometry is valid")
+}
+
+fn spec(
+    config: CacheConfig,
+    policy: PolicyKind,
+    inclusion: InclusionPolicy,
+    prefetch: usize,
+) -> LevelSpec {
+    LevelSpec::new(config)
+        .with_policy(policy)
+        .with_inclusion(inclusion)
+        .with_prefetch(prefetch)
+}
+
+/// The stacks the reference model is diffed against. Small geometries
+/// (hundreds of bytes to a few KiB) keep runs fast while forcing heavy
+/// eviction traffic; every inclusion policy, both replicable
+/// replacement policies, two- and three-level depths, mixed line sizes
+/// and prefetchers at both depths are covered.
+fn grid_stacks(smoke: bool) -> Vec<HierarchyConfig> {
+    use InclusionPolicy::{Exclusive, Inclusive, Nine};
+    use PolicyKind::{Fifo, Lru};
+    let l1 = cfg(2, 8, 32); // 512 B
+    let l2 = cfg(4, 32, 32); // 4 KiB
+    let l3 = cfg(8, 64, 32); // 16 KiB
+    let mut stacks = vec![
+        vec![spec(l1, Lru, Nine, 0), spec(l2, Lru, Nine, 0)],
+        vec![spec(l1, Lru, Nine, 0), spec(l2, Lru, Inclusive, 0)],
+        vec![spec(l1, Lru, Nine, 0), spec(l2, Lru, Exclusive, 0)],
+        vec![spec(l1, Fifo, Nine, 0), spec(l2, Fifo, Nine, 0)],
+    ];
+    if !smoke {
+        stacks.extend([
+            vec![spec(l1, Fifo, Nine, 0), spec(l2, Lru, Inclusive, 0)],
+            // Mixed line sizes: back-invalidation splits one L2 line
+            // into two L1 sub-lines.
+            vec![
+                spec(l1, Lru, Nine, 0),
+                spec(cfg(4, 16, 64), Lru, Inclusive, 0),
+            ],
+            // Prefetch at the top and at the bottom of a two-level stack.
+            vec![spec(l1, Lru, Nine, 2), spec(l2, Lru, Nine, 0)],
+            vec![spec(l1, Lru, Nine, 0), spec(l2, Lru, Nine, 1)],
+            vec![
+                spec(l1, Lru, Nine, 0),
+                spec(l2, Lru, Inclusive, 0),
+                spec(l3, Lru, Inclusive, 0),
+            ],
+            vec![
+                spec(l1, Lru, Nine, 0),
+                spec(l2, Fifo, Nine, 1),
+                spec(l3, Lru, Exclusive, 0),
+            ],
+        ]);
+    }
+    stacks
+        .into_iter()
+        .map(|levels| HierarchyConfig::new(levels).expect("grid stacks are valid"))
+        .collect()
+}
+
+/// Seeded mixed read/write trace over two data structures.
+///
+/// Interleaves short sequential runs (which train the stride prefetcher
+/// and produce hits) with uniform jumps over a footprint several times
+/// the largest stack (which produce misses and dirty evictions).
+fn mixed_trace(seed: u64, refs: usize, write_pct: usize) -> Trace {
+    let mut rng = SplitMix64::new(seed);
+    let mut trace = Trace::new();
+    let a = trace.registry.register("A");
+    let b = trace.registry.register("B");
+    // 2048 32-byte blocks per structure = 64 KiB footprint each, 4x the
+    // largest grid stack.
+    const BLOCKS: usize = 2048;
+    const LINE: u64 = 32;
+    let mut cursor = [0usize; 2];
+    let mut i = 0;
+    while i < refs {
+        let ds_idx = rng.below(2);
+        let ds = if ds_idx == 0 { a } else { b };
+        let base = (ds_idx as u64) << 32;
+        let run = 1 + rng.below(6);
+        if rng.below(4) == 0 {
+            cursor[ds_idx] = rng.below(BLOCKS);
+        }
+        for _ in 0..run {
+            if i >= refs {
+                break;
+            }
+            let addr = base + (cursor[ds_idx] as u64) * LINE + rng.below(LINE as usize) as u64;
+            let kind = if rng.below(100) < write_pct {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            trace.push(MemRef::new(ds, addr, kind));
+            cursor[ds_idx] = (cursor[ds_idx] + 1) % BLOCKS;
+            i += 1;
+        }
+    }
+    trace
+}
+
+/// Compare engine and reference over one (workload, stack) case,
+/// appending one point per quantity.
+fn diff_case(
+    points: &mut Vec<HierarchyPoint>,
+    workload: &'static str,
+    config: &HierarchyConfig,
+    trace: &Trace,
+) {
+    let engine: HierarchyReport = simulate_hierarchy_config(trace, config);
+    let reference = RefHierarchy::run(config, trace);
+    let stack = config.label();
+    let mut push = |quantity: String, expected: u64, actual: u64| {
+        points.push(HierarchyPoint {
+            workload,
+            stack: stack.clone(),
+            quantity,
+            expected,
+            actual,
+        });
+    };
+    for (i, (level, (ref_stats, ref_pf))) in engine.levels.iter().zip(&reference.levels).enumerate()
+    {
+        let eng = level.stats.total();
+        let refr = ref_stats.total();
+        push(format!("L{}.hits", i + 1), refr.hits, eng.hits);
+        push(format!("L{}.misses", i + 1), refr.misses, eng.misses);
+        push(
+            format!("L{}.writebacks", i + 1),
+            refr.writebacks,
+            eng.writebacks,
+        );
+        if level.prefetch_degree > 0 {
+            push(
+                format!("L{}.pf.issued", i + 1),
+                ref_pf[0],
+                level.prefetch.issued,
+            );
+            push(
+                format!("L{}.pf.redundant", i + 1),
+                ref_pf[1],
+                level.prefetch.redundant,
+            );
+            push(
+                format!("L{}.pf.filled", i + 1),
+                ref_pf[2],
+                level.prefetch.filled,
+            );
+            push(
+                format!("L{}.pf.dram_reads", i + 1),
+                ref_pf[3],
+                level.prefetch.dram_reads,
+            );
+        }
+    }
+    // DRAM traffic per data structure: the quantity DVF consumes, and
+    // where the old writeback path misattributed accesses.
+    for (id, name) in trace.registry.iter() {
+        push(
+            format!("dram.reads.{name}"),
+            reference.dram.ds(id).misses,
+            engine.dram.ds(id).misses,
+        );
+        push(
+            format!("dram.writes.{name}"),
+            reference.dram.ds(id).writebacks,
+            engine.dram.ds(id).writebacks,
+        );
+    }
+    push(
+        "dram.pf.reads".to_string(),
+        reference.dram_prefetch.total().misses,
+        engine.dram_prefetch.total().misses,
+    );
+}
+
+/// Closed-form rows: hand-derivable expectations, checked exactly.
+fn closed_form_points(points: &mut Vec<HierarchyPoint>) {
+    use InclusionPolicy::Nine;
+    use PolicyKind::Lru;
+    let mut push = |workload, stack: String, quantity: &str, expected, actual| {
+        points.push(HierarchyPoint {
+            workload,
+            stack,
+            quantity: quantity.to_string(),
+            expected,
+            actual,
+        });
+    };
+
+    // Streaming reads: every one of `lines` distinct lines costs exactly
+    // one DRAM read; clean evictions cost nothing.
+    let stack = HierarchyConfig::new(vec![
+        spec(cfg(2, 8, 32), Lru, Nine, 0),
+        spec(cfg(4, 32, 32), Lru, Nine, 0),
+    ])
+    .expect("valid");
+    let lines = 512u64;
+    let mut trace = Trace::new();
+    let a = trace.registry.register("A");
+    for i in 0..lines {
+        trace.push(MemRef::read(a, i * 32));
+    }
+    let rep = simulate_hierarchy_config(&trace, &stack);
+    push(
+        "stream-reads",
+        stack.label(),
+        "dram.reads",
+        lines,
+        rep.dram.total().misses,
+    );
+    push(
+        "stream-reads",
+        stack.label(),
+        "dram.writes",
+        0,
+        rep.dram.total().writebacks,
+    );
+
+    // Streaming writes: one write-allocate read plus exactly one
+    // writeback per line once the run flushes — no line is dirtied twice
+    // and none is written back twice.
+    let mut trace = Trace::new();
+    let a = trace.registry.register("A");
+    for i in 0..lines {
+        trace.push(MemRef::write(a, i * 32));
+    }
+    let rep = simulate_hierarchy_config(&trace, &stack);
+    push(
+        "stream-writes",
+        stack.label(),
+        "dram.reads",
+        lines,
+        rep.dram.total().misses,
+    );
+    push(
+        "stream-writes",
+        stack.label(),
+        "dram.writes",
+        lines,
+        rep.dram.total().writebacks,
+    );
+
+    // Sequential stream under an LLC next-line prefetcher: the first
+    // access misses to DRAM, every later line was prefetched, and the
+    // prefetcher overshoots by exactly one line — so `lines` prefetch
+    // reads, one demand read, one LLC demand miss.
+    let pf_stack = HierarchyConfig::new(vec![
+        spec(cfg(1, 4, 32), Lru, Nine, 0),
+        spec(cfg(4, 64, 32), Lru, Nine, 1),
+    ])
+    .expect("valid");
+    let pf_lines = 128u64;
+    let mut trace = Trace::new();
+    let a = trace.registry.register("A");
+    for i in 0..pf_lines {
+        trace.push(MemRef::read(a, i * 32));
+    }
+    let rep = simulate_hierarchy_config(&trace, &pf_stack);
+    push(
+        "stream-pf",
+        pf_stack.label(),
+        "L2.misses",
+        1,
+        rep.levels[1].stats.total().misses,
+    );
+    push(
+        "stream-pf",
+        pf_stack.label(),
+        "dram.reads",
+        1,
+        rep.dram.total().misses,
+    );
+    push(
+        "stream-pf",
+        pf_stack.label(),
+        "dram.pf.reads",
+        pf_lines,
+        rep.dram_prefetch.total().misses,
+    );
+
+    // The headline writeback pin. A one-line L1 forces `W(A0); R(B0)` to
+    // evict dirty A0; write-no-fill means that eviction costs exactly
+    // one DRAM write and *no* DRAM read beyond the two demand fills. The
+    // old read-allocating writeback charged a third, phantom DRAM read
+    // (and a fourth once B0's clean eviction was re-fetched).
+    let pin_stack = HierarchyConfig::new(vec![
+        spec(cfg(1, 1, 32), Lru, Nine, 0),
+        spec(cfg(4, 16, 32), Lru, Nine, 0),
+    ])
+    .expect("valid");
+    let mut trace = Trace::new();
+    let a = trace.registry.register("A");
+    let b = trace.registry.register("B");
+    trace.push(MemRef::write(a, 0));
+    trace.push(MemRef::read(b, 1 << 20));
+    let rep = simulate_hierarchy_config(&trace, &pin_stack);
+    push(
+        "writeback-pin",
+        pin_stack.label(),
+        "dram.reads",
+        2,
+        rep.dram.total().misses,
+    );
+    push(
+        "writeback-pin",
+        pin_stack.label(),
+        "dram.writes.A",
+        1,
+        rep.dram.ds(a).writebacks,
+    );
+    push(
+        "writeback-pin",
+        pin_stack.label(),
+        "dram.writes.B",
+        0,
+        rep.dram.ds(b).writebacks,
+    );
+}
+
+/// Run the hierarchy differential grid.
+///
+/// `smoke` restricts to four two-level stacks and a shorter trace (CI
+/// pull-request budget); the full grid runs ten stacks including
+/// three-level, mixed-line and prefetching shapes. Closed-form rows run
+/// in both modes.
+pub fn run_hierarchy_grid(seed: u64, smoke: bool) -> HierarchyGridReport {
+    let refs = if smoke { 4_000 } else { 20_000 };
+    let stacks = grid_stacks(smoke);
+    let mut points = Vec::new();
+    for (idx, stack) in stacks.iter().enumerate() {
+        let mut mix = SplitMix64::new(seed ^ ((idx as u64 + 1) << 24));
+        let case_seed = mix.next_u64();
+        let mixed = mixed_trace(case_seed, refs, 35);
+        diff_case(&mut points, "mixed", stack, &mixed);
+        // Write-heavy storm: dirty evictions dominate, stressing the
+        // write-no-fill path the headline bugfix corrected.
+        let storm = mixed_trace(case_seed.wrapping_add(1), refs, 80);
+        diff_case(&mut points, "write-storm", stack, &storm);
+    }
+    closed_form_points(&mut points);
+    HierarchyGridReport {
+        seed,
+        smoke,
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_grid_agrees_exactly() {
+        let report = run_hierarchy_grid(0xD1FF_7E57, true);
+        let failures = report.failures();
+        assert!(
+            failures.is_empty(),
+            "hierarchy oracle disagreements:\n{}",
+            report.render_text()
+        );
+        assert!(report.points.len() > 40, "grid unexpectedly small");
+    }
+
+    #[test]
+    fn closed_form_rows_present_and_exact() {
+        let report = run_hierarchy_grid(1, true);
+        let pin: Vec<_> = report
+            .points
+            .iter()
+            .filter(|p| p.workload == "writeback-pin")
+            .collect();
+        assert_eq!(pin.len(), 3);
+        assert!(pin.iter().all(|p| p.pass()), "writeback pin failed");
+        assert!(report.points.iter().any(|p| p.workload == "stream-pf"));
+    }
+
+    #[test]
+    fn reference_model_detects_seeded_divergence() {
+        // Sanity that the oracle has teeth: a deliberately wrong
+        // expectation must fail, not silently pass.
+        let p = HierarchyPoint {
+            workload: "mixed",
+            stack: "x".into(),
+            quantity: "dram.reads.A".into(),
+            expected: 1,
+            actual: 2,
+        };
+        assert!(!p.pass());
+    }
+
+    #[test]
+    fn json_roundtrip_shape() {
+        let report = run_hierarchy_grid(7, true);
+        let json = report.to_json();
+        assert!(json.contains("\"schema\":\"dvf-difftest-hierarchy/1\""));
+        assert!(json.contains("\"failed\":0"));
+    }
+}

@@ -16,10 +16,17 @@
 //! trace decoder were flushed out. See `DESIGN.md` ("Differential
 //! oracle") for the methodology and the tolerance table, and the
 //! `diffcheck` binary for the command-line entry point.
+//!
+//! The multi-level hierarchy has no closed forms to diff against, so
+//! [`hierarchy`] checks it a different way: against an independent
+//! naive reference model at **zero** tolerance, plus a few
+//! hand-derivable closed-form rows (`diffcheck --hierarchy`).
 
+pub mod hierarchy;
 pub mod oracle;
 pub mod rng;
 pub mod workloads;
 
+pub use hierarchy::{run_hierarchy_grid, HierarchyGridReport, HierarchyPoint};
 pub use oracle::{run_grid, run_grid_fused, DiffPoint, GridReport, ReplayMode, JSON_SCHEMA};
 pub use workloads::{ModelPoint, Workload, WorkloadDef};

@@ -36,7 +36,10 @@ pub mod pcg;
 pub mod recorder;
 pub mod vm;
 
-pub use recorder::{record_fanout, Recorder, SimFanout, Tee, TraceSink, TrackedBuffer};
+pub use recorder::{
+    record_fanout, record_hierarchy_fanout, HierarchyFanout, Recorder, SimFanout, Tee, TraceSink,
+    TrackedBuffer,
+};
 
 /// Names, method classes and major data structures of the six kernels —
 /// paper Table II, used by the `table2` reproduction binary.

@@ -15,8 +15,8 @@
 //! finalization phases".
 
 use dvf_cachesim::{
-    AccessKind, AnySimulator, DsId, DsRegistry, MemRef, ReplacementPolicy, SimJob, SimReport,
-    Simulator, Trace,
+    AccessKind, AnySimulator, CacheHierarchy, DsId, DsRegistry, HierarchyConfig, HierarchyReport,
+    MemRef, ReplacementPolicy, SimJob, SimReport, Simulator, Trace,
 };
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -182,6 +182,123 @@ impl TraceSink for SimFanout {
             self.flush_chunk();
         }
     }
+}
+
+impl TraceSink for CacheHierarchy {
+    fn emit(&mut self, r: MemRef) {
+        self.access(r);
+    }
+}
+
+/// [`SimFanout`]'s multi-level sibling: fan a recorded reference stream
+/// across a grid of cache hierarchies, chunked and replayed with scoped
+/// threads, with no trace ever materialized. Reports are bit-identical to
+/// buffering a [`Trace`] and replaying it through
+/// [`dvf_cachesim::simulate_hierarchy_many`].
+#[derive(Debug)]
+pub struct HierarchyFanout {
+    hiers: Vec<CacheHierarchy>,
+    buf: Vec<MemRef>,
+    threads: usize,
+}
+
+impl HierarchyFanout {
+    /// One hierarchy per validated config, with worker threads defaulting
+    /// to `available_parallelism` (capped at the config count).
+    pub fn new(configs: &[HierarchyConfig]) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_threads(configs, threads)
+    }
+
+    /// [`HierarchyFanout::new`] with an explicit worker-thread cap.
+    pub fn with_threads(configs: &[HierarchyConfig], threads: usize) -> Self {
+        Self {
+            hiers: configs
+                .iter()
+                .map(|c| CacheHierarchy::from_config(c.clone()))
+                .collect(),
+            buf: Vec::with_capacity(FANOUT_CHUNK),
+            threads: threads.max(1),
+        }
+    }
+
+    /// Number of hierarchies attached.
+    pub fn len(&self) -> usize {
+        self.hiers.len()
+    }
+
+    /// Whether no hierarchies are attached.
+    pub fn is_empty(&self) -> bool {
+        self.hiers.is_empty()
+    }
+
+    /// Replay the buffered chunk through every hierarchy.
+    fn flush_chunk(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let workers = self.threads.min(self.hiers.len().max(1));
+        if workers <= 1 || self.hiers.len() <= 1 {
+            for h in &mut self.hiers {
+                h.replay(&self.buf);
+            }
+        } else {
+            let per = self.hiers.len().div_ceil(workers);
+            let buf = &self.buf;
+            std::thread::scope(|scope| {
+                for hiers in self.hiers.chunks_mut(per) {
+                    scope.spawn(move || {
+                        for h in hiers {
+                            h.replay(buf);
+                        }
+                    });
+                }
+            });
+        }
+        dvf_obs::add("kernels.hier_fanout.chunks", 1);
+        dvf_obs::add("kernels.hier_fanout.refs", self.buf.len() as u64);
+        self.buf.clear();
+    }
+
+    /// Flush the final partial chunk and collect the reports, in config
+    /// order.
+    pub fn finish(mut self) -> Vec<HierarchyReport> {
+        self.flush_chunk();
+        self.hiers
+            .drain(..)
+            .map(CacheHierarchy::into_report)
+            .collect()
+    }
+}
+
+impl TraceSink for HierarchyFanout {
+    #[inline]
+    fn emit(&mut self, r: MemRef) {
+        self.buf.push(r);
+        if self.buf.len() >= FANOUT_CHUNK {
+            self.flush_chunk();
+        }
+    }
+}
+
+/// Run a recording closure with a [`HierarchyFanout`] sink — the fused
+/// record→hierarchy pipeline: references stream chunk-by-chunk into every
+/// hierarchy, and no `Trace` (let alone a trace file) is materialized.
+pub fn record_hierarchy_fanout<F: FnOnce(&Recorder)>(
+    configs: &[HierarchyConfig],
+    run: F,
+) -> (DsRegistry, Vec<HierarchyReport>) {
+    let fanout = Rc::new(RefCell::new(HierarchyFanout::new(configs)));
+    let rec = Recorder::streaming(fanout.clone());
+    run(&rec);
+    let registry = rec.registry();
+    drop(rec);
+    let Ok(fanout) = Rc::try_unwrap(fanout) else {
+        panic!("kernel closure must drop its tracked buffers and recorder clones");
+    };
+    (registry, fanout.into_inner().finish())
 }
 
 /// Run a recording closure with a [`SimFanout`] sink over `jobs` and
@@ -602,6 +719,55 @@ mod tests {
         assert_eq!(fused, expected);
         assert_eq!(registry.id("A"), trace.registry.id("A"));
         assert_eq!(registry.id("B"), trace.registry.id("B"));
+    }
+
+    #[test]
+    fn hierarchy_fanout_matches_buffered_simulate_hierarchy_many() {
+        use dvf_cachesim::{
+            simulate_hierarchy_many, CacheConfig, HierarchyConfig, InclusionPolicy, LevelSpec,
+            PolicyKind,
+        };
+
+        fn kernel(rec: &Recorder) {
+            rec.set_enabled(true);
+            let mut a = rec.buffer::<f64>("A", 700);
+            let b = rec.buffer::<f64>("B", 300);
+            for i in 0..700 {
+                let v = b.get(i % 300);
+                a.update(i, |x| x + v);
+            }
+        }
+
+        let l1 = CacheConfig::new(2, 8, 32).unwrap();
+        let llc = CacheConfig::new(4, 64, 32).unwrap();
+        let configs = [
+            HierarchyConfig::two_level(l1, llc).unwrap(),
+            HierarchyConfig::new(vec![
+                LevelSpec::new(l1).with_policy(PolicyKind::Fifo),
+                LevelSpec::new(llc)
+                    .with_inclusion(InclusionPolicy::Inclusive)
+                    .with_prefetch(2),
+            ])
+            .unwrap(),
+        ];
+
+        let buffered = Recorder::new();
+        kernel(&buffered);
+        let trace = buffered.into_trace();
+        let expected = simulate_hierarchy_many(&trace, &configs);
+
+        let (registry, fused) = record_hierarchy_fanout(&configs, kernel);
+        assert_eq!(fused.len(), expected.len());
+        for (f, e) in fused.iter().zip(&expected) {
+            assert_eq!(f.refs, e.refs);
+            assert_eq!(f.dram.total(), e.dram.total());
+            assert_eq!(f.dram_prefetch.total(), e.dram_prefetch.total());
+            for (fl, el) in f.levels.iter().zip(&e.levels) {
+                assert_eq!(fl.stats.total(), el.stats.total());
+                assert_eq!(fl.prefetch, el.prefetch);
+            }
+        }
+        assert_eq!(registry.id("A"), trace.registry.id("A"));
     }
 
     #[test]

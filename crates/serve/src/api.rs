@@ -23,14 +23,19 @@
 //! Every response body is `{"schema":"dvf-serve/1", ...}`; errors are
 //! `{"schema":…,"error":{"code":…,"message":…}}` with 4xx/5xx status.
 //! `/v1/dvf` and `/v1/sweep` accept either `"source"` (evaluate inline)
-//! or `"session"` (evaluate a registered model).
+//! or `"session"` (evaluate a registered model). `/v1/dvf` additionally
+//! accepts `"hierarchy"`: an array of `{assoc, sets, line}` cache levels
+//! (top first, optional `prefetch` degree); the response then splits each
+//! structure's exposure per storage (`L2`…, `memory`) and appends the
+//! protect-which-level DVF rows.
 
 use crate::http::{error_response, Request, Response};
 use crate::jsonval::Json;
 use crate::registry::Session;
 use crate::ServeCtx;
+use dvf_cachesim::{CacheConfig, HierarchyConfig, LevelSpec, MAX_PREFETCH_DEGREE};
 use dvf_core::memo;
-use dvf_core::workflow::{DvfWorkflow, WorkflowError};
+use dvf_core::workflow::{DvfWorkflow, HierarchyDvf, WorkflowError};
 use dvf_obs::JsonWriter;
 use std::sync::Arc;
 
@@ -233,6 +238,11 @@ fn metrics_json(ctx: &ServeCtx) -> Response {
         .u64(stats.misses)
         .key("entries")
         .u64(stats.entries)
+        // Resolved lock-stripe count: lets an operator confirm their
+        // `DVF_MEMO_STRIPES` override actually took (an unparseable value
+        // warns once on stderr and falls back to the default).
+        .key("stripes")
+        .u64(memo::stripe_count() as u64)
         .end_object();
     w.key("sessions").u64(ctx.registry.len() as u64);
     w.key("uptime_seconds").u64(ctx.started.elapsed().as_secs());
@@ -265,8 +275,9 @@ fn metrics_prometheus(ctx: &ServeCtx) -> Response {
     use std::fmt::Write as _;
     let mut out = dvf_obs::snapshot().render_prometheus();
     // Serve-level gauges the obs registry doesn't know about.
-    let gauges: [(&str, u64); 9] = [
+    let gauges: [(&str, u64); 10] = [
         ("dvf_serve_sessions", ctx.registry.len() as u64),
+        ("dvf_memo_stripes", memo::stripe_count() as u64),
         ("dvf_serve_queue_depth", ctx.queued()),
         ("dvf_serve_draining", u64::from(ctx.draining())),
         ("dvf_serve_uptime_seconds", ctx.started.elapsed().as_secs()),
@@ -639,6 +650,88 @@ fn write_dvf_report(w: &mut JsonWriter, report: &dvf_core::dvf::DvfReport) {
     w.end_array();
 }
 
+/// Decode the optional `"hierarchy"` option of `/v1/dvf`: an array of
+/// level objects, top (CPU side) first, each `{"assoc": N, "sets": N,
+/// "line": N}`. Invalid stacks (inverted capacities, shrinking lines,
+/// zero geometry) come back as the same structured 422 `bad_cache`
+/// diagnostic a bad machine cache produces — the constructor returns
+/// `Result` now, so no panic ever reaches the worker's catch_unwind.
+fn hierarchy_of(body: &Json) -> Result<Option<HierarchyConfig>, ApiError> {
+    let Some(h) = body.get("hierarchy") else {
+        return Ok(None);
+    };
+    let bad = |msg: String| ApiError::new(422, "bad_cache", msg);
+    let Some(items) = h.as_arr() else {
+        return Err(bad(
+            "`hierarchy` must be an array of {assoc, sets, line} levels, top first".to_owned(),
+        ));
+    };
+    let mut specs = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let field = |name: &str| {
+            item.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad(format!("hierarchy level {i} needs integer `{name}`")))
+        };
+        let cache = CacheConfig::new(
+            field("assoc")? as usize,
+            field("sets")? as usize,
+            field("line")? as usize,
+        )
+        .map_err(|e| bad(format!("hierarchy level {i}: {e}")))?;
+        let mut spec = LevelSpec::new(cache);
+        if let Some(p) = item.get("prefetch").and_then(Json::as_u64) {
+            if p as usize > MAX_PREFETCH_DEGREE {
+                return Err(bad(format!(
+                    "hierarchy level {i}: prefetch degree is capped at {MAX_PREFETCH_DEGREE}"
+                )));
+            }
+            spec.prefetch_degree = p as usize;
+        }
+        specs.push(spec);
+    }
+    HierarchyConfig::new(specs)
+        .map(Some)
+        .map_err(|e| bad(e.to_string()))
+}
+
+/// The `/v1/dvf` success fields in hierarchy mode: per-storage exposure
+/// splits plus the protect-which-level rows.
+fn write_hierarchy_report(w: &mut JsonWriter, split: &HierarchyDvf) {
+    w.key("ok").bool(true);
+    w.key("app").string(&split.app);
+    w.key("fit_per_mbit").f64(split.fit.0);
+    w.key("time_s").f64(split.time_s);
+    w.key("dvf_app").f64(split.dvf_app(&[]));
+    w.key("storages").begin_array();
+    for s in &split.storages {
+        w.string(s);
+    }
+    w.end_array();
+    w.key("structures").begin_array();
+    for (name, size, exposures) in &split.exposures {
+        w.begin_object();
+        w.key("name").string(name);
+        w.key("size_bytes").u64(*size);
+        w.key("exposures").begin_object();
+        for (storage, e) in split.storages.iter().zip(exposures) {
+            w.key(storage).f64(*e);
+        }
+        w.end_object();
+        w.key("dvf").f64(split.dvf_of(name, &[]).unwrap_or(0.0));
+        w.end_object();
+    }
+    w.end_array();
+    w.key("protect").begin_array();
+    for (label, dvf) in split.protect_rows() {
+        w.begin_object();
+        w.key("protected").string(&label);
+        w.key("dvf_app").f64(dvf);
+        w.end_object();
+    }
+    w.end_array();
+}
+
 fn evaluate_dvf(body: &Json, ctx: &ServeCtx) -> Response {
     let wf = match resolve_workflow(body, ctx) {
         Ok(wf) => wf,
@@ -648,13 +741,25 @@ fn evaluate_dvf(body: &Json, ctx: &ServeCtx) -> Response {
         Ok(o) => o,
         Err(e) => return e.into_response(),
     };
-    let point: Vec<(&str, f64)> = overrides.iter().map(|(k, v)| (k.as_str(), *v)).collect();
-    let report = match wf.workflow().evaluate(&point) {
-        Ok(r) => r,
-        Err(e) => return workflow_error(&e).into_response(),
+    let hierarchy = match hierarchy_of(body) {
+        Ok(h) => h,
+        Err(e) => return e.into_response(),
     };
+    let point: Vec<(&str, f64)> = overrides.iter().map(|(k, v)| (k.as_str(), *v)).collect();
     let mut w = writer();
-    write_dvf_report(&mut w, &report);
+    if let Some(hierarchy) = hierarchy {
+        let split = match wf.workflow().evaluate_hierarchy(&point, &hierarchy) {
+            Ok(s) => s,
+            Err(e) => return workflow_error(&e).into_response(),
+        };
+        write_hierarchy_report(&mut w, &split);
+    } else {
+        let report = match wf.workflow().evaluate(&point) {
+            Ok(r) => r,
+            Err(e) => return workflow_error(&e).into_response(),
+        };
+        write_dvf_report(&mut w, &report);
+    }
     w.end_object();
     Response::json(200, w.finish())
 }

@@ -378,6 +378,90 @@ fn metrics_exposes_obs_and_cache_sections() {
         .unwrap()
         .as_u64()
         .is_some());
+    // The resolved memo lock-stripe count is surfaced so a misconfigured
+    // DVF_MEMO_STRIPES override is visible (default: 16, clamped 1..256).
+    let stripes = v
+        .get("cache")
+        .unwrap()
+        .get("stripes")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert!((1..=256).contains(&stripes), "stripes = {stripes}");
+    let prom = request(server.addr(), "GET", "/v1/metrics?format=prometheus", None);
+    assert_eq!(prom.status, 200);
+    assert!(
+        prom.body.contains(&format!("dvf_memo_stripes {stripes}")),
+        "{}",
+        prom.body
+    );
+    server.shutdown();
+}
+
+#[test]
+fn dvf_hierarchy_option_splits_exposures_per_storage() {
+    let server = spawn_default();
+    let addr = server.addr();
+
+    // Two-level stack: quarter-size L1 over the machine's 8 KiB cache.
+    let body = format!(
+        r#"{{"source":{},"hierarchy":[
+            {{"assoc":4,"sets":16,"line":32}},
+            {{"assoc":4,"sets":64,"line":32}}]}}"#,
+        json_str(MODEL)
+    );
+    let reply = request(addr, "POST", "/v1/dvf", Some(&body));
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let v = reply.json();
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+    let storages: Vec<_> = v
+        .get("storages")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|s| s.as_str().unwrap().to_owned())
+        .collect();
+    assert_eq!(storages, ["L2", "memory"]);
+    // Every structure reports one exposure per storage, non-increasing
+    // down the stack (the bigger level filters at least as much).
+    for s in v.get("structures").unwrap().as_arr().unwrap() {
+        let e = s.get("exposures").unwrap();
+        let l2 = e.get("L2").unwrap().as_f64().unwrap();
+        let mem = e.get("memory").unwrap().as_f64().unwrap();
+        assert!(mem <= l2, "{}", reply.body);
+    }
+    // Protect rows: none, L2, memory — protection can only help.
+    let rows = v.get("protect").unwrap().as_arr().unwrap();
+    assert_eq!(rows.len(), 3);
+    let none = rows[0].get("dvf_app").unwrap().as_f64().unwrap();
+    assert_eq!(rows[0].get("protected").unwrap().as_str(), Some("none"));
+    for row in &rows[1..] {
+        assert!(row.get("dvf_app").unwrap().as_f64().unwrap() <= none);
+    }
+
+    // An inverted stack is a structured 422, not a worker panic: the
+    // hierarchy constructor returns Result and maps onto `bad_cache`.
+    let body = format!(
+        r#"{{"source":{},"hierarchy":[
+            {{"assoc":8,"sets":512,"line":32}},
+            {{"assoc":4,"sets":16,"line":32}}]}}"#,
+        json_str(MODEL)
+    );
+    let reply = request(addr, "POST", "/v1/dvf", Some(&body));
+    assert_eq!(reply.status, 422, "{}", reply.body);
+    let v = reply.json();
+    let err = v.get("error").unwrap();
+    assert_eq!(err.get("code").unwrap().as_str(), Some("bad_cache"));
+    assert!(
+        err.get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("smaller than the level above"),
+        "{}",
+        reply.body
+    );
     server.shutdown();
 }
 

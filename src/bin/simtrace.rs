@@ -31,12 +31,15 @@
 //! the JSON report grows a `"runs"` array (one entry per geometry).
 
 use dvf_cachesim::binio::{TraceReader, DEFAULT_CHUNK};
-use dvf_cachesim::hierarchy::simulate_hierarchy;
 use dvf_cachesim::{
-    simulate_many_with_threads, CacheConfig, CacheStats, DsRegistry, Fifo, Lru, PolicyKind,
+    simulate_hierarchy_config, simulate_many_with_threads, CacheConfig, CacheStats, DsRegistry,
+    Fifo, HierarchyConfig, HierarchyReport, InclusionPolicy, LevelSpec, Lru, PolicyKind,
     RandomEvict, ReplacementPolicy, SimJob, SimReport, Simulator, Trace, TreePlru,
+    MAX_PREFETCH_DEGREE,
 };
-use dvf_kernels::{barnes_hut, cg, fft, mc, mg, record_fanout, vm, Recorder};
+use dvf_kernels::{
+    barnes_hut, cg, fft, mc, mg, record_fanout, record_hierarchy_fanout, vm, Recorder,
+};
 use dvf_obs::{Heartbeat, JsonWriter};
 use std::io::{BufReader, Read};
 use std::process::ExitCode;
@@ -52,8 +55,14 @@ usage: simtrace <trace-file> [options]
   --jobs N                        worker threads for --config fan-out
                                   (0 = one per core, the default; values
                                   above the core count are clamped)
+  --levels A:S:L[:policy[:incl]]  add a hierarchy level, top (CPU side)
+                                  first (repeatable; policy defaults to
+                                  lru, incl to nine|inclusive|exclusive)
+  --prefetch LEVEL:DEGREE         enable the next-line/stride prefetcher
+                                  at hierarchy level LEVEL (repeatable)
   --l1-assoc N --l1-sets N --l1-line N
-                                  put an L1 in front (LRU at both levels)
+                                  two-level sugar: this L1 plus the
+                                  --assoc/--sets/--line LLC, LRU + NINE
   --convert OUT                   rewrite the input trace (text, DVFT v1,
                                   or DVFT2) as compressed DVFT2 at OUT
   --record KERNEL                 record vm|cg|nb|mg|ft|mc (verification
@@ -82,6 +91,8 @@ fn main() -> ExitCode {
     let mut configs: Vec<CacheConfig> = Vec::new();
     let mut jobs = 0usize; // 0 = one per core
     let mut l1: (Option<usize>, Option<usize>, Option<usize>) = (None, None, None);
+    let mut levels: Vec<LevelSpec> = Vec::new();
+    let mut prefetch: Vec<(usize, usize)> = Vec::new();
     let mut convert: Option<String> = None;
     let mut record: Option<String> = None;
     let mut json = false;
@@ -99,7 +110,7 @@ fn main() -> ExitCode {
                 continue;
             }
             "--assoc" | "--sets" | "--line" | "--policy" | "--config" | "--jobs" | "--l1-assoc"
-            | "--l1-sets" | "--l1-line" | "--convert" | "--record" => {}
+            | "--l1-sets" | "--l1-line" | "--levels" | "--prefetch" | "--convert" | "--record" => {}
             other => {
                 eprintln!("unknown flag `{other}`\n");
                 eprint!("{USAGE}");
@@ -144,6 +155,22 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--levels" => match parse_level_spec(value) {
+                Ok(spec) => levels.push(spec),
+                Err(e) => {
+                    eprintln!("bad --levels `{value}`: {e}\n");
+                    eprint!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--prefetch" => match parse_prefetch_spec(value) {
+                Ok(p) => prefetch.push(p),
+                Err(e) => {
+                    eprintln!("bad --prefetch `{value}`: {e}\n");
+                    eprint!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             "--convert" => convert = Some(value.clone()),
             "--record" => record = Some(value.clone()),
             "--l1-assoc" => l1.0 = parse_usize(value),
@@ -161,9 +188,73 @@ fn main() -> ExitCode {
         }
     };
 
+    // Resolve hierarchy mode: explicit `--levels` stack, or the two-level
+    // `--l1-*` sugar (that L1 over the `--assoc/--sets/--line` LLC).
+    let hierarchy: Option<HierarchyConfig> = {
+        let sugar = match l1 {
+            (Some(a), Some(s), Some(l)) => match CacheConfig::new(a, s, l) {
+                Ok(c) => Some(c),
+                Err(e) => {
+                    eprintln!("bad L1 geometry: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            (None, None, None) => None,
+            _ => {
+                eprintln!("hierarchy sugar needs all of --l1-assoc, --l1-sets, --l1-line\n");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        };
+        if sugar.is_some() && !levels.is_empty() {
+            eprintln!("--levels cannot be combined with the --l1-* sugar\n");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+        let mut specs: Vec<LevelSpec> = if !levels.is_empty() {
+            std::mem::take(&mut levels)
+        } else if let Some(l1cfg) = sugar {
+            vec![LevelSpec::new(l1cfg), LevelSpec::new(llc)]
+        } else {
+            Vec::new()
+        };
+        if specs.is_empty() {
+            if !prefetch.is_empty() {
+                eprintln!("--prefetch needs a hierarchy (--levels or --l1-*)\n");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+            None
+        } else {
+            for &(level, degree) in &prefetch {
+                if level >= specs.len() {
+                    eprintln!(
+                        "--prefetch level {level} out of range (hierarchy has {} levels)\n",
+                        specs.len()
+                    );
+                    eprint!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+                specs[level].prefetch_degree = degree;
+            }
+            match HierarchyConfig::new(specs) {
+                Ok(c) => Some(c),
+                Err(e) => {
+                    eprintln!("bad hierarchy: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    if hierarchy.is_some() && !configs.is_empty() {
+        eprintln!("--config cannot be combined with hierarchy mode\n");
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
     // `--convert`: rewrite the input as DVFT2 and stop — no replay.
     if let Some(out) = convert {
-        if record.is_some() || l1 != (None, None, None) || !configs.is_empty() {
+        if record.is_some() || hierarchy.is_some() || !configs.is_empty() {
             eprintln!("--convert takes only an input file and an output path\n");
             eprint!("{USAGE}");
             return ExitCode::from(2);
@@ -177,10 +268,11 @@ fn main() -> ExitCode {
     }
 
     // `--record`: references come from a kernel, not a file; the fused
-    // sink drives every configured simulator during recording.
+    // sink drives every configured simulator (or hierarchy) during
+    // recording — no trace materialization either way.
     if let Some(kernel) = record {
-        if path_arg.is_some() || l1 != (None, None, None) {
-            eprintln!("--record replaces the <trace-file> and excludes hierarchy mode\n");
+        if path_arg.is_some() {
+            eprintln!("--record replaces the <trace-file>\n");
             eprint!("{USAGE}");
             return ExitCode::from(2);
         }
@@ -189,6 +281,9 @@ fn main() -> ExitCode {
             eprint!("{USAGE}");
             return ExitCode::from(2);
         };
+        if let Some(config) = hierarchy {
+            return record_hierarchy_fused(&kernel, run, config, json);
+        }
         return record_fused(&kernel, run, llc, policy, &configs, json);
     }
 
@@ -197,22 +292,12 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    match l1 {
-        (Some(a), Some(s), Some(l)) => {
-            if !configs.is_empty() {
-                eprintln!("--config cannot be combined with hierarchy mode\n");
-                eprint!("{USAGE}");
-                return ExitCode::from(2);
-            }
-            let l1cfg = match CacheConfig::new(a, s, l) {
-                Ok(c) => c,
-                Err(e) => {
-                    eprintln!("bad L1 geometry: {e}");
-                    return ExitCode::from(2);
-                }
-            };
+    match hierarchy {
+        Some(config) => {
             if policy != PolicyKind::Lru {
-                eprintln!("note: hierarchy mode always uses LRU");
+                eprintln!(
+                    "note: --policy is ignored in hierarchy mode (use --levels A:S:L:POLICY)"
+                );
             }
             let trace = match load_trace(path) {
                 Ok(t) => t,
@@ -221,31 +306,16 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let report = simulate_hierarchy(&trace, l1cfg, llc);
+            let report = simulate_hierarchy_config(&trace, &config);
             if json {
                 let mut w = JsonWriter::new();
-                w.begin_object();
-                w.key("schema").string("dvf-cachesim/1");
-                w.key("refs").u64(trace.len() as u64);
-                w.key("l1").begin_object();
-                config_json(&mut w, &l1cfg);
-                stats_json(&mut w, &report.l1, &trace.registry);
-                w.end_object();
-                w.key("llc").begin_object();
-                config_json(&mut w, &llc);
-                stats_json(&mut w, &report.llc, &trace.registry);
-                w.end_object();
-                w.key("mem_accesses").u64(report.total_mem_accesses());
-                w.end_object();
+                hierarchy_json(&mut w, None, &config, &report, &trace.registry);
                 println!("{}", w.finish());
             } else {
-                println!("{} refs through L1 {l1cfg} + LLC {llc}", trace.len());
-                println!("\nL1:\n{}", report.l1.render(&trace.registry));
-                println!("LLC:\n{}", report.llc.render(&trace.registry));
-                println!("main-memory accesses: {}", report.total_mem_accesses());
+                print_hierarchy_report(&config, &report, &trace.registry);
             }
         }
-        (None, None, None) if !configs.is_empty() => {
+        None if !configs.is_empty() => {
             // Multi-config fan-out: the default geometry runs first, then
             // every --config, all sharing one borrowed trace.
             let trace = match load_trace(path) {
@@ -301,7 +371,7 @@ fn main() -> ExitCode {
                 }
             }
         }
-        (None, None, None) => {
+        None => {
             let (report, registry) = match replay_single(path, llc, policy, quiet) {
                 Ok(r) => r,
                 Err(e) => {
@@ -328,11 +398,6 @@ fn main() -> ExitCode {
                 println!("\n{}", report.stats().render(&registry));
                 println!("main-memory accesses: {}", report.total().mem_accesses());
             }
-        }
-        _ => {
-            eprintln!("hierarchy mode needs all of --l1-assoc, --l1-sets, --l1-line\n");
-            eprint!("{USAGE}");
-            return ExitCode::from(2);
         }
     }
     ExitCode::SUCCESS
@@ -442,6 +507,164 @@ fn record_fused(
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `--record` + hierarchy: run the kernel once, streaming its references
+/// straight into the configured cache hierarchy — fused, no trace file.
+fn record_hierarchy_fused(
+    kernel: &str,
+    run: fn(&Recorder),
+    config: HierarchyConfig,
+    json: bool,
+) -> ExitCode {
+    let (registry, mut reports) = record_hierarchy_fanout(std::slice::from_ref(&config), run);
+    let report = reports.pop().expect("one hierarchy was configured");
+    if json {
+        let mut w = JsonWriter::new();
+        hierarchy_json(&mut w, Some(kernel), &config, &report, &registry);
+        println!("{}", w.finish());
+    } else {
+        println!("recorded from `{kernel}` (fused)");
+        print_hierarchy_report(&config, &report, &registry);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Parse `A:S:L[:policy[:incl]]` into one hierarchy level (top first).
+fn parse_level_spec(spec: &str) -> Result<LevelSpec, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if !(3..=5).contains(&parts.len()) {
+        return Err("expected A:S:L[:policy[:incl]]".to_owned());
+    }
+    let nums: Vec<usize> = parts[..3]
+        .iter()
+        .map(|p| p.parse::<usize>().map_err(|_| format!("bad number `{p}`")))
+        .collect::<Result<_, _>>()?;
+    let cache = CacheConfig::new(nums[0], nums[1], nums[2]).map_err(|e| e.to_string())?;
+    let mut spec = LevelSpec::new(cache);
+    if let Some(p) = parts.get(3) {
+        spec.policy = p.parse::<PolicyKind>().map_err(|e| e.to_string())?;
+    }
+    if let Some(i) = parts.get(4) {
+        spec.inclusion = i.parse::<InclusionPolicy>().map_err(|e| e.to_string())?;
+    }
+    Ok(spec)
+}
+
+/// Parse `LEVEL:DEGREE` for `--prefetch`.
+fn parse_prefetch_spec(spec: &str) -> Result<(usize, usize), String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.len() != 2 {
+        return Err("expected LEVEL:DEGREE".to_owned());
+    }
+    let level = parts[0]
+        .parse::<usize>()
+        .map_err(|_| format!("bad level `{}`", parts[0]))?;
+    let degree = parts[1]
+        .parse::<usize>()
+        .map_err(|_| format!("bad degree `{}`", parts[1]))?;
+    if degree == 0 || degree > MAX_PREFETCH_DEGREE {
+        return Err(format!("degree must be 1..={MAX_PREFETCH_DEGREE}"));
+    }
+    Ok((level, degree))
+}
+
+/// Hierarchy report as a `dvf-cachesim/1` JSON document: a `"levels"`
+/// array (top first) plus the DRAM traffic split demand/prefetch.
+fn hierarchy_json(
+    w: &mut JsonWriter,
+    kernel: Option<&str>,
+    config: &HierarchyConfig,
+    report: &HierarchyReport,
+    registry: &DsRegistry,
+) {
+    w.begin_object();
+    w.key("schema").string("dvf-cachesim/1");
+    if let Some(k) = kernel {
+        w.key("kernel").string(k);
+    }
+    w.key("refs").u64(report.refs);
+    w.key("hierarchy").string(&config.label());
+    w.key("levels").begin_array();
+    for (i, level) in report.levels.iter().enumerate() {
+        w.begin_object();
+        w.key("level").u64(i as u64);
+        w.key("policy").string(level.policy.name());
+        w.key("inclusion").string(level.inclusion.name());
+        w.key("prefetch_degree").u64(level.prefetch_degree as u64);
+        config_json(w, &level.config);
+        stats_json(w, &level.stats, registry);
+        if level.prefetch_degree > 0 {
+            let p = &level.prefetch;
+            w.key("prefetch").begin_object();
+            w.key("issued").u64(p.issued);
+            w.key("redundant").u64(p.redundant);
+            w.key("filled").u64(p.filled);
+            w.key("dram_reads").u64(p.dram_reads);
+            w.end_object();
+        }
+        w.end_object();
+    }
+    w.end_array();
+    w.key("dram").begin_object();
+    w.key("reads").u64(report.dram.total().misses);
+    w.key("writes").u64(report.dram.total().writebacks);
+    w.key("prefetch_reads")
+        .u64(report.dram_prefetch.total().misses);
+    w.key("data").begin_array();
+    for (id, s) in report.dram.iter() {
+        w.begin_object();
+        let name = if id.index() < registry.len() {
+            registry.name(id)
+        } else {
+            "?"
+        };
+        w.key("name").string(name);
+        w.key("reads").u64(s.misses);
+        w.key("writes").u64(s.writebacks);
+        w.key("prefetch_reads")
+            .u64(report.dram_prefetch.ds(id).misses);
+        w.key("mem_accesses").u64(report.mem_accesses(id));
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.key("mem_accesses").u64(report.total_mem_accesses());
+    w.end_object();
+}
+
+/// Human-readable hierarchy report: one stats table per level, then the
+/// DRAM totals the DVF model actually consumes.
+fn print_hierarchy_report(config: &HierarchyConfig, report: &HierarchyReport, reg: &DsRegistry) {
+    println!(
+        "{} refs through {}-level hierarchy {}",
+        report.refs,
+        report.levels.len(),
+        config.label()
+    );
+    for (i, level) in report.levels.iter().enumerate() {
+        println!(
+            "\nL{i} {} ({}, {}):",
+            level.config,
+            level.policy.name(),
+            level.inclusion.name()
+        );
+        println!("{}", level.stats.render(reg));
+        if level.prefetch_degree > 0 {
+            let p = &level.prefetch;
+            println!(
+                "prefetch (degree {}): {} issued, {} redundant, {} filled, {} DRAM reads",
+                level.prefetch_degree, p.issued, p.redundant, p.filled, p.dram_reads
+            );
+        }
+    }
+    println!(
+        "\nDRAM: {} demand reads + {} writebacks + {} prefetch reads",
+        report.dram.total().misses,
+        report.dram.total().writebacks,
+        report.dram_prefetch.total().misses
+    );
+    println!("main-memory accesses: {}", report.total_mem_accesses());
 }
 
 /// Parse `A:S:L` (associativity : sets : line bytes) into a validated
