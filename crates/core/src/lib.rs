@@ -59,6 +59,7 @@ pub mod comb;
 pub mod domain;
 pub mod dvf;
 pub mod fit;
+pub mod gridplan;
 pub mod memo;
 pub mod patterns;
 pub mod protect;

@@ -407,6 +407,96 @@ pub fn account_phases_at(
     Ok(phases)
 }
 
+/// Stable 64-bit fingerprint of the memo-relevant work evaluating `app`
+/// on `machine` would perform — without evaluating anything.
+///
+/// The fingerprint walks the accesses exactly like [`account_phases_at`]
+/// and folds each access's complete memo identity (pattern parameters ×
+/// cache-view geometry and sharing ratio — the same inputs
+/// [`crate::memo::EvalKey`] captures) through a fixed FNV-1a hash
+/// ([`crate::gridplan::StableHasher`]). Template reference strings are
+/// hashed by *content*, not by their process-local interned id, so two
+/// processes agree on every fingerprint.
+///
+/// Two sweep points with equal fingerprints perform identical pattern
+/// evaluations: routing them to the same `dvf-serve` shard makes the
+/// second a pure memo hit. Inputs that only scale results *outside* the
+/// memo cache (kernel `iters`/`times`, flops, the machine's FIT rate and
+/// roofline) are deliberately excluded — varying only those must not
+/// split a memo-affine group.
+pub fn memo_fingerprint(app: &AppSpec, machine: &MachineSpec) -> Result<u64, WorkflowError> {
+    let config = cache_config_of(machine)?;
+    let mut h = crate::gridplan::StableHasher::new();
+    for kernel in &app.kernels {
+        if !kernel.is_root {
+            continue;
+        }
+        for scaled in &kernel.accesses {
+            let access = &scaled.access;
+            let data = app
+                .data(&access.data)
+                .expect("resolver guarantees access targets exist");
+            let ratio = order_ratio(app, kernel.order.as_deref(), &access.data);
+            // View identity: geometry + exact ratio bits (memo::ViewKey).
+            h.write(config.associativity as u64);
+            h.write(config.num_sets as u64);
+            h.write(config.line_bytes as u64);
+            h.write(ratio.to_bits());
+            match &access.pattern {
+                PatternSpec::Streaming {
+                    element_bytes,
+                    count,
+                    stride_elements,
+                } => {
+                    h.write(1);
+                    h.write(*element_bytes);
+                    h.write(*count);
+                    h.write(*stride_elements);
+                }
+                PatternSpec::Random {
+                    elements,
+                    element_bytes,
+                    k,
+                    iters,
+                    ratio: spec_ratio,
+                } => {
+                    h.write(2);
+                    h.write(*elements);
+                    h.write(*element_bytes);
+                    h.write(*k);
+                    h.write(*iters);
+                    h.write(spec_ratio.to_bits());
+                }
+                PatternSpec::Template {
+                    element_bytes,
+                    refs,
+                    repeat,
+                } => {
+                    h.write(3);
+                    h.write(*element_bytes);
+                    h.write(refs.len() as u64);
+                    for &r in refs.iter() {
+                        h.write(r);
+                    }
+                    h.write(*repeat);
+                }
+                PatternSpec::Reuse {
+                    interfering_bytes,
+                    reuses,
+                    scenario,
+                } => {
+                    h.write(4);
+                    h.write(data.size_bytes);
+                    h.write(*interfering_bytes);
+                    h.write(*reuses);
+                    h.write(matches!(scenario, ReuseScenario::Concurrent) as u64);
+                }
+            }
+        }
+    }
+    Ok(h.finish())
+}
+
 /// Full Fig. 3 pipeline from resolved specs: accounting + DVF.
 pub fn evaluate(app: &AppSpec, machine: &MachineSpec) -> Result<DvfReport, WorkflowError> {
     let accounting = account_accesses(app, machine)?;
@@ -723,6 +813,20 @@ impl DvfWorkflow {
         crate::sweep::par_map(values, |&v| self.evaluate(&[(param, v)]))
     }
 
+    /// Stable memo fingerprint of one sweep point: resolve with
+    /// `overrides` (cheap — no pattern evaluation) and fingerprint the
+    /// resolved work ([`memo_fingerprint`]). The distributed sweep
+    /// planner routes each grid point to a shard by this value.
+    pub fn point_fingerprint(&self, overrides: &[(&str, f64)]) -> Result<u64, WorkflowError> {
+        let mut resolver = Resolver::new(&self.doc);
+        for (k, v) in overrides {
+            resolver = resolver.set_param(k, *v);
+        }
+        let machine = resolver.machine(self.machine_name.as_deref())?;
+        let app = resolver.model(self.model_name.as_deref())?;
+        memo_fingerprint(&app, &machine)
+    }
+
     /// Every parameter name the document declares (global, machine- and
     /// model-scoped), in source order.
     pub fn param_names(&self) -> Vec<String> {
@@ -995,6 +1099,32 @@ mod tests {
         let wf = DvfWorkflow::parse(src).unwrap();
         wf.check_param("ways").unwrap();
         assert!(wf.check_param("sets").is_err());
+    }
+
+    #[test]
+    fn fingerprint_ignores_fit_but_tracks_pattern_reach() {
+        let src = r#"
+            machine m {
+              param fit = 5000
+              cache { associativity = 4 sets = 64 line = 32 }
+              memory { fit = fit }
+            }
+            model app {
+              param n = 200
+              data A { size = n * 8  element = 8 }
+              kernel k { access A as streaming() }
+            }
+        "#;
+        let wf = DvfWorkflow::parse(src).unwrap();
+        let base = wf.point_fingerprint(&[]).unwrap();
+        // FIT scales the report outside the memo cache: same fingerprint.
+        assert_eq!(base, wf.point_fingerprint(&[("fit", 9999.0)]).unwrap());
+        // `n` reaches the streaming pattern: different fingerprint.
+        assert_ne!(base, wf.point_fingerprint(&[("n", 400.0)]).unwrap());
+        // Reparsing (a second "process" as far as interners are
+        // concerned) reproduces the value.
+        let wf2 = DvfWorkflow::parse(src).unwrap();
+        assert_eq!(base, wf2.point_fingerprint(&[]).unwrap());
     }
 
     #[test]

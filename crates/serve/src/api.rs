@@ -10,6 +10,7 @@
 //! | `/v1/sessions/{name}`     | DELETE | evict one session                          |
 //! | `/v1/dvf`                 | POST   | full Fig. 3 pipeline → per-structure DVF   |
 //! | `/v1/sweep`               | POST   | memoized parameter-grid sweep              |
+//! | `/v1/sweepchunk`          | POST   | one coordinator chunk: explicit grid points|
 //! | `/v1/batch`               | POST   | many dvf/sweep questions in one round-trip |
 //! | `/v1/debug/requests`      | GET    | flight recorder: recent request records    |
 //! | `/v1/debug/requests/{id}` | GET    | one request's full phase timeline          |
@@ -39,8 +40,10 @@ use dvf_core::workflow::{DvfWorkflow, HierarchyDvf, WorkflowError};
 use dvf_obs::JsonWriter;
 use std::sync::Arc;
 
-/// Hard cap on sweep grid sizes, guarding worker time per request.
-const MAX_SWEEP_POINTS: usize = 4096;
+/// Hard cap on sweep grid sizes (and `/v1/sweepchunk` chunk sizes),
+/// guarding worker time per request. Public so the distributed sweep
+/// coordinator clamps its chunk size to what a shard will accept.
+pub const MAX_SWEEP_POINTS: usize = 4096;
 
 /// Dispatch one request. Infallible by construction: every error path is
 /// a `Response` (panics are caught one level up, in the worker).
@@ -60,6 +63,7 @@ pub fn route(req: &Request, ctx: &ServeCtx) -> Response {
         }
         ("POST", "/v1/dvf") => with_json(req, |body| evaluate_dvf(&body, ctx)),
         ("POST", "/v1/sweep") => with_json(req, |body| sweep(&body, ctx)),
+        ("POST", "/v1/sweepchunk") => with_json(req, |body| sweepchunk(&body, ctx)),
         ("POST", "/v1/batch") => with_json(req, |body| batch(&body, ctx)),
         ("POST", "/v1/_panic") if ctx.config.panic_route => {
             panic!("deliberate panic via /v1/_panic (test configuration)")
@@ -81,13 +85,14 @@ pub fn route(req: &Request, ctx: &ServeCtx) -> Response {
     }
 }
 
-const KNOWN_PATHS: [&str; 8] = [
+const KNOWN_PATHS: [&str; 9] = [
     "/v1/healthz",
     "/v1/metrics",
     "/v1/parse",
     "/v1/sessions",
     "/v1/dvf",
     "/v1/sweep",
+    "/v1/sweepchunk",
     "/v1/batch",
     "/v1/debug/requests",
 ];
@@ -95,7 +100,7 @@ const KNOWN_PATHS: [&str; 8] = [
 fn allow_of(path: &str) -> &'static str {
     match path {
         "/v1/healthz" | "/v1/metrics" | "/v1/debug/requests" => "GET",
-        "/v1/parse" | "/v1/dvf" | "/v1/sweep" | "/v1/batch" => "POST",
+        "/v1/parse" | "/v1/dvf" | "/v1/sweep" | "/v1/sweepchunk" | "/v1/batch" => "POST",
         "/v1/sessions" => "GET, POST",
         path if path.starts_with("/v1/debug/requests/") => "GET",
         _ => "DELETE",
@@ -262,6 +267,11 @@ fn metrics_json(ctx: &ServeCtx) -> Response {
         .u64(ctx.config.max_connections as u64)
         .key("open_connections")
         .u64(ctx.open_connections())
+        // Request-shaping caps a coordinator sizes its chunks against.
+        .key("max_batch_entries")
+        .u64(ctx.config.max_batch_entries as u64)
+        .key("max_sweep_points")
+        .u64(MAX_SWEEP_POINTS as u64)
         .end_object();
     write_build(&mut w);
     w.end_object();
@@ -275,7 +285,7 @@ fn metrics_prometheus(ctx: &ServeCtx) -> Response {
     use std::fmt::Write as _;
     let mut out = dvf_obs::snapshot().render_prometheus();
     // Serve-level gauges the obs registry doesn't know about.
-    let gauges: [(&str, u64); 10] = [
+    let gauges: [(&str, u64); 12] = [
         ("dvf_serve_sessions", ctx.registry.len() as u64),
         ("dvf_memo_stripes", memo::stripe_count() as u64),
         ("dvf_serve_queue_depth", ctx.queued()),
@@ -289,6 +299,11 @@ fn metrics_prometheus(ctx: &ServeCtx) -> Response {
             ctx.config.max_connections as u64,
         ),
         ("dvf_serve_open_connections", ctx.open_connections()),
+        (
+            "dvf_serve_max_batch_entries",
+            ctx.config.max_batch_entries as u64,
+        ),
+        ("dvf_serve_max_sweep_points", MAX_SWEEP_POINTS as u64),
     ];
     for (name, value) in gauges {
         let _ = writeln!(out, "# TYPE {name} gauge");
@@ -903,8 +918,156 @@ fn sweep(body: &Json, ctx: &ServeCtx) -> Response {
     Response::json(200, w.finish())
 }
 
-/// Hard cap on `/v1/batch` sizes, guarding worker time per request.
-const MAX_BATCH_ENTRIES: usize = 256;
+/// A 422 whose error object carries the configured cap as a structured
+/// field (`cap_key`), so a coordinator can read the limit instead of
+/// parsing it out of the message.
+fn capped_response(code: &str, message: &str, cap_key: &str, cap: usize) -> Response {
+    let mut w = writer();
+    w.key("error")
+        .begin_object()
+        .key("code")
+        .string(code)
+        .key("message")
+        .string(message)
+        .key(cap_key)
+        .u64(cap as u64)
+        .end_object();
+    w.end_object();
+    Response::json(422, w.finish())
+}
+
+/// `POST /v1/sweepchunk`: evaluate one coordinator chunk — an explicit
+/// list of grid points over named sweep dimensions. The distributed
+/// `dvf sweep --shards` coordinator fans chunks of one grid across
+/// shards through this endpoint and merges the rows back by grid index;
+/// row values round-trip bit-exactly (shortest-round-trip float
+/// serialization both ways), which is what keeps the merged output
+/// byte-identical to a local sweep.
+///
+/// Body: `source`/`session` (+ optional `machine`/`model`), fixed
+/// `params` overrides, `dims` (array of parameter names), `points`
+/// (array of per-point coordinate arrays, one value per dim), and an
+/// optional `chunk` id echoed back for correlation. Every dim is
+/// validated like `/v1/sweep`'s `param`; chunks are capped at the same
+/// grid-point limit.
+fn sweepchunk(body: &Json, ctx: &ServeCtx) -> Response {
+    let _sweep = dvf_obs::span("sweepchunk");
+    let wf = match resolve_workflow(body, ctx) {
+        Ok(wf) => wf,
+        Err(e) => return e.into_response(),
+    };
+    let Some(dims_json) = body.get("dims").and_then(Json::as_arr) else {
+        return error_response(
+            422,
+            "missing_field",
+            "body needs a `dims` array of parameter names",
+        );
+    };
+    let dims: Option<Vec<&str>> = dims_json.iter().map(Json::as_str).collect();
+    let Some(dims) = dims else {
+        return error_response(422, "bad_dims", "`dims` must hold strings");
+    };
+    if dims.is_empty() {
+        return error_response(422, "bad_dims", "`dims` must be non-empty");
+    }
+    let Some(points_json) = body.get("points").and_then(Json::as_arr) else {
+        return error_response(
+            422,
+            "missing_field",
+            "body needs a `points` array of coordinate arrays",
+        );
+    };
+    if points_json.len() > MAX_SWEEP_POINTS {
+        return capped_response(
+            "too_many_points",
+            &format!("sweep chunks are capped at {MAX_SWEEP_POINTS} points"),
+            "max_points",
+            MAX_SWEEP_POINTS,
+        );
+    }
+    let mut points: Vec<Vec<f64>> = Vec::with_capacity(points_json.len());
+    for (i, p) in points_json.iter().enumerate() {
+        let coords = p
+            .as_arr()
+            .and_then(|a| a.iter().map(Json::as_f64).collect::<Option<Vec<f64>>>());
+        match coords {
+            Some(c) if c.len() == dims.len() => points.push(c),
+            _ => {
+                return error_response(
+                    422,
+                    "bad_points",
+                    &format!(
+                        "point {i} must be an array of {} number(s), one per dim",
+                        dims.len()
+                    ),
+                )
+            }
+        }
+    }
+    let overrides = match overrides_of(body) {
+        Ok(o) => o,
+        Err(e) => return e.into_response(),
+    };
+    for dim in &dims {
+        if let Err(e) = wf.workflow().check_param(dim) {
+            return workflow_error(&e).into_response();
+        }
+    }
+    let chunk_id = body.get("chunk").and_then(Json::as_u64).unwrap_or(0);
+
+    let before = memo::stats();
+    let results = dvf_core::sweep::par_map(&points, |coords| {
+        let mut point: Vec<(&str, f64)> = overrides
+            .iter()
+            .map(|(k, val)| (k.as_str(), *val))
+            .collect();
+        for (dim, v) in dims.iter().zip(coords) {
+            point.push((dim, *v));
+        }
+        wf.workflow().evaluate(&point)
+    });
+    let cache = memo::stats().since(&before);
+    dvf_obs::trace::set_delta("sweep.cache.hit", cache.hits);
+    dvf_obs::trace::set_delta("sweep.cache.miss", cache.misses);
+
+    let mut w = writer();
+    w.key("ok").bool(true);
+    w.key("chunk").u64(chunk_id);
+    w.key("points").u64(points.len() as u64);
+    let mut failed = 0u64;
+    w.key("rows").begin_array();
+    for r in &results {
+        w.begin_object();
+        match r {
+            Ok(report) => {
+                w.key("time_s").f64(report.time_s);
+                w.key("dvf_app").f64(report.dvf_app());
+            }
+            Err(e) => {
+                failed += 1;
+                w.key("error").string(&e.to_string());
+            }
+        }
+        w.end_object();
+    }
+    w.end_array();
+    w.key("failed").u64(failed);
+    // Per-chunk memo-cache delta. Process-wide tallies: chunks evaluated
+    // concurrently on this shard overlap in these windows, so treat the
+    // per-chunk split as indicative and the per-shard `/v1/metrics`
+    // delta as exact.
+    w.key("cache")
+        .begin_object()
+        .key("sweep.cache.hit")
+        .u64(cache.hits)
+        .key("sweep.cache.miss")
+        .u64(cache.misses)
+        .key("entries")
+        .u64(cache.entries)
+        .end_object();
+    w.end_object();
+    Response::json(200, w.finish())
+}
 
 /// One batch entry, fully validated and ready to evaluate.
 enum BatchWork {
@@ -1032,11 +1195,13 @@ fn batch(body: &Json, ctx: &ServeCtx) -> Response {
     let Some(entries) = body.get("entries").and_then(Json::as_arr) else {
         return error_response(422, "missing_field", "body needs an `entries` array");
     };
-    if entries.len() > MAX_BATCH_ENTRIES {
-        return error_response(
-            422,
+    let cap = ctx.config.max_batch_entries;
+    if entries.len() > cap {
+        return capped_response(
             "too_many_entries",
-            &format!("batches are capped at {MAX_BATCH_ENTRIES} entries"),
+            &format!("batches are capped at {cap} entries"),
+            "max_entries",
+            cap,
         );
     }
     let prepared: Vec<Result<BatchWork, ApiError>> =

@@ -65,6 +65,8 @@
 //! ```
 
 pub mod api;
+pub mod client;
+pub mod coordinator;
 mod eventloop;
 pub mod http;
 pub mod jsonval;
@@ -84,6 +86,14 @@ use std::time::{Duration, Instant};
 
 /// Wire schema identifier carried by every response body.
 pub const SCHEMA: &str = "dvf-serve/1";
+
+/// Default `/v1/batch` entry cap (the historical hard-coded value).
+pub const DEFAULT_MAX_BATCH_ENTRIES: usize = 256;
+
+/// Largest value `--max-batch-entries` may be raised to: one batch is
+/// answered by one worker pass, so an unbounded cap would let a single
+/// request monopolize the pool arbitrarily long.
+pub const MAX_BATCH_ENTRIES_CEILING: usize = 4096;
 
 /// Connection-handling strategy for [`Server::bind`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,6 +165,10 @@ pub struct ServerConfig {
     pub keep_alive_max: usize,
     /// Registered-session cap (LRU eviction beyond it).
     pub max_sessions: usize,
+    /// Largest accepted `POST /v1/batch` entry count (`--max-batch-entries`,
+    /// clamped to `1..=MAX_BATCH_ENTRIES_CEILING`; surfaced in
+    /// `/v1/metrics` and in the 422 body when exceeded).
+    pub max_batch_entries: usize,
     /// Expose `POST /v1/_panic` (worker panic isolation test hook).
     pub panic_route: bool,
     /// Expose `POST /v1/_slow` (deterministic worker-occupancy test hook:
@@ -185,6 +199,7 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(10),
             keep_alive_max: 1000,
             max_sessions: 32,
+            max_batch_entries: DEFAULT_MAX_BATCH_ENTRIES,
             panic_route: false,
             slow_route: false,
             trace_seed: 0x0DF5_C0DE_D00D_FEED,

@@ -59,6 +59,67 @@ fn missing_or_oversized_entries_fail_whole_request() {
             .as_str(),
         Some("too_many_entries")
     );
+    // The rejection body names the active cap, so clients can right-size
+    // without a second round-trip.
+    assert_eq!(
+        reply
+            .json()
+            .get("error")
+            .unwrap()
+            .get("max_entries")
+            .unwrap()
+            .as_u64(),
+        Some(dvf_serve::DEFAULT_MAX_BATCH_ENTRIES as u64)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn batch_entry_cap_is_configurable() {
+    let server = Server::bind(ServerConfig {
+        max_batch_entries: 3,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+
+    // Three empty entries are within the lowered cap (they fail
+    // individually, but the request as a whole is accepted)...
+    let reply = request(
+        server.addr(),
+        "POST",
+        "/v1/batch",
+        Some(r#"{"entries":[{},{},{}]}"#),
+    );
+    assert_eq!(reply.status, 200);
+
+    // ...four are not, and the 422 reports the configured cap.
+    let reply = request(
+        server.addr(),
+        "POST",
+        "/v1/batch",
+        Some(r#"{"entries":[{},{},{},{}]}"#),
+    );
+    assert_eq!(reply.status, 422);
+    let error = reply.json();
+    let error = error.get("error").unwrap();
+    assert_eq!(
+        error.get("code").unwrap().as_str(),
+        Some("too_many_entries")
+    );
+    assert_eq!(error.get("max_entries").unwrap().as_u64(), Some(3));
+
+    // The active cap is visible on /v1/metrics for capacity planning.
+    let metrics = request(server.addr(), "GET", "/v1/metrics", None);
+    assert_eq!(
+        metrics
+            .json()
+            .get("serve")
+            .unwrap()
+            .get("max_batch_entries")
+            .unwrap()
+            .as_u64(),
+        Some(3)
+    );
     server.shutdown();
 }
 

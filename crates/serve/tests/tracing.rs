@@ -190,6 +190,8 @@ fn prometheus_metrics_render_with_serve_gauges() {
     assert!(body.contains("dvf_serve_queue_capacity "), "{body}");
     assert!(body.contains("dvf_serve_max_connections "), "{body}");
     assert!(body.contains("dvf_serve_open_connections "), "{body}");
+    assert!(body.contains("dvf_serve_max_batch_entries "), "{body}");
+    assert!(body.contains("dvf_serve_max_sweep_points "), "{body}");
     assert!(body.contains("dvf_serve_transport{transport=\""), "{body}");
     assert!(body.contains("dvf_build_info{version=\""), "{body}");
 
@@ -205,6 +207,14 @@ fn prometheus_metrics_render_with_serve_gauges() {
     assert!(serve.get("queue_capacity").unwrap().as_u64().is_some());
     assert!(serve.get("max_connections").unwrap().as_u64().is_some());
     assert!(serve.get("open_connections").unwrap().as_u64().is_some());
+    assert_eq!(
+        serve.get("max_batch_entries").unwrap().as_u64(),
+        Some(dvf_serve::DEFAULT_MAX_BATCH_ENTRIES as u64)
+    );
+    assert_eq!(
+        serve.get("max_sweep_points").unwrap().as_u64(),
+        Some(dvf_serve::api::MAX_SWEEP_POINTS as u64)
+    );
     let build = doc.get("build").expect("build object");
     assert_eq!(
         build.get("version").unwrap().as_str(),

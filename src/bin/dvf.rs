@@ -7,10 +7,14 @@
 //! dvf timed <file> [options]            time-resolved DVF per structure
 //! dvf protect <file> --budget B [options]
 //!                                       DVF-guided protection plan
-//! dvf sweep <file> --sweep p=LO:HI:STEPS [options]
+//! dvf sweep <file> --sweep p=LO:HI:STEPS [--sweep q=...]... [options]
 //!                                       parallel memoized parameter sweep
+//!                                       (repeat --sweep for a cross-product
+//!                                       grid; --shards fans chunks out over
+//!                                       dvf-serve instances; --progress emits
+//!                                       JSON progress lines on stderr)
 //! dvf serve [--addr A] [--workers N] [--queue N] [--sessions N]
-//!           [--transport T] [--max-connections N]
+//!           [--transport T] [--max-connections N] [--max-batch-entries N]
 //!           [--max-body BYTES] [--read-timeout-ms MS] [--slow-ms MS]
 //!                                       resident HTTP JSON evaluation service
 //! dvf loadgen --addr A [--rate RPS] [--connections N] [--duration-s S]
@@ -48,11 +52,21 @@ commands:
   timed <file> [same options]        time-resolved DVF (phase-weighted)
   protect <file> --budget BYTES [--residual F] [same options]
                                      plan selective protection by DVF density
-  sweep <file> --sweep p=LO:HI:STEPS [--no-cache] [same options]
+  sweep <file> --sweep p=LO:HI:STEPS [--sweep q=...]... [--no-cache]
+        [--shards HOST:PORT,...] [--chunk-points N] [--assign affine|round-robin]
+        [--in-flight N] [--progress] [same options]
                                      evaluate a parameter grid in parallel
-                                     with memoized pattern models
+                                     with memoized pattern models; repeat
+                                     --sweep for a cross-product grid.
+                                     --shards distributes chunks over running
+                                     dvf-serve instances (memo-affine routing
+                                     keeps cache-equivalent points on the same
+                                     shard; output is byte-identical to the
+                                     local sweep). --progress prints JSON
+                                     progress lines on stderr.
   serve [--addr HOST:PORT] [--workers N] [--queue N] [--sessions N]
         [--transport event-loop|threaded] [--max-connections N]
+        [--max-batch-entries N]
         [--max-body BYTES] [--read-timeout-ms MS] [--slow-ms MS]
                                      start the resident dvf-serve/1 HTTP
                                      service (SIGTERM/ctrl-c drains cleanly;
@@ -362,15 +376,24 @@ fn eval_command(source: &str, flags: &[String], mode: Mode) -> ExitCode {
 }
 
 /// `sweep`: evaluate a parameter grid in parallel through [`DvfWorkflow`],
-/// sharing the memoized pattern cache across grid points.
+/// sharing the memoized pattern cache across grid points — locally, or
+/// distributed over `dvf-serve` shards with `--shards` (byte-identical
+/// output either way).
 fn sweep_command(source: &str, flags: &[String]) -> ExitCode {
+    use dvf::core::gridplan::{Assignment, ChunkPlan, GridSpec};
     use dvf::core::workflow::DvfWorkflow;
+    use dvf::serve::coordinator::{self, CoordinatorConfig, RowOutcome, SweepJob};
 
     let mut machine_name: Option<String> = None;
     let mut model_name: Option<String> = None;
     let mut overrides: Vec<(String, f64)> = Vec::new();
-    let mut grid: Option<(String, Vec<f64>)> = None;
+    let mut dims: Vec<(String, Vec<f64>)> = Vec::new();
     let mut profile: Option<ProfileFormat> = dvf::obs::init_from_env();
+    let mut shards_raw: Option<String> = None;
+    let mut chunk_points: usize = 256;
+    let mut assignment = Assignment::MemoAffine;
+    let mut in_flight: usize = 2;
+    let mut progress_enabled = false;
 
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
@@ -385,6 +408,7 @@ fn sweep_command(source: &str, flags: &[String]) -> ExitCode {
                 dvf::obs::set_enabled(true);
             }
             "--no-cache" => dvf::core::memo::set_enabled(false),
+            "--progress" => progress_enabled = true,
             "--machine" => match value(&mut it) {
                 Some(v) => machine_name = Some(v),
                 None => return usage_err("--machine needs a value"),
@@ -405,16 +429,50 @@ fn sweep_command(source: &str, flags: &[String]) -> ExitCode {
             },
             "--sweep" => match value(&mut it) {
                 Some(v) => match parse_sweep_spec(&v) {
-                    Ok(g) => grid = Some(g),
+                    Ok(g) => dims.push(g),
                     Err(msg) => return usage_err(&msg),
                 },
                 None => return usage_err("--sweep needs a value"),
             },
+            "--shards" => match value(&mut it) {
+                Some(v) => shards_raw = Some(v),
+                None => return usage_err("--shards needs a value"),
+            },
+            "--chunk-points" => match value(&mut it).map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) => {
+                    chunk_points = n.clamp(1, dvf::serve::api::MAX_SWEEP_POINTS);
+                }
+                Some(Err(_)) => return usage_err("bad --chunk-points value"),
+                None => return usage_err("--chunk-points needs a value"),
+            },
+            "--assign" => match value(&mut it) {
+                Some(v) => match Assignment::parse(&v) {
+                    Some(a) => assignment = a,
+                    None => {
+                        return usage_err(&format!("bad --assign `{v}` (affine or round-robin)"))
+                    }
+                },
+                None => return usage_err("--assign needs a value"),
+            },
+            "--in-flight" => match value(&mut it).map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) => in_flight = n.max(1),
+                Some(Err(_)) => return usage_err("bad --in-flight value"),
+                None => return usage_err("--in-flight needs a value"),
+            },
             other => return usage_err(&format!("unknown flag `{other}`")),
         }
     }
-    let Some((param, values)) = grid else {
+    if dims.is_empty() {
         return usage_err("sweep requires --sweep name=LO:HI:STEPS (or name=v1,v2,...)");
+    }
+    let grid = match GridSpec::new(dims) {
+        Ok(g) => g,
+        Err(msg) => return usage_err(&msg),
+    };
+    let shard_addrs = match shards_raw.as_deref().map(parse_shard_list) {
+        None => Vec::new(),
+        Some(Ok(addrs)) => addrs,
+        Some(Err(msg)) => return usage_err(&msg),
     };
 
     let root_span = dvf::obs::span("sweep");
@@ -433,8 +491,14 @@ fn sweep_command(source: &str, flags: &[String]) -> ExitCode {
     }
 
     // A typo'd name would otherwise sweep an inert override and print a
-    // perfectly flat curve; fail loudly instead.
-    for name in std::iter::once(param.as_str()).chain(overrides.iter().map(|(k, _)| k.as_str())) {
+    // perfectly flat curve; fail loudly instead. (This also keeps bad
+    // names from reaching shards, where they would be a fatal 422.)
+    let names = grid.names();
+    for name in names
+        .iter()
+        .copied()
+        .chain(overrides.iter().map(|(k, _)| k.as_str()))
+    {
         if let Err(e) = wf.check_param(name) {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
@@ -442,35 +506,120 @@ fn sweep_command(source: &str, flags: &[String]) -> ExitCode {
     }
 
     // Each grid point resolves with the fixed overrides plus the swept
-    // parameter; the memo cache deduplicates pattern evaluations shared
-    // between points.
-    let results = dvf::core::sweep::par_map(&values, |&v| {
+    // coordinates; the memo cache deduplicates pattern evaluations
+    // shared between points.
+    let point_of = |idx: usize| -> Vec<(&str, f64)> {
         let mut point: Vec<(&str, f64)> = overrides
             .iter()
             .map(|(k, val)| (k.as_str(), *val))
             .collect();
-        point.push((param.as_str(), v));
-        wf.evaluate(&point)
-    });
+        for (name, v) in names.iter().zip(grid.point(idx)) {
+            point.push((name, v));
+        }
+        point
+    };
+    let emitter = ProgressEmitter::new(progress_enabled);
+    let rows: Vec<RowOutcome> = if shard_addrs.is_empty() {
+        let eval_point = |idx: usize| match wf.evaluate(&point_of(idx)) {
+            Ok(report) => RowOutcome::Ok {
+                time_s: report.time_s,
+                dvf_app: report.dvf_app(),
+            },
+            Err(e) => RowOutcome::Err(e.to_string()),
+        };
+        let indices: Vec<usize> = (0..grid.len()).collect();
+        if progress_enabled {
+            // Chunked execution so progress has chunk boundaries to
+            // report at; evaluation is pure, so the rows are identical
+            // to the single-batch path.
+            let before = dvf::core::memo::stats();
+            let total_chunks = grid.len().div_ceil(chunk_points);
+            let mut rows = Vec::with_capacity(grid.len());
+            for (ci, block) in indices.chunks(chunk_points).enumerate() {
+                rows.extend(dvf::core::sweep::par_map(block, |&i| eval_point(i)));
+                let delta = dvf::core::memo::stats().since(&before);
+                emitter.maybe(ci + 1, total_chunks, rows.len(), grid.len(), &delta);
+            }
+            let delta = dvf::core::memo::stats().since(&before);
+            emitter.finish(total_chunks, total_chunks, grid.len(), grid.len(), &delta);
+            rows
+        } else {
+            dvf::core::sweep::par_map(&indices, |&i| eval_point(i))
+        }
+    } else {
+        let plan = ChunkPlan::plan(&grid, shard_addrs.len(), chunk_points, assignment, |idx| {
+            wf.point_fingerprint(&point_of(idx)).unwrap_or(0)
+        });
+        let job = SweepJob {
+            source: source.to_owned(),
+            machine: machine_name.clone(),
+            model: model_name.clone(),
+            overrides: overrides.clone(),
+        };
+        let cfg = CoordinatorConfig {
+            in_flight,
+            ..Default::default()
+        };
+        let total_chunks = plan.chunks.len();
+        let outcome = coordinator::run(&job, &grid, &plan, &shard_addrs, &cfg, |p| {
+            let delta = dvf::core::memo::CacheStats {
+                hits: p.cache_hits,
+                misses: p.cache_misses,
+                entries: 0,
+            };
+            emitter.maybe(
+                p.chunks_done,
+                p.chunks_total,
+                p.points_done,
+                p.points_total,
+                &delta,
+            );
+        });
+        match outcome {
+            Ok(report) => {
+                let delta = dvf::core::memo::CacheStats {
+                    hits: report.cache_hits(),
+                    misses: report.cache_misses(),
+                    entries: 0,
+                };
+                emitter.finish(total_chunks, total_chunks, grid.len(), grid.len(), &delta);
+                if progress_enabled {
+                    for shard in &report.shards {
+                        emit_shard_line(shard);
+                    }
+                }
+                report.rows
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
     drop(root_span);
 
+    let param = names.join(",");
     println!(
         "sweep `{param}` over {} point(s):\n\n{:<14} {:>14} {:>14}",
-        values.len(),
+        grid.len(),
         param,
         "time (s)",
         "DVF_app"
     );
     let mut failures = 0usize;
-    for (v, r) in values.iter().zip(&results) {
-        match r {
-            Ok(report) => println!(
-                "{v:<14} {:>14.6e} {:>14.6e}",
-                report.time_s,
-                report.dvf_app()
-            ),
-            Err(e) => {
-                println!("{v:<14} error: {e}");
+    for (idx, row) in rows.iter().enumerate() {
+        let label = grid
+            .point(idx)
+            .iter()
+            .map(f64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        match row {
+            RowOutcome::Ok { time_s, dvf_app } => {
+                println!("{label:<14} {time_s:>14.6e} {dvf_app:>14.6e}")
+            }
+            RowOutcome::Err(e) => {
+                println!("{label:<14} error: {e}");
                 failures += 1;
             }
         }
@@ -486,9 +635,134 @@ fn sweep_command(source: &str, flags: &[String]) -> ExitCode {
     if failures == 0 {
         ExitCode::SUCCESS
     } else {
-        eprintln!("{failures} of {} grid point(s) failed", values.len());
+        eprintln!("{failures} of {} grid point(s) failed", grid.len());
         ExitCode::FAILURE
     }
+}
+
+/// Parse a comma-separated `HOST:PORT,...` shard list.
+fn parse_shard_list(raw: &str) -> Result<Vec<std::net::SocketAddr>, String> {
+    use std::net::ToSocketAddrs as _;
+    let mut addrs = Vec::new();
+    for part in raw.split(',').filter(|s| !s.is_empty()) {
+        match part.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+            Some(a) => addrs.push(a),
+            None => return Err(format!("cannot resolve shard `{part}`")),
+        }
+    }
+    if addrs.is_empty() {
+        return Err("--shards needs at least one HOST:PORT".to_owned());
+    }
+    Ok(addrs)
+}
+
+/// Throttled JSON progress lines on stderr for `sweep --progress`.
+struct ProgressEmitter {
+    enabled: bool,
+    start: std::time::Instant,
+    last: std::sync::Mutex<Option<std::time::Instant>>,
+}
+
+impl ProgressEmitter {
+    fn new(enabled: bool) -> Self {
+        Self {
+            enabled,
+            start: std::time::Instant::now(),
+            last: std::sync::Mutex::new(None),
+        }
+    }
+
+    /// Emit a progress line if the last one is at least 500 ms old.
+    fn maybe(
+        &self,
+        chunks_done: usize,
+        chunks_total: usize,
+        points_done: usize,
+        points_total: usize,
+        cache: &dvf::core::memo::CacheStats,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        {
+            let mut last = self.last.lock().expect("progress lock");
+            let now = std::time::Instant::now();
+            if let Some(prev) = *last {
+                if now.duration_since(prev) < std::time::Duration::from_millis(500) {
+                    return;
+                }
+            }
+            *last = Some(now);
+        }
+        self.emit(chunks_done, chunks_total, points_done, points_total, cache);
+    }
+
+    /// Unconditionally emit the final progress line.
+    fn finish(
+        &self,
+        chunks_done: usize,
+        chunks_total: usize,
+        points_done: usize,
+        points_total: usize,
+        cache: &dvf::core::memo::CacheStats,
+    ) {
+        if self.enabled {
+            self.emit(chunks_done, chunks_total, points_done, points_total, cache);
+        }
+    }
+
+    fn emit(
+        &self,
+        chunks_done: usize,
+        chunks_total: usize,
+        points_done: usize,
+        points_total: usize,
+        cache: &dvf::core::memo::CacheStats,
+    ) {
+        let elapsed = self.start.elapsed().as_secs_f64().max(1e-9);
+        let lookups = cache.hits + cache.misses;
+        let hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            cache.hits as f64 / lookups as f64
+        };
+        let mut w = dvf::obs::JsonWriter::new();
+        w.begin_object();
+        w.key("event").string("sweep_progress");
+        w.key("chunks_done").u64(chunks_done as u64);
+        w.key("chunks_total").u64(chunks_total as u64);
+        w.key("points_done").u64(points_done as u64);
+        w.key("points_total").u64(points_total as u64);
+        w.key("points_per_s").f64(points_done as f64 / elapsed);
+        w.key("memo_hits").u64(cache.hits);
+        w.key("memo_misses").u64(cache.misses);
+        w.key("memo_hit_rate").f64(hit_rate);
+        w.end_object();
+        eprintln!("{}", w.finish());
+    }
+}
+
+/// One per-shard accounting line on stderr after a distributed sweep.
+fn emit_shard_line(shard: &dvf::serve::coordinator::ShardReport) {
+    let lookups = shard.cache_hits + shard.cache_misses;
+    let hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        shard.cache_hits as f64 / lookups as f64
+    };
+    let mut w = dvf::obs::JsonWriter::new();
+    w.begin_object();
+    w.key("event").string("sweep_shard");
+    w.key("addr").string(&shard.addr);
+    w.key("chunks").u64(shard.chunks);
+    w.key("points").u64(shard.points);
+    w.key("cache_hits").u64(shard.cache_hits);
+    w.key("cache_misses").u64(shard.cache_misses);
+    w.key("hit_rate").f64(hit_rate);
+    w.key("retries").u64(shard.retries);
+    w.key("dead").bool(shard.dead);
+    w.end_object();
+    eprintln!("{}", w.finish());
 }
 
 /// `serve`: run the resident dvf-serve/1 HTTP service until SIGTERM or
@@ -536,6 +810,12 @@ fn serve_command(flags: &[String]) -> ExitCode {
                 |n: usize| n.max(1)
             ),
             "--sessions" => numeric!(config.max_sessions, "--sessions", usize, |n| n),
+            "--max-batch-entries" => numeric!(
+                config.max_batch_entries,
+                "--max-batch-entries",
+                usize,
+                |n: usize| n.clamp(1, dvf::serve::MAX_BATCH_ENTRIES_CEILING)
+            ),
             "--max-body" => numeric!(config.max_body_bytes, "--max-body", usize, |n| n),
             "--read-timeout-ms" => numeric!(
                 config.read_timeout,

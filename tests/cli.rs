@@ -202,6 +202,83 @@ fn sweep_runs_a_grid() {
 }
 
 #[test]
+fn sweep_cross_product_grid_from_repeated_flags() {
+    // Two dimensions whose model both declares: a machine-param model.
+    let path = write_model(
+        r#"
+machine m {
+  param fit = 5000
+  cache { associativity = 4  sets = 64  line = 32 }
+  memory { fit = fit }
+  core { flops = 1e9  bandwidth = 4e9 }
+}
+model app {
+  param n = 200
+  data A { size = n * 8  element = 8 }
+  kernel k { access A as streaming() }
+}
+"#,
+    );
+    let out = dvf(&[
+        "sweep",
+        path.to_str().unwrap(),
+        "--sweep",
+        "fit=1000,2000",
+        "--sweep",
+        "n=100:300:3",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // 2 x 3 cross product, last dimension fastest, comma-joined labels.
+    assert!(stdout.contains("sweep `fit,n` over 6 point(s)"), "{stdout}");
+    let rows: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.starts_with("1000,") || l.starts_with("2000,"))
+        .collect();
+    assert_eq!(rows.len(), 6, "{stdout}");
+    assert!(rows[0].starts_with("1000,100"), "{stdout}");
+    assert!(rows[1].starts_with("1000,200"), "{stdout}");
+    assert!(rows[3].starts_with("2000,100"), "{stdout}");
+}
+
+#[test]
+fn sweep_progress_emits_structured_lines_on_stderr() {
+    let path = write_model(MODEL);
+    let out = dvf(&[
+        "sweep",
+        path.to_str().unwrap(),
+        "--sweep",
+        "n=100:1000:10",
+        "--progress",
+        "--chunk-points",
+        "2",
+    ]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    let lines: Vec<&str> = stderr
+        .lines()
+        .filter(|l| l.contains("\"event\":\"sweep_progress\""))
+        .collect();
+    assert!(!lines.is_empty(), "no progress lines in: {stderr}");
+    // The final line reports the whole grid done, with throughput and
+    // memo-cache telemetry.
+    let last = lines.last().unwrap();
+    assert!(last.contains("\"points_done\":10"), "{last}");
+    assert!(last.contains("\"points_total\":10"), "{last}");
+    assert!(last.contains("\"chunks_done\":5"), "{last}");
+    assert!(last.contains("\"chunks_total\":5"), "{last}");
+    assert!(last.contains("\"points_per_s\":"), "{last}");
+    assert!(last.contains("\"memo_hit_rate\":"), "{last}");
+    // Progress is telemetry, not output: stdout stays byte-identical to
+    // a run without the flag.
+    let plain = dvf(&["sweep", path.to_str().unwrap(), "--sweep", "n=100:1000:10"]);
+    assert_eq!(out.stdout, plain.stdout);
+    assert!(!String::from_utf8(plain.stderr)
+        .unwrap()
+        .contains("sweep_progress"));
+}
+
+#[test]
 fn sweep_of_unknown_param_is_a_diagnostic_not_a_flat_line() {
     let path = write_model(MODEL);
     let out = dvf(&["sweep", path.to_str().unwrap(), "--sweep", "nn=100:1000:4"]);
