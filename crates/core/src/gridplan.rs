@@ -270,6 +270,163 @@ impl ChunkPlan {
         self.chunks.iter().filter(move |c| c.shard == shard)
     }
 
+    /// Render the plan *and* its grid as a self-contained resumable
+    /// manifest (`dvf-sweep-manifest/1`): full chunk index lists plus the
+    /// grid dimensions, so a later invocation can reload the exact
+    /// partition with [`ChunkPlan::from_manifest_json`] instead of
+    /// replanning — the `dvf sweep --manifest` resume contract.
+    pub fn manifest_json_full(&self, grid: &GridSpec) -> String {
+        let mut w = dvf_obs::JsonWriter::new();
+        w.begin_object();
+        w.key("schema").string("dvf-sweep-manifest/1");
+        w.key("assignment").string(self.assignment.as_str());
+        w.key("shards").u64(self.shards as u64);
+        w.key("chunk_points").u64(self.chunk_points as u64);
+        w.key("total_points").u64(self.total_points as u64);
+        w.key("grid").begin_array();
+        for (name, values) in grid.dims() {
+            w.begin_object();
+            w.key("name").string(name);
+            w.key("values").begin_array();
+            for &v in values {
+                // Shortest-round-trip float text: values reload bit-exactly,
+                // so a resumed grid compares equal to a freshly parsed one.
+                w.f64(v);
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_array();
+        w.key("chunks").begin_array();
+        for chunk in &self.chunks {
+            w.begin_object();
+            w.key("id").u64(chunk.id as u64);
+            w.key("shard").u64(chunk.shard as u64);
+            w.key("indices").begin_array();
+            for &idx in &chunk.indices {
+                w.u64(idx as u64);
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Reload a [`manifest_json_full`](Self::manifest_json_full) manifest.
+    /// Validates the schema, the chunk/grid shape, and index bounds; the
+    /// reconstructed plan compares equal to the one that was saved.
+    pub fn from_manifest_json(text: &str) -> Result<(Self, GridSpec), String> {
+        use dvf_obs::jsonval::Json;
+        let doc = Json::parse(text).map_err(|e| format!("manifest does not parse: {e}"))?;
+        let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+        if schema != "dvf-sweep-manifest/1" {
+            return Err(format!(
+                "unsupported manifest schema `{schema}` (expected dvf-sweep-manifest/1)"
+            ));
+        }
+        let assignment = doc
+            .get("assignment")
+            .and_then(Json::as_str)
+            .and_then(Assignment::parse)
+            .ok_or("manifest has no valid `assignment`")?;
+        let field = |key: &str| -> Result<usize, String> {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .map(|v| v as usize)
+                .ok_or_else(|| format!("manifest has no numeric `{key}`"))
+        };
+        let shards = field("shards")?;
+        let chunk_points = field("chunk_points")?;
+        let total_points = field("total_points")?;
+
+        let mut dims = Vec::new();
+        for dim in doc
+            .get("grid")
+            .and_then(Json::as_arr)
+            .ok_or("manifest has no `grid` array")?
+        {
+            let name = dim
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("grid dimension has no `name`")?;
+            let values = dim
+                .get("values")
+                .and_then(Json::as_arr)
+                .ok_or("grid dimension has no `values`")?
+                .iter()
+                .map(|v| v.as_f64().ok_or("non-numeric grid value"))
+                .collect::<Result<Vec<f64>, _>>()?;
+            dims.push((name.to_owned(), values));
+        }
+        let grid = GridSpec::new(dims)?;
+        if grid.len() != total_points {
+            return Err(format!(
+                "manifest grid has {} point(s) but claims total_points={total_points}",
+                grid.len()
+            ));
+        }
+
+        let mut chunks = Vec::new();
+        let mut covered = 0usize;
+        for (pos, c) in doc
+            .get("chunks")
+            .and_then(Json::as_arr)
+            .ok_or("manifest has no `chunks` array")?
+            .iter()
+            .enumerate()
+        {
+            let id = c
+                .get("id")
+                .and_then(Json::as_u64)
+                .ok_or("chunk has no `id`")? as usize;
+            if id != pos {
+                return Err(format!(
+                    "chunk ids must be dense (found {id} at position {pos})"
+                ));
+            }
+            let shard = c
+                .get("shard")
+                .and_then(Json::as_u64)
+                .ok_or("chunk has no `shard`")? as usize;
+            if shard >= shards.max(1) {
+                return Err(format!("chunk {id} is homed on out-of-range shard {shard}"));
+            }
+            let indices = c
+                .get("indices")
+                .and_then(Json::as_arr)
+                .ok_or("chunk has no `indices`")?
+                .iter()
+                .map(|v| v.as_u64().map(|i| i as usize))
+                .collect::<Option<Vec<usize>>>()
+                .ok_or("non-numeric chunk index")?;
+            if indices.is_empty() {
+                return Err(format!("chunk {id} is empty"));
+            }
+            if indices.iter().any(|&i| i >= total_points) {
+                return Err(format!("chunk {id} indexes past the grid"));
+            }
+            covered += indices.len();
+            chunks.push(Chunk { id, shard, indices });
+        }
+        if covered != total_points {
+            return Err(format!(
+                "manifest chunks cover {covered} point(s) of {total_points}"
+            ));
+        }
+        Ok((
+            Self {
+                shards,
+                chunk_points,
+                assignment,
+                total_points,
+                chunks,
+            },
+            grid,
+        ))
+    }
+
     /// Render the plan as a compact JSON manifest (shard homes and chunk
     /// sizes — enough to audit the partition without the point data).
     pub fn manifest_json(&self) -> String {
@@ -372,6 +529,40 @@ mod tests {
         // Pinned value: the routing hash is part of the resume contract;
         // silently changing it would cold-start every warm rerun.
         assert_eq!(hash_words(&[]), FNV_OFFSET);
+    }
+
+    #[test]
+    fn full_manifest_round_trips_plan_and_grid() {
+        let g = GridSpec::new(vec![
+            ("fit".to_owned(), vec![1000.0, 5000.0]),
+            // An awkward double: shortest-round-trip text must reload
+            // bit-exactly or resumed grids would spuriously mismatch.
+            ("n".to_owned(), vec![0.1, 0.30000000000000004, 600.0]),
+        ])
+        .unwrap();
+        let plan = ChunkPlan::plan(&g, 2, 2, Assignment::MemoAffine, |i| (i % 3) as u64);
+        let json = plan.manifest_json_full(&g);
+        let (reloaded, regrid) = ChunkPlan::from_manifest_json(&json).unwrap();
+        assert_eq!(reloaded, plan);
+        assert_eq!(regrid, g);
+        // And the reload is itself re-serializable to the same bytes.
+        assert_eq!(reloaded.manifest_json_full(&regrid), json);
+    }
+
+    #[test]
+    fn manifest_load_rejects_corrupt_shapes() {
+        let g = grid2();
+        let plan = ChunkPlan::plan(&g, 2, 5, Assignment::RoundRobin, |_| 0);
+        let json = plan.manifest_json_full(&g);
+        assert!(ChunkPlan::from_manifest_json("not json").is_err());
+        assert!(ChunkPlan::from_manifest_json("{\"schema\":\"nope/1\"}")
+            .unwrap_err()
+            .contains("schema"));
+        // A manifest whose chunks do not cover the grid is rejected, not
+        // silently resumed with holes.
+        let truncated = json.replacen("{\"id\":0,\"shard\":0,\"indices\":[0,1,2,3,4]},", "", 1);
+        assert_ne!(truncated, json, "test fixture must actually drop a chunk");
+        assert!(ChunkPlan::from_manifest_json(&truncated).is_err());
     }
 
     #[test]

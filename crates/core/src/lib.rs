@@ -62,6 +62,7 @@ pub mod fit;
 pub mod gridplan;
 pub mod memo;
 pub mod patterns;
+pub mod predict;
 pub mod protect;
 pub mod sweep;
 pub mod timemodel;

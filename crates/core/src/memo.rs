@@ -95,6 +95,14 @@ pub enum PatternKey {
         /// Replay count.
         repeat: u64,
     },
+    /// A learned-predictor evaluation (`crate::predict`): the
+    /// fingerprint folds the pattern parameters, the target size and the
+    /// model identity into one value, keeping predicted results in a key
+    /// space disjoint from the closed forms'.
+    Predicted {
+        /// See [`crate::predict::memo_fingerprint`].
+        fingerprint: u64,
+    },
     /// `ReuseSpec::from_bytes(..).mem_accesses`.
     Reuse {
         /// Target structure size in bytes.

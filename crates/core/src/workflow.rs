@@ -185,7 +185,17 @@ pub fn account_accesses(
     app: &AppSpec,
     machine: &MachineSpec,
 ) -> Result<AccessAccounting, WorkflowError> {
-    let phases = account_phases(app, machine)?;
+    account_accesses_with(app, machine, None)
+}
+
+/// [`account_accesses`] with an optional learned predictor (see
+/// [`account_phases_at_with`]).
+pub fn account_accesses_with(
+    app: &AppSpec,
+    machine: &MachineSpec,
+    predictor: Option<&dvf_learn::NhaModel>,
+) -> Result<AccessAccounting, WorkflowError> {
+    let phases = account_phases_at_with(app, machine, cache_config_of(machine)?, predictor)?;
     let n_ha = app
         .datas
         .iter()
@@ -216,6 +226,20 @@ pub fn account_phases_at(
     app: &AppSpec,
     machine: &MachineSpec,
     config: CacheConfig,
+) -> Result<Vec<PhaseAccounting>, WorkflowError> {
+    account_phases_at_with(app, machine, config, None)
+}
+
+/// [`account_phases_at`] with an optional learned predictor: when a
+/// model is given, every pattern's `N_ha` comes from
+/// [`crate::predict::predict_pattern`] (synthetic stream → features →
+/// model) instead of the closed forms. Both paths share the process-wide
+/// memo cache under disjoint key spaces.
+pub fn account_phases_at_with(
+    app: &AppSpec,
+    machine: &MachineSpec,
+    config: CacheConfig,
+    predictor: Option<&dvf_learn::NhaModel>,
 ) -> Result<Vec<PhaseAccounting>, WorkflowError> {
     let mm = machine_model_of(machine);
     let mut phases = Vec::new();
@@ -256,107 +280,132 @@ pub fn account_phases_at(
             // numeric parameters plus the cache view, so sweeps that
             // revisit a (pattern, geometry, ratio) point skip the
             // log-gamma-heavy closed forms entirely.
-            let n_ha = match &access.pattern {
-                PatternSpec::Streaming {
-                    element_bytes,
-                    count,
-                    stride_elements,
-                } => memo::evaluate(
+            let n_ha = if let Some(model) = predictor {
+                dvf_obs::add("pattern.predicted", 1);
+                memo::evaluate(
                     memo::key(
-                        memo::PatternKey::Streaming {
-                            element_bytes: *element_bytes,
-                            num_elements: *count,
-                            stride_elements: *stride_elements,
+                        memo::PatternKey::Predicted {
+                            fingerprint: crate::predict::memo_fingerprint(
+                                &access.pattern,
+                                data.size_bytes,
+                                model,
+                            ),
                         },
                         &view,
                     ),
                     || {
-                        StreamingSpec {
-                            element_bytes: *element_bytes,
-                            num_elements: *count,
-                            stride_elements: *stride_elements,
-                        }
-                        .mem_accesses(&view)
-                    },
-                )
-                .map_err(model_err)?,
-                PatternSpec::Random {
-                    elements,
-                    element_bytes,
-                    k,
-                    iters,
-                    ratio: spec_ratio,
-                } => memo::evaluate(
-                    memo::key(
-                        memo::PatternKey::Random {
-                            num_elements: *elements,
-                            element_bytes: *element_bytes,
-                            k: *k,
-                            iterations: *iters,
-                            ratio_bits: spec_ratio.to_bits(),
-                        },
-                        &view,
-                    ),
-                    || {
-                        RandomSpec {
-                            num_elements: *elements,
-                            element_bytes: *element_bytes,
-                            k: *k,
-                            iterations: *iters,
-                            ratio: *spec_ratio,
-                        }
-                        .mem_accesses(&view)
-                    },
-                )
-                .map_err(model_err)?,
-                PatternSpec::Template {
-                    element_bytes,
-                    refs,
-                    repeat,
-                } => memo::evaluate(
-                    memo::key(
-                        memo::PatternKey::Template {
-                            element_bytes: *element_bytes,
-                            template: memo::intern_template(refs),
-                            repeat: *repeat,
-                        },
-                        &view,
-                    ),
-                    || {
-                        TemplateSpec::new(*element_bytes, refs.clone())
-                            .mem_accesses_repeated(&view, *repeat)
-                    },
-                )
-                .map_err(model_err)?,
-                PatternSpec::Reuse {
-                    interfering_bytes,
-                    reuses,
-                    scenario,
-                } => memo::evaluate(
-                    memo::key(
-                        memo::PatternKey::Reuse {
-                            size_bytes: data.size_bytes,
-                            interfering_bytes: *interfering_bytes,
-                            reuses: *reuses,
-                            concurrent: matches!(scenario, ReuseScenario::Concurrent),
-                        },
-                        &view,
-                    ),
-                    || {
-                        ReuseSpec::from_bytes(
+                        Ok(crate::predict::predict_pattern(
+                            model,
+                            &access.pattern,
                             data.size_bytes,
-                            *interfering_bytes,
-                            *reuses,
-                            match scenario {
-                                ReuseScenario::Exclusive => InterferenceScenario::Exclusive,
-                                ReuseScenario::Concurrent => InterferenceScenario::Concurrent,
-                            },
-                            config.line_bytes as u64,
-                        )
-                        .mem_accesses(&view)
+                            &view,
+                        ))
                     },
                 )
-                .map_err(model_err)?,
+                .map_err(model_err)?
+            } else {
+                match &access.pattern {
+                    PatternSpec::Streaming {
+                        element_bytes,
+                        count,
+                        stride_elements,
+                    } => memo::evaluate(
+                        memo::key(
+                            memo::PatternKey::Streaming {
+                                element_bytes: *element_bytes,
+                                num_elements: *count,
+                                stride_elements: *stride_elements,
+                            },
+                            &view,
+                        ),
+                        || {
+                            StreamingSpec {
+                                element_bytes: *element_bytes,
+                                num_elements: *count,
+                                stride_elements: *stride_elements,
+                            }
+                            .mem_accesses(&view)
+                        },
+                    )
+                    .map_err(model_err)?,
+                    PatternSpec::Random {
+                        elements,
+                        element_bytes,
+                        k,
+                        iters,
+                        ratio: spec_ratio,
+                    } => memo::evaluate(
+                        memo::key(
+                            memo::PatternKey::Random {
+                                num_elements: *elements,
+                                element_bytes: *element_bytes,
+                                k: *k,
+                                iterations: *iters,
+                                ratio_bits: spec_ratio.to_bits(),
+                            },
+                            &view,
+                        ),
+                        || {
+                            RandomSpec {
+                                num_elements: *elements,
+                                element_bytes: *element_bytes,
+                                k: *k,
+                                iterations: *iters,
+                                ratio: *spec_ratio,
+                            }
+                            .mem_accesses(&view)
+                        },
+                    )
+                    .map_err(model_err)?,
+                    PatternSpec::Template {
+                        element_bytes,
+                        refs,
+                        repeat,
+                    } => memo::evaluate(
+                        memo::key(
+                            memo::PatternKey::Template {
+                                element_bytes: *element_bytes,
+                                template: memo::intern_template(refs),
+                                repeat: *repeat,
+                            },
+                            &view,
+                        ),
+                        || {
+                            TemplateSpec::new(*element_bytes, refs.clone())
+                                .mem_accesses_repeated(&view, *repeat)
+                        },
+                    )
+                    .map_err(model_err)?,
+                    PatternSpec::Reuse {
+                        interfering_bytes,
+                        reuses,
+                        scenario,
+                    } => memo::evaluate(
+                        memo::key(
+                            memo::PatternKey::Reuse {
+                                size_bytes: data.size_bytes,
+                                interfering_bytes: *interfering_bytes,
+                                reuses: *reuses,
+                                concurrent: matches!(scenario, ReuseScenario::Concurrent),
+                            },
+                            &view,
+                        ),
+                        || {
+                            ReuseSpec::from_bytes(
+                                data.size_bytes,
+                                *interfering_bytes,
+                                *reuses,
+                                match scenario {
+                                    ReuseScenario::Exclusive => InterferenceScenario::Exclusive,
+                                    ReuseScenario::Concurrent => InterferenceScenario::Concurrent,
+                                },
+                                config.line_bytes as u64,
+                            )
+                            .mem_accesses(&view)
+                        },
+                    )
+                    .map_err(model_err)?,
+                }
             };
 
             let total = n_ha * scaled.times as f64 * kernel.iters as f64;
@@ -499,7 +548,17 @@ pub fn memo_fingerprint(app: &AppSpec, machine: &MachineSpec) -> Result<u64, Wor
 
 /// Full Fig. 3 pipeline from resolved specs: accounting + DVF.
 pub fn evaluate(app: &AppSpec, machine: &MachineSpec) -> Result<DvfReport, WorkflowError> {
-    let accounting = account_accesses(app, machine)?;
+    evaluate_with(app, machine, None)
+}
+
+/// [`evaluate`] with an optional learned predictor standing in for the
+/// closed-form `N_ha` models (the `dvf eval --predict` path).
+pub fn evaluate_with(
+    app: &AppSpec,
+    machine: &MachineSpec,
+    predictor: Option<&dvf_learn::NhaModel>,
+) -> Result<DvfReport, WorkflowError> {
+    let accounting = account_accesses_with(app, machine, predictor)?;
     let fit = fit_of(machine);
     Ok(dvf_obs::span_scope("report", || {
         let profiles = app
@@ -738,6 +797,7 @@ pub struct DvfWorkflow {
     doc: dvf_aspen::Document,
     machine_name: Option<String>,
     model_name: Option<String>,
+    predictor: Option<std::sync::Arc<dvf_learn::NhaModel>>,
 }
 
 impl DvfWorkflow {
@@ -749,6 +809,7 @@ impl DvfWorkflow {
             doc,
             machine_name: None,
             model_name: None,
+            predictor: None,
         })
     }
 
@@ -764,6 +825,14 @@ impl DvfWorkflow {
         self
     }
 
+    /// Evaluate `N_ha` through a learned predictor instead of the closed
+    /// forms (`--predict`). Shared by `Arc` so sweeps clone the workflow
+    /// across workers without copying the model.
+    pub fn with_predictor(mut self, model: std::sync::Arc<dvf_learn::NhaModel>) -> Self {
+        self.predictor = Some(model);
+        self
+    }
+
     /// Resolve with `overrides` and evaluate the full Fig. 3 pipeline.
     pub fn evaluate(&self, overrides: &[(&str, f64)]) -> Result<DvfReport, WorkflowError> {
         let _workflow = dvf_obs::span("workflow");
@@ -776,7 +845,7 @@ impl DvfWorkflow {
             let app = resolver.model(self.model_name.as_deref())?;
             Ok::<_, WorkflowError>((machine, app))
         })?;
-        evaluate(&app, &machine)
+        evaluate_with(&app, &machine, self.predictor.as_deref())
     }
 
     /// Resolve with `overrides` and run the per-level hierarchy pipeline

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! diffcheck [--smoke] [--json] [--fused] [--hierarchy] [--seed N]
+//!           [--predict model.json [--bound F]]
 //! ```
 //!
 //! * `--smoke` — reduced grid (first two problem sizes per pattern,
@@ -16,13 +17,20 @@
 //!   tolerance, over stacks of every inclusion policy, LRU and FIFO,
 //!   with and without prefetchers, plus closed-form rows
 //!   (`dvf-difftest-hierarchy/1` under `--json`).
+//! * `--predict model.json` — score a shipped learned model against the
+//!   grid instead of the closed forms: every workload is featurized
+//!   in-stream, each (case, geometry) point is predicted from features
+//!   alone and compared with the simulator. Exits 1 if the maximum
+//!   relative error regresses past the pinned
+//!   [`PREDICT_BOUND`](dvf_difftest::PREDICT_BOUND) (override with
+//!   `--bound F`); `dvf-learn-score/1` under `--json`.
 //! * `--seed N` — base seed for workload generation (default 1).
 //!
 //! Exits 1 if any grid point disagrees beyond its model's tolerance.
 
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: diffcheck [--smoke] [--json] [--fused] [--hierarchy] [--seed N]";
+const USAGE: &str = "usage: diffcheck [--smoke] [--json] [--fused] [--hierarchy] [--seed N] [--predict model.json [--bound F]]";
 
 fn main() -> ExitCode {
     let mut smoke = false;
@@ -30,6 +38,8 @@ fn main() -> ExitCode {
     let mut fused = false;
     let mut hierarchy = false;
     let mut seed: u64 = 1;
+    let mut predict: Option<String> = None;
+    let mut bound = dvf_difftest::PREDICT_BOUND;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -44,6 +54,20 @@ fn main() -> ExitCode {
                 };
                 seed = v;
             }
+            "--predict" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--predict needs a model path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                predict = Some(path);
+            }
+            "--bound" => {
+                let Some(v) = args.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("--bound needs a number\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                bound = v;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -53,6 +77,43 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if let Some(path) = predict {
+        if hierarchy || fused {
+            eprintln!("--predict runs its own fused featurized replay\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let model = match dvf_learn::NhaModel::from_json(&text) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let report = dvf_difftest::learndata::score_model_with_bound(&model, seed, smoke, bound);
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            print!("{}", report.render_text());
+        }
+        return if report.pass() {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "learned model regressed: max rel_err {:.4} > bound {:.2}",
+                report.max_rel_err(),
+                bound
+            );
+            ExitCode::FAILURE
+        };
     }
 
     if hierarchy {

@@ -23,10 +23,14 @@
 //! hand-derivable closed-form rows (`diffcheck --hierarchy`).
 
 pub mod hierarchy;
+pub mod learndata;
 pub mod oracle;
 pub mod rng;
 pub mod workloads;
 
 pub use hierarchy::{run_hierarchy_grid, HierarchyGridReport, HierarchyPoint};
+pub use learndata::{
+    build_dataset, score_model, train_grid, PredictPoint, PredictReport, CV_BOUND, PREDICT_BOUND,
+};
 pub use oracle::{run_grid, run_grid_fused, DiffPoint, GridReport, ReplayMode, JSON_SCHEMA};
 pub use workloads::{ModelPoint, Workload, WorkloadDef};

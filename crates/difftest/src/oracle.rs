@@ -202,7 +202,7 @@ pub const REPLICAS: u64 = 3;
 /// Build the workload list for one grid run: each inner vector holds
 /// the placement replicas of one (pattern, size) case — identical model
 /// predictions, independently seeded placements.
-fn build_workloads(seed: u64, smoke: bool) -> Vec<Vec<WorkloadDef>> {
+pub(crate) fn build_workloads(seed: u64, smoke: bool) -> Vec<Vec<WorkloadDef>> {
     // Set-associative geometries for streaming: 8 KiB with 32 B lines,
     // 32 KiB and 256 KiB with 64 B lines.
     let set_assoc = [geom(4, 64, 32), geom(8, 64, 64), geom(8, 512, 64)];

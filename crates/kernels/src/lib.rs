@@ -37,8 +37,8 @@ pub mod recorder;
 pub mod vm;
 
 pub use recorder::{
-    record_fanout, record_hierarchy_fanout, HierarchyFanout, Recorder, SimFanout, Tee, TraceSink,
-    TrackedBuffer,
+    record_fanout, record_hierarchy_fanout, record_tee, HierarchyFanout, Recorder, SimFanout, Tee,
+    TraceSink, TrackedBuffer,
 };
 
 /// Names, method classes and major data structures of the six kernels —

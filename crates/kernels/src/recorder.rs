@@ -342,6 +342,35 @@ pub fn record_fanout<F: FnOnce(&Recorder)>(
     (registry, fanout.into_inner().finish())
 }
 
+/// Run a recording closure with *two* sinks teed off the same stream —
+/// still fused, still no materialized trace. Both sinks see every
+/// reference in program order, so each is bit-identical to what it would
+/// have computed alone.
+///
+/// This is how the learned-predictor pipeline rides the fan-out: a
+/// `SimFanout` produces simulator ground truth while a featurizer
+/// consumes the identical stream in the same pass.
+pub fn record_tee<A, B, F>(a: A, b: B, run: F) -> (DsRegistry, A, B)
+where
+    A: TraceSink + 'static,
+    B: TraceSink + 'static,
+    F: FnOnce(&Recorder),
+{
+    let a = Rc::new(RefCell::new(a));
+    let b = Rc::new(RefCell::new(b));
+    let mut tee = Tee::new();
+    tee.push(a.clone());
+    tee.push(b.clone());
+    let rec = Recorder::streaming(Rc::new(RefCell::new(tee)));
+    run(&rec);
+    let registry = rec.registry();
+    drop(rec);
+    let (Ok(a), Ok(b)) = (Rc::try_unwrap(a), Rc::try_unwrap(b)) else {
+        panic!("kernel closure must drop its tracked buffers and recorder clones");
+    };
+    (registry, a.into_inner(), b.into_inner())
+}
+
 /// Shared recording state.
 #[derive(Default)]
 struct Shared {

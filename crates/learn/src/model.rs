@@ -1,0 +1,385 @@
+//! The learned `N_ha` model: ridge regression + gradient-boosted stumps
+//! over engineered (stream features × cache geometry) inputs, serialized
+//! as a versioned JSON artifact.
+//!
+//! The model predicts a *log-ratio correction* to the reuse-distance
+//! physics estimate: with `base = rd_miss_fraction × accesses`, the
+//! regression target is `t = ln((misses+1)/(base+1))` and the prediction
+//! is `N_ha = (base+1)·eᵗ̂ − 1`, clamped to the feasible range. Working in
+//! log-ratio space makes *relative* error the optimized quantity (a 2×
+//! over-prediction costs the same on a 100-miss template point as on a
+//! 100k-miss streaming point) and makes zero the perfect output whenever
+//! the stack-distance estimate is already exact — the ensemble only has
+//! to learn where reality deviates (set-conflict misses, prefetch-less
+//! strides, interference). The hot path
+//! ([`NhaModel::predict_assembled`]) is allocation-free: the input lives
+//! in a stack array and the stump ensemble is a flat slice walk.
+
+use crate::features::FeatureVector;
+use dvf_cachesim::CacheConfig;
+use dvf_obs::{Json, JsonWriter};
+use std::fmt;
+
+/// Versioned schema identifier of the serialized model artifact.
+pub const MODEL_SCHEMA: &str = "dvf-learn-model/1";
+
+/// Width of the assembled model input.
+pub const FEATURE_DIM: usize = 10;
+
+/// Names of the assembled input dimensions, in order (serialized with the
+/// model so an artifact is self-describing).
+pub const FEATURE_NAMES: [&str; FEATURE_DIM] = [
+    "bias",
+    "rd_miss_frac",
+    "cold_frac",
+    "log_fill",
+    "stride_entropy",
+    "write_ratio",
+    "log_assoc",
+    "log_lines",
+    "dominant_stride",
+    "saturation_frac",
+];
+
+/// Assemble the fixed-width model input for one (features, geometry)
+/// pair. Pure and allocation-free.
+pub fn assemble(fv: &FeatureVector, config: CacheConfig) -> [f64; FEATURE_DIM] {
+    let lines = config.num_blocks().max(1);
+    let acc = fv.accesses.max(1) as f64;
+    let (unique, evicted) = if config.line_bytes <= 32 {
+        (fv.unique32, fv.evicted32)
+    } else {
+        (fv.unique64, fv.evicted64)
+    };
+    let footprint = (unique.max(1) as f64) * config.line_bytes as f64;
+    let capacity = config.capacity().max(1) as f64;
+    [
+        1.0,
+        fv.rd_miss_fraction(lines, config.line_bytes),
+        unique as f64 / acc,
+        (footprint / capacity).log2().clamp(-8.0, 8.0) / 8.0,
+        fv.stride_entropy() / (STRIDE_ENTROPY_MAX),
+        fv.write_ratio(),
+        (config.associativity.max(1) as f64).log2() / 12.0,
+        (lines as f64).log2() / 24.0,
+        fv.dominant_stride_fraction(),
+        evicted as f64 / acc,
+    ]
+}
+
+/// Maximum stride entropy (log₂ of the bucket count), used to normalize.
+const STRIDE_ENTROPY_MAX: f64 = 4.087462841250339; // log2(17)
+
+/// One depth-1 regression tree of the boosted ensemble (learning rate
+/// already folded into the leaf values).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stump {
+    /// Index into the assembled input.
+    pub feature: usize,
+    /// Split threshold (`x[feature] <= threshold` goes left).
+    pub threshold: f64,
+    /// Leaf value added when left.
+    pub left: f64,
+    /// Leaf value added when right.
+    pub right: f64,
+}
+
+/// Held-out error distribution from k-fold cross-validation, shipped with
+/// the model and echoed in every prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorBound {
+    /// Largest held-out relative error (`|pred − sim| / max(sim, 1)`).
+    pub max_rel_err: f64,
+    /// 95th-percentile held-out relative error.
+    pub p95_rel_err: f64,
+    /// Mean held-out relative error.
+    pub mean_rel_err: f64,
+}
+
+/// Error decoding or validating a model artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelError {
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "model: {}", self.message)
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+fn err(message: impl Into<String>) -> ModelError {
+    ModelError {
+        message: message.into(),
+    }
+}
+
+/// A trained, serializable `N_ha` predictor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NhaModel {
+    /// Seed the training run derived everything from.
+    pub seed: u64,
+    /// Whether the training grid was the reduced smoke grid.
+    pub smoke: bool,
+    /// Number of (workload, geometry) samples trained on.
+    pub samples: u64,
+    /// Cross-validation fold count behind [`NhaModel::bound`].
+    pub folds: u64,
+    /// Ridge regularization strength.
+    pub lambda: f64,
+    /// Ridge weights over the assembled input.
+    pub weights: [f64; FEATURE_DIM],
+    /// Boosted stump ensemble applied on top of the linear term.
+    pub stumps: Vec<Stump>,
+    /// Held-out cross-validated error distribution.
+    pub bound: ErrorBound,
+}
+
+impl NhaModel {
+    /// Predicted log-ratio correction `t̂` for an assembled input
+    /// (allocation-free hot path). Clamped to `[-8, 8]`.
+    #[inline]
+    pub fn predict_assembled(&self, x: &[f64; FEATURE_DIM]) -> f64 {
+        let mut y = 0.0;
+        for (w, v) in self.weights.iter().zip(x.iter()) {
+            y += w * v;
+        }
+        for s in &self.stumps {
+            y += if x[s.feature] <= s.threshold {
+                s.left
+            } else {
+                s.right
+            };
+        }
+        y.clamp(-8.0, 8.0)
+    }
+
+    /// Predicted `N_ha` of an assembled input given the raw access count
+    /// (`x[1]` carries the physics estimate): `(base+1)·eᵗ̂ − 1`, clamped
+    /// to the feasible `[0, accesses]` range.
+    #[inline]
+    pub fn predict_n_ha(&self, x: &[f64; FEATURE_DIM], accesses: f64) -> f64 {
+        let base = x[1] * accesses;
+        let t = self.predict_assembled(x);
+        ((base + 1.0) * t.exp() - 1.0).clamp(0.0, accesses)
+    }
+
+    /// Predicted `N_ha` (main-memory accesses) of a data structure with
+    /// stream features `fv` under one cache geometry.
+    pub fn predict(&self, fv: &FeatureVector, config: CacheConfig) -> f64 {
+        let x = assemble(fv, config);
+        self.predict_n_ha(&x, fv.accesses as f64)
+    }
+
+    /// Per-level predicted `N_ha` for a cache hierarchy, applying the
+    /// single-level model at each level's geometry. Valid for inclusive
+    /// LRU-like stacks, where a level of capacity `C` filters exactly the
+    /// reuses with stack distance under `C` (DESIGN.md §14.4).
+    pub fn predict_levels(&self, fv: &FeatureVector, levels: &[CacheConfig]) -> Vec<f64> {
+        levels.iter().map(|&c| self.predict(fv, c)).collect()
+    }
+
+    /// Serialize as a `dvf-learn-model/1` JSON artifact. Deterministic:
+    /// the same model always renders the same bytes.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("schema").string(MODEL_SCHEMA);
+        w.key("feature_schema").string(crate::FEATURE_SCHEMA);
+        w.key("seed").u64(self.seed);
+        w.key("smoke").bool(self.smoke);
+        w.key("samples").u64(self.samples);
+        w.key("folds").u64(self.folds);
+        w.key("lambda").f64(self.lambda);
+        w.key("feature_names").begin_array();
+        for name in FEATURE_NAMES {
+            w.string(name);
+        }
+        w.end_array();
+        w.key("weights").begin_array();
+        for &v in &self.weights {
+            w.f64(v);
+        }
+        w.end_array();
+        w.key("stumps").begin_array();
+        for s in &self.stumps {
+            w.begin_object();
+            w.key("feature").u64(s.feature as u64);
+            w.key("threshold").f64(s.threshold);
+            w.key("left").f64(s.left);
+            w.key("right").f64(s.right);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("error_bound").begin_object();
+        w.key("max_rel_err").f64(self.bound.max_rel_err);
+        w.key("p95_rel_err").f64(self.bound.p95_rel_err);
+        w.key("mean_rel_err").f64(self.bound.mean_rel_err);
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Decode a `dvf-learn-model/1` artifact, validating schema versions
+    /// and dimension widths.
+    pub fn from_json(text: &str) -> Result<NhaModel, ModelError> {
+        let doc = Json::parse(text).map_err(|e| err(e.to_string()))?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or_else(|| err("missing \"schema\""))?;
+        if schema != MODEL_SCHEMA {
+            return Err(err(format!(
+                "schema {schema:?} unsupported (want {MODEL_SCHEMA:?})"
+            )));
+        }
+        let fschema = doc
+            .get("feature_schema")
+            .and_then(Json::as_str)
+            .ok_or_else(|| err("missing \"feature_schema\""))?;
+        if fschema != crate::FEATURE_SCHEMA {
+            return Err(err(format!(
+                "feature schema {fschema:?} unsupported (want {:?})",
+                crate::FEATURE_SCHEMA
+            )));
+        }
+        let u = |key: &str| -> Result<u64, ModelError> {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| err(format!("missing integer {key:?}")))
+        };
+        let f = |key: &str| -> Result<f64, ModelError> {
+            doc.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| err(format!("missing number {key:?}")))
+        };
+        let weights_arr = doc
+            .get("weights")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| err("missing \"weights\""))?;
+        if weights_arr.len() != FEATURE_DIM {
+            return Err(err(format!(
+                "weights has {} entries, model wants {FEATURE_DIM}",
+                weights_arr.len()
+            )));
+        }
+        let mut weights = [0.0; FEATURE_DIM];
+        for (slot, v) in weights.iter_mut().zip(weights_arr) {
+            *slot = v.as_f64().ok_or_else(|| err("non-numeric weight"))?;
+        }
+        let mut stumps = Vec::new();
+        for s in doc
+            .get("stumps")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| err("missing \"stumps\""))?
+        {
+            let get_f = |key: &str| -> Result<f64, ModelError> {
+                s.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| err(format!("stump missing {key:?}")))
+            };
+            let feature =
+                s.get("feature")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| err("stump missing \"feature\""))? as usize;
+            if feature >= FEATURE_DIM {
+                return Err(err(format!("stump feature {feature} out of range")));
+            }
+            stumps.push(Stump {
+                feature,
+                threshold: get_f("threshold")?,
+                left: get_f("left")?,
+                right: get_f("right")?,
+            });
+        }
+        let bound_doc = doc
+            .get("error_bound")
+            .ok_or_else(|| err("missing \"error_bound\""))?;
+        let bf = |key: &str| -> Result<f64, ModelError> {
+            bound_doc
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| err(format!("error_bound missing {key:?}")))
+        };
+        Ok(NhaModel {
+            seed: u("seed")?,
+            smoke: doc
+                .get("smoke")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| err("missing \"smoke\""))?,
+            samples: u("samples")?,
+            folds: u("folds")?,
+            lambda: f("lambda")?,
+            weights,
+            stumps,
+            bound: ErrorBound {
+                max_rel_err: bf("max_rel_err")?,
+                p95_rel_err: bf("p95_rel_err")?,
+                mean_rel_err: bf("mean_rel_err")?,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_model() -> NhaModel {
+        NhaModel {
+            seed: 7,
+            smoke: true,
+            samples: 48,
+            folds: 5,
+            lambda: 1e-3,
+            weights: [0.01, 0.95, 0.02, 0.0, -0.01, 0.0, 0.001, -0.002, 0.0, 0.1],
+            stumps: vec![Stump {
+                feature: 1,
+                threshold: 0.5,
+                left: -0.01,
+                right: 0.02,
+            }],
+            bound: ErrorBound {
+                max_rel_err: 0.21,
+                p95_rel_err: 0.08,
+                mean_rel_err: 0.03,
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_byte_identical() {
+        let m = sample_model();
+        let json = m.to_json();
+        let back = NhaModel::from_json(&json).unwrap();
+        assert_eq!(m, back);
+        assert_eq!(json, back.to_json());
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let bad = sample_model().to_json().replace("dvf-learn-model/1", "x/9");
+        assert!(NhaModel::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn prediction_tracks_rd_estimate() {
+        // With weight ~1 on rd_miss_frac, a pure streaming vector (all
+        // cold) predicts close to its access count.
+        let mut fv = FeatureVector {
+            accesses: 1000,
+            reads: 1000,
+            unique64: 1000,
+            unique32: 1000,
+            ..FeatureVector::default()
+        };
+        fv.strides[4] = 999;
+        let m = sample_model();
+        let config = CacheConfig::new(8, 64, 64).unwrap();
+        let pred = m.predict(&fv, config);
+        assert!(pred > 800.0 && pred <= 1000.0, "pred = {pred}");
+    }
+}

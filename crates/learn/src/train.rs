@@ -1,0 +1,437 @@
+//! Deterministic trainer: ridge regression + gradient-boosted stumps with
+//! k-fold cross-validation.
+//!
+//! Everything is seeded and order-stable — sample shuffling uses a
+//! SplitMix64 permutation, stump thresholds come from fixed quantiles of
+//! deterministically sorted values, and ties break by (feature, threshold)
+//! order — so training twice with the same dataset and seed reproduces the
+//! serialized model byte for byte (pinned by a property test).
+
+use crate::model::{ErrorBound, NhaModel, Stump, FEATURE_DIM};
+
+/// One training sample: an assembled input, its log-ratio target, and
+/// the raw counts needed to score relative error in miss units.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Assembled model input (see [`crate::assemble`]).
+    pub x: [f64; FEATURE_DIM],
+    /// Target log-ratio correction `ln((misses+1) / (x[1]·accesses+1))`
+    /// — zero when the reuse-distance estimate is exact.
+    pub y: f64,
+    /// Reference count of the data structure.
+    pub accesses: f64,
+    /// Simulator ground-truth miss count.
+    pub misses: f64,
+    /// Human-readable provenance (`pattern case geometry`).
+    pub tag: String,
+}
+
+/// A labeled dataset.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// All samples, in generation order.
+    pub samples: Vec<Sample>,
+}
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Seed for fold shuffling.
+    pub seed: u64,
+    /// Cross-validation fold count.
+    pub folds: usize,
+    /// Maximum boosting rounds.
+    pub rounds: usize,
+    /// Ridge regularization strength.
+    pub lambda: f64,
+    /// Boosting learning rate (folded into stored leaf values).
+    pub learning_rate: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            folds: 5,
+            rounds: 48,
+            lambda: 1e-3,
+            learning_rate: 0.3,
+        }
+    }
+}
+
+/// Cross-validation result.
+#[derive(Debug, Clone)]
+pub struct CvReport {
+    /// Fold count used.
+    pub folds: usize,
+    /// Samples evaluated (every sample is held out exactly once).
+    pub samples: usize,
+    /// Per-fold maximum held-out relative error.
+    pub fold_max_rel_err: Vec<f64>,
+    /// Pooled held-out error distribution.
+    pub bound: ErrorBound,
+}
+
+impl CvReport {
+    /// Versioned machine-readable rendering (`dvf-learn-cv/1`).
+    pub fn to_json(&self) -> String {
+        let mut w = dvf_obs::JsonWriter::new();
+        w.begin_object();
+        w.key("schema").string("dvf-learn-cv/1");
+        w.key("folds").u64(self.folds as u64);
+        w.key("samples").u64(self.samples as u64);
+        w.key("fold_max_rel_err").begin_array();
+        for &e in &self.fold_max_rel_err {
+            w.f64(e);
+        }
+        w.end_array();
+        w.key("max_rel_err").f64(self.bound.max_rel_err);
+        w.key("p95_rel_err").f64(self.bound.p95_rel_err);
+        w.key("mean_rel_err").f64(self.bound.mean_rel_err);
+        w.end_object();
+        w.finish()
+    }
+}
+
+/// SplitMix64 — the same generator the oracle workloads use.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Ridge solve `(XᵀX + λI) w = Xᵀy` by Gaussian elimination with partial
+/// pivoting (the system is `FEATURE_DIM × FEATURE_DIM`).
+fn ridge(samples: &[&Sample], lambda: f64) -> [f64; FEATURE_DIM] {
+    let d = FEATURE_DIM;
+    let mut a = [[0.0f64; FEATURE_DIM + 1]; FEATURE_DIM];
+    for s in samples {
+        for (i, row) in a.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().take(d).enumerate() {
+                *cell += s.x[i] * s.x[j];
+            }
+            row[d] += s.x[i] * s.y;
+        }
+    }
+    for (i, row) in a.iter_mut().enumerate() {
+        row[i] += lambda;
+    }
+    for col in 0..d {
+        let pivot = (col..d)
+            .max_by(|&p, &q| a[p][col].abs().total_cmp(&a[q][col].abs()))
+            .unwrap();
+        a.swap(col, pivot);
+        let diag = a[col][col];
+        if diag.abs() < 1e-12 {
+            continue;
+        }
+        let pivot_row = a[col];
+        for row in a.iter_mut().skip(col + 1) {
+            let factor = row[col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for (k, cell) in row.iter_mut().enumerate().skip(col) {
+                *cell -= factor * pivot_row[k];
+            }
+        }
+    }
+    let mut w = [0.0f64; FEATURE_DIM];
+    for col in (0..d).rev() {
+        let mut v = a[col][d];
+        for k in col + 1..d {
+            v -= a[col][k] * w[k];
+        }
+        w[col] = if a[col][col].abs() < 1e-12 {
+            0.0
+        } else {
+            v / a[col][col]
+        };
+    }
+    w
+}
+
+/// Quantile candidate thresholds per feature (deterministic: sorted by
+/// `total_cmp`, duplicates removed).
+fn thresholds(samples: &[&Sample], feature: usize) -> Vec<f64> {
+    let mut values: Vec<f64> = samples.iter().map(|s| s.x[feature]).collect();
+    values.sort_by(f64::total_cmp);
+    values.dedup();
+    if values.len() <= 1 {
+        return Vec::new();
+    }
+    const QUANTILES: usize = 16;
+    let mut out = Vec::with_capacity(QUANTILES);
+    for q in 1..QUANTILES {
+        let idx = (q * (values.len() - 1)) / QUANTILES;
+        let next = (idx + 1).min(values.len() - 1);
+        out.push((values[idx] + values[next]) / 2.0);
+    }
+    out.sort_by(f64::total_cmp);
+    out.dedup();
+    out
+}
+
+/// Fit one stump to the residuals; returns `None` when no split reduces
+/// the squared error.
+fn fit_stump(samples: &[&Sample], residuals: &[f64]) -> Option<Stump> {
+    let n = residuals.len();
+    if n < 4 {
+        return None;
+    }
+    let total: f64 = residuals.iter().sum();
+    let base_sse: f64 = residuals.iter().map(|r| r * r).sum();
+    let mut best: Option<(f64, Stump)> = None;
+    for feature in 0..FEATURE_DIM {
+        for t in thresholds(samples, feature) {
+            let mut left_sum = 0.0;
+            let mut left_n = 0usize;
+            for (s, &r) in samples.iter().zip(residuals) {
+                if s.x[feature] <= t {
+                    left_sum += r;
+                    left_n += 1;
+                }
+            }
+            if left_n == 0 || left_n == n {
+                continue;
+            }
+            let right_sum = total - left_sum;
+            let right_n = n - left_n;
+            // SSE reduction of splitting at (feature, t) with mean leaves.
+            let gain = left_sum * left_sum / left_n as f64 + right_sum * right_sum / right_n as f64;
+            let better = match &best {
+                None => true,
+                Some((g, _)) => gain > *g + 1e-15,
+            };
+            if better {
+                best = Some((
+                    gain,
+                    Stump {
+                        feature,
+                        threshold: t,
+                        left: left_sum / left_n as f64,
+                        right: right_sum / right_n as f64,
+                    },
+                ));
+            }
+        }
+    }
+    match best {
+        Some((gain, stump)) if gain > 1e-12 && gain.is_finite() && base_sse > 1e-12 => Some(stump),
+        _ => None,
+    }
+}
+
+/// Train ridge + boosted stumps on `samples`.
+fn fit(samples: &[&Sample], cfg: &TrainConfig) -> ([f64; FEATURE_DIM], Vec<Stump>) {
+    let weights = ridge(samples, cfg.lambda);
+    let mut residuals: Vec<f64> = samples
+        .iter()
+        .map(|s| {
+            let lin: f64 = weights.iter().zip(&s.x).map(|(w, v)| w * v).sum();
+            s.y - lin
+        })
+        .collect();
+    let mut stumps = Vec::new();
+    for _ in 0..cfg.rounds {
+        let Some(raw) = fit_stump(samples, &residuals) else {
+            break;
+        };
+        let scaled = Stump {
+            left: raw.left * cfg.learning_rate,
+            right: raw.right * cfg.learning_rate,
+            ..raw
+        };
+        for (s, r) in samples.iter().zip(residuals.iter_mut()) {
+            *r -= if s.x[scaled.feature] <= scaled.threshold {
+                scaled.left
+            } else {
+                scaled.right
+            };
+        }
+        stumps.push(scaled);
+    }
+    (weights, stumps)
+}
+
+/// Relative error of a predicted log-ratio, scored in miss units through
+/// the same transform the model applies at prediction time.
+fn rel_err(pred_t: f64, s: &Sample) -> f64 {
+    let base = s.x[1] * s.accesses;
+    let pred = ((base + 1.0) * pred_t.clamp(-8.0, 8.0).exp() - 1.0).clamp(0.0, s.accesses);
+    (pred - s.misses).abs() / s.misses.max(1.0)
+}
+
+fn predict_frac(weights: &[f64; FEATURE_DIM], stumps: &[Stump], x: &[f64; FEATURE_DIM]) -> f64 {
+    let mut y: f64 = weights.iter().zip(x).map(|(w, v)| w * v).sum();
+    for s in stumps {
+        y += if x[s.feature] <= s.threshold {
+            s.left
+        } else {
+            s.right
+        };
+    }
+    y
+}
+
+/// Train a model with k-fold cross-validation: the returned model is fit
+/// on *all* samples, its [`ErrorBound`] comes from the pooled held-out
+/// folds, and the whole procedure is deterministic in (dataset, config).
+pub fn train(dataset: &Dataset, cfg: &TrainConfig) -> (NhaModel, CvReport) {
+    let _span = dvf_obs::span("learn.train");
+    let n = dataset.samples.len();
+    assert!(n >= 2, "dataset too small to train on ({n} samples)");
+    let folds = cfg.folds.clamp(2, n);
+
+    // Seeded permutation → fold assignment by index position.
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut rng = SplitMix64(cfg.seed);
+    for i in (1..n).rev() {
+        let j = (rng.next() % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+
+    let mut held_out: Vec<f64> = Vec::with_capacity(n);
+    let mut fold_max = vec![0.0f64; folds];
+    for (fold, fmax) in fold_max.iter_mut().enumerate() {
+        let train_set: Vec<&Sample> = perm
+            .iter()
+            .enumerate()
+            .filter(|(pos, _)| pos % folds != fold)
+            .map(|(_, &i)| &dataset.samples[i])
+            .collect();
+        let eval_set: Vec<&Sample> = perm
+            .iter()
+            .enumerate()
+            .filter(|(pos, _)| pos % folds == fold)
+            .map(|(_, &i)| &dataset.samples[i])
+            .collect();
+        if train_set.is_empty() || eval_set.is_empty() {
+            continue;
+        }
+        let (weights, stumps) = fit(&train_set, cfg);
+        for s in eval_set {
+            let e = rel_err(predict_frac(&weights, &stumps, &s.x), s);
+            *fmax = fmax.max(e);
+            held_out.push(e);
+        }
+    }
+    held_out.sort_by(f64::total_cmp);
+    let bound = ErrorBound {
+        max_rel_err: held_out.last().copied().unwrap_or(0.0),
+        p95_rel_err: if held_out.is_empty() {
+            0.0
+        } else {
+            held_out[((held_out.len() as f64 * 0.95).ceil() as usize).min(held_out.len()) - 1]
+        },
+        mean_rel_err: if held_out.is_empty() {
+            0.0
+        } else {
+            held_out.iter().sum::<f64>() / held_out.len() as f64
+        },
+    };
+
+    let all: Vec<&Sample> = dataset.samples.iter().collect();
+    let (weights, stumps) = fit(&all, cfg);
+    dvf_obs::add("learn.train.samples", n as u64);
+    dvf_obs::add("learn.train.stumps", stumps.len() as u64);
+    dvf_obs::add("learn.train.folds", folds as u64);
+    let model = NhaModel {
+        seed: cfg.seed,
+        smoke: false,
+        samples: n as u64,
+        folds: folds as u64,
+        lambda: cfg.lambda,
+        weights,
+        stumps,
+        bound,
+    };
+    let report = CvReport {
+        folds,
+        samples: held_out.len(),
+        fold_max_rel_err: fold_max,
+        bound,
+    };
+    (model, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic dataset where the log-ratio target is a linear+step
+    /// function of the inputs (misses derived through the same transform
+    /// the predictor applies).
+    fn synthetic(n: usize, seed: u64) -> Dataset {
+        let mut rng = SplitMix64(seed);
+        let mut samples = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut x = [0.0f64; FEATURE_DIM];
+            x[0] = 1.0;
+            for v in x.iter_mut().skip(1) {
+                *v = (rng.next() % 1000) as f64 / 1000.0;
+            }
+            let step = if x[2] > 0.6 { 0.4 } else { 0.0 };
+            let t = 0.1 + 0.5 * x[4] + step;
+            let accesses = 10_000.0;
+            let base = x[1] * accesses;
+            let misses = ((base + 1.0) * t.exp() - 1.0).clamp(0.0, accesses);
+            samples.push(Sample {
+                x,
+                y: t,
+                accesses,
+                misses,
+                tag: format!("synthetic#{i}"),
+            });
+        }
+        Dataset { samples }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let ds = synthetic(200, 42);
+        let cfg = TrainConfig::default();
+        let (m1, _) = train(&ds, &cfg);
+        let (m2, _) = train(&ds, &cfg);
+        assert_eq!(m1.to_json(), m2.to_json());
+    }
+
+    #[test]
+    fn learns_linear_plus_step() {
+        let ds = synthetic(400, 7);
+        let (model, report) = train(&ds, &TrainConfig::default());
+        assert!(
+            report.bound.p95_rel_err < 0.15,
+            "p95 rel err {}",
+            report.bound.p95_rel_err
+        );
+        assert!(!model.stumps.is_empty(), "boosting found the step");
+    }
+
+    #[test]
+    fn different_seed_changes_folds_not_validity() {
+        let ds = synthetic(200, 42);
+        let (_, r1) = train(
+            &ds,
+            &TrainConfig {
+                seed: 1,
+                ..TrainConfig::default()
+            },
+        );
+        let (_, r2) = train(
+            &ds,
+            &TrainConfig {
+                seed: 2,
+                ..TrainConfig::default()
+            },
+        );
+        assert_eq!(r1.samples, r2.samples);
+    }
+}

@@ -1,5 +1,5 @@
 //! A minimal JSON *reader* (RFC 8259 subset, no external dependencies) —
-//! the mirror image of `dvf_obs::JsonWriter`, used to decode request
+//! the mirror image of `crate::JsonWriter`, used to decode request
 //! bodies. Departures from the full grammar are conservative: nesting is
 //! capped (a hostile body cannot blow the stack), numbers parse through
 //! `f64` (integers above 2⁵³ lose precision, irrelevant for this API),
@@ -360,7 +360,7 @@ mod tests {
 
     #[test]
     fn roundtrips_writer_output() {
-        let mut w = dvf_obs::JsonWriter::new();
+        let mut w = crate::JsonWriter::new();
         w.begin_object();
         w.key("name").string("A\"\\\n");
         w.key("xs").begin_array().f64(1.5).u64(7).end_array();

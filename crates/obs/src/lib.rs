@@ -45,6 +45,7 @@
 pub mod export;
 pub mod heartbeat;
 pub mod json;
+pub mod jsonval;
 pub mod registry;
 pub mod ring;
 pub mod span;
@@ -53,6 +54,7 @@ pub mod trace;
 pub use export::{CounterEntry, HistogramEntry, Snapshot, SpanEntry};
 pub use heartbeat::Heartbeat;
 pub use json::JsonWriter;
+pub use jsonval::{Json, JsonError};
 pub use registry::{Counter, Histogram};
 pub use ring::{FlightRecorder, PhaseRecord, RequestRecord};
 pub use span::{span, span_scope, SpanGuard};

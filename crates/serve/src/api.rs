@@ -12,6 +12,7 @@
 //! | `/v1/sweep`               | POST   | memoized parameter-grid sweep              |
 //! | `/v1/sweepchunk`          | POST   | one coordinator chunk: explicit grid points|
 //! | `/v1/batch`               | POST   | many dvf/sweep questions in one round-trip |
+//! | `/v1/predict`             | POST   | learned `N_ha` from stream features        |
 //! | `/v1/debug/requests`      | GET    | flight recorder: recent request records    |
 //! | `/v1/debug/requests/{id}` | GET    | one request's full phase timeline          |
 //!
@@ -29,6 +30,13 @@
 //! (top first, optional `prefetch` degree); the response then splits each
 //! structure's exposure per storage (`L2`…, `memory`) and appends the
 //! protect-which-level DVF rows.
+//!
+//! `/v1/predict` (served only when the process was started with
+//! `--model`, 503 otherwise) takes `{"features": <dvf-learn/1 feature
+//! vector>, "levels": [{assoc, sets, line}, ...]}` (or a single
+//! `"geometry"` object) and answers the learned per-level `N_ha`
+//! together with the model's held-out error bound; a feature vector
+//! whose schema does not match the loaded model is a 422.
 
 use crate::http::{error_response, Request, Response};
 use crate::jsonval::Json;
@@ -65,6 +73,7 @@ pub fn route(req: &Request, ctx: &ServeCtx) -> Response {
         ("POST", "/v1/sweep") => with_json(req, |body| sweep(&body, ctx)),
         ("POST", "/v1/sweepchunk") => with_json(req, |body| sweepchunk(&body, ctx)),
         ("POST", "/v1/batch") => with_json(req, |body| batch(&body, ctx)),
+        ("POST", "/v1/predict") => with_json(req, |body| predict(&body, ctx)),
         ("POST", "/v1/_panic") if ctx.config.panic_route => {
             panic!("deliberate panic via /v1/_panic (test configuration)")
         }
@@ -85,7 +94,7 @@ pub fn route(req: &Request, ctx: &ServeCtx) -> Response {
     }
 }
 
-const KNOWN_PATHS: [&str; 9] = [
+const KNOWN_PATHS: [&str; 10] = [
     "/v1/healthz",
     "/v1/metrics",
     "/v1/parse",
@@ -94,13 +103,16 @@ const KNOWN_PATHS: [&str; 9] = [
     "/v1/sweep",
     "/v1/sweepchunk",
     "/v1/batch",
+    "/v1/predict",
     "/v1/debug/requests",
 ];
 
 fn allow_of(path: &str) -> &'static str {
     match path {
         "/v1/healthz" | "/v1/metrics" | "/v1/debug/requests" => "GET",
-        "/v1/parse" | "/v1/dvf" | "/v1/sweep" | "/v1/sweepchunk" | "/v1/batch" => "POST",
+        "/v1/parse" | "/v1/dvf" | "/v1/sweep" | "/v1/sweepchunk" | "/v1/batch" | "/v1/predict" => {
+            "POST"
+        }
         "/v1/sessions" => "GET, POST",
         path if path.starts_with("/v1/debug/requests/") => "GET",
         _ => "DELETE",
@@ -273,6 +285,18 @@ fn metrics_json(ctx: &ServeCtx) -> Response {
         .key("max_sweep_points")
         .u64(MAX_SWEEP_POINTS as u64)
         .end_object();
+    // Learned-predictor state: whether /v1/predict will answer, and the
+    // identity + promised accuracy of the model behind it.
+    w.key("learn").begin_object();
+    w.key("model_loaded").bool(ctx.model.is_some());
+    if let Some(m) = &ctx.model {
+        w.key("model_seed").u64(m.seed);
+        w.key("model_grid")
+            .string(if m.smoke { "smoke" } else { "full" });
+        w.key("model_stumps").u64(m.stumps.len() as u64);
+        w.key("bound_max_rel_err").f64(m.bound.max_rel_err);
+    }
+    w.end_object();
     write_build(&mut w);
     w.end_object();
     Response::json(200, w.finish())
@@ -285,7 +309,12 @@ fn metrics_prometheus(ctx: &ServeCtx) -> Response {
     use std::fmt::Write as _;
     let mut out = dvf_obs::snapshot().render_prometheus();
     // Serve-level gauges the obs registry doesn't know about.
-    let gauges: [(&str, u64); 12] = [
+    let gauges: [(&str, u64); 14] = [
+        ("dvf_learn_model_loaded", u64::from(ctx.model.is_some())),
+        (
+            "dvf_learn_model_stumps",
+            ctx.model.as_ref().map_or(0, |m| m.stumps.len() as u64),
+        ),
         ("dvf_serve_sessions", ctx.registry.len() as u64),
         ("dvf_memo_stripes", memo::stripe_count() as u64),
         ("dvf_serve_queue_depth", ctx.queued()),
@@ -745,6 +774,130 @@ fn write_hierarchy_report(w: &mut JsonWriter, split: &HierarchyDvf) {
         w.end_object();
     }
     w.end_array();
+}
+
+/// Decode the `/v1/predict` level list: `"levels"` (array of
+/// `{assoc, sets, line}`, top first) or a single-level `"geometry"`
+/// object. Exactly one of the two must be present.
+fn predict_levels_of(body: &Json) -> Result<Vec<CacheConfig>, ApiError> {
+    let bad = |msg: String| ApiError::new(422, "bad_geometry", msg);
+    let level_of = |item: &Json, label: &str| -> Result<CacheConfig, ApiError> {
+        let field = |name: &str| {
+            item.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad(format!("{label} needs integer `{name}`")))
+        };
+        CacheConfig::new(
+            field("assoc")? as usize,
+            field("sets")? as usize,
+            field("line")? as usize,
+        )
+        .map_err(|e| bad(format!("{label}: {e}")))
+    };
+    match (body.get("levels"), body.get("geometry")) {
+        (Some(_), Some(_)) => Err(bad(
+            "give either `levels` or `geometry`, not both".to_owned()
+        )),
+        (Some(levels), None) => {
+            let Some(items) = levels.as_arr() else {
+                return Err(bad(
+                    "`levels` must be an array of {assoc, sets, line} objects, top first"
+                        .to_owned(),
+                ));
+            };
+            if items.is_empty() {
+                return Err(bad("`levels` must be non-empty".to_owned()));
+            }
+            items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| level_of(item, &format!("level {i}")))
+                .collect()
+        }
+        (None, Some(g)) => Ok(vec![level_of(g, "`geometry`")?]),
+        (None, None) => Err(bad(
+            "predict needs `levels` (array) or `geometry` (object)".to_owned()
+        )),
+    }
+}
+
+/// `POST /v1/predict`: learned per-level `N_ha` from a client-supplied
+/// `dvf-learn/1` feature vector — no trace travels over the wire, only
+/// the fixed-width features the client computed in-stream while
+/// recording. The hot path is allocation-free past decoding: one
+/// [`assemble`](dvf_learn::assemble) + stump walk per level.
+fn predict(body: &Json, ctx: &ServeCtx) -> Response {
+    let Some(model) = ctx.model.as_ref() else {
+        dvf_obs::add("serve.predict.rejected", 1);
+        return error_response(
+            503,
+            "no_model",
+            "no model loaded; start the server with --model model.json",
+        );
+    };
+    let reject = |e: ApiError| {
+        dvf_obs::add("serve.predict.rejected", 1);
+        e.into_response()
+    };
+    let Some(features) = body.get("features") else {
+        return reject(ApiError::new(
+            422,
+            "bad_features",
+            "predict needs a `features` object (dvf-learn/1 feature vector)",
+        ));
+    };
+    let fv = match dvf_learn::FeatureVector::from_json(features) {
+        Ok(fv) => fv,
+        Err(e) => return reject(ApiError::new(422, "bad_features", e)),
+    };
+    let levels = match predict_levels_of(body) {
+        Ok(l) => l,
+        Err(e) => return reject(e),
+    };
+
+    let predictions = dvf_obs::span_scope("predict", || model.predict_levels(&fv, &levels));
+    dvf_obs::add("serve.predict.ok", 1);
+
+    let mut w = writer();
+    w.key("ok").bool(true);
+    w.key("accesses").u64(fv.accesses);
+    w.key("model")
+        .begin_object()
+        .key("seed")
+        .u64(model.seed)
+        .key("grid")
+        .string(if model.smoke { "smoke" } else { "full" })
+        .key("samples")
+        .u64(model.samples)
+        .key("stumps")
+        .u64(model.stumps.len() as u64)
+        .key("feature_schema")
+        .string(dvf_learn::FEATURE_SCHEMA)
+        .end_object();
+    w.key("levels").begin_array();
+    for (g, n_ha) in levels.iter().zip(&predictions) {
+        w.begin_object();
+        w.key("assoc").u64(g.associativity as u64);
+        w.key("sets").u64(g.num_sets as u64);
+        w.key("line").u64(g.line_bytes as u64);
+        w.key("n_ha").f64(*n_ha);
+        w.end_object();
+    }
+    w.end_array();
+    // Every prediction carries the model's held-out error distribution:
+    // a client deciding whether to trust the number never has to make a
+    // second request (or guess) to learn how wrong it might be.
+    w.key("error_bound")
+        .begin_object()
+        .key("max_rel_err")
+        .f64(model.bound.max_rel_err)
+        .key("p95_rel_err")
+        .f64(model.bound.p95_rel_err)
+        .key("mean_rel_err")
+        .f64(model.bound.mean_rel_err)
+        .end_object();
+    w.end_object();
+    Response::json(200, w.finish())
 }
 
 fn evaluate_dvf(body: &Json, ctx: &ServeCtx) -> Response {

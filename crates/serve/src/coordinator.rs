@@ -213,6 +213,37 @@ pub struct Progress {
     pub cache_misses: u64,
 }
 
+/// Work already finished by an earlier invocation (the `--manifest`
+/// resume path): prefilled rows by grid index plus a per-chunk done map.
+/// Completed chunks are never re-queued, re-sent, or re-planned — their
+/// rows merge straight into the report.
+#[derive(Debug, Clone)]
+pub struct ResumeState {
+    /// One slot per grid point; `Some` where a completed chunk covered it.
+    pub rows: Vec<Option<RowOutcome>>,
+    /// One flag per plan chunk, `true` if its rows are already present.
+    pub done: Vec<bool>,
+}
+
+impl ResumeState {
+    /// Empty state for a plan: nothing done yet.
+    pub fn empty(plan: &ChunkPlan) -> Self {
+        Self {
+            rows: vec![None; plan.total_points],
+            done: vec![false; plan.chunks.len()],
+        }
+    }
+
+    /// Completed chunk count.
+    pub fn chunks_done(&self) -> usize {
+        self.done.iter().filter(|&&d| d).count()
+    }
+}
+
+/// Journal hook invoked with each chunk's rows as it completes (the
+/// `--manifest` progress file appends one line per call).
+pub type ChunkHook<'a> = &'a (dyn Fn(&Chunk, &[RowOutcome]) + Sync);
+
 /// Shared run state every worker sees.
 struct Shared {
     queues: Vec<Mutex<VecDeque<usize>>>,
@@ -261,25 +292,98 @@ pub fn run(
     cfg: &CoordinatorConfig,
     progress: impl Fn(&Progress) + Sync,
 ) -> Result<DistReport, CoordError> {
+    run_with(job, grid, plan, shards, cfg, progress, None, None)
+}
+
+/// [`run`] with resume support: chunks marked done in `resume` are never
+/// re-sent (their prefilled rows merge into the report), and `on_chunk`
+/// fires from worker threads with each freshly completed chunk's rows so
+/// the caller can journal them for a later resume. When every chunk is
+/// already done the shards are not contacted at all — a fully journaled
+/// sweep replays with the shard fleet offline.
+#[allow(clippy::too_many_arguments)]
+pub fn run_with(
+    job: &SweepJob,
+    grid: &GridSpec,
+    plan: &ChunkPlan,
+    shards: &[SocketAddr],
+    cfg: &CoordinatorConfig,
+    progress: impl Fn(&Progress) + Sync,
+    resume: Option<ResumeState>,
+    on_chunk: Option<ChunkHook<'_>>,
+) -> Result<DistReport, CoordError> {
     if shards.len() != plan.shards {
         return Err(CoordError::PlanMismatch {
             planned: plan.shards,
             given: shards.len(),
         });
     }
+    let resume = resume.unwrap_or_else(|| ResumeState::empty(plan));
+    if resume.done.len() != plan.chunks.len() || resume.rows.len() != plan.total_points {
+        return Err(CoordError::Protocol(format!(
+            "resume state shape ({} chunks, {} rows) does not match the plan ({}, {})",
+            resume.done.len(),
+            resume.rows.len(),
+            plan.chunks.len(),
+            plan.total_points
+        )));
+    }
     let total_chunks = plan.chunks.len();
+    let done_chunks = resume.chunks_done();
+    let done_points: usize = plan
+        .chunks
+        .iter()
+        .filter(|c| resume.done[c.id])
+        .map(|c| c.indices.len())
+        .sum();
+    if done_chunks == total_chunks {
+        // Nothing left to execute: merge the journaled rows without
+        // touching (or needing) any shard.
+        let rows = resume
+            .rows
+            .into_iter()
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| {
+                CoordError::Protocol(
+                    "resume state marks all chunks done but has missing rows".into(),
+                )
+            })?;
+        return Ok(DistReport {
+            rows,
+            shards: shards
+                .iter()
+                .map(|&addr| ShardReport {
+                    addr: addr.to_string(),
+                    chunks: 0,
+                    points: 0,
+                    cache_hits: 0,
+                    cache_misses: 0,
+                    retries: 0,
+                    dead: false,
+                })
+                .collect(),
+            failed_over_chunks: 0,
+        });
+    }
     let shared = Shared {
         queues: (0..shards.len())
-            .map(|s| Mutex::new(plan.chunks_of_shard(s).map(|c| c.id).collect()))
+            .map(|s| {
+                Mutex::new(
+                    plan.chunks_of_shard(s)
+                        .filter(|c| !resume.done[c.id])
+                        .map(|c| c.id)
+                        .collect(),
+                )
+            })
             .collect(),
         orphans: Mutex::new(VecDeque::new()),
         dead: (0..shards.len()).map(|_| AtomicBool::new(false)).collect(),
-        chunks_done: AtomicUsize::new(0),
-        points_done: AtomicUsize::new(0),
+        chunks_done: AtomicUsize::new(done_chunks),
+        points_done: AtomicUsize::new(done_points),
         chunk_hits: AtomicU64::new(0),
         chunk_misses: AtomicU64::new(0),
         failovers: AtomicU64::new(0),
-        rows: Mutex::new(vec![None; plan.total_points]),
+        rows: Mutex::new(resume.rows),
         fatal_flag: AtomicBool::new(false),
         fatal: Mutex::new(None),
     };
@@ -312,6 +416,7 @@ pub fn run(
                                 shared,
                                 total_chunks,
                                 progress,
+                                on_chunk,
                             ),
                         )
                     })
@@ -407,6 +512,7 @@ fn worker(
     shared: &Shared,
     total_chunks: usize,
     progress: &(impl Fn(&Progress) + Sync),
+    on_chunk: Option<ChunkHook<'_>>,
 ) -> WorkerStats {
     let mut client = ShardClient::new(addr, cfg.read_timeout, cfg.write_timeout);
     let mut stats = WorkerStats::default();
@@ -441,6 +547,7 @@ fn worker(
             cfg,
             shared,
             &mut stats,
+            on_chunk,
         ) {
             return stats;
         }
@@ -470,6 +577,7 @@ fn execute_chunk(
     cfg: &CoordinatorConfig,
     shared: &Shared,
     stats: &mut WorkerStats,
+    on_chunk: Option<ChunkHook<'_>>,
 ) -> bool {
     let chunk = &plan.chunks[cid];
     let body = chunk_body(job, grid, chunk);
@@ -483,6 +591,9 @@ fn execute_chunk(
             Ok(reply) if reply.status == 200 => {
                 match parse_chunk_reply(&reply.body, chunk.indices.len()) {
                     Ok((rows, hits, misses)) => {
+                        if let Some(journal) = on_chunk {
+                            journal(chunk, &rows);
+                        }
                         {
                             let mut slots = shared.rows.lock().expect("rows lock");
                             for (i, row) in chunk.indices.iter().zip(rows) {

@@ -69,8 +69,15 @@ pub mod client;
 pub mod coordinator;
 mod eventloop;
 pub mod http;
-pub mod jsonval;
+/// Minimal JSON reader. Lives in `dvf_obs::jsonval` (the leaf crate) so
+/// model artifacts and sweep manifests can be decoded without depending
+/// on the server; re-exported here because this is where request-body
+/// decoding happens.
+pub mod jsonval {
+    pub use dvf_obs::jsonval::*;
+}
 pub mod loadgen;
+pub mod manifest;
 pub mod registry;
 pub mod signal;
 mod sys;
@@ -184,6 +191,11 @@ pub struct ServerConfig {
     /// Log a structured JSON line to stderr for every request slower
     /// than this (the `dvf serve --slow-ms N` flag); `None` disables.
     pub slow_request: Option<Duration>,
+    /// Path to a `dvf-learn-model/1` artifact to load at startup (the
+    /// `dvf serve --model path` flag). When set, `POST /v1/predict`
+    /// serves learned `N_ha` predictions; when unset the route answers
+    /// 503 so load balancers can tell "no model" from "bad request".
+    pub model_path: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -205,6 +217,7 @@ impl Default for ServerConfig {
             trace_seed: 0x0DF5_C0DE_D00D_FEED,
             flight_capacity: 256,
             slow_request: None,
+            model_path: None,
         }
     }
 }
@@ -220,6 +233,10 @@ pub struct ServeCtx {
     pub started: Instant,
     /// Always-on ring of completed request records (`/v1/debug/requests`).
     pub recorder: dvf_obs::FlightRecorder,
+    /// Learned `N_ha` predictor loaded from [`ServerConfig::model_path`]
+    /// at bind time (`None` until a model is attached; `/v1/predict`
+    /// answers 503 without one).
+    pub model: Option<dvf_learn::NhaModel>,
     draining: AtomicBool,
     trace_counter: AtomicU64,
     queued: AtomicU64,
@@ -236,11 +253,19 @@ impl ServeCtx {
             registry,
             started: Instant::now(),
             recorder,
+            model: None,
             draining: AtomicBool::new(false),
             trace_counter: AtomicU64::new(0),
             queued: AtomicU64::new(0),
             open_connections: AtomicU64::new(0),
         }
+    }
+
+    /// Attach a loaded predictor model (builder style; used by
+    /// [`Server::bind`] and by tests that skip the filesystem).
+    pub fn with_model(mut self, model: dvf_learn::NhaModel) -> Self {
+        self.model = Some(model);
+        self
     }
 
     /// Is the server refusing new connections while finishing old ones?
@@ -313,7 +338,15 @@ impl Server {
     pub fn bind(config: ServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let ctx = Arc::new(ServeCtx::new(config));
+        let model = match config.model_path.as_deref() {
+            Some(path) => Some(load_model(path)?),
+            None => None,
+        };
+        let mut ctx = ServeCtx::new(config);
+        if let Some(m) = model {
+            ctx = ctx.with_model(m);
+        }
+        let ctx = Arc::new(ctx);
         let handle = match ctx.config.transport {
             #[cfg(unix)]
             Transport::EventLoop => {
@@ -346,6 +379,16 @@ impl Server {
             TransportHandle::Event(h) => h.shutdown(),
         }
     }
+}
+
+/// Read and validate a `dvf-learn-model/1` artifact, mapping decode
+/// failures to `InvalidData` so [`Server::bind`] reports them as bind
+/// errors (a server that silently dropped its model would 503 every
+/// predict request with no hint why).
+fn load_model(path: &str) -> std::io::Result<dvf_learn::NhaModel> {
+    let text = std::fs::read_to_string(path)?;
+    dvf_learn::NhaModel::from_json(&text)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{path}: {e}")))
 }
 
 /// Latency buckets for `serve.latency_us` (µs, roughly ×4 apart).

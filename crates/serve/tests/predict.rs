@@ -1,0 +1,217 @@
+//! `POST /v1/predict`: the learned `N_ha` predictor behind the HTTP API.
+//!
+//! Boots real servers (ephemeral ports) with and without a model
+//! attached and checks the whole contract: predictions with error
+//! bounds, 422 on schema mismatches and bad geometry, 503 without a
+//! model, and the learn gauges on `/v1/metrics`.
+
+mod common;
+
+use common::request;
+use dvf_cachesim::{DsId, MemRef};
+use dvf_learn::{ErrorBound, FeatureSink, NhaModel, FEATURE_DIM};
+use dvf_serve::{Server, ServerConfig};
+
+/// A tiny hand-built model: intercept-only ridge weights, no stumps.
+/// Prediction quality is irrelevant here — the tests check the API
+/// contract, not accuracy (that is `diffcheck --predict`'s job).
+fn tiny_model() -> NhaModel {
+    NhaModel {
+        seed: 7,
+        smoke: true,
+        samples: 4,
+        folds: 2,
+        lambda: 1e-3,
+        weights: [0.0; FEATURE_DIM],
+        stumps: Vec::new(),
+        bound: ErrorBound {
+            max_rel_err: 0.25,
+            p95_rel_err: 0.1,
+            mean_rel_err: 0.05,
+        },
+    }
+}
+
+struct TempFile(std::path::PathBuf);
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn write_model(name: &str, text: &str) -> TempFile {
+    let path = std::env::temp_dir().join(format!("predict-test-{}-{name}", std::process::id()));
+    std::fs::write(&path, text).expect("write model");
+    TempFile(path)
+}
+
+fn boot_with_model(file: &TempFile) -> Server {
+    let config = ServerConfig {
+        model_path: Some(file.0.to_str().unwrap().to_owned()),
+        ..ServerConfig::default()
+    };
+    Server::bind(config).expect("bind with model")
+}
+
+/// A real feature vector: featurize a short synthetic stream.
+fn features_json() -> String {
+    let mut sink = FeatureSink::new();
+    for i in 0..512u64 {
+        sink.record(MemRef::read(DsId(0), (i % 64) * 8));
+    }
+    sink.finish().ds(DsId(0)).to_json()
+}
+
+fn predict_body(features: &str) -> String {
+    format!(r#"{{"features":{features},"geometry":{{"assoc":8,"sets":512,"line":64}}}}"#)
+}
+
+#[test]
+fn predicts_with_error_bound_and_metrics_gauges() {
+    let file = write_model("ok.json", &tiny_model().to_json());
+    let server = boot_with_model(&file);
+    let addr = server.addr();
+
+    let reply = request(
+        addr,
+        "POST",
+        "/v1/predict",
+        Some(&predict_body(&features_json())),
+    );
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let doc = reply.json();
+    let levels = doc.get("levels").unwrap().as_arr().unwrap();
+    assert_eq!(levels.len(), 1);
+    let n_ha = levels[0].get("n_ha").unwrap().as_f64().unwrap();
+    assert!(n_ha.is_finite() && n_ha >= 0.0, "n_ha = {n_ha}");
+    // Every prediction ships the held-out error bound.
+    let bound = doc.get("error_bound").expect("error_bound object");
+    assert_eq!(bound.get("max_rel_err").unwrap().as_f64(), Some(0.25));
+    assert_eq!(
+        doc.get("model").unwrap().get("grid").unwrap().as_str(),
+        Some("smoke")
+    );
+
+    // Multi-level request: one prediction per level, in order.
+    let body = format!(
+        r#"{{"features":{},"levels":[{{"assoc":4,"sets":64,"line":32}},{{"assoc":8,"sets":512,"line":64}}]}}"#,
+        features_json()
+    );
+    let reply = request(addr, "POST", "/v1/predict", Some(&body));
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let levels_doc = reply.json();
+    let levels = levels_doc.get("levels").unwrap().as_arr().unwrap();
+    assert_eq!(levels.len(), 2);
+    assert_eq!(levels[0].get("assoc").unwrap().as_u64(), Some(4));
+    assert_eq!(levels[1].get("sets").unwrap().as_u64(), Some(512));
+
+    // The learn gauges reflect the loaded model.
+    let metrics = request(addr, "GET", "/v1/metrics", None).json();
+    let learn = metrics.get("learn").expect("learn object");
+    assert_eq!(learn.get("model_loaded").unwrap().as_bool(), Some(true));
+    assert_eq!(learn.get("model_seed").unwrap().as_u64(), Some(7));
+    let prom = request(addr, "GET", "/v1/metrics?format=prometheus", None);
+    assert!(
+        prom.body.contains("dvf_learn_model_loaded 1"),
+        "{}",
+        prom.body
+    );
+    assert!(
+        prom.body.contains("dvf_learn_model_stumps 0"),
+        "{}",
+        prom.body
+    );
+
+    // Wrong verb on a known path: 405 + Allow.
+    let wrong = request(addr, "GET", "/v1/predict", None);
+    assert_eq!(wrong.status, 405);
+    assert_eq!(wrong.header("Allow"), Some("POST"));
+    server.shutdown();
+}
+
+#[test]
+fn rejects_schema_mismatch_and_bad_geometry() {
+    let file = write_model("rej.json", &tiny_model().to_json());
+    let server = boot_with_model(&file);
+    let addr = server.addr();
+
+    // A feature vector from a different (future) schema version must be
+    // refused, not silently misinterpreted.
+    let stale = features_json().replace("dvf-learn/1", "dvf-learn/999");
+    let reply = request(addr, "POST", "/v1/predict", Some(&predict_body(&stale)));
+    assert_eq!(reply.status, 422, "{}", reply.body);
+    let err = reply.json();
+    assert_eq!(
+        err.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("bad_features")
+    );
+
+    // No geometry at all.
+    let body = format!(r#"{{"features":{}}}"#, features_json());
+    let reply = request(addr, "POST", "/v1/predict", Some(&body));
+    assert_eq!(reply.status, 422, "{}", reply.body);
+    assert_eq!(
+        reply
+            .json()
+            .get("error")
+            .unwrap()
+            .get("code")
+            .unwrap()
+            .as_str(),
+        Some("bad_geometry")
+    );
+
+    // Geometry that fails cache validation (non-power-of-two sets).
+    let body = format!(
+        r#"{{"features":{},"geometry":{{"assoc":8,"sets":100,"line":64}}}}"#,
+        features_json()
+    );
+    let reply = request(addr, "POST", "/v1/predict", Some(&body));
+    assert_eq!(reply.status, 422, "{}", reply.body);
+    server.shutdown();
+}
+
+#[test]
+fn without_model_predict_is_503_and_gauges_say_so() {
+    let server = Server::bind(ServerConfig::default()).expect("bind");
+    let addr = server.addr();
+    let reply = request(
+        addr,
+        "POST",
+        "/v1/predict",
+        Some(&predict_body(&features_json())),
+    );
+    assert_eq!(reply.status, 503, "{}", reply.body);
+    assert_eq!(
+        reply
+            .json()
+            .get("error")
+            .unwrap()
+            .get("code")
+            .unwrap()
+            .as_str(),
+        Some("no_model")
+    );
+    let metrics = request(addr, "GET", "/v1/metrics", None).json();
+    let learn = metrics.get("learn").expect("learn object");
+    assert_eq!(learn.get("model_loaded").unwrap().as_bool(), Some(false));
+    let prom = request(addr, "GET", "/v1/metrics?format=prometheus", None);
+    assert!(
+        prom.body.contains("dvf_learn_model_loaded 0"),
+        "{}",
+        prom.body
+    );
+    server.shutdown();
+}
+
+#[test]
+fn bind_fails_loudly_on_a_corrupt_model() {
+    let file = write_model("corrupt.json", "{\"schema\":\"not-a-model\"}");
+    let config = ServerConfig {
+        model_path: Some(file.0.to_str().unwrap().to_owned()),
+        ..ServerConfig::default()
+    };
+    let err = Server::bind(config).expect_err("corrupt model must not bind");
+    assert!(err.to_string().contains("schema"), "{err}");
+}

@@ -12,19 +12,35 @@
 //!                                       (repeat --sweep for a cross-product
 //!                                       grid; --shards fans chunks out over
 //!                                       dvf-serve instances; --progress emits
-//!                                       JSON progress lines on stderr)
+//!                                       JSON progress lines on stderr;
+//!                                       --manifest persists the plan and a
+//!                                       completed-chunk journal for resume)
 //! dvf serve [--addr A] [--workers N] [--queue N] [--sessions N]
 //!           [--transport T] [--max-connections N] [--max-batch-entries N]
 //!           [--max-body BYTES] [--read-timeout-ms MS] [--slow-ms MS]
+//!           [--model model.json]
 //!                                       resident HTTP JSON evaluation service
 //! dvf loadgen --addr A [--rate RPS] [--connections N] [--duration-s S]
 //!             [--poisson] [--seed N] [--path P] [--body JSON]
+//!             [--endpoint healthz|dvf|predict]
 //!                                       open-loop load generator (reports
-//!                                       schedule-to-response latency)
+//!                                       schedule-to-response latency;
+//!                                       --endpoint selects a canned
+//!                                       method/path/body)
+//! dvf learn train --out model.json [--seed N] [--smoke] [--folds K]
+//!                 [--max-rel-err F] [--json]
+//!                                       train the learned N_ha predictor on
+//!                                       the differential-oracle grid
+//! dvf learn predict --model model.json --trace t.dvft2 --ds NAME
+//!                   --geom A:S:L [--geom ...] [--json]
+//!                                       featurize a recorded trace and
+//!                                       predict per-level hit/miss counts
 //!     --machine <name>                  pick a machine (if several)
 //!     --model <name>                    pick a model (if several)
 //!     --param <name>=<value>            override a parameter (repeatable)
 //!     --residual <f>                    protected-DVF factor (default 0)
+//!     --predict <model.json>            learned N_ha instead of closed forms
+//!                                       (eval/protect/sweep, local only)
 //!     --no-cache                        disable sweep memoization
 //!     --profile[=json]                  print per-phase timing/counters
 //! ```
@@ -36,7 +52,7 @@
 //! Exit code 0 on success, 1 on user error, 2 on bad usage.
 
 use dvf::aspen::{parse, Resolver};
-use dvf::core::workflow::evaluate;
+use dvf::core::workflow::evaluate_with;
 use dvf::obs::ProfileFormat;
 use std::process::ExitCode;
 
@@ -48,13 +64,17 @@ commands:
                                      (--json: machine-readable, one document)
   fmt <file>                         pretty-print the model in canonical form
   eval <file> [--machine M] [--model M] [--param k=v]... [--profile[=json]]
+       [--predict model.json]
                                      compute and print the DVF report
+                                     (--predict swaps the closed-form N_ha
+                                     models for a trained dvf-learn model)
   timed <file> [same options]        time-resolved DVF (phase-weighted)
   protect <file> --budget BYTES [--residual F] [same options]
                                      plan selective protection by DVF density
   sweep <file> --sweep p=LO:HI:STEPS [--sweep q=...]... [--no-cache]
         [--shards HOST:PORT,...] [--chunk-points N] [--assign affine|round-robin]
-        [--in-flight N] [--progress] [same options]
+        [--in-flight N] [--progress] [--predict model.json]
+        [--manifest plan.json] [same options]
                                      evaluate a parameter grid in parallel
                                      with memoized pattern models; repeat
                                      --sweep for a cross-product grid.
@@ -63,21 +83,46 @@ commands:
                                      keeps cache-equivalent points on the same
                                      shard; output is byte-identical to the
                                      local sweep). --progress prints JSON
-                                     progress lines on stderr.
+                                     progress lines on stderr. --manifest
+                                     persists the chunk plan and journals
+                                     completed chunks so an interrupted
+                                     distributed sweep resumes without
+                                     replanning or re-executing them.
   serve [--addr HOST:PORT] [--workers N] [--queue N] [--sessions N]
         [--transport event-loop|threaded] [--max-connections N]
         [--max-batch-entries N]
         [--max-body BYTES] [--read-timeout-ms MS] [--slow-ms MS]
+        [--model model.json]
                                      start the resident dvf-serve/1 HTTP
                                      service (SIGTERM/ctrl-c drains cleanly;
                                      --slow-ms logs slow requests as JSON
-                                     lines on stderr)
+                                     lines on stderr; --model loads a
+                                     dvf-learn model and enables
+                                     POST /v1/predict)
   loadgen --addr HOST:PORT [--rate RPS] [--connections N] [--duration-s S]
           [--poisson] [--seed N] [--path P] [--body JSON]
+          [--endpoint healthz|dvf|predict]
                                      offer open-loop load to a running server
                                      and print a dvf-loadgen/1 JSON report
                                      (latency measured from scheduled arrival,
-                                     so queueing delay is not hidden)
+                                     so queueing delay is not hidden;
+                                     --endpoint picks a canned request shape,
+                                     e.g. --endpoint predict posts a real
+                                     feature vector to /v1/predict)
+  learn train --out model.json [--seed N] [--smoke] [--folds K]
+              [--max-rel-err F] [--json]
+                                     train the deterministic learned N_ha
+                                     predictor on the differential-oracle
+                                     grid (same seed => byte-identical
+                                     model.json); exits 1 if the
+                                     cross-validated max relative error
+                                     exceeds --max-rel-err
+  learn predict --model model.json --trace t.dvft2 --ds NAME
+                --geom ASSOC:SETS:LINE [--geom ...] [--json]
+                                     featurize a recorded DVFT trace
+                                     in-stream and predict N_ha for each
+                                     geometry with the model's held-out
+                                     error bound
 
 `--profile` (or DVF_PROFILE=1 / DVF_PROFILE=json in the environment)
 appends a per-phase timing and counter report to stderr.
@@ -107,6 +152,7 @@ fn main() -> ExitCode {
         "sweep" => with_source(&args[1..], sweep_command),
         "serve" => serve_command(&args[1..]),
         "loadgen" => loadgen_command(&args[1..]),
+        "learn" => learn_command(&args[1..]),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -201,12 +247,20 @@ enum Mode {
     Protect,
 }
 
+/// Load a `dvf-learn` model for `--predict`. Schema mismatches and IO
+/// errors both surface the path so the fix is obvious.
+fn load_predictor(path: &str) -> Result<dvf::learn::NhaModel, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    dvf::learn::NhaModel::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
 fn eval_command(source: &str, flags: &[String], mode: Mode) -> ExitCode {
     let mut machine_name: Option<String> = None;
     let mut model_name: Option<String> = None;
     let mut overrides: Vec<(String, f64)> = Vec::new();
     let mut budget: Option<u64> = None;
     let mut residual: f64 = 0.0;
+    let mut predict_path: Option<String> = None;
     // DVF_PROFILE pre-enables profiling; an explicit flag overrides it.
     let mut profile: Option<ProfileFormat> = dvf::obs::init_from_env();
 
@@ -254,12 +308,24 @@ fn eval_command(source: &str, flags: &[String], mode: Mode) -> ExitCode {
                 },
                 None => return usage_err("--residual needs a value"),
             },
+            "--predict" if mode != Mode::Timed => match value(&mut it) {
+                Some(v) => predict_path = Some(v),
+                None => return usage_err("--predict needs a model.json path"),
+            },
             other => return usage_err(&format!("unknown flag `{other}`")),
         }
     }
     if mode == Mode::Protect && budget.is_none() {
         return usage_err("protect requires --budget <bytes>");
     }
+    let predictor = match predict_path.as_deref().map(load_predictor) {
+        None => None,
+        Some(Ok(m)) => Some(m),
+        Some(Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     // Root span: everything below nests under `eval`/`timed`/`protect`.
     let root_span = dvf::obs::span(match mode {
@@ -303,7 +369,7 @@ fn eval_command(source: &str, flags: &[String], mode: Mode) -> ExitCode {
     );
 
     let code = match mode {
-        Mode::Classic => match evaluate(&app, &machine) {
+        Mode::Classic => match evaluate_with(&app, &machine, predictor.as_ref()) {
             Ok(report) => {
                 println!("model `{}` (T = {:.4e} s):\n", report.app, report.time_s);
                 print!("{}", report.render());
@@ -328,7 +394,7 @@ fn eval_command(source: &str, flags: &[String], mode: Mode) -> ExitCode {
                 ExitCode::FAILURE
             }
         },
-        Mode::Protect => match evaluate(&app, &machine) {
+        Mode::Protect => match evaluate_with(&app, &machine, predictor.as_ref()) {
             Ok(report) => {
                 let plan = dvf::core::protect::plan_protection(
                     &report,
@@ -394,6 +460,8 @@ fn sweep_command(source: &str, flags: &[String]) -> ExitCode {
     let mut assignment = Assignment::MemoAffine;
     let mut in_flight: usize = 2;
     let mut progress_enabled = false;
+    let mut predict_path: Option<String> = None;
+    let mut manifest_path: Option<String> = None;
 
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
@@ -459,11 +527,28 @@ fn sweep_command(source: &str, flags: &[String]) -> ExitCode {
                 Some(Err(_)) => return usage_err("bad --in-flight value"),
                 None => return usage_err("--in-flight needs a value"),
             },
+            "--predict" => match value(&mut it) {
+                Some(v) => predict_path = Some(v),
+                None => return usage_err("--predict needs a model.json path"),
+            },
+            "--manifest" => match value(&mut it) {
+                Some(v) => manifest_path = Some(v),
+                None => return usage_err("--manifest needs a path"),
+            },
             other => return usage_err(&format!("unknown flag `{other}`")),
         }
     }
     if dims.is_empty() {
         return usage_err("sweep requires --sweep name=LO:HI:STEPS (or name=v1,v2,...)");
+    }
+    if predict_path.is_some() && shards_raw.is_some() {
+        // Shards evaluate remotely with whatever model (if any) they were
+        // started with; silently ignoring the flag would report learned
+        // numbers for some chunks and closed-form for others.
+        return usage_err("--predict is local-only; it cannot be combined with --shards");
+    }
+    if manifest_path.is_some() && shards_raw.is_none() {
+        return usage_err("--manifest records a distributed chunk plan; it requires --shards");
     }
     let grid = match GridSpec::new(dims) {
         Ok(g) => g,
@@ -488,6 +573,15 @@ fn sweep_command(source: &str, flags: &[String]) -> ExitCode {
     }
     if let Some(name) = &model_name {
         wf = wf.with_model(name);
+    }
+    if let Some(path) = predict_path.as_deref() {
+        match load_predictor(path) {
+            Ok(m) => wf = wf.with_predictor(std::sync::Arc::new(m)),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     // A typo'd name would otherwise sweep an inert override and print a
@@ -547,8 +641,102 @@ fn sweep_command(source: &str, flags: &[String]) -> ExitCode {
             dvf::core::sweep::par_map(&indices, |&i| eval_point(i))
         }
     } else {
-        let plan = ChunkPlan::plan(&grid, shard_addrs.len(), chunk_points, assignment, |idx| {
-            wf.point_fingerprint(&point_of(idx)).unwrap_or(0)
+        let fresh_plan = || {
+            ChunkPlan::plan(&grid, shard_addrs.len(), chunk_points, assignment, |idx| {
+                wf.point_fingerprint(&point_of(idx)).unwrap_or(0)
+            })
+        };
+        // With --manifest, an existing manifest file *is* the plan: the
+        // resumed run replans zero chunks, so the chunk→shard map (and
+        // each shard's warm memo cache) is exactly the original one.
+        let (plan, resume) = match manifest_path.as_deref() {
+            None => (fresh_plan(), None),
+            Some(path) => match std::fs::read_to_string(path) {
+                Ok(text) => {
+                    let (plan, saved_grid) = match ChunkPlan::from_manifest_json(&text) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            eprintln!("error: {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    if saved_grid != grid {
+                        eprintln!(
+                            "error: {path}: manifest was planned for a different grid; \
+                             delete it to replan"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    if plan.shards != shard_addrs.len() {
+                        eprintln!(
+                            "error: {path}: manifest plans {} shard(s) but {} were given",
+                            plan.shards,
+                            shard_addrs.len()
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    let journal = dvf::serve::manifest::journal_path(path);
+                    let journal_text = std::fs::read_to_string(&journal).unwrap_or_default();
+                    let state = match dvf::serve::manifest::load_journal(&journal_text, &plan) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            eprintln!("error: {journal}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    eprintln!(
+                        "manifest: resumed plan from {path}: {}/{} chunk(s) already complete",
+                        state.chunks_done(),
+                        plan.chunks.len()
+                    );
+                    (plan, Some(state))
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    let plan = fresh_plan();
+                    if let Err(e) = std::fs::write(path, plan.manifest_json_full(&grid)) {
+                        eprintln!("error: cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("manifest: planned {} chunk(s) -> {path}", plan.chunks.len());
+                    (plan, None)
+                }
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+        };
+        let journal_file = match manifest_path.as_deref() {
+            None => None,
+            Some(path) => {
+                let jp = dvf::serve::manifest::journal_path(path);
+                let opened = if resume.is_some() {
+                    std::fs::OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(&jp)
+                } else {
+                    // Fresh plan: discard any journal left by a deleted
+                    // manifest — its chunk ids belong to the old plan.
+                    std::fs::File::create(&jp)
+                };
+                match opened {
+                    Ok(f) => Some(std::sync::Mutex::new(f)),
+                    Err(e) => {
+                        eprintln!("error: cannot open {jp}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        };
+        let on_chunk = journal_file.as_ref().map(|j| {
+            move |chunk: &dvf::core::gridplan::Chunk, rows: &[RowOutcome]| {
+                use std::io::Write as _;
+                let line = dvf::serve::manifest::chunk_line(chunk.id, rows);
+                if let Ok(mut f) = j.lock() {
+                    let _ = writeln!(f, "{line}");
+                }
+            }
         });
         let job = SweepJob {
             source: source.to_owned(),
@@ -561,7 +749,10 @@ fn sweep_command(source: &str, flags: &[String]) -> ExitCode {
             ..Default::default()
         };
         let total_chunks = plan.chunks.len();
-        let outcome = coordinator::run(&job, &grid, &plan, &shard_addrs, &cfg, |p| {
+        let on_chunk_dyn = on_chunk
+            .as_ref()
+            .map(|f| f as &(dyn Fn(&dvf::core::gridplan::Chunk, &[RowOutcome]) + Sync));
+        let progress_cb = |p: &coordinator::Progress| {
             let delta = dvf::core::memo::CacheStats {
                 hits: p.cache_hits,
                 misses: p.cache_misses,
@@ -574,7 +765,17 @@ fn sweep_command(source: &str, flags: &[String]) -> ExitCode {
                 p.points_total,
                 &delta,
             );
-        });
+        };
+        let outcome = coordinator::run_with(
+            &job,
+            &grid,
+            &plan,
+            &shard_addrs,
+            &cfg,
+            progress_cb,
+            resume,
+            on_chunk_dyn,
+        );
         match outcome {
             Ok(report) => {
                 let delta = dvf::core::memo::CacheStats {
@@ -826,6 +1027,10 @@ fn serve_command(flags: &[String]) -> ExitCode {
             "--slow-ms" => numeric!(config.slow_request, "--slow-ms", u64, |ms| Some(
                 std::time::Duration::from_millis(ms)
             )),
+            "--model" => match value(&mut it) {
+                Some(v) => config.model_path = Some(v),
+                None => return usage_err("--model needs a path"),
+            },
             other => return usage_err(&format!("unknown flag `{other}`")),
         }
     }
@@ -902,6 +1107,16 @@ fn loadgen_command(flags: &[String]) -> ExitCode {
                 }
                 None => return usage_err("--body needs a value"),
             },
+            "--endpoint" => match value(&mut it) {
+                Some(v) => {
+                    if !apply_loadgen_endpoint(&mut spec, &v) {
+                        return usage_err(&format!(
+                            "unknown --endpoint `{v}` (healthz, dvf, predict)"
+                        ));
+                    }
+                }
+                None => return usage_err("--endpoint needs a value"),
+            },
             other => return usage_err(&format!("unknown flag `{other}`")),
         }
     }
@@ -927,6 +1142,302 @@ fn loadgen_command(flags: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// Canned request shapes for `loadgen --endpoint`: each API surface gets
+/// the same open-loop latency treatment without hand-writing wire bodies
+/// (`--path`/`--body` later on the command line still override).
+/// Accepts either the bare name or the `/v1/...` path; returns `false`
+/// for an endpoint with no canned shape.
+fn apply_loadgen_endpoint(spec: &mut dvf::serve::loadgen::LoadSpec, name: &str) -> bool {
+    match name.trim_start_matches("/v1/") {
+        "healthz" => {
+            spec.method = "GET".to_owned();
+            spec.path = "/v1/healthz".to_owned();
+            spec.body = None;
+        }
+        "dvf" => {
+            spec.method = "POST".to_owned();
+            spec.path = "/v1/dvf".to_owned();
+            spec.body = Some(canned_dvf_body());
+        }
+        "predict" => {
+            spec.method = "POST".to_owned();
+            spec.path = "/v1/predict".to_owned();
+            spec.body = Some(canned_predict_body());
+        }
+        _ => return false,
+    }
+    true
+}
+
+/// An inline two-structure model: the same shape the closed-loop serve
+/// benches post, so open-loop `/v1/dvf` rows are comparable.
+fn canned_dvf_body() -> String {
+    const SOURCE: &str = "\
+machine m {
+  cache { associativity = 4  sets = 64  line = 32 }
+  memory { ecc = secded }
+}
+model app {
+  param n = 1000
+  data A { size = n * 8  element = 8 }
+  data B { size = n * 8  element = 8 }
+  kernel k {
+    flops = 2 * n
+    access A as streaming(stride = 4)
+    access B as streaming()
+  }
+}
+";
+    let mut w = dvf::obs::JsonWriter::new();
+    w.begin_object();
+    w.key("source").string(SOURCE);
+    w.end_object();
+    w.finish()
+}
+
+/// A real `dvf-learn/1` feature vector (featurized once at startup from
+/// a short synthetic stream) against one cache level — the hot
+/// `/v1/predict` lookup path, not the featurizer.
+fn canned_predict_body() -> String {
+    use dvf::cachesim::{DsId, MemRef};
+    let mut sink = dvf::learn::FeatureSink::new();
+    for i in 0..4096u64 {
+        sink.record(MemRef::read(DsId(0), (i % 512) * 8));
+    }
+    let features = sink.finish().ds(DsId(0)).to_json();
+    format!("{{\"features\":{features},\"geometry\":{{\"assoc\":8,\"sets\":512,\"line\":64}}}}")
+}
+
+/// `learn`: train / apply the learned `N_ha` predictor.
+fn learn_command(flags: &[String]) -> ExitCode {
+    match flags.first().map(String::as_str) {
+        Some("train") => learn_train_command(&flags[1..]),
+        Some("predict") => learn_predict_command(&flags[1..]),
+        Some(other) => usage_err(&format!("unknown learn subcommand `{other}`")),
+        None => usage_err("learn requires a subcommand: train or predict"),
+    }
+}
+
+/// `learn train`: build the labeled dataset from the oracle grid, train
+/// the deterministic model, write the artifact, and gate on the
+/// cross-validated maximum relative error.
+fn learn_train_command(flags: &[String]) -> ExitCode {
+    let mut seed: u64 = 1;
+    let mut smoke = false;
+    let mut folds: usize = 5;
+    let mut out: Option<String> = None;
+    let mut max_rel_err = dvf::difftest::CV_BOUND;
+    let mut json = false;
+
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        let value = |it: &mut std::slice::Iter<String>| -> Option<String> { it.next().cloned() };
+        match flag.as_str() {
+            "--smoke" => smoke = true,
+            "--json" => json = true,
+            "--seed" => match value(&mut it).and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage_err("--seed needs an unsigned integer"),
+            },
+            "--folds" => match value(&mut it).and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) if v >= 2 => folds = v,
+                _ => return usage_err("--folds needs an integer >= 2"),
+            },
+            "--max-rel-err" => match value(&mut it).and_then(|v| v.parse().ok()) {
+                Some(v) => max_rel_err = v,
+                None => return usage_err("--max-rel-err needs a number"),
+            },
+            "--out" => match value(&mut it) {
+                Some(v) => out = Some(v),
+                None => return usage_err("--out needs a path"),
+            },
+            other => return usage_err(&format!("unknown flag `{other}`")),
+        }
+    }
+    let Some(out) = out else {
+        return usage_err("learn train requires --out model.json");
+    };
+
+    let (model, report) = dvf::difftest::train_grid(seed, smoke, folds);
+    if let Err(e) = std::fs::write(&out, model.to_json()) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "trained dvf-learn model: seed={} grid={} samples={} stumps={}",
+            seed,
+            if smoke { "smoke" } else { "full" },
+            report.samples,
+            model.stumps.len()
+        );
+        println!(
+            "{folds}-fold CV held-out rel_err: max {:.4}, p95 {:.4}, mean {:.4}",
+            report.bound.max_rel_err, report.bound.p95_rel_err, report.bound.mean_rel_err
+        );
+        println!("model written to {out}");
+    }
+    if report.bound.max_rel_err > max_rel_err {
+        eprintln!(
+            "cross-validated max rel_err {:.4} exceeds --max-rel-err {max_rel_err:.2}",
+            report.bound.max_rel_err
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `learn predict`: stream a recorded DVFT trace through the featurizer
+/// (constant memory, no materialized trace) and predict `N_ha` for each
+/// requested geometry.
+fn learn_predict_command(flags: &[String]) -> ExitCode {
+    let mut model_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut ds_name: Option<String> = None;
+    let mut geoms: Vec<dvf::cachesim::CacheConfig> = Vec::new();
+    let mut json = false;
+
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        let value = |it: &mut std::slice::Iter<String>| -> Option<String> { it.next().cloned() };
+        match flag.as_str() {
+            "--json" => json = true,
+            "--model" => match value(&mut it) {
+                Some(v) => model_path = Some(v),
+                None => return usage_err("--model needs a path"),
+            },
+            "--trace" => match value(&mut it) {
+                Some(v) => trace_path = Some(v),
+                None => return usage_err("--trace needs a path"),
+            },
+            "--ds" => match value(&mut it) {
+                Some(v) => ds_name = Some(v),
+                None => return usage_err("--ds needs a data-structure name"),
+            },
+            "--geom" => match value(&mut it) {
+                Some(v) => match parse_geom(&v) {
+                    Ok(g) => geoms.push(g),
+                    Err(msg) => return usage_err(&msg),
+                },
+                None => return usage_err("--geom needs ASSOC:SETS:LINE"),
+            },
+            other => return usage_err(&format!("unknown flag `{other}`")),
+        }
+    }
+    let (Some(model_path), Some(trace_path), Some(ds_name)) = (model_path, trace_path, ds_name)
+    else {
+        return usage_err("learn predict requires --model, --trace and --ds");
+    };
+    if geoms.is_empty() {
+        return usage_err("learn predict requires at least one --geom ASSOC:SETS:LINE");
+    }
+
+    let model = match std::fs::read_to_string(&model_path)
+        .map_err(|e| e.to_string())
+        .and_then(|t| dvf::learn::NhaModel::from_json(&t).map_err(|e| e.to_string()))
+    {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{model_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let file = match std::fs::File::open(&trace_path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open {trace_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut reader = match dvf::cachesim::TraceReader::new(std::io::BufReader::new(file)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{trace_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut sink = dvf::learn::FeatureSink::new();
+    let mut chunk = Vec::new();
+    loop {
+        match reader.read_chunk(&mut chunk, 4096) {
+            Ok(0) => break,
+            Ok(_) => {
+                for &r in &chunk {
+                    sink.record(r);
+                }
+            }
+            Err(e) => {
+                eprintln!("{trace_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(ds) = reader.registry().id(&ds_name) else {
+        let known: Vec<&str> = reader.registry().iter().map(|(_, n)| n).collect();
+        eprintln!(
+            "no data structure `{ds_name}` in {trace_path} (trace has: {})",
+            known.join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let fv = sink.finish().ds(ds);
+    let predictions = model.predict_levels(&fv, &geoms);
+
+    if json {
+        let mut w = dvf::obs::JsonWriter::new();
+        w.begin_object();
+        w.key("schema").string("dvf-learn-predict/1");
+        w.key("trace").string(&trace_path);
+        w.key("ds").string(&ds_name);
+        w.key("accesses").u64(fv.accesses);
+        w.key("levels").begin_array();
+        for (g, n_ha) in geoms.iter().zip(&predictions) {
+            w.begin_object();
+            w.key("associativity").u64(g.associativity as u64);
+            w.key("num_sets").u64(g.num_sets as u64);
+            w.key("line_bytes").u64(g.line_bytes as u64);
+            w.key("n_ha").f64(*n_ha);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("error_bound").begin_object();
+        w.key("max_rel_err").f64(model.bound.max_rel_err);
+        w.key("p95_rel_err").f64(model.bound.p95_rel_err);
+        w.key("mean_rel_err").f64(model.bound.mean_rel_err);
+        w.end_object();
+        w.end_object();
+        println!("{}", w.finish());
+    } else {
+        println!("`{ds_name}` in {trace_path}: {} accesses", fv.accesses);
+        for (g, n_ha) in geoms.iter().zip(&predictions) {
+            println!(
+                "  {}w{}s{}B: predicted N_ha {n_ha:.1}",
+                g.associativity, g.num_sets, g.line_bytes
+            );
+        }
+        println!(
+            "held-out error bound: max {:.4}, p95 {:.4}, mean {:.4}",
+            model.bound.max_rel_err, model.bound.p95_rel_err, model.bound.mean_rel_err
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Parse an `ASSOC:SETS:LINE` cache geometry, e.g. `8:512:64`.
+fn parse_geom(raw: &str) -> Result<dvf::cachesim::CacheConfig, String> {
+    let parts: Vec<&str> = raw.split(':').collect();
+    let [a, s, l] = parts.as_slice() else {
+        return Err(format!("--geom expects ASSOC:SETS:LINE, got `{raw}`"));
+    };
+    let parse = |p: &str| -> Result<usize, String> {
+        p.parse().map_err(|_| format!("bad --geom number `{p}`"))
+    };
+    dvf::cachesim::CacheConfig::new(parse(a)?, parse(s)?, parse(l)?)
+        .map_err(|e| format!("bad --geom `{raw}`: {e}"))
 }
 
 /// Parse `name=LO:HI:STEPS` (inclusive linear grid) or `name=v1,v2,...`.

@@ -28,6 +28,10 @@
 //! * [`serve`] (`dvf-serve`) — the resident evaluation service: a
 //!   dependency-free HTTP/1.1 JSON API (`dvf serve`) keeping parsed
 //!   models and the sweep memo cache warm across requests.
+//! * [`learn`] (`dvf-learn`) — in-stream trace featurization and a
+//!   deterministic learned `N_ha` predictor (`dvf learn`, `/v1/predict`).
+//! * [`difftest`] (`dvf-difftest`) — the differential oracle grid, which
+//!   doubles as the learned predictor's label pipeline and score gate.
 //!
 //! ## Five-minute tour
 //!
@@ -66,7 +70,9 @@
 pub use dvf_aspen as aspen;
 pub use dvf_cachesim as cachesim;
 pub use dvf_core as core;
+pub use dvf_difftest as difftest;
 pub use dvf_kernels as kernels;
+pub use dvf_learn as learn;
 pub use dvf_obs as obs;
 pub use dvf_repro as repro;
 pub use dvf_serve as serve;

@@ -245,6 +245,141 @@ fn distributed_sweep_is_byte_identical_and_resumes_warm_after_a_kill() {
     );
 }
 
+/// Deletes the manifest + journal pair on drop so a failing test leaves
+/// no state for the next run to "resume".
+struct ManifestFiles {
+    manifest: String,
+}
+
+impl ManifestFiles {
+    fn new(tag: &str) -> Self {
+        let manifest = std::env::temp_dir()
+            .join(format!("dvf-manifest-{tag}-{}.json", std::process::id()))
+            .to_str()
+            .expect("utf-8 temp path")
+            .to_owned();
+        let files = Self { manifest };
+        files.cleanup();
+        files
+    }
+
+    fn journal(&self) -> String {
+        format!("{}.progress", self.manifest)
+    }
+
+    fn cleanup(&self) {
+        let _ = std::fs::remove_file(&self.manifest);
+        let _ = std::fs::remove_file(self.journal());
+    }
+}
+
+impl Drop for ManifestFiles {
+    fn drop(&mut self) {
+        self.cleanup();
+    }
+}
+
+#[test]
+fn manifest_resume_replans_and_reexecutes_zero_completed_chunks() {
+    let model = write_model(MODEL);
+    let model = model.to_str().unwrap();
+    let files = ManifestFiles::new("resume");
+
+    let a = spawn_shard();
+    let b = spawn_shard();
+    let shard_list = format!("{},{}", a.addr, b.addr);
+
+    // Run 1 plans, persists the manifest, journals every chunk.
+    let (run1, _) = sweep(model, &shard_list, &["--manifest", &files.manifest]);
+    let plan_text = std::fs::read_to_string(&files.manifest).expect("manifest written");
+    assert!(
+        plan_text.contains("\"dvf-sweep-manifest/1\""),
+        "{plan_text}"
+    );
+    let chunk_count = Json::parse(&plan_text)
+        .expect("manifest parses")
+        .get("chunks")
+        .and_then(Json::as_arr)
+        .expect("chunks array")
+        .len();
+    let journal1 = std::fs::read_to_string(files.journal()).expect("journal written");
+    assert_eq!(
+        journal1.lines().count(),
+        chunk_count,
+        "one journal line per completed chunk"
+    );
+
+    // Kill the entire fleet. A fully journaled sweep must replay from
+    // the manifest alone: zero chunks replanned, zero re-executed, no
+    // live shard required.
+    drop(a);
+    drop(b);
+    let out = dvf(&[
+        "sweep",
+        model,
+        "--sweep",
+        "fit=1000,5000",
+        "--sweep",
+        "n=100:600:6",
+        "--chunk-points",
+        "2",
+        "--shards",
+        &shard_list,
+        "--progress",
+        "--manifest",
+        &files.manifest,
+    ]);
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(out.status.success(), "offline resume failed:\n{stderr}");
+    assert_eq!(
+        String::from_utf8(out.stdout).unwrap(),
+        run1,
+        "resumed output must be byte-identical"
+    );
+    assert!(
+        stderr.contains(&format!(
+            "{chunk_count}/{chunk_count} chunk(s) already complete"
+        )),
+        "resume must report every chunk as journaled:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("manifest: planned"),
+        "a resumed run must not replan:\n{stderr}"
+    );
+    assert_eq!(
+        std::fs::read_to_string(files.journal()).unwrap(),
+        journal1,
+        "a fully journaled resume must re-execute nothing"
+    );
+
+    // Partial resume: drop the final journal line and bring up a fresh
+    // fleet (new ports are fine — the plan pins the shard *count*, and
+    // chunk→shard homes come from the manifest, not a replan). Only the
+    // missing chunk executes; the merged output is unchanged.
+    let kept: Vec<&str> = journal1.lines().collect();
+    std::fs::write(
+        files.journal(),
+        format!("{}\n", kept[..kept.len() - 1].join("\n")),
+    )
+    .unwrap();
+    let c = spawn_shard();
+    let d = spawn_shard();
+    let (run3, _) = sweep(
+        model,
+        &format!("{},{}", c.addr, d.addr),
+        &["--manifest", &files.manifest],
+    );
+    assert_eq!(run3, run1, "partial resume must merge to identical output");
+    assert_eq!(
+        std::fs::read_to_string(files.journal())
+            .unwrap()
+            .lines()
+            .count(),
+        chunk_count,
+        "exactly the one missing chunk is re-executed and journaled"
+    );
+}
+
 #[test]
 fn memo_affine_routing_beats_round_robin_hit_rate() {
     let model = write_model(MODEL);
